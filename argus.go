@@ -1,0 +1,178 @@
+// Package argus is the public API of the Argus multi-level service-visibility
+// system (Zhou, Pandey, Ye — IPPS 2020): distributed, proximity-based IoT
+// service discovery with three concurrent visibility levels.
+//
+//   - Level 1 (public): services identically visible to everyone.
+//   - Level 2 (differentiated): visibility scoped by the subject's
+//     non-sensitive attributes through backend policies.
+//   - Level 3 (covert): visibility scoped by sensitive attributes via secret
+//     groups, indistinguishable on the wire from Level 2.
+//
+// A minimal deployment:
+//
+//	b, _ := argus.NewBackend(argus.Strength128)
+//	b.AddPolicy(argus.MustPredicate("position=='staff'"),
+//	            argus.MustPredicate("type=='printer'"), []string{"print"})
+//	alice, _, _ := b.RegisterSubject("alice", argus.MustAttrs("position=staff"))
+//	printer, _, _ := b.RegisterObject("printer", argus.L2,
+//	            argus.MustAttrs("type=printer"), []string{"print", "admin"})
+//
+//	net := argus.NewNetwork(argus.DefaultWiFi(), 1)
+//	subject, node, _ := argus.AttachSubject(b, net, alice, argus.V30, argus.Costs{})
+//	_, pnode, _ := argus.AttachObject(b, net, printer, argus.V30, argus.Costs{})
+//	net.Link(node, pnode)
+//	subject.Discover(net, 1)
+//	net.Run(0)
+//	for _, d := range subject.Results() { fmt.Println(d.Level, d.Profile.Functions) }
+//
+// The facade re-exports the stable surface of the internal packages; see
+// internal/core for the protocol engines, internal/backend for policy and
+// provisioning, internal/netsim for the ground-network simulator, and
+// internal/exp for the paper's experiment harness.
+package argus
+
+import (
+	"argus/internal/attr"
+	"argus/internal/backend"
+	"argus/internal/cert"
+	"argus/internal/core"
+	"argus/internal/netsim"
+	"argus/internal/suite"
+	"argus/internal/wire"
+)
+
+// Security strengths (§IX-B): the paper's four evaluation points.
+const (
+	Strength112 = suite.S112
+	Strength128 = suite.S128 // the paper's default
+	Strength192 = suite.S192
+	Strength256 = suite.S256
+)
+
+// Visibility levels (§IV-A).
+const (
+	L1 = backend.L1
+	L2 = backend.L2
+	L3 = backend.L3
+)
+
+// Protocol versions (Figs 3–5). V30 is the full system; V10/V20 exist to
+// demonstrate what each design iteration fixes.
+const (
+	V10 = wire.V10
+	V20 = wire.V20
+	V30 = wire.V30
+)
+
+// Re-exported core types.
+type (
+	// Backend is the enterprise registration/policy authority (§IV-A).
+	Backend = backend.Backend
+	// Level is an object's secrecy level.
+	Level = backend.Level
+	// UpdateReport counts the ground entities affected by a churn operation.
+	UpdateReport = backend.UpdateReport
+	// Subject is the subject-side (user device) discovery engine.
+	Subject = core.Subject
+	// Object is the object-side (IoT device) discovery engine.
+	Object = core.Object
+	// Discovery is one verified discovery result.
+	Discovery = core.Discovery
+	// Costs models per-operation computation time on a device class.
+	Costs = core.Costs
+	// Network is the simulated ground network.
+	Network = netsim.Network
+	// NodeID addresses a node on the ground network.
+	NodeID = netsim.NodeID
+	// LinkModel parameterizes radio transmissions.
+	LinkModel = netsim.LinkModel
+	// ID identifies a registered subject or object.
+	ID = cert.ID
+	// Attrs is a set of (non-sensitive) attributes.
+	Attrs = attr.Set
+	// Predicate is a parsed policy expression over attributes.
+	Predicate = attr.Predicate
+	// Version selects the protocol iteration.
+	Version = wire.Version
+	// Strength is a security strength in bits.
+	Strength = suite.Strength
+)
+
+// NewBackend creates an enterprise backend at the given strength.
+func NewBackend(s Strength) (*Backend, error) { return backend.New(s) }
+
+// NewNetwork creates a deterministic simulated ground network.
+func NewNetwork(model LinkModel, seed int64) *Network { return netsim.New(model, seed) }
+
+// DefaultWiFi returns the link model calibrated to the paper's testbed.
+func DefaultWiFi() LinkModel { return netsim.DefaultWiFi() }
+
+// ParsePredicate parses a policy expression such as
+// "position=='manager' && department=='X'".
+func ParsePredicate(text string) (*Predicate, error) { return attr.Parse(text) }
+
+// MustPredicate is ParsePredicate that panics on error.
+func MustPredicate(text string) *Predicate { return attr.MustParse(text) }
+
+// ParseAttrs parses an attribute set such as "position=staff,department=X".
+func ParseAttrs(text string) (Attrs, error) { return attr.ParseSet(text) }
+
+// MustAttrs is ParseAttrs that panics on error.
+func MustAttrs(text string) Attrs { return attr.MustSet(text) }
+
+// AttachSubject provisions a registered subject from the backend, creates its
+// discovery engine and places it on the network. Returns the engine and its
+// node address (link it to nearby objects).
+func AttachSubject(b *Backend, net *Network, id ID, v Version, costs Costs) (*Subject, NodeID, error) {
+	prov, err := b.ProvisionSubject(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	s := core.NewSubject(prov, v, costs)
+	node := net.AddNode(s)
+	s.Attach(node)
+	return s, node, nil
+}
+
+// AttachObject provisions a registered object and places its engine on the
+// network.
+func AttachObject(b *Backend, net *Network, id ID, v Version, costs Costs) (*Object, NodeID, error) {
+	prov, err := b.ProvisionObject(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	o := core.NewObject(prov, v, costs)
+	node := net.AddNode(o)
+	o.Attach(node)
+	return o, node, nil
+}
+
+// RefreshSubject re-provisions a live subject engine after backend churn
+// (attribute change, group re-key).
+func RefreshSubject(b *Backend, s *Subject) error {
+	prov, err := b.ProvisionSubject(s.ID())
+	if err != nil {
+		return err
+	}
+	s.Refresh(prov)
+	return nil
+}
+
+// RefreshObject re-provisions a live object engine after backend churn
+// (policy change, revocation notice, group re-key).
+func RefreshObject(b *Backend, o *Object) error {
+	prov, err := b.ProvisionObject(o.ID())
+	if err != nil {
+		return err
+	}
+	o.Refresh(prov)
+	return nil
+}
+
+// SnapshotBackend serializes the complete backend state (including private
+// keys) for durable storage; RestoreBackend reconstructs it. The restored
+// backend issues credentials chained to the same admin key.
+func SnapshotBackend(b *Backend) []byte { return b.Snapshot() }
+
+// RestoreBackend reconstructs a backend from a SnapshotBackend blob.
+func RestoreBackend(blob []byte) (*Backend, error) { return backend.Restore(blob) }

@@ -1,0 +1,538 @@
+// Package argus's root benchmark suite: one benchmark per table/figure of
+// the paper's evaluation, so `go test -bench=. -benchmem` regenerates the
+// measured side of every experiment. The printable paper-style tables come
+// from `argus-bench -exp all`.
+//
+//	Table I  → BenchmarkTable1*
+//	§IX-A    → BenchmarkMessage*
+//	Fig 6a   → BenchmarkECDSA*, BenchmarkECDH*
+//	Fig 6b   → BenchmarkCompute*
+//	Fig 6c   → BenchmarkABEDecrypt*
+//	Fig 6d   → BenchmarkPairing, BenchmarkPBCHandshake
+//	Fig 6e   → BenchmarkDiscoverySingleHop*
+//	Fig 6g/h → BenchmarkDiscoveryMultiHop*
+package argus
+
+import (
+	"fmt"
+	"testing"
+
+	"argus/internal/abe"
+	"argus/internal/acl"
+	"argus/internal/attr"
+	"argus/internal/backend"
+	"argus/internal/cert"
+	"argus/internal/core"
+	"argus/internal/exp"
+	"argus/internal/netsim"
+	"argus/internal/pairing"
+	"argus/internal/pbc"
+	"argus/internal/suite"
+	"argus/internal/wire"
+)
+
+// --- Table I: churn operations ---
+
+// BenchmarkTable1ArgusRevocation measures a real backend revocation with
+// N=200 accessible objects (the paper's Table I row: overhead N).
+func BenchmarkTable1ArgusRevocation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		bk, err := backend.New(suite.S128)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sid, _, _ := bk.RegisterSubject("alice", attr.MustSet("position=staff"))
+		for j := 0; j < 200; j++ {
+			bk.RegisterObject(fmt.Sprintf("o%03d", j), backend.L2, attr.MustSet("type=lock"), []string{"open"})
+		}
+		bk.AddPolicy(attr.MustParse("position=='staff'"), attr.MustParse("type=='lock'"), []string{"open"})
+		b.StartTimer()
+		rep, err := bk.RevokeSubject(sid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.NotifiedObjects) != 200 {
+			b.Fatalf("notified %d", len(rep.NotifiedObjects))
+		}
+	}
+}
+
+// BenchmarkTable1IDACLRevocation measures the ID-ACL baseline at the same N.
+func BenchmarkTable1IDACLRevocation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := acl.New()
+		objs := make([]string, 200)
+		for j := range objs {
+			objs[j] = fmt.Sprintf("o%03d", j)
+			s.AddObject(objs[j])
+		}
+		s.GrantAccess("alice", objs)
+		b.StartTimer()
+		if got := len(s.RevokeSubject("alice")); got != 200 {
+			b.Fatalf("notified %d", got)
+		}
+	}
+}
+
+// BenchmarkTable1ArgusAddSubject measures adding a subject (overhead 1).
+func BenchmarkTable1ArgusAddSubject(b *testing.B) {
+	bk, err := backend.New(suite.S128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bk.RegisterSubject(fmt.Sprintf("s%08d", i), attr.MustSet("position=staff")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- §IX-A: message overhead (codec throughput at the paper's sizes) ---
+
+func BenchmarkMessageEncodeQUE2(b *testing.B) {
+	m := &wire.QUE2{
+		Version: wire.V30,
+		RS:      make([]byte, suite.NonceSize),
+		ProfS:   make([]byte, 200),
+		CertS:   make([]byte, 565),
+		KEXMS:   make([]byte, 64),
+		Sig:     make([]byte, 64),
+		MACS2:   make([]byte, 32),
+		MACS3:   make([]byte, 32),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(m.Encode()) == 0 {
+			b.Fatal("empty encoding")
+		}
+	}
+}
+
+func BenchmarkMessageDecodeQUE2(b *testing.B) {
+	m := &wire.QUE2{
+		Version: wire.V30,
+		RS:      make([]byte, suite.NonceSize),
+		ProfS:   make([]byte, 200),
+		CertS:   make([]byte, 565),
+		KEXMS:   make([]byte, 64),
+		Sig:     make([]byte, 64),
+		MACS2:   make([]byte, 32),
+		MACS3:   make([]byte, 32),
+	}
+	enc := m.Encode()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Fig 6a: ECDSA/ECDH per security strength ---
+
+func benchSign(b *testing.B, s suite.Strength) {
+	key, err := suite.GenerateSigningKey(s, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := make([]byte, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := key.Sign(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchVerify(b *testing.B, s suite.Strength) {
+	key, _ := suite.GenerateSigningKey(s, nil)
+	msg := make([]byte, 256)
+	sig, _ := key.Sign(msg)
+	pub := key.Public()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !pub.Verify(msg, sig) {
+			b.Fatal("verify failed")
+		}
+	}
+}
+
+func benchECDH(b *testing.B, s suite.Strength) {
+	peer, _ := suite.NewKeyExchange(s, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kex, err := suite.NewKeyExchange(s, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := kex.Shared(peer.Public()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkECDSASign(b *testing.B) {
+	for _, s := range suite.Strengths {
+		b.Run(s.String(), func(b *testing.B) { benchSign(b, s) })
+	}
+}
+
+func BenchmarkECDSAVerify(b *testing.B) {
+	for _, s := range suite.Strengths {
+		b.Run(s.String(), func(b *testing.B) { benchVerify(b, s) })
+	}
+}
+
+func BenchmarkECDHExchange(b *testing.B) {
+	for _, s := range suite.Strengths {
+		b.Run(s.String(), func(b *testing.B) { benchECDH(b, s) })
+	}
+}
+
+// --- Fig 6b: per-discovery computation (the real operation sequences) ---
+
+// BenchmarkComputeLevel1Subject is the subject's Level 1 work: one PROF
+// verification.
+func BenchmarkComputeLevel1Subject(b *testing.B) {
+	benchVerify(b, suite.S128)
+}
+
+// BenchmarkComputeLevel23Subject runs the subject's Level 2/3 sequence:
+// 1 sign + 3 verify + 2 ECDH + key schedule.
+func BenchmarkComputeLevel23Subject(b *testing.B) {
+	key, _ := suite.GenerateSigningKey(suite.S128, nil)
+	msg := make([]byte, 512)
+	sig, _ := key.Sign(msg)
+	pub := key.Public()
+	peer, _ := suite.NewKeyExchange(suite.S128, nil)
+	rs := make([]byte, suite.NonceSize)
+	ro := make([]byte, suite.NonceSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for v := 0; v < 3; v++ {
+			if !pub.Verify(msg, sig) {
+				b.Fatal("verify")
+			}
+		}
+		kex, _ := suite.NewKeyExchange(suite.S128, nil)
+		preK, _ := kex.Shared(peer.Public())
+		k2 := suite.SessionKey2(preK, rs, ro)
+		_ = suite.SessionKey3(k2, k2, rs, ro)
+		if _, err := key.Sign(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Fig 6c: ABE decryption vs attribute count ---
+
+func BenchmarkABEDecrypt(b *testing.B) {
+	pk, mk, err := abe.Setup()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("attrs=%d", k), func(b *testing.B) {
+			attrs := make([]string, k)
+			leaves := make([]*abe.Policy, k)
+			for i := range attrs {
+				attrs[i] = fmt.Sprintf("a%d:v", i)
+				leaves[i] = abe.Leaf(attrs[i])
+			}
+			var policy *abe.Policy
+			if k == 1 {
+				policy = leaves[0]
+			} else {
+				policy = abe.And(leaves...)
+			}
+			sk, _ := abe.KeyGen(pk, mk, attrs)
+			ct, key, err := abe.Encrypt(pk, policy)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				got, err := abe.Decrypt(pk, sk, ct)
+				if err != nil || got != key {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Fig 6d: PBC pairing per handshake side ---
+
+func BenchmarkPairing(b *testing.B) {
+	p, q := pairing.G1Generator(), pairing.G2Generator()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pairing.Pair(p, q).IsOne() {
+			b.Fatal("degenerate")
+		}
+	}
+}
+
+func BenchmarkPBCHandshakeSide(b *testing.B) {
+	auth, err := pbc.NewAuthority()
+	if err != nil {
+		b.Fatal(err)
+	}
+	subj := auth.Issue("subject")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		subj.PairwiseKey("object")
+	}
+}
+
+// BenchmarkArgusLevel3Extra is the comparison point for Fig 6d: the entire
+// Level 3 increment over Level 2 is two HMAC computations.
+func BenchmarkArgusLevel3Extra(b *testing.B) {
+	k2 := make([]byte, suite.KeySize)
+	grp := make([]byte, suite.KeySize)
+	rs := make([]byte, suite.NonceSize)
+	ro := make([]byte, suite.NonceSize)
+	var h [32]byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k3 := suite.SessionKey3(k2, grp, rs, ro)
+		suite.FinishedMAC(k3, suite.LabelSubjectFinished, h)
+	}
+}
+
+// --- Fig 6e/6g: full discovery rounds on the simulated testbed ---
+
+func benchDiscovery(b *testing.B, level backend.Level, n int, multihop bool) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg := exp.DeployConfig{
+			Levels:       make([]backend.Level, n),
+			SubjectCosts: exp.PhoneCosts(),
+			ObjectCosts:  exp.PiCosts(),
+			Fellow:       true,
+			Seed:         int64(i + 1),
+		}
+		for j := range cfg.Levels {
+			cfg.Levels[j] = level
+		}
+		ttl := 1
+		if multihop {
+			hops := make([]int, n)
+			for j := range hops {
+				hops[j] = 1 + j/5
+			}
+			cfg.HopOf = hops
+			ttl = 4
+		}
+		d, err := exp.Deploy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err := d.Run(ttl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != n {
+			b.Fatalf("discovered %d/%d", len(res), n)
+		}
+	}
+}
+
+func BenchmarkDiscoverySingleHop(b *testing.B) {
+	for _, level := range []backend.Level{backend.L1, backend.L2, backend.L3} {
+		b.Run(fmt.Sprintf("%v-20obj", level), func(b *testing.B) {
+			benchDiscovery(b, level, 20, false)
+		})
+	}
+}
+
+func BenchmarkDiscoveryMultiHop(b *testing.B) {
+	for _, level := range []backend.Level{backend.L1, backend.L3} {
+		b.Run(fmt.Sprintf("%v-20obj-4hop", level), func(b *testing.B) {
+			benchDiscovery(b, level, 20, true)
+		})
+	}
+}
+
+// --- supporting micro-benchmarks ---
+
+// BenchmarkABEEncrypt measures backend-side ciphertext preparation (the cost
+// the paper notes "can be generated beforehand").
+func BenchmarkABEEncrypt(b *testing.B) {
+	pk, _, err := abe.Setup()
+	if err != nil {
+		b.Fatal(err)
+	}
+	policy := abe.And(abe.Leaf("a:1"), abe.Leaf("b:2"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := abe.Encrypt(pk, policy); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkABEKeyGen measures per-subject key issuance (2 attributes).
+func BenchmarkABEKeyGen(b *testing.B) {
+	pk, mk, err := abe.Setup()
+	if err != nil {
+		b.Fatal(err)
+	}
+	attrs := []string{"a:1", "b:2"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := abe.KeyGen(pk, mk, attrs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHashToG1 and BenchmarkHashToG2 measure attribute hashing (one per
+// ABE attribute / PBC identity).
+func BenchmarkHashToG1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pairing.HashToG1([]byte{byte(i), byte(i >> 8), byte(i >> 16)})
+	}
+}
+
+func BenchmarkHashToG2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pairing.HashToG2([]byte{byte(i), byte(i >> 8), byte(i >> 16)})
+	}
+}
+
+// BenchmarkProfileCipher measures the AES-CBC+HMAC profile encryption of a
+// 200 B PROF (sub-millisecond per §IX-B).
+func BenchmarkProfileCipher(b *testing.B) {
+	key := make([]byte, suite.KeySize)
+	plain := make([]byte, 200)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ct, err := suite.EncryptProfile(key, plain, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := suite.DecryptProfile(key, ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredicateEval measures policy evaluation at the object (per QUE2,
+// per variant).
+func BenchmarkPredicateEval(b *testing.B) {
+	p := attr.MustParse("position=='manager' && (department=='X' || department=='Y') && has(badge)")
+	s := attr.MustSet("position=manager,department=Y,badge=77")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !p.Eval(s) {
+			b.Fatal("eval failed")
+		}
+	}
+}
+
+// BenchmarkProvisionObject measures backend provisioning of a Level 3 object
+// with one policy variant and one group variant (PROF compilation + padding
+// + two admin signatures).
+func BenchmarkProvisionObject(b *testing.B) {
+	bk, err := backend.New(suite.S128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bk.AddPolicy(attr.MustParse("position=='staff'"), attr.MustParse("type=='kiosk'"), []string{"use"})
+	g, _ := bk.Groups.CreateGroup("grp")
+	oid, _, _ := bk.RegisterObject("kiosk", backend.L3, attr.MustSet("type=kiosk"), []string{"use"})
+	bk.AddCovertService(oid, g.ID(), []string{"use", "covert"})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bk.ProvisionObject(oid); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDiscoverAllMultiGroup measures the §VI-C key-rotation cost: a
+// subject in 3 secret groups running 3 discovery rounds against 3 covert
+// objects.
+func BenchmarkDiscoverAllMultiGroup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		bk, err := backend.New(suite.S128)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sid, _, _ := bk.RegisterSubject("multi", attr.MustSet("position=staff"))
+		nt := netsim.New(netsim.DefaultWiFi(), int64(i+1))
+		var sn netsim.NodeID
+		sprovDeferred := func() *core.Subject {
+			prov, err := bk.ProvisionSubject(sid)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := core.NewSubject(prov, wire.V30, core.Costs{})
+			sn = nt.AddNode(s)
+			s.Attach(sn)
+			return s
+		}
+		for g := 0; g < 3; g++ {
+			grp, _ := bk.Groups.CreateGroup(fmt.Sprintf("g%d", g))
+			bk.AddSubjectToGroup(sid, grp.ID())
+			oid, _, _ := bk.RegisterObject(fmt.Sprintf("covert-%d", g), backend.L3,
+				attr.MustSet("type=kiosk"), []string{"use"})
+			bk.AddCovertService(oid, grp.ID(), []string{"use", "covert"})
+		}
+		subj := sprovDeferred()
+		for _, oid := range bk.Objects() {
+			prov, err := bk.ProvisionObject(oid)
+			if err != nil {
+				b.Fatal(err)
+			}
+			o := core.NewObject(prov, wire.V30, core.Costs{})
+			on := nt.AddNode(o)
+			o.Attach(on)
+			nt.Link(sn, on)
+		}
+		b.StartTimer()
+		if err := subj.DiscoverAll(nt, 1); err != nil {
+			b.Fatal(err)
+		}
+		covert := 0
+		for _, r := range subj.Results() {
+			if r.Level == backend.L3 {
+				covert++
+			}
+		}
+		if covert != 3 {
+			b.Fatalf("found %d covert services", covert)
+		}
+	}
+}
+
+// BenchmarkVerifyCertChain measures hierarchical CERT verification (leaf +
+// one intermediate) against the root anchor.
+func BenchmarkVerifyCertChain(b *testing.B) {
+	root, err := cert.NewAdmin(suite.S128, "root")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sub, err := root.NewSubordinate("building")
+	if err != nil {
+		b.Fatal(err)
+	}
+	key, _ := suite.GenerateSigningKey(suite.S128, nil)
+	chain, err := sub.IssueCertChain(cert.IDFromName("e"), "e", cert.RoleObject, key.Public())
+	if err != nil {
+		b.Fatal(err)
+	}
+	anchor := root.CACert()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cert.VerifyCert(anchor, chain, suite.S128); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

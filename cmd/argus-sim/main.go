@@ -1,0 +1,185 @@
+// Command argus-sim runs a simulated Argus enterprise deployment end to end:
+// a backend, a ground network of mixed-level objects, and one subject device
+// performing concurrent three-level discovery — the simulation analogue of
+// the paper's 1-phone + 20-Pi testbed (§IX).
+//
+// Usage:
+//
+//	argus-sim                       # 20 mixed objects, v3.0, single hop
+//	argus-sim -objects 12 -mix 1,3  # 12 objects alternating L1/L3
+//	argus-sim -multihop -ttl 4      # paper's 4-ring multi-hop layout
+//	argus-sim -version 2            # run the older, distinguishable protocol
+//	argus-sim -churn                # revoke the subject mid-run and retry
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"argus/internal/backend"
+	"argus/internal/exp"
+	"argus/internal/netsim"
+	"argus/internal/wire"
+)
+
+func main() {
+	var (
+		objects  = flag.Int("objects", 20, "number of objects")
+		mix      = flag.String("mix", "1,2,3", "comma-separated level cycle for objects")
+		version  = flag.Int("version", 3, "protocol version: 1, 2 or 3")
+		multihop = flag.Bool("multihop", false, "place objects in rings of 5 at hops 1-4")
+		ttl      = flag.Int("ttl", 1, "broadcast TTL (hops)")
+		fellow   = flag.Bool("fellow", true, "subject belongs to the covert secret group")
+		churn    = flag.Bool("churn", false, "revoke the subject after the first round and rediscover")
+		seed     = flag.Int64("seed", 1, "simulator RNG seed")
+		state    = flag.String("save-state", "", "write the backend snapshot to this file on exit (inspect with argus-inspect)")
+		trace    = flag.Bool("trace", false, "print every radio message (type, size, time) as it is delivered")
+	)
+	flag.Parse()
+
+	levels, err := parseMix(*mix, *objects)
+	if err != nil {
+		fail(err)
+	}
+	var ver wire.Version
+	switch *version {
+	case 1:
+		ver = wire.V10
+	case 2:
+		ver = wire.V20
+	case 3:
+		ver = wire.V30
+	default:
+		fail(fmt.Errorf("unknown version %d", *version))
+	}
+
+	cfg := exp.DeployConfig{
+		Levels:       levels,
+		Version:      ver,
+		SubjectCosts: exp.PhoneCosts(),
+		ObjectCosts:  exp.PiCosts(),
+		Fellow:       *fellow,
+		Seed:         *seed,
+	}
+	if *multihop {
+		hops := make([]int, *objects)
+		for i := range hops {
+			hops[i] = 1 + i/5
+		}
+		cfg.HopOf = hops
+		if *ttl < 4 {
+			*ttl = 4
+		}
+	}
+
+	d, err := exp.Deploy(cfg)
+	if err != nil {
+		fail(err)
+	}
+	if *trace {
+		d.Net.Snoop(func(from, to netsim.NodeID, payload []byte) {
+			kind := "?"
+			if m, err := wire.Decode(payload); err == nil {
+				kind = m.Type().String()
+			}
+			fmt.Printf("  %-9v %-5s %4d B  node %d → %d\n",
+				d.Net.Now().Round(time.Millisecond), kind, len(payload), from, to)
+		})
+	}
+	counts := map[backend.Level]int{}
+	for _, l := range levels {
+		counts[l]++
+	}
+	fmt.Printf("deployment: %d objects (L1 %d, L2 %d, L3 %d), protocol %v, fellow=%v\n",
+		*objects, counts[backend.L1], counts[backend.L2], counts[backend.L3], ver, *fellow)
+	if *trace {
+		fmt.Println("--- radio trace ---")
+	}
+
+	results, err := d.Run(*ttl)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("\nround 1: discovered %d/%d services\n", len(results), *objects)
+	fmt.Printf("%-12s %-8s %-5s %-10s %s\n", "object", "level", "hops", "at", "functions")
+	for _, r := range results {
+		fmt.Printf("%-12s %-8s %-5d %-10v %v\n",
+			shortID(r.Object.String()), r.Level, d.Net.HopDistance(d.SubjNode, r.Node),
+			r.At.Round(1e6), r.Profile.Functions)
+	}
+	st := d.Net.Stats()
+	fmt.Printf("\nnetwork: %d transmissions, %d B on air, medium busy %v\n",
+		st.Transmissions, st.BytesOnAir, st.MediumBusy.Round(1e6))
+
+	if *state != "" {
+		defer func() {
+			if err := os.WriteFile(*state, d.Backend.Snapshot(), 0o600); err != nil {
+				fail(err)
+			}
+			fmt.Printf("\nbackend snapshot written to %s\n", *state)
+		}()
+	}
+
+	if *churn {
+		fmt.Println("\n--- churn: revoking the subject at the backend ---")
+		rep, err := d.Backend.RevokeSubject(d.Subject.ID())
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("backend notified %d objects (N) and re-keyed %d fellows (γ−1)\n",
+			len(rep.NotifiedObjects), len(rep.NotifiedSubjects))
+		for i, o := range d.Objects {
+			prov, err := d.Backend.ProvisionObject(o.ID())
+			if err != nil {
+				fail(err)
+			}
+			d.Objects[i].Refresh(prov)
+		}
+		before := len(d.Subject.Results())
+		if _, err := d.Run(*ttl); err != nil {
+			fail(err)
+		}
+		after := d.Subject.Results()[before:]
+		var secure int
+		for _, r := range after {
+			if r.Level != backend.L1 {
+				secure++
+			}
+		}
+		fmt.Printf("round 2 (revoked): %d discoveries, %d at Level 2/3 (public Level 1 services remain visible)\n",
+			len(after), secure)
+	}
+}
+
+func parseMix(mix string, n int) ([]backend.Level, error) {
+	parts := strings.Split(mix, ",")
+	cycle := make([]backend.Level, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 || v > 3 {
+			return nil, fmt.Errorf("bad level %q in -mix", p)
+		}
+		cycle = append(cycle, backend.Level(v))
+	}
+	out := make([]backend.Level, n)
+	for i := range out {
+		out[i] = cycle[i%len(cycle)]
+	}
+	return out, nil
+}
+
+func shortID(s string) string {
+	if len(s) > 12 {
+		return s[:12]
+	}
+	return s
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "argus-sim:", err)
+	os.Exit(1)
+}

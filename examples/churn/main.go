@@ -1,0 +1,147 @@
+// Churn: enterprise user churn and the updating overhead of §VIII / Table I.
+// The example provisions a department of objects, walks a new employee
+// through onboarding (overhead 1), lets her discover services, then revokes
+// her (overhead N + γ−1) and shows that de-authorized discovery fails while
+// remaining fellows keep working after the group re-key.
+//
+//	go run ./examples/churn
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"argus/internal/attr"
+	"argus/internal/backend"
+	"argus/internal/cert"
+	"argus/internal/core"
+	"argus/internal/netsim"
+	"argus/internal/scale"
+	"argus/internal/suite"
+	"argus/internal/wire"
+)
+
+const nObjects = 12
+
+func main() {
+	b, err := backend.New(suite.S128)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b.AddPolicy(attr.MustParse("position=='engineer'"),
+		attr.MustParse("type=='equipment'"), []string{"use", "calibrate"})
+	grp, _ := b.Groups.CreateGroup("peer support circle")
+
+	var objIDs []cert.ID
+	for i := 0; i < nObjects; i++ {
+		id, _, err := b.RegisterObject(fmt.Sprintf("equipment-%02d", i), backend.L2,
+			attr.MustSet("type=equipment"), []string{"use", "calibrate"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		objIDs = append(objIDs, id)
+	}
+	kiosk, _, _ := b.RegisterObject("support-kiosk", backend.L3,
+		attr.MustSet("type=kiosk"), []string{"browse"})
+	b.AddCovertService(kiosk, grp.ID(), []string{"browse", "peer-support"})
+	objIDs = append(objIDs, kiosk)
+
+	// --- onboarding ---
+	fmt.Println("== onboarding engineer-eve ==")
+	eve, rep, err := b.RegisterSubject("engineer-eve", attr.MustSet("position=engineer"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	b.AddSubjectToGroup(eve, grp.ID())
+	// A fellow who stays after eve leaves.
+	frank, _, _ := b.RegisterSubject("engineer-frank", attr.MustSet("position=engineer"))
+	b.AddSubjectToGroup(frank, grp.ID())
+
+	fmt.Printf("ground notifications for the new subject: %d (Table I 'Add a subject': 1 backend\n", rep.Total())
+	fmt.Println("contact, zero object updates — vs N for ID-based ACL)")
+
+	deploy := func(who cert.ID) (*core.Subject, *netsim.Network, *backend.SubjectProvision) {
+		net := netsim.New(netsim.DefaultWiFi(), 5)
+		sprov, err := b.ProvisionSubject(who)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := core.NewSubject(sprov, wire.V30, core.Costs{})
+		sn := net.AddNode(s)
+		s.Attach(sn)
+		for _, oid := range objIDs {
+			prov, err := b.ProvisionObject(oid)
+			if err != nil {
+				log.Fatal(err)
+			}
+			o := core.NewObject(prov, wire.V30, core.Costs{})
+			n := net.AddNode(o)
+			o.Attach(n)
+			net.Link(sn, n)
+		}
+		return s, net, sprov
+	}
+
+	fmt.Println("\n== eve discovers ==")
+	s, net, eveOldCreds := deploy(eve)
+	s.Discover(net, 1)
+	net.Run(0)
+	count := map[backend.Level]int{}
+	for _, d := range s.Results() {
+		count[d.Level]++
+	}
+	fmt.Printf("eve sees %d services (L2 %d, L3 %d)\n", len(s.Results()), count[backend.L2], count[backend.L3])
+
+	// --- revocation ---
+	fmt.Println("\n== eve leaves the company ==")
+	rm, err := b.RevokeSubject(eve)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("backend notified %d objects (N) and re-keyed %d fellows (γ−1)\n",
+		len(rm.NotifiedObjects), len(rm.NotifiedSubjects))
+	// γ = 3: eve, frank and the kiosk were fellows of the support circle.
+	model := scale.Of(scale.SchemeArgus, scale.Params{
+		N: len(rm.NotifiedObjects), Alpha: 2, Beta: nObjects, Gamma: 3, XiO: 1, XiS: 1})
+	fmt.Printf("matches the §VIII model: remove-subject overhead N = %d, group re-key γ−1 = %d\n",
+		model.RemoveSubject, model.RemoveGroupMember)
+
+	// Eve's device still holds her old credentials; the objects refuse her.
+	fmt.Println("\n== eve tries again with her old credentials ==")
+	net2 := netsim.New(netsim.DefaultWiFi(), 6)
+	// Eve's device keeps the credentials it was issued before revocation.
+	eveDev := core.NewSubject(eveOldCreds, wire.V30, core.Costs{})
+	sn := net2.AddNode(eveDev)
+	eveDev.Attach(sn)
+	secure := 0
+	for _, oid := range objIDs {
+		prov, err := b.ProvisionObject(oid) // objects have the revocation notice now
+		if err != nil {
+			log.Fatal(err)
+		}
+		o := core.NewObject(prov, wire.V30, core.Costs{})
+		n := net2.AddNode(o)
+		o.Attach(n)
+		net2.Link(sn, n)
+	}
+	eveDev.Discover(net2, 1)
+	net2.Run(0)
+	for _, d := range eveDev.Results() {
+		if d.Level != backend.L1 {
+			secure++
+		}
+	}
+	fmt.Printf("eve now discovers %d Level 2/3 services (was %d)\n", secure, count[backend.L2]+count[backend.L3])
+
+	// Frank, the remaining fellow, received the rotated group key and still
+	// reaches the covert service.
+	fmt.Println("\n== frank (remaining fellow) rediscovers ==")
+	fs, fnet, _ := deploy(frank)
+	fs.Discover(fnet, 1)
+	fnet.Run(0)
+	for _, d := range fs.Results() {
+		if d.Level == backend.L3 {
+			fmt.Printf("frank still sees the covert service: %v\n", d.Profile.Functions)
+		}
+	}
+}

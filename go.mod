@@ -1,0 +1,3 @@
+module argus
+
+go 1.24

@@ -1,0 +1,234 @@
+package abe
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"math/big"
+
+	"argus/internal/pairing"
+)
+
+// PublicKey is the system public key published by the authority (the Argus
+// backend, in the comparison).
+type PublicKey struct {
+	G1 pairing.G1 // generator g1
+	G2 pairing.G2 // generator g2
+	H  pairing.G1 // h = g1^β
+	Y  pairing.GT // Y = e(g1, g2)^α
+}
+
+// MasterKey is the authority's secret.
+type MasterKey struct {
+	Alpha, Beta *big.Int
+}
+
+// PrivateKey is a subject's decryption key: one component pair per attribute.
+type PrivateKey struct {
+	D pairing.G2 // g2^{(α+r)/β}
+	// Components maps attribute token → (Dj, Dj').
+	Components map[string]KeyComponent
+}
+
+// KeyComponent is the per-attribute key material.
+type KeyComponent struct {
+	Dj  pairing.G2 // g2^r · H2(j)^{rj}
+	Djp pairing.G1 // g1^{rj}
+}
+
+// Attributes returns the tokens the key covers.
+func (k *PrivateKey) Attributes() map[string]bool {
+	out := make(map[string]bool, len(k.Components))
+	for a := range k.Components {
+		out[a] = true
+	}
+	return out
+}
+
+// Ciphertext encrypts a GT element under an access tree.
+type Ciphertext struct {
+	Policy *Policy
+	CTilde pairing.GT // M · Y^s
+	C      pairing.G1 // h^s
+	// Leaves maps leaf node → (Cy, Cy') with shares q_y(0) of s.
+	Leaves map[*Policy]LeafCipher
+}
+
+// LeafCipher is the per-leaf ciphertext material.
+type LeafCipher struct {
+	Cy  pairing.G1 // g1^{q_y(0)}
+	Cyp pairing.G2 // H2(attr)^{q_y(0)}
+}
+
+func randomScalar() (*big.Int, error) {
+	return pairing.RandomScalar(func(b []byte) error {
+		_, err := rand.Read(b)
+		return err
+	})
+}
+
+// Setup generates the system keys.
+func Setup() (*PublicKey, *MasterKey, error) {
+	alpha, err := randomScalar()
+	if err != nil {
+		return nil, nil, err
+	}
+	beta, err := randomScalar()
+	if err != nil {
+		return nil, nil, err
+	}
+	g1 := pairing.G1Generator()
+	g2 := pairing.G2Generator()
+	pk := &PublicKey{
+		G1: g1,
+		G2: g2,
+		H:  g1.ScalarMul(beta),
+		Y:  pairing.Pair(g1, g2).Exp(alpha),
+	}
+	return pk, &MasterKey{Alpha: alpha, Beta: beta}, nil
+}
+
+// hashAttrToG2 maps an attribute token into G2.
+func hashAttrToG2(attribute string) pairing.G2 {
+	return pairing.HashToG2([]byte("abe-attr:" + attribute))
+}
+
+// KeyGen issues a private key for a set of attribute tokens.
+func KeyGen(pk *PublicKey, mk *MasterKey, attributes []string) (*PrivateKey, error) {
+	r, err := randomScalar()
+	if err != nil {
+		return nil, err
+	}
+	// D = g2^{(α+r)/β}
+	exp := new(big.Int).Add(mk.Alpha, r)
+	exp.Mul(exp, new(big.Int).ModInverse(mk.Beta, pairing.R))
+	exp.Mod(exp, pairing.R)
+	sk := &PrivateKey{
+		D:          pk.G2.ScalarMul(exp),
+		Components: make(map[string]KeyComponent, len(attributes)),
+	}
+	g2r := pk.G2.ScalarMul(r)
+	for _, a := range attributes {
+		rj, err := randomScalar()
+		if err != nil {
+			return nil, err
+		}
+		sk.Components[a] = KeyComponent{
+			Dj:  g2r.Add(hashAttrToG2(a).ScalarMul(rj)),
+			Djp: pk.G1.ScalarMul(rj),
+		}
+	}
+	return sk, nil
+}
+
+// Encrypt encapsulates a fresh random GT element under the policy and
+// returns the ciphertext together with the derived 32-byte symmetric key
+// (KEM style: key = SHA-256(GT element)). In the Argus comparison the
+// backend runs this for every PROF variant.
+func Encrypt(pk *PublicKey, policy *Policy) (*Ciphertext, [32]byte, error) {
+	var key [32]byte
+	if err := policy.Validate(); err != nil {
+		return nil, key, err
+	}
+	s, err := randomScalar()
+	if err != nil {
+		return nil, key, err
+	}
+	m, err := randomScalar()
+	if err != nil {
+		return nil, key, err
+	}
+	// The encapsulated message is Y^m (a random GT element with known form).
+	msg := pk.Y.Exp(m)
+	key = sha256.Sum256(msg.Bytes())
+
+	shares := make(map[*Policy]*big.Int)
+	if err := shareSecret(policy, s, randomScalar, shares); err != nil {
+		return nil, key, err
+	}
+	ct := &Ciphertext{
+		Policy: policy,
+		CTilde: msg.Mul(pk.Y.Exp(s)),
+		C:      pk.H.ScalarMul(s),
+		Leaves: make(map[*Policy]LeafCipher, len(shares)),
+	}
+	for leaf, share := range shares {
+		if !leaf.IsLeaf() {
+			continue
+		}
+		ct.Leaves[leaf] = LeafCipher{
+			Cy:  pk.G1.ScalarMul(share),
+			Cyp: hashAttrToG2(leaf.Attr).ScalarMul(share),
+		}
+	}
+	return ct, key, nil
+}
+
+// ErrNotSatisfied is returned when the key's attributes do not satisfy the
+// ciphertext policy.
+var ErrNotSatisfied = errors.New("abe: attributes do not satisfy the policy")
+
+// Decrypt recovers the encapsulated symmetric key. Cost: two pairings per
+// used leaf plus one GT exponentiation per tree level — linear in the number
+// of policy attributes (Fig 6c).
+func Decrypt(pk *PublicKey, sk *PrivateKey, ct *Ciphertext) ([32]byte, error) {
+	var key [32]byte
+	if !ct.Policy.Satisfied(sk.Attributes()) {
+		return key, ErrNotSatisfied
+	}
+	a, ok := decryptNode(sk, ct, ct.Policy)
+	if !ok {
+		return key, ErrNotSatisfied
+	}
+	// A = e(g1,g2)^{r·s}; e(C, D) = e(g1,g2)^{(α+r)s};
+	// msg = C~ / (e(C,D)/A) = C~ / e(g1,g2)^{αs}.
+	eCD := pairing.Pair(ct.C, sk.D)
+	msg := ct.CTilde.Mul(eCD.Mul(a.Inv()).Inv())
+	return sha256.Sum256(msg.Bytes()), nil
+}
+
+// decryptNode returns e(g1,g2)^{r·q_x(0)} for a satisfied node x.
+func decryptNode(sk *PrivateKey, ct *Ciphertext, node *Policy) (pairing.GT, bool) {
+	if node.IsLeaf() {
+		comp, ok := sk.Components[node.Attr]
+		if !ok {
+			return pairing.GTOne(), false
+		}
+		lc, ok := ct.Leaves[node]
+		if !ok {
+			return pairing.GTOne(), false
+		}
+		// e(Cy, Dj) / e(Dj', Cy')
+		//   = e(g1^{q}, g2^r·H(j)^{rj}) / e(g1^{rj}, H(j)^{q})
+		//   = e(g1,g2)^{r·q}.
+		num := pairing.Pair(lc.Cy, comp.Dj)
+		den := pairing.Pair(comp.Djp, lc.Cyp)
+		return num.Mul(den.Inv()), true
+	}
+	// Gather satisfied children until the threshold is met.
+	type part struct {
+		idx int64
+		val pairing.GT
+	}
+	var parts []part
+	for i, child := range node.Children {
+		if v, ok := decryptNode(sk, ct, child); ok {
+			parts = append(parts, part{idx: int64(i + 1), val: v})
+			if len(parts) == node.Threshold {
+				break
+			}
+		}
+	}
+	if len(parts) < node.Threshold {
+		return pairing.GTOne(), false
+	}
+	set := make([]int64, len(parts))
+	for i, p := range parts {
+		set[i] = p.idx
+	}
+	acc := pairing.GTOne()
+	for _, p := range parts {
+		acc = acc.Mul(p.val.Exp(lagrangeAtZero(p.idx, set)))
+	}
+	return acc, true
+}

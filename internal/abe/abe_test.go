@@ -1,0 +1,308 @@
+package abe
+
+import (
+	"math/big"
+	"testing"
+
+	"argus/internal/attr"
+	"argus/internal/pairing"
+)
+
+// setupOnce shares one system across tests — Setup costs a pairing.
+var (
+	testPK *PublicKey
+	testMK *MasterKey
+)
+
+func testSystem(t *testing.T) (*PublicKey, *MasterKey) {
+	t.Helper()
+	if testPK == nil {
+		pk, mk, err := Setup()
+		if err != nil {
+			t.Fatal(err)
+		}
+		testPK, testMK = pk, mk
+	}
+	return testPK, testMK
+}
+
+func TestEncryptDecryptAND(t *testing.T) {
+	pk, mk := testSystem(t)
+	policy := And(Leaf("position:manager"), Leaf("department:X"))
+	ct, key, err := Encrypt(pk, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := KeyGen(pk, mk, []string{"position:manager", "department:X", "building:B1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decrypt(pk, sk, ct)
+	if err != nil {
+		t.Fatalf("Decrypt: %v", err)
+	}
+	if got != key {
+		t.Fatal("recovered key differs")
+	}
+}
+
+func TestDecryptFailsWithoutAttributes(t *testing.T) {
+	pk, mk := testSystem(t)
+	policy := And(Leaf("position:manager"), Leaf("department:X"))
+	ct, _, err := Encrypt(pk, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only one of the two required attributes.
+	sk, _ := KeyGen(pk, mk, []string{"position:manager"})
+	if _, err := Decrypt(pk, sk, ct); err != ErrNotSatisfied {
+		t.Fatalf("decryption with insufficient attributes: err = %v", err)
+	}
+	// No attributes at all.
+	skEmpty, _ := KeyGen(pk, mk, nil)
+	if _, err := Decrypt(pk, skEmpty, ct); err != ErrNotSatisfied {
+		t.Fatalf("decryption with no attributes: err = %v", err)
+	}
+}
+
+func TestCollusionResistance(t *testing.T) {
+	// The classic ABE requirement: two users, each holding one of the two
+	// required attributes, must not decrypt together. Their key components
+	// are blinded by different per-user randomness r, so mixing fails.
+	pk, mk := testSystem(t)
+	policy := And(Leaf("a:1"), Leaf("b:2"))
+	ct, key, err := Encrypt(pk, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, _ := KeyGen(pk, mk, []string{"a:1"})
+	bob, _ := KeyGen(pk, mk, []string{"b:2"})
+	// Colluders pool components: alice's D with both attribute components.
+	frank := &PrivateKey{
+		D:          alice.D,
+		Components: map[string]KeyComponent{"a:1": alice.Components["a:1"], "b:2": bob.Components["b:2"]},
+	}
+	got, err := Decrypt(pk, frank, ct)
+	if err == nil && got == key {
+		t.Fatal("collusion recovered the key")
+	}
+}
+
+func TestDecryptOR(t *testing.T) {
+	pk, mk := testSystem(t)
+	policy := Or(Leaf("position:manager"), Leaf("position:director"))
+	ct, key, err := Encrypt(pk, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, _ := KeyGen(pk, mk, []string{"position:director"})
+	got, err := Decrypt(pk, sk, ct)
+	if err != nil || got != key {
+		t.Fatalf("OR decryption failed: %v", err)
+	}
+}
+
+func TestDecryptThreshold(t *testing.T) {
+	pk, mk := testSystem(t)
+	policy := KofN(2, Leaf("a:1"), Leaf("b:2"), Leaf("c:3"))
+	ct, key, err := Encrypt(pk, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly two of three.
+	sk, _ := KeyGen(pk, mk, []string{"a:1", "c:3"})
+	got, err := Decrypt(pk, sk, ct)
+	if err != nil || got != key {
+		t.Fatalf("2-of-3 decryption failed: %v", err)
+	}
+	// One of three is not enough.
+	sk1, _ := KeyGen(pk, mk, []string{"b:2"})
+	if _, err := Decrypt(pk, sk1, ct); err != ErrNotSatisfied {
+		t.Fatalf("1-of-3 decrypted: %v", err)
+	}
+}
+
+func TestNestedPolicy(t *testing.T) {
+	pk, mk := testSystem(t)
+	// (position:manager AND department:X) OR clearance:top
+	policy := Or(
+		And(Leaf("position:manager"), Leaf("department:X")),
+		Leaf("clearance:top"),
+	)
+	ct, key, err := Encrypt(pk, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byClearance, _ := KeyGen(pk, mk, []string{"clearance:top"})
+	if got, err := Decrypt(pk, byClearance, ct); err != nil || got != key {
+		t.Fatalf("clearance path failed: %v", err)
+	}
+	byRole, _ := KeyGen(pk, mk, []string{"position:manager", "department:X"})
+	if got, err := Decrypt(pk, byRole, ct); err != nil || got != key {
+		t.Fatalf("role path failed: %v", err)
+	}
+	neither, _ := KeyGen(pk, mk, []string{"position:manager", "department:Y"})
+	if _, err := Decrypt(pk, neither, ct); err != ErrNotSatisfied {
+		t.Fatalf("unauthorized decrypted: %v", err)
+	}
+}
+
+func TestCiphertextsUseFreshKeys(t *testing.T) {
+	pk, _ := testSystem(t)
+	policy := Leaf("a:1")
+	_, k1, _ := Encrypt(pk, policy)
+	_, k2, _ := Encrypt(pk, policy)
+	if k1 == k2 {
+		t.Fatal("two encryptions produced the same key")
+	}
+}
+
+func TestPolicyValidate(t *testing.T) {
+	bad := []*Policy{
+		{}, // leaf without attribute
+		{Threshold: 0, Children: []*Policy{Leaf("a:1")}}, // k < 1
+		{Threshold: 3, Children: []*Policy{Leaf("a:1")}}, // k > n
+		And(Leaf("a:1"), &Policy{}),                      // bad child
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid policy accepted", i)
+		}
+	}
+	if err := And(Leaf("a:1"), Or(Leaf("b:2"), Leaf("c:3"))).Validate(); err != nil {
+		t.Errorf("valid policy rejected: %v", err)
+	}
+	if _, _, err := Encrypt(testPK, &Policy{}); err == nil {
+		t.Error("Encrypt accepted invalid policy")
+	}
+}
+
+func TestFromPredicate(t *testing.T) {
+	p, err := FromPredicate(attr.MustParse("position=='manager' && department=='X'"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := p.Leaves()
+	if len(leaves) != 2 || leaves[0] != "position:manager" || leaves[1] != "department:X" {
+		t.Fatalf("leaves = %v", leaves)
+	}
+	if _, err := FromPredicate(attr.MustParse("position!='manager'")); err == nil {
+		t.Fatal("non-monotone predicate accepted")
+	}
+	if _, err := FromPredicate(attr.MustParse("has(badge)")); err == nil {
+		t.Fatal("presence test accepted (not expressible as an ABE leaf)")
+	}
+	if _, err := FromPredicate(attr.MustParse("true")); err == nil {
+		t.Fatal("empty policy accepted")
+	}
+	single, err := FromPredicate(attr.MustParse("a=='1'"))
+	if err != nil || !single.IsLeaf() {
+		t.Fatalf("single-attribute predicate: %v, %v", single, err)
+	}
+	// Full monotone fragment: nested AND/OR converts and flattens.
+	nested, err := FromPredicate(attr.MustParse(
+		"(position=='manager' && department=='X') || clearance=='top' || clearance=='exec'"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nested.Threshold != 1 || len(nested.Children) != 3 {
+		t.Fatalf("nested tree = %v", nested)
+	}
+	if err := nested.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The converted tree's satisfaction agrees with the original predicate.
+	for _, tc := range []struct {
+		set  string
+		want bool
+	}{
+		{"position=manager,department=X", true},
+		{"clearance=exec", true},
+		{"position=manager,department=Y", false},
+		{"", false},
+	} {
+		s := attr.MustSet(tc.set)
+		tokens := map[string]bool{}
+		for _, tok := range AttrTokens(s) {
+			tokens[tok] = true
+		}
+		if got := nested.Satisfied(tokens); got != tc.want {
+			t.Errorf("Satisfied(%q) = %v, want %v", tc.set, got, tc.want)
+		}
+	}
+}
+
+func TestMonotoneConversionAgreesWithPredicate(t *testing.T) {
+	preds := []string{
+		"a=='1'",
+		"a=='1' && b=='2'",
+		"a=='1' || b=='2'",
+		"(a=='1' || b=='2') && (c=='3' || d=='4')",
+		"a=='1' && (b=='2' || (c=='3' && d=='4'))",
+	}
+	sets := []attr.Set{
+		{}, attr.MustSet("a=1"), attr.MustSet("b=2,c=3"),
+		attr.MustSet("a=1,c=3"), attr.MustSet("a=1,b=2,c=3,d=4"),
+		attr.MustSet("d=4"), attr.MustSet("a=2,b=2"),
+	}
+	for _, text := range preds {
+		p := attr.MustParse(text)
+		m, err := p.Monotone()
+		if err != nil {
+			t.Fatalf("%q: %v", text, err)
+		}
+		tree := fromMonotone(m)
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("%q: invalid tree: %v", text, err)
+		}
+		for _, s := range sets {
+			tokens := map[string]bool{}
+			for _, tok := range AttrTokens(s) {
+				tokens[tok] = true
+			}
+			if p.Eval(s) != tree.Satisfied(tokens) {
+				t.Errorf("%q disagrees with ABE tree on %v", text, s)
+			}
+			if p.Eval(s) != m.Eval(s) {
+				t.Errorf("%q disagrees with monotone form on %v", text, s)
+			}
+		}
+	}
+}
+
+func TestAttrTokens(t *testing.T) {
+	tokens := AttrTokens(attr.MustSet("position=manager,department=X"))
+	if len(tokens) != 2 || tokens[0] != "department:X" || tokens[1] != "position:manager" {
+		t.Fatalf("tokens = %v", tokens)
+	}
+}
+
+func TestSecretSharingInternals(t *testing.T) {
+	// Share a secret over 2-of-3 and recombine with Lagrange coefficients.
+	secret := big.NewInt(424242)
+	tree := KofN(2, Leaf("a"), Leaf("b"), Leaf("c"))
+	shares := make(map[*Policy]*big.Int)
+	src := func() (*big.Int, error) { return big.NewInt(777), nil }
+	if err := shareSecret(tree, secret, src, shares); err != nil {
+		t.Fatal(err)
+	}
+	// Recombine children 1 and 3.
+	s1 := shares[tree.Children[0]]
+	s3 := shares[tree.Children[2]]
+	set := []int64{1, 3}
+	got := new(big.Int)
+	got.Add(got, new(big.Int).Mul(s1, lagrangeAtZero(1, set)))
+	got.Add(got, new(big.Int).Mul(s3, lagrangeAtZero(3, set)))
+	got.Mod(got, pairing.R)
+	if got.Cmp(secret) != 0 {
+		t.Fatalf("recombined %v, want %v", got, secret)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	p := And(Leaf("a:1"), Or(Leaf("b:2"), Leaf("c:3")))
+	want := "2-of(a:1, 1-of(b:2, c:3))"
+	if p.String() != want {
+		t.Fatalf("String = %q, want %q", p.String(), want)
+	}
+}

@@ -1,0 +1,285 @@
+package abe
+
+import (
+	"errors"
+	"sort"
+
+	"argus/internal/enc"
+	"argus/internal/pairing"
+)
+
+// Wire encodings for distributing ABE material: the backend publishes the
+// PublicKey, issues PrivateKeys to subjects over the secure bootstrap
+// channel, and ships Ciphertexts (encrypted PROF variants) to objects.
+
+const (
+	policyLeafTag = 0
+	policyNodeTag = 1
+)
+
+func encodePolicy(w *enc.Writer, p *Policy) {
+	if p.IsLeaf() {
+		w.U8(policyLeafTag)
+		w.String16(p.Attr)
+		return
+	}
+	w.U8(policyNodeTag)
+	w.U16(uint16(p.Threshold))
+	w.U16(uint16(len(p.Children)))
+	for _, c := range p.Children {
+		encodePolicy(w, c)
+	}
+}
+
+func decodePolicy(r *enc.Reader, depth int) (*Policy, error) {
+	if depth > 32 {
+		return nil, errors.New("abe: policy tree too deep")
+	}
+	switch r.U8() {
+	case policyLeafTag:
+		return &Policy{Attr: r.String16()}, nil
+	case policyNodeTag:
+		k := int(r.U16())
+		n := int(r.U16())
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if n < 1 || n > 4096 {
+			return nil, errors.New("abe: invalid child count")
+		}
+		node := &Policy{Threshold: k, Children: make([]*Policy, n)}
+		for i := 0; i < n; i++ {
+			c, err := decodePolicy(r, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			node.Children[i] = c
+		}
+		return node, nil
+	default:
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		return nil, errors.New("abe: bad policy tag")
+	}
+}
+
+// MarshalPolicy encodes an access tree.
+func MarshalPolicy(p *Policy) ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	w := enc.NewWriter(64)
+	encodePolicy(w, p)
+	return w.Bytes(), nil
+}
+
+// UnmarshalPolicy decodes and validates an access tree.
+func UnmarshalPolicy(b []byte) (*Policy, error) {
+	r := enc.NewReader(b)
+	p, err := decodePolicy(r, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Marshal encodes the system public key.
+func (pk *PublicKey) Marshal() []byte {
+	w := enc.NewWriter(1024)
+	w.Raw(pk.G1.Marshal())
+	w.Raw(pk.G2.Marshal())
+	w.Raw(pk.H.Marshal())
+	w.Raw(pk.Y.Marshal())
+	return w.Bytes()
+}
+
+// UnmarshalPublicKey decodes and validates a system public key.
+func UnmarshalPublicKey(b []byte) (*PublicKey, error) {
+	r := enc.NewReader(b)
+	g1b := r.Raw(pairing.G1MarshalLen)
+	g2b := r.Raw(pairing.G2MarshalLen)
+	hb := r.Raw(pairing.G1MarshalLen)
+	yb := r.Raw(pairing.GTMarshalLen)
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	g1, err := pairing.UnmarshalG1(g1b)
+	if err != nil {
+		return nil, err
+	}
+	g2, err := pairing.UnmarshalG2(g2b)
+	if err != nil {
+		return nil, err
+	}
+	h, err := pairing.UnmarshalG1(hb)
+	if err != nil {
+		return nil, err
+	}
+	y, err := pairing.UnmarshalGT(yb)
+	if err != nil {
+		return nil, err
+	}
+	return &PublicKey{G1: g1, G2: g2, H: h, Y: y}, nil
+}
+
+// Marshal encodes a subject's private key.
+func (sk *PrivateKey) Marshal() []byte {
+	w := enc.NewWriter(256)
+	w.Raw(sk.D.Marshal())
+	attrs := make([]string, 0, len(sk.Components))
+	for a := range sk.Components {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	w.U16(uint16(len(attrs)))
+	for _, a := range attrs {
+		comp := sk.Components[a]
+		w.String16(a)
+		w.Raw(comp.Dj.Marshal())
+		w.Raw(comp.Djp.Marshal())
+	}
+	return w.Bytes()
+}
+
+// UnmarshalPrivateKey decodes and validates a private key.
+func UnmarshalPrivateKey(b []byte) (*PrivateKey, error) {
+	r := enc.NewReader(b)
+	db := r.Raw(pairing.G2MarshalLen)
+	n := int(r.U16())
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	d, err := pairing.UnmarshalG2(db)
+	if err != nil {
+		return nil, err
+	}
+	sk := &PrivateKey{D: d, Components: make(map[string]KeyComponent, n)}
+	for i := 0; i < n; i++ {
+		a := r.String16()
+		djb := r.Raw(pairing.G2MarshalLen)
+		djpb := r.Raw(pairing.G1MarshalLen)
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		dj, err := pairing.UnmarshalG2(djb)
+		if err != nil {
+			return nil, err
+		}
+		djp, err := pairing.UnmarshalG1(djpb)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := sk.Components[a]; dup {
+			return nil, errors.New("abe: duplicate attribute component")
+		}
+		sk.Components[a] = KeyComponent{Dj: dj, Djp: djp}
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return sk, nil
+}
+
+// Marshal encodes a ciphertext. Leaf ciphers are serialized in tree order so
+// the mapping can be rebuilt on decode.
+func (ct *Ciphertext) Marshal() ([]byte, error) {
+	polBytes, err := MarshalPolicy(ct.Policy)
+	if err != nil {
+		return nil, err
+	}
+	w := enc.NewWriter(1024)
+	w.Bytes16(polBytes)
+	w.Raw(ct.CTilde.Marshal())
+	w.Raw(ct.C.Marshal())
+	var leafErr error
+	var walk func(p *Policy)
+	walk = func(p *Policy) {
+		if p.IsLeaf() {
+			lc, ok := ct.Leaves[p]
+			if !ok {
+				leafErr = errors.New("abe: ciphertext missing leaf material")
+				return
+			}
+			w.Raw(lc.Cy.Marshal())
+			w.Raw(lc.Cyp.Marshal())
+			return
+		}
+		for _, c := range p.Children {
+			walk(c)
+		}
+	}
+	walk(ct.Policy)
+	if leafErr != nil {
+		return nil, leafErr
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalCiphertext decodes and validates a ciphertext.
+func UnmarshalCiphertext(b []byte) (*Ciphertext, error) {
+	r := enc.NewReader(b)
+	polBytes := r.Bytes16()
+	ctb := r.Raw(pairing.GTMarshalLen)
+	cb := r.Raw(pairing.G1MarshalLen)
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	policy, err := UnmarshalPolicy(polBytes)
+	if err != nil {
+		return nil, err
+	}
+	ctilde, err := pairing.UnmarshalGT(ctb)
+	if err != nil {
+		return nil, err
+	}
+	c, err := pairing.UnmarshalG1(cb)
+	if err != nil {
+		return nil, err
+	}
+	ct := &Ciphertext{Policy: policy, CTilde: ctilde, C: c, Leaves: make(map[*Policy]LeafCipher)}
+	var walkErr error
+	var walk func(p *Policy)
+	walk = func(p *Policy) {
+		if walkErr != nil {
+			return
+		}
+		if p.IsLeaf() {
+			cyb := r.Raw(pairing.G1MarshalLen)
+			cypb := r.Raw(pairing.G2MarshalLen)
+			if r.Err() != nil {
+				walkErr = r.Err()
+				return
+			}
+			cy, err := pairing.UnmarshalG1(cyb)
+			if err != nil {
+				walkErr = err
+				return
+			}
+			cyp, err := pairing.UnmarshalG2(cypb)
+			if err != nil {
+				walkErr = err
+				return
+			}
+			ct.Leaves[p] = LeafCipher{Cy: cy, Cyp: cyp}
+			return
+		}
+		for _, child := range p.Children {
+			walk(child)
+		}
+	}
+	walk(policy)
+	if walkErr != nil {
+		return nil, walkErr
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return ct, nil
+}

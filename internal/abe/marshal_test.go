@@ -1,0 +1,139 @@
+package abe
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPolicyMarshalRoundTrip(t *testing.T) {
+	policies := []*Policy{
+		Leaf("a:1"),
+		And(Leaf("a:1"), Leaf("b:2")),
+		Or(And(Leaf("a:1"), Leaf("b:2")), Leaf("c:3")),
+		KofN(2, Leaf("a:1"), Leaf("b:2"), Leaf("c:3"), Leaf("d:4")),
+	}
+	for i, p := range policies {
+		b, err := MarshalPolicy(p)
+		if err != nil {
+			t.Fatalf("policy %d: %v", i, err)
+		}
+		got, err := UnmarshalPolicy(b)
+		if err != nil {
+			t.Fatalf("policy %d: %v", i, err)
+		}
+		if got.String() != p.String() {
+			t.Fatalf("policy %d: %q vs %q", i, got.String(), p.String())
+		}
+	}
+}
+
+func TestPolicyUnmarshalRejects(t *testing.T) {
+	good, _ := MarshalPolicy(And(Leaf("a:1"), Leaf("b:2")))
+	if _, err := UnmarshalPolicy(good[:len(good)-2]); err == nil {
+		t.Error("truncated policy accepted")
+	}
+	if _, err := UnmarshalPolicy(append(good, 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	if _, err := UnmarshalPolicy([]byte{9}); err == nil {
+		t.Error("bad tag accepted")
+	}
+	if _, err := UnmarshalPolicy(nil); err == nil {
+		t.Error("empty policy accepted")
+	}
+	// Invalid threshold rejected via Validate.
+	bad, _ := MarshalPolicy(And(Leaf("a:1"), Leaf("b:2")))
+	bad[1+0] = 0 // threshold byte (U16 high byte is index 1)
+	bad[2] = 9   // threshold 9 > 2 children
+	if _, err := UnmarshalPolicy(bad); err == nil {
+		t.Error("invalid threshold accepted")
+	}
+}
+
+func TestPublicKeyMarshalRoundTrip(t *testing.T) {
+	pk, _ := testSystem(t)
+	b := pk.Marshal()
+	got, err := UnmarshalPublicKey(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.G1.Equal(pk.G1) || !got.G2.Equal(pk.G2) || !got.H.Equal(pk.H) || !got.Y.Equal(pk.Y) {
+		t.Fatal("round trip mismatch")
+	}
+	if _, err := UnmarshalPublicKey(b[:50]); err == nil {
+		t.Error("short public key accepted")
+	}
+}
+
+func TestPrivateKeyMarshalRoundTrip(t *testing.T) {
+	pk, mk := testSystem(t)
+	sk, err := KeyGen(pk, mk, []string{"a:1", "b:2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := sk.Marshal()
+	got, err := UnmarshalPrivateKey(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.D.Equal(sk.D) || len(got.Components) != 2 {
+		t.Fatal("round trip mismatch")
+	}
+	for a, comp := range sk.Components {
+		g, ok := got.Components[a]
+		if !ok || !g.Dj.Equal(comp.Dj) || !g.Djp.Equal(comp.Djp) {
+			t.Fatalf("component %q mismatch", a)
+		}
+	}
+	if _, err := UnmarshalPrivateKey(b[:64]); err == nil {
+		t.Error("truncated private key accepted")
+	}
+}
+
+// TestCiphertextMarshalRoundTripAndDecrypt is the full distribution story:
+// the backend serializes the encrypted profile variant, the object stores the
+// bytes, the subject decrypts after deserialization.
+func TestCiphertextMarshalRoundTripAndDecrypt(t *testing.T) {
+	pk, mk := testSystem(t)
+	policy := Or(And(Leaf("a:1"), Leaf("b:2")), Leaf("c:3"))
+	ct, key, err := Encrypt(pk, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ct.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalCiphertext(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deserialized ciphertext must decrypt with a deserialized key.
+	sk, _ := KeyGen(pk, mk, []string{"c:3"})
+	sk2, err := UnmarshalPrivateKey(sk.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk2, err := UnmarshalPublicKey(pk.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := Decrypt(pk2, sk2, got)
+	if err != nil {
+		t.Fatalf("decrypt after round trip: %v", err)
+	}
+	if recovered != key {
+		t.Fatal("recovered key differs after serialization")
+	}
+	// Re-marshal is stable.
+	b2, err := got.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Fatal("re-marshal differs")
+	}
+	if _, err := UnmarshalCiphertext(b[:len(b)/2]); err == nil {
+		t.Error("truncated ciphertext accepted")
+	}
+}

@@ -1,0 +1,217 @@
+// Package abe implements Bethencourt–Sahai–Waters ciphertext-policy
+// attribute-based encryption (CP-ABE, SP'07) over the BN254 pairing — the
+// baseline the paper compares Argus Level 2 against (§VIII, Fig 6c).
+//
+// The backend encrypts each PROF variant under an access policy; a subject
+// holds one key component per attribute and can decrypt exactly the variants
+// whose policies her attributes satisfy. Decryption costs two pairings plus a
+// GT exponentiation per policy attribute, which is why Fig 6(c) is linear in
+// the attribute count — the cost structure emerges from the construction, it
+// is not modeled.
+package abe
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"argus/internal/attr"
+	"argus/internal/pairing"
+)
+
+// Policy is a threshold access tree: leaves name attributes; an interior node
+// with n children and threshold k is satisfied when k children are satisfied.
+// AND is k=n, OR is k=1.
+type Policy struct {
+	// Attr is the attribute token for leaves ("name:value"); empty for
+	// interior nodes.
+	Attr string
+	// Threshold k (interior nodes only).
+	Threshold int
+	Children  []*Policy
+}
+
+// Leaf returns a leaf node for one attribute token.
+func Leaf(attribute string) *Policy { return &Policy{Attr: attribute} }
+
+// And returns a node satisfied only when all children are.
+func And(children ...*Policy) *Policy {
+	return &Policy{Threshold: len(children), Children: children}
+}
+
+// Or returns a node satisfied when any child is.
+func Or(children ...*Policy) *Policy {
+	return &Policy{Threshold: 1, Children: children}
+}
+
+// Threshold returns a k-of-n node.
+func KofN(k int, children ...*Policy) *Policy {
+	return &Policy{Threshold: k, Children: children}
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (p *Policy) IsLeaf() bool { return len(p.Children) == 0 }
+
+// Validate checks structural sanity.
+func (p *Policy) Validate() error {
+	if p == nil {
+		return errors.New("abe: nil policy")
+	}
+	if p.IsLeaf() {
+		if p.Attr == "" {
+			return errors.New("abe: leaf without attribute")
+		}
+		return nil
+	}
+	if p.Threshold < 1 || p.Threshold > len(p.Children) {
+		return fmt.Errorf("abe: threshold %d of %d children", p.Threshold, len(p.Children))
+	}
+	for _, c := range p.Children {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Leaves returns all leaf attribute tokens (with duplicates, in tree order).
+func (p *Policy) Leaves() []string {
+	if p.IsLeaf() {
+		return []string{p.Attr}
+	}
+	var out []string
+	for _, c := range p.Children {
+		out = append(out, c.Leaves()...)
+	}
+	return out
+}
+
+// Satisfied reports whether the attribute set (as tokens) satisfies the tree.
+func (p *Policy) Satisfied(attrs map[string]bool) bool {
+	if p.IsLeaf() {
+		return attrs[p.Attr]
+	}
+	n := 0
+	for _, c := range p.Children {
+		if c.Satisfied(attrs) {
+			n++
+		}
+	}
+	return n >= p.Threshold
+}
+
+// String renders the tree.
+func (p *Policy) String() string {
+	if p.IsLeaf() {
+		return p.Attr
+	}
+	s := fmt.Sprintf("%d-of(", p.Threshold)
+	for i, c := range p.Children {
+		if i > 0 {
+			s += ", "
+		}
+		s += c.String()
+	}
+	return s + ")"
+}
+
+// FromPredicate converts an attr predicate consisting of equality tests,
+// AND and OR into an access tree; tokens are "name:value". It rejects
+// negations, inequalities and numeric comparisons — CP-ABE policies are
+// monotone, which is itself part of the §VIII comparison: Argus predicates
+// can express negative conditions that ABE cannot enforce cheaply.
+func FromPredicate(p *attr.Predicate) (*Policy, error) {
+	m, err := p.Monotone()
+	if err != nil {
+		return nil, errors.New("abe: " + err.Error())
+	}
+	return fromMonotone(m), nil
+}
+
+func fromMonotone(m *attr.Monotone) *Policy {
+	switch m.Op {
+	case attr.MonotoneLeaf:
+		return Leaf(m.Pair.String())
+	case attr.MonotoneAnd:
+		children := make([]*Policy, len(m.Children))
+		for i, c := range m.Children {
+			children[i] = fromMonotone(c)
+		}
+		return And(children...)
+	default: // MonotoneOr
+		children := make([]*Policy, len(m.Children))
+		for i, c := range m.Children {
+			children[i] = fromMonotone(c)
+		}
+		return Or(children...)
+	}
+}
+
+// AttrTokens converts an attribute set into ABE tokens.
+func AttrTokens(s attr.Set) []string {
+	names := s.Names()
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = n + ":" + s[n]
+	}
+	return out
+}
+
+// shareSecret splits secret s over the tree: each leaf receives its share
+// q_leaf(0). Shamir per node: polynomial of degree k−1 with q(0) = parent
+// share; child i (1-based) gets q(i).
+func shareSecret(p *Policy, secret *big.Int, rng scalarSource, out map[*Policy]*big.Int) error {
+	if p.IsLeaf() {
+		out[p] = secret
+		return nil
+	}
+	// coeffs[0] = secret, rest random.
+	coeffs := make([]*big.Int, p.Threshold)
+	coeffs[0] = secret
+	for i := 1; i < p.Threshold; i++ {
+		c, err := rng()
+		if err != nil {
+			return err
+		}
+		coeffs[i] = c
+	}
+	for i, child := range p.Children {
+		x := big.NewInt(int64(i + 1))
+		share := evalPoly(coeffs, x)
+		if err := shareSecret(child, share, rng, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evalPoly evaluates the polynomial with the given coefficients at x, mod r.
+func evalPoly(coeffs []*big.Int, x *big.Int) *big.Int {
+	acc := new(big.Int)
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		acc.Mul(acc, x)
+		acc.Add(acc, coeffs[i])
+		acc.Mod(acc, pairing.R)
+	}
+	return acc
+}
+
+// lagrangeAtZero returns Δ_{i,S}(0) = Π_{j∈S, j≠i} (0−j)/(i−j) mod r.
+func lagrangeAtZero(i int64, set []int64) *big.Int {
+	num := big.NewInt(1)
+	den := big.NewInt(1)
+	for _, j := range set {
+		if j == i {
+			continue
+		}
+		num.Mul(num, big.NewInt(-j))
+		num.Mod(num, pairing.R)
+		den.Mul(den, big.NewInt(i-j))
+		den.Mod(den, pairing.R)
+	}
+	den.ModInverse(den, pairing.R)
+	num.Mul(num, den)
+	return num.Mod(num, pairing.R)
+}
+
+type scalarSource func() (*big.Int, error)

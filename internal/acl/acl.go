@@ -1,0 +1,92 @@
+// Package acl implements the ID-based access-control-list baseline of §VIII:
+// every object locally stores the enumerated identities of the subjects
+// allowed to discover it. Discovery is a trivial membership check; the cost
+// of the scheme is churn — adding or removing a subject requires notifying
+// every one of the N objects she can access, which is what Table I charges
+// against it.
+package acl
+
+import (
+	"fmt"
+	"sort"
+)
+
+// System is a deployment of ID-ACL objects.
+type System struct {
+	objects map[string]*ObjectACL
+	// grants remembers which objects each subject was granted, so revocation
+	// knows whom to notify.
+	grants map[string]map[string]bool
+}
+
+// ObjectACL is one object's local access list.
+type ObjectACL struct {
+	ID      string
+	allowed map[string]bool
+}
+
+// MayDiscover reports whether the subject is on the object's list — the
+// entirety of the baseline's discovery-time policy check.
+func (o *ObjectACL) MayDiscover(subject string) bool { return o.allowed[subject] }
+
+// Size returns the number of enumerated identities the object stores.
+func (o *ObjectACL) Size() int { return len(o.allowed) }
+
+// New creates an empty deployment.
+func New() *System {
+	return &System{
+		objects: make(map[string]*ObjectACL),
+		grants:  make(map[string]map[string]bool),
+	}
+}
+
+// AddObject registers an object.
+func (s *System) AddObject(id string) *ObjectACL {
+	o := &ObjectACL{ID: id, allowed: make(map[string]bool)}
+	s.objects[id] = o
+	return o
+}
+
+// Object returns a registered object.
+func (s *System) Object(id string) (*ObjectACL, error) {
+	o, ok := s.objects[id]
+	if !ok {
+		return nil, fmt.Errorf("acl: unknown object %q", id)
+	}
+	return o, nil
+}
+
+// GrantAccess adds the subject to the ACLs of the given objects — the
+// "add a subject" operation. The returned count is the updating overhead:
+// one notification per object (N in Table I).
+func (s *System) GrantAccess(subject string, objects []string) (notified int, err error) {
+	for _, oid := range objects {
+		o, ok := s.objects[oid]
+		if !ok {
+			return notified, fmt.Errorf("acl: unknown object %q", oid)
+		}
+		if !o.allowed[subject] {
+			o.allowed[subject] = true
+			notified++
+		}
+		if s.grants[subject] == nil {
+			s.grants[subject] = make(map[string]bool)
+		}
+		s.grants[subject][oid] = true
+	}
+	return notified, nil
+}
+
+// RevokeSubject removes the subject from every ACL that lists her — the
+// "remove a subject" operation, again N notifications.
+func (s *System) RevokeSubject(subject string) (notified []string) {
+	for oid := range s.grants[subject] {
+		if o, ok := s.objects[oid]; ok && o.allowed[subject] {
+			delete(o.allowed, subject)
+			notified = append(notified, oid)
+		}
+	}
+	delete(s.grants, subject)
+	sort.Strings(notified)
+	return notified
+}

@@ -1,0 +1,90 @@
+package acl
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestGrantAndDiscover(t *testing.T) {
+	s := New()
+	for i := 0; i < 5; i++ {
+		s.AddObject(fmt.Sprintf("lock-%d", i))
+	}
+	n, err := s.GrantAccess("alice", []string{"lock-0", "lock-1", "lock-2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("grant notified %d, want N = 3", n)
+	}
+	o0, _ := s.Object("lock-0")
+	o4, _ := s.Object("lock-4")
+	if !o0.MayDiscover("alice") {
+		t.Fatal("granted object rejects alice")
+	}
+	if o4.MayDiscover("alice") {
+		t.Fatal("ungranted object admits alice")
+	}
+	if o0.MayDiscover("bob") {
+		t.Fatal("unknown subject admitted")
+	}
+}
+
+func TestGrantIdempotent(t *testing.T) {
+	s := New()
+	s.AddObject("o")
+	s.GrantAccess("alice", []string{"o"})
+	n, _ := s.GrantAccess("alice", []string{"o"})
+	if n != 0 {
+		t.Fatalf("re-grant notified %d, want 0", n)
+	}
+}
+
+func TestRevokeNotifiesAllGrantedObjects(t *testing.T) {
+	s := New()
+	objs := make([]string, 100)
+	for i := range objs {
+		objs[i] = fmt.Sprintf("obj-%03d", i)
+		s.AddObject(objs[i])
+	}
+	s.GrantAccess("alice", objs)
+	notified := s.RevokeSubject("alice")
+	// Table I: removing a subject costs N notifications.
+	if len(notified) != 100 {
+		t.Fatalf("revocation notified %d objects, want N = 100", len(notified))
+	}
+	for _, oid := range objs {
+		o, _ := s.Object(oid)
+		if o.MayDiscover("alice") {
+			t.Fatalf("object %s still admits alice", oid)
+		}
+	}
+	// Second revocation is a no-op.
+	if len(s.RevokeSubject("alice")) != 0 {
+		t.Fatal("double revocation notified objects")
+	}
+}
+
+func TestGrantUnknownObject(t *testing.T) {
+	s := New()
+	if _, err := s.GrantAccess("alice", []string{"ghost"}); err == nil {
+		t.Fatal("grant to unknown object succeeded")
+	}
+	if _, err := s.Object("ghost"); err == nil {
+		t.Fatal("unknown object returned")
+	}
+}
+
+func TestACLSizeGrowsWithSubjects(t *testing.T) {
+	// The structural weakness vs Argus: the object's state is linear in the
+	// number of authorized individuals, not categories.
+	s := New()
+	s.AddObject("door")
+	for i := 0; i < 50; i++ {
+		s.GrantAccess(fmt.Sprintf("user-%d", i), []string{"door"})
+	}
+	o, _ := s.Object("door")
+	if o.Size() != 50 {
+		t.Fatalf("ACL size = %d, want 50", o.Size())
+	}
+}

@@ -1,0 +1,103 @@
+// Package attr implements the attribute model underlying Argus policies:
+// typed attribute sets carried by subject/object profiles, and the predicate
+// language used by access-control policies and Level-2 PROF variants, e.g.
+//
+//	position=='manager' && department=='X'
+//
+// (§II-B of the paper). Predicates are parsed into an AST that can be
+// evaluated against an attribute set, canonicalized, and serialized. The same
+// predicates drive the CP-ABE baseline, where the number of attributes
+// referenced by a policy determines decryption cost (Fig 6c).
+package attr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Set is a collection of named attributes. Values are strings; numeric
+// comparisons in predicates parse values as integers on demand.
+//
+// Non-sensitive attributes (e.g. position, department) live in signed PROFs
+// and may be publicly disclosed; sensitive attributes never appear in any
+// message — they exist only in the backend's database, where they map to
+// secret groups (§II-B, §VI).
+type Set map[string]string
+
+// Clone returns an independent copy of the set.
+func (s Set) Clone() Set {
+	out := make(Set, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// Names returns the attribute names in sorted order.
+func (s Set) Names() []string {
+	names := make([]string, 0, len(s))
+	for k := range s {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders the set deterministically as "k1=v1,k2=v2" with sorted keys.
+func (s Set) String() string {
+	var b strings.Builder
+	for i, k := range s.Names() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(s[k])
+	}
+	return b.String()
+}
+
+// ParseSet parses the "k1=v1,k2=v2" form produced by String. Whitespace
+// around keys and values is trimmed. An empty string yields an empty set.
+func ParseSet(text string) (Set, error) {
+	s := make(Set)
+	text = strings.TrimSpace(text)
+	if text == "" {
+		return s, nil
+	}
+	for _, pair := range strings.Split(text, ",") {
+		k, v, ok := strings.Cut(pair, "=")
+		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+		if !ok || k == "" {
+			return nil, fmt.Errorf("attr: malformed pair %q", pair)
+		}
+		if _, dup := s[k]; dup {
+			return nil, fmt.Errorf("attr: duplicate attribute %q", k)
+		}
+		s[k] = v
+	}
+	return s, nil
+}
+
+// MustSet is ParseSet that panics on error; for tests and examples.
+func MustSet(text string) Set {
+	s, err := ParseSet(text)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Equal reports whether two sets contain exactly the same attributes.
+func (s Set) Equal(o Set) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for k, v := range s {
+		if ov, ok := o[k]; !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}

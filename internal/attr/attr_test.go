@@ -1,0 +1,273 @@
+package attr
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseSetRoundTrip(t *testing.T) {
+	cases := []string{
+		"",
+		"position=manager",
+		"department=X,position=manager",
+		"building=B2,department=CS,position=student,year=3",
+	}
+	for _, text := range cases {
+		s, err := ParseSet(text)
+		if err != nil {
+			t.Fatalf("ParseSet(%q): %v", text, err)
+		}
+		if got := s.String(); got != text {
+			t.Errorf("round trip %q → %q", text, got)
+		}
+	}
+}
+
+func TestParseSetErrors(t *testing.T) {
+	for _, text := range []string{"nopair", "=v", "a=1,a=2", "a=1,,b=2"} {
+		if _, err := ParseSet(text); err == nil {
+			t.Errorf("ParseSet(%q) succeeded, want error", text)
+		}
+	}
+}
+
+func TestSetCloneIndependence(t *testing.T) {
+	s := MustSet("a=1,b=2")
+	c := s.Clone()
+	c["a"] = "9"
+	if s["a"] != "1" {
+		t.Fatal("Clone aliases original")
+	}
+	if !s.Equal(MustSet("b=2,a=1")) {
+		t.Fatal("Equal is order sensitive")
+	}
+	if s.Equal(c) {
+		t.Fatal("Equal misses difference")
+	}
+}
+
+func TestPredicateEval(t *testing.T) {
+	manager := MustSet("position=manager,department=X")
+	student := MustSet("position=student,department=CS,year=3")
+	empty := Set{}
+
+	cases := []struct {
+		pred string
+		set  Set
+		want bool
+	}{
+		// The paper's running example (§II-B).
+		{"position=='manager' && department=='X'", manager, true},
+		{"position=='manager' && department=='X'", student, false},
+		{"position=='manager' && department=='X'", empty, false},
+		{"position=='manager' || position=='student'", student, true},
+		{"position!='manager'", student, true},
+		{"position!='manager'", manager, false},
+		{"position!='manager'", empty, true}, // absent attribute satisfies !=
+		{"has(year)", student, true},
+		{"has(year)", manager, false},
+		{"!has(year)", manager, true},
+		{"year==3", student, true},
+		{"year>=2", student, true},
+		{"year>3", student, false},
+		{"year<5 && year>1", student, true},
+		{"year==3", manager, false}, // absent numeric attribute
+		{"true", empty, true},
+		{"false", manager, false},
+		{"(position=='manager' || position=='director') && department=='X'", manager, true},
+		{"!(position=='manager' && department=='X')", manager, false},
+		{"position<'n'", manager, true},  // string ordering: "manager" < "n"
+		{"position>='s'", student, true}, // "student" >= "s"
+	}
+	for _, c := range cases {
+		p, err := Parse(c.pred)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.pred, err)
+		}
+		if got := p.Eval(c.set); got != c.want {
+			t.Errorf("Eval(%q, %v) = %v, want %v", c.pred, c.set, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, text := range []string{
+		"", "position==", "position=='unterminated", "&&", "position=='a' &&",
+		"(position=='a'", "position ~ 'a'", "has(", "has()", "position=='a')",
+		"7==7", "position == 'a' extra",
+	} {
+		if _, err := Parse(text); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", text)
+		}
+	}
+}
+
+func TestCanonicalFormReparses(t *testing.T) {
+	preds := []string{
+		"position == 'manager'   &&  department=='X'",
+		"a=='1' || b=='2' && c=='3'",
+		"(a=='1' || b=='2') && c=='3'",
+		"!(a=='1' || b=='2')",
+		"!has(x) && y != 'q'",
+		"n>=10 && n<20",
+	}
+	sets := []Set{
+		{}, MustSet("a=1"), MustSet("b=2,c=3"), MustSet("a=1,c=3"),
+		MustSet("x=1,y=q"), MustSet("n=15"), MustSet("n=20"),
+		MustSet("position=manager,department=X"),
+	}
+	for _, text := range preds {
+		p1 := MustParse(text)
+		p2, err := Parse(p1.String())
+		if err != nil {
+			t.Fatalf("canonical form %q does not reparse: %v", p1.String(), err)
+		}
+		for _, s := range sets {
+			if p1.Eval(s) != p2.Eval(s) {
+				t.Errorf("%q: canonical form %q disagrees on %v", text, p1.String(), s)
+			}
+		}
+	}
+}
+
+func TestAttributes(t *testing.T) {
+	p := MustParse("position=='manager' && (department=='X' || department=='Y') && has(badge)")
+	got := p.Attributes()
+	want := []string{"badge", "department", "position"}
+	if len(got) != len(want) {
+		t.Fatalf("Attributes = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Attributes = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestConjunctionDetection(t *testing.T) {
+	conj := MustParse("a=='1' && b=='2' && c=='3'")
+	if !conj.IsConjunction() {
+		t.Fatal("conjunction not detected")
+	}
+	pairs, ok := conj.EqualityPairs()
+	if !ok || len(pairs) != 3 {
+		t.Fatalf("EqualityPairs = %v, %v", pairs, ok)
+	}
+	if pairs[0].String() != "a:1" || pairs[2].String() != "c:3" {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	for _, text := range []string{"a=='1' || b=='2'", "a!='1'", "!a=='1'", "has(a)", "a<3"} {
+		if MustParse(text).IsConjunction() {
+			t.Errorf("%q wrongly detected as conjunction", text)
+		}
+		if _, ok := MustParse(text).EqualityPairs(); ok {
+			t.Errorf("%q EqualityPairs should fail", text)
+		}
+	}
+}
+
+func TestNilPredicateMatchesAll(t *testing.T) {
+	var p *Predicate
+	if !p.Eval(MustSet("a=1")) {
+		t.Fatal("nil predicate should match everything")
+	}
+	if p.String() != "true" {
+		t.Fatalf("nil predicate String = %q", p.String())
+	}
+	if p.Attributes() != nil {
+		t.Fatal("nil predicate has attributes")
+	}
+	if !True().Eval(Set{}) {
+		t.Fatal("True() rejects")
+	}
+}
+
+// randomPredText builds a random predicate over a small attribute universe.
+func randomPredText(rng *rand.Rand, depth int) string {
+	if depth == 0 || rng.Intn(3) == 0 {
+		name := string(rune('a' + rng.Intn(4)))
+		switch rng.Intn(4) {
+		case 0:
+			return name + "=='" + string(rune('0'+rng.Intn(3))) + "'"
+		case 1:
+			return name + "!='" + string(rune('0'+rng.Intn(3))) + "'"
+		case 2:
+			return "has(" + name + ")"
+		default:
+			ops := []string{"<", "<=", ">", ">="}
+			return name + ops[rng.Intn(4)] + string(rune('0'+rng.Intn(3)))
+		}
+	}
+	l := randomPredText(rng, depth-1)
+	r := randomPredText(rng, depth-1)
+	op := " && "
+	if rng.Intn(2) == 0 {
+		op = " || "
+	}
+	out := l + op + r
+	if rng.Intn(2) == 0 {
+		out = "(" + out + ")"
+	}
+	if rng.Intn(4) == 0 {
+		out = "!(" + out + ")"
+	}
+	return out
+}
+
+// Property: for random predicates, the canonical rendering reparses to a
+// predicate that agrees on random attribute sets.
+func TestCanonicalizationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		text := randomPredText(rng, 3)
+		p1, err := Parse(text)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", text, err)
+		}
+		p2, err := Parse(p1.String())
+		if err != nil {
+			t.Fatalf("reparse of %q (canonical %q): %v", text, p1.String(), err)
+		}
+		for j := 0; j < 20; j++ {
+			s := Set{}
+			for _, name := range []string{"a", "b", "c", "d"} {
+				if rng.Intn(2) == 0 {
+					s[name] = string(rune('0' + rng.Intn(3)))
+				}
+			}
+			if p1.Eval(s) != p2.Eval(s) {
+				t.Fatalf("%q vs canonical %q disagree on %v", text, p1.String(), s)
+			}
+		}
+	}
+}
+
+// Property: set round trip through String/ParseSet for letter-only pairs.
+func TestSetRoundTripProperty(t *testing.T) {
+	sanitize := func(in string) string {
+		var b strings.Builder
+		for _, r := range in {
+			if r >= 'a' && r <= 'z' {
+				b.WriteRune(r)
+			}
+		}
+		return b.String()
+	}
+	f := func(keys, vals [3]string) bool {
+		s := Set{}
+		for i := range keys {
+			k, v := sanitize(keys[i]), sanitize(vals[i])
+			if k == "" {
+				continue
+			}
+			s[k] = v
+		}
+		got, err := ParseSet(s.String())
+		return err == nil && got.Equal(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,24 @@
+package attr
+
+import "testing"
+
+func BenchmarkParse(b *testing.B) {
+	const text = "position=='manager' && (department=='X' || department=='Y') && has(badge)"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEval(b *testing.B) {
+	p := MustParse("position=='manager' && (department=='X' || department=='Y') && has(badge)")
+	s := MustSet("position=manager,department=Y,badge=77")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !p.Eval(s) {
+			b.Fatal("eval failed")
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package attr_test
+
+import (
+	"fmt"
+
+	"argus/internal/attr"
+)
+
+// Example shows the policy predicate language from §II-B of the paper.
+func Example() {
+	pred := attr.MustParse("position=='manager' && department=='X'")
+	manager := attr.MustSet("position=manager,department=X")
+	staff := attr.MustSet("position=staff,department=X")
+	fmt.Println(pred.Eval(manager))
+	fmt.Println(pred.Eval(staff))
+	fmt.Println(pred.Attributes())
+	// Output:
+	// true
+	// false
+	// [department position]
+}
+
+// ExamplePredicate_Monotone converts a predicate to the monotone form the
+// ABE baseline compiles into access trees.
+func ExamplePredicate_Monotone() {
+	pred := attr.MustParse("(position=='manager' && department=='X') || clearance=='top'")
+	m, err := pred.Monotone()
+	fmt.Println(err, len(m.Children))
+
+	_, err = attr.MustParse("position!='visitor'").Monotone()
+	fmt.Println(err)
+	// Output:
+	// <nil> 2
+	// attr: predicate is not monotone (only ==, && and || map to ABE policies)
+}

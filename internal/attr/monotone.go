@@ -1,0 +1,112 @@
+package attr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MonotoneOp is a node kind in a monotone normal form.
+type MonotoneOp int
+
+// Monotone node kinds.
+const (
+	MonotoneLeaf MonotoneOp = iota
+	MonotoneAnd
+	MonotoneOr
+)
+
+// Monotone is a predicate reduced to leaves (attribute equality tests)
+// combined by AND/OR — the fragment expressible as a CP-ABE access tree.
+// Negations, inequalities and ordered comparisons are not monotone and
+// cannot be mapped (revoking by negative condition is exactly what ABE
+// cannot do cheaply — part of the §VIII story).
+type Monotone struct {
+	Op       MonotoneOp
+	Pair     AttrPair // MonotoneLeaf only
+	Children []*Monotone
+}
+
+// ErrNotMonotone reports a predicate outside the monotone fragment.
+var ErrNotMonotone = errors.New("attr: predicate is not monotone (only ==, && and || map to ABE policies)")
+
+// Monotone converts the predicate into monotone normal form, or fails with
+// ErrNotMonotone. The trivial predicate (true) has no ABE encoding either —
+// it matches everyone, which Level 1 handles without cryptography.
+func (p *Predicate) Monotone() (*Monotone, error) {
+	if p == nil || p.root == nil {
+		return nil, errors.New("attr: empty predicate has no monotone form")
+	}
+	return monotone(p.root)
+}
+
+func monotone(n node) (*Monotone, error) {
+	switch v := n.(type) {
+	case *cmp:
+		if v.op != opEq {
+			return nil, ErrNotMonotone
+		}
+		return &Monotone{Op: MonotoneLeaf, Pair: AttrPair{Name: v.name, Value: v.lit}}, nil
+	case *binary:
+		left, err := monotone(v.left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := monotone(v.right)
+		if err != nil {
+			return nil, err
+		}
+		op := MonotoneAnd
+		if v.op == "||" {
+			op = MonotoneOr
+		}
+		// Flatten nested same-op nodes for compact trees.
+		children := make([]*Monotone, 0, 2)
+		for _, c := range []*Monotone{left, right} {
+			if c.Op == op {
+				children = append(children, c.Children...)
+			} else {
+				children = append(children, c)
+			}
+		}
+		return &Monotone{Op: op, Children: children}, nil
+	case *boolLit, *has, *not:
+		return nil, ErrNotMonotone
+	}
+	return nil, fmt.Errorf("attr: unknown node %T", n)
+}
+
+// Eval evaluates the monotone form against an attribute set (used to
+// cross-check the conversion against the original predicate).
+func (m *Monotone) Eval(s Set) bool {
+	switch m.Op {
+	case MonotoneLeaf:
+		return s[m.Pair.Name] == m.Pair.Value
+	case MonotoneAnd:
+		for _, c := range m.Children {
+			if !c.Eval(s) {
+				return false
+			}
+		}
+		return true
+	case MonotoneOr:
+		for _, c := range m.Children {
+			if c.Eval(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// Leaves returns all attribute pairs referenced, in tree order.
+func (m *Monotone) Leaves() []AttrPair {
+	if m.Op == MonotoneLeaf {
+		return []AttrPair{m.Pair}
+	}
+	var out []AttrPair
+	for _, c := range m.Children {
+		out = append(out, c.Leaves()...)
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package attr
+
+import "testing"
+
+func TestMonotoneConversion(t *testing.T) {
+	m, err := MustParse("a=='1' && (b=='2' || c=='3')").Monotone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Op != MonotoneAnd || len(m.Children) != 2 {
+		t.Fatalf("root = %+v", m)
+	}
+	if m.Children[0].Op != MonotoneLeaf || m.Children[0].Pair.String() != "a:1" {
+		t.Fatalf("first child = %+v", m.Children[0])
+	}
+	if m.Children[1].Op != MonotoneOr || len(m.Children[1].Children) != 2 {
+		t.Fatalf("second child = %+v", m.Children[1])
+	}
+	leaves := m.Leaves()
+	if len(leaves) != 3 || leaves[0].String() != "a:1" || leaves[2].String() != "c:3" {
+		t.Fatalf("leaves = %v", leaves)
+	}
+}
+
+func TestMonotoneFlattening(t *testing.T) {
+	// a && b && c parses left-nested; the monotone form flattens it.
+	m, err := MustParse("a=='1' && b=='2' && c=='3'").Monotone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Op != MonotoneAnd || len(m.Children) != 3 {
+		t.Fatalf("flattened AND has %d children", len(m.Children))
+	}
+	m2, _ := MustParse("a=='1' || b=='2' || c=='3' || d=='4'").Monotone()
+	if m2.Op != MonotoneOr || len(m2.Children) != 4 {
+		t.Fatalf("flattened OR has %d children", len(m2.Children))
+	}
+}
+
+func TestMonotoneRejectsNonMonotone(t *testing.T) {
+	for _, text := range []string{
+		"a!='1'", "!a=='1'", "has(a)", "a<5", "a>='2'",
+		"a=='1' && b!='2'", "true", "false",
+		"a=='1' || !(b=='2')",
+	} {
+		if _, err := MustParse(text).Monotone(); err == nil {
+			t.Errorf("%q converted, want error", text)
+		}
+	}
+	var nilPred *Predicate
+	if _, err := nilPred.Monotone(); err == nil {
+		t.Error("nil predicate converted")
+	}
+}
+
+func TestMonotoneEvalAgreement(t *testing.T) {
+	texts := []string{
+		"a=='1'",
+		"a=='1' && b=='2'",
+		"(a=='1' || b=='2') && c=='3'",
+	}
+	sets := []Set{{}, MustSet("a=1"), MustSet("a=1,c=3"), MustSet("b=2,c=3"), MustSet("a=1,b=2,c=3")}
+	for _, text := range texts {
+		p := MustParse(text)
+		m, err := p.Monotone()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range sets {
+			if p.Eval(s) != m.Eval(s) {
+				t.Errorf("%q: monotone form disagrees on %v", text, s)
+			}
+		}
+	}
+}

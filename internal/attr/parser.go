@@ -1,0 +1,230 @@
+package attr
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a predicate expression. Grammar:
+//
+//	expr    := orExpr
+//	orExpr  := andExpr ( '||' andExpr )*
+//	andExpr := unary   ( '&&' unary )*
+//	unary   := '!' unary | '(' expr ')' | atom
+//	atom    := 'true' | 'false'
+//	         | 'has' '(' ident ')'
+//	         | ident op literal
+//	op      := '==' | '!=' | '<' | '<=' | '>' | '>='
+//	literal := '\'' chars '\'' | integer
+//
+// Identifiers are [A-Za-z_][A-Za-z0-9_.-]*. Single-quoted string literals may
+// not contain quotes. Unquoted integer literals select numeric comparison.
+func Parse(text string) (*Predicate, error) {
+	p := &parser{input: text}
+	root, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.input) {
+		return nil, fmt.Errorf("attr: trailing input at offset %d: %q", p.pos, p.input[p.pos:])
+	}
+	var b strings.Builder
+	root.render(&b)
+	return &Predicate{root: root, text: b.String()}, nil
+}
+
+// MustParse is Parse that panics on error; for tests, examples and
+// compile-time-constant policies.
+func MustParse(text string) *Predicate {
+	p, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// True returns the predicate that matches every attribute set.
+func True() *Predicate { return &Predicate{root: &boolLit{val: true}, text: "true"} }
+
+type parser struct {
+	input string
+	pos   int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.input) && unicode.IsSpace(rune(p.input[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) peek(s string) bool {
+	p.skipSpace()
+	return strings.HasPrefix(p.input[p.pos:], s)
+}
+
+func (p *parser) accept(s string) bool {
+	if p.peek(s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("attr: parse error at offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseExpr() (node, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("||") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &binary{op: "||", left: left, right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (node, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("&&") {
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &binary{op: "&&", left: left, right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (node, error) {
+	p.skipSpace()
+	if p.pos < len(p.input) && p.input[p.pos] == '!' && !strings.HasPrefix(p.input[p.pos:], "!=") {
+		p.pos++
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &not{inner: inner}, nil
+	}
+	if p.accept("(") {
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(")") {
+			return nil, p.errf("expected ')'")
+		}
+		return inner, nil
+	}
+	return p.parseAtom()
+}
+
+func (p *parser) parseAtom() (node, error) {
+	ident, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	switch ident {
+	case "true":
+		return &boolLit{val: true}, nil
+	case "false":
+		return &boolLit{val: false}, nil
+	case "has":
+		if !p.accept("(") {
+			return nil, p.errf("expected '(' after has")
+		}
+		name, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(")") {
+			return nil, p.errf("expected ')' after has(%s", name)
+		}
+		return &has{name: name}, nil
+	}
+	var op cmpOp
+	switch {
+	case p.accept("=="):
+		op = opEq
+	case p.accept("!="):
+		op = opNe
+	case p.accept("<="):
+		op = opLe
+	case p.accept(">="):
+		op = opGe
+	case p.accept("<"):
+		op = opLt
+	case p.accept(">"):
+		op = opGt
+	default:
+		return nil, p.errf("expected comparison operator after %q", ident)
+	}
+	lit, numeric, err := p.parseLiteral()
+	if err != nil {
+		return nil, err
+	}
+	return &cmp{name: ident, op: op, lit: lit, numeric: numeric}, nil
+}
+
+func (p *parser) parseIdent() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	if p.pos >= len(p.input) {
+		return "", p.errf("expected identifier, got end of input")
+	}
+	c := p.input[p.pos]
+	if !(c == '_' || unicode.IsLetter(rune(c))) {
+		return "", p.errf("expected identifier, got %q", c)
+	}
+	p.pos++
+	for p.pos < len(p.input) {
+		c := p.input[p.pos]
+		if c == '_' || c == '.' || c == '-' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return p.input[start:p.pos], nil
+}
+
+func (p *parser) parseLiteral() (lit string, numeric bool, err error) {
+	p.skipSpace()
+	if p.pos >= len(p.input) {
+		return "", false, p.errf("expected literal, got end of input")
+	}
+	if p.input[p.pos] == '\'' {
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.input) && p.input[p.pos] != '\'' {
+			p.pos++
+		}
+		if p.pos >= len(p.input) {
+			return "", false, p.errf("unterminated string literal")
+		}
+		lit = p.input[start:p.pos]
+		p.pos++ // closing quote
+		return lit, false, nil
+	}
+	start := p.pos
+	if p.input[p.pos] == '-' {
+		p.pos++
+	}
+	for p.pos < len(p.input) && unicode.IsDigit(rune(p.input[p.pos])) {
+		p.pos++
+	}
+	if p.pos == start || (p.input[start] == '-' && p.pos == start+1) {
+		return "", false, p.errf("expected quoted string or integer literal")
+	}
+	return p.input[start:p.pos], true, nil
+}

@@ -1,0 +1,270 @@
+package attr
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Predicate is a parsed policy expression over an attribute set, e.g.
+// "position=='manager' && department=='X'". It is immutable after parsing.
+type Predicate struct {
+	root node
+	text string // canonical rendering
+}
+
+// node is one AST node of a predicate.
+type node interface {
+	eval(s Set) bool
+	render(b *strings.Builder)
+	collect(names map[string]bool)
+}
+
+// Eval reports whether the attribute set satisfies the predicate.
+// Attributes absent from the set fail every comparison (and satisfy "!=" —
+// the predicate compares against the empty value).
+func (p *Predicate) Eval(s Set) bool {
+	if p == nil || p.root == nil {
+		return true // the empty predicate matches everyone (Level 1 semantics)
+	}
+	return p.root.eval(s)
+}
+
+// String returns the canonical text form; parsing it again yields an
+// equivalent predicate.
+func (p *Predicate) String() string {
+	if p == nil || p.root == nil {
+		return "true"
+	}
+	return p.text
+}
+
+// Attributes returns the sorted set of attribute names the predicate
+// references. The CP-ABE baseline's policy size — and thus its decryption
+// cost (Fig 6c) — is the length of this list.
+func (p *Predicate) Attributes() []string {
+	if p == nil || p.root == nil {
+		return nil
+	}
+	names := make(map[string]bool)
+	p.root.collect(names)
+	out := make([]string, 0, len(names))
+	for n := range names {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsConjunction reports whether the predicate is a pure conjunction of
+// equality tests (the common enterprise-policy shape, and the only shape the
+// ABE baseline's AND-policies accept directly).
+func (p *Predicate) IsConjunction() bool {
+	if p == nil || p.root == nil {
+		return true
+	}
+	return isConj(p.root)
+}
+
+func isConj(n node) bool {
+	switch v := n.(type) {
+	case *boolLit:
+		return v.val
+	case *cmp:
+		return v.op == opEq
+	case *binary:
+		return v.op == "&&" && isConj(v.left) && isConj(v.right)
+	}
+	return false
+}
+
+// EqualityPairs returns the attribute name/value pairs of a conjunction
+// predicate, sorted by name. It returns ok=false if the predicate is not a
+// pure conjunction of equality tests.
+func (p *Predicate) EqualityPairs() (pairs []AttrPair, ok bool) {
+	if p == nil || p.root == nil {
+		return nil, true
+	}
+	if !p.IsConjunction() {
+		return nil, false
+	}
+	var walk func(n node)
+	walk = func(n node) {
+		switch v := n.(type) {
+		case *cmp:
+			pairs = append(pairs, AttrPair{Name: v.name, Value: v.lit})
+		case *binary:
+			walk(v.left)
+			walk(v.right)
+		}
+	}
+	walk(p.root)
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].Name != pairs[j].Name {
+			return pairs[i].Name < pairs[j].Name
+		}
+		return pairs[i].Value < pairs[j].Value
+	})
+	return pairs, true
+}
+
+// AttrPair is one name=value equality requirement.
+type AttrPair struct {
+	Name  string
+	Value string
+}
+
+// String renders the pair as "name:value" — the attribute-token form used by
+// the ABE baseline (one token per ABE key component).
+func (a AttrPair) String() string { return a.Name + ":" + a.Value }
+
+// --- AST nodes ---
+
+type boolLit struct{ val bool }
+
+func (n *boolLit) eval(Set) bool { return n.val }
+func (n *boolLit) render(b *strings.Builder) {
+	if n.val {
+		b.WriteString("true")
+	} else {
+		b.WriteString("false")
+	}
+}
+func (n *boolLit) collect(map[string]bool) {}
+
+type cmpOp int
+
+const (
+	opEq cmpOp = iota
+	opNe
+	opLt
+	opLe
+	opGt
+	opGe
+)
+
+var opText = map[cmpOp]string{opEq: "==", opNe: "!=", opLt: "<", opLe: "<=", opGt: ">", opGe: ">="}
+
+type cmp struct {
+	name    string
+	op      cmpOp
+	lit     string
+	numeric bool // literal was an unquoted integer: compare numerically
+}
+
+func (n *cmp) eval(s Set) bool {
+	got, present := s[n.name]
+	if n.numeric {
+		if !present {
+			return n.op == opNe
+		}
+		g, err := strconv.ParseInt(got, 10, 64)
+		if err != nil {
+			return n.op == opNe
+		}
+		w, _ := strconv.ParseInt(n.lit, 10, 64)
+		switch n.op {
+		case opEq:
+			return g == w
+		case opNe:
+			return g != w
+		case opLt:
+			return g < w
+		case opLe:
+			return g <= w
+		case opGt:
+			return g > w
+		case opGe:
+			return g >= w
+		}
+		return false
+	}
+	switch n.op {
+	case opEq:
+		return present && got == n.lit
+	case opNe:
+		return !present || got != n.lit
+	case opLt:
+		return present && got < n.lit
+	case opLe:
+		return present && got <= n.lit
+	case opGt:
+		return present && got > n.lit
+	case opGe:
+		return present && got >= n.lit
+	}
+	return false
+}
+
+func (n *cmp) render(b *strings.Builder) {
+	b.WriteString(n.name)
+	b.WriteString(opText[n.op])
+	if n.numeric {
+		b.WriteString(n.lit)
+	} else {
+		b.WriteByte('\'')
+		b.WriteString(n.lit)
+		b.WriteByte('\'')
+	}
+}
+func (n *cmp) collect(names map[string]bool) { names[n.name] = true }
+
+type has struct{ name string }
+
+func (n *has) eval(s Set) bool {
+	_, ok := s[n.name]
+	return ok
+}
+func (n *has) render(b *strings.Builder) {
+	b.WriteString("has(")
+	b.WriteString(n.name)
+	b.WriteByte(')')
+}
+func (n *has) collect(names map[string]bool) { names[n.name] = true }
+
+type not struct{ inner node }
+
+func (n *not) eval(s Set) bool { return !n.inner.eval(s) }
+func (n *not) render(b *strings.Builder) {
+	b.WriteByte('!')
+	if _, isBin := n.inner.(*binary); isBin {
+		b.WriteByte('(')
+		n.inner.render(b)
+		b.WriteByte(')')
+	} else {
+		n.inner.render(b)
+	}
+}
+func (n *not) collect(names map[string]bool) { n.inner.collect(names) }
+
+type binary struct {
+	op          string // "&&" or "||"
+	left, right node
+}
+
+func (n *binary) eval(s Set) bool {
+	if n.op == "&&" {
+		return n.left.eval(s) && n.right.eval(s)
+	}
+	return n.left.eval(s) || n.right.eval(s)
+}
+
+func (n *binary) render(b *strings.Builder) {
+	renderChild := func(c node) {
+		if cb, ok := c.(*binary); ok && cb.op != n.op {
+			b.WriteByte('(')
+			c.render(b)
+			b.WriteByte(')')
+			return
+		}
+		c.render(b)
+	}
+	renderChild(n.left)
+	b.WriteString(" " + n.op + " ")
+	renderChild(n.right)
+}
+
+func (n *binary) collect(names map[string]bool) {
+	n.left.collect(names)
+	n.right.collect(names)
+}

@@ -1,0 +1,29 @@
+package backend
+
+import (
+	"fmt"
+	"testing"
+
+	"argus/internal/attr"
+	"argus/internal/suite"
+)
+
+// BenchmarkSnapshotRestore measures persistence of a populated backend.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	bk, err := New(suite.S128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bk.AddPolicy(attr.MustParse("position=='staff'"), attr.MustParse("type=='lock'"), []string{"open"})
+	for i := 0; i < 20; i++ {
+		bk.RegisterObject(fmt.Sprintf("o%02d", i), L2, attr.MustSet("type=lock"), []string{"open"})
+		bk.RegisterSubject(fmt.Sprintf("s%02d", i), attr.MustSet("position=staff"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blob := bk.Snapshot()
+		if _, err := Restore(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

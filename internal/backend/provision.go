@@ -1,0 +1,230 @@
+package backend
+
+import (
+	"fmt"
+	"sort"
+
+	"argus/internal/attr"
+	"argus/internal/cert"
+	"argus/internal/groups"
+	"argus/internal/suite"
+)
+
+// SubjectProvision is everything a subject device leaves bootstrapping with
+// (§IV-A): private key, CERT, signed attribute PROF, the admin public key,
+// and her secret-group memberships (at least a cover-up key, §VI-B).
+type SubjectProvision struct {
+	ID          cert.ID
+	Name        string
+	Strength    suite.Strength
+	Key         *suite.SigningKey
+	CertDER     []byte
+	CACert      []byte
+	AdminPub    suite.PublicKey
+	Profile     *cert.Profile
+	Memberships []groups.Membership
+}
+
+// ObjectVariant is one PROF variant held by a Level 2/3 object: either a
+// predicate-selected Level 2 variant ({pred_i, PROF_{O,i}}) or a secret-group
+// Level 3 variant ({K_i^grp, PROF_{O,i}}), per §IV-A.
+type ObjectVariant struct {
+	// Pred selects Level 2 subjects by non-sensitive attributes (nil for
+	// Level 3 variants).
+	Pred *attr.Predicate
+	// Group and GroupKey identify the secret group served (zero for Level 2
+	// variants).
+	Group      groups.ID
+	GroupKey   []byte
+	KeyVersion uint64
+	// Profile is the admin-signed PROF variant, padded so that all variants
+	// of one object encode to the same length (§VI-B constant RES2 length).
+	Profile *cert.Profile
+}
+
+// IsCovert reports whether the variant serves a secret group.
+func (v ObjectVariant) IsCovert() bool { return v.Group != 0 }
+
+// ObjectProvision is everything an object leaves bootstrapping with.
+type ObjectProvision struct {
+	ID       cert.ID
+	Name     string
+	Strength suite.Strength
+	Level    Level
+	Key      *suite.SigningKey
+	CertDER  []byte
+	CACert   []byte
+	AdminPub suite.PublicKey
+	// PublicProfile is the plaintext signed PROF broadcast by Level 1
+	// objects; nil for Level 2/3.
+	PublicProfile *cert.Profile
+	// Variants are the Level 2 predicate variants followed by the Level 3
+	// group variants; empty for Level 1. Order is deterministic: Level 2
+	// variants by policy ID, then group variants by group ID.
+	Variants []ObjectVariant
+	// Revoked is the object's current subject blacklist.
+	Revoked []cert.ID
+}
+
+// ProvisionSubject assembles a subject's credential bundle. Call again after
+// churn to refresh (re-keyed groups, new attributes).
+func (b *Backend) ProvisionSubject(id cert.ID) (*SubjectProvision, error) {
+	s, err := b.Subject(id)
+	if err != nil {
+		return nil, err
+	}
+	if s.Revoked {
+		return nil, fmt.Errorf("backend: subject %s is revoked", s.Name)
+	}
+	issued, expires := profValidity()
+	prof := &cert.Profile{
+		Kind:    cert.RoleSubject,
+		Entity:  id,
+		Serial:  1,
+		Issued:  issued,
+		Expires: expires,
+		Attrs:   s.Attrs.Clone(),
+	}
+	if err := prof.PadNoteTo(b.profSizes); err != nil {
+		return nil, err
+	}
+	if err := b.admin.SignProfile(prof); err != nil {
+		return nil, err
+	}
+	ms, err := b.Groups.MembershipsFor(id, cert.RoleSubject)
+	if err != nil {
+		return nil, err
+	}
+	return &SubjectProvision{
+		ID:          id,
+		Name:        s.Name,
+		Strength:    b.strength,
+		Key:         b.keys[id],
+		CertDER:     b.certs[id],
+		CACert:      b.CACert(),
+		AdminPub:    b.AdminPublic(),
+		Profile:     prof,
+		Memberships: ms,
+	}, nil
+}
+
+// ProvisionObject assembles an object's credential bundle, compiling its PROF
+// variants from the current policy database:
+//
+//   - Level 1: one public signed PROF.
+//   - Level 2: one variant per policy governing the object.
+//   - Level 3: Level 2 variants (its public face) plus one variant per secret
+//     group it serves.
+//
+// All variants are padded to a common length so Level 2 and Level 3 RES2
+// ciphertexts are indistinguishable by size (§VI-B).
+func (b *Backend) ProvisionObject(id cert.ID) (*ObjectProvision, error) {
+	o, err := b.Object(id)
+	if err != nil {
+		return nil, err
+	}
+	issued, expires := profValidity()
+	base := func(variant uint32, functions []string, note string) *cert.Profile {
+		return &cert.Profile{
+			Kind:      cert.RoleObject,
+			Entity:    id,
+			Variant:   variant,
+			Serial:    1,
+			Issued:    issued,
+			Expires:   expires,
+			Attrs:     o.Attrs.Clone(),
+			Functions: append([]string(nil), functions...),
+			Note:      note,
+		}
+	}
+
+	p := &ObjectProvision{
+		ID:       id,
+		Name:     o.Name,
+		Strength: b.strength,
+		Level:    o.Level,
+		Key:      b.keys[id],
+		CertDER:  b.certs[id],
+		CACert:   b.CACert(),
+		AdminPub: b.AdminPublic(),
+	}
+	revoked, err := b.RevokedFor(id)
+	if err != nil {
+		return nil, err
+	}
+	p.Revoked = revoked
+
+	if o.Level == L1 {
+		prof := base(0, o.Functions, "public service")
+		if err := prof.PadNoteTo(b.profSizes); err != nil {
+			return nil, err
+		}
+		if err := b.admin.SignProfile(prof); err != nil {
+			return nil, err
+		}
+		p.PublicProfile = prof
+		return p, nil
+	}
+
+	// Level 2 variants: one per governing policy, ordered by policy ID.
+	var variant uint32
+	for _, pol := range b.Policies() {
+		if !pol.Object.Eval(o.Attrs) {
+			continue
+		}
+		variant++
+		prof := base(variant, pol.Rights, "differentiated service")
+		p.Variants = append(p.Variants, ObjectVariant{Pred: pol.Subject, Profile: prof})
+	}
+
+	// Level 3 group variants, ordered by group ID.
+	if o.Level == L3 {
+		gids := make([]groups.ID, 0, len(o.covert))
+		for gid := range o.covert {
+			gids = append(gids, gid)
+		}
+		sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
+		for _, gid := range gids {
+			ms, err := b.Groups.MembershipsFor(id, cert.RoleObject)
+			if err != nil {
+				return nil, err
+			}
+			var key []byte
+			var kv uint64
+			for _, m := range ms {
+				if m.Group == gid {
+					key, kv = m.Key, m.KeyVersion
+					break
+				}
+			}
+			if key == nil {
+				return nil, fmt.Errorf("backend: object %s lost membership of group %d", o.Name, gid)
+			}
+			variant++
+			prof := base(variant, o.covert[gid], "covert service")
+			p.Variants = append(p.Variants, ObjectVariant{
+				Group: gid, GroupKey: key, KeyVersion: kv, Profile: prof,
+			})
+		}
+	}
+
+	// Pad every variant to the object's maximum encoded size (at least the
+	// deployment default) so all RES2 ciphertexts have one length. The
+	// admin signature added afterwards has a fixed width, so padding the
+	// unsigned bodies to one size is sufficient.
+	target := b.profSizes
+	for _, v := range p.Variants {
+		if n := v.Profile.EncodedLen(); n > target {
+			target = n
+		}
+	}
+	for _, v := range p.Variants {
+		if err := v.Profile.PadNoteTo(target); err != nil {
+			return nil, err
+		}
+		if err := b.admin.SignProfile(v.Profile); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,170 @@
+package baseline
+
+import (
+	"bytes"
+	"testing"
+
+	"argus/internal/abe"
+	"argus/internal/netsim"
+	"argus/internal/pbc"
+)
+
+func TestABEDiscoveryAuthorized(t *testing.T) {
+	pk, mk, err := abe.Setup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile := []byte("multimedia station: play, record")
+	v, err := EncryptVariant(pk, abe.And(abe.Leaf("position:staff"), abe.Leaf("department:X")), profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	net := netsim.New(netsim.DefaultWiFi(), 1)
+	sk, _ := abe.KeyGen(pk, mk, []string{"position:staff", "department:X"})
+	subj := &ABESubject{PK: pk, SK: sk}
+	sn := net.AddNode(subj)
+	subj.Attach(sn)
+	obj := &ABEObject{Variants: []ABEVariant{v}}
+	on := net.AddNode(obj)
+	obj.Attach(on)
+	net.Link(sn, on)
+
+	subj.Discover(net, 1)
+	net.Run(0)
+	if len(subj.Results) != 1 {
+		t.Fatalf("results = %d, want 1", len(subj.Results))
+	}
+	if !bytes.Equal(subj.Results[0].Profile, profile) {
+		t.Fatal("recovered profile differs")
+	}
+	if subj.Results[0].At <= 0 {
+		t.Fatal("decryption cost not charged to virtual clock")
+	}
+}
+
+func TestABEDiscoveryUnauthorized(t *testing.T) {
+	pk, mk, err := abe.Setup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := EncryptVariant(pk, abe.Leaf("position:manager"), []byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := netsim.New(netsim.DefaultWiFi(), 1)
+	sk, _ := abe.KeyGen(pk, mk, []string{"position:staff"})
+	subj := &ABESubject{PK: pk, SK: sk}
+	sn := net.AddNode(subj)
+	subj.Attach(sn)
+	obj := &ABEObject{Variants: []ABEVariant{v}}
+	on := net.AddNode(obj)
+	obj.Attach(on)
+	net.Link(sn, on)
+
+	subj.Discover(net, 1)
+	net.Run(0)
+	if len(subj.Results) != 0 {
+		t.Fatalf("unauthorized subject decrypted %d variants", len(subj.Results))
+	}
+}
+
+func TestPBCDiscoveryFellow(t *testing.T) {
+	auth, err := pbc.NewAuthority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile := []byte("covert support service")
+	net := netsim.New(netsim.DefaultWiFi(), 1)
+
+	subj := &PBCSubject{Cred: auth.Issue("subject-S"), Candidates: []string{"kiosk-1"}}
+	sn := net.AddNode(subj)
+	subj.Attach(sn)
+	obj := &PBCObject{Cred: auth.Issue("kiosk-1"), Profile: profile}
+	on := net.AddNode(obj)
+	obj.Attach(on)
+	net.Link(sn, on)
+
+	if err := subj.Discover(net, 1); err != nil {
+		t.Fatal(err)
+	}
+	net.Run(0)
+	if len(subj.Results) != 1 {
+		t.Fatalf("results = %d, want 1", len(subj.Results))
+	}
+	if !bytes.Equal(subj.Results[0].Profile, profile) {
+		t.Fatal("recovered profile differs")
+	}
+	// One pairing per side ⇒ virtual completion well above the link latency.
+	if subj.Results[0].At < 100*1e6 {
+		t.Fatalf("completion at %v — pairing cost apparently not charged", subj.Results[0].At)
+	}
+}
+
+func TestPBCDiscoveryOutsiderFails(t *testing.T) {
+	authA, _ := pbc.NewAuthority()
+	authB, _ := pbc.NewAuthority() // different community
+	net := netsim.New(netsim.DefaultWiFi(), 1)
+
+	subj := &PBCSubject{Cred: authB.Issue("outsider"), Candidates: []string{"kiosk-1"}}
+	sn := net.AddNode(subj)
+	subj.Attach(sn)
+	obj := &PBCObject{Cred: authA.Issue("kiosk-1"), Profile: []byte("covert")}
+	on := net.AddNode(obj)
+	obj.Attach(on)
+	net.Link(sn, on)
+
+	subj.Discover(net, 1)
+	net.Run(0)
+	if len(subj.Results) != 0 {
+		t.Fatalf("outsider discovered %d covert services", len(subj.Results))
+	}
+}
+
+func TestPBCAddressedProbes(t *testing.T) {
+	// A probe addressed to kiosk-1 must not cost kiosk-2 a pairing, and
+	// kiosk-2 must not answer it.
+	auth, _ := pbc.NewAuthority()
+	net := netsim.New(netsim.DefaultWiFi(), 1)
+	subj := &PBCSubject{Cred: auth.Issue("s"), Candidates: []string{"kiosk-1"}}
+	sn := net.AddNode(subj)
+	subj.Attach(sn)
+	o1 := &PBCObject{Cred: auth.Issue("kiosk-1"), Profile: []byte("p1")}
+	n1 := net.AddNode(o1)
+	o1.Attach(n1)
+	net.Link(sn, n1)
+	o2 := &PBCObject{Cred: auth.Issue("kiosk-2"), Profile: []byte("p2")}
+	n2 := net.AddNode(o2)
+	o2.Attach(n2)
+	net.Link(sn, n2)
+
+	subj.Discover(net, 1)
+	net.Run(0)
+	if len(subj.Results) != 1 || subj.Results[0].PeerID != "kiosk-1" {
+		t.Fatalf("results = %+v, want kiosk-1 only", subj.Results)
+	}
+}
+
+func TestMalformedBaselineTraffic(t *testing.T) {
+	pk, mk, _ := abe.Setup()
+	sk, _ := abe.KeyGen(pk, mk, nil)
+	net := netsim.New(netsim.DefaultWiFi(), 1)
+	subj := &ABESubject{PK: pk, SK: sk}
+	sn := net.AddNode(subj)
+	subj.Attach(sn)
+	// Garbage and wrong-magic payloads are ignored without panics.
+	for _, p := range [][]byte{nil, {0xFF}, {abeResponseMagic}, {abeResponseMagic, 0, 5, 1, 2}} {
+		subj.HandleMessage(net, 0, p)
+	}
+	if len(subj.Results) != 0 {
+		t.Fatal("garbage produced results")
+	}
+
+	auth, _ := pbc.NewAuthority()
+	obj := &PBCObject{Cred: auth.Issue("o"), Profile: []byte("p")}
+	on := net.AddNode(obj)
+	obj.Attach(on)
+	for _, p := range [][]byte{nil, {0xEE}, {pbcQueryMagic, 0, 1}} {
+		obj.HandleMessage(net, sn, p)
+	}
+}

@@ -1,0 +1,162 @@
+package baseline
+
+import (
+	"time"
+
+	"argus/internal/enc"
+	"argus/internal/netsim"
+	"argus/internal/pbc"
+	"argus/internal/suite"
+)
+
+// PBC-based Level 3 discovery, adapted from MASHaBLE-style secret handshakes
+// (§IX): subject and object hold SOK credentials from the community
+// authority; each derives the pairwise key with ONE PAIRING and proves
+// possession via HMAC. The object returns the covert profile encrypted under
+// the pairwise key. Every peer interaction costs a pairing on each side —
+// the structural weakness Fig 6(d) quantifies.
+
+// PBCObject is a community member serving a covert profile.
+type PBCObject struct {
+	node    netsim.NodeID
+	Cred    *pbc.Credential
+	Profile []byte
+}
+
+// Attach records the object's network address.
+func (o *PBCObject) Attach(node netsim.NodeID) { o.node = node }
+
+// HandleMessage implements netsim.Handler: on query, derive the pairwise key
+// (one pairing — measured and charged), verify the subject's proof, respond
+// with proof + encrypted profile.
+func (o *PBCObject) HandleMessage(net *netsim.Network, from netsim.NodeID, payload []byte) {
+	if len(payload) == 0 || payload[0] != pbcQueryMagic {
+		return
+	}
+	r := enc.NewReader(payload[1:])
+	to := r.String16()
+	peerID := r.String16()
+	rs := r.Bytes16()
+	proof := r.Bytes16()
+	if r.Err() != nil || r.Remaining() != 0 {
+		return
+	}
+	if to != o.Cred.ID {
+		return // probe addressed to another candidate identity
+	}
+
+	start := time.Now()
+	key := o.Cred.PairwiseKey(peerID) // one pairing
+	elapsed := time.Since(start)
+
+	transcript := append([]byte(peerID), rs...)
+	if !pbc.Verify(key, transcript, proof) {
+		// Not a fellow: silence. The failed verification still cost the
+		// pairing — charge it.
+		net.Compute(o.node, elapsed, func() {})
+		return
+	}
+	ct, err := suite.EncryptProfile(key[:], o.Profile, nil)
+	if err != nil {
+		return
+	}
+	respTranscript := append(append([]byte(o.Cred.ID), transcript...), ct...)
+	respProof := pbc.Prove(key, respTranscript)
+
+	w := enc.NewWriter(128 + len(ct))
+	w.U8(pbcResponseMagic)
+	w.String16(o.Cred.ID)
+	w.Bytes16(respProof)
+	w.Bytes16(ct)
+	net.Compute(o.node, elapsed, func() {
+		net.Send(o.node, from, w.Bytes())
+	})
+}
+
+// PBCDiscovery is one covert service found via secret handshake.
+type PBCDiscovery struct {
+	Node    netsim.NodeID
+	PeerID  string
+	Profile []byte
+	At      time.Duration
+}
+
+// PBCSubject is the subject engine: it broadcasts a proof of community
+// membership toward each known/candidate peer. Following MASHaBLE, peers are
+// addressed by identity: the subject derives one pairwise key per candidate
+// peer (one pairing each — the cost the paper contrasts with Argus's two
+// HMACs).
+type PBCSubject struct {
+	node netsim.NodeID
+	Cred *pbc.Credential
+	// Candidates are the object identities to probe (MASHaBLE discovers
+	// community members by identity set).
+	Candidates []string
+
+	rs      []byte
+	keys    map[string][32]byte
+	Results []PBCDiscovery
+}
+
+// Attach records the subject's network address.
+func (s *PBCSubject) Attach(node netsim.NodeID) { s.node = node }
+
+// Discover derives pairwise keys for all candidates (pairings, measured and
+// charged) and broadcasts the proof.
+func (s *PBCSubject) Discover(net *netsim.Network, ttl int) error {
+	rs, err := suite.NewNonce(nil)
+	if err != nil {
+		return err
+	}
+	s.rs = rs
+	s.keys = make(map[string][32]byte, len(s.Candidates))
+
+	start := time.Now()
+	for _, cand := range s.Candidates {
+		s.keys[cand] = s.Cred.PairwiseKey(cand) // one pairing per candidate
+	}
+	elapsed := time.Since(start)
+
+	net.Compute(s.node, elapsed, func() {
+		for _, cand := range s.Candidates {
+			key := s.keys[cand]
+			transcript := append([]byte(s.Cred.ID), rs...)
+			w := enc.NewWriter(128)
+			w.U8(pbcQueryMagic)
+			w.String16(cand) // addressed probe: only that identity pairs
+			w.String16(s.Cred.ID)
+			w.Bytes16(rs)
+			w.Bytes16(pbc.Prove(key, transcript))
+			net.Broadcast(s.node, w.Bytes(), ttl)
+		}
+	})
+	return nil
+}
+
+// HandleMessage implements netsim.Handler.
+func (s *PBCSubject) HandleMessage(net *netsim.Network, from netsim.NodeID, payload []byte) {
+	if len(payload) == 0 || payload[0] != pbcResponseMagic {
+		return
+	}
+	r := enc.NewReader(payload[1:])
+	peerID := r.String16()
+	proof := r.Bytes16()
+	ct := r.Bytes16()
+	if r.Err() != nil || r.Remaining() != 0 {
+		return
+	}
+	key, ok := s.keys[peerID]
+	if !ok {
+		return
+	}
+	transcript := append([]byte(s.Cred.ID), s.rs...)
+	respTranscript := append(append([]byte(peerID), transcript...), ct...)
+	if !pbc.Verify(key, respTranscript, proof) {
+		return
+	}
+	profile, err := suite.DecryptProfile(key[:], ct)
+	if err != nil {
+		return
+	}
+	s.Results = append(s.Results, PBCDiscovery{Node: from, PeerID: peerID, Profile: profile, At: net.Now()})
+}

@@ -1,0 +1,209 @@
+// Package cert implements the admin-signed credentials issued by the Argus
+// backend at bootstrapping (§IV-A):
+//
+//   - CERT — a public-key certificate binding an entity's identity to its
+//     ECDSA public key. Real X.509 is used (via crypto/x509) so certificate
+//     sizes match the paper's §IX-A accounting (552 B X.509 ECDSA
+//     certificates at 128-bit strength).
+//   - PROF — an attribute profile: for subjects, the signed list of
+//     non-sensitive attributes; for objects, a service-information variant
+//     (functions + attributes) selected per subject category or secret group.
+//
+// Both are signed by the admin's private key and "cannot be forged/altered";
+// every verification chains to the admin public key loaded onto each device.
+package cert
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"time"
+
+	"argus/internal/suite"
+)
+
+// Role distinguishes the two registered entity kinds.
+type Role byte
+
+const (
+	RoleSubject Role = 1 // users' devices (e.g. smartphones)
+	RoleObject  Role = 2 // IoT devices offering services
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleSubject:
+		return "subject"
+	case RoleObject:
+		return "object"
+	}
+	return fmt.Sprintf("role(%d)", byte(r))
+}
+
+// ID is a 16-byte entity identifier assigned at registration.
+type ID [16]byte
+
+// NewID draws a random identifier from rng (crypto/rand.Reader if nil).
+func NewID(rng io.Reader) (ID, error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	var id ID
+	if _, err := io.ReadFull(rng, id[:]); err != nil {
+		return ID{}, err
+	}
+	return id, nil
+}
+
+// IDFromName derives a deterministic ID from a human-readable name; used by
+// examples and tests for stable identities.
+func IDFromName(name string) ID {
+	var id ID
+	h := sha256.Sum256([]byte("argus-id:" + name))
+	copy(id[:], h[:16])
+	return id
+}
+
+// String renders the ID as hex.
+func (id ID) String() string { return hex.EncodeToString(id[:]) }
+
+// Admin is the backend's certificate authority: it holds the admin private
+// key whose public half (K_admin^pub) is loaded onto every subject device and
+// object at bootstrapping.
+type Admin struct {
+	strength suite.Strength
+	key      *suite.SigningKey
+	caCert   *x509.Certificate
+	caDER    []byte
+	serial   int64
+	// chain holds the intermediate CA certificates (DER) from this admin up
+	// to, but excluding, the root — empty for the root admin. See
+	// hierarchy.go (§II-A: the backend is a hierarchy of servers).
+	chain [][]byte
+}
+
+// NewAdmin creates the admin identity with a self-signed CA certificate.
+func NewAdmin(s suite.Strength, name string) (*Admin, error) {
+	key, err := suite.GenerateSigningKey(s, nil)
+	if err != nil {
+		return nil, err
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: name, Organization: []string{"Argus Enterprise Backend"}},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(10 * 365 * 24 * time.Hour),
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature,
+		BasicConstraintsValid: true,
+		IsCA:                  true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.StdPrivate().PublicKey, key.StdPrivate())
+	if err != nil {
+		return nil, err
+	}
+	caCert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, err
+	}
+	return &Admin{strength: s, key: key, caCert: caCert, caDER: der, serial: 1}, nil
+}
+
+// Strength returns the security strength the admin operates at.
+func (a *Admin) Strength() suite.Strength { return a.strength }
+
+// Public returns K_admin^pub, loaded onto every device at bootstrapping.
+func (a *Admin) Public() suite.PublicKey { return a.key.Public() }
+
+// CACert returns the admin's self-signed certificate (DER), the trust anchor
+// for CERT verification.
+func (a *Admin) CACert() []byte { return append([]byte(nil), a.caDER...) }
+
+// Sign signs an arbitrary blob with the admin key (used for update
+// notifications pushed to the ground network, §IV-A). Verify against
+// Public().
+func (a *Admin) Sign(msg []byte) ([]byte, error) { return a.key.Sign(msg) }
+
+// Export returns the admin's persistent state: private key, CA certificate,
+// issuance serial and intermediate chain. For the backend's store only.
+func (a *Admin) Export() (keyBytes, caDER []byte, serial int64, chain [][]byte) {
+	return a.key.Marshal(), a.CACert(), a.serial, a.Chain()
+}
+
+// ImportAdmin restores an admin exported by Export.
+func ImportAdmin(keyBytes, caDER []byte, serial int64, chain [][]byte) (*Admin, error) {
+	key, err := suite.UnmarshalSigningKey(keyBytes)
+	if err != nil {
+		return nil, err
+	}
+	caCert, err := x509.ParseCertificate(caDER)
+	if err != nil {
+		return nil, err
+	}
+	if serial < 1 {
+		return nil, errors.New("cert: invalid admin serial")
+	}
+	cp := make([][]byte, len(chain))
+	for i, c := range chain {
+		cp[i] = append([]byte(nil), c...)
+	}
+	return &Admin{
+		strength: key.Strength(),
+		key:      key,
+		caCert:   caCert,
+		caDER:    append([]byte(nil), caDER...),
+		serial:   serial,
+		chain:    cp,
+	}, nil
+}
+
+// IssueCert creates an admin-signed X.509 certificate for an entity's public
+// key. The returned DER bytes are the CERT_X wire field.
+func (a *Admin) IssueCert(id ID, name string, role Role, pub suite.PublicKey) ([]byte, error) {
+	std, err := pub.Std()
+	if err != nil {
+		return nil, err
+	}
+	a.serial++
+	// Subject key identifier and OCSP endpoint are included as a real
+	// enterprise deployment would; they also bring the DER size to the
+	// paper's §IX-A ballpark (552 B at 128-bit strength).
+	ski := sha256.Sum256(pub.Bytes())
+	tmpl := &x509.Certificate{
+		SerialNumber: big.NewInt(a.serial),
+		Subject: pkix.Name{
+			CommonName:         name,
+			Organization:       []string{"Argus Enterprise"},
+			OrganizationalUnit: []string{role.String()},
+			SerialNumber:       id.String(),
+		},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(2 * 365 * 24 * time.Hour),
+		KeyUsage:     x509.KeyUsageDigitalSignature,
+		SubjectKeyId: ski[:20],
+		OCSPServer:   []string{"https://backend.argus.example/ocsp"},
+	}
+	return x509.CreateCertificate(rand.Reader, tmpl, a.caCert, std, a.key.StdPrivate())
+}
+
+// CertInfo is the verified content of a CERT.
+type CertInfo struct {
+	ID     ID
+	Name   string
+	Role   Role
+	Public suite.PublicKey
+}
+
+// VerifyCert parses certDER — an entity certificate, optionally followed by
+// intermediate CA certificates from a sub-backend (§II-A hierarchy) — and
+// verifies the chain against the trust anchor caDER. It returns the bound
+// identity and public key.
+func VerifyCert(caDER, certDER []byte, s suite.Strength) (*CertInfo, error) {
+	return VerifyCertChain(caDER, certDER, s)
+}

@@ -1,0 +1,208 @@
+package cert
+
+import (
+	"crypto/ecdsa"
+	"crypto/rand"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math/big"
+	"time"
+
+	"argus/internal/suite"
+)
+
+// The paper's backend is "not a single server, but a hierarchy of servers
+// run by the admin ... it realizes a chain of trust, and resists collapse
+// under the load and a single point of failure" (§II-A). This file provides
+// the chain-of-trust half: subordinate admins (per building/department)
+// whose issued CERTs and PROFs verify against the single root anchor every
+// device holds, so entities provisioned by different sub-backends can still
+// authenticate each other.
+
+// chain is the admin's certificate chain up to (excluding) the root: empty
+// for the root admin itself.
+func (a *Admin) Chain() [][]byte {
+	out := make([][]byte, len(a.chain))
+	for i, c := range a.chain {
+		out[i] = append([]byte(nil), c...)
+	}
+	return out
+}
+
+// NewSubordinate creates a child admin (a sub-backend's signing identity)
+// whose CA certificate is signed by this admin. Credentials the child issues
+// carry the chain and verify against the root anchor.
+func (a *Admin) NewSubordinate(name string) (*Admin, error) {
+	key, err := suite.GenerateSigningKey(a.strength, nil)
+	if err != nil {
+		return nil, err
+	}
+	a.serial++
+	tmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(a.serial),
+		Subject:               pkix.Name{CommonName: name, Organization: []string{"Argus Enterprise Backend"}},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(5 * 365 * 24 * time.Hour),
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature,
+		BasicConstraintsValid: true,
+		IsCA:                  true,
+		MaxPathLenZero:        false,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, a.caCert, &key.StdPrivate().PublicKey, a.key.StdPrivate())
+	if err != nil {
+		return nil, err
+	}
+	caCert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, err
+	}
+	childChain := append([][]byte{der}, a.chain...)
+	return &Admin{
+		strength: a.strength,
+		key:      key,
+		caCert:   caCert,
+		caDER:    der,
+		serial:   1,
+		chain:    childChain,
+	}, nil
+}
+
+// IssueCertChain issues an entity certificate like IssueCert but returns the
+// full chain encoding: entity DER followed by the admin's intermediate DERs,
+// concatenated (x509.ParseCertificates consumes this form). Single-level
+// admins return exactly IssueCert's output.
+func (a *Admin) IssueCertChain(id ID, name string, role Role, pub suite.PublicKey) ([]byte, error) {
+	leaf, err := a.IssueCert(id, name, role, pub)
+	if err != nil {
+		return nil, err
+	}
+	out := append([]byte(nil), leaf...)
+	for _, inter := range a.chain {
+		out = append(out, inter...)
+	}
+	return out, nil
+}
+
+// VerifyCertChain parses certDER (an entity certificate optionally followed
+// by intermediate CA certificates) and verifies the chain up to the root
+// anchor rootDER. It returns the bound identity like VerifyCert.
+func VerifyCertChain(rootDER, certDER []byte, s suite.Strength) (*CertInfo, error) {
+	root, err := x509.ParseCertificate(rootDER)
+	if err != nil {
+		return nil, fmt.Errorf("cert: bad trust anchor: %w", err)
+	}
+	certs, err := x509.ParseCertificates(certDER)
+	if err != nil || len(certs) == 0 {
+		return nil, errors.New("cert: bad certificate chain")
+	}
+	leaf := certs[0]
+	roots := x509.NewCertPool()
+	roots.AddCert(root)
+	inters := x509.NewCertPool()
+	for _, c := range certs[1:] {
+		inters.AddCert(c)
+	}
+	if _, err := leaf.Verify(x509.VerifyOptions{
+		Roots:         roots,
+		Intermediates: inters,
+		KeyUsages:     []x509.ExtKeyUsage{x509.ExtKeyUsageAny},
+	}); err != nil {
+		return nil, fmt.Errorf("cert: chain does not verify: %w", err)
+	}
+	return infoFromLeaf(leaf, s)
+}
+
+// verifyCAChain verifies a chain of CA certificates (leaf first, concatenated
+// DER) against the root anchor and returns the leaf CA's public key — the key
+// that signed a sub-backend's profiles.
+func verifyCAChain(rootDER, chainDER []byte) (suite.PublicKey, error) {
+	root, err := x509.ParseCertificate(rootDER)
+	if err != nil {
+		return suite.PublicKey{}, fmt.Errorf("cert: bad trust anchor: %w", err)
+	}
+	certs, err := x509.ParseCertificates(chainDER)
+	if err != nil || len(certs) == 0 {
+		return suite.PublicKey{}, errors.New("cert: bad signer chain")
+	}
+	leaf := certs[0]
+	roots := x509.NewCertPool()
+	roots.AddCert(root)
+	inters := x509.NewCertPool()
+	for _, c := range certs[1:] {
+		inters.AddCert(c)
+	}
+	if _, err := leaf.Verify(x509.VerifyOptions{
+		Roots:         roots,
+		Intermediates: inters,
+		KeyUsages:     []x509.ExtKeyUsage{x509.ExtKeyUsageAny},
+	}); err != nil {
+		return suite.PublicKey{}, fmt.Errorf("cert: signer chain does not verify: %w", err)
+	}
+	if !leaf.IsCA {
+		return suite.PublicKey{}, errors.New("cert: profile signer is not a CA")
+	}
+	pub, ok := leaf.PublicKey.(*ecdsa.PublicKey)
+	if !ok {
+		return suite.PublicKey{}, errors.New("cert: signer is not ECDSA")
+	}
+	bits := pub.Curve.Params().BitSize
+	var s suite.Strength
+	switch bits {
+	case 224:
+		s = suite.S112
+	case 256:
+		s = suite.S128
+	case 384:
+		s = suite.S192
+	case 521:
+		s = suite.S256
+	default:
+		return suite.PublicKey{}, errors.New("cert: signer on unsupported curve")
+	}
+	raw := make([]byte, s.PointSize())
+	cs := s.CoordinateSize()
+	pub.X.FillBytes(raw[:cs])
+	pub.Y.FillBytes(raw[cs:])
+	return suite.PublicKeyFromBytes(s, raw)
+}
+
+// infoFromLeaf extracts the CertInfo fields from a verified leaf.
+func infoFromLeaf(c *x509.Certificate, s suite.Strength) (*CertInfo, error) {
+	pub, ok := c.PublicKey.(*ecdsa.PublicKey)
+	if !ok {
+		return nil, errors.New("cert: not an ECDSA certificate")
+	}
+	if pub.Curve != s.Curve() {
+		return nil, errors.New("cert: wrong curve for strength")
+	}
+	raw := make([]byte, s.PointSize())
+	cs := s.CoordinateSize()
+	pub.X.FillBytes(raw[:cs])
+	pub.Y.FillBytes(raw[cs:])
+	spub, err := suite.PublicKeyFromBytes(s, raw)
+	if err != nil {
+		return nil, err
+	}
+	var role Role
+	if len(c.Subject.OrganizationalUnit) == 1 {
+		switch c.Subject.OrganizationalUnit[0] {
+		case "subject":
+			role = RoleSubject
+		case "object":
+			role = RoleObject
+		}
+	}
+	if role == 0 {
+		return nil, errors.New("cert: missing role")
+	}
+	idBytes, err := hex.DecodeString(c.Subject.SerialNumber)
+	if err != nil || len(idBytes) != len(ID{}) {
+		return nil, errors.New("cert: malformed entity ID")
+	}
+	var id ID
+	copy(id[:], idBytes)
+	return &CertInfo{ID: id, Name: c.Subject.CommonName, Role: role, Public: spub}, nil
+}

@@ -1,0 +1,204 @@
+package core
+
+// Model-based testing: generate random enterprises (attributes, policies,
+// secret groups, object levels) and check that what the simulated discovery
+// returns is EXACTLY what the backend's policy database predicts — visibility
+// scoping is congruent with access control (§II-B), with no object leaking to
+// an unauthorized subject and no authorized service missed.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"argus/internal/attr"
+	"argus/internal/backend"
+	"argus/internal/cert"
+	"argus/internal/groups"
+	"argus/internal/netsim"
+	"argus/internal/suite"
+	"argus/internal/wire"
+)
+
+// randomEnterprise builds a randomized deployment and returns the expected
+// visibility for the chosen subject.
+type expectation struct {
+	level backend.Level
+	funcs map[string]bool
+}
+
+func TestDiscoveryMatchesPolicyModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	positions := []string{"manager", "staff", "student", "visitor"}
+	departments := []string{"X", "Y"}
+	types := []string{"lock", "light", "hvac", "vending"}
+
+	for trial := 0; trial < 12; trial++ {
+		b, err := backend.New(suite.S128)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Random policies: each grants one position (possibly qualified by
+		// department) rights on one device type.
+		nPolicies := 1 + rng.Intn(4)
+		for i := 0; i < nPolicies; i++ {
+			sub := fmt.Sprintf("position=='%s'", positions[rng.Intn(len(positions))])
+			if rng.Intn(2) == 0 {
+				sub += fmt.Sprintf(" && department=='%s'", departments[rng.Intn(len(departments))])
+			}
+			obj := fmt.Sprintf("type=='%s'", types[rng.Intn(len(types))])
+			rights := []string{fmt.Sprintf("right-%d", i)}
+			if _, _, err := b.AddPolicy(attr.MustParse(sub), attr.MustParse(obj), rights); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Two secret groups; the subject joins one at random (or none).
+		g1, _ := b.Groups.CreateGroup("g1")
+		g2, _ := b.Groups.CreateGroup("g2")
+		subjectGroups := map[groups.ID]bool{}
+
+		sattrs := attr.MustSet(fmt.Sprintf("position=%s,department=%s",
+			positions[rng.Intn(len(positions))], departments[rng.Intn(len(departments))]))
+		sid, _, err := b.RegisterSubject(fmt.Sprintf("subject-%d", trial), sattrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch rng.Intn(3) {
+		case 0:
+			b.AddSubjectToGroup(sid, g1.ID())
+			subjectGroups[g1.ID()] = true
+		case 1:
+			b.AddSubjectToGroup(sid, g2.ID())
+			subjectGroups[g2.ID()] = true
+		}
+
+		// Random objects.
+		nObjects := 3 + rng.Intn(8)
+		type objInfo struct {
+			name  string
+			level backend.Level
+			attrs attr.Set
+			group groups.ID // covert group if L3
+		}
+		objs := make([]objInfo, nObjects)
+		for i := range objs {
+			level := backend.Level(1 + rng.Intn(3))
+			oattrs := attr.MustSet(fmt.Sprintf("type=%s,room=R%d", types[rng.Intn(len(types))], rng.Intn(3)))
+			name := fmt.Sprintf("obj-%d-%d", trial, i)
+			oid, _, err := b.RegisterObject(name, level, oattrs, []string{"base-func"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			info := objInfo{name: name, level: level, attrs: oattrs}
+			if level == backend.L3 {
+				g := g1
+				if rng.Intn(2) == 0 {
+					g = g2
+				}
+				if err := b.AddCovertService(oid, g.ID(), []string{"covert-func"}); err != nil {
+					t.Fatal(err)
+				}
+				info.group = g.ID()
+			}
+			objs[i] = info
+		}
+
+		// Expected visibility, computed from first principles:
+		expect := map[string]expectation{}
+		for _, o := range objs {
+			switch o.level {
+			case backend.L1:
+				expect[o.name] = expectation{level: backend.L1, funcs: map[string]bool{"base-func": true}}
+			case backend.L2, backend.L3:
+				// Covert face first: fellows see the group variant.
+				if o.level == backend.L3 && subjectGroups[o.group] {
+					expect[o.name] = expectation{level: backend.L3, funcs: map[string]bool{"covert-func": true}}
+					continue
+				}
+				// Otherwise: first policy (by ID order) whose subject pred
+				// matches and whose object pred matches.
+				for _, pol := range b.Policies() {
+					if pol.Subject.Eval(sattrs) && pol.Object.Eval(o.attrs) {
+						fs := map[string]bool{}
+						for _, r := range pol.Rights {
+							fs[r] = true
+						}
+						expect[o.name] = expectation{level: backend.L2, funcs: fs}
+						break
+					}
+				}
+			}
+		}
+
+		// Simulate.
+		net := netsim.New(netsim.DefaultWiFi(), int64(trial))
+		sprov, err := b.ProvisionSubject(sid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subj := NewSubject(sprov, wire.V30, Costs{})
+		sn := net.AddNode(subj)
+		subj.Attach(sn)
+		nameOf := map[netsim.NodeID]string{}
+		for _, o := range objs {
+			prov, err := b.ProvisionObject(cert16(o.name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng := NewObject(prov, wire.V30, Costs{})
+			n := net.AddNode(eng)
+			eng.Attach(n)
+			net.Link(sn, n)
+			nameOf[n] = o.name
+		}
+		if err := subj.DiscoverAll(net, 1); err != nil {
+			t.Fatal(err)
+		}
+
+		// Compare (DiscoverAll may rediscover the same object across rounds;
+		// dedupe on the best = highest level result).
+		got := map[string]Discovery{}
+		for _, d := range subj.Results() {
+			name := nameOf[d.Node]
+			if prev, ok := got[name]; !ok || d.Level > prev.Level {
+				got[name] = d
+			}
+		}
+		for name, want := range expect {
+			d, ok := got[name]
+			if !ok {
+				t.Errorf("trial %d: %s expected visible at %v, not discovered", trial, name, want.level)
+				continue
+			}
+			if d.Level != want.level {
+				t.Errorf("trial %d: %s discovered at %v, want %v", trial, name, d.Level, want.level)
+			}
+			for _, f := range d.Profile.Functions {
+				if !want.funcs[f] {
+					t.Errorf("trial %d: %s leaked function %q", trial, name, f)
+				}
+			}
+			for f := range want.funcs {
+				found := false
+				for _, g := range d.Profile.Functions {
+					if g == f {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("trial %d: %s missing function %q", trial, name, f)
+				}
+			}
+		}
+		for name := range got {
+			if _, ok := expect[name]; !ok {
+				t.Errorf("trial %d: %s visible but policy model says hidden — visibility leak", trial, name)
+			}
+		}
+	}
+}
+
+// cert16 regenerates the deterministic ID the backend assigned.
+func cert16(name string) cert.ID { return cert.IDFromName(name) }

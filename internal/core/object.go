@@ -1,0 +1,319 @@
+package core
+
+import (
+	"time"
+
+	"argus/internal/backend"
+	"argus/internal/cert"
+	"argus/internal/netsim"
+	"argus/internal/suite"
+	"argus/internal/wire"
+)
+
+// Object is the object-side discovery engine: one per IoT device on the
+// ground network. It implements netsim.Handler and answers QUE1/QUE2 per its
+// level and protocol version.
+type Object struct {
+	prov    *backend.ObjectProvision
+	version wire.Version
+	costs   Costs
+	node    netsim.NodeID
+
+	sessions map[sessionKey]*objSession
+	seen     map[sessionKey]bool // duplicate-query suppression via R_S (§IV-B)
+	revoked  map[cert.ID]bool
+}
+
+// Resource bounds. DoS resistance is a non-goal of the paper (§III), but an
+// unbounded session table would let any broadcaster exhaust object memory;
+// constrained objects cap pending handshakes and periodically forget old
+// duplicate-detection state.
+const (
+	maxPendingSessions = 256
+	maxSeenQueries     = 4096
+)
+
+type objSession struct {
+	subjNode netsim.NodeID
+	rs       []byte
+	ro       []byte
+	kex      *suite.KeyExchange
+	que1Enc  []byte
+	res1Enc  []byte
+}
+
+// NewObject creates an engine from a backend provision. version selects the
+// protocol iteration (v3.0 for the full system).
+func NewObject(prov *backend.ObjectProvision, version wire.Version, costs Costs) *Object {
+	o := &Object{
+		prov:     prov,
+		version:  version,
+		costs:    costs,
+		sessions: make(map[sessionKey]*objSession),
+		seen:     make(map[sessionKey]bool),
+		revoked:  make(map[cert.ID]bool),
+	}
+	for _, id := range prov.Revoked {
+		o.revoked[id] = true
+	}
+	return o
+}
+
+// Attach records the object's own ground-network address. Call after
+// netsim.AddNode.
+func (o *Object) Attach(node netsim.NodeID) { o.node = node }
+
+// ID returns the object's registered identity.
+func (o *Object) ID() cert.ID { return o.prov.ID }
+
+// Name returns the object's registered name.
+func (o *Object) Name() string { return o.prov.Name }
+
+// Level returns the object's secrecy level. The object keeps this to itself
+// (§IV-A); it is exposed here for experiment bookkeeping only.
+func (o *Object) Level() Level { return o.prov.Level }
+
+// Refresh applies a re-provision (after backend churn: policy changes, group
+// re-keying, revocation notifications).
+func (o *Object) Refresh(prov *backend.ObjectProvision) {
+	o.prov = prov
+	o.revoked = make(map[cert.ID]bool, len(prov.Revoked))
+	for _, id := range prov.Revoked {
+		o.revoked[id] = true
+	}
+}
+
+// Revoke adds a subject to the object's local blacklist (a backend
+// notification arriving on the ground, §VIII).
+func (o *Object) Revoke(subject cert.ID) { o.revoked[subject] = true }
+
+// HandleMessage implements netsim.Handler.
+func (o *Object) HandleMessage(net *netsim.Network, from netsim.NodeID, payload []byte) {
+	msg, err := wire.Decode(payload)
+	if err != nil {
+		return // malformed traffic is dropped silently
+	}
+	switch m := msg.(type) {
+	case *wire.QUE1:
+		o.handleQUE1(net, from, m, payload)
+	case *wire.QUE2:
+		o.handleQUE2(net, from, m)
+	}
+}
+
+func (o *Object) handleQUE1(net *netsim.Network, from netsim.NodeID, m *wire.QUE1, raw []byte) {
+	if len(m.RS) != suite.NonceSize {
+		return
+	}
+	key := mkSessionKey(from, m.RS)
+	if o.seen[key] {
+		return // duplicate query (flooded QUE1 arriving via another path)
+	}
+	if len(o.seen) >= maxSeenQueries {
+		// Coarse reset: old R_S values have long completed or timed out;
+		// replays of them are still caught by the signature freshness check.
+		o.seen = make(map[sessionKey]bool)
+	}
+	o.seen[key] = true
+	if len(o.sessions) >= maxPendingSessions {
+		return // refuse new handshakes until pending ones complete
+	}
+
+	if o.prov.Level == L1 {
+		// Level 1: return the signed profile in plaintext. No
+		// compute-intensive operation on the object (Fig 6b).
+		res := &wire.RES1{
+			Version: o.version,
+			Mode:    wire.ModePublic,
+			Prof:    o.prov.PublicProfile.Encode(),
+		}
+		net.Send(o.node, from, res.Encode())
+		return
+	}
+
+	// Level 2/3: respond with handshake material and await QUE2.
+	ro, err := suite.NewNonce(nil)
+	if err != nil {
+		return
+	}
+	kex, err := suite.NewKeyExchange(o.prov.Strength, nil)
+	if err != nil {
+		return
+	}
+	res := &wire.RES1{
+		Version: o.version,
+		Mode:    wire.ModeSecure,
+		RO:      ro,
+		CertO:   o.prov.CertDER,
+		KEXMO:   kex.Public(),
+	}
+	sig, err := o.prov.Key.Sign(res.SignedPart(m.RS))
+	if err != nil {
+		return
+	}
+	res.Sig = sig
+	sess := &objSession{
+		subjNode: from,
+		rs:       append([]byte(nil), m.RS...),
+		ro:       ro,
+		kex:      kex,
+		que1Enc:  append([]byte(nil), raw...),
+	}
+	o.sessions[key] = sess
+
+	cost := o.costs.KexGen + o.costs.Sign
+	net.Compute(o.node, cost, func() {
+		sess.res1Enc = res.Encode()
+		net.Send(o.node, from, sess.res1Enc)
+	})
+}
+
+func (o *Object) handleQUE2(net *netsim.Network, from netsim.NodeID, m *wire.QUE2) {
+	sess, ok := o.sessions[mkSessionKey(from, m.RS)]
+	if !ok || o.prov.Level == L1 {
+		return
+	}
+	delete(o.sessions, mkSessionKey(from, m.RS))
+
+	// Authenticate the subject: CERT chains to the admin, signature covers
+	// the whole transcript, and the freshness of R_O defeats replay.
+	info, err := cert.VerifyCert(o.prov.CACert, m.CertS, o.prov.Strength)
+	if err != nil || info.Role != cert.RoleSubject {
+		return
+	}
+	if o.revoked[info.ID] {
+		return // de-authorized subjects stop seeing services (§VIII)
+	}
+	sigInput := wire.SigInputQUE2(sess.que1Enc, sess.res1Enc, m)
+	if !info.Public.Verify(sigInput, m.Sig) {
+		return
+	}
+	prof, err := cert.DecodeProfile(m.ProfS)
+	if err != nil || prof.Kind != cert.RoleSubject || prof.Entity != info.ID {
+		return
+	}
+	if err := prof.VerifyAnchored(o.prov.CACert, o.prov.AdminPub, time.Now()); err != nil {
+		return // PROF must be admin-signed: attributes cannot be self-claimed
+	}
+
+	// Key establishment.
+	preK, err := sess.kex.Shared(m.KEXMS)
+	if err != nil {
+		return
+	}
+	k2 := suite.SessionKey2(preK, sess.rs, sess.ro)
+	ts := transcriptS(sess.que1Enc, sess.res1Enc, m)
+	tsHash := ts.Hash()
+	if !suite.VerifyMAC(k2, suite.LabelSubjectFinished, tsHash, m.MACS2) {
+		return // handshake failure
+	}
+
+	// Level 3: test fellowship by verifying MAC_{S,3} against each group
+	// key the object serves (§VI-A, §VI-C).
+	var fellowVariant *backend.ObjectVariant
+	var k3 []byte
+	if o.prov.Level == L3 && len(m.MACS3) > 0 && o.version != wire.V10 {
+		for i := range o.prov.Variants {
+			v := &o.prov.Variants[i]
+			if !v.IsCovert() {
+				continue
+			}
+			cand := suite.SessionKey3(k2, v.GroupKey, sess.rs, sess.ro)
+			if suite.VerifyMAC(cand, suite.LabelSubjectFinished, tsHash, m.MACS3) {
+				fellowVariant, k3 = v, cand
+				break
+			}
+		}
+	}
+
+	// Build the response. The virtual compute cost is charged identically on
+	// every path — the paper's "constant response time" countermeasure to
+	// timing attacks (§VI-B): verification work that a path skips is waited
+	// out instead.
+	cost := 2*o.costs.Verify + // CERT_S, SIG_S
+		o.costs.Verify + // PROF_S admin signature
+		o.costs.KexShared +
+		o.costs.HMAC + // MAC_{S,2}
+		o.costs.Cipher + o.costs.HMAC // RES2 ciphertext + MAC_{O,X}
+	if o.version != wire.V10 && o.prov.Level == L3 {
+		cost += time.Duration(o.covertVariantCount()) * 2 * o.costs.HMAC // K3 derivations + MAC_{S,3} trials
+	}
+
+	var res *wire.RES2
+	switch {
+	case fellowVariant != nil:
+		// Level 3 face: MAC_{O,3} and PROF encrypted under K3.
+		res = o.buildRES2(ts, m, k3, fellowVariant.Profile)
+	default:
+		// Level 2 face (for true Level 2 objects and for Level 3 objects
+		// answering non-fellows in v3.0). v2.0 Level 3 objects instead answer
+		// with their Level 3 face unconditionally — the composition leak the
+		// paper describes (§VI-B) and our attack tests exploit.
+		if o.version == wire.V20 && o.prov.Level == L3 {
+			v := o.firstCovertVariant()
+			if v == nil {
+				return
+			}
+			kFirst := suite.SessionKey3(k2, v.GroupKey, sess.rs, sess.ro)
+			res = o.buildRES2(ts, m, kFirst, v.Profile)
+			break
+		}
+		v := o.matchVariant(prof)
+		if v == nil {
+			return // no policy admits this subject: silence, not a hint
+		}
+		res = o.buildRES2(ts, m, k2, v.Profile)
+	}
+	if res == nil {
+		return
+	}
+	net.Compute(o.node, cost, func() {
+		net.Send(o.node, from, res.Encode())
+	})
+}
+
+// buildRES2 encrypts the profile variant under the session key and computes
+// MAC_{O,X} over the object-side transcript cut.
+func (o *Object) buildRES2(ts *wire.Transcript, m *wire.QUE2, key []byte, prof *cert.Profile) *wire.RES2 {
+	ct, err := suite.EncryptProfile(key, prof.Encode(), nil)
+	if err != nil {
+		return nil
+	}
+	to := transcriptO(ts, m, ct)
+	mac := suite.FinishedMAC(key, suite.LabelObjectFinished, to.Hash())
+	return &wire.RES2{Version: o.version, Ciphertext: ct, MACO: mac}
+}
+
+// matchVariant returns the first Level 2 variant whose predicate matches the
+// subject's non-sensitive attributes (pred_i order fixed by the backend).
+func (o *Object) matchVariant(prof *cert.Profile) *backend.ObjectVariant {
+	for i := range o.prov.Variants {
+		v := &o.prov.Variants[i]
+		if v.IsCovert() {
+			continue
+		}
+		if v.Pred.Eval(prof.Attrs) {
+			return v
+		}
+	}
+	return nil
+}
+
+func (o *Object) firstCovertVariant() *backend.ObjectVariant {
+	for i := range o.prov.Variants {
+		if o.prov.Variants[i].IsCovert() {
+			return &o.prov.Variants[i]
+		}
+	}
+	return nil
+}
+
+func (o *Object) covertVariantCount() int {
+	n := 0
+	for i := range o.prov.Variants {
+		if o.prov.Variants[i].IsCovert() {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"time"
+
+	"argus/internal/backend"
+	"argus/internal/cert"
+	"argus/internal/groups"
+	"argus/internal/netsim"
+	"argus/internal/suite"
+	"argus/internal/wire"
+)
+
+// Subject is the subject-side discovery engine (the user's device). It
+// implements netsim.Handler: broadcast QUE1, collect RES1s, run the phase-2
+// handshake with every Level 2/3 responder, and report verified discoveries.
+type Subject struct {
+	prov    *backend.SubjectProvision
+	version wire.Version
+	costs   Costs
+	node    netsim.NodeID
+
+	// activeGroup indexes prov.Memberships: the group key used for
+	// MAC_{S,3} this round. Devices rotate keys across rounds (§VI-C).
+	activeGroup int
+	round       int
+	rs          []byte
+	que1Enc     []byte
+
+	sessions map[sessionKey]*subjSession
+	results  []Discovery
+
+	// OnDiscovery, if set, is invoked for every verified discovery.
+	OnDiscovery func(Discovery)
+}
+
+type subjSession struct {
+	objNode netsim.NodeID
+	k2      []byte
+	k3      []byte
+	group   groups.ID
+	ts      *wire.Transcript // subject-cut transcript
+	que2    *wire.QUE2
+	round   int
+}
+
+// NewSubject creates an engine from a backend provision.
+func NewSubject(prov *backend.SubjectProvision, version wire.Version, costs Costs) *Subject {
+	return &Subject{
+		prov:     prov,
+		version:  version,
+		costs:    costs,
+		sessions: make(map[sessionKey]*subjSession),
+	}
+}
+
+// Attach records the subject's ground-network address.
+func (s *Subject) Attach(node netsim.NodeID) { s.node = node }
+
+// ID returns the subject's registered identity.
+func (s *Subject) ID() cert.ID { return s.prov.ID }
+
+// Refresh applies a re-provision (new PROF, rotated group keys).
+func (s *Subject) Refresh(prov *backend.SubjectProvision) {
+	s.prov = prov
+	if s.activeGroup >= len(prov.Memberships) {
+		s.activeGroup = 0
+	}
+}
+
+// Results returns all verified discoveries so far.
+func (s *Subject) Results() []Discovery { return append([]Discovery(nil), s.results...) }
+
+// GroupCount returns how many group keys (incl. cover-up) the device holds.
+func (s *Subject) GroupCount() int { return len(s.prov.Memberships) }
+
+// NextGroup advances to the next group key for the following round (§VI-C:
+// "her device can automatically use her group keys in turns"). It reports
+// whether it wrapped around.
+func (s *Subject) NextGroup() (wrapped bool) {
+	if len(s.prov.Memberships) == 0 {
+		return true
+	}
+	s.activeGroup++
+	if s.activeGroup >= len(s.prov.Memberships) {
+		s.activeGroup = 0
+		return true
+	}
+	return false
+}
+
+// Discover starts one discovery round: broadcast QUE1 with a fresh R_S
+// within ttl hops. Results accumulate as the simulator runs. Sessions left
+// incomplete two or more rounds ago are pruned — their objects are out of
+// range or declined to answer.
+func (s *Subject) Discover(net *netsim.Network, ttl int) error {
+	rs, err := suite.NewNonce(nil)
+	if err != nil {
+		return err
+	}
+	s.round++
+	for k, sess := range s.sessions {
+		if sess.round < s.round-1 {
+			delete(s.sessions, k)
+		}
+	}
+	s.rs = rs
+	q := &wire.QUE1{Version: s.version, RS: rs}
+	s.que1Enc = q.Encode()
+	net.Broadcast(s.node, s.que1Enc, ttl)
+	return nil
+}
+
+// DiscoverAll runs one round per held group key, rotating keys between
+// rounds, so every authorized covert service is found (§VI-C). The network
+// is drained between rounds.
+func (s *Subject) DiscoverAll(net *netsim.Network, ttl int) error {
+	for i := 0; i < max(1, len(s.prov.Memberships)); i++ {
+		if err := s.Discover(net, ttl); err != nil {
+			return err
+		}
+		net.Run(0)
+		s.NextGroup()
+	}
+	return nil
+}
+
+// HandleMessage implements netsim.Handler.
+func (s *Subject) HandleMessage(net *netsim.Network, from netsim.NodeID, payload []byte) {
+	msg, err := wire.Decode(payload)
+	if err != nil {
+		return
+	}
+	switch m := msg.(type) {
+	case *wire.RES1:
+		s.handleRES1(net, from, m, payload)
+	case *wire.RES2:
+		s.handleRES2(net, from, m)
+	}
+}
+
+func (s *Subject) handleRES1(net *netsim.Network, from netsim.NodeID, m *wire.RES1, raw []byte) {
+	switch m.Mode {
+	case wire.ModePublic:
+		s.handlePublicRES1(net, from, m)
+	case wire.ModeSecure:
+		s.handleSecureRES1(net, from, m, raw)
+	}
+}
+
+// handlePublicRES1 processes a Level 1 response: verify the admin signature
+// on the plaintext profile (the subject's only compute-intensive operation in
+// Level 1, Fig 6b).
+func (s *Subject) handlePublicRES1(net *netsim.Network, from netsim.NodeID, m *wire.RES1) {
+	prof, err := cert.DecodeProfile(m.Prof)
+	if err != nil || prof.Kind != cert.RoleObject {
+		return
+	}
+	if err := prof.VerifyAnchored(s.prov.CACert, s.prov.AdminPub, time.Now()); err != nil {
+		return
+	}
+	net.Compute(s.node, s.costs.Verify, func() {
+		s.record(Discovery{
+			Object:  prof.Entity,
+			Node:    from,
+			Level:   L1,
+			Profile: prof,
+			At:      net.Now(),
+			Round:   s.round,
+		})
+	})
+}
+
+// handleSecureRES1 runs the subject side of phase 2: authenticate the
+// object, establish K2 (and K3 from the active group key), and send QUE2.
+func (s *Subject) handleSecureRES1(net *netsim.Network, from netsim.NodeID, m *wire.RES1, raw []byte) {
+	if s.rs == nil {
+		return // no discovery in progress
+	}
+	info, err := cert.VerifyCert(s.prov.CACert, m.CertO, s.prov.Strength)
+	if err != nil || info.Role != cert.RoleObject {
+		return
+	}
+	if !info.Public.Verify(m.SignedPart(s.rs), m.Sig) {
+		return // forged or replayed RES1
+	}
+	kex, err := suite.NewKeyExchange(s.prov.Strength, nil)
+	if err != nil {
+		return
+	}
+	preK, err := kex.Shared(m.KEXMO)
+	if err != nil {
+		return
+	}
+	k2 := suite.SessionKey2(preK, s.rs, m.RO)
+
+	q := &wire.QUE2{
+		Version: s.version,
+		RS:      s.rs,
+		ProfS:   s.prov.Profile.Encode(),
+		CertS:   s.prov.CertDER,
+		KEXMS:   kex.Public(),
+	}
+	sig, err := s.prov.Key.Sign(wire.SigInputQUE2(s.que1Enc, raw, q))
+	if err != nil {
+		return
+	}
+	q.Sig = sig
+
+	ts := transcriptS(s.que1Enc, raw, q)
+	tsHash := ts.Hash()
+	q.MACS2 = suite.FinishedMAC(k2, suite.LabelSubjectFinished, tsHash)
+
+	sess := &subjSession{objNode: from, k2: k2, ts: ts, round: s.round}
+	extraHMACs := 0
+	if s.version != wire.V10 && len(s.prov.Memberships) > 0 {
+		// v2.0: MAC_{S,3} is attached only when performing Level 3 discovery,
+		// i.e. when the subject actually holds a real group key — the
+		// composition leak §VI-B describes. v3.0: always attached; subjects
+		// without sensitive attributes use their cover-up key, so every QUE2
+		// looks the same.
+		mem := s.prov.Memberships[s.activeGroup%len(s.prov.Memberships)]
+		if s.version == wire.V30 || !mem.CoverUp {
+			k3 := suite.SessionKey3(k2, mem.Key, s.rs, m.RO)
+			q.MACS3 = suite.FinishedMAC(k3, suite.LabelSubjectFinished, tsHash)
+			sess.k3 = k3
+			sess.group = mem.Group
+			extraHMACs = 2 // K3 derivation + MAC_{S,3}
+		}
+	}
+	sess.que2 = q
+	s.sessions[mkSessionKey(from, s.rs)] = sess
+
+	// Fig 6b subject cost in Level 2/3: 1 signing, 3 verifications (CERT_O,
+	// KEXM_O signature, and later PROF_O), 2 ECDH operations. The PROF_O
+	// verification and decryption are charged at RES2 time.
+	cost := 2*s.costs.Verify + s.costs.KexGen + s.costs.KexShared +
+		s.costs.Sign + (2+time.Duration(extraHMACs))*s.costs.HMAC
+	net.Compute(s.node, cost, func() {
+		net.Send(s.node, from, q.Encode())
+	})
+}
+
+// handleRES2 completes the handshake: determine which key the object used
+// (K2 → Level 2 face, K3 → Level 3 fellow), verify, decrypt, and verify the
+// admin signature on the received PROF variant.
+func (s *Subject) handleRES2(net *netsim.Network, from netsim.NodeID, m *wire.RES2) {
+	// RES2 carries no R_S echo, so locate the pending session by peer,
+	// preferring the most recent round if several are outstanding.
+	var key sessionKey
+	var sess *subjSession
+	for k, c := range s.sessions {
+		if c.objNode == from && (sess == nil || c.round > sess.round) {
+			key, sess = k, c
+		}
+	}
+	if sess == nil {
+		return
+	}
+	delete(s.sessions, key)
+
+	to := transcriptO(sess.ts, sess.que2, m.Ciphertext)
+	toHash := to.Hash()
+
+	var level Level
+	var sk []byte
+	var group groups.ID
+	switch {
+	// "S first tries to verify it with K2 ... Otherwise she uses K3" (§VI-A).
+	case suite.VerifyMAC(sess.k2, suite.LabelObjectFinished, toHash, m.MACO):
+		level, sk = L2, sess.k2
+	case sess.k3 != nil && suite.VerifyMAC(sess.k3, suite.LabelObjectFinished, toHash, m.MACO):
+		level, sk, group = L3, sess.k3, sess.group
+	default:
+		return // neither key verifies: corrupted or not for us
+	}
+
+	plain, err := suite.DecryptProfile(sk, m.Ciphertext)
+	if err != nil {
+		return
+	}
+	prof, err := cert.DecodeProfile(plain)
+	if err != nil || prof.Kind != cert.RoleObject {
+		return
+	}
+	if err := prof.VerifyAnchored(s.prov.CACert, s.prov.AdminPub, time.Now()); err != nil {
+		return // service information is admin-signed end to end
+	}
+
+	cost := 2*s.costs.HMAC + s.costs.Cipher + s.costs.Verify
+	net.Compute(s.node, cost, func() {
+		s.record(Discovery{
+			Object:  prof.Entity,
+			Node:    from,
+			Level:   level,
+			Group:   uint64(group),
+			Profile: prof,
+			At:      net.Now(),
+			Round:   sess.round,
+		})
+	})
+}
+
+func (s *Subject) record(d Discovery) {
+	s.results = append(s.results, d)
+	if s.OnDiscovery != nil {
+		s.OnDiscovery(d)
+	}
+}

@@ -1,0 +1,176 @@
+package exp
+
+import (
+	"fmt"
+
+	"argus/internal/attr"
+	"argus/internal/backend"
+	"argus/internal/core"
+	"argus/internal/netsim"
+	"argus/internal/suite"
+	"argus/internal/wire"
+)
+
+// Deployment is a provisioned testbed: a backend, a ground network, one
+// subject and a set of objects — the simulation analogue of the paper's
+// 1-phone + 20-Pi testbed.
+type Deployment struct {
+	Backend  *backend.Backend
+	Net      *netsim.Network
+	Subject  *core.Subject
+	SubjNode netsim.NodeID
+	Objects  []*core.Object
+	ObjNode  []netsim.NodeID
+	// relays[i] is the relay chain node at hop distance i+1 from the subject
+	// (only populated for multi-hop topologies).
+	relays []netsim.NodeID
+}
+
+// DeployConfig describes a testbed to build.
+type DeployConfig struct {
+	// Levels lists the level of each object to create (len = object count).
+	Levels []backend.Level
+	// HopOf maps object index → hop distance from the subject (1 = direct).
+	// Nil means all objects are one hop away.
+	HopOf []int
+	// Version is the protocol iteration (default v3.0).
+	Version wire.Version
+	// SubjectCosts/ObjectCosts are the virtual compute tables (zero = free).
+	SubjectCosts, ObjectCosts core.Costs
+	// Link is the radio model (DefaultWiFi if zero).
+	Link netsim.LinkModel
+	// Seed fixes the simulator RNG.
+	Seed int64
+	// FellowOfGroup puts the subject in the covert group served by every
+	// Level 3 object (true for fellow runs, false for cover-up runs).
+	Fellow bool
+}
+
+// Deploy builds and provisions the testbed. Every object carries a Level 2
+// policy face for staff ("use"); Level 3 objects additionally serve a secret
+// group with a covert function.
+func Deploy(cfg DeployConfig) (*Deployment, error) {
+	if cfg.Version == 0 {
+		cfg.Version = wire.V30
+	}
+	if cfg.Link.BytesPerSecond == 0 {
+		cfg.Link = netsim.DefaultWiFi()
+	}
+	b, err := backend.New(suite.S128)
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := b.AddPolicy(
+		attr.MustParse("position=='staff'"),
+		attr.MustParse("type=='device'"),
+		[]string{"use"}); err != nil {
+		return nil, err
+	}
+	grp, err := b.Groups.CreateGroup("experiment secret group")
+	if err != nil {
+		return nil, err
+	}
+
+	sid, _, err := b.RegisterSubject("subject-device", attr.MustSet("position=staff"))
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Fellow {
+		if err := b.AddSubjectToGroup(sid, grp.ID()); err != nil {
+			return nil, err
+		}
+	}
+
+	d := &Deployment{Backend: b, Net: netsim.New(cfg.Link, cfg.Seed)}
+
+	sprov, err := b.ProvisionSubject(sid)
+	if err != nil {
+		return nil, err
+	}
+	d.Subject = core.NewSubject(sprov, cfg.Version, cfg.SubjectCosts)
+	d.SubjNode = d.Net.AddNode(d.Subject)
+	d.Subject.Attach(d.SubjNode)
+
+	// Relay chain for multi-hop rings (bridging devices, §II-A).
+	maxHop := 1
+	for _, h := range cfg.HopOf {
+		if h > maxHop {
+			maxHop = h
+		}
+	}
+	prev := d.SubjNode
+	for i := 1; i < maxHop; i++ {
+		r := d.Net.AddNode(nil)
+		d.Net.Link(prev, r)
+		d.relays = append(d.relays, r)
+		prev = r
+	}
+
+	for i, level := range cfg.Levels {
+		name := fmt.Sprintf("object-%02d", i)
+		oid, _, err := b.RegisterObject(name, level,
+			attr.MustSet("type=device,room=R1"), []string{"use"})
+		if err != nil {
+			return nil, err
+		}
+		if level == backend.L3 {
+			if err := b.AddCovertService(oid, grp.ID(), []string{"use", "covert-use"}); err != nil {
+				return nil, err
+			}
+		}
+		prov, err := b.ProvisionObject(oid)
+		if err != nil {
+			return nil, err
+		}
+		o := core.NewObject(prov, cfg.Version, cfg.ObjectCosts)
+		node := d.Net.AddNode(o)
+		o.Attach(node)
+
+		hop := 1
+		if cfg.HopOf != nil {
+			hop = cfg.HopOf[i]
+		}
+		if hop <= 1 {
+			d.Net.Link(d.SubjNode, node)
+		} else {
+			d.Net.Link(d.relays[hop-2], node)
+		}
+		d.Objects = append(d.Objects, o)
+		d.ObjNode = append(d.ObjNode, node)
+	}
+	return d, nil
+}
+
+// Run performs one discovery round with the given TTL and drains the
+// network, returning the discoveries and the completion time (virtual time
+// of the last discovery).
+func (d *Deployment) Run(ttl int) ([]core.Discovery, error) {
+	if err := d.Subject.Discover(d.Net, ttl); err != nil {
+		return nil, err
+	}
+	d.Net.Run(0)
+	return d.Subject.Results(), nil
+}
+
+// uniformLevels returns n copies of one level.
+func uniformLevels(level backend.Level, n int) []backend.Level {
+	out := make([]backend.Level, n)
+	for i := range out {
+		out[i] = level
+	}
+	return out
+}
+
+// paperHops assigns the paper's multi-hop layout: objects i are 1+i/5 hops
+// away (1–5 → 1 hop, 6–10 → 2 hops, ..., Fig 6g).
+func paperHops(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = 1 + i/5
+	}
+	return out
+}
+
+// mustPred and mustAttrs are tiny fixtures for experiment setup.
+func mustPred(text string) *attr.Predicate { return attr.MustParse(text) }
+func mustAttrs(text string) attr.Set       { return attr.MustSet(text) }

@@ -1,0 +1,119 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Result is one regenerated table or figure, rendered as the rows/series the
+// paper reports.
+type Result struct {
+	ID      string // "table1", "fig6a", ...
+	Title   string
+	Paper   string // one-line summary of what the paper reports
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row of cells (stringified).
+func (r *Result) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	r.Rows = append(r.Rows, row)
+}
+
+// String renders the result as an aligned text table.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", r.ID, r.Title)
+	if r.Paper != "" {
+		fmt.Fprintf(&b, "paper: %s\n", r.Paper)
+	}
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Columns)
+	sep := make([]string, len(r.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the result as a GitHub-flavored Markdown table, for
+// pasting into EXPERIMENTS.md or issue reports.
+func (r *Result) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", r.ID, r.Title)
+	if r.Paper != "" {
+		fmt.Fprintf(&b, "*paper: %s*\n\n", r.Paper)
+	}
+	b.WriteString("| " + strings.Join(r.Columns, " | ") + " |\n")
+	sep := make([]string, len(r.Columns))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, row := range r.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "\n> %s\n", n)
+	}
+	return b.String()
+}
+
+// Runner produces one experiment result. Quick mode trades accuracy for
+// speed (fewer iterations, smaller sweeps) — used by tests.
+type Runner func(quick bool) (*Result, error)
+
+// Registry maps experiment IDs to runners.
+var Registry = map[string]Runner{}
+
+// register is called from experiment files' init.
+func register(id string, r Runner) { Registry[id] = r }
+
+// IDs returns the registered experiment IDs in order.
+func IDs() []string {
+	out := make([]string, 0, len(Registry))
+	for id := range Registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,224 @@
+package groups
+
+import (
+	"bytes"
+	"testing"
+
+	"argus/internal/cert"
+)
+
+func TestCreateAndMembership(t *testing.T) {
+	m := NewManager(nil)
+	g, err := m.CreateGroup("students with learning disability")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cert.IDFromName("student-S")
+	o := cert.IDFromName("magazine-machine")
+	if err := m.AddMember(g.ID(), s, cert.RoleSubject); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddMember(g.ID(), o, cert.RoleObject); err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 2 {
+		t.Fatalf("γ = %d, want 2", g.Size())
+	}
+	if !m.IsMember(g.ID(), s) || !m.IsMember(g.ID(), o) {
+		t.Fatal("members not registered")
+	}
+
+	ms, err := m.MembershipsFor(s, cert.RoleSubject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mo, err := m.MembershipsFor(o, cert.RoleObject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || len(mo) != 1 {
+		t.Fatalf("memberships: subject %d, object %d", len(ms), len(mo))
+	}
+	if !bytes.Equal(ms[0].Key, mo[0].Key) {
+		t.Fatal("fellows hold different group keys")
+	}
+	if ms[0].CoverUp || mo[0].CoverUp {
+		t.Fatal("real membership marked cover-up")
+	}
+}
+
+func TestCoverUpKeys(t *testing.T) {
+	m := NewManager(nil)
+	g, _ := m.CreateGroup("g")
+	member := cert.IDFromName("member")
+	m.AddMember(g.ID(), member, cert.RoleSubject)
+
+	plain := cert.IDFromName("subject-without-sensitive-attrs")
+	ms, err := m.MembershipsFor(plain, cert.RoleSubject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || !ms[0].CoverUp {
+		t.Fatalf("expected exactly one cover-up membership, got %+v", ms)
+	}
+	// Stable across queries.
+	again, _ := m.MembershipsFor(plain, cert.RoleSubject)
+	if !bytes.Equal(ms[0].Key, again[0].Key) || ms[0].Group != again[0].Group {
+		t.Fatal("cover-up membership not stable")
+	}
+	// Unique per entity: "there is no second entity owning it" (§VI-B).
+	other, _ := m.MembershipsFor(cert.IDFromName("another-subject"), cert.RoleSubject)
+	if bytes.Equal(ms[0].Key, other[0].Key) {
+		t.Fatal("two subjects share a cover-up key")
+	}
+	// Objects outside any group get nothing (only Level 3 objects hold keys).
+	mo, _ := m.MembershipsFor(cert.IDFromName("plain-object"), cert.RoleObject)
+	if len(mo) != 0 {
+		t.Fatalf("object got memberships: %+v", mo)
+	}
+	// Structural indistinguishability: same key length, version layout.
+	real, _ := m.MembershipsFor(member, cert.RoleSubject)
+	if len(real[0].Key) != len(ms[0].Key) {
+		t.Fatal("cover-up key length differs from real key")
+	}
+}
+
+func TestRemoveMemberRotatesKey(t *testing.T) {
+	m := NewManager(nil)
+	g, _ := m.CreateGroup("g")
+	ids := []cert.ID{
+		cert.IDFromName("a"), cert.IDFromName("b"), cert.IDFromName("c"),
+	}
+	m.AddMember(g.ID(), ids[0], cert.RoleSubject)
+	m.AddMember(g.ID(), ids[1], cert.RoleSubject)
+	m.AddMember(g.ID(), ids[2], cert.RoleObject)
+
+	before, _ := m.MembershipsFor(ids[0], cert.RoleSubject)
+	oldKey := before[0].Key
+
+	rekeyed, err := m.RemoveMember(g.ID(), ids[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §VIII: removing one of γ members notifies the other γ−1 fellows.
+	if len(rekeyed) != 2 {
+		t.Fatalf("rekeyed %d fellows, want γ−1 = 2", len(rekeyed))
+	}
+	if m.IsMember(g.ID(), ids[1]) {
+		t.Fatal("removed member still present")
+	}
+	after, _ := m.MembershipsFor(ids[0], cert.RoleSubject)
+	if bytes.Equal(oldKey, after[0].Key) {
+		t.Fatal("group key not rotated on removal — removed member could still discover fellows")
+	}
+	if after[0].KeyVersion != 2 {
+		t.Fatalf("key version = %d, want 2", after[0].KeyVersion)
+	}
+}
+
+func TestRemoveNonMemberFails(t *testing.T) {
+	m := NewManager(nil)
+	g, _ := m.CreateGroup("g")
+	if _, err := m.RemoveMember(g.ID(), cert.IDFromName("nobody")); err == nil {
+		t.Fatal("removing a non-member succeeded")
+	}
+	if _, err := m.RemoveMember(999, cert.IDFromName("nobody")); err == nil {
+		t.Fatal("removing from unknown group succeeded")
+	}
+	if err := m.AddMember(999, cert.IDFromName("x"), cert.RoleSubject); err == nil {
+		t.Fatal("adding to unknown group succeeded")
+	}
+	if err := m.AddMember(g.ID(), cert.IDFromName("x"), cert.Role(9)); err == nil {
+		t.Fatal("invalid role accepted")
+	}
+}
+
+func TestMultipleGroups(t *testing.T) {
+	// §VI-C: a subject may hold multiple sensitive attributes and thus be in
+	// several secret groups.
+	m := NewManager(nil)
+	g1, _ := m.CreateGroup("attr-1")
+	g2, _ := m.CreateGroup("attr-2")
+	g3, _ := m.CreateGroup("attr-3")
+	s := cert.IDFromName("multi")
+	m.AddMember(g1.ID(), s, cert.RoleSubject)
+	m.AddMember(g3.ID(), s, cert.RoleSubject)
+
+	ms, _ := m.MembershipsFor(s, cert.RoleSubject)
+	if len(ms) != 2 {
+		t.Fatalf("memberships = %d, want 2", len(ms))
+	}
+	if ms[0].Group != g1.ID() || ms[1].Group != g3.ID() {
+		t.Fatalf("membership groups = %v, %v", ms[0].Group, ms[1].Group)
+	}
+	if m.IsMember(g2.ID(), s) {
+		t.Fatal("spurious membership")
+	}
+	if got := len(m.Groups()); got != 3 {
+		t.Fatalf("Groups() = %d, want 3", got)
+	}
+}
+
+func TestGroupDescriptionsStayAdminSide(t *testing.T) {
+	// The group→attribute mapping is kept to the admin only (§VII Case 5):
+	// issued memberships carry only the opaque ID and key.
+	m := NewManager(nil)
+	g, _ := m.CreateGroup("employees with depression")
+	s := cert.IDFromName("s")
+	m.AddMember(g.ID(), s, cert.RoleSubject)
+	ms, _ := m.MembershipsFor(s, cert.RoleSubject)
+	if g.Description() != "employees with depression" {
+		t.Fatal("admin lost the mapping")
+	}
+	// Membership struct has no description field — compile-time guarantee —
+	// so just confirm the key material does not embed it.
+	if bytes.Contains(ms[0].Key, []byte("depression")) {
+		t.Fatal("group key leaks the sensitive attribute")
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	m := NewManager(nil)
+	g1, _ := m.CreateGroup("alpha")
+	g2, _ := m.CreateGroup("beta")
+	s := cert.IDFromName("s")
+	o := cert.IDFromName("o")
+	m.AddMember(g1.ID(), s, cert.RoleSubject)
+	m.AddMember(g1.ID(), o, cert.RoleObject)
+	m.AddMember(g2.ID(), s, cert.RoleSubject)
+	// Materialize a cover-up key for an outsider.
+	outsider := cert.IDFromName("outsider")
+	cuBefore, _ := m.MembershipsFor(outsider, cert.RoleSubject)
+
+	blob := m.Export()
+	r, err := Import(blob)
+	if err != nil {
+		t.Fatalf("Import: %v", err)
+	}
+	if !bytes.Equal(blob, r.Export()) {
+		t.Fatal("re-export differs")
+	}
+	// Memberships and keys survive.
+	ms, _ := r.MembershipsFor(s, cert.RoleSubject)
+	if len(ms) != 2 {
+		t.Fatalf("memberships after import = %d", len(ms))
+	}
+	orig, _ := m.MembershipsFor(s, cert.RoleSubject)
+	if !bytes.Equal(ms[0].Key, orig[0].Key) {
+		t.Fatal("group key changed across import")
+	}
+	// Cover-up keys stay stable (the cover must not flicker on restart).
+	cuAfter, _ := r.MembershipsFor(outsider, cert.RoleSubject)
+	if !bytes.Equal(cuBefore[0].Key, cuAfter[0].Key) {
+		t.Fatal("cover-up key changed across import")
+	}
+	// New groups get fresh IDs beyond the horizon.
+	g3, _ := r.CreateGroup("gamma")
+	if g3.ID() <= g2.ID() {
+		t.Fatalf("new group ID %d not beyond %d", g3.ID(), g2.ID())
+	}
+	// Corruption rejected.
+	if _, err := Import(blob[:len(blob)-3]); err == nil {
+		t.Fatal("truncated registry imported")
+	}
+}

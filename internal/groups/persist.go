@@ -1,0 +1,112 @@
+package groups
+
+import (
+	"errors"
+	"sort"
+
+	"argus/internal/cert"
+	"argus/internal/enc"
+)
+
+// Export serializes the full registry state (group keys included — this is
+// the backend's private store, never wire material).
+func (m *Manager) Export() []byte {
+	w := enc.NewWriter(512)
+	w.U64(uint64(m.nextID))
+	w.U64(uint64(m.nextCover))
+
+	ids := m.Groups()
+	w.U32(uint32(len(ids)))
+	for _, id := range ids {
+		g := m.groups[id]
+		w.U64(uint64(g.id))
+		w.String16(g.description)
+		w.Bytes16(g.key)
+		w.U64(g.keyVersion)
+		writeIDSet(w, g.subjects)
+		writeIDSet(w, g.objects)
+	}
+
+	coverIDs := make([]cert.ID, 0, len(m.coverUps))
+	for id := range m.coverUps {
+		coverIDs = append(coverIDs, id)
+	}
+	sort.Slice(coverIDs, func(i, j int) bool { return coverIDs[i].String() < coverIDs[j].String() })
+	w.U32(uint32(len(coverIDs)))
+	for _, id := range coverIDs {
+		cu := m.coverUps[id]
+		w.Raw(id[:])
+		w.U64(uint64(cu.Group))
+		w.Bytes16(cu.Key)
+		w.U64(cu.KeyVersion)
+	}
+	return w.Bytes()
+}
+
+func writeIDSet(w *enc.Writer, set map[cert.ID]bool) {
+	ids := make([]cert.ID, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].String() < ids[j].String() })
+	w.U32(uint32(len(ids)))
+	for _, id := range ids {
+		w.Raw(id[:])
+	}
+}
+
+func readIDSet(r *enc.Reader) map[cert.ID]bool {
+	n := int(r.U32())
+	set := make(map[cert.ID]bool, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		var id cert.ID
+		copy(id[:], r.Raw(len(id)))
+		set[id] = true
+	}
+	return set
+}
+
+// Import restores a registry exported by Export.
+func Import(b []byte) (*Manager, error) {
+	r := enc.NewReader(b)
+	m := NewManager(nil)
+	m.nextID = ID(r.U64())
+	m.nextCover = ID(r.U64())
+
+	nGroups := int(r.U32())
+	for i := 0; i < nGroups && r.Err() == nil; i++ {
+		g := &Group{
+			id:          ID(r.U64()),
+			description: r.String16(),
+			key:         r.Bytes16(),
+			keyVersion:  r.U64(),
+		}
+		g.subjects = readIDSet(r)
+		g.objects = readIDSet(r)
+		m.groups[g.id] = g
+	}
+	nCover := int(r.U32())
+	for i := 0; i < nCover && r.Err() == nil; i++ {
+		var id cert.ID
+		copy(id[:], r.Raw(len(id)))
+		cu := Membership{
+			Group:      ID(r.U64()),
+			Key:        r.Bytes16(),
+			KeyVersion: r.U64(),
+			CoverUp:    true,
+		}
+		m.coverUps[id] = cu
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	for id, g := range m.groups {
+		if len(g.key) == 0 {
+			return nil, errors.New("groups: imported group without key")
+		}
+		if id >= m.nextID {
+			return nil, errors.New("groups: imported group beyond ID horizon")
+		}
+	}
+	return m, nil
+}

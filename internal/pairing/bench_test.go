@@ -1,0 +1,57 @@
+package pairing
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkFp12Mul(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := randFp12(rng), randFp12(rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x = x.Mul(y)
+	}
+}
+
+func BenchmarkG1ScalarMul(b *testing.B) {
+	g := G1Generator()
+	k := bigFromDecimal("123456789012345678901234567890")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ScalarMul(k)
+	}
+}
+
+func BenchmarkG2ScalarMul(b *testing.B) {
+	g := G2Generator()
+	k := bigFromDecimal("123456789012345678901234567890")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ScalarMul(k)
+	}
+}
+
+func BenchmarkMillerPlusFinalExp(b *testing.B) {
+	p, q := G1Generator(), G2Generator()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Pair(p, q)
+	}
+}
+
+func BenchmarkHashToG1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		HashToG1([]byte{byte(i), byte(i >> 8)})
+	}
+}
+
+func BenchmarkGTExp(b *testing.B) {
+	e := Pair(G1Generator(), G2Generator())
+	k := new(big.Int).Sub(R, big.NewInt(12345))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Exp(k)
+	}
+}

@@ -1,0 +1,254 @@
+package pairing
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math/big"
+)
+
+// G1 is a point on E(Fp): y² = x³ + 3, affine with an infinity flag. The
+// group has prime order r (cofactor 1).
+type G1 struct {
+	X, Y *big.Int
+	Inf  bool
+}
+
+// g1B is the curve coefficient b = 3.
+var g1B = big.NewInt(3)
+
+// G1Generator returns the standard generator (1, 2).
+func G1Generator() G1 { return G1{X: big.NewInt(1), Y: big.NewInt(2)} }
+
+// G1Infinity returns the identity element.
+func G1Infinity() G1 { return G1{Inf: true} }
+
+// IsOnCurve reports whether the point satisfies the curve equation.
+func (p G1) IsOnCurve() bool {
+	if p.Inf {
+		return true
+	}
+	lhs := fpSqr(p.Y)
+	rhs := fpAdd(fpMul(fpSqr(p.X), p.X), g1B)
+	return lhs.Cmp(rhs) == 0
+}
+
+// Equal reports point equality.
+func (p G1) Equal(q G1) bool {
+	if p.Inf || q.Inf {
+		return p.Inf == q.Inf
+	}
+	return p.X.Cmp(q.X) == 0 && p.Y.Cmp(q.Y) == 0
+}
+
+// Neg returns −p.
+func (p G1) Neg() G1 {
+	if p.Inf {
+		return p
+	}
+	return G1{X: new(big.Int).Set(p.X), Y: fpNeg(p.Y)}
+}
+
+// Add returns p + q (affine chord-and-tangent).
+func (p G1) Add(q G1) G1 {
+	switch {
+	case p.Inf:
+		return q
+	case q.Inf:
+		return p
+	}
+	if p.X.Cmp(q.X) == 0 {
+		if p.Y.Cmp(q.Y) != 0 || p.Y.Sign() == 0 {
+			return G1Infinity() // p = −q
+		}
+		return p.double()
+	}
+	lambda := fpMul(fpSub(q.Y, p.Y), fpInv(fpSub(q.X, p.X)))
+	x3 := fpSub(fpSub(fpSqr(lambda), p.X), q.X)
+	y3 := fpSub(fpMul(lambda, fpSub(p.X, x3)), p.Y)
+	return G1{X: x3, Y: y3}
+}
+
+func (p G1) double() G1 {
+	lambda := fpMul(fpMul(big.NewInt(3), fpSqr(p.X)), fpInv(fpAdd(p.Y, p.Y)))
+	x3 := fpSub(fpSqr(lambda), fpAdd(p.X, p.X))
+	y3 := fpSub(fpMul(lambda, fpSub(p.X, x3)), p.Y)
+	return G1{X: x3, Y: y3}
+}
+
+// ScalarMul returns k·p (double-and-add; k taken mod r).
+func (p G1) ScalarMul(k *big.Int) G1 {
+	k = new(big.Int).Mod(k, R)
+	out := G1Infinity()
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		out = out.Add(out)
+		if k.Bit(i) == 1 {
+			out = out.Add(p)
+		}
+	}
+	return out
+}
+
+// HashToG1 maps arbitrary bytes to a G1 point by try-and-increment. The
+// cofactor is 1, so any curve point already has order r.
+func HashToG1(msg []byte) G1 {
+	for ctr := uint32(0); ; ctr++ {
+		var pre [4]byte
+		binary.BigEndian.PutUint32(pre[:], ctr)
+		h := sha256.Sum256(append(pre[:], msg...))
+		x := new(big.Int).Mod(new(big.Int).SetBytes(h[:]), P)
+		rhs := fpAdd(fpMul(fpSqr(x), x), g1B)
+		if y := fpSqrt(rhs); y != nil {
+			pt := G1{X: x, Y: y}
+			if !pt.Inf {
+				return pt
+			}
+		}
+	}
+}
+
+// G2 is a point on the sextic twist E'(Fp2): y² = x³ + 3/ξ, restricted to the
+// order-r subgroup.
+type G2 struct {
+	X, Y Fp2
+	Inf  bool
+}
+
+// g2B is the twist coefficient b' = 3/ξ.
+var g2B = Fp2One().MulFp(big.NewInt(3)).Mul(Xi.Inv())
+
+// G2Generator returns the standard BN254 G2 generator (the alt_bn128
+// constants).
+func G2Generator() G2 {
+	return G2{
+		X: Fp2{
+			bigFromDecimal("10857046999023057135944570762232829481370756359578518086990519993285655852781"),
+			bigFromDecimal("11559732032986387107991004021392285783925812861821192530917403151452391805634"),
+		},
+		Y: Fp2{
+			bigFromDecimal("8495653923123431417604973247489272438418190587263600148770280649306958101930"),
+			bigFromDecimal("4082367875863433681332203403145435568316851327593401208105741076214120093531"),
+		},
+	}
+}
+
+// G2Infinity returns the identity element.
+func G2Infinity() G2 { return G2{Inf: true} }
+
+// IsOnCurve reports whether the point satisfies the twist equation.
+func (p G2) IsOnCurve() bool {
+	if p.Inf {
+		return true
+	}
+	lhs := p.Y.Square()
+	rhs := p.X.Square().Mul(p.X).Add(g2B)
+	return lhs.Equal(rhs)
+}
+
+// Equal reports point equality.
+func (p G2) Equal(q G2) bool {
+	if p.Inf || q.Inf {
+		return p.Inf == q.Inf
+	}
+	return p.X.Equal(q.X) && p.Y.Equal(q.Y)
+}
+
+// Neg returns −p.
+func (p G2) Neg() G2 {
+	if p.Inf {
+		return p
+	}
+	return G2{X: p.X, Y: p.Y.Neg()}
+}
+
+// Add returns p + q.
+func (p G2) Add(q G2) G2 {
+	switch {
+	case p.Inf:
+		return q
+	case q.Inf:
+		return p
+	}
+	if p.X.Equal(q.X) {
+		if !p.Y.Equal(q.Y) || p.Y.IsZero() {
+			return G2Infinity()
+		}
+		return p.double()
+	}
+	lambda := q.Y.Sub(p.Y).Mul(q.X.Sub(p.X).Inv())
+	x3 := lambda.Square().Sub(p.X).Sub(q.X)
+	y3 := lambda.Mul(p.X.Sub(x3)).Sub(p.Y)
+	return G2{X: x3, Y: y3}
+}
+
+func (p G2) double() G2 {
+	three := Fp2One().MulFp(big.NewInt(3))
+	lambda := p.X.Square().Mul(three).Mul(p.Y.Add(p.Y).Inv())
+	x3 := lambda.Square().Sub(p.X).Sub(p.X)
+	y3 := lambda.Mul(p.X.Sub(x3)).Sub(p.Y)
+	return G2{X: x3, Y: y3}
+}
+
+// ScalarMul returns k·p.
+func (p G2) ScalarMul(k *big.Int) G2 {
+	k = new(big.Int).Mod(k, R)
+	out := G2Infinity()
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		out = out.Add(out)
+		if k.Bit(i) == 1 {
+			out = out.Add(p)
+		}
+	}
+	return out
+}
+
+// HashToG2 maps arbitrary bytes to the order-r subgroup of the twist:
+// try-and-increment onto E'(Fp2), then cofactor clearing by 2p − r.
+func HashToG2(msg []byte) G2 {
+	for ctr := uint32(0); ; ctr++ {
+		var pre [4]byte
+		binary.BigEndian.PutUint32(pre[:], ctr)
+		h0 := sha256.Sum256(append(append([]byte{0}, pre[:]...), msg...))
+		h1 := sha256.Sum256(append(append([]byte{1}, pre[:]...), msg...))
+		x := NewFp2(new(big.Int).SetBytes(h0[:]), new(big.Int).SetBytes(h1[:]))
+		rhs := x.Square().Mul(x).Add(g2B)
+		y, ok := rhs.Sqrt()
+		if !ok {
+			continue
+		}
+		// Cofactor clearing must use the raw cofactor 2p − r, not its
+		// reduction mod r (ScalarMul reduces), so use the dedicated helper.
+		pt := clearCofactorG2(G2{X: x, Y: y})
+		if !pt.Inf {
+			return pt
+		}
+	}
+}
+
+// clearCofactorG2 multiplies by the G2 cofactor (2p − r) without reducing the
+// scalar mod r.
+func clearCofactorG2(p G2) G2 {
+	out := G2Infinity()
+	k := g2Cofactor
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		out = out.Add(out)
+		if k.Bit(i) == 1 {
+			out = out.Add(p)
+		}
+	}
+	return out
+}
+
+// RandomScalar draws a uniform non-zero scalar mod r from the given byte
+// source function (crypto/rand in production code paths).
+func RandomScalar(read func([]byte) error) (*big.Int, error) {
+	buf := make([]byte, 40) // 320 bits: negligible mod-r bias
+	for {
+		if err := read(buf); err != nil {
+			return nil, err
+		}
+		k := new(big.Int).Mod(new(big.Int).SetBytes(buf), R)
+		if k.Sign() != 0 {
+			return k, nil
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package pairing
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func TestFrobeniusAgreesWithExpP(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5; i++ {
+		a := randFp12(rng)
+		if !a.Frobenius().Equal(a.Exp(P)) {
+			t.Fatal("Frobenius ≠ a^p")
+		}
+	}
+}
+
+func TestFrobeniusOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := randFp12(rng)
+	// π¹² = identity.
+	if !a.FrobeniusN(12).Equal(a) {
+		t.Fatal("π¹² ≠ id")
+	}
+	// π⁶ = conjugation.
+	if !a.FrobeniusN(6).Equal(a.Conjugate()) {
+		t.Fatal("π⁶ ≠ conjugation")
+	}
+	// π is multiplicative.
+	b := randFp12(rng)
+	if !a.Mul(b).Frobenius().Equal(a.Frobenius().Mul(b.Frobenius())) {
+		t.Fatal("Frobenius not multiplicative")
+	}
+}
+
+func TestConjugateIsCyclotomicInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	f := randFp12(rng)
+	// Push f into the cyclotomic subgroup via the easy part.
+	g := f.Conjugate().Mul(f.Inv())
+	g = g.FrobeniusN(2).Mul(g)
+	if !g.Mul(g.Conjugate()).IsOne() {
+		t.Fatal("conjugation is not inversion in the cyclotomic subgroup")
+	}
+}
+
+// TestFinalExpAgreesWithNaive is the oracle: the optimized easy/hard split
+// must equal raising to the literal exponent (p¹²−1)/r.
+func TestFinalExpAgreesWithNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for i := 0; i < 3; i++ {
+		f := randFp12(rng)
+		if f.IsZero() {
+			continue
+		}
+		fast := finalExp(f)
+		naive := f.Exp(finalExpPower)
+		if !fast.Equal(naive) {
+			t.Fatalf("iteration %d: optimized final exponentiation diverges from naive", i)
+		}
+	}
+}
+
+func TestBNParameterConsistency(t *testing.T) {
+	// p and r are the BN polynomials at u: p(u) = 36u⁴+36u³+24u²+6u+1,
+	// r(u) = 36u⁴+36u³+18u²+6u+1.
+	u := bnU
+	u2 := new(big.Int).Mul(u, u)
+	u3 := new(big.Int).Mul(u2, u)
+	u4 := new(big.Int).Mul(u3, u)
+	poly := func(c4, c3, c2, c1, c0 int64) *big.Int {
+		out := new(big.Int).Mul(big.NewInt(c4), u4)
+		out.Add(out, new(big.Int).Mul(big.NewInt(c3), u3))
+		out.Add(out, new(big.Int).Mul(big.NewInt(c2), u2))
+		out.Add(out, new(big.Int).Mul(big.NewInt(c1), u))
+		return out.Add(out, big.NewInt(c0))
+	}
+	if poly(36, 36, 24, 6, 1).Cmp(P) != 0 {
+		t.Fatal("p ≠ p(u)")
+	}
+	if poly(36, 36, 18, 6, 1).Cmp(R) != 0 {
+		t.Fatal("r ≠ r(u)")
+	}
+}

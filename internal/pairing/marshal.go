@@ -1,0 +1,157 @@
+package pairing
+
+import (
+	"errors"
+	"math/big"
+)
+
+// Wire encodings: fixed-width big-endian coordinates (32 B each).
+// G1: X‖Y (64 B); G2: X.c0‖X.c1‖Y.c0‖Y.c1 (128 B); GT: 12 coordinates
+// (384 B). The all-zero encoding is the point at infinity (0,0 is not on
+// either curve, so the encoding is unambiguous).
+
+const coordLen = 32
+
+// G1MarshalLen is the byte length of a marshaled G1 point.
+const G1MarshalLen = 2 * coordLen
+
+// G2MarshalLen is the byte length of a marshaled G2 point.
+const G2MarshalLen = 4 * coordLen
+
+// GTMarshalLen is the byte length of a marshaled GT element.
+const GTMarshalLen = 12 * coordLen
+
+var errEncoding = errors.New("pairing: invalid point encoding")
+
+func putCoord(dst []byte, v *big.Int) { v.FillBytes(dst[:coordLen]) }
+
+func getCoord(src []byte) (*big.Int, error) {
+	v := new(big.Int).SetBytes(src[:coordLen])
+	if v.Cmp(P) >= 0 {
+		return nil, errEncoding
+	}
+	return v, nil
+}
+
+// Marshal encodes the point (infinity → all zeros).
+func (p G1) Marshal() []byte {
+	out := make([]byte, G1MarshalLen)
+	if p.Inf {
+		return out
+	}
+	putCoord(out, p.X)
+	putCoord(out[coordLen:], p.Y)
+	return out
+}
+
+// UnmarshalG1 decodes and validates a G1 point (on-curve; G1 has cofactor 1,
+// so on-curve implies correct order).
+func UnmarshalG1(b []byte) (G1, error) {
+	if len(b) != G1MarshalLen {
+		return G1{}, errEncoding
+	}
+	allZero := true
+	for _, c := range b {
+		if c != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		return G1Infinity(), nil
+	}
+	x, err := getCoord(b)
+	if err != nil {
+		return G1{}, err
+	}
+	y, err := getCoord(b[coordLen:])
+	if err != nil {
+		return G1{}, err
+	}
+	p := G1{X: x, Y: y}
+	if !p.IsOnCurve() {
+		return G1{}, errEncoding
+	}
+	return p, nil
+}
+
+// Marshal encodes the point (infinity → all zeros).
+func (p G2) Marshal() []byte {
+	out := make([]byte, G2MarshalLen)
+	if p.Inf {
+		return out
+	}
+	putCoord(out, p.X.C0)
+	putCoord(out[coordLen:], p.X.C1)
+	putCoord(out[2*coordLen:], p.Y.C0)
+	putCoord(out[3*coordLen:], p.Y.C1)
+	return out
+}
+
+// UnmarshalG2 decodes and validates a G2 point: on the twist curve AND in the
+// order-r subgroup (the twist has a large cofactor, so the subgroup check is
+// security-relevant — small-subgroup points would leak key bits).
+func UnmarshalG2(b []byte) (G2, error) {
+	if len(b) != G2MarshalLen {
+		return G2{}, errEncoding
+	}
+	allZero := true
+	for _, c := range b {
+		if c != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		return G2Infinity(), nil
+	}
+	coords := make([]*big.Int, 4)
+	for i := range coords {
+		v, err := getCoord(b[i*coordLen:])
+		if err != nil {
+			return G2{}, err
+		}
+		coords[i] = v
+	}
+	p := G2{X: Fp2{coords[0], coords[1]}, Y: Fp2{coords[2], coords[3]}}
+	if !p.IsOnCurve() {
+		return G2{}, errEncoding
+	}
+	if !p.ScalarMul(R).Equal(G2Infinity()) {
+		return G2{}, errors.New("pairing: G2 point not in the order-r subgroup")
+	}
+	return p, nil
+}
+
+// Marshal encodes the GT element (see Fp12.Bytes).
+func (g GT) Marshal() []byte { return g.v.Bytes() }
+
+// UnmarshalGT decodes a GT element. Coordinates are range-checked; full
+// subgroup membership (g^r = 1) is not verified here — call CheckOrder when
+// accepting GT elements from untrusted parties.
+func UnmarshalGT(b []byte) (GT, error) {
+	if len(b) != GTMarshalLen {
+		return GT{}, errEncoding
+	}
+	coords := make([]*big.Int, 12)
+	for i := range coords {
+		v, err := getCoord(b[i*coordLen:])
+		if err != nil {
+			return GT{}, err
+		}
+		coords[i] = v
+	}
+	v := Fp12{
+		A0: Fp6{Fp2{coords[0], coords[1]}, Fp2{coords[2], coords[3]}, Fp2{coords[4], coords[5]}},
+		A1: Fp6{Fp2{coords[6], coords[7]}, Fp2{coords[8], coords[9]}, Fp2{coords[10], coords[11]}},
+	}
+	if v.IsZero() {
+		return GT{}, errEncoding
+	}
+	return GT{v: v}, nil
+}
+
+// CheckOrder reports whether g lies in the order-r subgroup (g^r = 1). It
+// costs one Fp12 exponentiation; use it when deserializing GT elements from
+// untrusted sources.
+func (g GT) CheckOrder() bool { return g.v.Exp(R).IsOne() }

@@ -1,0 +1,121 @@
+package pairing
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+)
+
+func TestG1MarshalRoundTrip(t *testing.T) {
+	pts := []G1{
+		G1Generator(),
+		G1Generator().ScalarMul(big.NewInt(123456789)),
+		HashToG1([]byte("x")),
+		G1Infinity(),
+	}
+	for i, p := range pts {
+		b := p.Marshal()
+		if len(b) != G1MarshalLen {
+			t.Fatalf("pt %d: marshal length %d", i, len(b))
+		}
+		got, err := UnmarshalG1(b)
+		if err != nil {
+			t.Fatalf("pt %d: %v", i, err)
+		}
+		if !got.Equal(p) {
+			t.Fatalf("pt %d: round trip mismatch", i)
+		}
+	}
+}
+
+func TestUnmarshalG1Rejects(t *testing.T) {
+	good := G1Generator().Marshal()
+	// Off curve.
+	bad := append([]byte(nil), good...)
+	bad[coordLen-1] ^= 1
+	if _, err := UnmarshalG1(bad); err == nil {
+		t.Error("off-curve point accepted")
+	}
+	// Wrong length.
+	if _, err := UnmarshalG1(good[:10]); err == nil {
+		t.Error("short encoding accepted")
+	}
+	// Coordinate ≥ p (non-canonical).
+	over := make([]byte, G1MarshalLen)
+	for i := 0; i < coordLen; i++ {
+		over[i] = 0xFF
+	}
+	if _, err := UnmarshalG1(over); err == nil {
+		t.Error("out-of-range coordinate accepted")
+	}
+}
+
+func TestG2MarshalRoundTrip(t *testing.T) {
+	pts := []G2{
+		G2Generator(),
+		G2Generator().ScalarMul(big.NewInt(987654321)),
+		HashToG2([]byte("y")),
+		G2Infinity(),
+	}
+	for i, p := range pts {
+		b := p.Marshal()
+		if len(b) != G2MarshalLen {
+			t.Fatalf("pt %d: marshal length %d", i, len(b))
+		}
+		got, err := UnmarshalG2(b)
+		if err != nil {
+			t.Fatalf("pt %d: %v", i, err)
+		}
+		if !got.Equal(p) {
+			t.Fatalf("pt %d: round trip mismatch", i)
+		}
+	}
+}
+
+func TestUnmarshalG2RejectsSmallSubgroup(t *testing.T) {
+	// Construct an on-twist point OUTSIDE the order-r subgroup: hash to the
+	// curve but skip cofactor clearing.
+	var raw G2
+	for ctr := 0; ; ctr++ {
+		x := NewFp2(big.NewInt(int64(ctr)), big.NewInt(3))
+		rhs := x.Square().Mul(x).Add(g2B)
+		if y, ok := rhs.Sqrt(); ok {
+			raw = G2{X: x, Y: y}
+			break
+		}
+	}
+	if raw.ScalarMul(R).Equal(G2Infinity()) {
+		t.Skip("random point landed in the subgroup; cannot exercise the check")
+	}
+	if _, err := UnmarshalG2(raw.Marshal()); err == nil {
+		t.Fatal("small-subgroup G2 point accepted — invalid-curve style attacks possible")
+	}
+}
+
+func TestGTMarshalRoundTrip(t *testing.T) {
+	e := Pair(G1Generator(), G2Generator())
+	b := e.Marshal()
+	if len(b) != GTMarshalLen {
+		t.Fatalf("marshal length %d", len(b))
+	}
+	got, err := UnmarshalGT(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(e) {
+		t.Fatal("round trip mismatch")
+	}
+	if !bytes.Equal(got.Marshal(), b) {
+		t.Fatal("re-marshal differs")
+	}
+	if !got.CheckOrder() {
+		t.Fatal("pairing output fails order check")
+	}
+	// Zero element rejected.
+	if _, err := UnmarshalGT(make([]byte, GTMarshalLen)); err == nil {
+		t.Fatal("zero GT accepted")
+	}
+	if _, err := UnmarshalGT(b[:100]); err == nil {
+		t.Fatal("short GT accepted")
+	}
+}

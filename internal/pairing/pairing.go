@@ -1,0 +1,116 @@
+package pairing
+
+import "math/big"
+
+// The reduced Tate pairing e(P, Q) = f_{r,P}(ψ(Q))^((p¹²−1)/r), where
+// ψ: E'(Fp2) → E(Fp12) is the twist untwisting (x', y') ↦ (x'·w², y'·w³)
+// (w⁶ = ξ makes this a curve isomorphism onto the right subgroup).
+//
+// Because P and all Miller-loop line coefficients live in Fp while ψ(Q)'s
+// x-coordinate lands in the subfield Fp6·1 ⊕ 0·w (x'·w² = x'·v), the
+// vertical-line denominators of Miller's algorithm take values in Fp6 and are
+// annihilated by the final exponentiation (a^(p⁶−1) = 1 for a ∈ Fp6*), so
+// they are omitted — standard denominator elimination.
+
+// gtPoint is ψ(Q): a point of E(Fp12) with coordinates in the full tower.
+type gtPoint struct {
+	X, Y Fp12
+}
+
+// untwist applies ψ. x'·w² = x'·v (the w² = v reduction) keeps X in the
+// A0-half; y'·w³ = (y'·v)·w puts Y in the A1-half.
+func untwist(q G2) gtPoint {
+	xv := Fp6{Fp2Zero(), q.X, Fp2Zero()} // x'·v ∈ Fp6
+	yv := Fp6{Fp2Zero(), q.Y, Fp2Zero()} // y'·v ∈ Fp6
+	return gtPoint{
+		X: Fp12{A0: xv, A1: Fp6Zero()},
+		Y: Fp12{A0: Fp6Zero(), A1: yv},
+	}
+}
+
+// embedFp lifts an Fp scalar into Fp12.
+func embedFp(a *big.Int) Fp12 {
+	return Fp12{A0: Fp6{Fp2{new(big.Int).Set(a), new(big.Int)}, Fp2Zero(), Fp2Zero()}, A1: Fp6Zero()}
+}
+
+// lineEval evaluates the line through T with slope lambda (both over Fp) at
+// the Fp12 point S: l(S) = (y_S − y_T) − λ·(x_S − x_T).
+func lineEval(t G1, lambda *big.Int, s gtPoint) Fp12 {
+	dy := s.Y.Sub(embedFp(t.Y))
+	dx := s.X.Sub(embedFp(t.X))
+	return dy.Sub(dx.mulFpScalar(lambda))
+}
+
+// mulFpScalar scales an Fp12 element by an Fp scalar.
+func (a Fp12) mulFpScalar(s *big.Int) Fp12 {
+	scale6 := func(x Fp6) Fp6 {
+		return Fp6{x.B0.MulFp(s), x.B1.MulFp(s), x.B2.MulFp(s)}
+	}
+	return Fp12{A0: scale6(a.A0), A1: scale6(a.A1)}
+}
+
+// GT is an element of the order-r target group (the image of the pairing).
+type GT struct {
+	v Fp12
+}
+
+// GTOne is the identity of GT.
+func GTOne() GT { return GT{v: Fp12One()} }
+
+// Equal reports GT equality.
+func (g GT) Equal(h GT) bool { return g.v.Equal(h.v) }
+
+// IsOne reports whether g is the identity.
+func (g GT) IsOne() bool { return g.v.IsOne() }
+
+// Mul multiplies in GT.
+func (g GT) Mul(h GT) GT { return GT{v: g.v.Mul(h.v)} }
+
+// Inv inverts in GT.
+func (g GT) Inv() GT { return GT{v: g.v.Inv()} }
+
+// Exp raises to a scalar (taken mod r).
+func (g GT) Exp(k *big.Int) GT {
+	k = new(big.Int).Mod(k, R)
+	return GT{v: g.v.Exp(k)}
+}
+
+// Bytes returns the canonical encoding (for KEM key derivation).
+func (g GT) Bytes() []byte { return g.v.Bytes() }
+
+// Pair computes the reduced Tate pairing e(P, Q). The pairing is bilinear,
+// non-degenerate on G1 × G2, and e(P, Q) = 1 if either input is infinity.
+func Pair(p G1, q G2) GT {
+	if p.Inf || q.Inf {
+		return GTOne()
+	}
+	s := untwist(q)
+	f := Fp12One()
+	t := p
+	for i := R.BitLen() - 2; i >= 0; i-- {
+		// Doubling step: f ← f²·l_{T,T}(S); T ← 2T.
+		f = f.Square()
+		if !t.Inf {
+			if t.Y.Sign() == 0 {
+				t = G1Infinity() // vertical tangent: contribution dies in final exp
+			} else {
+				lambda := fpMul(fpMul(big.NewInt(3), fpSqr(t.X)), fpInv(fpAdd(t.Y, t.Y)))
+				f = f.Mul(lineEval(t, lambda, s))
+				t = t.double()
+			}
+		}
+		if R.Bit(i) == 1 && !t.Inf {
+			// Addition step: f ← f·l_{T,P}(S); T ← T + P.
+			if t.X.Cmp(p.X) == 0 {
+				// T = ±P: the chord is vertical (Fp6-valued, dies in the
+				// final exponentiation); only the point update matters.
+				t = t.Add(p)
+			} else {
+				lambda := fpMul(fpSub(p.Y, t.Y), fpInv(fpSub(p.X, t.X)))
+				f = f.Mul(lineEval(t, lambda, s))
+				t = t.Add(p)
+			}
+		}
+	}
+	return GT{v: finalExp(f)}
+}

@@ -1,0 +1,354 @@
+package pairing
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// randFp draws a pseudo-random field element (deterministic seed for tests).
+func randFp(rng *rand.Rand) *big.Int {
+	b := make([]byte, 40)
+	rng.Read(b)
+	return new(big.Int).Mod(new(big.Int).SetBytes(b), P)
+}
+
+func randFp2(rng *rand.Rand) Fp2   { return Fp2{randFp(rng), randFp(rng)} }
+func randFp6(rng *rand.Rand) Fp6   { return Fp6{randFp2(rng), randFp2(rng), randFp2(rng)} }
+func randFp12(rng *rand.Rand) Fp12 { return Fp12{randFp6(rng), randFp6(rng)} }
+
+func TestFp2FieldAxioms(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		a, b, c := randFp2(rng), randFp2(rng), randFp2(rng)
+		if !a.Mul(b).Equal(b.Mul(a)) {
+			t.Fatal("Fp2 multiplication not commutative")
+		}
+		if !a.Mul(b.Mul(c)).Equal(a.Mul(b).Mul(c)) {
+			t.Fatal("Fp2 multiplication not associative")
+		}
+		if !a.Mul(b.Add(c)).Equal(a.Mul(b).Add(a.Mul(c))) {
+			t.Fatal("Fp2 not distributive")
+		}
+		if !a.Mul(Fp2One()).Equal(a) {
+			t.Fatal("Fp2 one is not identity")
+		}
+		if !a.IsZero() && !a.Mul(a.Inv()).Equal(Fp2One()) {
+			t.Fatal("Fp2 inverse wrong")
+		}
+		if !a.Square().Equal(a.Mul(a)) {
+			t.Fatal("Fp2 square disagrees with mul")
+		}
+	}
+	// u² = −1.
+	u := Fp2{new(big.Int), big.NewInt(1)}
+	if !u.Square().Equal(Fp2One().Neg()) {
+		t.Fatal("u² ≠ −1")
+	}
+}
+
+func TestFp2Sqrt(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	found := 0
+	for i := 0; i < 60; i++ {
+		a := randFp2(rng)
+		sq := a.Square()
+		root, ok := sq.Sqrt()
+		if !ok {
+			t.Fatal("square reported as non-residue")
+		}
+		if !root.Square().Equal(sq) {
+			t.Fatal("sqrt(a²)² ≠ a²")
+		}
+		if _, ok := randFp2(rng).Sqrt(); ok {
+			found++
+		}
+	}
+	// About half of random elements are squares.
+	if found == 0 || found == 60 {
+		t.Fatalf("implausible residue rate: %d/60", found)
+	}
+}
+
+func TestFp6FieldAxioms(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 25; i++ {
+		a, b, c := randFp6(rng), randFp6(rng), randFp6(rng)
+		if !a.Mul(b).Equal(b.Mul(a)) {
+			t.Fatal("Fp6 multiplication not commutative")
+		}
+		if !a.Mul(b.Mul(c)).Equal(a.Mul(b).Mul(c)) {
+			t.Fatal("Fp6 multiplication not associative")
+		}
+		if !a.Mul(b.Add(c)).Equal(a.Mul(b).Add(a.Mul(c))) {
+			t.Fatal("Fp6 not distributive")
+		}
+		if !a.IsZero() && !a.Mul(a.Inv()).Equal(Fp6One()) {
+			t.Fatal("Fp6 inverse wrong")
+		}
+	}
+	// v³ = ξ.
+	v := Fp6{Fp2Zero(), Fp2One(), Fp2Zero()}
+	xi := Fp6{Xi, Fp2Zero(), Fp2Zero()}
+	if !v.Mul(v).Mul(v).Equal(xi) {
+		t.Fatal("v³ ≠ ξ")
+	}
+	// MulByV agrees with multiplication by v.
+	a := randFp6(rand.New(rand.NewSource(4)))
+	if !a.MulByV().Equal(a.Mul(v)) {
+		t.Fatal("MulByV disagrees")
+	}
+}
+
+func TestFp12FieldAxioms(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 15; i++ {
+		a, b, c := randFp12(rng), randFp12(rng), randFp12(rng)
+		if !a.Mul(b).Equal(b.Mul(a)) {
+			t.Fatal("Fp12 multiplication not commutative")
+		}
+		if !a.Mul(b.Mul(c)).Equal(a.Mul(b).Mul(c)) {
+			t.Fatal("Fp12 multiplication not associative")
+		}
+		if !a.Mul(b.Add(c)).Equal(a.Mul(b).Add(a.Mul(c))) {
+			t.Fatal("Fp12 not distributive")
+		}
+		if !a.IsZero() && !a.Mul(a.Inv()).Equal(Fp12One()) {
+			t.Fatal("Fp12 inverse wrong")
+		}
+	}
+	// w² = v.
+	w := Fp12{Fp6Zero(), Fp6One()}
+	v := Fp12{Fp6{Fp2Zero(), Fp2One(), Fp2Zero()}, Fp6Zero()}
+	if !w.Square().Equal(v) {
+		t.Fatal("w² ≠ v")
+	}
+	// w⁶ = ξ — what untwisting relies on.
+	xi := Fp12{Fp6{Xi, Fp2Zero(), Fp2Zero()}, Fp6Zero()}
+	w6 := w.Square().Mul(w.Square()).Mul(w.Square())
+	if !w6.Equal(xi) {
+		t.Fatal("w⁶ ≠ ξ")
+	}
+}
+
+func TestFp12Exp(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randFp12(rng)
+	if !a.Exp(big.NewInt(0)).IsOne() {
+		t.Fatal("a⁰ ≠ 1")
+	}
+	if !a.Exp(big.NewInt(1)).Equal(a) {
+		t.Fatal("a¹ ≠ a")
+	}
+	if !a.Exp(big.NewInt(5)).Equal(a.Mul(a).Mul(a).Mul(a).Mul(a)) {
+		t.Fatal("a⁵ wrong")
+	}
+	// Exponent additivity.
+	x, y := big.NewInt(1234567), big.NewInt(7654321)
+	sum := new(big.Int).Add(x, y)
+	if !a.Exp(x).Mul(a.Exp(y)).Equal(a.Exp(sum)) {
+		t.Fatal("a^x·a^y ≠ a^(x+y)")
+	}
+}
+
+func TestG1GroupLaws(t *testing.T) {
+	g := G1Generator()
+	if !g.IsOnCurve() {
+		t.Fatal("generator off curve")
+	}
+	if !g.Add(G1Infinity()).Equal(g) {
+		t.Fatal("g + O ≠ g")
+	}
+	if !g.Add(g.Neg()).Equal(G1Infinity()) {
+		t.Fatal("g + (−g) ≠ O")
+	}
+	two := g.Add(g)
+	three := two.Add(g)
+	if !three.Equal(g.Add(two)) {
+		t.Fatal("addition not commutative")
+	}
+	if !g.ScalarMul(big.NewInt(3)).Equal(three) {
+		t.Fatal("3·g wrong")
+	}
+	// The group has order r.
+	if !g.ScalarMul(R).Equal(G1Infinity()) {
+		t.Fatal("r·g ≠ O")
+	}
+	// Scalar arithmetic.
+	a, b := big.NewInt(123456789), big.NewInt(987654321)
+	left := g.ScalarMul(a).Add(g.ScalarMul(b))
+	right := g.ScalarMul(new(big.Int).Add(a, b))
+	if !left.Equal(right) {
+		t.Fatal("aG + bG ≠ (a+b)G")
+	}
+	if !g.ScalarMul(a).IsOnCurve() {
+		t.Fatal("scalar multiple off curve")
+	}
+}
+
+func TestG2GroupLaws(t *testing.T) {
+	g := G2Generator()
+	if !g.IsOnCurve() {
+		t.Fatal("G2 generator off twist curve")
+	}
+	if !g.ScalarMul(R).Equal(G2Infinity()) {
+		t.Fatal("r·g2 ≠ O — generator not in the order-r subgroup")
+	}
+	if !g.Add(g.Neg()).Equal(G2Infinity()) {
+		t.Fatal("g2 + (−g2) ≠ O")
+	}
+	two := g.Add(g)
+	if !two.IsOnCurve() {
+		t.Fatal("2·g2 off curve")
+	}
+	if !g.ScalarMul(big.NewInt(2)).Equal(two) {
+		t.Fatal("2·g2 wrong")
+	}
+	a, b := big.NewInt(31415926), big.NewInt(27182818)
+	left := g.ScalarMul(a).Add(g.ScalarMul(b))
+	right := g.ScalarMul(new(big.Int).Add(a, b))
+	if !left.Equal(right) {
+		t.Fatal("aG2 + bG2 ≠ (a+b)G2")
+	}
+}
+
+func TestHashToG1(t *testing.T) {
+	p1 := HashToG1([]byte("attribute: department:X"))
+	p2 := HashToG1([]byte("attribute: department:X"))
+	p3 := HashToG1([]byte("attribute: department:Y"))
+	if !p1.Equal(p2) {
+		t.Fatal("hash not deterministic")
+	}
+	if p1.Equal(p3) {
+		t.Fatal("distinct inputs collide")
+	}
+	if !p1.IsOnCurve() || p1.Inf {
+		t.Fatal("hash output invalid")
+	}
+	if !p1.ScalarMul(R).Equal(G1Infinity()) {
+		t.Fatal("hash output not order r")
+	}
+}
+
+func TestHashToG2(t *testing.T) {
+	p1 := HashToG2([]byte("attr-a"))
+	p2 := HashToG2([]byte("attr-a"))
+	p3 := HashToG2([]byte("attr-b"))
+	if !p1.Equal(p2) {
+		t.Fatal("hash not deterministic")
+	}
+	if p1.Equal(p3) {
+		t.Fatal("distinct inputs collide")
+	}
+	if !p1.IsOnCurve() || p1.Inf {
+		t.Fatal("hash output invalid")
+	}
+	// Cofactor clearing must land in the order-r subgroup.
+	if !p1.ScalarMul(R).Equal(G2Infinity()) {
+		t.Fatal("hash output not order r")
+	}
+}
+
+func TestPairingNonDegenerate(t *testing.T) {
+	e := Pair(G1Generator(), G2Generator())
+	if e.IsOne() {
+		t.Fatal("e(G1, G2) = 1 — degenerate pairing")
+	}
+	// GT has order r: e^r = 1.
+	if !e.Exp(new(big.Int).Sub(R, big.NewInt(1))).Mul(e).IsOne() {
+		t.Fatal("e^r ≠ 1")
+	}
+	if !Pair(G1Infinity(), G2Generator()).IsOne() {
+		t.Fatal("e(O, Q) ≠ 1")
+	}
+	if !Pair(G1Generator(), G2Infinity()).IsOne() {
+		t.Fatal("e(P, O) ≠ 1")
+	}
+}
+
+func TestPairingBilinear(t *testing.T) {
+	g1, g2 := G1Generator(), G2Generator()
+	a := big.NewInt(6891011)
+	b := big.NewInt(1213141516)
+
+	base := Pair(g1, g2)
+	// e(aP, Q) = e(P, Q)^a
+	if !Pair(g1.ScalarMul(a), g2).Equal(base.Exp(a)) {
+		t.Fatal("left linearity fails")
+	}
+	// e(P, bQ) = e(P, Q)^b
+	if !Pair(g1, g2.ScalarMul(b)).Equal(base.Exp(b)) {
+		t.Fatal("right linearity fails")
+	}
+	// e(aP, bQ) = e(P, Q)^{ab}
+	ab := new(big.Int).Mul(a, b)
+	if !Pair(g1.ScalarMul(a), g2.ScalarMul(b)).Equal(base.Exp(ab)) {
+		t.Fatal("joint bilinearity fails")
+	}
+}
+
+func TestPairingWithHashedPoints(t *testing.T) {
+	// The SOK handshake shape: e(s·H1(A), H2(B)) = e(H1(A), s·H2(B)).
+	s := big.NewInt(987654321987654321)
+	h1 := HashToG1([]byte("identity-A"))
+	h2 := HashToG2([]byte("identity-B"))
+	left := Pair(h1.ScalarMul(s), h2)
+	right := Pair(h1, h2.ScalarMul(s))
+	if !left.Equal(right) {
+		t.Fatal("SOK key agreement identity fails")
+	}
+	if left.IsOne() {
+		t.Fatal("degenerate handshake key")
+	}
+}
+
+func TestGTOps(t *testing.T) {
+	e := Pair(G1Generator(), G2Generator())
+	if !e.Mul(e.Inv()).IsOne() {
+		t.Fatal("GT inverse wrong")
+	}
+	if !GTOne().IsOne() {
+		t.Fatal("GTOne not one")
+	}
+	b1 := e.Bytes()
+	b2 := e.Bytes()
+	if len(b1) != 12*32 {
+		t.Fatalf("GT encoding length %d", len(b1))
+	}
+	for i := range b1 {
+		if b1[i] != b2[i] {
+			t.Fatal("GT encoding not deterministic")
+		}
+	}
+	if string(e.Exp(big.NewInt(2)).Bytes()) == string(b1) {
+		t.Fatal("distinct GT elements encode identically")
+	}
+}
+
+func TestRandomScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	read := func(b []byte) error { rng.Read(b); return nil }
+	k1, err := RandomScalar(read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := RandomScalar(read)
+	if k1.Sign() == 0 || k1.Cmp(R) >= 0 {
+		t.Fatal("scalar out of range")
+	}
+	if k1.Cmp(k2) == 0 {
+		t.Fatal("scalars repeat")
+	}
+}
+
+// TestKaratsubaAgreesWithSchoolbook pins the optimized Fp6 multiplication to
+// the 9-multiplication reference on random inputs.
+func TestKaratsubaAgreesWithSchoolbook(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 100; i++ {
+		a, b := randFp6(rng), randFp6(rng)
+		if !a.Mul(b).Equal(a.mulSchoolbook(b)) {
+			t.Fatal("Karatsuba Fp6 multiplication diverges from schoolbook")
+		}
+	}
+}

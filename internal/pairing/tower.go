@@ -1,0 +1,244 @@
+package pairing
+
+import "math/big"
+
+// The extension tower, following the standard BN254 construction:
+//
+//	Fp2  = Fp[u]  / (u² + 1)
+//	Fp6  = Fp2[v] / (v³ − ξ),  ξ = 9 + u
+//	Fp12 = Fp6[w] / (w² − v)
+//
+// so that w⁶ = ξ, which is what the twist untwisting in pairing.go relies on.
+
+// Fp2 is a + b·u with u² = −1.
+type Fp2 struct {
+	C0, C1 *big.Int
+}
+
+func fp2(c0, c1 int64) Fp2 {
+	return Fp2{big.NewInt(c0).Mod(big.NewInt(c0), P), big.NewInt(c1).Mod(big.NewInt(c1), P)}
+}
+
+// Xi is the Fp6 non-residue ξ = 9 + u.
+var Xi = fp2(9, 1)
+
+// Fp2Zero returns the additive identity of Fp2.
+func Fp2Zero() Fp2 { return Fp2{new(big.Int), new(big.Int)} }
+
+// Fp2One returns the multiplicative identity of Fp2.
+func Fp2One() Fp2 { return Fp2{big.NewInt(1), new(big.Int)} }
+
+// NewFp2 builds an element from big integers (reduced mod p).
+func NewFp2(c0, c1 *big.Int) Fp2 {
+	return Fp2{new(big.Int).Mod(c0, P), new(big.Int).Mod(c1, P)}
+}
+
+func (a Fp2) IsZero() bool { return a.C0.Sign() == 0 && a.C1.Sign() == 0 }
+
+func (a Fp2) Equal(b Fp2) bool { return a.C0.Cmp(b.C0) == 0 && a.C1.Cmp(b.C1) == 0 }
+
+func (a Fp2) Add(b Fp2) Fp2 { return Fp2{fpAdd(a.C0, b.C0), fpAdd(a.C1, b.C1)} }
+func (a Fp2) Sub(b Fp2) Fp2 { return Fp2{fpSub(a.C0, b.C0), fpSub(a.C1, b.C1)} }
+func (a Fp2) Neg() Fp2      { return Fp2{fpNeg(a.C0), fpNeg(a.C1)} }
+
+// Mul multiplies in Fp2: (a0+a1u)(b0+b1u) = (a0b0 − a1b1) + (a0b1 + a1b0)u.
+func (a Fp2) Mul(b Fp2) Fp2 {
+	t0 := fpMul(a.C0, b.C0)
+	t1 := fpMul(a.C1, b.C1)
+	c0 := fpSub(t0, t1)
+	c1 := fpSub(fpMul(fpAdd(a.C0, a.C1), fpAdd(b.C0, b.C1)), fpAdd(t0, t1))
+	return Fp2{c0, c1}
+}
+
+func (a Fp2) Square() Fp2 { return a.Mul(a) }
+
+// MulFp scales by an Fp element.
+func (a Fp2) MulFp(s *big.Int) Fp2 { return Fp2{fpMul(a.C0, s), fpMul(a.C1, s)} }
+
+// Inv inverts: (a0+a1u)⁻¹ = (a0 − a1u)/(a0² + a1²).
+func (a Fp2) Inv() Fp2 {
+	norm := fpAdd(fpSqr(a.C0), fpSqr(a.C1))
+	ninv := fpInv(norm)
+	return Fp2{fpMul(a.C0, ninv), fpMul(fpNeg(a.C1), ninv)}
+}
+
+// Sqrt returns a square root of a and true, or false for non-residues.
+// Uses the norm trick valid for p ≡ 3 (mod 4).
+func (a Fp2) Sqrt() (Fp2, bool) {
+	if a.IsZero() {
+		return Fp2Zero(), true
+	}
+	if a.C1.Sign() == 0 {
+		// Pure Fp element: either sqrt(a0) or u·sqrt(−a0).
+		if s := fpSqrt(a.C0); s != nil {
+			return Fp2{s, new(big.Int)}, true
+		}
+		if s := fpSqrt(fpNeg(a.C0)); s != nil {
+			return Fp2{new(big.Int), s}, true
+		}
+		return Fp2{}, false
+	}
+	norm := fpAdd(fpSqr(a.C0), fpSqr(a.C1))
+	lambda := fpSqrt(norm)
+	if lambda == nil {
+		return Fp2{}, false
+	}
+	for _, l := range []*big.Int{lambda, fpNeg(lambda)} {
+		delta := fpMul(fpAdd(a.C0, l), inv2)
+		x0 := fpSqrt(delta)
+		if x0 == nil || x0.Sign() == 0 {
+			continue
+		}
+		x1 := fpMul(a.C1, fpInv(fpAdd(x0, x0)))
+		cand := Fp2{x0, x1}
+		if cand.Square().Equal(a) {
+			return cand, true
+		}
+	}
+	return Fp2{}, false
+}
+
+// Fp6 is b0 + b1·v + b2·v² over Fp2 with v³ = ξ.
+type Fp6 struct {
+	B0, B1, B2 Fp2
+}
+
+// Fp6Zero returns the additive identity of Fp6.
+func Fp6Zero() Fp6 { return Fp6{Fp2Zero(), Fp2Zero(), Fp2Zero()} }
+
+// Fp6One returns the multiplicative identity of Fp6.
+func Fp6One() Fp6 { return Fp6{Fp2One(), Fp2Zero(), Fp2Zero()} }
+
+func (a Fp6) IsZero() bool { return a.B0.IsZero() && a.B1.IsZero() && a.B2.IsZero() }
+func (a Fp6) Equal(b Fp6) bool {
+	return a.B0.Equal(b.B0) && a.B1.Equal(b.B1) && a.B2.Equal(b.B2)
+}
+
+func (a Fp6) Add(b Fp6) Fp6 { return Fp6{a.B0.Add(b.B0), a.B1.Add(b.B1), a.B2.Add(b.B2)} }
+func (a Fp6) Sub(b Fp6) Fp6 { return Fp6{a.B0.Sub(b.B0), a.B1.Sub(b.B1), a.B2.Sub(b.B2)} }
+func (a Fp6) Neg() Fp6      { return Fp6{a.B0.Neg(), a.B1.Neg(), a.B2.Neg()} }
+
+// Mul multiplies with the v³ = ξ reduction, using the Karatsuba/Toom-style
+// interpolation of Devegili et al.: 6 Fp2 multiplications instead of the
+// schoolbook 9. Tests cross-check against mulSchoolbook.
+func (a Fp6) Mul(b Fp6) Fp6 {
+	v0 := a.B0.Mul(b.B0)
+	v1 := a.B1.Mul(b.B1)
+	v2 := a.B2.Mul(b.B2)
+	// (a1+a2)(b1+b2) − v1 − v2 = a1b2 + a2b1
+	t12 := a.B1.Add(a.B2).Mul(b.B1.Add(b.B2)).Sub(v1).Sub(v2)
+	// (a0+a1)(b0+b1) − v0 − v1 = a0b1 + a1b0
+	t01 := a.B0.Add(a.B1).Mul(b.B0.Add(b.B1)).Sub(v0).Sub(v1)
+	// (a0+a2)(b0+b2) − v0 − v2 = a0b2 + a2b0
+	t02 := a.B0.Add(a.B2).Mul(b.B0.Add(b.B2)).Sub(v0).Sub(v2)
+	return Fp6{
+		v0.Add(t12.Mul(Xi)),
+		t01.Add(v2.Mul(Xi)),
+		t02.Add(v1),
+	}
+}
+
+// mulSchoolbook is the 9-multiplication reference implementation, kept as
+// the correctness oracle for Mul.
+func (a Fp6) mulSchoolbook(b Fp6) Fp6 {
+	t00 := a.B0.Mul(b.B0)
+	t11 := a.B1.Mul(b.B1)
+	t22 := a.B2.Mul(b.B2)
+	c0 := a.B1.Mul(b.B2).Add(a.B2.Mul(b.B1)).Mul(Xi).Add(t00)
+	c1 := a.B0.Mul(b.B1).Add(a.B1.Mul(b.B0)).Add(t22.Mul(Xi))
+	c2 := a.B0.Mul(b.B2).Add(a.B2.Mul(b.B0)).Add(t11)
+	return Fp6{c0, c1, c2}
+}
+
+func (a Fp6) Square() Fp6 { return a.Mul(a) }
+
+// MulByV multiplies by v: (b0 + b1v + b2v²)·v = ξb2 + b0v + b1v².
+func (a Fp6) MulByV() Fp6 { return Fp6{a.B2.Mul(Xi), a.B0, a.B1} }
+
+// MulFp2 scales by an Fp2 element.
+func (a Fp6) MulFp2(s Fp2) Fp6 { return Fp6{a.B0.Mul(s), a.B1.Mul(s), a.B2.Mul(s)} }
+
+// Inv inverts using the standard norm-like construction.
+func (a Fp6) Inv() Fp6 {
+	t0 := a.B0.Square()
+	t1 := a.B1.Square()
+	t2 := a.B2.Square()
+	t3 := a.B0.Mul(a.B1)
+	t4 := a.B0.Mul(a.B2)
+	t5 := a.B1.Mul(a.B2)
+	c0 := t0.Sub(t5.Mul(Xi))
+	c1 := t2.Mul(Xi).Sub(t3)
+	c2 := t1.Sub(t4)
+	den := a.B0.Mul(c0).Add(a.B2.Mul(c1).Mul(Xi)).Add(a.B1.Mul(c2).Mul(Xi))
+	dinv := den.Inv()
+	return Fp6{c0.Mul(dinv), c1.Mul(dinv), c2.Mul(dinv)}
+}
+
+// Fp12 is a0 + a1·w over Fp6 with w² = v.
+type Fp12 struct {
+	A0, A1 Fp6
+}
+
+// Fp12Zero returns the additive identity of Fp12.
+func Fp12Zero() Fp12 { return Fp12{Fp6Zero(), Fp6Zero()} }
+
+// Fp12One returns the multiplicative identity of Fp12.
+func Fp12One() Fp12 { return Fp12{Fp6One(), Fp6Zero()} }
+
+func (a Fp12) IsZero() bool      { return a.A0.IsZero() && a.A1.IsZero() }
+func (a Fp12) IsOne() bool       { return a.Equal(Fp12One()) }
+func (a Fp12) Equal(b Fp12) bool { return a.A0.Equal(b.A0) && a.A1.Equal(b.A1) }
+
+func (a Fp12) Add(b Fp12) Fp12 { return Fp12{a.A0.Add(b.A0), a.A1.Add(b.A1)} }
+func (a Fp12) Sub(b Fp12) Fp12 { return Fp12{a.A0.Sub(b.A0), a.A1.Sub(b.A1)} }
+func (a Fp12) Neg() Fp12       { return Fp12{a.A0.Neg(), a.A1.Neg()} }
+
+// Mul multiplies with the w² = v reduction (Karatsuba: 3 Fp6 products).
+func (a Fp12) Mul(b Fp12) Fp12 {
+	t0 := a.A0.Mul(b.A0)
+	t1 := a.A1.Mul(b.A1)
+	// (a0+a1)(b0+b1) − t0 − t1 = a0b1 + a1b0
+	c1 := a.A0.Add(a.A1).Mul(b.A0.Add(b.A1)).Sub(t0).Sub(t1)
+	c0 := t0.Add(t1.MulByV())
+	return Fp12{c0, c1}
+}
+
+func (a Fp12) Square() Fp12 { return a.Mul(a) }
+
+// Inv inverts: (a0 + a1w)⁻¹ = (a0 − a1w)/(a0² − v·a1²).
+func (a Fp12) Inv() Fp12 {
+	den := a.A0.Square().Sub(a.A1.Square().MulByV())
+	dinv := den.Inv()
+	return Fp12{a.A0.Mul(dinv), a.A1.Neg().Mul(dinv)}
+}
+
+// Exp raises a to a non-negative big integer power by square-and-multiply.
+func (a Fp12) Exp(e *big.Int) Fp12 {
+	if e.Sign() < 0 {
+		return a.Inv().Exp(new(big.Int).Neg(e))
+	}
+	out := Fp12One()
+	for i := e.BitLen() - 1; i >= 0; i-- {
+		out = out.Square()
+		if e.Bit(i) == 1 {
+			out = out.Mul(a)
+		}
+	}
+	return out
+}
+
+// Bytes returns the canonical fixed-width encoding (12 coordinates, 32 bytes
+// each, tower order), used to derive symmetric keys from GT elements.
+func (a Fp12) Bytes() []byte {
+	out := make([]byte, 0, 12*32)
+	coords := []*big.Int{
+		a.A0.B0.C0, a.A0.B0.C1, a.A0.B1.C0, a.A0.B1.C1, a.A0.B2.C0, a.A0.B2.C1,
+		a.A1.B0.C0, a.A1.B0.C1, a.A1.B1.C0, a.A1.B1.C1, a.A1.B2.C0, a.A1.B2.C1,
+	}
+	var buf [32]byte
+	for _, c := range coords {
+		c.FillBytes(buf[:])
+		out = append(out, buf[:]...)
+	}
+	return out
+}

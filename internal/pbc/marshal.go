@@ -1,0 +1,37 @@
+package pbc
+
+import (
+	"argus/internal/enc"
+	"argus/internal/pairing"
+)
+
+// Marshal encodes a credential for issuance over the secure bootstrap
+// channel.
+func (c *Credential) Marshal() []byte {
+	w := enc.NewWriter(256)
+	w.String16(c.ID)
+	w.Raw(c.S1.Marshal())
+	w.Raw(c.S2.Marshal())
+	return w.Bytes()
+}
+
+// UnmarshalCredential decodes and validates a credential (both key halves
+// are checked on-curve, and S2 against the order-r subgroup).
+func UnmarshalCredential(b []byte) (*Credential, error) {
+	r := enc.NewReader(b)
+	id := r.String16()
+	s1b := r.Raw(pairing.G1MarshalLen)
+	s2b := r.Raw(pairing.G2MarshalLen)
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	s1, err := pairing.UnmarshalG1(s1b)
+	if err != nil {
+		return nil, err
+	}
+	s2, err := pairing.UnmarshalG2(s2b)
+	if err != nil {
+		return nil, err
+	}
+	return &Credential{ID: id, S1: s1, S2: s2}, nil
+}

@@ -1,0 +1,32 @@
+package pbc
+
+import "testing"
+
+func TestCredentialMarshalRoundTrip(t *testing.T) {
+	auth, err := NewAuthority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := auth.Issue("alice@enterprise")
+	b := c.Marshal()
+	got, err := UnmarshalCredential(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != c.ID || !got.S1.Equal(c.S1) || !got.S2.Equal(c.S2) {
+		t.Fatal("round trip mismatch")
+	}
+	// The deserialized credential still performs the handshake.
+	peer := auth.Issue("bob")
+	if got.PairwiseKey("bob") != peer.PairwiseKey("alice@enterprise") {
+		t.Fatal("deserialized credential derives wrong key")
+	}
+	if _, err := UnmarshalCredential(b[:20]); err == nil {
+		t.Error("truncated credential accepted")
+	}
+	bad := append([]byte(nil), b...)
+	bad[len(bad)-1] ^= 1
+	if _, err := UnmarshalCredential(bad); err == nil {
+		t.Error("corrupted credential accepted")
+	}
+}

@@ -1,0 +1,101 @@
+// Package pbc implements the pairing-based secret-handshake baseline the
+// paper compares Argus Level 3 against (§IX, Fig 6d): Sakai–Ohgishi–Kasahara
+// identity-based key agreement as used for secret-community discovery by
+// MASHaBLE [14].
+//
+// A group authority holds a master secret s. Each member of the secret
+// community receives identity keys S1 = s·H1(ID) ∈ G1 and S2 = s·H2(ID) ∈ G2.
+// Any two members derive the same pairwise key without interaction:
+//
+//	A computes e(S1_A, H2(ID_B)) = e(H1(ID_A), H2(ID_B))^s
+//	B computes e(H1(ID_A), S2_B) = e(H1(ID_A), H2(ID_B))^s
+//
+// and then prove possession to each other with HMACs — the analogue of
+// Argus's MAC_{S,3}/MAC_{O,3}, but costing one pairing per side per peer
+// instead of two HMACs. That pairing is the entire cost gap of Fig 6(d).
+package pbc
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"math/big"
+
+	"argus/internal/pairing"
+)
+
+// Authority is a secret community's key issuer (run by the Argus backend in
+// the comparison).
+type Authority struct {
+	master *big.Int
+}
+
+// NewAuthority draws a fresh master secret.
+func NewAuthority() (*Authority, error) {
+	s, err := pairing.RandomScalar(func(b []byte) error {
+		_, err := rand.Read(b)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Authority{master: s}, nil
+}
+
+// Credential is one member's identity-based key material.
+type Credential struct {
+	ID string
+	S1 pairing.G1 // s·H1(ID)
+	S2 pairing.G2 // s·H2(ID)
+}
+
+// Issue creates the credential for an identity.
+func (a *Authority) Issue(id string) *Credential {
+	return &Credential{
+		ID: id,
+		S1: hashG1(id).ScalarMul(a.master),
+		S2: hashG2(id).ScalarMul(a.master),
+	}
+}
+
+func hashG1(id string) pairing.G1 { return pairing.HashToG1([]byte("pbc-id1:" + id)) }
+func hashG2(id string) pairing.G2 { return pairing.HashToG2([]byte("pbc-id2:" + id)) }
+
+// PairwiseKey derives the shared symmetric key between the credential holder
+// and peerID. Cost: ONE PAIRING — this is what Fig 6(d) measures. The
+// initiator role selects which identity hashes into which group so both
+// sides agree: the lexicographically smaller ID takes the G1 slot.
+func (c *Credential) PairwiseKey(peerID string) [32]byte {
+	var gt pairing.GT
+	if c.ID <= peerID {
+		// We are the G1 side: e(s·H1(us), H2(peer)).
+		gt = pairing.Pair(c.S1, hashG2(peerID))
+	} else {
+		// We are the G2 side: e(H1(peer), s·H2(us)).
+		gt = pairing.Pair(hashG1(peerID), c.S2)
+	}
+	return sha256.Sum256(gt.Bytes())
+}
+
+// Prove produces the handshake MAC over a session transcript using the
+// pairwise key (the PBC analogue of MAC_{S,3}).
+func Prove(key [32]byte, transcript []byte) []byte {
+	m := hmac.New(sha256.New, key[:])
+	m.Write(transcript)
+	return m.Sum(nil)
+}
+
+// Verify checks a handshake MAC in constant time.
+func Verify(key [32]byte, transcript, mac []byte) bool {
+	return hmac.Equal(Prove(key, transcript), mac)
+}
+
+// Handshake runs the full mutual proof between two credentials over a shared
+// transcript and reports whether both sides accept — i.e. whether they belong
+// to the same secret community (same authority).
+func Handshake(a, b *Credential, transcript []byte) bool {
+	ka := a.PairwiseKey(b.ID)
+	kb := b.PairwiseKey(a.ID)
+	return Verify(kb, transcript, Prove(ka, transcript)) &&
+		Verify(ka, transcript, Prove(kb, transcript))
+}

@@ -1,0 +1,96 @@
+package pbc
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFellowsDeriveSameKey(t *testing.T) {
+	auth, err := NewAuthority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice := auth.Issue("alice@enterprise")
+	machine := auth.Issue("magazine-machine-07")
+	ka := alice.PairwiseKey(machine.ID)
+	kb := machine.PairwiseKey(alice.ID)
+	if ka != kb {
+		t.Fatal("fellows derived different pairwise keys")
+	}
+	var zero [32]byte
+	if ka == zero {
+		t.Fatal("degenerate key")
+	}
+}
+
+func TestNonFellowsDeriveDifferentKeys(t *testing.T) {
+	authA, _ := NewAuthority()
+	authB, _ := NewAuthority()
+	alice := authA.Issue("alice")
+	mallory := authB.Issue("bob") // same protocol, different community
+	realBob := authA.Issue("bob")
+
+	if alice.PairwiseKey("bob") == mallory.PairwiseKey("alice") {
+		t.Fatal("cross-community handshake derived a shared key")
+	}
+	if alice.PairwiseKey("bob") != realBob.PairwiseKey("alice") {
+		t.Fatal("same-community handshake failed")
+	}
+}
+
+func TestHandshake(t *testing.T) {
+	auth, _ := NewAuthority()
+	a := auth.Issue("subject-S")
+	b := auth.Issue("object-O")
+	transcript := []byte("QUE1|RES1|session-nonces")
+	if !Handshake(a, b, transcript) {
+		t.Fatal("fellow handshake rejected")
+	}
+	other, _ := NewAuthority()
+	c := other.Issue("object-O") // impostor with foreign master secret
+	if Handshake(a, c, transcript) {
+		t.Fatal("impostor handshake accepted")
+	}
+}
+
+func TestProveVerify(t *testing.T) {
+	auth, _ := NewAuthority()
+	a := auth.Issue("x")
+	key := a.PairwiseKey("y")
+	tr := []byte("transcript")
+	mac := Prove(key, tr)
+	if !Verify(key, tr, mac) {
+		t.Fatal("valid MAC rejected")
+	}
+	if Verify(key, []byte("other"), mac) {
+		t.Fatal("MAC valid for wrong transcript")
+	}
+	bad := append([]byte(nil), mac...)
+	bad[0] ^= 1
+	if Verify(key, tr, bad) {
+		t.Fatal("tampered MAC accepted")
+	}
+}
+
+func TestKeyDependsOnBothIdentities(t *testing.T) {
+	auth, _ := NewAuthority()
+	a := auth.Issue("a")
+	k1 := a.PairwiseKey("b")
+	k2 := a.PairwiseKey("c")
+	if k1 == k2 {
+		t.Fatal("pairwise key ignores peer identity")
+	}
+}
+
+func TestOrderingConvention(t *testing.T) {
+	// The G1/G2 slot assignment must be symmetric regardless of who asks.
+	auth, _ := NewAuthority()
+	zed := auth.Issue("zed") // lexicographically larger
+	ann := auth.Issue("ann")
+	if zed.PairwiseKey("ann") != ann.PairwiseKey("zed") {
+		t.Fatal("slot convention asymmetric")
+	}
+	if !bytes.Equal(Prove(zed.PairwiseKey("ann"), []byte("t")), Prove(ann.PairwiseKey("zed"), []byte("t"))) {
+		t.Fatal("proofs diverge")
+	}
+}

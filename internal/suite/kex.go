@@ -1,0 +1,59 @@
+package suite
+
+import (
+	"crypto/elliptic"
+	"crypto/rand"
+	"errors"
+	"io"
+	"math/big"
+)
+
+// KeyExchange is one side of an ephemeral ECDH exchange. Argus fixes key
+// exchange at ephemeral ECDH for forward secrecy (§V, §VII Case 1): a freshly
+// generated key pair is used for every discovery session and discarded
+// afterwards, so compromising a long-term signing key never exposes past
+// session keys.
+type KeyExchange struct {
+	strength Strength
+	d        []byte   // private scalar
+	x, y     *big.Int // public point
+}
+
+// NewKeyExchange generates an ephemeral key pair at strength s using entropy
+// from rng (crypto/rand.Reader if nil). The public value is the KEXM field of
+// RES1/QUE2.
+func NewKeyExchange(s Strength, rng io.Reader) (*KeyExchange, error) {
+	if !s.Valid() {
+		return nil, errors.New("suite: invalid strength")
+	}
+	if rng == nil {
+		rng = rand.Reader
+	}
+	d, x, y, err := elliptic.GenerateKey(s.Curve(), rng)
+	if err != nil {
+		return nil, err
+	}
+	return &KeyExchange{strength: s, d: d, x: x, y: y}, nil
+}
+
+// Public returns the fixed-width X‖Y encoding of the ephemeral public value
+// (the KEXM wire field: 64 B at 128-bit strength, per §IX-A).
+func (k *KeyExchange) Public() []byte {
+	return marshalPoint(k.strength, k.x, k.y)
+}
+
+// Shared computes the premaster secret preK from the peer's KEXM: the
+// fixed-width x-coordinate of d·Q.
+func (k *KeyExchange) Shared(peerKEXM []byte) ([]byte, error) {
+	px, py, err := unmarshalPoint(k.strength, peerKEXM)
+	if err != nil {
+		return nil, err
+	}
+	sx, sy := k.strength.Curve().ScalarMult(px, py, k.d)
+	if sx.Sign() == 0 && sy.Sign() == 0 {
+		return nil, errors.New("suite: ECDH produced point at infinity")
+	}
+	out := make([]byte, k.strength.CoordinateSize())
+	sx.FillBytes(out)
+	return out, nil
+}

@@ -1,0 +1,93 @@
+// Package suite provides the conventional-cryptography substrate Argus is
+// built on: ECDSA signatures, ephemeral ECDH key exchange, the HMAC-based
+// pseudorandom function used for the session-key schedule, and the
+// AES-CBC + HMAC profile cipher.
+//
+// The paper (§IX-B) evaluates Argus at four security strengths; this package
+// maps each strength to the matching NIST curve and key sizes:
+//
+//	112-bit → P-224
+//	128-bit → P-256 (the paper's default)
+//	192-bit → P-384
+//	256-bit → P-521
+//
+// All wire encodings are fixed width per strength so that message sizes are
+// deterministic; at the 128-bit strength they reproduce the sizes reported in
+// §IX-A of the paper (64 B signatures, 64 B key-exchange material, 28 B
+// nonces, 32 B HMACs).
+package suite
+
+import (
+	"crypto/elliptic"
+	"fmt"
+)
+
+// Strength identifies a security strength in bits, following the paper's
+// four evaluation points (Fig 6a).
+type Strength int
+
+// The four security strengths evaluated in the paper.
+const (
+	S112 Strength = 112
+	S128 Strength = 128 // default throughout the paper's experiments
+	S192 Strength = 192
+	S256 Strength = 256
+)
+
+// Strengths lists all supported strengths in ascending order, as swept by the
+// Fig 6(a) experiment.
+var Strengths = []Strength{S112, S128, S192, S256}
+
+// String implements fmt.Stringer.
+func (s Strength) String() string { return fmt.Sprintf("%d-bit", int(s)) }
+
+// Valid reports whether s is one of the supported strengths.
+func (s Strength) Valid() bool {
+	switch s {
+	case S112, S128, S192, S256:
+		return true
+	}
+	return false
+}
+
+// Curve returns the NIST curve providing strength s.
+func (s Strength) Curve() elliptic.Curve {
+	switch s {
+	case S112:
+		return elliptic.P224()
+	case S128:
+		return elliptic.P256()
+	case S192:
+		return elliptic.P384()
+	case S256:
+		return elliptic.P521()
+	}
+	panic(fmt.Sprintf("suite: invalid strength %d", int(s)))
+}
+
+// CoordinateSize returns the byte length of one field coordinate on the
+// strength's curve. Points are encoded as X‖Y (2×CoordinateSize) and ECDSA
+// signatures as r‖s (also 2×CoordinateSize).
+func (s Strength) CoordinateSize() int {
+	return (s.Curve().Params().BitSize + 7) / 8
+}
+
+// PointSize returns the byte length of an encoded curve point (X‖Y, no
+// prefix). At 128-bit strength this is the paper's 64 B KEXM size.
+func (s Strength) PointSize() int { return 2 * s.CoordinateSize() }
+
+// SignatureSize returns the byte length of an encoded ECDSA signature
+// (r‖s, fixed width). At 128-bit strength this is the paper's 64 B SIG size.
+func (s Strength) SignatureSize() int { return 2 * s.CoordinateSize() }
+
+// NonceSize is the byte length of the random values R_S and R_O carried by
+// QUE1 and RES1 (28 B per §IX-A, as in TLS).
+const NonceSize = 28
+
+// MACSize is the byte length of every HMAC-SHA-256 output on the wire
+// (MAC_{S,2}, MAC_{S,3}, MAC_{O,2}, MAC_{O,3}): 32 B per §IX-A.
+const MACSize = 32
+
+// KeySize is the byte length of derived symmetric keys (K2, K3) and of
+// secret-group keys.
+const KeySize = 32

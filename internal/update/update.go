@@ -1,0 +1,224 @@
+// Package update implements the backend→ground propagation path of §IV-A and
+// §VIII: "changes on the backend may need to be immediately propagated to the
+// ground network and effectuated on the affected subjects/objects, such that
+// newly authorized subjects can discover services, or de-authorized subjects
+// stop seeing previously visible services."
+//
+// The backend signs every notification with the admin key; devices verify the
+// signature and a strictly increasing sequence number before applying it, so
+// notifications cannot be forged or replayed even though they travel the same
+// radios as discovery traffic. Per the §VII threat model the backend↔device
+// channel is confidential; sensitive payloads (rotated group keys) are
+// therefore carried symbolically — the device re-pulls its provision through
+// the ApplyFunc callback, which models the secure channel.
+//
+// The Distributor's delivery counts are exactly the updating overhead of
+// Table I, and the propagation experiment (`argus-bench -exp propagation`)
+// measures how long revocation takes to *effectuate* across N objects.
+package update
+
+import (
+	"errors"
+	"fmt"
+
+	"argus/internal/cert"
+	"argus/internal/enc"
+	"argus/internal/netsim"
+	"argus/internal/suite"
+)
+
+// Kind enumerates notification types.
+type Kind byte
+
+const (
+	// KindRevokeSubject tells an object to blacklist a subject ID.
+	KindRevokeSubject Kind = 1
+	// KindReprovision tells a device to refresh its credential bundle from
+	// the backend (policy change, PROF-variant recompilation, group re-key).
+	KindReprovision Kind = 2
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindRevokeSubject:
+		return "revoke-subject"
+	case KindReprovision:
+		return "reprovision"
+	}
+	return fmt.Sprintf("kind(%d)", byte(k))
+}
+
+// envelopeMagic distinguishes admin notifications from discovery messages on
+// the shared radio. wire message types are 1–4; this byte cannot collide.
+const envelopeMagic byte = 0xA5
+
+// Notification is one admin-signed update.
+type Notification struct {
+	Kind    Kind
+	Seq     uint64  // strictly increasing per deployment; replay protection
+	Subject cert.ID // KindRevokeSubject: who to blacklist
+	Sig     []byte
+}
+
+func (n *Notification) body() []byte {
+	w := enc.NewWriter(32)
+	w.U8(envelopeMagic)
+	w.U8(byte(n.Kind))
+	w.U64(n.Seq)
+	w.Raw(n.Subject[:])
+	return w.Bytes()
+}
+
+// Encode returns the signed wire form.
+func (n *Notification) Encode() []byte {
+	w := enc.NewWriter(64 + len(n.Sig))
+	w.Raw(n.body())
+	w.Bytes16(n.Sig)
+	return w.Bytes()
+}
+
+// Decode parses a notification; it returns ok=false when the payload is not
+// an update envelope at all (so callers can fall through to discovery
+// handling), and an error when it is a malformed envelope.
+func Decode(b []byte) (n *Notification, ok bool, err error) {
+	if len(b) == 0 || b[0] != envelopeMagic {
+		return nil, false, nil
+	}
+	r := enc.NewReader(b)
+	r.U8() // magic
+	n = &Notification{}
+	n.Kind = Kind(r.U8())
+	n.Seq = r.U64()
+	copy(n.Subject[:], r.Raw(len(cert.ID{})))
+	n.Sig = r.Bytes16()
+	if err := r.Done(); err != nil {
+		return nil, true, err
+	}
+	if n.Kind != KindRevokeSubject && n.Kind != KindReprovision {
+		return nil, true, errors.New("update: unknown notification kind")
+	}
+	return n, true, nil
+}
+
+// Verify checks the admin signature.
+func (n *Notification) Verify(adminPub suite.PublicKey) bool {
+	return adminPub.Verify(n.body(), n.Sig)
+}
+
+// Agent wraps a device's discovery engine: it intercepts admin notifications
+// (verify signature → check sequence → apply) and passes every other message
+// through. Compose it as the node's netsim.Handler.
+type Agent struct {
+	adminPub suite.PublicKey
+	inner    netsim.Handler
+	apply    func(*Notification)
+	lastSeq  uint64
+	applied  int
+	rejected int
+}
+
+// NewAgent builds an agent. apply is invoked for each fresh, authentic
+// notification (typically: re-pull the provision and Refresh the engine).
+func NewAgent(adminPub suite.PublicKey, inner netsim.Handler, apply func(*Notification)) *Agent {
+	return &Agent{adminPub: adminPub, inner: inner, apply: apply}
+}
+
+// Applied returns how many notifications have been effectuated.
+func (a *Agent) Applied() int { return a.applied }
+
+// Rejected returns how many notifications failed verification or replay
+// checks.
+func (a *Agent) Rejected() int { return a.rejected }
+
+// HandleMessage implements netsim.Handler.
+func (a *Agent) HandleMessage(net *netsim.Network, from netsim.NodeID, payload []byte) {
+	n, isUpdate, err := Decode(payload)
+	if !isUpdate {
+		if a.inner != nil {
+			a.inner.HandleMessage(net, from, payload)
+		}
+		return
+	}
+	if err != nil || !n.Verify(a.adminPub) || n.Seq <= a.lastSeq {
+		a.rejected++
+		return
+	}
+	a.lastSeq = n.Seq
+	a.applied++
+	if a.apply != nil {
+		a.apply(n)
+	}
+}
+
+// Distributor is the backend's ground gateway: it signs notifications and
+// unicasts them to affected devices over the ground network.
+type Distributor struct {
+	admin *cert.Admin
+	net   *netsim.Network
+	node  netsim.NodeID
+	addr  map[cert.ID]netsim.NodeID
+	seq   uint64
+	sent  int
+}
+
+// NewDistributor attaches a backend gateway to the network at its own node.
+func NewDistributor(admin *cert.Admin, net *netsim.Network) *Distributor {
+	d := &Distributor{
+		admin: admin,
+		net:   net,
+		addr:  make(map[cert.ID]netsim.NodeID),
+	}
+	d.node = net.AddNode(nil) // the gateway itself receives nothing
+	return d
+}
+
+// Node returns the gateway's network address (link it into the topology).
+func (d *Distributor) Node() netsim.NodeID { return d.node }
+
+// Register maps a device identity to its ground-network address.
+func (d *Distributor) Register(id cert.ID, node netsim.NodeID) { d.addr[id] = node }
+
+// Sent returns the number of notifications pushed so far — the measured
+// updating overhead.
+func (d *Distributor) Sent() int { return d.sent }
+
+// push signs and unicasts one notification.
+func (d *Distributor) push(to cert.ID, n *Notification) error {
+	node, ok := d.addr[to]
+	if !ok {
+		return fmt.Errorf("update: no ground address for %v", to)
+	}
+	d.seq++
+	n.Seq = d.seq
+	sig, err := d.admin.Sign(n.body())
+	if err != nil {
+		return err
+	}
+	n.Sig = sig
+	d.net.Send(d.node, node, n.Encode())
+	d.sent++
+	return nil
+}
+
+// RevokeSubject notifies each listed object to blacklist the subject —
+// the N notifications of Table I's "Rmv a subject" row.
+func (d *Distributor) RevokeSubject(subject cert.ID, objects []cert.ID) error {
+	for _, oid := range objects {
+		if err := d.push(oid, &Notification{Kind: KindRevokeSubject, Subject: subject}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reprovision notifies each listed device to refresh its credentials
+// (group re-key: the γ−1 fellows; policy change: the β governed objects).
+func (d *Distributor) Reprovision(devices []cert.ID) error {
+	for _, id := range devices {
+		if err := d.push(id, &Notification{Kind: KindReprovision}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

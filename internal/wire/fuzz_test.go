@@ -1,0 +1,71 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDecodeNeverPanics hammers Decode with random bytes and mutated valid
+// messages: every input must return cleanly (message or error).
+func TestDecodeNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+
+	// Pure random inputs.
+	for i := 0; i < 5000; i++ {
+		b := make([]byte, rng.Intn(128))
+		rng.Read(b)
+		m, err := Decode(b)
+		if err == nil && m == nil {
+			t.Fatal("nil message with nil error")
+		}
+	}
+
+	// Mutations of valid messages (bit flips, truncations, extensions).
+	valid := [][]byte{
+		(&QUE1{Version: V30, RS: make([]byte, 28)}).Encode(),
+		(&RES1{Version: V30, Mode: ModePublic, Prof: make([]byte, 200)}).Encode(),
+		(&RES1{Version: V20, Mode: ModeSecure, RO: make([]byte, 28),
+			CertO: make([]byte, 500), KEXMO: make([]byte, 64), Sig: make([]byte, 64)}).Encode(),
+		que2For(V30, true).Encode(),
+		(&RES2{Version: V10, Ciphertext: make([]byte, 256), MACO: make([]byte, 32)}).Encode(),
+	}
+	for _, base := range valid {
+		for i := 0; i < 500; i++ {
+			b := append([]byte(nil), base...)
+			switch rng.Intn(3) {
+			case 0: // bit flip
+				b[rng.Intn(len(b))] ^= 1 << uint(rng.Intn(8))
+			case 1: // truncate
+				b = b[:rng.Intn(len(b))]
+			case 2: // extend
+				b = append(b, byte(rng.Intn(256)))
+			}
+			Decode(b) // must not panic
+		}
+	}
+}
+
+// TestDecodeEncodedIdempotent: decoding an encoding and re-encoding yields
+// identical bytes for each message type (canonical form).
+func TestDecodeEncodedIdempotent(t *testing.T) {
+	msgs := []Message{
+		&QUE1{Version: V30, RS: make([]byte, 28)},
+		&RES1{Version: V30, Mode: ModePublic, Prof: []byte("prof")},
+		&RES1{Version: V30, Mode: ModeSecure, RO: make([]byte, 28),
+			CertO: make([]byte, 100), KEXMO: make([]byte, 64), Sig: make([]byte, 64)},
+		que2For(V20, true),
+		que2For(V10, false),
+		&RES2{Version: V30, Ciphertext: make([]byte, 64), MACO: make([]byte, 32)},
+	}
+	for i, m := range msgs {
+		enc1 := m.Encode()
+		dec, err := Decode(enc1)
+		if err != nil {
+			t.Fatalf("msg %d: %v", i, err)
+		}
+		enc2 := dec.Encode()
+		if string(enc1) != string(enc2) {
+			t.Errorf("msg %d: re-encoding differs", i)
+		}
+	}
+}

@@ -1,0 +1,328 @@
+// Package wire defines the four Argus discovery messages — QUE1, RES1, QUE2,
+// RES2 — for the three protocol versions the paper develops (Fig 3, 4, 5),
+// with a deterministic binary codec and the transcript-hash machinery behind
+// the finished MACs ("*" in the paper: all the content sent and received so
+// far).
+//
+// Message-size accounting here drives the §IX-A message-overhead experiment:
+// at 128-bit strength QUE1 is 28 B of nonce plus a fixed 3-byte header,
+// RES1/QUE2/RES2 sizes land within a few bytes of the paper's 772/1008/280.
+package wire
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+
+	"argus/internal/enc"
+)
+
+// Version selects the protocol iteration from the paper.
+type Version byte
+
+const (
+	// V10 is Fig 3: concurrent Level 1 + Level 2 discovery.
+	V10 Version = 1
+	// V20 is Fig 4: adds Level 3 sensitive-attribute secrecy (MAC_{S,3} and
+	// MAC_{O,3}), but Levels 2 and 3 remain distinguishable on the wire.
+	V20 Version = 2
+	// V30 is Fig 5: indistinguishability — QUE2 always carries both subject
+	// MACs, Level 3 objects are double-faced.
+	V30 Version = 3
+)
+
+// String implements fmt.Stringer.
+func (v Version) String() string {
+	switch v {
+	case V10:
+		return "v1.0"
+	case V20:
+		return "v2.0"
+	case V30:
+		return "v3.0"
+	}
+	return fmt.Sprintf("v?(%d)", byte(v))
+}
+
+// Valid reports whether v is a defined protocol version.
+func (v Version) Valid() bool { return v == V10 || v == V20 || v == V30 }
+
+// MsgType tags each wire message.
+type MsgType byte
+
+const (
+	TQUE1 MsgType = 1
+	TRES1 MsgType = 2
+	TQUE2 MsgType = 3
+	TRES2 MsgType = 4
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case TQUE1:
+		return "QUE1"
+	case TRES1:
+		return "RES1"
+	case TQUE2:
+		return "QUE2"
+	case TRES2:
+		return "RES2"
+	}
+	return fmt.Sprintf("MSG(%d)", byte(t))
+}
+
+// ResponseMode distinguishes the two RES1 bodies of the concurrent protocol:
+// Level 1 objects answer with a plaintext signed profile; Level 2/3 objects
+// answer with handshake material and wait for QUE2.
+type ResponseMode byte
+
+const (
+	ModePublic ResponseMode = 1 // Level 1: plaintext PROF_O
+	ModeSecure ResponseMode = 2 // Level 2/3: R_O, CERT_O, KEXM_O, SIG
+)
+
+// Message is implemented by all four wire messages.
+type Message interface {
+	// Type returns the message tag.
+	Type() MsgType
+	// Encode returns the wire bytes (self-describing: Type, Version, body).
+	Encode() []byte
+}
+
+// QUE1 is the broadcast discovery query (all levels): it carries the random
+// R_S that objects use to detect duplicate queries and that salts the session
+// keys.
+type QUE1 struct {
+	Version Version
+	RS      []byte // NonceSize bytes
+}
+
+// Type implements Message.
+func (m *QUE1) Type() MsgType { return TQUE1 }
+
+// Encode implements Message.
+func (m *QUE1) Encode() []byte {
+	w := enc.NewWriter(2 + 1 + len(m.RS))
+	w.U8(byte(TQUE1))
+	w.U8(byte(m.Version))
+	w.U8(byte(len(m.RS)))
+	w.Raw(m.RS)
+	return w.Bytes()
+}
+
+// RES1 is the per-object response to QUE1. Exactly one of the two bodies is
+// present, selected by Mode.
+type RES1 struct {
+	Version Version
+	Mode    ResponseMode
+
+	// ModePublic (Level 1): the plaintext admin-signed profile.
+	Prof []byte
+
+	// ModeSecure (Level 2/3): object nonce, certificate, ephemeral ECDH
+	// public value, and the object's signature over R_S ‖ R_O ‖ KEXM_O.
+	RO    []byte
+	CertO []byte
+	KEXMO []byte
+	Sig   []byte
+}
+
+// Type implements Message.
+func (m *RES1) Type() MsgType { return TRES1 }
+
+// SignedPart returns the bytes the object signs: m = R_S ‖ R_O ‖ KEXM_O (§V).
+func (m *RES1) SignedPart(rs []byte) []byte {
+	out := make([]byte, 0, len(rs)+len(m.RO)+len(m.KEXMO))
+	out = append(out, rs...)
+	out = append(out, m.RO...)
+	out = append(out, m.KEXMO...)
+	return out
+}
+
+// Encode implements Message.
+func (m *RES1) Encode() []byte {
+	w := enc.NewWriter(64 + len(m.Prof) + len(m.CertO) + len(m.KEXMO))
+	w.U8(byte(TRES1))
+	w.U8(byte(m.Version))
+	w.U8(byte(m.Mode))
+	switch m.Mode {
+	case ModePublic:
+		w.Bytes16(m.Prof)
+	case ModeSecure:
+		w.Bytes16(m.RO)
+		w.Bytes16(m.CertO)
+		w.Bytes16(m.KEXMO)
+		w.Bytes16(m.Sig)
+	}
+	return w.Bytes()
+}
+
+// QUE2 is the subject's second query, unicast to each Level 2/3 object found
+// in phase 1. It carries the subject's profile, certificate and ephemeral
+// ECDH value, a signature over the whole transcript so far, and the finished
+// MACs.
+type QUE2 struct {
+	Version Version
+	RS      []byte // echoes QUE1's R_S so the object can locate its session
+	ProfS   []byte
+	CertS   []byte
+	KEXMS   []byte
+	Sig     []byte // subject signature over "*" (transcript core, see Transcript)
+	MACS2   []byte // MAC_{S,2} — always present
+	// MACS3 is MAC_{S,3}: absent in v1.0; present in v2.0 only when the
+	// subject performs Level 3 discovery (the distinguishability leak);
+	// always present in v3.0 (cover-up keys make it universal, §VI-B).
+	MACS3 []byte
+}
+
+// Type implements Message.
+func (m *QUE2) Type() MsgType { return TQUE2 }
+
+// core encodes the fields covered by the subject's signature.
+func (m *QUE2) core() []byte {
+	w := enc.NewWriter(64 + len(m.ProfS) + len(m.CertS) + len(m.KEXMS))
+	w.U8(byte(len(m.RS)))
+	w.Raw(m.RS)
+	w.Bytes16(m.ProfS)
+	w.Bytes16(m.CertS)
+	w.Bytes16(m.KEXMS)
+	return w.Bytes()
+}
+
+// Encode implements Message.
+func (m *QUE2) Encode() []byte {
+	core := m.core()
+	w := enc.NewWriter(8 + len(core) + len(m.Sig) + len(m.MACS2) + len(m.MACS3))
+	w.U8(byte(TQUE2))
+	w.U8(byte(m.Version))
+	w.Raw(core)
+	w.Bytes16(m.Sig)
+	w.Bytes16(m.MACS2)
+	if m.Version != V10 {
+		// v2.0 carries MAC_{S,3} only during Level 3 discovery; v3.0 always.
+		w.Bytes16(m.MACS3)
+	}
+	return w.Bytes()
+}
+
+// RES2 is the object's final response: the encrypted profile variant and one
+// finished MAC. Which key produced the MAC (K2 or K3) is invisible on the
+// wire — the field layout is identical, which is what the v3.0
+// indistinguishability argument rests on.
+type RES2 struct {
+	Version    Version
+	Ciphertext []byte // [PROF_O] encrypted under K2 or K3
+	MACO       []byte // MAC_{O,2} or MAC_{O,3}
+}
+
+// Type implements Message.
+func (m *RES2) Type() MsgType { return TRES2 }
+
+// Encode implements Message.
+func (m *RES2) Encode() []byte {
+	w := enc.NewWriter(8 + len(m.Ciphertext) + len(m.MACO))
+	w.U8(byte(TRES2))
+	w.U8(byte(m.Version))
+	w.Bytes16(m.Ciphertext)
+	w.Bytes16(m.MACO)
+	return w.Bytes()
+}
+
+// Decode parses any wire message.
+func Decode(b []byte) (Message, error) {
+	if len(b) < 2 {
+		return nil, enc.ErrTruncated
+	}
+	ver := Version(b[1])
+	if !ver.Valid() {
+		return nil, fmt.Errorf("wire: unknown version %d", b[1])
+	}
+	r := enc.NewReader(b[2:])
+	switch MsgType(b[0]) {
+	case TQUE1:
+		m := &QUE1{Version: ver}
+		m.RS = r.Raw(int(r.U8()))
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		if len(m.RS) == 0 {
+			return nil, errors.New("wire: QUE1 missing R_S")
+		}
+		return m, nil
+	case TRES1:
+		m := &RES1{Version: ver}
+		m.Mode = ResponseMode(r.U8())
+		switch m.Mode {
+		case ModePublic:
+			m.Prof = r.Bytes16()
+		case ModeSecure:
+			m.RO = r.Bytes16()
+			m.CertO = r.Bytes16()
+			m.KEXMO = r.Bytes16()
+			m.Sig = r.Bytes16()
+		default:
+			return nil, fmt.Errorf("wire: unknown RES1 mode %d", m.Mode)
+		}
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case TQUE2:
+		m := &QUE2{Version: ver}
+		m.RS = r.Raw(int(r.U8()))
+		m.ProfS = r.Bytes16()
+		m.CertS = r.Bytes16()
+		m.KEXMS = r.Bytes16()
+		m.Sig = r.Bytes16()
+		m.MACS2 = r.Bytes16()
+		if ver != V10 {
+			m.MACS3 = r.Bytes16()
+		}
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case TRES2:
+		m := &RES2{Version: ver}
+		m.Ciphertext = r.Bytes16()
+		m.MACO = r.Bytes16()
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+	return nil, fmt.Errorf("wire: unknown message type %d", b[0])
+}
+
+// Transcript accumulates "*": all the content sent and received so far, in
+// order, on either side of a discovery session. Both sides must feed the
+// identical byte sequence to derive matching finished MACs. The buffer is
+// retained (rather than a streaming hash) because the two sides hash at
+// different cut points: MAC_{S,l} covers the transcript up to QUE2's core,
+// MAC_{O,l} additionally covers the RES2 ciphertext.
+type Transcript struct {
+	data []byte
+}
+
+// Add appends message bytes to the transcript.
+func (t *Transcript) Add(b []byte) { t.data = append(t.data, b...) }
+
+// Hash returns SHA-256 over the accumulated transcript.
+func (t *Transcript) Hash() [sha256.Size]byte { return sha256.Sum256(t.data) }
+
+// Clone returns an independent copy of the transcript state.
+func (t *Transcript) Clone() *Transcript {
+	return &Transcript{data: append([]byte(nil), t.data...)}
+}
+
+// SigInputQUE2 returns the bytes the subject signs in QUE2: the transcript so
+// far (QUE1 ‖ RES1) followed by QUE2's core fields (PROF_S, CERT_S, KEXM_S) —
+// "all the content sent and received so far" per §V.
+func SigInputQUE2(que1Enc, res1Enc []byte, q *QUE2) []byte {
+	out := make([]byte, 0, len(que1Enc)+len(res1Enc)+256)
+	out = append(out, que1Enc...)
+	out = append(out, res1Enc...)
+	out = append(out, q.core()...)
+	return out
+}
