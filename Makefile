@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test race vet bench bench-obs clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-enabled run of the packages with real concurrency: the telemetry
+# registry is hammered from many goroutines, and core/netsim drive it from
+# the simulation loop.
+race:
+	$(GO) test -race ./internal/obs ./internal/core ./internal/netsim
+
+vet:
+	$(GO) vet ./...
+
+# Paper tables/figures benchmarks (bench_test.go at the repo root).
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Telemetry fast-path microbenchmarks (<50 ns/observe target).
+bench-obs:
+	$(GO) test -bench=. -benchmem -run=^$$ ./internal/obs
+
+clean:
+	$(GO) clean ./...

@@ -25,6 +25,7 @@ import (
 	"argus/internal/core"
 	"argus/internal/exp"
 	"argus/internal/netsim"
+	"argus/internal/obs"
 	"argus/internal/pairing"
 	"argus/internal/pbc"
 	"argus/internal/suite"
@@ -354,6 +355,52 @@ func BenchmarkDiscoveryMultiHop(b *testing.B) {
 	for _, level := range []backend.Level{backend.L1, backend.L3} {
 		b.Run(fmt.Sprintf("%v-20obj-4hop", level), func(b *testing.B) {
 			benchDiscovery(b, level, 20, true)
+		})
+	}
+}
+
+// BenchmarkDiscoverV3 runs a full mixed-level v3.0 discovery round with
+// telemetry detached and attached. The two sub-benchmarks bound the
+// instrumentation overhead on the hottest end-to-end path (target: <2%).
+func BenchmarkDiscoverV3(b *testing.B) {
+	for _, instrumented := range []bool{false, true} {
+		name := "telemetry=off"
+		if instrumented {
+			name = "telemetry=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cfg := exp.DeployConfig{
+					Levels: []backend.Level{
+						backend.L1, backend.L2, backend.L3, backend.L1, backend.L2,
+						backend.L3, backend.L1, backend.L2, backend.L3, backend.L1,
+						backend.L2, backend.L3, backend.L1, backend.L2, backend.L3,
+						backend.L1, backend.L2, backend.L3, backend.L1, backend.L2,
+					},
+					Version:      wire.V30,
+					SubjectCosts: exp.PhoneCosts(),
+					ObjectCosts:  exp.PiCosts(),
+					Fellow:       true,
+					Seed:         int64(i + 1),
+				}
+				if instrumented {
+					cfg.Registry = obs.NewRegistry()
+					cfg.Tracer = obs.NewTracer()
+				}
+				d, err := exp.Deploy(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				res, err := d.Run(1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res) != len(cfg.Levels) {
+					b.Fatalf("discovered %d/%d", len(res), len(cfg.Levels))
+				}
+			}
 		})
 	}
 }

@@ -8,9 +8,11 @@
 //	argus-bench -exp fig6e
 //	argus-bench -exp table1,msgsize,fig6b -markdown
 //	argus-bench -exp all [-quick]
+//	argus-bench -exp table1 -json        # machine-readable result array
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,10 +24,11 @@ import (
 
 func main() {
 	var (
-		which = flag.String("exp", "all", "experiment id (see -list) or 'all'")
-		quick = flag.Bool("quick", false, "smaller sweeps / fewer iterations")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
-		md    = flag.Bool("markdown", false, "render results as Markdown tables")
+		which   = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		quick   = flag.Bool("quick", false, "smaller sweeps / fewer iterations")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		md      = flag.Bool("markdown", false, "render results as Markdown tables")
+		jsonOut = flag.Bool("json", false, "emit results as a JSON array on stdout")
 	)
 	flag.Parse()
 
@@ -50,6 +53,7 @@ func main() {
 	}
 
 	failed := 0
+	var collected []*exp.Result
 	for _, id := range ids {
 		start := time.Now()
 		res, err := exp.Registry[id](*quick)
@@ -58,12 +62,25 @@ func main() {
 			failed++
 			continue
 		}
-		if *md {
+		switch {
+		case *jsonOut:
+			collected = append(collected, res)
+			fmt.Fprintf(os.Stderr, "(%s completed in %v)\n", id, time.Since(start).Round(time.Millisecond))
+			continue
+		case *md:
 			fmt.Println(res.Markdown())
-		} else {
+		default:
 			fmt.Println(res)
 		}
 		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(collected); err != nil {
+			fmt.Fprintln(os.Stderr, "argus-bench:", err)
+			os.Exit(1)
+		}
 	}
 	if failed > 0 {
 		os.Exit(1)

@@ -1,61 +1,169 @@
-// Command argus-inspect prints the inventory of a backend snapshot produced
-// by argus-sim -state (or backend.Snapshot): registered subjects and objects,
-// policies, secret groups and revocations. Keys are never printed.
+// Command argus-inspect prints the inventory of an argus-sim artifact:
+// either a backend snapshot (argus-sim -save-state, backend.Snapshot) —
+// registered subjects and objects, policies, secret groups and revocations —
+// or a metrics snapshot (argus-sim -metrics, Prometheus text or JSON). Keys
+// are never printed.
 //
 // Usage:
 //
 //	argus-inspect state.bin
+//	argus-inspect -json state.bin
+//	argus-inspect -json metrics.prom        # parsed back into structured JSON
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 
 	"argus/internal/backend"
+	"argus/internal/obs"
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: argus-inspect <snapshot-file>")
+	jsonOut := false
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "-json" {
+		jsonOut = true
+		args = args[1:]
+	}
+	if len(args) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: argus-inspect [-json] <snapshot-file>")
 		os.Exit(2)
 	}
-	blob, err := os.ReadFile(os.Args[1])
+	blob, err := os.ReadFile(args[0])
 	if err != nil {
 		fail(err)
 	}
-	b, err := backend.Restore(blob)
-	if err != nil {
-		fail(fmt.Errorf("not a valid backend snapshot: %w", err))
+
+	if b, err := backend.Restore(blob); err == nil {
+		inspectBackend(b, len(blob), jsonOut)
+		return
 	}
+	if snap, err := obs.ParseSnapshot(blob); err == nil {
+		inspectMetrics(snap, jsonOut)
+		return
+	}
+	fail(fmt.Errorf("%s is neither a backend snapshot nor a metrics snapshot", args[0]))
+}
 
-	fmt.Printf("backend snapshot: %d bytes, strength %v\n\n", len(blob), b.Strength())
+// backendJSON is the -json projection of a backend snapshot (no key material).
+type backendJSON struct {
+	Bytes    int          `json:"bytes"`
+	Strength string       `json:"strength"`
+	Policies []policyJSON `json:"policies"`
+	Objects  []objectJSON `json:"objects"`
+	Groups   []groupJSON  `json:"groups"`
+}
 
-	fmt.Println("policies:")
+type policyJSON struct {
+	ID      uint64   `json:"id"`
+	Subject string   `json:"subject"`
+	Object  string   `json:"object"`
+	Rights  []string `json:"rights"`
+}
+
+type objectJSON struct {
+	ID        string   `json:"id"`
+	Name      string   `json:"name"`
+	Level     string   `json:"level"`
+	Attrs     string   `json:"attrs"`
+	Functions []string `json:"functions"`
+	Revoked   int      `json:"revoked,omitempty"`
+}
+
+type groupJSON struct {
+	ID          uint64 `json:"id"`
+	Description string `json:"description"`
+	Size        int    `json:"size"`
+	KeyVersion  uint64 `json:"key_version"`
+}
+
+func inspectBackend(b *backend.Backend, size int, jsonOut bool) {
+	out := backendJSON{Bytes: size, Strength: fmt.Sprint(b.Strength())}
 	for _, p := range b.Policies() {
-		fmt.Printf("  #%d  subject[%s]  object[%s]  rights%v\n", p.ID, p.Subject, p.Object, p.Rights)
+		out.Policies = append(out.Policies, policyJSON{
+			ID: p.ID, Subject: fmt.Sprint(p.Subject), Object: fmt.Sprint(p.Object), Rights: p.Rights,
+		})
 	}
-
-	fmt.Println("\nobjects:")
 	for _, oid := range b.Objects() {
 		o, err := b.Object(oid)
 		if err != nil {
 			continue
 		}
 		revoked, _ := b.RevokedFor(oid)
-		fmt.Printf("  %-24s %-8s attrs[%s] functions%v", o.Name, o.Level, o.Attrs, o.Functions)
-		if len(revoked) > 0 {
-			fmt.Printf(" blacklist=%d", len(revoked))
-		}
-		fmt.Println()
+		out.Objects = append(out.Objects, objectJSON{
+			ID: o.ID.String(), Name: o.Name, Level: o.Level.String(),
+			Attrs: fmt.Sprint(o.Attrs), Functions: o.Functions, Revoked: len(revoked),
+		})
 	}
-
-	fmt.Println("\nsecret groups:")
 	for _, gid := range b.Groups.Groups() {
 		g, err := b.Groups.Get(gid)
 		if err != nil {
 			continue
 		}
-		fmt.Printf("  #%d  %q  γ=%d  key-version=%d\n", gid, g.Description(), g.Size(), g.KeyVersion())
+		out.Groups = append(out.Groups, groupJSON{
+			ID: uint64(gid), Description: g.Description(), Size: g.Size(), KeyVersion: g.KeyVersion(),
+		})
+	}
+
+	if jsonOut {
+		emitJSON(out)
+		return
+	}
+	fmt.Printf("backend snapshot: %d bytes, strength %v\n\n", out.Bytes, out.Strength)
+	fmt.Println("policies:")
+	for _, p := range out.Policies {
+		fmt.Printf("  #%d  subject[%s]  object[%s]  rights%v\n", p.ID, p.Subject, p.Object, p.Rights)
+	}
+	fmt.Println("\nobjects:")
+	for _, o := range out.Objects {
+		fmt.Printf("  %-24s %-8s attrs[%s] functions%v", o.Name, o.Level, o.Attrs, o.Functions)
+		if o.Revoked > 0 {
+			fmt.Printf(" blacklist=%d", o.Revoked)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nsecret groups:")
+	for _, g := range out.Groups {
+		fmt.Printf("  #%d  %q  γ=%d  key-version=%d\n", g.ID, g.Description, g.Size, g.KeyVersion)
+	}
+}
+
+func inspectMetrics(snap *obs.Snapshot, jsonOut bool) {
+	if jsonOut {
+		emitJSON(snap)
+		return
+	}
+	fmt.Printf("metrics snapshot: %d series\n\n", len(snap.Metrics))
+	for i := range snap.Metrics {
+		m := &snap.Metrics[i]
+		switch m.Type {
+		case "histogram":
+			fmt.Printf("  %-44s %s count=%d sum=%g p50=%g p95=%g p99=%g\n",
+				m.Name+labelSuffix(m), m.Type, m.Count, m.Sum, m.P50, m.P95, m.P99)
+		default:
+			fmt.Printf("  %-44s %s %g\n", m.Name+labelSuffix(m), m.Type, m.Value)
+		}
+	}
+}
+
+func labelSuffix(m *obs.Metric) string {
+	if len(m.Labels) == 0 {
+		return ""
+	}
+	ls := make([]obs.Label, 0, len(m.Labels))
+	for k, v := range m.Labels {
+		ls = append(ls, obs.L(k, v))
+	}
+	return obs.LabelString(ls)
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fail(err)
 	}
 }
 

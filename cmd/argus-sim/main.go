@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -23,6 +24,7 @@ import (
 	"argus/internal/backend"
 	"argus/internal/exp"
 	"argus/internal/netsim"
+	"argus/internal/obs"
 	"argus/internal/wire"
 )
 
@@ -38,6 +40,9 @@ func main() {
 		seed     = flag.Int64("seed", 1, "simulator RNG seed")
 		state    = flag.String("save-state", "", "write the backend snapshot to this file on exit (inspect with argus-inspect)")
 		trace    = flag.Bool("trace", false, "print every radio message (type, size, time) as it is delivered")
+		metrics  = flag.String("metrics", "", "write a metrics snapshot to this file on exit (.json = JSON, otherwise Prometheus text)")
+		traceOut = flag.String("trace-out", "", "write the discovery-session spans (virtual-clock JSON) to this file on exit")
+		httpAddr = flag.String("http", "", "after the run, serve /metrics, /trace.json, /debug/vars and /debug/pprof on this address")
 	)
 	flag.Parse()
 
@@ -64,6 +69,18 @@ func main() {
 		ObjectCosts:  exp.PiCosts(),
 		Fellow:       *fellow,
 		Seed:         *seed,
+	}
+	// Telemetry is opt-in: with none of the flags set the run executes with
+	// nil handles everywhere and produces byte-identical output.
+	var reg *obs.Registry
+	var tracer *obs.Tracer
+	if *metrics != "" || *httpAddr != "" {
+		reg = obs.NewRegistry()
+		cfg.Registry = reg
+	}
+	if *traceOut != "" || *httpAddr != "" {
+		tracer = obs.NewTracer()
+		cfg.Tracer = tracer
 	}
 	if *multihop {
 		hops := make([]int, *objects)
@@ -153,6 +170,49 @@ func main() {
 		fmt.Printf("round 2 (revoked): %d discoveries, %d at Level 2/3 (public Level 1 services remain visible)\n",
 			len(after), secure)
 	}
+
+	if *metrics != "" {
+		if err := writeMetrics(*metrics, reg); err != nil {
+			fail(err)
+		}
+		fmt.Printf("\nmetrics snapshot written to %s\n", *metrics)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := tracer.WriteJSON(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("%d discovery spans written to %s\n", tracer.Len(), *traceOut)
+	}
+	if *httpAddr != "" {
+		fmt.Printf("\nserving telemetry on http://%s/metrics (Ctrl-C to exit)\n", *httpAddr)
+		fail(http.ListenAndServe(*httpAddr, obs.NewMux(reg, tracer)))
+	}
+}
+
+// writeMetrics serializes the registry: JSON for .json paths, Prometheus
+// text format otherwise. Both forms parse back with argus-inspect -json.
+func writeMetrics(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	snap := reg.Snapshot()
+	if strings.HasSuffix(path, ".json") {
+		err = snap.WriteJSON(f)
+	} else {
+		err = snap.WritePrometheus(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func parseMix(mix string, n int) ([]backend.Level, error) {

@@ -20,6 +20,7 @@ import (
 	"argus/internal/attr"
 	"argus/internal/cert"
 	"argus/internal/groups"
+	"argus/internal/obs"
 	"argus/internal/suite"
 )
 
@@ -115,6 +116,29 @@ type Backend struct {
 	keys      map[cert.ID]*suite.SigningKey // issued private keys (escrow for re-provisioning)
 	certs     map[cert.ID][]byte
 	profSizes int
+
+	reg *obs.Registry // optional churn telemetry; nil = off
+}
+
+// Instrument attaches a metrics registry; every subsequent churn operation
+// is counted (argus_backend_churn_ops_total by op, and the notified ground
+// entities behind Table I's updating overhead as argus_backend_notified_
+// total by kind). Passing nil detaches.
+func (b *Backend) Instrument(reg *obs.Registry) { b.reg = reg }
+
+// countChurn records one churn operation and its propagation fan-out. The
+// backend is not a hot path, so handles are resolved per call (the registry
+// deduplicates); with no registry attached this is a nil-receiver no-op
+// inside the obs package.
+func (b *Backend) countChurn(op string, rep UpdateReport) {
+	if b.reg == nil {
+		return
+	}
+	b.reg.Counter(obs.MBackendChurnOps, "Backend churn operations, by kind.", obs.L("op", op)).Inc()
+	b.reg.Counter(obs.MBackendNotified, "Ground entities notified by churn operations, by kind.",
+		obs.L("kind", "object")).Add(int64(len(rep.NotifiedObjects)))
+	b.reg.Counter(obs.MBackendNotified, "Ground entities notified by churn operations, by kind.",
+		obs.L("kind", "subject")).Add(int64(len(rep.NotifiedSubjects)))
 }
 
 // New creates a backend with a fresh admin identity at the given strength.
@@ -205,6 +229,7 @@ func (b *Backend) RegisterSubject(name string, attrs attr.Set) (cert.ID, UpdateR
 		return cert.ID{}, UpdateReport{}, err
 	}
 	b.subjects[id] = &SubjectRecord{ID: id, Name: name, Attrs: attrs.Clone()}
+	b.countChurn("register_subject", UpdateReport{})
 	return id, UpdateReport{}, nil
 }
 
@@ -225,7 +250,9 @@ func (b *Backend) RegisterObject(name string, level Level, attrs attr.Set, funct
 		covert:    make(map[groups.ID][]string),
 		revoked:   make(map[cert.ID]bool),
 	}
-	return id, UpdateReport{NotifiedObjects: []cert.ID{id}}, nil
+	rep := UpdateReport{NotifiedObjects: []cert.ID{id}}
+	b.countChurn("register_object", rep)
+	return id, rep, nil
 }
 
 // Subject returns the record for a registered subject.
@@ -272,7 +299,9 @@ func (b *Backend) AddPolicy(subjectPred, objectPred *attr.Predicate, rights []st
 	}
 	b.nextPol++
 	b.policies[p.ID] = p
-	return p.ID, UpdateReport{NotifiedObjects: b.governedBy(p)}, nil
+	rep := UpdateReport{NotifiedObjects: b.governedBy(p)}
+	b.countChurn("add_policy", rep)
+	return p.ID, rep, nil
 }
 
 // RemovePolicy deletes a policy; the report lists the objects whose variants
@@ -284,7 +313,9 @@ func (b *Backend) RemovePolicy(id uint64) (UpdateReport, error) {
 	}
 	affected := b.governedBy(p)
 	delete(b.policies, id)
-	return UpdateReport{NotifiedObjects: affected}, nil
+	rep := UpdateReport{NotifiedObjects: affected}
+	b.countChurn("remove_policy", rep)
+	return rep, nil
 }
 
 // Policies returns all installed policies sorted by ID.
@@ -376,6 +407,7 @@ func (b *Backend) RevokeSubject(id cert.ID) (UpdateReport, error) {
 		return report.NotifiedSubjects[i].String() < report.NotifiedSubjects[j].String()
 	})
 	s.Revoked = true
+	b.countChurn("revoke_subject", report)
 	return report, nil
 }
 
@@ -417,6 +449,7 @@ func (b *Backend) UpdateSubjectAttrs(id cert.ID, attrs attr.Set) (UpdateReport, 
 			report.NotifiedObjects = append(report.NotifiedObjects, oid)
 		}
 	}
+	b.countChurn("update_subject_attrs", report)
 	return report, nil
 }
 
@@ -441,7 +474,9 @@ func (b *Backend) UpdateObjectAttrs(id cert.ID, attrs attr.Set) (UpdateReport, e
 		return UpdateReport{}, err
 	}
 	o.Attrs = attrs.Clone()
-	return UpdateReport{NotifiedObjects: []cert.ID{id}}, nil
+	rep := UpdateReport{NotifiedObjects: []cert.ID{id}}
+	b.countChurn("update_object_attrs", rep)
+	return rep, nil
 }
 
 // RemoveObject decommissions an object (overhead 1).
@@ -450,7 +485,9 @@ func (b *Backend) RemoveObject(id cert.ID) (UpdateReport, error) {
 		return UpdateReport{}, fmt.Errorf("backend: unknown object %v", id)
 	}
 	delete(b.objects, id)
-	return UpdateReport{NotifiedObjects: []cert.ID{id}}, nil
+	rep := UpdateReport{NotifiedObjects: []cert.ID{id}}
+	b.countChurn("remove_object", rep)
+	return rep, nil
 }
 
 // AddCovertService puts an object into a secret group and defines the covert

@@ -28,6 +28,53 @@ import (
 	"argus/internal/suite"
 )
 
+// maxSigLen returns the DER length of an ECDSA-Sig-Value (SEQUENCE of two
+// INTEGERs) whose r and s both take their maximal encoding. r and s are
+// uniform below the curve order n, so the longest minimal encoding has
+// ceil(bitlen(n)/8) content octets, plus a 0x00 sign octet when bitlen(n) is
+// a multiple of 8 (only then can the top bit be set) — reached with
+// probability ~1/2 per integer either way.
+func maxSigLen(s suite.Strength) int {
+	bits := s.Curve().Params().N.BitLen()
+	content := (bits + 7) / 8
+	if bits%8 == 0 {
+		content++ // leading 0x00 keeps the INTEGER positive
+	}
+	intLen := 2 + content // tag, length, content
+	body := 2 * intLen
+	header := 2
+	if body >= 128 {
+		header = 3 // long-form length (body fits one length octet for all curves)
+	}
+	return header + body
+}
+
+// createSizedCert wraps x509.CreateCertificate, re-signing until the DER
+// ECDSA signature takes its maximal — and therefore fixed — length. DER
+// encodes r and s as minimal-length INTEGERs, so a freshly signed
+// certificate's size otherwise varies with the random nonce (±2 B), which
+// would make fixed-seed simulation runs non-reproducible at the byte level:
+// RES1 carries this DER verbatim, and message size drives virtual airtime.
+// Both r and s are maximal with probability 1/4, so this takes 4 signatures
+// on average, at issuance time only.
+func createSizedCert(tmpl, parent *x509.Certificate, pub, priv any, s suite.Strength) ([]byte, error) {
+	want := maxSigLen(s)
+	for attempt := 0; attempt < 256; attempt++ {
+		der, err := x509.CreateCertificate(rand.Reader, tmpl, parent, pub, priv)
+		if err != nil {
+			return nil, err
+		}
+		parsed, err := x509.ParseCertificate(der)
+		if err != nil {
+			return nil, err
+		}
+		if len(parsed.Signature) == want {
+			return der, nil
+		}
+	}
+	return nil, errors.New("cert: could not produce a fixed-size signature")
+}
+
 // Role distinguishes the two registered entity kinds.
 type Role byte
 
@@ -104,7 +151,7 @@ func NewAdmin(s suite.Strength, name string) (*Admin, error) {
 		BasicConstraintsValid: true,
 		IsCA:                  true,
 	}
-	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.StdPrivate().PublicKey, key.StdPrivate())
+	der, err := createSizedCert(tmpl, tmpl, &key.StdPrivate().PublicKey, key.StdPrivate(), s)
 	if err != nil {
 		return nil, err
 	}
@@ -189,7 +236,7 @@ func (a *Admin) IssueCert(id ID, name string, role Role, pub suite.PublicKey) ([
 		SubjectKeyId: ski[:20],
 		OCSPServer:   []string{"https://backend.argus.example/ocsp"},
 	}
-	return x509.CreateCertificate(rand.Reader, tmpl, a.caCert, std, a.key.StdPrivate())
+	return createSizedCert(tmpl, a.caCert, std, a.key.StdPrivate(), a.strength)
 }
 
 // CertInfo is the verified content of a CERT.

@@ -2,7 +2,6 @@ package cert
 
 import (
 	"crypto/ecdsa"
-	"crypto/rand"
 	"crypto/x509"
 	"crypto/x509/pkix"
 	"encoding/hex"
@@ -51,7 +50,7 @@ func (a *Admin) NewSubordinate(name string) (*Admin, error) {
 		IsCA:                  true,
 		MaxPathLenZero:        false,
 	}
-	der, err := x509.CreateCertificate(rand.Reader, tmpl, a.caCert, &key.StdPrivate().PublicKey, a.key.StdPrivate())
+	der, err := createSizedCert(tmpl, a.caCert, &key.StdPrivate().PublicKey, a.key.StdPrivate(), a.strength)
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 	"argus/internal/backend"
 	"argus/internal/cert"
 	"argus/internal/netsim"
+	"argus/internal/obs"
 	"argus/internal/suite"
 	"argus/internal/wire"
 )
@@ -22,6 +23,7 @@ type Object struct {
 	sessions map[sessionKey]*objSession
 	seen     map[sessionKey]bool // duplicate-query suppression via R_S (§IV-B)
 	revoked  map[cert.ID]bool
+	tel      *objectTelemetry
 }
 
 // Resource bounds. DoS resistance is a non-goal of the paper (§III), but an
@@ -62,6 +64,16 @@ func NewObject(prov *backend.ObjectProvision, version wire.Version, costs Costs)
 // Attach records the object's own ground-network address. Call after
 // netsim.AddNode.
 func (o *Object) Attach(node netsim.NodeID) { o.node = node }
+
+// Instrument attaches a metrics registry (nil detaches). Like the subject's,
+// object telemetry is purely observational and preserves fixed-seed runs.
+func (o *Object) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		o.tel = nil
+		return
+	}
+	o.tel = newObjectTelemetry(reg)
+}
 
 // ID returns the object's registered identity.
 func (o *Object) ID() cert.ID { return o.prov.ID }
@@ -107,6 +119,7 @@ func (o *Object) handleQUE1(net *netsim.Network, from netsim.NodeID, m *wire.QUE
 	}
 	key := mkSessionKey(from, m.RS)
 	if o.seen[key] {
+		o.tel.que1Result(resultDuplicate)
 		return // duplicate query (flooded QUE1 arriving via another path)
 	}
 	if len(o.seen) >= maxSeenQueries {
@@ -116,6 +129,7 @@ func (o *Object) handleQUE1(net *netsim.Network, from netsim.NodeID, m *wire.QUE
 	}
 	o.seen[key] = true
 	if len(o.sessions) >= maxPendingSessions {
+		o.tel.que1Result(resultRefused)
 		return // refuse new handshakes until pending ones complete
 	}
 
@@ -127,6 +141,7 @@ func (o *Object) handleQUE1(net *netsim.Network, from netsim.NodeID, m *wire.QUE
 			Mode:    wire.ModePublic,
 			Prof:    o.prov.PublicProfile.Encode(),
 		}
+		o.tel.que1Result(resultPublic)
 		net.Send(o.node, from, res.Encode())
 		return
 	}
@@ -162,6 +177,9 @@ func (o *Object) handleQUE1(net *netsim.Network, from netsim.NodeID, m *wire.QUE
 	o.sessions[key] = sess
 
 	cost := o.costs.KexGen + o.costs.Sign
+	o.tel.que1Result(resultHandshake)
+	o.tel.count(opsKexGen, 1)
+	o.tel.count(opsSign, 1)
 	net.Compute(o.node, cost, func() {
 		sess.res1Enc = res.Encode()
 		net.Send(o.node, from, sess.res1Enc)
@@ -179,32 +197,39 @@ func (o *Object) handleQUE2(net *netsim.Network, from netsim.NodeID, m *wire.QUE
 	// the whole transcript, and the freshness of R_O defeats replay.
 	info, err := cert.VerifyCert(o.prov.CACert, m.CertS, o.prov.Strength)
 	if err != nil || info.Role != cert.RoleSubject {
+		o.tel.que2Result(resultRejected)
 		return
 	}
 	if o.revoked[info.ID] {
+		o.tel.que2Result(resultRejected)
 		return // de-authorized subjects stop seeing services (§VIII)
 	}
 	sigInput := wire.SigInputQUE2(sess.que1Enc, sess.res1Enc, m)
 	if !info.Public.Verify(sigInput, m.Sig) {
+		o.tel.que2Result(resultRejected)
 		return
 	}
 	prof, err := cert.DecodeProfile(m.ProfS)
 	if err != nil || prof.Kind != cert.RoleSubject || prof.Entity != info.ID {
+		o.tel.que2Result(resultRejected)
 		return
 	}
 	if err := prof.VerifyAnchored(o.prov.CACert, o.prov.AdminPub, time.Now()); err != nil {
+		o.tel.que2Result(resultRejected)
 		return // PROF must be admin-signed: attributes cannot be self-claimed
 	}
 
 	// Key establishment.
 	preK, err := sess.kex.Shared(m.KEXMS)
 	if err != nil {
+		o.tel.que2Result(resultRejected)
 		return
 	}
 	k2 := suite.SessionKey2(preK, sess.rs, sess.ro)
 	ts := transcriptS(sess.que1Enc, sess.res1Enc, m)
 	tsHash := ts.Hash()
 	if !suite.VerifyMAC(k2, suite.LabelSubjectFinished, tsHash, m.MACS2) {
+		o.tel.que2Result(resultRejected)
 		return // handshake failure
 	}
 
@@ -238,12 +263,23 @@ func (o *Object) handleQUE2(net *netsim.Network, from netsim.NodeID, m *wire.QUE
 	if o.version != wire.V10 && o.prov.Level == L3 {
 		cost += time.Duration(o.covertVariantCount()) * 2 * o.costs.HMAC // K3 derivations + MAC_{S,3} trials
 	}
+	if o.tel != nil {
+		o.tel.count(opsVerify, 3)
+		o.tel.count(opsKexShared, 1)
+		hmacs := int64(2) // MAC_{S,2} verify + MAC_{O,X}
+		if o.version != wire.V10 && o.prov.Level == L3 {
+			hmacs += int64(o.covertVariantCount()) * 2
+		}
+		o.tel.count(opsHMAC, hmacs)
+		o.tel.count(opsCipher, 1)
+	}
 
 	var res *wire.RES2
 	switch {
 	case fellowVariant != nil:
 		// Level 3 face: MAC_{O,3} and PROF encrypted under K3.
 		res = o.buildRES2(ts, m, k3, fellowVariant.Profile)
+		o.tel.que2Result(resultFellow)
 	default:
 		// Level 2 face (for true Level 2 objects and for Level 3 objects
 		// answering non-fellows in v3.0). v2.0 Level 3 objects instead answer
@@ -252,21 +288,26 @@ func (o *Object) handleQUE2(net *netsim.Network, from netsim.NodeID, m *wire.QUE
 		if o.version == wire.V20 && o.prov.Level == L3 {
 			v := o.firstCovertVariant()
 			if v == nil {
+				o.tel.que2Result(resultSilent)
 				return
 			}
 			kFirst := suite.SessionKey3(k2, v.GroupKey, sess.rs, sess.ro)
 			res = o.buildRES2(ts, m, kFirst, v.Profile)
+			o.tel.que2Result(resultFellow)
 			break
 		}
 		v := o.matchVariant(prof)
 		if v == nil {
+			o.tel.que2Result(resultSilent)
 			return // no policy admits this subject: silence, not a hint
 		}
 		res = o.buildRES2(ts, m, k2, v.Profile)
+		o.tel.que2Result(resultL2)
 	}
 	if res == nil {
 		return
 	}
+	o.tel.response(cost, len(res.Ciphertext))
 	net.Compute(o.node, cost, func() {
 		net.Send(o.node, from, res.Encode())
 	})

@@ -7,6 +7,7 @@ import (
 	"argus/internal/cert"
 	"argus/internal/groups"
 	"argus/internal/netsim"
+	"argus/internal/obs"
 	"argus/internal/suite"
 	"argus/internal/wire"
 )
@@ -26,9 +27,12 @@ type Subject struct {
 	round       int
 	rs          []byte
 	que1Enc     []byte
+	que1At      time.Duration // virtual time of the current round's broadcast
 
 	sessions map[sessionKey]*subjSession
 	results  []Discovery
+
+	tel *subjectTelemetry
 
 	// OnDiscovery, if set, is invoked for every verified discovery.
 	OnDiscovery func(Discovery)
@@ -42,6 +46,7 @@ type subjSession struct {
 	ts      *wire.Transcript // subject-cut transcript
 	que2    *wire.QUE2
 	round   int
+	stamps  phaseStamps
 }
 
 // NewSubject creates an engine from a backend provision.
@@ -56,6 +61,18 @@ func NewSubject(prov *backend.SubjectProvision, version wire.Version, costs Cost
 
 // Attach records the subject's ground-network address.
 func (s *Subject) Attach(node netsim.NodeID) { s.node = node }
+
+// Instrument attaches a metrics registry and an optional span tracer.
+// Telemetry is purely observational — it consumes no randomness and
+// schedules no events, so instrumented and uninstrumented runs of the same
+// seed are identical. Passing nils detaches.
+func (s *Subject) Instrument(reg *obs.Registry, tr *obs.Tracer) {
+	if reg == nil && tr == nil {
+		s.tel = nil
+		return
+	}
+	s.tel = newSubjectTelemetry(reg, tr, s.version)
+}
 
 // ID returns the subject's registered identity.
 func (s *Subject) ID() cert.ID { return s.prov.ID }
@@ -105,6 +122,8 @@ func (s *Subject) Discover(net *netsim.Network, ttl int) error {
 		}
 	}
 	s.rs = rs
+	s.que1At = net.Now()
+	s.tel.roundStarted()
 	q := &wire.QUE1{Version: s.version, RS: rs}
 	s.que1Enc = q.Encode()
 	net.Broadcast(s.node, s.que1Enc, ttl)
@@ -159,7 +178,10 @@ func (s *Subject) handlePublicRES1(net *netsim.Network, from netsim.NodeID, m *w
 	if err := prof.VerifyAnchored(s.prov.CACert, s.prov.AdminPub, time.Now()); err != nil {
 		return
 	}
+	st := phaseStamps{session: s.tel.session(), que1At: s.que1At, res1At: net.Now()}
+	s.tel.count(opsVerify, 1)
 	net.Compute(s.node, s.costs.Verify, func() {
+		s.tel.sessionDone(st, L1, from, s.version, net.Now())
 		s.record(Discovery{
 			Object:  prof.Entity,
 			Node:    from,
@@ -212,6 +234,7 @@ func (s *Subject) handleSecureRES1(net *netsim.Network, from netsim.NodeID, m *w
 	q.MACS2 = suite.FinishedMAC(k2, suite.LabelSubjectFinished, tsHash)
 
 	sess := &subjSession{objNode: from, k2: k2, ts: ts, round: s.round}
+	sess.stamps = phaseStamps{session: s.tel.session(), secure: true, que1At: s.que1At, res1At: net.Now()}
 	extraHMACs := 0
 	if s.version != wire.V10 && len(s.prov.Memberships) > 0 {
 		// v2.0: MAC_{S,3} is attached only when performing Level 3 discovery,
@@ -236,7 +259,15 @@ func (s *Subject) handleSecureRES1(net *netsim.Network, from netsim.NodeID, m *w
 	// verification and decryption are charged at RES2 time.
 	cost := 2*s.costs.Verify + s.costs.KexGen + s.costs.KexShared +
 		s.costs.Sign + (2+time.Duration(extraHMACs))*s.costs.HMAC
+	if s.tel != nil {
+		s.tel.count(opsVerify, 2)
+		s.tel.count(opsKexGen, 1)
+		s.tel.count(opsKexShared, 1)
+		s.tel.count(opsSign, 1)
+		s.tel.count(opsHMAC, int64(2+extraHMACs))
+	}
 	net.Compute(s.node, cost, func() {
+		sess.stamps.que2At = net.Now()
 		net.Send(s.node, from, q.Encode())
 	})
 }
@@ -258,6 +289,7 @@ func (s *Subject) handleRES2(net *netsim.Network, from netsim.NodeID, m *wire.RE
 		return
 	}
 	delete(s.sessions, key)
+	sess.stamps.res2At = net.Now()
 
 	to := transcriptO(sess.ts, sess.que2, m.Ciphertext)
 	toHash := to.Hash()
@@ -288,7 +320,13 @@ func (s *Subject) handleRES2(net *netsim.Network, from netsim.NodeID, m *wire.RE
 	}
 
 	cost := 2*s.costs.HMAC + s.costs.Cipher + s.costs.Verify
+	if s.tel != nil {
+		s.tel.count(opsHMAC, 2)
+		s.tel.count(opsCipher, 1)
+		s.tel.count(opsVerify, 1)
+	}
 	net.Compute(s.node, cost, func() {
+		s.tel.sessionDone(sess.stamps, level, from, s.version, net.Now())
 		s.record(Discovery{
 			Object:  prof.Entity,
 			Node:    from,

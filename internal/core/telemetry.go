@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"argus/internal/netsim"
+	"argus/internal/obs"
+	"argus/internal/wire"
+)
+
+// Telemetry for the discovery engines. Metric handles are resolved once at
+// Instrument time so the per-message cost is a few atomic operations; every
+// helper is a no-op on a nil receiver, so an uninstrumented engine executes
+// the exact same event sequence (fixed-seed runs stay byte-identical — see
+// internal/exp's determinism test).
+
+// Crypto-op label values of obs.MCryptoOps, matching the Costs fields.
+const (
+	opSign      = "sign"
+	opVerify    = "verify"
+	opKexGen    = "kex_gen"
+	opKexShared = "kex_shared"
+	opHMAC      = "hmac"
+	opCipher    = "cipher"
+)
+
+// cryptoOps is the per-role operation counter block.
+type cryptoOps struct {
+	sign, verify, kexGen, kexShared, hmac, cipher *obs.Counter
+}
+
+func newCryptoOps(reg *obs.Registry, role string) cryptoOps {
+	c := func(op string) *obs.Counter {
+		return reg.Counter(obs.MCryptoOps, "Cryptographic operations performed, by operation and role.",
+			obs.L("op", op), obs.L("role", role))
+	}
+	return cryptoOps{
+		sign: c(opSign), verify: c(opVerify), kexGen: c(opKexGen),
+		kexShared: c(opKexShared), hmac: c(opHMAC), cipher: c(opCipher),
+	}
+}
+
+// phaseNames is the fixed phase vocabulary, in wire order.
+var phaseNames = []string{obs.PhaseQUE1, obs.PhaseRES1, obs.PhaseQUE2, obs.PhaseRES2, obs.PhaseAll}
+
+// subjectTelemetry instruments the subject engine.
+type subjectTelemetry struct {
+	tracer      *obs.Tracer
+	rounds      *obs.Counter
+	discoveries [4]*obs.Counter              // indexed by Level (1..3)
+	phases      [4]map[string]*obs.Histogram // [level][phase]
+	ops         cryptoOps
+}
+
+func newSubjectTelemetry(reg *obs.Registry, tr *obs.Tracer, version wire.Version) *subjectTelemetry {
+	t := &subjectTelemetry{
+		tracer: tr,
+		rounds: reg.Counter(obs.MDiscoveryRounds, "Discovery rounds started (QUE1 broadcasts)."),
+		ops:    newCryptoOps(reg, "subject"),
+	}
+	ver := "v" + strconv.Itoa(int(version))
+	for level := L1; level <= L3; level++ {
+		lv := obs.L("level", strconv.Itoa(int(level)))
+		t.discoveries[level] = reg.Counter(obs.MDiscoveries,
+			"Verified discoveries, by perceived visibility level.", lv)
+		t.phases[level] = make(map[string]*obs.Histogram, len(phaseNames))
+		for _, ph := range phaseNames {
+			t.phases[level][ph] = reg.Histogram(obs.MDiscoveryPhaseSeconds,
+				"Virtual time spent per discovery protocol phase.",
+				obs.LatencyBuckets(), lv, obs.L("phase", ph), obs.L("version", ver))
+		}
+	}
+	return t
+}
+
+func (t *subjectTelemetry) roundStarted() {
+	if t == nil {
+		return
+	}
+	t.rounds.Inc()
+}
+
+// phaseStamps are the virtual times a session crossed each protocol
+// boundary. Zero res1/que2 times mean the Level 1 short path (no phase 2).
+type phaseStamps struct {
+	session uint64
+	secure  bool          // phase-2 handshake ran (Level 2/3 path)
+	que1At  time.Duration // QUE1 broadcast
+	res1At  time.Duration // RES1 arrival
+	que2At  time.Duration // QUE2 on the air
+	res2At  time.Duration // RES2 arrival
+}
+
+// sessionDone records the per-phase histograms and tracer spans of one
+// completed discovery at doneAt. Only phases the session actually crossed
+// are emitted (Level 1 skips phase 2 entirely).
+func (t *subjectTelemetry) sessionDone(st phaseStamps, level Level, peer netsim.NodeID, version wire.Version, doneAt time.Duration) {
+	if t == nil || !level.Valid() {
+		return
+	}
+	t.discoveries[level].Inc()
+	phases := t.phases[level]
+	detail := fmt.Sprintf("%v peer=%d", version, peer)
+	emit := func(phase string, from, to time.Duration) {
+		phases[phase].ObserveDuration(to - from)
+		t.tracer.Record(obs.Span{
+			Session: st.session, Name: "discover", Phase: phase,
+			Level: int(level), Detail: detail, Start: from, End: to,
+		})
+	}
+	emit(obs.PhaseQUE1, st.que1At, st.res1At)
+	if st.secure {
+		emit(obs.PhaseRES1, st.res1At, st.que2At)
+		emit(obs.PhaseQUE2, st.que2At, st.res2At)
+		emit(obs.PhaseRES2, st.res2At, doneAt)
+	} else {
+		// Level 1: RES1 arrival → verified is the whole tail.
+		emit(obs.PhaseRES2, st.res1At, doneAt)
+	}
+	emit(obs.PhaseAll, st.que1At, doneAt)
+}
+
+// count records n crypto operations on the given counter.
+func (t *subjectTelemetry) count(c func(cryptoOps) *obs.Counter, n int64) {
+	if t == nil {
+		return
+	}
+	c(t.ops).Add(n)
+}
+
+// session allocates a tracer session ID (0 when tracing is off).
+func (t *subjectTelemetry) session() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.tracer.NewSession()
+}
+
+// objectTelemetry instruments the object engine.
+type objectTelemetry struct {
+	que1      map[string]*obs.Counter
+	que2      map[string]*obs.Counter
+	compute   *obs.Histogram
+	res2Bytes *obs.Histogram
+	ops       cryptoOps
+}
+
+// QUE1/QUE2 outcome label values.
+const (
+	resultPublic    = "public"    // Level 1 plaintext profile returned
+	resultHandshake = "handshake" // secure RES1 sent, awaiting QUE2
+	resultDuplicate = "duplicate" // flooded QUE1 seen via another path
+	resultRefused   = "refused"   // session table full
+	resultFellow    = "fellow"    // RES2 under K3 (Level 3 face)
+	resultL2        = "l2"        // RES2 under K2 (Level 2 face)
+	resultRejected  = "rejected"  // authentication/verification failed
+	resultSilent    = "silent"    // no policy admits the subject
+)
+
+func newObjectTelemetry(reg *obs.Registry) *objectTelemetry {
+	t := &objectTelemetry{
+		que1: make(map[string]*obs.Counter),
+		que2: make(map[string]*obs.Counter),
+		compute: reg.Histogram(obs.MObjectComputeSeconds,
+			"Equalized object response compute time charged per QUE2 (§VI-B timing countermeasure).",
+			obs.LatencyBuckets()),
+		res2Bytes: reg.Histogram(obs.MObjectRes2Bytes,
+			"RES2 ciphertext length — constant across levels in v3.0 (padding proof).",
+			obs.SizeBuckets()),
+		ops: newCryptoOps(reg, "object"),
+	}
+	for _, r := range []string{resultPublic, resultHandshake, resultDuplicate, resultRefused} {
+		t.que1[r] = reg.Counter(obs.MObjectQue1, "QUE1 messages handled, by outcome.", obs.L("result", r))
+	}
+	for _, r := range []string{resultFellow, resultL2, resultRejected, resultSilent} {
+		t.que2[r] = reg.Counter(obs.MObjectQue2, "QUE2 messages handled, by outcome.", obs.L("result", r))
+	}
+	return t
+}
+
+func (t *objectTelemetry) que1Result(r string) {
+	if t == nil {
+		return
+	}
+	t.que1[r].Inc()
+}
+
+func (t *objectTelemetry) que2Result(r string) {
+	if t == nil {
+		return
+	}
+	t.que2[r].Inc()
+}
+
+func (t *objectTelemetry) response(cost time.Duration, ciphertextLen int) {
+	if t == nil {
+		return
+	}
+	t.compute.ObserveDuration(cost)
+	t.res2Bytes.Observe(float64(ciphertextLen))
+}
+
+func (t *objectTelemetry) count(c func(cryptoOps) *obs.Counter, n int64) {
+	if t == nil {
+		return
+	}
+	c(t.ops).Add(n)
+}
+
+// Counter selectors shared by both roles.
+func opsSign(o cryptoOps) *obs.Counter      { return o.sign }
+func opsVerify(o cryptoOps) *obs.Counter    { return o.verify }
+func opsKexGen(o cryptoOps) *obs.Counter    { return o.kexGen }
+func opsKexShared(o cryptoOps) *obs.Counter { return o.kexShared }
+func opsHMAC(o cryptoOps) *obs.Counter      { return o.hmac }
+func opsCipher(o cryptoOps) *obs.Counter    { return o.cipher }

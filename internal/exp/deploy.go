@@ -7,6 +7,7 @@ import (
 	"argus/internal/backend"
 	"argus/internal/core"
 	"argus/internal/netsim"
+	"argus/internal/obs"
 	"argus/internal/suite"
 	"argus/internal/wire"
 )
@@ -44,6 +45,12 @@ type DeployConfig struct {
 	// FellowOfGroup puts the subject in the covert group served by every
 	// Level 3 object (true for fellow runs, false for cover-up runs).
 	Fellow bool
+	// Registry, when set, instruments the whole deployment (network,
+	// backend, subject and every object). Telemetry never perturbs the
+	// simulation: a fixed seed produces identical results either way.
+	Registry *obs.Registry
+	// Tracer, when set, records per-phase discovery spans on the subject.
+	Tracer *obs.Tracer
 }
 
 // Deploy builds and provisions the testbed. Every object carries a Level 2
@@ -82,12 +89,17 @@ func Deploy(cfg DeployConfig) (*Deployment, error) {
 	}
 
 	d := &Deployment{Backend: b, Net: netsim.New(cfg.Link, cfg.Seed)}
+	b.Instrument(cfg.Registry)
+	d.Net.Instrument(cfg.Registry)
 
 	sprov, err := b.ProvisionSubject(sid)
 	if err != nil {
 		return nil, err
 	}
 	d.Subject = core.NewSubject(sprov, cfg.Version, cfg.SubjectCosts)
+	if cfg.Registry != nil || cfg.Tracer != nil {
+		d.Subject.Instrument(cfg.Registry, cfg.Tracer)
+	}
 	d.SubjNode = d.Net.AddNode(d.Subject)
 	d.Subject.Attach(d.SubjNode)
 
@@ -123,6 +135,9 @@ func Deploy(cfg DeployConfig) (*Deployment, error) {
 			return nil, err
 		}
 		o := core.NewObject(prov, cfg.Version, cfg.ObjectCosts)
+		if cfg.Registry != nil {
+			o.Instrument(cfg.Registry)
+		}
 		node := d.Net.AddNode(o)
 		o.Attach(node)
 

@@ -1,0 +1,165 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+
+	"argus/internal/backend"
+	"argus/internal/core"
+	"argus/internal/netsim"
+	"argus/internal/obs"
+)
+
+func telemetryTestConfig(reg *obs.Registry, tr *obs.Tracer) DeployConfig {
+	return DeployConfig{
+		Levels:       []backend.Level{backend.L1, backend.L2, backend.L3, backend.L1, backend.L2, backend.L3},
+		SubjectCosts: PhoneCosts(),
+		ObjectCosts:  PiCosts(),
+		Fellow:       true,
+		Seed:         42,
+		Registry:     reg,
+		Tracer:       tr,
+	}
+}
+
+// TestTelemetryDoesNotPerturb is the determinism guarantee of the telemetry
+// layer: a fixed-seed deployment produces identical discoveries, network
+// statistics and per-link traffic whether or not a registry and tracer are
+// attached. Telemetry only reads the virtual clock — it draws no randomness
+// and schedules no events. (Certificate DER sizes are pinned at issuance, so
+// two same-seed deployments are byte-identical on the air.)
+func TestTelemetryDoesNotPerturb(t *testing.T) {
+	run := func(reg *obs.Registry, tr *obs.Tracer) ([]core.Discovery, netsim.Stats, map[netsim.LinkKey]netsim.LinkStat) {
+		d, err := Deploy(telemetryTestConfig(reg, tr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := d.Run(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, d.Net.Stats(), d.Net.LinkStats()
+	}
+
+	plain, plainStats, plainLinks := run(nil, nil)
+	instr, instrStats, instrLinks := run(obs.NewRegistry(), obs.NewTracer())
+
+	if plainStats != instrStats {
+		t.Errorf("network stats diverged:\n  plain = %+v\n  instr = %+v", plainStats, instrStats)
+	}
+	if !reflect.DeepEqual(plainLinks, instrLinks) {
+		t.Errorf("per-link traffic diverged:\n  plain = %v\n  instr = %v", plainLinks, instrLinks)
+	}
+	if len(plain) != len(instr) {
+		t.Fatalf("discovery counts diverged: %d vs %d", len(plain), len(instr))
+	}
+	for i := range plain {
+		p, q := plain[i], instr[i]
+		// Entity IDs and keys are freshly random per deployment; everything
+		// the simulation *computes* must match exactly.
+		if p.Node != q.Node || p.Level != q.Level || p.At != q.At || p.Round != q.Round {
+			t.Errorf("discovery %d diverged:\n  plain = {node %d %v at %v}\n  instr = {node %d %v at %v}",
+				i, p.Node, p.Level, p.At, q.Node, q.Level, q.At)
+		}
+	}
+}
+
+// TestDeploymentMetricsContent checks that an instrumented fixed-seed run
+// populates the metric families the acceptance criteria name: per-level
+// discovery-phase histograms with quantiles, netsim byte/latency metrics and
+// backend churn counters — and that they agree with the simulation's own
+// accounting.
+func TestDeploymentMetricsContent(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer()
+	d, err := Deploy(telemetryTestConfig(reg, tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perLevel := map[backend.Level]int{}
+	for _, r := range res {
+		perLevel[backend.Level(r.Level)]++
+	}
+	snap := reg.Snapshot()
+
+	for _, level := range []string{"1", "2", "3"} {
+		m := snap.Get(obs.MDiscoveryPhaseSeconds, obs.L("level", level), obs.L("phase", obs.PhaseAll))
+		if m == nil {
+			t.Fatalf("no phase histogram for level %s", level)
+		}
+		if int(m.Count) != perLevel[backend.Level(level[0]-'0')] {
+			t.Errorf("level %s phase count = %d, want %d", level, m.Count, perLevel[backend.Level(level[0]-'0')])
+		}
+		if m.Count > 0 && (m.P50 <= 0 || m.P95 < m.P50) {
+			t.Errorf("level %s quantiles implausible: p50=%g p95=%g p99=%g", level, m.P50, m.P95, m.P99)
+		}
+	}
+	for _, level := range []string{"2", "3"} {
+		for _, phase := range []string{obs.PhaseQUE1, obs.PhaseRES1, obs.PhaseQUE2, obs.PhaseRES2} {
+			if m := snap.Get(obs.MDiscoveryPhaseSeconds, obs.L("level", level), obs.L("phase", phase)); m == nil || m.Count == 0 {
+				t.Errorf("level %s phase %s histogram missing or empty", level, phase)
+			}
+		}
+	}
+
+	stats := d.Net.Stats()
+	if m := snap.Get(obs.MNetBytesOnAir); m == nil || int64(m.Value) != stats.BytesOnAir {
+		t.Errorf("bytes-on-air metric = %+v, stats say %d", m, stats.BytesOnAir)
+	}
+	if m := snap.Get(obs.MNetTransmissions); m == nil || int(m.Value) != stats.Transmissions {
+		t.Errorf("transmissions metric = %+v, stats say %d", m, stats.Transmissions)
+	}
+	if m := snap.Get(obs.MNetHopLatency); m == nil || int(m.Count) != stats.Transmissions {
+		t.Errorf("hop-latency histogram = %+v, want one observation per transmission (%d)", m, stats.Transmissions)
+	}
+	var linkBytes int64
+	for _, ls := range d.Net.LinkStats() {
+		linkBytes += ls.Bytes
+	}
+	if linkBytes != stats.BytesOnAir {
+		t.Errorf("per-link bytes sum %d != bytes on air %d", linkBytes, stats.BytesOnAir)
+	}
+
+	if m := snap.Get(obs.MBackendChurnOps, obs.L("op", "register_object")); m == nil || int(m.Value) != len(d.Objects) {
+		t.Errorf("register_object churn counter = %+v, want %d", m, len(d.Objects))
+	}
+	if m := snap.Get(obs.MCryptoOps, obs.L("role", "subject"), obs.L("op", "verify")); m == nil || m.Value == 0 {
+		t.Errorf("subject verify counter missing: %+v", m)
+	}
+
+	// Revoke the subject: churn counters advance by exactly the report.
+	notifiedBefore := 0.0
+	if m := snap.Get(obs.MBackendNotified, obs.L("kind", "object")); m != nil {
+		notifiedBefore = m.Value
+	}
+	rep, err := d.Backend.RevokeSubject(d.Subject.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap = reg.Snapshot()
+	if m := snap.Get(obs.MBackendChurnOps, obs.L("op", "revoke_subject")); m == nil || m.Value != 1 {
+		t.Errorf("revoke_subject churn counter = %+v", m)
+	}
+	if m := snap.Get(obs.MBackendNotified, obs.L("kind", "object")); m == nil || int(m.Value-notifiedBefore) != len(rep.NotifiedObjects) {
+		t.Errorf("notified-objects counter = %+v, want +%d over %g", m, len(rep.NotifiedObjects), notifiedBefore)
+	}
+
+	// Tracer: every secure discovery contributes one span per phase plus a
+	// total; Level 1 contributes que1, res2 and total.
+	if tr.Len() == 0 {
+		t.Fatal("tracer recorded nothing")
+	}
+	want := perLevel[backend.L1]*3 + (perLevel[backend.L2]+perLevel[backend.L3])*5
+	if tr.Len() != want {
+		t.Errorf("tracer spans = %d, want %d", tr.Len(), want)
+	}
+	for _, s := range tr.Spans() {
+		if s.End < s.Start {
+			t.Errorf("span %+v runs backwards", s)
+		}
+	}
+}

@@ -21,7 +21,10 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"time"
+
+	"argus/internal/obs"
 )
 
 // NodeID identifies a node in the ground network.
@@ -94,6 +97,71 @@ type Stats struct {
 	Transmissions int           // per-hop radio transmissions
 	BytesOnAir    int64         // sum of transmitted payload bytes (per hop)
 	MediumBusy    time.Duration // total medium occupancy
+	Drops         int           // unicast messages dropped for lack of a route
+}
+
+// Broadcast is the LinkKey.To sentinel for one-to-many transmissions: a
+// broadcast occupies the medium once per (transmitter, channel) and reaches
+// every fresh neighbor, so it cannot be attributed to a single directed link.
+const Broadcast NodeID = -1
+
+// LinkKey identifies one directed transmission edge for per-link accounting.
+type LinkKey struct {
+	From NodeID
+	To   NodeID // Broadcast for flood transmissions
+}
+
+// LinkStat is the per-link share of the global Stats counters.
+type LinkStat struct {
+	Transmissions int
+	Bytes         int64
+}
+
+// netTelemetry holds the network's pre-resolved metric handles. A nil
+// *netTelemetry (registry never attached) costs one pointer test per event.
+type netTelemetry struct {
+	reg           *obs.Registry
+	messages      *obs.Counter
+	transmissions *obs.Counter
+	bytesOnAir    *obs.Counter
+	drops         *obs.Counter
+	payloadBytes  *obs.Histogram
+	hopLatency    *obs.Histogram
+	mediumWait    *obs.Histogram
+	channelBytes  map[Channel]*obs.Counter
+	linkBytes     map[LinkKey]*obs.Counter
+}
+
+// message counts one injected application message; safe on a nil receiver.
+func (t *netTelemetry) message() {
+	if t == nil {
+		return
+	}
+	t.messages.Inc()
+}
+
+func (t *netTelemetry) channel(ch Channel) *obs.Counter {
+	c, ok := t.channelBytes[ch]
+	if !ok {
+		c = t.reg.Counter(obs.MNetChannelBytes, "Payload bytes transmitted per radio channel.",
+			obs.L("channel", strconv.Itoa(int(ch))))
+		t.channelBytes[ch] = c
+	}
+	return c
+}
+
+func (t *netTelemetry) link(k LinkKey) *obs.Counter {
+	c, ok := t.linkBytes[k]
+	if !ok {
+		to := "broadcast"
+		if k.To != Broadcast {
+			to = strconv.Itoa(int(k.To))
+		}
+		c = t.reg.Counter(obs.MNetLinkBytes, "Payload bytes transmitted per directed link.",
+			obs.L("from", strconv.Itoa(int(k.From))), obs.L("to", to))
+		t.linkBytes[k] = c
+	}
+	return c
 }
 
 type event struct {
@@ -151,6 +219,8 @@ type Network struct {
 	mediumFree map[Channel]time.Duration // earliest idle time per channel
 	links      map[[2]NodeID]linkInfo
 	stats      Stats
+	linkStats  map[LinkKey]*LinkStat
+	tel        *netTelemetry
 
 	// dist[a][b] is the hop distance; recomputed lazily after topology edits.
 	dist      [][]int
@@ -173,7 +243,33 @@ func New(model LinkModel, seed int64) *Network {
 		rng:        rand.New(rand.NewSource(seed)),
 		mediumFree: make(map[Channel]time.Duration),
 		links:      make(map[[2]NodeID]linkInfo),
+		linkStats:  make(map[LinkKey]*LinkStat),
 		distDirty:  true,
+	}
+}
+
+// Instrument attaches a metrics registry. Telemetry only reads the event
+// stream — it never consumes RNG draws or reorders events, so a fixed-seed
+// run is identical with or without it. Passing nil detaches.
+func (n *Network) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		n.tel = nil
+		return
+	}
+	n.tel = &netTelemetry{
+		reg:           reg,
+		messages:      reg.Counter(obs.MNetMessages, "Application messages injected (Send/Broadcast calls)."),
+		transmissions: reg.Counter(obs.MNetTransmissions, "Per-hop radio transmissions."),
+		bytesOnAir:    reg.Counter(obs.MNetBytesOnAir, "Transmitted payload bytes, counted per hop."),
+		drops:         reg.Counter(obs.MNetDrops, "Unicast messages dropped for lack of a route."),
+		payloadBytes: reg.Histogram(obs.MNetPayloadBytes,
+			"Payload size per transmission.", obs.SizeBuckets()),
+		hopLatency: reg.Histogram(obs.MNetHopLatency,
+			"Per-hop latency: medium wait + airtime + propagation.", obs.LatencyBuckets()),
+		mediumWait: reg.Histogram(obs.MNetMediumWait,
+			"Time a transmission waited for the shared medium (contention).", obs.LatencyBuckets()),
+		channelBytes: make(map[Channel]*obs.Counter),
+		linkBytes:    make(map[LinkKey]*obs.Counter),
 	}
 }
 
@@ -241,6 +337,19 @@ func (n *Network) Now() time.Duration { return n.now }
 
 // Stats returns the accumulated counters.
 func (n *Network) Stats() Stats { return n.stats }
+
+// LinkStats returns a copy of the per-link accounting: how many
+// transmissions and payload bytes each directed edge carried. Broadcast
+// transmissions are keyed with To == Broadcast (they occupy the medium once
+// per transmitter and channel). The same numbers are folded into the
+// registry as argus_net_link_bytes_total when Instrument was called.
+func (n *Network) LinkStats() map[LinkKey]LinkStat {
+	out := make(map[LinkKey]LinkStat, len(n.linkStats))
+	for k, v := range n.linkStats {
+		out[k] = *v
+	}
+	return out
+}
 
 // After schedules fn at now+d without occupying any resource (timers,
 // response-time equalization delays).
@@ -319,8 +428,9 @@ func (n *Network) nextHop(cur, dst NodeID) (NodeID, bool) {
 }
 
 // acquireMedium books one transmission on the link's channel starting no
-// earlier than t, returning the completion time.
-func (n *Network) acquireMedium(li linkInfo, t time.Duration, bytes int) time.Duration {
+// earlier than t, returning the completion time. from/to attribute the
+// transmission for per-link accounting (to == Broadcast for floods).
+func (n *Network) acquireMedium(from, to NodeID, li linkInfo, t time.Duration, bytes int) time.Duration {
 	start := t
 	if free := n.mediumFree[li.channel]; free > start {
 		start = free
@@ -330,7 +440,25 @@ func (n *Network) acquireMedium(li linkInfo, t time.Duration, bytes int) time.Du
 	n.stats.Transmissions++
 	n.stats.BytesOnAir += int64(bytes)
 	n.stats.MediumBusy += air
-	return start + air + li.model.PropagationDelay
+	lk := LinkKey{From: from, To: to}
+	ls, ok := n.linkStats[lk]
+	if !ok {
+		ls = &LinkStat{}
+		n.linkStats[lk] = ls
+	}
+	ls.Transmissions++
+	ls.Bytes += int64(bytes)
+	arrive := start + air + li.model.PropagationDelay
+	if tel := n.tel; tel != nil {
+		tel.transmissions.Inc()
+		tel.bytesOnAir.Add(int64(bytes))
+		tel.payloadBytes.Observe(float64(bytes))
+		tel.mediumWait.ObserveDuration(start - t)
+		tel.hopLatency.ObserveDuration(arrive - t)
+		tel.channel(li.channel).Add(int64(bytes))
+		tel.link(lk).Add(int64(bytes))
+	}
+	return arrive
 }
 
 // Send unicasts payload from src to dst along a shortest path, relaying hop
@@ -341,15 +469,20 @@ func (n *Network) Send(src, dst NodeID, payload []byte) {
 		panic("netsim: send to self")
 	}
 	n.stats.MessagesSent++
+	n.tel.message()
 	n.relay(src, src, dst, payload)
 }
 
 func (n *Network) relay(origin, cur, dst NodeID, payload []byte) {
 	hop, ok := n.nextHop(cur, dst)
 	if !ok {
+		n.stats.Drops++
+		if n.tel != nil {
+			n.tel.drops.Inc()
+		}
 		return
 	}
-	arrive := n.acquireMedium(n.linkOf(cur, hop), n.now, len(payload))
+	arrive := n.acquireMedium(cur, hop, n.linkOf(cur, hop), n.now, len(payload))
 	n.schedule(arrive, func() {
 		if hop == dst {
 			n.deliver(origin, dst, payload)
@@ -368,6 +501,7 @@ func (n *Network) Broadcast(src NodeID, payload []byte, ttl int) {
 		return
 	}
 	n.stats.MessagesSent++
+	n.tel.message()
 	seen := make(map[NodeID]bool)
 	seen[src] = true
 	n.flood(src, src, payload, ttl, seen)
@@ -392,7 +526,7 @@ func (n *Network) flood(origin, cur NodeID, payload []byte, ttl int, seen map[No
 	for _, ch := range channels {
 		fresh := byChannel[ch]
 		li := n.linkOf(cur, fresh[0])
-		arrive := n.acquireMedium(li, n.now, len(payload))
+		arrive := n.acquireMedium(cur, Broadcast, li, n.now, len(payload))
 		n.schedule(arrive, func() {
 			for _, nb := range fresh {
 				n.deliver(origin, nb, payload)

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket distribution metric. Observations land in the
+// first bucket whose upper bound is >= the value (Prometheus `le`
+// semantics); values above the last bound land in an implicit +Inf bucket.
+// Observe is lock-free: one binary search over the (small, immutable) bound
+// slice plus two atomic adds. All methods no-op on a nil receiver.
+type Histogram struct {
+	family string
+	labels []Label
+	bounds []float64       // sorted upper bounds; immutable after creation
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	sum    atomicFloat
+}
+
+func newHistogram(name string, bounds []float64, labels []Label) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{
+		family: name,
+		labels: append([]Label(nil), labels...),
+		bounds: bs,
+		counts: make([]atomic.Uint64, len(bs)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.add(v)
+}
+
+// ObserveDuration records a duration in seconds (the base unit for latency
+// histograms).
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.Observe(d.Seconds())
+}
+
+// Count returns the total number of observations (0 on a nil receiver).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values (0 on a nil receiver).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.load()
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear interpolation
+// within the containing bucket — the same estimator Prometheus's
+// histogram_quantile uses. Values in the overflow bucket are reported as the
+// highest finite bound. Returns 0 with no observations or a nil receiver.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	counts := make([]uint64, len(h.counts))
+	var total uint64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	return bucketQuantile(q, h.bounds, counts, total)
+}
+
+// bucketQuantile is the shared estimator, also used when re-deriving
+// quantiles from a parsed snapshot.
+func bucketQuantile(q float64, bounds []float64, counts []uint64, total uint64) float64 {
+	if total == 0 || len(bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i >= len(bounds) {
+			// Overflow bucket: no finite upper bound to interpolate toward.
+			return bounds[len(bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		hi := bounds[i]
+		frac := (rank - (cum - float64(c))) / float64(c)
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		return lo + (hi-lo)*frac
+	}
+	return bounds[len(bounds)-1]
+}
+
+// atomicFloat is a float64 accumulated with a CAS loop.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// ExponentialBuckets returns n upper bounds starting at start, each factor
+// times the previous — the standard shape for latency and size histograms.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// LatencyBuckets covers the simulator's latency range: 100 µs to ~26 s in
+// factor-2 steps (discovery phases are 1 ms–2 s; medium waits are µs–ms).
+func LatencyBuckets() []float64 { return ExponentialBuckets(100e-6, 2, 18) }
+
+// SizeBuckets covers wire-message sizes: 16 B to 32 KiB in factor-2 steps
+// (QUE1 is ~30 B; a padded RES2 is a few hundred bytes).
+func SizeBuckets() []float64 { return ExponentialBuckets(16, 2, 12) }

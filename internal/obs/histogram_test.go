@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestHistogramBuckets checks Prometheus `le` semantics: a value lands in the
+// first bucket whose upper bound is >= the value; values above every bound
+// land in the overflow bucket.
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram("h", []float64{1, 2, 4}, nil)
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 5, 100} {
+		h.Observe(v)
+	}
+	want := []uint64{2, 2, 2, 2} // (..1], (1..2], (2..4], (4..+Inf)
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 8 {
+		t.Errorf("count = %d, want 8", h.Count())
+	}
+	if h.Sum() != 0.5+1+1.5+2+3+4+5+100 {
+		t.Errorf("sum = %g", h.Sum())
+	}
+}
+
+// TestQuantileAgainstSortedReference draws random values and checks the
+// bucket-interpolated quantile estimate against the exact quantile of the
+// sorted sample: the estimate must stay within the bucket containing the
+// exact value (that is the estimator's resolution guarantee).
+func TestQuantileAgainstSortedReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	bounds := ExponentialBuckets(0.001, 2, 16) // 1ms .. ~32s
+	h := newHistogram("h", bounds, nil)
+	const n = 20000
+	vals := make([]float64, n)
+	for i := range vals {
+		// Log-uniform over the bucket range, like real latencies.
+		vals[i] = 0.001 * math.Pow(2, rng.Float64()*15)
+		h.Observe(vals[i])
+	}
+	sort.Float64s(vals)
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.95, 0.99} {
+		exact := vals[int(q*float64(n-1))]
+		est := h.Quantile(q)
+		// The containing bucket of the exact value bounds the estimate.
+		i := sort.SearchFloat64s(bounds, exact)
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		hi := bounds[len(bounds)-1]
+		if i < len(bounds) {
+			hi = bounds[i]
+		}
+		if est < lo || est > hi {
+			t.Errorf("q=%g: estimate %g outside bucket [%g, %g] of exact %g",
+				q, est, lo, hi, exact)
+		}
+	}
+}
+
+// TestQuantileEdgeCases pins the estimator's behavior at the extremes.
+func TestQuantileEdgeCases(t *testing.T) {
+	h := newHistogram("h", []float64{1, 2}, nil)
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile not 0")
+	}
+	h.Observe(10) // overflow only
+	if got := h.Quantile(0.5); got != 2 {
+		t.Errorf("overflow-only quantile = %g, want highest finite bound 2", got)
+	}
+	h2 := newHistogram("h", []float64{1, 2}, nil)
+	h2.Observe(0.5)
+	if got := h2.Quantile(1.5); got < 0 || got > 1 {
+		t.Errorf("clamped q>1 quantile = %g, want within first bucket", got)
+	}
+	if got := h2.Quantile(-1); got < 0 || got > 1 {
+		t.Errorf("clamped q<0 quantile = %g, want within first bucket", got)
+	}
+}
+
+// TestExponentialBuckets checks the generator used by the canonical bucket
+// layouts.
+func TestExponentialBuckets(t *testing.T) {
+	got := ExponentialBuckets(16, 2, 4)
+	want := []float64{16, 32, 64, 128}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExponentialBuckets = %v, want %v", got, want)
+		}
+	}
+	if !sort.Float64sAreSorted(LatencyBuckets()) || !sort.Float64sAreSorted(SizeBuckets()) {
+		t.Fatal("canonical buckets not sorted")
+	}
+}

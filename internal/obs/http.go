@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the registry's current state: Prometheus text format by
+// default, JSON when the request has `?format=json` or an Accept header of
+// application/json. Works with a nil registry (serves an empty snapshot).
+func Handler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		snap := reg.Snapshot()
+		if r.URL.Query().Get("format") == "json" || r.Header.Get("Accept") == "application/json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = snap.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = snap.WritePrometheus(w)
+	})
+}
+
+// TraceHandler serves the tracer's spans as JSON.
+func TraceHandler(tr *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = tr.WriteJSON(w)
+	})
+}
+
+// NewMux builds the introspection endpoint wired into the cmd binaries:
+//
+//	/metrics       registry snapshot (Prometheus text; ?format=json for JSON)
+//	/trace.json    recorded discovery spans
+//	/debug/vars    expvar (Go runtime memstats, cmdline)
+//	/debug/pprof/  CPU/heap/goroutine profiles
+//
+// tr may be nil (the trace endpoint then serves an empty array).
+func NewMux(reg *Registry, tr *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(reg))
+	mux.Handle("/trace.json", TraceHandler(tr))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,57 @@
+package obs
+
+// Canonical metric family names, shared by the instrumented packages, the
+// cmd binaries and the tests so that producers and consumers never drift.
+// Conventions (documented in DESIGN.md §Observability):
+//
+//   - families are `argus_<subsystem>_<noun>[_<unit>]`;
+//   - counters end in `_total`;
+//   - histograms use base units: `_seconds` for time, `_bytes` for sizes;
+//   - labels are low-cardinality: level ("1".."3"), phase (protocol phase),
+//     version ("v1"|"v2"|"v3"), op (crypto or churn operation), role
+//     ("subject"|"object"), channel / from / to (small integers), kind,
+//     result.
+const (
+	// internal/core — subject side.
+	MDiscoveryRounds       = "argus_discovery_rounds_total"
+	MDiscoveries           = "argus_discoveries_total"       // level
+	MDiscoveryPhaseSeconds = "argus_discovery_phase_seconds" // level, phase, version
+	MCryptoOps             = "argus_crypto_ops_total"        // op, role
+
+	// internal/core — object side.
+	MObjectQue1           = "argus_object_que1_total" // result
+	MObjectQue2           = "argus_object_que2_total" // result
+	MObjectComputeSeconds = "argus_object_equalized_compute_seconds"
+	MObjectRes2Bytes      = "argus_object_res2_bytes"
+
+	// internal/netsim.
+	MNetMessages      = "argus_net_messages_total"
+	MNetTransmissions = "argus_net_transmissions_total"
+	MNetBytesOnAir    = "argus_net_bytes_on_air_total"
+	MNetDrops         = "argus_net_drops_total"
+	MNetPayloadBytes  = "argus_net_payload_bytes"
+	MNetHopLatency    = "argus_net_hop_latency_seconds"
+	MNetMediumWait    = "argus_net_medium_wait_seconds"
+	MNetChannelBytes  = "argus_net_channel_bytes_total" // channel
+	MNetLinkBytes     = "argus_net_link_bytes_total"    // from, to
+
+	// internal/backend.
+	MBackendChurnOps = "argus_backend_churn_ops_total" // op
+	MBackendNotified = "argus_backend_notified_total"  // kind
+
+	// internal/update.
+	MUpdateSent        = "argus_update_sent_total" // kind
+	MUpdateApplied     = "argus_update_applied_total"
+	MUpdateRejected    = "argus_update_rejected_total"
+	MUpdatePropagation = "argus_update_propagation_seconds"
+)
+
+// Protocol phases of a discovery session, in wire order. Used as the
+// `phase` label of MDiscoveryPhaseSeconds and as Span.Phase values.
+const (
+	PhaseQUE1 = "que1_res1"    // QUE1 broadcast → RES1 arrival
+	PhaseRES1 = "res1_verify"  // RES1 arrival → QUE2 on the air (verify + ECDH + sign)
+	PhaseQUE2 = "que2_res2"    // QUE2 sent → RES2 arrival (object turnaround + air)
+	PhaseRES2 = "res2_decrypt" // RES2 arrival → discovery recorded (MAC + decrypt + verify)
+	PhaseAll  = "total"        // QUE1 broadcast → discovery recorded
+)

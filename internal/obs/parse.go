@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParseSnapshot reads a snapshot previously serialized with WriteJSON or
+// WritePrometheus (auto-detected). Histogram quantiles are re-derived from
+// the parsed buckets when the Prometheus form is read.
+func ParseSnapshot(b []byte) (*Snapshot, error) {
+	trimmed := bytes.TrimSpace(b)
+	if len(trimmed) == 0 {
+		return &Snapshot{}, nil
+	}
+	if trimmed[0] == '{' {
+		var s Snapshot
+		if err := json.Unmarshal(trimmed, &s); err != nil {
+			return nil, fmt.Errorf("obs: bad JSON snapshot: %w", err)
+		}
+		return &s, nil
+	}
+	return parsePrometheus(trimmed)
+}
+
+// promSample is one parsed exposition line.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+func parsePrometheus(b []byte) (*Snapshot, error) {
+	types := map[string]string{}
+	helps := map[string]string{}
+	var samples []promSample
+
+	sc := bufio.NewScanner(bytes.NewReader(b))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				types[fields[2]] = fields[3]
+			}
+			if len(fields) >= 4 && fields[1] == "HELP" {
+				helps[fields[2]] = fields[3]
+			}
+			continue // quantile comments are derived values; recomputed below
+		}
+		s, err := parsePromLine(line)
+		if err != nil {
+			return nil, err
+		}
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	snap := &Snapshot{}
+	hists := map[string]*Metric{} // family+labels → metric under assembly
+	var histOrder []string
+	for _, s := range samples {
+		family, part := s.name, ""
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(s.name, suffix)
+			if base != s.name && types[base] == "histogram" {
+				family, part = base, suffix
+				break
+			}
+		}
+		if part == "" {
+			typ := types[s.name]
+			if typ == "" {
+				typ = "counter"
+			}
+			snap.Metrics = append(snap.Metrics, Metric{
+				Name: s.name, Type: typ, Labels: s.labels,
+				Help: helps[s.name], Value: s.value,
+			})
+			continue
+		}
+		le := s.labels["le"]
+		labels := make(map[string]string, len(s.labels))
+		for k, v := range s.labels {
+			if k != "le" {
+				labels[k] = v
+			}
+		}
+		if len(labels) == 0 {
+			labels = nil
+		}
+		key := family + labelString(labelsOf(labels))
+		m, ok := hists[key]
+		if !ok {
+			m = &Metric{Name: family, Type: "histogram", Labels: labels, Help: helps[family]}
+			hists[key] = m
+			histOrder = append(histOrder, key)
+		}
+		switch part {
+		case "_sum":
+			m.Sum = s.value
+		case "_count":
+			m.Count = uint64(s.value)
+		case "_bucket":
+			if le == "+Inf" {
+				break // the overflow bucket is implied by _count
+			}
+			bound, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return nil, fmt.Errorf("obs: bad le %q", le)
+			}
+			m.Buckets = append(m.Buckets, Bucket{LE: bound, Count: uint64(s.value)})
+		}
+	}
+	for _, key := range histOrder {
+		m := hists[key]
+		sort.Slice(m.Buckets, func(i, j int) bool { return m.Buckets[i].LE < m.Buckets[j].LE })
+		bounds, counts := decumulate(m.Buckets, m.Count)
+		m.P50 = bucketQuantile(0.50, bounds, counts, m.Count)
+		m.P95 = bucketQuantile(0.95, bounds, counts, m.Count)
+		m.P99 = bucketQuantile(0.99, bounds, counts, m.Count)
+		snap.Metrics = append(snap.Metrics, *m)
+	}
+	sort.Slice(snap.Metrics, func(i, j int) bool {
+		return snap.Metrics[i].id() < snap.Metrics[j].id()
+	})
+	return snap, nil
+}
+
+func labelsOf(m map[string]string) []Label {
+	ls := make([]Label, 0, len(m))
+	for k, v := range m {
+		ls = append(ls, Label{k, v})
+	}
+	return ls
+}
+
+// decumulate converts cumulative buckets back to per-bucket counts plus the
+// overflow bucket implied by the total count.
+func decumulate(buckets []Bucket, total uint64) (bounds []float64, counts []uint64) {
+	bounds = make([]float64, len(buckets))
+	counts = make([]uint64, len(buckets)+1)
+	var prev uint64
+	for i, b := range buckets {
+		bounds[i] = b.LE
+		counts[i] = b.Count - prev
+		prev = b.Count
+	}
+	counts[len(buckets)] = total - prev
+	return bounds, counts
+}
+
+// parsePromLine parses `name{k="v",...} value` (labels optional).
+func parsePromLine(line string) (promSample, error) {
+	s := promSample{}
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	if brace >= 0 {
+		s.name = rest[:brace]
+		end := strings.LastIndexByte(rest, '}')
+		if end < brace {
+			return s, fmt.Errorf("obs: unterminated labels in %q", line)
+		}
+		labels, err := parsePromLabels(rest[brace+1 : end])
+		if err != nil {
+			return s, fmt.Errorf("obs: %w in %q", err, line)
+		}
+		s.labels = labels
+		rest = rest[end+1:]
+	} else {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return s, fmt.Errorf("obs: no value in %q", line)
+		}
+		s.name = rest[:sp]
+		rest = rest[sp:]
+	}
+	valStr := strings.TrimSpace(rest)
+	if valStr == "+Inf" {
+		s.value = math.Inf(1)
+		return s, nil
+	}
+	v, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return s, fmt.Errorf("obs: bad value %q in %q", valStr, line)
+	}
+	s.value = v
+	return s, nil
+}
+
+func parsePromLabels(body string) (map[string]string, error) {
+	labels := map[string]string{}
+	for len(body) > 0 {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("bad label segment %q", body)
+		}
+		key := strings.TrimSpace(body[:eq])
+		rest := body[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return nil, fmt.Errorf("unquoted label value for %q", key)
+		}
+		val, n, err := unquotePrefix(rest)
+		if err != nil {
+			return nil, err
+		}
+		labels[key] = val
+		body = strings.TrimPrefix(strings.TrimSpace(rest[n:]), ",")
+		body = strings.TrimSpace(body)
+	}
+	return labels, nil
+}
+
+// unquotePrefix unquotes the Go-style quoted string at the start of s,
+// returning the value and how many bytes it consumed.
+func unquotePrefix(s string) (string, int, error) {
+	for i := 1; i < len(s); i++ {
+		if s[i] == '"' && s[i-1] != '\\' {
+			v, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return "", 0, err
+			}
+			return v, i + 1, nil
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated label value")
+}

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metric is one exported metric in a point-in-time snapshot.
+type Metric struct {
+	Name   string            `json:"name"`
+	Type   string            `json:"type"` // "counter", "gauge" or "histogram"
+	Labels map[string]string `json:"labels,omitempty"`
+	Help   string            `json:"help,omitempty"`
+
+	// Counter / gauge value.
+	Value float64 `json:"value,omitempty"`
+
+	// Histogram fields.
+	Count   uint64   `json:"count,omitempty"`
+	Sum     float64  `json:"sum,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"` // cumulative, ascending le
+	P50     float64  `json:"p50,omitempty"`
+	P95     float64  `json:"p95,omitempty"`
+	P99     float64  `json:"p99,omitempty"`
+}
+
+// Bucket is one cumulative histogram bucket (count of observations <= LE).
+type Bucket struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// id is the metric's stable sort key within a snapshot.
+func (m *Metric) id() string {
+	ls := make([]Label, 0, len(m.Labels))
+	for k, v := range m.Labels {
+		ls = append(ls, Label{k, v})
+	}
+	return m.Name + labelString(ls)
+}
+
+// Snapshot is a point-in-time copy of a registry, ordered by metric name
+// then labels so identical states serialize identically.
+type Snapshot struct {
+	Metrics []Metric `json:"metrics"`
+}
+
+// Get returns the first metric with the given family name whose labels are a
+// superset of the given labels, or nil.
+func (s *Snapshot) Get(name string, labels ...Label) *Metric {
+	for i := range s.Metrics {
+		m := &s.Metrics[i]
+		if m.Name != name {
+			continue
+		}
+		ok := true
+		for _, l := range labels {
+			if m.Labels[l.Key] != l.Value {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return m
+		}
+	}
+	return nil
+}
+
+func labelMap(labels []Label) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(labels))
+	for _, l := range labels {
+		m[l.Key] = l.Value
+	}
+	return m
+}
+
+// Snapshot copies the registry's current state. Safe to call concurrently
+// with observations (each metric is read atomically; cross-metric skew of
+// in-flight updates is possible, as with any scrape). Returns an empty
+// snapshot on a nil registry.
+func (r *Registry) Snapshot() *Snapshot {
+	snap := &Snapshot{}
+	if r == nil {
+		return snap
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, c := range r.counters {
+		snap.Metrics = append(snap.Metrics, Metric{
+			Name: c.family, Type: "counter", Labels: labelMap(c.labels),
+			Help: r.help[c.family], Value: float64(c.Value()),
+		})
+	}
+	for _, g := range r.gauges {
+		snap.Metrics = append(snap.Metrics, Metric{
+			Name: g.family, Type: "gauge", Labels: labelMap(g.labels),
+			Help: r.help[g.family], Value: float64(g.Value()),
+		})
+	}
+	for _, h := range r.hists {
+		m := Metric{
+			Name: h.family, Type: "histogram", Labels: labelMap(h.labels),
+			Help: r.help[h.family],
+		}
+		counts := make([]uint64, len(h.counts))
+		var cum uint64
+		for i := range h.counts {
+			counts[i] = h.counts[i].Load()
+			m.Count += counts[i]
+		}
+		for i, b := range h.bounds {
+			cum += counts[i]
+			m.Buckets = append(m.Buckets, Bucket{LE: b, Count: cum})
+		}
+		m.Sum = h.sum.load()
+		m.P50 = bucketQuantile(0.50, h.bounds, counts, m.Count)
+		m.P95 = bucketQuantile(0.95, h.bounds, counts, m.Count)
+		m.P99 = bucketQuantile(0.99, h.bounds, counts, m.Count)
+		snap.Metrics = append(snap.Metrics, m)
+	}
+	sort.Slice(snap.Metrics, func(i, j int) bool {
+		return snap.Metrics[i].id() < snap.Metrics[j].id()
+	})
+	return snap
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4). Snapshot quantiles are emitted as comment lines —
+// they are derived values, not series.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	lastFamily := ""
+	for i := range s.Metrics {
+		m := &s.Metrics[i]
+		if m.Name != lastFamily {
+			if m.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, m.Help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Type); err != nil {
+				return err
+			}
+			lastFamily = m.Name
+		}
+		ls := sortedLabels(m.Labels)
+		switch m.Type {
+		case "histogram":
+			for _, b := range m.Buckets {
+				withLE := append(append([]Label(nil), ls...), L("le", formatFloat(b.LE)))
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name, promLabels(withLE), b.Count); err != nil {
+					return err
+				}
+			}
+			withLE := append(append([]Label(nil), ls...), L("le", "+Inf"))
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name, promLabels(withLE), m.Count); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.Name, promLabels(ls), formatFloat(m.Sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", m.Name, promLabels(ls), m.Count); err != nil {
+				return err
+			}
+			if m.Count > 0 {
+				if _, err := fmt.Fprintf(w, "# quantiles %s%s p50=%s p95=%s p99=%s\n",
+					m.Name, promLabels(ls), formatFloat(m.P50), formatFloat(m.P95), formatFloat(m.P99)); err != nil {
+					return err
+				}
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", m.Name, promLabels(ls), formatFloat(m.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func sortedLabels(m map[string]string) []Label {
+	ls := make([]Label, 0, len(m))
+	for k, v := range m {
+		ls = append(ls, Label{k, v})
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	return ls
+}
+
+// promLabels renders labels for exposition ("" when empty).
+func promLabels(ls []Label) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// goldenRegistry builds a small registry with exactly-representable values so
+// the golden text below is stable across platforms.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("argus_test_total", "A counter.", L("op", "x")).Add(3)
+	r.Gauge("argus_test_gauge", "A gauge.").Set(7)
+	h := r.Histogram("argus_test_seconds", "A histogram.", []float64{0.25, 1})
+	h.Observe(0.0625)
+	h.Observe(0.5)
+	h.Observe(5)
+	return r
+}
+
+// TestWritePrometheusGolden pins the exact exposition-format output.
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`# HELP argus_test_gauge A gauge.`,
+		`# TYPE argus_test_gauge gauge`,
+		`argus_test_gauge 7`,
+		`# HELP argus_test_seconds A histogram.`,
+		`# TYPE argus_test_seconds histogram`,
+		`argus_test_seconds_bucket{le="0.25"} 1`,
+		`argus_test_seconds_bucket{le="1"} 2`,
+		`argus_test_seconds_bucket{le="+Inf"} 3`,
+		`argus_test_seconds_sum 5.5625`,
+		`argus_test_seconds_count 3`,
+		`# quantiles argus_test_seconds p50=0.625 p95=1 p99=1`,
+		`# HELP argus_test_total A counter.`,
+		`# TYPE argus_test_total counter`,
+		`argus_test_total{op="x"} 3`,
+		``,
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestSnapshotDeterminism checks that identical registry states serialize
+// identically — the property fixed-seed simulation runs rely on.
+func TestSnapshotDeterminism(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := goldenRegistry().Snapshot().WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := goldenRegistry().Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical registries serialized differently")
+	}
+}
+
+// TestParseRoundTrip feeds both serializations back through ParseSnapshot and
+// checks the metrics survive — including histogram buckets and re-derived
+// quantiles.
+func TestParseRoundTrip(t *testing.T) {
+	orig := goldenRegistry().Snapshot()
+	for _, format := range []string{"json", "prometheus"} {
+		var buf bytes.Buffer
+		var err error
+		if format == "json" {
+			err = orig.WriteJSON(&buf)
+		} else {
+			err = orig.WritePrometheus(&buf)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		parsed, err := ParseSnapshot(buf.Bytes())
+		if err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		if len(parsed.Metrics) != len(orig.Metrics) {
+			t.Fatalf("%s: %d metrics, want %d", format, len(parsed.Metrics), len(orig.Metrics))
+		}
+		for i := range orig.Metrics {
+			om := &orig.Metrics[i]
+			pm := parsed.Get(om.Name, labelsOf(om.Labels)...)
+			if pm == nil {
+				t.Fatalf("%s: %s%v lost in round trip", format, om.Name, om.Labels)
+			}
+			if pm.Type != om.Type || pm.Value != om.Value || pm.Count != om.Count || pm.Sum != om.Sum {
+				t.Errorf("%s: %s scalar fields differ: %+v vs %+v", format, om.Name, pm, om)
+			}
+			if !reflect.DeepEqual(pm.Buckets, om.Buckets) {
+				t.Errorf("%s: %s buckets differ: %v vs %v", format, om.Name, pm.Buckets, om.Buckets)
+			}
+			if pm.P50 != om.P50 || pm.P95 != om.P95 || pm.P99 != om.P99 {
+				t.Errorf("%s: %s quantiles differ: %g/%g/%g vs %g/%g/%g",
+					format, om.Name, pm.P50, pm.P95, pm.P99, om.P50, om.P95, om.P99)
+			}
+		}
+	}
+}
+
+// TestSnapshotGet exercises the label-subset lookup used by tests and tools.
+func TestSnapshotGet(t *testing.T) {
+	snap := goldenRegistry().Snapshot()
+	if m := snap.Get("argus_test_total", L("op", "x")); m == nil || m.Value != 3 {
+		t.Fatalf("Get with labels = %+v", m)
+	}
+	if m := snap.Get("argus_test_total"); m == nil {
+		t.Fatal("Get by family alone failed")
+	}
+	if m := snap.Get("argus_test_total", L("op", "y")); m != nil {
+		t.Fatal("Get matched wrong labels")
+	}
+	if m := snap.Get("nope"); m != nil {
+		t.Fatal("Get matched missing family")
+	}
+}

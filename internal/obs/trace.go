@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span is one timed protocol phase of a discovery session, measured against
+// the netsim virtual clock — a trace of a fixed-seed run is reproducible
+// bit for bit. Start/End are virtual times (nanoseconds since simulation
+// start), not wall-clock times.
+type Span struct {
+	Session uint64 `json:"session"`          // groups the phases of one handshake
+	Name    string `json:"name"`             // e.g. "discover"
+	Phase   string `json:"phase"`            // que1, res1_verify, que2_ecdh, res2_decrypt
+	Level   int    `json:"level,omitempty"`  // visibility level (1..3), when known
+	Detail  string `json:"detail,omitempty"` // free-form (protocol version, peer)
+
+	Start time.Duration `json:"start_ns"`
+	End   time.Duration `json:"end_ns"`
+}
+
+// Duration returns the span's virtual elapsed time.
+func (s Span) Duration() time.Duration { return s.End - s.Start }
+
+// Tracer collects spans. Safe for concurrent use; all methods no-op on a
+// nil receiver, so engines can call it unconditionally.
+type Tracer struct {
+	mu      sync.Mutex
+	spans   []Span
+	nextSes uint64
+}
+
+// NewTracer creates an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// NewSession allocates a fresh session ID (0 on a nil receiver — still a
+// valid ID to stamp on spans that are then discarded).
+func (t *Tracer) NewSession() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextSes++
+	return t.nextSes
+}
+
+// Record appends one finished span.
+func (t *Tracer) Record(s Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Spans returns a copy of all recorded spans ordered by (Session, Start).
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]Span(nil), t.spans...)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Session != out[j].Session {
+			return out[i].Session < out[j].Session
+		}
+		return out[i].Start < out[j].Start
+	})
+	return out
+}
+
+// WriteJSON writes the spans as an indented JSON array.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	spans := t.Spans()
+	if spans == nil {
+		spans = []Span{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(spans)
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTracerSessionsAndOrdering checks session allocation and the
+// (Session, Start) ordering contract of Spans.
+func TestTracerSessionsAndOrdering(t *testing.T) {
+	tr := NewTracer()
+	s1, s2 := tr.NewSession(), tr.NewSession()
+	if s1 == s2 || s1 == 0 {
+		t.Fatalf("bad session ids %d, %d", s1, s2)
+	}
+	tr.Record(Span{Session: s2, Phase: "b", Start: 10, End: 20})
+	tr.Record(Span{Session: s1, Phase: "late", Start: 30, End: 40})
+	tr.Record(Span{Session: s1, Phase: "early", Start: 5, End: 8})
+	spans := tr.Spans()
+	if len(spans) != 3 || tr.Len() != 3 {
+		t.Fatalf("len = %d", len(spans))
+	}
+	if spans[0].Phase != "early" || spans[1].Phase != "late" || spans[2].Phase != "b" {
+		t.Fatalf("wrong order: %+v", spans)
+	}
+	if d := spans[0].Duration(); d != 3 {
+		t.Fatalf("duration = %v", d)
+	}
+}
+
+// TestTracerConcurrent hammers Record/NewSession from many goroutines; run
+// under -race.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				ses := tr.NewSession()
+				tr.Record(Span{Session: ses, Start: time.Duration(i), End: time.Duration(i + 1)})
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Len() != 8*500 {
+		t.Fatalf("len = %d, want %d", tr.Len(), 8*500)
+	}
+}
+
+// TestTracerJSON checks the wire shape (virtual-time nanoseconds) and that an
+// empty tracer emits a valid empty array.
+func TestTracerJSON(t *testing.T) {
+	tr := NewTracer()
+	ses := tr.NewSession()
+	tr.Record(Span{Session: ses, Name: "discover", Phase: "que1_res1", Level: 3,
+		Start: 5 * time.Millisecond, End: 7 * time.Millisecond})
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0]["start_ns"].(float64) != 5e6 || out[0]["end_ns"].(float64) != 7e6 {
+		t.Fatalf("bad JSON: %v", out)
+	}
+
+	buf.Reset()
+	if err := NewTracer().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := bytes.TrimSpace(buf.Bytes()); string(got) != "[]" {
+		t.Fatalf("empty tracer JSON = %q", got)
+	}
+}

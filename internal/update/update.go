@@ -20,10 +20,12 @@ package update
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"argus/internal/cert"
 	"argus/internal/enc"
 	"argus/internal/netsim"
+	"argus/internal/obs"
 	"argus/internal/suite"
 )
 
@@ -116,12 +118,34 @@ type Agent struct {
 	lastSeq  uint64
 	applied  int
 	rejected int
+
+	appliedC    *obs.Counter
+	rejectedC   *obs.Counter
+	propagation *obs.Histogram
+	sentAt      func(seq uint64) (time.Duration, bool)
 }
 
 // NewAgent builds an agent. apply is invoked for each fresh, authentic
 // notification (typically: re-pull the provision and Refresh the engine).
 func NewAgent(adminPub suite.PublicKey, inner netsim.Handler, apply func(*Notification)) *Agent {
 	return &Agent{adminPub: adminPub, inner: inner, apply: apply}
+}
+
+// Instrument attaches a metrics registry. sentAt, when non-nil (typically
+// (*Distributor).SentAt of an instrumented distributor), lets the agent
+// observe the backend→ground propagation lag of each effectuated
+// notification — the §VIII effectuation latency — into
+// argus_update_propagation_seconds.
+func (a *Agent) Instrument(reg *obs.Registry, sentAt func(seq uint64) (time.Duration, bool)) {
+	if reg == nil {
+		a.appliedC, a.rejectedC, a.propagation, a.sentAt = nil, nil, nil, nil
+		return
+	}
+	a.appliedC = reg.Counter(obs.MUpdateApplied, "Admin notifications verified and effectuated.")
+	a.rejectedC = reg.Counter(obs.MUpdateRejected, "Admin notifications rejected (bad signature or replayed sequence).")
+	a.propagation = reg.Histogram(obs.MUpdatePropagation,
+		"Virtual lag from backend push to on-device effectuation.", obs.LatencyBuckets())
+	a.sentAt = sentAt
 }
 
 // Applied returns how many notifications have been effectuated.
@@ -142,10 +166,17 @@ func (a *Agent) HandleMessage(net *netsim.Network, from netsim.NodeID, payload [
 	}
 	if err != nil || !n.Verify(a.adminPub) || n.Seq <= a.lastSeq {
 		a.rejected++
+		a.rejectedC.Inc()
 		return
 	}
 	a.lastSeq = n.Seq
 	a.applied++
+	a.appliedC.Inc()
+	if a.sentAt != nil {
+		if t, ok := a.sentAt(n.Seq); ok {
+			a.propagation.ObserveDuration(net.Now() - t)
+		}
+	}
 	if a.apply != nil {
 		a.apply(n)
 	}
@@ -160,6 +191,9 @@ type Distributor struct {
 	addr  map[cert.ID]netsim.NodeID
 	seq   uint64
 	sent  int
+
+	reg     *obs.Registry
+	sentAts map[uint64]time.Duration // seq → virtual push time, for lag measurement
 }
 
 // NewDistributor attaches a backend gateway to the network at its own node.
@@ -175,6 +209,26 @@ func NewDistributor(admin *cert.Admin, net *netsim.Network) *Distributor {
 
 // Node returns the gateway's network address (link it into the topology).
 func (d *Distributor) Node() netsim.NodeID { return d.node }
+
+// Instrument attaches a metrics registry: pushes are counted by kind and
+// stamped with their virtual send time so instrumented agents can measure
+// propagation lag. Passing nil detaches.
+func (d *Distributor) Instrument(reg *obs.Registry) {
+	d.reg = reg
+	if reg == nil {
+		d.sentAts = nil
+		return
+	}
+	d.sentAts = make(map[uint64]time.Duration)
+}
+
+// SentAt returns the virtual time the notification with the given sequence
+// number was pushed (only tracked while instrumented). Pass this method to
+// (*Agent).Instrument to wire the propagation-lag histogram.
+func (d *Distributor) SentAt(seq uint64) (time.Duration, bool) {
+	t, ok := d.sentAts[seq]
+	return t, ok
+}
 
 // Register maps a device identity to its ground-network address.
 func (d *Distributor) Register(id cert.ID, node netsim.NodeID) { d.addr[id] = node }
@@ -196,6 +250,11 @@ func (d *Distributor) push(to cert.ID, n *Notification) error {
 		return err
 	}
 	n.Sig = sig
+	if d.reg != nil {
+		d.reg.Counter(obs.MUpdateSent, "Admin notifications pushed to the ground, by kind.",
+			obs.L("kind", n.Kind.String())).Inc()
+		d.sentAts[d.seq] = d.net.Now()
+	}
 	d.net.Send(d.node, node, n.Encode())
 	d.sent++
 	return nil
