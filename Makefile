@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 15s
 
-.PHONY: build test race vet bench bench-obs clean
+.PHONY: build test race vet verify fuzz chaos bench bench-obs clean
 
 build:
 	$(GO) build ./...
@@ -16,6 +17,21 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Full gate: everything CI and the verify skill run.
+verify: build vet test race
+
+# Wire-codec fuzzing (one target per invocation: go test allows a single
+# -fuzz pattern at a time). FUZZTIME=2m make fuzz for a longer campaign.
+fuzz:
+	$(GO) test ./internal/wire -run='^$$' -fuzz='^FuzzDecode$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/wire -run='^$$' -fuzz='^FuzzDecodeQUE2$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/wire -run='^$$' -fuzz='^FuzzDecodeRES2$$' -fuzztime=$(FUZZTIME)
+
+# Property/chaos harness: seeds × loss rates × levels, crash windows, Case 7
+# under retransmission (internal/chaos).
+chaos:
+	$(GO) test ./internal/chaos -count=1 -v
 
 # Paper tables/figures benchmarks (bench_test.go at the repo root).
 bench:

@@ -10,6 +10,8 @@
 //	argus-sim -multihop -ttl 4      # paper's 4-ring multi-hop layout
 //	argus-sim -version 2            # run the older, distinguishable protocol
 //	argus-sim -churn                # revoke the subject mid-run and retry
+//	argus-sim -loss 0.2             # 20% frame loss; retransmission kicks in
+//	argus-sim -loss 0.2 -fault-seed 7  # same loss pattern on every run
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"time"
 
 	"argus/internal/backend"
+	"argus/internal/core"
 	"argus/internal/exp"
 	"argus/internal/netsim"
 	"argus/internal/obs"
@@ -43,6 +46,12 @@ func main() {
 		metrics  = flag.String("metrics", "", "write a metrics snapshot to this file on exit (.json = JSON, otherwise Prometheus text)")
 		traceOut = flag.String("trace-out", "", "write the discovery-session spans (virtual-clock JSON) to this file on exit")
 		httpAddr = flag.String("http", "", "after the run, serve /metrics, /trace.json, /debug/vars and /debug/pprof on this address")
+
+		loss      = flag.Float64("loss", 0, "per-frame loss probability on every link (0..1)")
+		corrupt   = flag.Float64("corrupt", 0, "per-frame corruption probability (bytes flipped in flight)")
+		duplicate = flag.Float64("duplicate", 0, "per-frame duplication probability")
+		reorder   = flag.Duration("reorder", 0, "max extra per-frame jitter (reorders deliveries), e.g. 20ms")
+		faultSeed = flag.Int64("fault-seed", 0, "fault RNG seed (0: derived from -seed)")
 	)
 	flag.Parse()
 
@@ -69,6 +78,19 @@ func main() {
 		ObjectCosts:  exp.PiCosts(),
 		Fellow:       *fellow,
 		Seed:         *seed,
+		FaultSeed:    *faultSeed,
+		Faults: netsim.FaultModel{
+			Loss:          *loss,
+			Corrupt:       *corrupt,
+			Duplicate:     *duplicate,
+			ReorderJitter: *reorder,
+		},
+	}
+	// Any active fault makes the one-shot protocol unreliable, so fault runs
+	// get the chaos-calibrated retransmission policy; clean runs keep the
+	// seed's exact one-shot behavior.
+	if cfg.Faults.Active() {
+		cfg.Retry = core.DefaultRetry()
 	}
 	// Telemetry is opt-in: with none of the flags set the run executes with
 	// nil handles everywhere and produces byte-identical output.
@@ -131,6 +153,10 @@ func main() {
 	st := d.Net.Stats()
 	fmt.Printf("\nnetwork: %d transmissions, %d B on air, medium busy %v\n",
 		st.Transmissions, st.BytesOnAir, st.MediumBusy.Round(1e6))
+	if cfg.Faults.Active() {
+		fmt.Printf("faults: %d lost, %d corrupted, %d duplicated (retransmission on)\n",
+			st.FaultLost, st.FaultCorrupted, st.FaultDuplicated)
+	}
 
 	if *state != "" {
 		defer func() {

@@ -1,0 +1,216 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"argus/internal/backend"
+	"argus/internal/core"
+	"argus/internal/netsim"
+	"argus/internal/suite"
+	"argus/internal/wire"
+)
+
+// mixedLevels is the canonical deployment shape: all three visibility levels
+// present at once (the 3-in-1 protocol's whole point).
+var mixedLevels = []backend.Level{
+	backend.L1, backend.L2, backend.L3, backend.L3, backend.L2, backend.L1,
+}
+
+// TestCompletenessUnderLoss is the headline property: below the loss
+// threshold the retransmission machinery makes discovery complete — every
+// object found at its provisioned level — and repeating a run with identical
+// seeds reproduces identical results.
+func TestCompletenessUnderLoss(t *testing.T) {
+	for _, loss := range []float64{0.1, 0.2} {
+		for _, seed := range []int64{1, 2, 3} {
+			t.Run(fmt.Sprintf("loss=%.1f/seed=%d", loss, seed), func(t *testing.T) {
+				sc := Scenario{
+					Seed:   seed,
+					Levels: mixedLevels,
+					Faults: netsim.FaultModel{Loss: loss},
+					Retry:  core.DefaultRetry(),
+					Fellow: true,
+				}
+				out, err := Run(sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if missing := out.Missing(mixedLevels); len(missing) > 0 {
+					t.Fatalf("incomplete discovery (FaultLost=%d, retries should cover %v loss):\n%v",
+						out.Stats.FaultLost, loss, missing)
+				}
+				if dups := out.Duplicates(); len(dups) > 0 {
+					t.Fatalf("duplicate discovery records:\n%v", dups)
+				}
+				if out.Stats.FaultLost == 0 {
+					t.Fatal("fault injection inactive: no frames were lost at 10%+ loss")
+				}
+				again, err := Run(sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if out.Fingerprint() != again.Fingerprint() {
+					t.Fatalf("identical seeds diverged:\nrun1:\n%srun2:\n%s",
+						out.Fingerprint(), again.Fingerprint())
+				}
+				if out.VirtualTime != again.VirtualTime {
+					t.Fatalf("virtual end times diverged: %v vs %v", out.VirtualTime, again.VirtualTime)
+				}
+			})
+		}
+	}
+}
+
+// TestGracefulDegradationAtExtremeLoss: at 50% and 100% loss — with
+// corruption, duplication and reordering layered on top — the run must
+// terminate in bounded virtual time with zero leaked sessions on either
+// side; at total loss it must find exactly nothing.
+func TestGracefulDegradationAtExtremeLoss(t *testing.T) {
+	for _, loss := range []float64{0.5, 1.0} {
+		t.Run(fmt.Sprintf("loss=%.1f", loss), func(t *testing.T) {
+			out, err := Run(Scenario{
+				Seed:   7,
+				Levels: mixedLevels,
+				Faults: netsim.FaultModel{
+					Loss:          loss,
+					Corrupt:       0.2,
+					Duplicate:     0.2,
+					ReorderJitter: 25 * time.Millisecond,
+				},
+				Retry:  core.DefaultRetry(),
+				Fellow: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.SubjectPending != 0 {
+				t.Fatalf("subject leaked %d sessions", out.SubjectPending)
+			}
+			if out.ObjectPending != 0 {
+				t.Fatalf("objects leaked %d sessions", out.ObjectPending)
+			}
+			// Bounded virtual clock: rounds × (retry tail + SessionTTL) with
+			// slack — a stuck retransmission loop would blow far past this.
+			const clockBudget = 60 * time.Second
+			if out.VirtualTime > clockBudget {
+				t.Fatalf("virtual clock ran to %v (budget %v) — retransmission not terminating",
+					out.VirtualTime, clockBudget)
+			}
+			if loss == 1.0 && len(out.Discoveries) != 0 {
+				t.Fatalf("discovered %d services across a totally lossy network", len(out.Discoveries))
+			}
+		})
+	}
+}
+
+// TestCrashRecoveryDuringRound: an object that crashes through the initial
+// QUE1 is still discovered in the same round — a later QUE1 rebroadcast
+// reaches it after recovery.
+func TestCrashRecoveryDuringRound(t *testing.T) {
+	levels := []backend.Level{backend.L2, backend.L2, backend.L2}
+	out, err := Run(Scenario{
+		Seed:   11,
+		Levels: levels,
+		Retry:  core.DefaultRetry(),
+		// Crash object 0 from the start through the first QUE1 and its first
+		// rebroadcast (350 ms); the 1050 ms rebroadcast finds it recovered.
+		Crashes: []Crash{{Object: 0, At: 0, For: 600 * time.Millisecond}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if missing := out.Missing(levels); len(missing) > 0 {
+		t.Fatalf("crashed-then-recovered object not rediscovered:\n%v", missing)
+	}
+	if out.Stats.CrashDrops == 0 {
+		t.Fatal("crash window never dropped a frame — schedule ineffective")
+	}
+}
+
+// TestCase7IndistinguishabilityUnderLoss re-runs the attack-test Case 7
+// property with 20% loss and retransmission live: every QUE2 on the air
+// (original or resend) must have one shape net of CERT_S whether the subject
+// holds a real or a cover-up key, and every RES2 from the double-faced L3
+// object must have one length whether it answers a fellow or not.
+func TestCase7IndistinguishabilityUnderLoss(t *testing.T) {
+	shapes := func(fellow bool) (que2 map[int]bool, res2 map[int]bool) {
+		que2, res2 = make(map[int]bool), make(map[int]bool)
+		_, err := Run(Scenario{
+			Seed:   5,
+			Levels: []backend.Level{backend.L3},
+			Faults: netsim.FaultModel{Loss: 0.2},
+			Retry:  core.DefaultRetry(),
+			Fellow: fellow,
+			Snoop: func(_, _ netsim.NodeID, p []byte) {
+				m, err := wire.Decode(p)
+				if err != nil {
+					return
+				}
+				switch v := m.(type) {
+				case *wire.QUE2:
+					if len(v.MACS3) != suite.MACSize {
+						t.Error("v3.0 QUE2 on the air without MAC_{S,3}")
+					}
+					que2[len(p)-len(v.CertS)] = true
+				case *wire.RES2:
+					res2[len(p)] = true
+				}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(que2) == 0 || len(res2) == 0 {
+			t.Fatalf("no QUE2/RES2 captured (fellow=%v)", fellow)
+		}
+		return que2, res2
+	}
+	eq := func(a, b map[int]bool) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for k := range a {
+			if !b[k] {
+				return false
+			}
+		}
+		return true
+	}
+	fq, fr := shapes(true)
+	cq, cr := shapes(false)
+	if len(fq) != 1 || len(fr) != 1 {
+		t.Errorf("retransmitted copies changed shape: que2 lengths %v, res2 lengths %v", fq, fr)
+	}
+	if !eq(fq, cq) {
+		t.Errorf("QUE2 shapes differ under loss: fellow %v vs cover-up %v (net of CERT)", fq, cq)
+	}
+	if !eq(fr, cr) {
+		t.Errorf("RES2 lengths differ under loss: fellow %v vs non-fellow %v — length leaks Level 3", fr, cr)
+	}
+}
+
+// TestDuplicationLeavesResultsExactlyOnce: heavy link-layer duplication plus
+// loss must not double-record discoveries — handler idempotency, not luck.
+func TestDuplicationLeavesResultsExactlyOnce(t *testing.T) {
+	out, err := Run(Scenario{
+		Seed:   13,
+		Levels: mixedLevels,
+		Faults: netsim.FaultModel{Loss: 0.1, Duplicate: 0.4},
+		Retry:  core.DefaultRetry(),
+		Fellow: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats.FaultDuplicated == 0 {
+		t.Fatal("duplication never fired")
+	}
+	if dups := out.Duplicates(); len(dups) > 0 {
+		t.Fatalf("duplicate discovery records:\n%v", dups)
+	}
+	if missing := out.Missing(mixedLevels); len(missing) > 0 {
+		t.Fatalf("incomplete under duplication+loss:\n%v", missing)
+	}
+}

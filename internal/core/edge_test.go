@@ -9,16 +9,22 @@ import (
 	"argus/internal/backend"
 	"argus/internal/cert"
 	"argus/internal/netsim"
+	"argus/internal/obs"
 	"argus/internal/suite"
 	"argus/internal/wire"
 )
 
 // TestEnginesIgnoreGarbage feeds random and truncated payloads to both
-// engines: nothing may panic, nothing may be discovered.
+// engines: nothing may panic, nothing may be discovered — and none of it may
+// vanish silently: every undecodable frame must land on the malformed-drop
+// counter of the engine that received it.
 func TestEnginesIgnoreGarbage(t *testing.T) {
 	d := newDeployment(t)
+	reg := obs.NewRegistry()
 	d.addSubject("alice", attr.MustSet("position=staff"), wire.V30)
+	d.subject.Instrument(reg, nil)
 	o := d.addObject("thermo", L1, attr.MustSet("type=thermometer"), []string{"read"}, wire.V30)
+	o.Instrument(reg)
 
 	rng := rand.New(rand.NewSource(99))
 	payloads := [][]byte{nil, {}, {0}, {255, 255}, {byte(wire.TQUE1)}, {byte(wire.TRES2), byte(wire.V30)}}
@@ -41,6 +47,16 @@ func TestEnginesIgnoreGarbage(t *testing.T) {
 	d.net.Run(0)
 	if len(d.subject.Results()) != 0 {
 		t.Fatal("garbage produced discoveries")
+	}
+	// Both engines saw the identical payload list, so their malformed-drop
+	// counts must match — and be non-zero, or the drop accounting is dead.
+	sub := counterValue(t, reg, obs.MMalformedDrops, obs.L("role", "subject"))
+	obj := counterValue(t, reg, obs.MMalformedDrops, obs.L("role", "object"))
+	if sub == 0 {
+		t.Error("subject dropped garbage without counting it")
+	}
+	if sub != obj {
+		t.Errorf("malformed-drop counts diverged: subject %d, object %d", sub, obj)
 	}
 }
 

@@ -1,0 +1,162 @@
+package core
+
+// Session-table garbage collection under targeted total loss: if a specific
+// message type never arrives, the half-open handshakes it strands must be
+// reclaimed at SessionTTL on BOTH sides — a lost RES2 may not leak sessions
+// (ISSUE satellite: subject and object maps return to size 0).
+
+import (
+	"testing"
+	"time"
+
+	"argus/internal/attr"
+	"argus/internal/netsim"
+	"argus/internal/obs"
+	"argus/internal/wire"
+)
+
+// dropType installs a drop filter that loses every frame of one wire type —
+// "100% RES1 loss" etc. — something a probabilistic FaultModel cannot
+// express. netsim stays wire-agnostic; the test supplies the decoder.
+func dropType(net *netsim.Network, mt wire.MsgType) {
+	net.SetDropFilter(func(_, _ netsim.NodeID, p []byte) bool {
+		m, err := wire.Decode(p)
+		return err == nil && m.Type() == mt
+	})
+}
+
+// gcFixture builds a 3-object L2 deployment with retry enabled and a
+// registry, returning it plus the policy in force.
+func gcFixture(t *testing.T) (*deployment, RetryPolicy, *obs.Registry) {
+	t.Helper()
+	d := newDeployment(t)
+	reg := obs.NewRegistry()
+	d.b.AddPolicy(attr.MustParse("position=='staff'"),
+		attr.MustParse("type=='device'"), []string{"use"})
+	d.addSubject("alice", attr.MustSet("position=staff"), wire.V30)
+	p := DefaultRetry()
+	d.subject.SetRetry(p)
+	d.subject.Instrument(reg, nil)
+	for _, n := range []string{"obj-a", "obj-b", "obj-c"} {
+		o := d.addObject(n, L2, attr.MustSet("type=device"), []string{"use"}, wire.V30)
+		o.SetRetry(p)
+		o.Instrument(reg)
+	}
+	return d, p, reg
+}
+
+func (d *deployment) objectPending() int {
+	n := 0
+	for _, o := range d.objects {
+		n += o.PendingSessions()
+	}
+	return n
+}
+
+// counterValue sums every counter of the family whose labels are a superset
+// of the given ones.
+func counterValue(t *testing.T, reg *obs.Registry, name string, labels ...obs.Label) int64 {
+	t.Helper()
+	var total int64
+next:
+	for _, m := range reg.Snapshot().Metrics {
+		if m.Name != name {
+			continue
+		}
+		for _, want := range labels {
+			if m.Labels[want.Key] != want.Value {
+				continue next
+			}
+		}
+		total += int64(m.Value)
+	}
+	return total
+}
+
+func TestSessionGCUnderTotalRES1Loss(t *testing.T) {
+	d, p, reg := gcFixture(t)
+	dropType(d.net, wire.TRES1)
+
+	if err := d.subject.Discover(d.net, 1); err != nil {
+		t.Fatal(err)
+	}
+	d.net.Run(0)
+
+	// No RES1 ever arrived: the subject opened nothing, every object strands
+	// one half-open session per QUE1 — all reclaimed by the expiry pass.
+	if got := d.subject.PendingSessions(); got != 0 {
+		t.Fatalf("subject pending = %d, want 0 (it never saw RES1)", got)
+	}
+	if got := d.objectPending(); got != 0 {
+		t.Fatalf("objects leaked %d sessions after SessionTTL", got)
+	}
+	if got := counterValue(t, reg, obs.MSessionsExpired, obs.L("role", "object")); got != 3 {
+		t.Fatalf("object expiry counter = %d, want 3 (one stranded session each)", got)
+	}
+	if len(d.subject.Results()) != 0 {
+		t.Fatal("discoveries recorded with every RES1 dropped")
+	}
+	// Regression pin on the expiry budget: the whole round — retries plus
+	// GC — settles within SessionTTL plus the last-retry tail and slack.
+	// Growing this bound means the expiry schedule regressed.
+	budget := p.ttl() + 2*time.Second
+	if d.net.Now() > budget {
+		t.Fatalf("round settled at %v, budget %v", d.net.Now(), budget)
+	}
+}
+
+func TestSessionGCUnderTotalRES2Loss(t *testing.T) {
+	d, p, reg := gcFixture(t)
+	dropType(d.net, wire.TRES2)
+
+	if err := d.subject.Discover(d.net, 1); err != nil {
+		t.Fatal(err)
+	}
+	d.net.Run(0)
+
+	// The handshake ran to QUE2 on both sides; only the final RES2 vanished.
+	// Both tables must drain: the subject's pending sessions and the
+	// objects' answered sessions (kept for duplicate-QUE2 resends).
+	if got := d.subject.PendingSessions(); got != 0 {
+		t.Fatalf("subject leaked %d sessions after SessionTTL", got)
+	}
+	if got := d.objectPending(); got != 0 {
+		t.Fatalf("objects leaked %d sessions after SessionTTL", got)
+	}
+	if got := counterValue(t, reg, obs.MSessionsExpired, obs.L("role", "subject")); got != 3 {
+		t.Fatalf("subject expiry counter = %d, want 3", got)
+	}
+	if got := counterValue(t, reg, obs.MRetransmissions, obs.L("role", "subject"), obs.L("msg", "que2")); got == 0 {
+		t.Fatal("subject never retransmitted QUE2 while RES2 was being dropped")
+	}
+	if len(d.subject.Results()) != 0 {
+		t.Fatal("discoveries recorded with every RES2 dropped")
+	}
+	budget := p.ttl() + 2*time.Second
+	if d.net.Now() > budget {
+		t.Fatalf("round settled at %v, budget %v", d.net.Now(), budget)
+	}
+}
+
+// TestRetryDisabledKeepsSeedSessionSemantics pins that the zero policy keeps
+// the pre-retry behavior: no expiry timers (sessions prune by round age), no
+// resends, and a lost RES2 leaves the session until the next-next round.
+func TestRetryDisabledKeepsSeedSessionSemantics(t *testing.T) {
+	d := newDeployment(t)
+	d.b.AddPolicy(attr.MustParse("position=='staff'"),
+		attr.MustParse("type=='device'"), []string{"use"})
+	d.addSubject("alice", attr.MustSet("position=staff"), wire.V30)
+	d.addObject("obj-a", L2, attr.MustSet("type=device"), []string{"use"}, wire.V30)
+	dropType(d.net, wire.TRES2)
+
+	d.run()
+	if got := d.subject.PendingSessions(); got != 1 {
+		t.Fatalf("subject pending = %d, want 1 (no expiry without retry)", got)
+	}
+	d.net.SetDropFilter(nil)
+	d.run() // round 2: prune keeps round-1 sessions (age 1)
+	d.run() // round 3: round-1 session pruned
+	if got := d.subject.PendingSessions(); got != 0 {
+		t.Fatalf("subject pending = %d after two more rounds, want 0 (round pruning)", got)
+	}
+}

@@ -23,6 +23,7 @@ type Object struct {
 	sessions map[sessionKey]*objSession
 	seen     map[sessionKey]bool // duplicate-query suppression via R_S (§IV-B)
 	revoked  map[cert.ID]bool
+	retry    RetryPolicy // zero value: one-shot seed behavior (see RetryPolicy)
 	tel      *objectTelemetry
 }
 
@@ -42,6 +43,14 @@ type objSession struct {
 	kex      *suite.KeyExchange
 	que1Enc  []byte
 	res1Enc  []byte
+
+	// Retry-mode state: a duplicate query means the subject lost our answer,
+	// so the cached encoding is resent verbatim — resends must be
+	// byte-identical or MACs over the transcript would break, and re-running
+	// the response path would leak through timing.
+	public   bool   // Level 1 session, cached only for RES1 resends
+	answered bool   // QUE2 consumed; the handshake outcome is fixed
+	res2Enc  []byte // cached RES2 (nil while pending, and for silent answers)
 }
 
 // NewObject creates an engine from a backend provision. version selects the
@@ -64,6 +73,14 @@ func NewObject(prov *backend.ObjectProvision, version wire.Version, costs Costs)
 // Attach records the object's own ground-network address. Call after
 // netsim.AddNode.
 func (o *Object) Attach(node netsim.NodeID) { o.node = node }
+
+// SetRetry installs the retransmission policy (see Subject.SetRetry). On the
+// object side an active policy enables answer caching for duplicate queries
+// and TTL-based session expiry.
+func (o *Object) SetRetry(p RetryPolicy) { o.retry = p }
+
+// PendingSessions returns the number of sessions held (pending + answered).
+func (o *Object) PendingSessions() int { return len(o.sessions) }
 
 // Instrument attaches a metrics registry (nil detaches). Like the subject's,
 // object telemetry is purely observational and preserves fixed-seed runs.
@@ -103,7 +120,10 @@ func (o *Object) Revoke(subject cert.ID) { o.revoked[subject] = true }
 func (o *Object) HandleMessage(net *netsim.Network, from netsim.NodeID, payload []byte) {
 	msg, err := wire.Decode(payload)
 	if err != nil {
-		return // malformed traffic is dropped silently
+		// Malformed traffic (noise, or fault-injected corruption) is dropped,
+		// but no longer silently: the counter makes corruption storms visible.
+		o.tel.malformedDrop()
+		return
 	}
 	switch m := msg.(type) {
 	case *wire.QUE1:
@@ -120,7 +140,16 @@ func (o *Object) handleQUE1(net *netsim.Network, from netsim.NodeID, m *wire.QUE
 	key := mkSessionKey(from, m.RS)
 	if o.seen[key] {
 		o.tel.que1Result(resultDuplicate)
-		return // duplicate query (flooded QUE1 arriving via another path)
+		// A flooded QUE1 arriving via another path is ignored; but under
+		// retry, a duplicate for a session still awaiting its QUE2 means the
+		// subject likely lost our RES1 — resend the cached bytes.
+		if o.retry.Enabled() {
+			if sess, ok := o.sessions[key]; ok && !sess.answered && sess.res1Enc != nil {
+				o.tel.retransmit(msgRES1)
+				net.Send(o.node, from, sess.res1Enc)
+			}
+		}
+		return
 	}
 	if len(o.seen) >= maxSeenQueries {
 		// Coarse reset: old R_S values have long completed or timed out;
@@ -142,7 +171,15 @@ func (o *Object) handleQUE1(net *netsim.Network, from netsim.NodeID, m *wire.QUE
 			Prof:    o.prov.PublicProfile.Encode(),
 		}
 		o.tel.que1Result(resultPublic)
-		net.Send(o.node, from, res.Encode())
+		enc := res.Encode()
+		if o.retry.Enabled() {
+			// Cache the answer so a duplicate QUE1 can resend it (the
+			// public path has no QUE2 to drive retransmission otherwise).
+			sess := &objSession{subjNode: from, public: true, res1Enc: enc}
+			o.sessions[key] = sess
+			o.scheduleExpiry(net, key, sess)
+		}
+		net.Send(o.node, from, enc)
 		return
 	}
 
@@ -175,6 +212,9 @@ func (o *Object) handleQUE1(net *netsim.Network, from netsim.NodeID, m *wire.QUE
 		que1Enc:  append([]byte(nil), raw...),
 	}
 	o.sessions[key] = sess
+	if o.retry.Enabled() {
+		o.scheduleExpiry(net, key, sess)
+	}
 
 	cost := o.costs.KexGen + o.costs.Sign
 	o.tel.que1Result(resultHandshake)
@@ -187,11 +227,30 @@ func (o *Object) handleQUE1(net *netsim.Network, from netsim.NodeID, m *wire.QUE
 }
 
 func (o *Object) handleQUE2(net *netsim.Network, from netsim.NodeID, m *wire.QUE2) {
-	sess, ok := o.sessions[mkSessionKey(from, m.RS)]
-	if !ok || o.prov.Level == L1 {
+	key := mkSessionKey(from, m.RS)
+	sess, ok := o.sessions[key]
+	if !ok || o.prov.Level == L1 || sess.public {
 		return
 	}
-	delete(o.sessions, mkSessionKey(from, m.RS))
+	if sess.answered {
+		// Duplicate QUE2: our RES2 was lost (or is still in flight). The
+		// outcome is already fixed — resend the cached bytes verbatim; a
+		// remembered silence stays silent. Never re-run the response path:
+		// fresh crypto would desync the transcript MACs, and a second
+		// compute charge would be a timing tell.
+		if sess.res2Enc != nil {
+			o.tel.retransmit(msgRES2)
+			net.Send(o.node, from, sess.res2Enc)
+		}
+		return
+	}
+	if !o.retry.Enabled() {
+		// One-shot mode: the session is consumed by its first QUE2. Under
+		// retry it instead stays pending on verification failure (the QUE2
+		// may have been corrupted in flight — a clean retransmission must
+		// still be able to complete) and is marked answered on success.
+		delete(o.sessions, key)
+	}
 
 	// Authenticate the subject: CERT chains to the admin, signature covers
 	// the whole transcript, and the freshness of R_O defeats replay.
@@ -289,6 +348,7 @@ func (o *Object) handleQUE2(net *netsim.Network, from netsim.NodeID, m *wire.QUE
 			v := o.firstCovertVariant()
 			if v == nil {
 				o.tel.que2Result(resultSilent)
+				sess.answered = true // remembered silence: duplicates stay silent
 				return
 			}
 			kFirst := suite.SessionKey3(k2, v.GroupKey, sess.rs, sess.ro)
@@ -299,7 +359,8 @@ func (o *Object) handleQUE2(net *netsim.Network, from netsim.NodeID, m *wire.QUE
 		v := o.matchVariant(prof)
 		if v == nil {
 			o.tel.que2Result(resultSilent)
-			return // no policy admits this subject: silence, not a hint
+			sess.answered = true // remembered silence: duplicates stay silent
+			return               // no policy admits this subject: silence, not a hint
 		}
 		res = o.buildRES2(ts, m, k2, v.Profile)
 		o.tel.que2Result(resultL2)
@@ -307,9 +368,25 @@ func (o *Object) handleQUE2(net *netsim.Network, from netsim.NodeID, m *wire.QUE
 	if res == nil {
 		return
 	}
+	sess.answered = true
 	o.tel.response(cost, len(res.Ciphertext))
 	net.Compute(o.node, cost, func() {
-		net.Send(o.node, from, res.Encode())
+		enc := res.Encode()
+		sess.res2Enc = enc
+		net.Send(o.node, from, enc)
+	})
+}
+
+// scheduleExpiry garbage-collects the session (pending or answered — the
+// object never learns whether the subject received RES2, so answered state
+// can only age out) at SessionTTL. See Subject.scheduleExpiry for the
+// pointer-equality rationale.
+func (o *Object) scheduleExpiry(net *netsim.Network, key sessionKey, sess *objSession) {
+	net.After(o.retry.ttl(), func() {
+		if cur, ok := o.sessions[key]; ok && cur == sess {
+			delete(o.sessions, key)
+			o.tel.sessionExpired()
+		}
 	})
 }
 

@@ -32,6 +32,16 @@ type Subject struct {
 	sessions map[sessionKey]*subjSession
 	results  []Discovery
 
+	// retry drives retransmission and session expiry under lossy networks;
+	// the zero value keeps the one-shot seed behavior (see RetryPolicy).
+	retry   RetryPolicy
+	lastTTL int // hop TTL of the current round, for QUE1 rebroadcasts
+
+	// l1Recorded dedupes Level 1 discoveries within a round: fault injection
+	// can deliver the same plaintext RES1 twice (link-layer duplication or a
+	// QUE1 rebroadcast), and a Level 1 exchange has no session to anchor on.
+	l1Recorded map[netsim.NodeID]bool
+
 	tel *subjectTelemetry
 
 	// OnDiscovery, if set, is invoked for every verified discovery.
@@ -45,6 +55,7 @@ type subjSession struct {
 	group   groups.ID
 	ts      *wire.Transcript // subject-cut transcript
 	que2    *wire.QUE2
+	que2Enc []byte // cached encoding, resent verbatim on timeout/duplicate RES1
 	round   int
 	stamps  phaseStamps
 }
@@ -52,15 +63,25 @@ type subjSession struct {
 // NewSubject creates an engine from a backend provision.
 func NewSubject(prov *backend.SubjectProvision, version wire.Version, costs Costs) *Subject {
 	return &Subject{
-		prov:     prov,
-		version:  version,
-		costs:    costs,
-		sessions: make(map[sessionKey]*subjSession),
+		prov:       prov,
+		version:    version,
+		costs:      costs,
+		sessions:   make(map[sessionKey]*subjSession),
+		l1Recorded: make(map[netsim.NodeID]bool),
 	}
 }
 
 // Attach records the subject's ground-network address.
 func (s *Subject) Attach(node netsim.NodeID) { s.node = node }
+
+// SetRetry installs the retransmission policy. The zero policy (the default)
+// disables retransmission, duplicate-response resends and TTL-based session
+// expiry, reproducing the pre-retry one-shot protocol exactly.
+func (s *Subject) SetRetry(p RetryPolicy) { s.retry = p }
+
+// PendingSessions returns the number of in-progress phase-2 handshakes —
+// the leak the chaos tests assert returns to zero after SessionTTL.
+func (s *Subject) PendingSessions() int { return len(s.sessions) }
 
 // Instrument attaches a metrics registry and an optional span tracer.
 // Telemetry is purely observational — it consumes no randomness and
@@ -123,11 +144,35 @@ func (s *Subject) Discover(net *netsim.Network, ttl int) error {
 	}
 	s.rs = rs
 	s.que1At = net.Now()
+	s.lastTTL = ttl
+	s.l1Recorded = make(map[netsim.NodeID]bool)
 	s.tel.roundStarted()
 	q := &wire.QUE1{Version: s.version, RS: rs}
 	s.que1Enc = q.Encode()
 	net.Broadcast(s.node, s.que1Enc, ttl)
+	if s.retry.Enabled() && s.retry.Que1Retries > 0 {
+		s.scheduleQue1Retry(net, 1)
+	}
 	return nil
+}
+
+// scheduleQue1Retry arms the attempt-th QUE1 rebroadcast. The rebroadcast is
+// unconditional — the subject cannot know which objects exist, so it cannot
+// tell "everyone answered" from "the rest lost my query" — but it is cheap:
+// objects suppress the duplicate via R_S, and objects with a stalled
+// handshake use it as a cue to resend RES1.
+func (s *Subject) scheduleQue1Retry(net *netsim.Network, attempt int) {
+	round := s.round
+	net.After(s.retry.delay(attempt), func() {
+		if s.round != round {
+			return // a newer round superseded this one
+		}
+		s.tel.retransmit(msgQUE1)
+		net.Broadcast(s.node, s.que1Enc, s.lastTTL)
+		if attempt < s.retry.Que1Retries {
+			s.scheduleQue1Retry(net, attempt+1)
+		}
+	})
 }
 
 // DiscoverAll runs one round per held group key, rotating keys between
@@ -148,6 +193,7 @@ func (s *Subject) DiscoverAll(net *netsim.Network, ttl int) error {
 func (s *Subject) HandleMessage(net *netsim.Network, from netsim.NodeID, payload []byte) {
 	msg, err := wire.Decode(payload)
 	if err != nil {
+		s.tel.malformedDrop()
 		return
 	}
 	switch m := msg.(type) {
@@ -178,6 +224,10 @@ func (s *Subject) handlePublicRES1(net *netsim.Network, from netsim.NodeID, m *w
 	if err := prof.VerifyAnchored(s.prov.CACert, s.prov.AdminPub, time.Now()); err != nil {
 		return
 	}
+	if s.l1Recorded[from] {
+		return // duplicate delivery of this round's plaintext RES1
+	}
+	s.l1Recorded[from] = true
 	st := phaseStamps{session: s.tel.session(), que1At: s.que1At, res1At: net.Now()}
 	s.tel.count(opsVerify, 1)
 	net.Compute(s.node, s.costs.Verify, func() {
@@ -198,6 +248,18 @@ func (s *Subject) handlePublicRES1(net *netsim.Network, from netsim.NodeID, m *w
 func (s *Subject) handleSecureRES1(net *netsim.Network, from netsim.NodeID, m *wire.RES1, raw []byte) {
 	if s.rs == nil {
 		return // no discovery in progress
+	}
+	if sess, ok := s.sessions[mkSessionKey(from, s.rs)]; ok {
+		// Duplicate RES1 for a live handshake (link-layer duplication, or the
+		// object resent it after a QUE1 rebroadcast). Deriving a fresh KEX
+		// here would desync K2 with an object that already consumed our QUE2,
+		// deadlocking the session until expiry — so never re-handshake. The
+		// duplicate usually means our QUE2 was lost; resend it verbatim.
+		if s.retry.Enabled() && sess.que2Enc != nil {
+			s.tel.retransmit(msgQUE2)
+			net.Send(s.node, from, sess.que2Enc)
+		}
+		return
 	}
 	info, err := cert.VerifyCert(s.prov.CACert, m.CertO, s.prov.Strength)
 	if err != nil || info.Role != cert.RoleObject {
@@ -252,7 +314,11 @@ func (s *Subject) handleSecureRES1(net *netsim.Network, from netsim.NodeID, m *w
 		}
 	}
 	sess.que2 = q
-	s.sessions[mkSessionKey(from, s.rs)] = sess
+	key := mkSessionKey(from, s.rs)
+	s.sessions[key] = sess
+	if s.retry.Enabled() {
+		s.scheduleExpiry(net, key, sess)
+	}
 
 	// Fig 6b subject cost in Level 2/3: 1 signing, 3 verifications (CERT_O,
 	// KEXM_O signature, and later PROF_O), 2 ECDH operations. The PROF_O
@@ -268,7 +334,44 @@ func (s *Subject) handleSecureRES1(net *netsim.Network, from netsim.NodeID, m *w
 	}
 	net.Compute(s.node, cost, func() {
 		sess.stamps.que2At = net.Now()
-		net.Send(s.node, from, q.Encode())
+		enc := q.Encode()
+		sess.que2Enc = enc
+		net.Send(s.node, from, enc)
+		if s.retry.Enabled() && s.retry.Que2Retries > 0 {
+			s.scheduleQue2Retry(net, key, 1)
+		}
+	})
+}
+
+// scheduleQue2Retry arms the attempt-th QUE2 retransmission for the session
+// under key. The timer is a no-op once the session completed (verified RES2)
+// or expired.
+func (s *Subject) scheduleQue2Retry(net *netsim.Network, key sessionKey, attempt int) {
+	net.After(s.retry.delay(attempt), func() {
+		sess, ok := s.sessions[key]
+		if !ok || sess.que2Enc == nil {
+			return
+		}
+		s.tel.retransmit(msgQUE2)
+		net.Send(s.node, sess.objNode, sess.que2Enc)
+		if attempt < s.retry.Que2Retries {
+			s.scheduleQue2Retry(net, key, attempt+1)
+		}
+	})
+}
+
+// scheduleExpiry garbage-collects the session at SessionTTL if it has not
+// completed: under total loss nothing else would ever delete it, and a
+// leaked session both holds memory and blocks the object's duplicate
+// suppression from converging. The pointer comparison protects a newer
+// session that reused the key (same peer, same R_S — only possible across
+// rounds with a nonce collision, but cheap to be exact about).
+func (s *Subject) scheduleExpiry(net *netsim.Network, key sessionKey, sess *subjSession) {
+	net.After(s.retry.ttl(), func() {
+		if cur, ok := s.sessions[key]; ok && cur == sess {
+			delete(s.sessions, key)
+			s.tel.sessionExpired()
+		}
 	})
 }
 
@@ -288,7 +391,9 @@ func (s *Subject) handleRES2(net *netsim.Network, from netsim.NodeID, m *wire.RE
 	if sess == nil {
 		return
 	}
-	delete(s.sessions, key)
+	if !s.retry.Enabled() {
+		delete(s.sessions, key)
+	}
 	sess.stamps.res2At = net.Now()
 
 	to := transcriptO(sess.ts, sess.que2, m.Ciphertext)
@@ -304,8 +409,14 @@ func (s *Subject) handleRES2(net *netsim.Network, from netsim.NodeID, m *wire.RE
 	case sess.k3 != nil && suite.VerifyMAC(sess.k3, suite.LabelObjectFinished, toHash, m.MACO):
 		level, sk, group = L3, sess.k3, sess.group
 	default:
-		return // neither key verifies: corrupted or not for us
+		// Neither key verifies: corrupted or not for us. Under retry the
+		// session stays pending — a QUE2 retransmission will fetch a clean
+		// copy; the MAC guarantees any verified RES2 is byte-authentic.
+		return
 	}
+	// An authenticated RES2 completes the session; a later duplicate finds
+	// no session and is dropped, making delivery effectively exactly-once.
+	delete(s.sessions, key)
 
 	plain, err := suite.DecryptProfile(sk, m.Ciphertext)
 	if err != nil {

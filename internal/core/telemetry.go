@@ -45,6 +45,41 @@ func newCryptoOps(reg *obs.Registry, role string) cryptoOps {
 // phaseNames is the fixed phase vocabulary, in wire order.
 var phaseNames = []string{obs.PhaseQUE1, obs.PhaseRES1, obs.PhaseQUE2, obs.PhaseRES2, obs.PhaseAll}
 
+// Message label values of obs.MRetransmissions: which message a role resent.
+const (
+	msgQUE1 = "que1"
+	msgQUE2 = "que2"
+	msgRES1 = "res1"
+	msgRES2 = "res2"
+)
+
+// robustness is the per-role retransmission/expiry/malformed counter block
+// shared by both engines (satellite of the fault-injection work: malformed
+// traffic used to vanish without a trace).
+type robustness struct {
+	retrans   map[string]*obs.Counter // by msg label
+	expired   *obs.Counter
+	malformed *obs.Counter
+}
+
+func newRobustness(reg *obs.Registry, role string, msgs []string) robustness {
+	r := robustness{
+		retrans: make(map[string]*obs.Counter, len(msgs)),
+		expired: reg.Counter(obs.MSessionsExpired,
+			"Handshake sessions garbage-collected at SessionTTL without completing.",
+			obs.L("role", role)),
+		malformed: reg.Counter(obs.MMalformedDrops,
+			"Received payloads dropped because wire decoding failed (corruption or noise).",
+			obs.L("role", role)),
+	}
+	for _, m := range msgs {
+		r.retrans[m] = reg.Counter(obs.MRetransmissions,
+			"Protocol messages retransmitted (timeouts or duplicate-query resends).",
+			obs.L("role", role), obs.L("msg", m))
+	}
+	return r
+}
+
 // subjectTelemetry instruments the subject engine.
 type subjectTelemetry struct {
 	tracer      *obs.Tracer
@@ -52,6 +87,7 @@ type subjectTelemetry struct {
 	discoveries [4]*obs.Counter              // indexed by Level (1..3)
 	phases      [4]map[string]*obs.Histogram // [level][phase]
 	ops         cryptoOps
+	rob         robustness
 }
 
 func newSubjectTelemetry(reg *obs.Registry, tr *obs.Tracer, version wire.Version) *subjectTelemetry {
@@ -59,6 +95,7 @@ func newSubjectTelemetry(reg *obs.Registry, tr *obs.Tracer, version wire.Version
 		tracer: tr,
 		rounds: reg.Counter(obs.MDiscoveryRounds, "Discovery rounds started (QUE1 broadcasts)."),
 		ops:    newCryptoOps(reg, "subject"),
+		rob:    newRobustness(reg, "subject", []string{msgQUE1, msgQUE2}),
 	}
 	ver := "v" + strconv.Itoa(int(version))
 	for level := L1; level <= L3; level++ {
@@ -138,6 +175,27 @@ func (t *subjectTelemetry) session() uint64 {
 	return t.tracer.NewSession()
 }
 
+func (t *subjectTelemetry) retransmit(msg string) {
+	if t == nil {
+		return
+	}
+	t.rob.retrans[msg].Inc()
+}
+
+func (t *subjectTelemetry) sessionExpired() {
+	if t == nil {
+		return
+	}
+	t.rob.expired.Inc()
+}
+
+func (t *subjectTelemetry) malformedDrop() {
+	if t == nil {
+		return
+	}
+	t.rob.malformed.Inc()
+}
+
 // objectTelemetry instruments the object engine.
 type objectTelemetry struct {
 	que1      map[string]*obs.Counter
@@ -145,6 +203,7 @@ type objectTelemetry struct {
 	compute   *obs.Histogram
 	res2Bytes *obs.Histogram
 	ops       cryptoOps
+	rob       robustness
 }
 
 // QUE1/QUE2 outcome label values.
@@ -170,6 +229,7 @@ func newObjectTelemetry(reg *obs.Registry) *objectTelemetry {
 			"RES2 ciphertext length — constant across levels in v3.0 (padding proof).",
 			obs.SizeBuckets()),
 		ops: newCryptoOps(reg, "object"),
+		rob: newRobustness(reg, "object", []string{msgRES1, msgRES2}),
 	}
 	for _, r := range []string{resultPublic, resultHandshake, resultDuplicate, resultRefused} {
 		t.que1[r] = reg.Counter(obs.MObjectQue1, "QUE1 messages handled, by outcome.", obs.L("result", r))
@@ -207,6 +267,27 @@ func (t *objectTelemetry) count(c func(cryptoOps) *obs.Counter, n int64) {
 		return
 	}
 	c(t.ops).Add(n)
+}
+
+func (t *objectTelemetry) retransmit(msg string) {
+	if t == nil {
+		return
+	}
+	t.rob.retrans[msg].Inc()
+}
+
+func (t *objectTelemetry) sessionExpired() {
+	if t == nil {
+		return
+	}
+	t.rob.expired.Inc()
+}
+
+func (t *objectTelemetry) malformedDrop() {
+	if t == nil {
+		return
+	}
+	t.rob.malformed.Inc()
 }
 
 // Counter selectors shared by both roles.

@@ -51,6 +51,15 @@ type DeployConfig struct {
 	Registry *obs.Registry
 	// Tracer, when set, records per-phase discovery spans on the subject.
 	Tracer *obs.Tracer
+	// Faults, when active, is installed as the network-wide fault model
+	// (per-link overrides can be added on d.Net afterwards).
+	Faults netsim.FaultModel
+	// FaultSeed reseeds the fault RNG independently of Seed when non-zero,
+	// so fault schedules can vary while airtime jitter stays fixed.
+	FaultSeed int64
+	// Retry, when enabled, is installed on the subject and every object so
+	// the protocol survives Faults (see core.RetryPolicy).
+	Retry core.RetryPolicy
 }
 
 // Deploy builds and provisions the testbed. Every object carries a Level 2
@@ -91,6 +100,12 @@ func Deploy(cfg DeployConfig) (*Deployment, error) {
 	d := &Deployment{Backend: b, Net: netsim.New(cfg.Link, cfg.Seed)}
 	b.Instrument(cfg.Registry)
 	d.Net.Instrument(cfg.Registry)
+	if cfg.FaultSeed != 0 {
+		d.Net.FaultSeed(cfg.FaultSeed)
+	}
+	if cfg.Faults.Active() {
+		d.Net.SetFaults(cfg.Faults)
+	}
 
 	sprov, err := b.ProvisionSubject(sid)
 	if err != nil {
@@ -99,6 +114,9 @@ func Deploy(cfg DeployConfig) (*Deployment, error) {
 	d.Subject = core.NewSubject(sprov, cfg.Version, cfg.SubjectCosts)
 	if cfg.Registry != nil || cfg.Tracer != nil {
 		d.Subject.Instrument(cfg.Registry, cfg.Tracer)
+	}
+	if cfg.Retry.Enabled() {
+		d.Subject.SetRetry(cfg.Retry)
 	}
 	d.SubjNode = d.Net.AddNode(d.Subject)
 	d.Subject.Attach(d.SubjNode)
@@ -137,6 +155,9 @@ func Deploy(cfg DeployConfig) (*Deployment, error) {
 		o := core.NewObject(prov, cfg.Version, cfg.ObjectCosts)
 		if cfg.Registry != nil {
 			o.Instrument(cfg.Registry)
+		}
+		if cfg.Retry.Enabled() {
+			o.SetRetry(cfg.Retry)
 		}
 		node := d.Net.AddNode(o)
 		o.Attach(node)

@@ -98,6 +98,12 @@ type Stats struct {
 	BytesOnAir    int64         // sum of transmitted payload bytes (per hop)
 	MediumBusy    time.Duration // total medium occupancy
 	Drops         int           // unicast messages dropped for lack of a route
+
+	// Fault-injection counters (see FaultModel in faults.go).
+	FaultLost       int // frames lost in flight (incl. drop-filter drops)
+	FaultCorrupted  int // frames delivered with flipped bytes
+	FaultDuplicated int // frames delivered twice
+	CrashDrops      int // frames dropped because a node was in a crash window
 }
 
 // Broadcast is the LinkKey.To sentinel for one-to-many transmissions: a
@@ -125,6 +131,10 @@ type netTelemetry struct {
 	transmissions *obs.Counter
 	bytesOnAir    *obs.Counter
 	drops         *obs.Counter
+	faultLost     *obs.Counter
+	faultCorrupt  *obs.Counter
+	faultDup      *obs.Counter
+	crashDrops    *obs.Counter
 	payloadBytes  *obs.Histogram
 	hopLatency    *obs.Histogram
 	mediumWait    *obs.Histogram
@@ -191,6 +201,7 @@ type node struct {
 	handler   Handler
 	neighbors []NodeID
 	cpuFree   time.Duration // earliest time this node's CPU is idle
+	downUntil time.Duration // end of the current crash window (0 = up)
 }
 
 // Channel identifies a radio channel / medium. Transmissions on the same
@@ -212,12 +223,16 @@ type linkInfo struct {
 type Network struct {
 	model      LinkModel
 	rng        *rand.Rand
+	frng       *rand.Rand // fault-decision RNG, independent of airtime jitter
 	now        time.Duration
 	seq        int64
 	queue      eventQueue
 	nodes      []*node
 	mediumFree map[Channel]time.Duration // earliest idle time per channel
 	links      map[[2]NodeID]linkInfo
+	faults     FaultModel             // network-wide default fault model
+	linkFaults map[LinkKey]FaultModel // directed per-link overrides
+	dropFilter func(from, to NodeID, payload []byte) bool
 	stats      Stats
 	linkStats  map[LinkKey]*LinkStat
 	tel        *netTelemetry
@@ -241,6 +256,7 @@ func New(model LinkModel, seed int64) *Network {
 	return &Network{
 		model:      model,
 		rng:        rand.New(rand.NewSource(seed)),
+		frng:       rand.New(rand.NewSource(seed ^ faultSeedMix)),
 		mediumFree: make(map[Channel]time.Duration),
 		links:      make(map[[2]NodeID]linkInfo),
 		linkStats:  make(map[LinkKey]*LinkStat),
@@ -262,6 +278,10 @@ func (n *Network) Instrument(reg *obs.Registry) {
 		transmissions: reg.Counter(obs.MNetTransmissions, "Per-hop radio transmissions."),
 		bytesOnAir:    reg.Counter(obs.MNetBytesOnAir, "Transmitted payload bytes, counted per hop."),
 		drops:         reg.Counter(obs.MNetDrops, "Unicast messages dropped for lack of a route."),
+		faultLost:     reg.Counter(obs.MNetFaultLost, "Frames lost in flight by fault injection (incl. drop-filter drops)."),
+		faultCorrupt:  reg.Counter(obs.MNetFaultCorrupted, "Frames delivered with injected byte corruption."),
+		faultDup:      reg.Counter(obs.MNetFaultDuplicated, "Frames delivered twice by fault injection."),
+		crashDrops:    reg.Counter(obs.MNetCrashDrops, "Frames dropped because a node was inside a crash window."),
 		payloadBytes: reg.Histogram(obs.MNetPayloadBytes,
 			"Payload size per transmission.", obs.SizeBuckets()),
 		hopLatency: reg.Histogram(obs.MNetHopLatency,
@@ -474,6 +494,10 @@ func (n *Network) Send(src, dst NodeID, payload []byte) {
 }
 
 func (n *Network) relay(origin, cur, dst NodeID, payload []byte) {
+	if n.nodeDown(cur) {
+		n.countCrashDrop()
+		return
+	}
 	hop, ok := n.nextHop(cur, dst)
 	if !ok {
 		n.stats.Drops++
@@ -483,13 +507,26 @@ func (n *Network) relay(origin, cur, dst NodeID, payload []byte) {
 		return
 	}
 	arrive := n.acquireMedium(cur, hop, n.linkOf(cur, hop), n.now, len(payload))
-	n.schedule(arrive, func() {
-		if hop == dst {
-			n.deliver(origin, dst, payload)
-			return
+	forward := func(p []byte) func() {
+		return func() {
+			if hop == dst {
+				n.deliver(origin, dst, p)
+				return
+			}
+			n.relay(origin, hop, dst, p)
 		}
-		n.relay(origin, hop, dst, payload)
-	})
+	}
+	f := n.faultsOn(cur, hop)
+	if !f.Active() {
+		n.schedule(arrive, forward(payload))
+		return
+	}
+	if n.drawLoss(f) {
+		// The frame was transmitted (medium occupied) but never received.
+		n.countFaultLost()
+		return
+	}
+	n.scheduleFaulty(f, arrive, payload, forward)
 }
 
 // Broadcast floods payload from src to every node within ttl hops. Each
@@ -508,48 +545,106 @@ func (n *Network) Broadcast(src NodeID, payload []byte, ttl int) {
 }
 
 func (n *Network) flood(origin, cur NodeID, payload []byte, ttl int, seen map[NodeID]bool) {
+	if n.nodeDown(cur) {
+		n.countCrashDrop()
+		return
+	}
 	// One radio transmission per channel reaches all fresh neighbors on that
-	// channel simultaneously; a bridging device transmits once per radio.
+	// channel simultaneously; a bridging device transmits once per radio. A
+	// per-receiver loss draw happens at selection time: reception is
+	// independent per radio, and a receiver that lost the frame stays
+	// unmarked in seen, so another forwarder (or a retransmission) can still
+	// reach it.
 	byChannel := make(map[Channel][]NodeID)
+	rep := make(map[Channel]NodeID) // representative neighbor for link params
 	var channels []Channel
 	for _, nb := range n.nodes[cur].neighbors {
 		if seen[nb] {
 			continue
 		}
-		seen[nb] = true
 		ch := n.linkOf(cur, nb).channel
-		if _, ok := byChannel[ch]; !ok {
+		if _, ok := rep[ch]; !ok {
 			channels = append(channels, ch)
+			rep[ch] = nb
 		}
+		if n.drawLoss(n.faultsOn(cur, nb)) {
+			n.countFaultLost()
+			continue
+		}
+		seen[nb] = true
 		byChannel[ch] = append(byChannel[ch], nb)
 	}
 	for _, ch := range channels {
 		fresh := byChannel[ch]
-		li := n.linkOf(cur, fresh[0])
+		li := n.linkOf(cur, rep[ch])
+		// The medium is occupied even when every receiver on the channel lost
+		// the frame: the transmitter cannot know, the airtime is spent.
 		arrive := n.acquireMedium(cur, Broadcast, li, n.now, len(payload))
-		n.schedule(arrive, func() {
-			for _, nb := range fresh {
-				n.deliver(origin, nb, payload)
-				if ttl > 1 {
-					nbCopy := nb
-					n.schedule(n.now, func() {
-						n.flood(origin, nbCopy, payload, ttl-1, seen)
-					})
+		if len(fresh) == 0 {
+			continue
+		}
+		faulty := false
+		for _, nb := range fresh {
+			if n.faultsOn(cur, nb).Active() {
+				faulty = true
+				break
+			}
+		}
+		if !faulty {
+			n.schedule(arrive, func() {
+				for _, nb := range fresh {
+					if n.deliver(origin, nb, payload) && ttl > 1 {
+						nbCopy := nb
+						n.schedule(n.now, func() {
+							n.flood(origin, nbCopy, payload, ttl-1, seen)
+						})
+					}
+				}
+			})
+			continue
+		}
+		// Per-receiver scheduling so corruption, jitter and duplication hit
+		// each radio independently. A forwarder retransmits the bytes it
+		// received — a corrupted copy propagates corrupted.
+		for _, nb := range fresh {
+			nbCopy := nb
+			mk := func(p []byte) func() {
+				return func() {
+					if n.deliver(origin, nbCopy, p) && ttl > 1 {
+						n.schedule(n.now, func() {
+							n.flood(origin, nbCopy, p, ttl-1, seen)
+						})
+					}
 				}
 			}
-		})
+			n.scheduleFaulty(n.faultsOn(cur, nbCopy), arrive, payload, mk)
+		}
 	}
 }
 
-func (n *Network) deliver(from, to NodeID, payload []byte) {
+// deliver hands the payload to the receiver's handler. It reports whether the
+// frame actually reached the node (a downed or filtered receiver loses it) —
+// flood uses the result to decide whether the receiver forwards. The snoop
+// tap fires before the crash/filter checks: an eavesdropper hears the frame
+// on the air regardless of what the addressee does with it.
+func (n *Network) deliver(from, to NodeID, payload []byte) bool {
 	if n.snoop != nil {
 		n.snoop(from, to, payload)
 	}
+	if n.nodeDown(to) {
+		n.countCrashDrop()
+		return false
+	}
+	if n.dropFilter != nil && n.dropFilter(from, to, payload) {
+		n.countFaultLost()
+		return false
+	}
 	h := n.nodes[to].handler
 	if h == nil {
-		return
+		return true
 	}
 	h.HandleMessage(n, from, payload)
+	return true
 }
 
 // Run drains the event queue, advancing virtual time until no events remain

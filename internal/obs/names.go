@@ -35,6 +35,17 @@ const (
 	MNetChannelBytes  = "argus_net_channel_bytes_total" // channel
 	MNetLinkBytes     = "argus_net_link_bytes_total"    // from, to
 
+	// internal/netsim — fault injection (see netsim.FaultModel).
+	MNetFaultLost       = "argus_net_fault_lost_total"
+	MNetFaultCorrupted  = "argus_net_fault_corrupted_total"
+	MNetFaultDuplicated = "argus_net_fault_duplicated_total"
+	MNetCrashDrops      = "argus_net_crash_drops_total"
+
+	// internal/core — retransmission / robustness (both roles).
+	MRetransmissions = "argus_retransmissions_total"  // role, msg
+	MSessionsExpired = "argus_sessions_expired_total" // role
+	MMalformedDrops  = "argus_malformed_drops_total"  // role
+
 	// internal/backend.
 	MBackendChurnOps = "argus_backend_churn_ops_total" // op
 	MBackendNotified = "argus_backend_notified_total"  // kind

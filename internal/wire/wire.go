@@ -7,6 +7,13 @@
 // Message-size accounting here drives the §IX-A message-overhead experiment:
 // at 128-bit strength QUE1 is 28 B of nonce plus a fixed 3-byte header,
 // RES1/QUE2/RES2 sizes land within a few bytes of the paper's 772/1008/280.
+//
+// The codec is canonical: Encode is a pure function of the message fields and
+// Decode(Encode(m)).Encode() == Encode(m) for every valid message (fuzzed in
+// fuzz_test.go). Retransmission relies on this — a resent QUE2/RES2 must be
+// byte-identical to the original its transcript MAC was computed over, and an
+// eavesdropper must not be able to tell a resend from a first transmission by
+// shape (Case 7).
 package wire
 
 import (
