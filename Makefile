@@ -1,7 +1,19 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: build test race vet verify fuzz chaos bench bench-obs clean
+# Comparing two revisions of the handshake fast path (BENCH_N.json trajectory):
+#
+#   go test -bench=Handshake -benchmem -count=10 -run=^$ . > old.txt
+#   <apply change>
+#   go test -bench=Handshake -benchmem -count=10 -run=^$ . > new.txt
+#   benchstat old.txt new.txt        # if benchstat is installed; otherwise
+#                                    # diff the BENCH_*.json files, which carry
+#                                    # the same per-experiment wall times
+#
+# `make bench-json` regenerates BENCH_3.json from the fastpath experiments —
+# commit it alongside any change that moves handshake or provisioning cost.
+
+.PHONY: build test race vet verify fuzz chaos bench bench-obs bench-json clean
 
 build:
 	$(GO) build ./...
@@ -10,10 +22,11 @@ test:
 	$(GO) test ./...
 
 # Race-enabled run of the packages with real concurrency: the telemetry
-# registry is hammered from many goroutines, and core/netsim drive it from
-# the simulation loop.
+# registry is hammered from many goroutines, cert's verification cache and
+# batch issuance fan out across worker pools, backend provisioning does the
+# same, and core's Results/PendingSessions are read cross-goroutine.
 race:
-	$(GO) test -race ./internal/obs ./internal/core ./internal/netsim
+	$(GO) test -race ./internal/obs ./internal/core ./internal/netsim ./internal/cert ./internal/backend
 
 vet:
 	$(GO) vet ./...
@@ -40,6 +53,11 @@ bench:
 # Telemetry fast-path microbenchmarks (<50 ns/observe target).
 bench-obs:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/obs
+
+# Handshake fast-path trajectory: warm-cache micro-benchmark plus serial vs
+# parallel provisioning, emitted machine-readable (see EXPERIMENTS.md).
+bench-json:
+	$(GO) run ./cmd/argus-bench -exp fastpath-handshake,fastpath-provision -json > BENCH_3.json
 
 clean:
 	$(GO) clean ./...

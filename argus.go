@@ -37,6 +37,7 @@ import (
 	"argus/internal/cert"
 	"argus/internal/core"
 	"argus/internal/netsim"
+	"argus/internal/obs"
 	"argus/internal/suite"
 	"argus/internal/wire"
 )
@@ -96,6 +97,19 @@ type (
 	Version = wire.Version
 	// Strength is a security strength in bits.
 	Strength = suite.Strength
+	// Option configures a Subject or Object engine at construction; pass
+	// options to AttachSubject/AttachObject. See WithRetry, WithTelemetry,
+	// WithVerifyCache.
+	Option = core.Option
+	// RetryPolicy governs retransmission and session expiry on lossy links.
+	RetryPolicy = core.RetryPolicy
+	// VerifyCache memoizes credential verification across handshakes; share
+	// one via WithVerifyCache so repeat encounters skip ECDSA re-verification.
+	VerifyCache = cert.VerifyCache
+	// Registry collects deployment metrics (pass to WithTelemetry).
+	Registry = obs.Registry
+	// Tracer records per-phase discovery spans on a subject.
+	Tracer = obs.Tracer
 )
 
 // NewBackend creates an enterprise backend at the given strength.
@@ -120,28 +134,57 @@ func ParseAttrs(text string) (Attrs, error) { return attr.ParseSet(text) }
 // MustAttrs is ParseAttrs that panics on error.
 func MustAttrs(text string) Attrs { return attr.MustSet(text) }
 
+// DefaultRetry returns the retransmission policy tuned for the paper's WiFi
+// link model (pass it to WithRetry on lossy deployments).
+func DefaultRetry() RetryPolicy { return core.DefaultRetry() }
+
+// NewRegistry creates an empty metrics registry for WithTelemetry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// NewTracer creates a discovery span tracer for WithTelemetry.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// NewVerifyCache creates a bounded credential-verification cache holding up
+// to capacity entries (0 selects a sensible default). Share one cache across
+// engines via WithVerifyCache: a peer any engine has verified before costs
+// zero ECDSA credential verifications on the next encounter. The cache saves
+// real CPU only — fixed-seed simulation results are identical with and
+// without it.
+func NewVerifyCache(capacity int) *VerifyCache { return cert.NewVerifyCache(capacity) }
+
+// WithRetry installs a retransmission policy on the engine.
+func WithRetry(p RetryPolicy) Option { return core.WithRetry(p) }
+
+// WithTelemetry instruments the engine under reg; tr (optional, subjects
+// only) records per-phase discovery spans.
+func WithTelemetry(reg *Registry, tr *Tracer) Option { return core.WithTelemetry(reg, tr) }
+
+// WithVerifyCache shares a credential-verification cache with the engine.
+func WithVerifyCache(c *VerifyCache) Option { return core.WithVerifyCache(c) }
+
 // AttachSubject provisions a registered subject from the backend, creates its
 // discovery engine and places it on the network. Returns the engine and its
-// node address (link it to nearby objects).
-func AttachSubject(b *Backend, net *Network, id ID, v Version, costs Costs) (*Subject, NodeID, error) {
+// node address (link it to nearby objects). Options configure retry,
+// telemetry and verification caching; the node address is set automatically.
+func AttachSubject(b *Backend, net *Network, id ID, v Version, costs Costs, opts ...Option) (*Subject, NodeID, error) {
 	prov, err := b.ProvisionSubject(id)
 	if err != nil {
 		return nil, 0, err
 	}
-	s := core.NewSubject(prov, v, costs)
+	s := core.NewSubject(prov, v, costs, opts...)
 	node := net.AddNode(s)
 	s.Attach(node)
 	return s, node, nil
 }
 
 // AttachObject provisions a registered object and places its engine on the
-// network.
-func AttachObject(b *Backend, net *Network, id ID, v Version, costs Costs) (*Object, NodeID, error) {
+// network, applying the same option set AttachSubject accepts.
+func AttachObject(b *Backend, net *Network, id ID, v Version, costs Costs, opts ...Option) (*Object, NodeID, error) {
 	prov, err := b.ProvisionObject(id)
 	if err != nil {
 		return nil, 0, err
 	}
-	o := core.NewObject(prov, v, costs)
+	o := core.NewObject(prov, v, costs, opts...)
 	node := net.AddNode(o)
 	o.Attach(node)
 	return o, node, nil

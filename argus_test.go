@@ -116,3 +116,56 @@ func TestFacadeSnapshotRestore(t *testing.T) {
 		t.Fatalf("restored backend cannot provision: %v", err)
 	}
 }
+
+// TestFacadeOptions threads engine options through AttachSubject and
+// AttachObject: a shared verification cache plus telemetry. The second
+// discovery round hits only warm credentials — the facade-level view of the
+// handshake fast path.
+func TestFacadeOptions(t *testing.T) {
+	b, err := NewBackend(Strength128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.AddPolicy(
+		MustPredicate("position=='staff'"),
+		MustPredicate("type=='printer'"),
+		[]string{"print"}); err != nil {
+		t.Fatal(err)
+	}
+	alice, _, err := b.RegisterSubject("alice", MustAttrs("position=staff"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	printer, _, err := b.RegisterObject("printer", L2, MustAttrs("type=printer"), []string{"print"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	vc := NewVerifyCache(0)
+	reg := NewRegistry()
+	net := NewNetwork(DefaultWiFi(), 1)
+	opts := []Option{WithVerifyCache(vc), WithTelemetry(reg, NewTracer()), WithRetry(DefaultRetry())}
+	subject, node, err := AttachSubject(b, net, alice, V30, Costs{}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, pnode, err := AttachObject(b, net, printer, V30, Costs{}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Link(node, pnode)
+
+	for round := 0; round < 2; round++ {
+		if err := subject.Discover(net, 1); err != nil {
+			t.Fatal(err)
+		}
+		net.Run(0)
+	}
+	if res := subject.Results(); len(res) != 2 {
+		t.Fatalf("results = %+v, want one per round", res)
+	}
+	hits, misses, _ := vc.Stats()
+	if misses != 4 || hits != 4 {
+		t.Fatalf("cache stats hits=%d misses=%d, want the warm round fully served (4/4)", hits, misses)
+	}
+}

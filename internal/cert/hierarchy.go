@@ -89,13 +89,23 @@ func (a *Admin) IssueCertChain(id ID, name string, role Role, pub suite.PublicKe
 // by intermediate CA certificates) and verifies the chain up to the root
 // anchor rootDER. It returns the bound identity like VerifyCert.
 func VerifyCertChain(rootDER, certDER []byte, s suite.Strength) (*CertInfo, error) {
+	info, _, _, err := verifyCertChainWindow(rootDER, certDER, s)
+	return info, err
+}
+
+// verifyCertChainWindow is VerifyCertChain plus the chain's joint validity
+// window (max NotBefore, min NotAfter over every certificate involved) — the
+// interval during which a memoized verification result stays trustworthy
+// (see VerifyCache).
+func verifyCertChainWindow(rootDER, certDER []byte, s suite.Strength) (*CertInfo, time.Time, time.Time, error) {
+	var zero time.Time
 	root, err := x509.ParseCertificate(rootDER)
 	if err != nil {
-		return nil, fmt.Errorf("cert: bad trust anchor: %w", err)
+		return nil, zero, zero, fmt.Errorf("cert: bad trust anchor: %w", err)
 	}
 	certs, err := x509.ParseCertificates(certDER)
 	if err != nil || len(certs) == 0 {
-		return nil, errors.New("cert: bad certificate chain")
+		return nil, zero, zero, errors.New("cert: bad certificate chain")
 	}
 	leaf := certs[0]
 	roots := x509.NewCertPool()
@@ -109,9 +119,22 @@ func VerifyCertChain(rootDER, certDER []byte, s suite.Strength) (*CertInfo, erro
 		Intermediates: inters,
 		KeyUsages:     []x509.ExtKeyUsage{x509.ExtKeyUsageAny},
 	}); err != nil {
-		return nil, fmt.Errorf("cert: chain does not verify: %w", err)
+		return nil, zero, zero, fmt.Errorf("cert: chain does not verify: %w", err)
 	}
-	return infoFromLeaf(leaf, s)
+	notBefore, notAfter := root.NotBefore, root.NotAfter
+	for _, c := range certs {
+		if c.NotBefore.After(notBefore) {
+			notBefore = c.NotBefore
+		}
+		if c.NotAfter.Before(notAfter) {
+			notAfter = c.NotAfter
+		}
+	}
+	info, err := infoFromLeaf(leaf, s)
+	if err != nil {
+		return nil, zero, zero, err
+	}
+	return info, notBefore, notAfter, nil
 }
 
 // verifyCAChain verifies a chain of CA certificates (leaf first, concatenated

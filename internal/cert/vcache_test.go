@@ -1,0 +1,444 @@
+package cert
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"argus/internal/attr"
+	"argus/internal/obs"
+	"argus/internal/suite"
+)
+
+// vcFixture builds an admin plus one issued entity credential pair.
+type vcFixture struct {
+	admin   *Admin
+	id      ID
+	pub     suite.PublicKey
+	certDER []byte
+	prof    *Profile
+	profRaw []byte
+}
+
+func newVCFixture(t *testing.T, admin *Admin, name string) *vcFixture {
+	t.Helper()
+	key, err := suite.GenerateSigningKey(admin.Strength(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := IDFromName(name)
+	certDER, err := admin.IssueCertChain(id, name, RoleObject, key.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := &Profile{
+		Kind:    RoleObject,
+		Entity:  id,
+		Serial:  1,
+		Issued:  time.Now().Truncate(time.Second),
+		Expires: time.Now().Add(24 * time.Hour).Truncate(time.Second),
+		Attrs:   attr.Set{"room": "101"},
+	}
+	if err := admin.SignProfile(prof); err != nil {
+		t.Fatal(err)
+	}
+	raw := prof.Encode()
+	decoded, err := DecodeProfile(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &vcFixture{admin: admin, id: id, pub: key.Public(), certDER: certDER, prof: decoded, profRaw: raw}
+}
+
+func newVCAdmin(t *testing.T) *Admin {
+	t.Helper()
+	admin, err := NewAdmin(suite.S128, "vcache-root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return admin
+}
+
+func TestVerifyCacheCertHitMiss(t *testing.T) {
+	admin := newVCAdmin(t)
+	fx := newVCFixture(t, admin, "lamp")
+	c := NewVerifyCache(8)
+
+	info1, err := c.VerifyCert(admin.CACert(), fx.certDER, admin.Strength())
+	if err != nil {
+		t.Fatalf("first VerifyCert: %v", err)
+	}
+	if hits, misses, entries := statsOf(c); hits != 0 || misses != 1 || entries != 1 {
+		t.Fatalf("after miss: hits=%d misses=%d entries=%d", hits, misses, entries)
+	}
+	info2, err := c.VerifyCert(admin.CACert(), fx.certDER, admin.Strength())
+	if err != nil {
+		t.Fatalf("second VerifyCert: %v", err)
+	}
+	if hits, misses, _ := statsOf(c); hits != 1 || misses != 1 {
+		t.Fatalf("after hit: hits=%d misses=%d", hits, misses)
+	}
+	if info1.ID != fx.id || info2.ID != fx.id || info1.Name != "lamp" || info2.Name != "lamp" {
+		t.Fatalf("cached info mismatch: %+v vs %+v", info1, info2)
+	}
+	// The hit must return a private copy, not aliased cache state.
+	info2.Name = "mutated"
+	info3, err := c.VerifyCert(admin.CACert(), fx.certDER, admin.Strength())
+	if err != nil || info3.Name != "lamp" {
+		t.Fatalf("cache entry was aliased by caller: %+v err=%v", info3, err)
+	}
+}
+
+func TestVerifyCacheProfileHitMiss(t *testing.T) {
+	admin := newVCAdmin(t)
+	fx := newVCFixture(t, admin, "plug")
+	c := NewVerifyCache(8)
+	now := time.Now()
+
+	if err := c.VerifyProfileAnchored(fx.prof, fx.profRaw, admin.CACert(), admin.Public(), now); err != nil {
+		t.Fatalf("first verify: %v", err)
+	}
+	if err := c.VerifyProfileAnchored(fx.prof, fx.profRaw, admin.CACert(), admin.Public(), now); err != nil {
+		t.Fatalf("second verify: %v", err)
+	}
+	if hits, misses, entries := statsOf(c); hits != 1 || misses != 1 || entries != 1 {
+		t.Fatalf("hits=%d misses=%d entries=%d", hits, misses, entries)
+	}
+
+	// A tampered profile must fail even though an entry exists for the
+	// untampered bytes (different raw → different key → real verification).
+	bad := *fx.prof
+	bad.Note = "tampered"
+	badRaw := bad.Encode()
+	if err := c.VerifyProfileAnchored(&bad, badRaw, admin.CACert(), admin.Public(), now); err == nil {
+		t.Fatal("tampered profile verified")
+	}
+	// Failures are never cached.
+	if _, _, entries := statsOf(c); entries != 1 {
+		t.Fatalf("failed verification was cached: entries=%d", entries)
+	}
+}
+
+func TestVerifyCacheFailuresNotCached(t *testing.T) {
+	admin := newVCAdmin(t)
+	other := newVCAdmin(t)
+	fx := newVCFixture(t, admin, "cam")
+	c := NewVerifyCache(8)
+
+	// Verifying against the wrong anchor fails and stores nothing.
+	if _, err := c.VerifyCert(other.CACert(), fx.certDER, admin.Strength()); err == nil {
+		t.Fatal("chain verified against wrong anchor")
+	}
+	if _, misses, entries := statsOf(c); misses != 1 || entries != 0 {
+		t.Fatalf("failure cached: misses=%d entries=%d", misses, entries)
+	}
+}
+
+func TestVerifyCacheLRUBound(t *testing.T) {
+	admin := newVCAdmin(t)
+	c := NewVerifyCache(2)
+	fxs := []*vcFixture{
+		newVCFixture(t, admin, "a"),
+		newVCFixture(t, admin, "b"),
+		newVCFixture(t, admin, "c"),
+	}
+	for _, fx := range fxs {
+		if _, err := c.VerifyCert(admin.CACert(), fx.certDER, admin.Strength()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("capacity not enforced: len=%d", c.Len())
+	}
+	// "a" was least recently used and must have been evicted: re-verifying it
+	// is a miss; "c" is still warm.
+	if _, err := c.VerifyCert(admin.CACert(), fxs[2].certDER, admin.Strength()); err != nil {
+		t.Fatal(err)
+	}
+	hitsBefore, missesBefore, _ := statsOf(c)
+	if _, err := c.VerifyCert(admin.CACert(), fxs[0].certDER, admin.Strength()); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, _ := statsOf(c)
+	if hits != hitsBefore || misses != missesBefore+1 {
+		t.Fatalf("evicted entry served warm: hits %d→%d misses %d→%d", hitsBefore, hits, missesBefore, misses)
+	}
+}
+
+func TestVerifyCacheInvalidateEntity(t *testing.T) {
+	admin := newVCAdmin(t)
+	fx1 := newVCFixture(t, admin, "bulb")
+	fx2 := newVCFixture(t, admin, "lock")
+	c := NewVerifyCache(8)
+	now := time.Now()
+
+	for _, fx := range []*vcFixture{fx1, fx2} {
+		if _, err := c.VerifyCert(admin.CACert(), fx.certDER, admin.Strength()); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.VerifyProfileAnchored(fx.prof, fx.profRaw, admin.CACert(), admin.Public(), now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 4 {
+		t.Fatalf("expected 4 entries, got %d", c.Len())
+	}
+	if n := c.InvalidateEntity(fx1.id); n != 2 {
+		t.Fatalf("InvalidateEntity removed %d entries, want 2", n)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("expected 2 entries after invalidation, got %d", c.Len())
+	}
+	// fx1 re-verifies cold, fx2 stays warm.
+	_, missesBefore, _ := statsOf(c)
+	if _, err := c.VerifyCert(admin.CACert(), fx1.certDER, admin.Strength()); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses, _ := statsOf(c); misses != missesBefore+1 {
+		t.Fatal("invalidated entry served warm")
+	}
+	hitsBefore, _, _ := statsOf(c)
+	if _, err := c.VerifyCert(admin.CACert(), fx2.certDER, admin.Strength()); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _, _ := statsOf(c); hits != hitsBefore+1 {
+		t.Fatal("unrelated entity was invalidated")
+	}
+	if n := c.InvalidateEntity(IDFromName("never-seen")); n != 0 {
+		t.Fatalf("InvalidateEntity on unknown id removed %d", n)
+	}
+}
+
+func TestVerifyCacheFlush(t *testing.T) {
+	admin := newVCAdmin(t)
+	fx := newVCFixture(t, admin, "tv")
+	c := NewVerifyCache(8)
+	if _, err := c.VerifyCert(admin.CACert(), fx.certDER, admin.Strength()); err != nil {
+		t.Fatal(err)
+	}
+	c.Flush()
+	if c.Len() != 0 {
+		t.Fatalf("Flush left %d entries", c.Len())
+	}
+	_, missesBefore, _ := statsOf(c)
+	if _, err := c.VerifyCert(admin.CACert(), fx.certDER, admin.Strength()); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses, _ := statsOf(c); misses != missesBefore+1 {
+		t.Fatal("flushed entry served warm")
+	}
+}
+
+func TestVerifyCacheWindowExpiry(t *testing.T) {
+	admin := newVCAdmin(t)
+	fx := newVCFixture(t, admin, "meter")
+	c := NewVerifyCache(8)
+	now := time.Now()
+
+	if err := c.VerifyProfileAnchored(fx.prof, fx.profRaw, admin.CACert(), admin.Public(), now); err != nil {
+		t.Fatal(err)
+	}
+	// A hit at a time past the profile's Expires must NOT be served from the
+	// cache: the entry is evicted and the real path re-runs (and fails, since
+	// the window check fails there too).
+	late := fx.prof.Expires.Add(time.Hour)
+	if err := c.VerifyProfileAnchored(fx.prof, fx.profRaw, admin.CACert(), admin.Public(), late); err == nil {
+		t.Fatal("expired profile served from warm cache")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("expired entry still cached: len=%d", c.Len())
+	}
+}
+
+func TestVerifyCacheHierarchyAndStrengthKeying(t *testing.T) {
+	root := newVCAdmin(t)
+	sub, err := root.NewSubordinate("building-7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := newVCFixture(t, sub, "printer")
+	c := NewVerifyCache(8)
+	now := time.Now()
+
+	// Chain-issued certificate and sub-signed profile verify against the root
+	// anchor, and the memoized results hit on repeat.
+	if _, err := c.VerifyCert(root.CACert(), fx.certDER, root.Strength()); err != nil {
+		t.Fatalf("hierarchical chain: %v", err)
+	}
+	if _, err := c.VerifyCert(root.CACert(), fx.certDER, root.Strength()); err != nil {
+		t.Fatal(err)
+	}
+	if len(fx.prof.SignerChain) == 0 {
+		t.Fatal("fixture profile is not sub-signed")
+	}
+	if err := c.VerifyProfileAnchored(fx.prof, fx.profRaw, root.CACert(), root.Public(), now); err != nil {
+		t.Fatalf("hierarchical profile: %v", err)
+	}
+	if err := c.VerifyProfileAnchored(fx.prof, fx.profRaw, root.CACert(), root.Public(), now); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses, _ := statsOf(c); hits != 2 || misses != 2 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+	// A different declared strength must key separately (it changes what the
+	// real verification accepts), not alias the cached success.
+	if _, err := c.VerifyCert(root.CACert(), fx.certDER, suite.S192); err == nil {
+		t.Fatal("strength mismatch served from cache")
+	}
+}
+
+func TestVerifyCacheNilReceiver(t *testing.T) {
+	admin := newVCAdmin(t)
+	fx := newVCFixture(t, admin, "nilcase")
+	var c *VerifyCache
+
+	info, err := c.VerifyCert(admin.CACert(), fx.certDER, admin.Strength())
+	if err != nil || info.ID != fx.id {
+		t.Fatalf("nil cache VerifyCert: %+v err=%v", info, err)
+	}
+	if err := c.VerifyProfileAnchored(fx.prof, fx.profRaw, admin.CACert(), admin.Public(), time.Now()); err != nil {
+		t.Fatalf("nil cache VerifyProfileAnchored: %v", err)
+	}
+	if hits, misses, entries := statsOf(c); hits != 0 || misses != 0 || entries != 0 {
+		t.Fatal("nil cache reported stats")
+	}
+	if c.Len() != 0 || c.InvalidateEntity(fx.id) != 0 {
+		t.Fatal("nil cache mutators misbehaved")
+	}
+	c.Flush()
+	c.Instrument(nil)
+}
+
+func TestVerifyCacheInstrument(t *testing.T) {
+	admin := newVCAdmin(t)
+	fx := newVCFixture(t, admin, "gauge")
+	c := NewVerifyCache(8)
+	reg := obs.NewRegistry()
+	c.Instrument(reg)
+	now := time.Now()
+
+	for i := 0; i < 2; i++ {
+		if _, err := c.VerifyCert(admin.CACert(), fx.certDER, admin.Strength()); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.VerifyProfileAnchored(fx.prof, fx.profRaw, admin.CACert(), admin.Public(), now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := map[string]int64{"cert/hit": 1, "cert/miss": 1, "prof/hit": 1, "prof/miss": 1}
+	for _, s := range reg.Snapshot().Metrics {
+		if s.Name != obs.MVerifyCacheEvents {
+			continue
+		}
+		k := s.Labels["kind"] + "/" + s.Labels["result"]
+		if s.Value != float64(want[k]) {
+			t.Fatalf("counter %s = %v, want %d", k, s.Value, want[k])
+		}
+		delete(want, k)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing counters: %v", want)
+	}
+	// Detaching stops exposition without affecting behavior.
+	c.Instrument(nil)
+	if _, err := c.VerifyCert(admin.CACert(), fx.certDER, admin.Strength()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyCacheConcurrent(t *testing.T) {
+	admin := newVCAdmin(t)
+	fxs := []*vcFixture{
+		newVCFixture(t, admin, "c0"),
+		newVCFixture(t, admin, "c1"),
+		newVCFixture(t, admin, "c2"),
+	}
+	c := NewVerifyCache(4)
+	reg := obs.NewRegistry()
+	c.Instrument(reg)
+	now := time.Now()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				fx := fxs[(g+i)%len(fxs)]
+				switch i % 4 {
+				case 0:
+					if _, err := c.VerifyCert(admin.CACert(), fx.certDER, admin.Strength()); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					if err := c.VerifyProfileAnchored(fx.prof, fx.profRaw, admin.CACert(), admin.Public(), now); err != nil {
+						t.Error(err)
+						return
+					}
+				case 2:
+					c.InvalidateEntity(fx.id)
+				case 3:
+					c.Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 4 {
+		t.Fatalf("capacity exceeded under concurrency: %d", c.Len())
+	}
+}
+
+func TestIssueCertChainBatchMatchesSequential(t *testing.T) {
+	s := suite.S128
+	admin, err := NewAdmin(s, "batch-root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := admin.NewSubordinate("batch-sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 6
+	reqs := make([]CertRequest, n)
+	for i := range reqs {
+		key, err := suite.GenerateSigningKey(s, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := string(rune('a' + i))
+		reqs[i] = CertRequest{ID: IDFromName(name), Name: name, Role: RoleObject, Pub: key.Public()}
+	}
+	chains, err := sub.IssueCertChainBatch(reqs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chains) != n {
+		t.Fatalf("got %d chains", len(chains))
+	}
+	// Every chain verifies against the root, binds the right identity, and
+	// carries the serial reserved for its index (request order).
+	for i, chain := range chains {
+		info, err := VerifyCertChain(admin.CACert(), chain, s)
+		if err != nil {
+			t.Fatalf("chain %d: %v", i, err)
+		}
+		if info.ID != reqs[i].ID || info.Name != reqs[i].Name {
+			t.Fatalf("chain %d bound to %q, want %q", i, info.Name, reqs[i].Name)
+		}
+	}
+	// Sizes equal the sequential path's (fixed-size signatures), so virtual
+	// airtime is identical regardless of worker count.
+	seq, err := sub.IssueCertChain(IDFromName("z"), "z", RoleObject, reqs[0].Pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, chain := range chains {
+		if len(chain) != len(seq) {
+			t.Fatalf("chain %d is %d bytes, sequential is %d", i, len(chain), len(seq))
+		}
+	}
+}
+
+func statsOf(c *VerifyCache) (hits, misses int64, entries int) { return c.Stats() }

@@ -20,6 +20,23 @@
 // Engines run real cryptography (internal/suite) and inject *modeled*
 // computation time into the simulator's virtual clock through a Costs table,
 // reproducing the phone/Pi asymmetry of the paper's testbed.
+//
+// # Concurrency contract
+//
+// An engine is single-writer: all message handling, session mutation and
+// timer callbacks happen on the goroutine driving netsim.Network.Run — the
+// event loop. Engine methods that mutate protocol state (Discover,
+// HandleMessage, Refresh, Revoke, NextGroup, the deprecated setters) must be
+// called from that goroutine only; none of them take locks.
+//
+// Exactly three read paths are safe from other goroutines while the loop
+// runs, because telemetry consumers (the obs HTTP handler, progress
+// reporters) poll them live: Results and PendingSessions on both engine
+// kinds, and the obs registry itself. Results copies under an internal
+// mutex; PendingSessions reads an atomic mirror of the session-table size
+// that the event loop republishes after every mutation. Everything else is
+// loop-private and intentionally unsynchronized — the -race test
+// TestConcurrentResultsReaders enforces exactly this boundary.
 package core
 
 import (

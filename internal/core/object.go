@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bytes"
+	"sync/atomic"
 	"time"
 
 	"argus/internal/backend"
@@ -25,6 +27,11 @@ type Object struct {
 	revoked  map[cert.ID]bool
 	retry    RetryPolicy // zero value: one-shot seed behavior (see RetryPolicy)
 	tel      *objectTelemetry
+
+	// pendingN mirrors len(sessions) for cross-goroutine reads (core.go
+	// contract); vcache memoizes credential verifications (WithVerifyCache).
+	pendingN atomic.Int64
+	vcache   *cert.VerifyCache
 }
 
 // Resource bounds. DoS resistance is a non-goal of the paper (§III), but an
@@ -53,9 +60,10 @@ type objSession struct {
 	res2Enc  []byte // cached RES2 (nil while pending, and for silent answers)
 }
 
-// NewObject creates an engine from a backend provision. version selects the
-// protocol iteration (v3.0 for the full system).
-func NewObject(prov *backend.ObjectProvision, version wire.Version, costs Costs) *Object {
+// NewObject creates an engine from a backend provision, applying any
+// construction options (see Option). version selects the protocol iteration
+// (v3.0 for the full system).
+func NewObject(prov *backend.ObjectProvision, version wire.Version, costs Costs, opts ...Option) *Object {
 	o := &Object{
 		prov:     prov,
 		version:  version,
@@ -67,23 +75,45 @@ func NewObject(prov *backend.ObjectProvision, version wire.Version, costs Costs)
 	for _, id := range prov.Revoked {
 		o.revoked[id] = true
 	}
+	eo := applyOptions(opts)
+	if eo.hasNode {
+		o.node = eo.node
+	}
+	if eo.hasRetry {
+		o.retry = eo.retry
+	}
+	if eo.hasTel {
+		o.Instrument(eo.reg)
+	}
+	o.vcache = eo.vcache
 	return o
 }
 
 // Attach records the object's own ground-network address. Call after
 // netsim.AddNode.
+//
+// Deprecated: pass WithNode to NewObject.
 func (o *Object) Attach(node netsim.NodeID) { o.node = node }
 
 // SetRetry installs the retransmission policy (see Subject.SetRetry). On the
 // object side an active policy enables answer caching for duplicate queries
 // and TTL-based session expiry.
+//
+// Deprecated: pass WithRetry to NewObject.
 func (o *Object) SetRetry(p RetryPolicy) { o.retry = p }
 
 // PendingSessions returns the number of sessions held (pending + answered).
-func (o *Object) PendingSessions() int { return len(o.sessions) }
+// Safe to call from any goroutine (it reads a mirror the event loop
+// maintains).
+func (o *Object) PendingSessions() int { return int(o.pendingN.Load()) }
+
+// syncPending republishes len(sessions) after a mutation; event-loop only.
+func (o *Object) syncPending() { o.pendingN.Store(int64(len(o.sessions))) }
 
 // Instrument attaches a metrics registry (nil detaches). Like the subject's,
 // object telemetry is purely observational and preserves fixed-seed runs.
+//
+// Deprecated: pass WithTelemetry to NewObject.
 func (o *Object) Instrument(reg *obs.Registry) {
 	if reg == nil {
 		o.tel = nil
@@ -103,18 +133,29 @@ func (o *Object) Name() string { return o.prov.Name }
 func (o *Object) Level() Level { return o.prov.Level }
 
 // Refresh applies a re-provision (after backend churn: policy changes, group
-// re-keying, revocation notifications).
+// re-keying, revocation notifications). Cache hygiene: a changed trust anchor
+// flushes the verification cache wholesale, and every subject revoked in the
+// new provision is individually invalidated, so a blacklisted peer's warm
+// credentials can never satisfy the next handshake.
 func (o *Object) Refresh(prov *backend.ObjectProvision) {
+	if !bytes.Equal(o.prov.CACert, prov.CACert) {
+		o.vcache.Flush()
+	}
 	o.prov = prov
 	o.revoked = make(map[cert.ID]bool, len(prov.Revoked))
 	for _, id := range prov.Revoked {
 		o.revoked[id] = true
+		o.vcache.InvalidateEntity(id)
 	}
 }
 
 // Revoke adds a subject to the object's local blacklist (a backend
-// notification arriving on the ground, §VIII).
-func (o *Object) Revoke(subject cert.ID) { o.revoked[subject] = true }
+// notification arriving on the ground, §VIII) and drops the subject's cached
+// credential verifications.
+func (o *Object) Revoke(subject cert.ID) {
+	o.revoked[subject] = true
+	o.vcache.InvalidateEntity(subject)
+}
 
 // HandleMessage implements netsim.Handler.
 func (o *Object) HandleMessage(net *netsim.Network, from netsim.NodeID, payload []byte) {
@@ -177,6 +218,7 @@ func (o *Object) handleQUE1(net *netsim.Network, from netsim.NodeID, m *wire.QUE
 			// public path has no QUE2 to drive retransmission otherwise).
 			sess := &objSession{subjNode: from, public: true, res1Enc: enc}
 			o.sessions[key] = sess
+			o.syncPending()
 			o.scheduleExpiry(net, key, sess)
 		}
 		net.Send(o.node, from, enc)
@@ -212,6 +254,7 @@ func (o *Object) handleQUE1(net *netsim.Network, from netsim.NodeID, m *wire.QUE
 		que1Enc:  append([]byte(nil), raw...),
 	}
 	o.sessions[key] = sess
+	o.syncPending()
 	if o.retry.Enabled() {
 		o.scheduleExpiry(net, key, sess)
 	}
@@ -250,11 +293,12 @@ func (o *Object) handleQUE2(net *netsim.Network, from netsim.NodeID, m *wire.QUE
 		// may have been corrupted in flight — a clean retransmission must
 		// still be able to complete) and is marked answered on success.
 		delete(o.sessions, key)
+		o.syncPending()
 	}
 
 	// Authenticate the subject: CERT chains to the admin, signature covers
 	// the whole transcript, and the freshness of R_O defeats replay.
-	info, err := cert.VerifyCert(o.prov.CACert, m.CertS, o.prov.Strength)
+	info, err := o.vcache.VerifyCert(o.prov.CACert, m.CertS, o.prov.Strength)
 	if err != nil || info.Role != cert.RoleSubject {
 		o.tel.que2Result(resultRejected)
 		return
@@ -273,7 +317,7 @@ func (o *Object) handleQUE2(net *netsim.Network, from netsim.NodeID, m *wire.QUE
 		o.tel.que2Result(resultRejected)
 		return
 	}
-	if err := prof.VerifyAnchored(o.prov.CACert, o.prov.AdminPub, time.Now()); err != nil {
+	if err := o.vcache.VerifyProfileAnchored(prof, m.ProfS, o.prov.CACert, o.prov.AdminPub, time.Now()); err != nil {
 		o.tel.que2Result(resultRejected)
 		return // PROF must be admin-signed: attributes cannot be self-claimed
 	}
@@ -385,6 +429,7 @@ func (o *Object) scheduleExpiry(net *netsim.Network, key sessionKey, sess *objSe
 	net.After(o.retry.ttl(), func() {
 		if cur, ok := o.sessions[key]; ok && cur == sess {
 			delete(o.sessions, key)
+			o.syncPending()
 			o.tel.sessionExpired()
 		}
 	})

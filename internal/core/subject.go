@@ -1,6 +1,9 @@
 package core
 
 import (
+	"bytes"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"argus/internal/backend"
@@ -30,7 +33,17 @@ type Subject struct {
 	que1At      time.Duration // virtual time of the current round's broadcast
 
 	sessions map[sessionKey]*subjSession
+
+	// results is the one piece of engine state external goroutines read while
+	// the event loop runs (see the concurrency contract in core.go), so it is
+	// mutex-guarded; pendingN mirrors len(sessions) for the same reason.
+	resMu    sync.Mutex
 	results  []Discovery
+	pendingN atomic.Int64
+
+	// vcache, when non-nil, memoizes CERT/PROF credential verifications (see
+	// WithVerifyCache). All call sites go through it; a nil cache verifies.
+	vcache *cert.VerifyCache
 
 	// retry drives retransmission and session expiry under lossy networks;
 	// the zero value keeps the one-shot seed behavior (see RetryPolicy).
@@ -60,33 +73,56 @@ type subjSession struct {
 	stamps  phaseStamps
 }
 
-// NewSubject creates an engine from a backend provision.
-func NewSubject(prov *backend.SubjectProvision, version wire.Version, costs Costs) *Subject {
-	return &Subject{
+// NewSubject creates an engine from a backend provision, applying any
+// construction options (see Option).
+func NewSubject(prov *backend.SubjectProvision, version wire.Version, costs Costs, opts ...Option) *Subject {
+	s := &Subject{
 		prov:       prov,
 		version:    version,
 		costs:      costs,
 		sessions:   make(map[sessionKey]*subjSession),
 		l1Recorded: make(map[netsim.NodeID]bool),
 	}
+	eo := applyOptions(opts)
+	if eo.hasNode {
+		s.node = eo.node
+	}
+	if eo.hasRetry {
+		s.retry = eo.retry
+	}
+	if eo.hasTel {
+		s.Instrument(eo.reg, eo.tracer)
+	}
+	s.vcache = eo.vcache
+	return s
 }
 
 // Attach records the subject's ground-network address.
+//
+// Deprecated: pass WithNode to NewSubject.
 func (s *Subject) Attach(node netsim.NodeID) { s.node = node }
 
 // SetRetry installs the retransmission policy. The zero policy (the default)
 // disables retransmission, duplicate-response resends and TTL-based session
 // expiry, reproducing the pre-retry one-shot protocol exactly.
+//
+// Deprecated: pass WithRetry to NewSubject.
 func (s *Subject) SetRetry(p RetryPolicy) { s.retry = p }
 
 // PendingSessions returns the number of in-progress phase-2 handshakes —
-// the leak the chaos tests assert returns to zero after SessionTTL.
-func (s *Subject) PendingSessions() int { return len(s.sessions) }
+// the leak the chaos tests assert returns to zero after SessionTTL. Safe to
+// call from any goroutine (it reads a mirror the event loop maintains).
+func (s *Subject) PendingSessions() int { return int(s.pendingN.Load()) }
+
+// syncPending republishes len(sessions) after a mutation; event-loop only.
+func (s *Subject) syncPending() { s.pendingN.Store(int64(len(s.sessions))) }
 
 // Instrument attaches a metrics registry and an optional span tracer.
 // Telemetry is purely observational — it consumes no randomness and
 // schedules no events, so instrumented and uninstrumented runs of the same
 // seed are identical. Passing nils detaches.
+//
+// Deprecated: pass WithTelemetry to NewSubject.
 func (s *Subject) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 	if reg == nil && tr == nil {
 		s.tel = nil
@@ -98,16 +134,26 @@ func (s *Subject) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 // ID returns the subject's registered identity.
 func (s *Subject) ID() cert.ID { return s.prov.ID }
 
-// Refresh applies a re-provision (new PROF, rotated group keys).
+// Refresh applies a re-provision (new PROF, rotated group keys). A changed
+// trust anchor (backend re-keying) flushes the verification cache: results
+// proven against the old anchor say nothing about the new one.
 func (s *Subject) Refresh(prov *backend.SubjectProvision) {
+	if !bytes.Equal(s.prov.CACert, prov.CACert) {
+		s.vcache.Flush()
+	}
 	s.prov = prov
 	if s.activeGroup >= len(prov.Memberships) {
 		s.activeGroup = 0
 	}
 }
 
-// Results returns all verified discoveries so far.
-func (s *Subject) Results() []Discovery { return append([]Discovery(nil), s.results...) }
+// Results returns all verified discoveries so far. Safe to call from any
+// goroutine while the simulation runs (see the contract in core.go).
+func (s *Subject) Results() []Discovery {
+	s.resMu.Lock()
+	defer s.resMu.Unlock()
+	return append([]Discovery(nil), s.results...)
+}
 
 // GroupCount returns how many group keys (incl. cover-up) the device holds.
 func (s *Subject) GroupCount() int { return len(s.prov.Memberships) }
@@ -142,6 +188,7 @@ func (s *Subject) Discover(net *netsim.Network, ttl int) error {
 			delete(s.sessions, k)
 		}
 	}
+	s.syncPending()
 	s.rs = rs
 	s.que1At = net.Now()
 	s.lastTTL = ttl
@@ -221,7 +268,7 @@ func (s *Subject) handlePublicRES1(net *netsim.Network, from netsim.NodeID, m *w
 	if err != nil || prof.Kind != cert.RoleObject {
 		return
 	}
-	if err := prof.VerifyAnchored(s.prov.CACert, s.prov.AdminPub, time.Now()); err != nil {
+	if err := s.vcache.VerifyProfileAnchored(prof, m.Prof, s.prov.CACert, s.prov.AdminPub, time.Now()); err != nil {
 		return
 	}
 	if s.l1Recorded[from] {
@@ -261,7 +308,7 @@ func (s *Subject) handleSecureRES1(net *netsim.Network, from netsim.NodeID, m *w
 		}
 		return
 	}
-	info, err := cert.VerifyCert(s.prov.CACert, m.CertO, s.prov.Strength)
+	info, err := s.vcache.VerifyCert(s.prov.CACert, m.CertO, s.prov.Strength)
 	if err != nil || info.Role != cert.RoleObject {
 		return
 	}
@@ -316,6 +363,7 @@ func (s *Subject) handleSecureRES1(net *netsim.Network, from netsim.NodeID, m *w
 	sess.que2 = q
 	key := mkSessionKey(from, s.rs)
 	s.sessions[key] = sess
+	s.syncPending()
 	if s.retry.Enabled() {
 		s.scheduleExpiry(net, key, sess)
 	}
@@ -370,6 +418,7 @@ func (s *Subject) scheduleExpiry(net *netsim.Network, key sessionKey, sess *subj
 	net.After(s.retry.ttl(), func() {
 		if cur, ok := s.sessions[key]; ok && cur == sess {
 			delete(s.sessions, key)
+			s.syncPending()
 			s.tel.sessionExpired()
 		}
 	})
@@ -393,6 +442,7 @@ func (s *Subject) handleRES2(net *netsim.Network, from netsim.NodeID, m *wire.RE
 	}
 	if !s.retry.Enabled() {
 		delete(s.sessions, key)
+		s.syncPending()
 	}
 	sess.stamps.res2At = net.Now()
 
@@ -417,6 +467,7 @@ func (s *Subject) handleRES2(net *netsim.Network, from netsim.NodeID, m *wire.RE
 	// An authenticated RES2 completes the session; a later duplicate finds
 	// no session and is dropped, making delivery effectively exactly-once.
 	delete(s.sessions, key)
+	s.syncPending()
 
 	plain, err := suite.DecryptProfile(sk, m.Ciphertext)
 	if err != nil {
@@ -426,7 +477,7 @@ func (s *Subject) handleRES2(net *netsim.Network, from netsim.NodeID, m *wire.RE
 	if err != nil || prof.Kind != cert.RoleObject {
 		return
 	}
-	if err := prof.VerifyAnchored(s.prov.CACert, s.prov.AdminPub, time.Now()); err != nil {
+	if err := s.vcache.VerifyProfileAnchored(prof, plain, s.prov.CACert, s.prov.AdminPub, time.Now()); err != nil {
 		return // service information is admin-signed end to end
 	}
 
@@ -451,7 +502,9 @@ func (s *Subject) handleRES2(net *netsim.Network, from netsim.NodeID, m *wire.RE
 }
 
 func (s *Subject) record(d Discovery) {
+	s.resMu.Lock()
 	s.results = append(s.results, d)
+	s.resMu.Unlock()
 	if s.OnDiscovery != nil {
 		s.OnDiscovery(d)
 	}

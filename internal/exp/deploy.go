@@ -5,6 +5,7 @@ import (
 
 	"argus/internal/attr"
 	"argus/internal/backend"
+	"argus/internal/cert"
 	"argus/internal/core"
 	"argus/internal/netsim"
 	"argus/internal/obs"
@@ -60,6 +61,17 @@ type DeployConfig struct {
 	// Retry, when enabled, is installed on the subject and every object so
 	// the protocol survives Faults (see core.RetryPolicy).
 	Retry core.RetryPolicy
+	// Workers bounds the worker pool used for registration and provisioning
+	// crypto (key generation, certificate and profile signing). <= 1 runs
+	// fully sequentially. Parallelism changes wall-clock time only: the
+	// provisioned deployment, and therefore any fixed-seed simulation run on
+	// it, is identical for every worker count (see backend batch docs).
+	Workers int
+	// VerifyCache, when set, is shared by the subject and every object so
+	// repeat handshakes skip credential re-verification (core.WithVerifyCache).
+	// Like Workers it affects real CPU time only, never virtual-time results.
+	// Instrumented under Registry when both are set.
+	VerifyCache *cert.VerifyCache
 }
 
 // Deploy builds and provisions the testbed. Every object carries a Level 2
@@ -107,17 +119,25 @@ func Deploy(cfg DeployConfig) (*Deployment, error) {
 		d.Net.SetFaults(cfg.Faults)
 	}
 
+	if cfg.VerifyCache != nil && cfg.Registry != nil {
+		cfg.VerifyCache.Instrument(cfg.Registry)
+	}
+	engineOpts := func() []core.Option {
+		opts := []core.Option{core.WithVerifyCache(cfg.VerifyCache)}
+		if cfg.Registry != nil || cfg.Tracer != nil {
+			opts = append(opts, core.WithTelemetry(cfg.Registry, cfg.Tracer))
+		}
+		if cfg.Retry.Enabled() {
+			opts = append(opts, core.WithRetry(cfg.Retry))
+		}
+		return opts
+	}
+
 	sprov, err := b.ProvisionSubject(sid)
 	if err != nil {
 		return nil, err
 	}
-	d.Subject = core.NewSubject(sprov, cfg.Version, cfg.SubjectCosts)
-	if cfg.Registry != nil || cfg.Tracer != nil {
-		d.Subject.Instrument(cfg.Registry, cfg.Tracer)
-	}
-	if cfg.Retry.Enabled() {
-		d.Subject.SetRetry(cfg.Retry)
-	}
+	d.Subject = core.NewSubject(sprov, cfg.Version, cfg.SubjectCosts, engineOpts()...)
 	d.SubjNode = d.Net.AddNode(d.Subject)
 	d.Subject.Attach(d.SubjNode)
 
@@ -136,29 +156,37 @@ func Deploy(cfg DeployConfig) (*Deployment, error) {
 		prev = r
 	}
 
+	// Object bootstrapping in three phases: batch registration (keygen and
+	// certificate signing fan out across cfg.Workers), serial covert-service
+	// wiring (mutates shared group state), batch provisioning (profile
+	// signing fans out). Attachment stays serial so node IDs are assigned in
+	// index order — the same ground network the sequential path builds.
+	specs := make([]backend.ObjectSpec, len(cfg.Levels))
 	for i, level := range cfg.Levels {
-		name := fmt.Sprintf("object-%02d", i)
-		oid, _, err := b.RegisterObject(name, level,
-			attr.MustSet("type=device,room=R1"), []string{"use"})
-		if err != nil {
-			return nil, err
+		specs[i] = backend.ObjectSpec{
+			Name:      fmt.Sprintf("object-%02d", i),
+			Level:     level,
+			Attrs:     attr.MustSet("type=device,room=R1"),
+			Functions: []string{"use"},
 		}
+	}
+	oids, err := b.RegisterObjects(specs, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	for i, level := range cfg.Levels {
 		if level == backend.L3 {
-			if err := b.AddCovertService(oid, grp.ID(), []string{"use", "covert-use"}); err != nil {
+			if err := b.AddCovertService(oids[i], grp.ID(), []string{"use", "covert-use"}); err != nil {
 				return nil, err
 			}
 		}
-		prov, err := b.ProvisionObject(oid)
-		if err != nil {
-			return nil, err
-		}
-		o := core.NewObject(prov, cfg.Version, cfg.ObjectCosts)
-		if cfg.Registry != nil {
-			o.Instrument(cfg.Registry)
-		}
-		if cfg.Retry.Enabled() {
-			o.SetRetry(cfg.Retry)
-		}
+	}
+	provs, err := b.ProvisionObjects(oids, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	for i, prov := range provs {
+		o := core.NewObject(prov, cfg.Version, cfg.ObjectCosts, engineOpts()...)
 		node := d.Net.AddNode(o)
 		o.Attach(node)
 

@@ -15,6 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"ablation-crowd", "ablation-groups", "ablation-radio", "ablation-rsa",
 		"ablation-strength", "ablation-versions", "comparison",
+		"fastpath-handshake", "fastpath-provision",
 		"fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig6f", "fig6g", "fig6h",
 		"msgsize", "propagation", "table1",
 	}

@@ -1,0 +1,57 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"argus/internal/core"
+	"argus/internal/netsim"
+)
+
+// Fingerprint digests everything a simulation run computes — each
+// discovery's node, level, group, virtual completion time and round, plus
+// the network's aggregate and per-link statistics — into a deterministic
+// string. Entity IDs and key material are excluded: they are freshly random
+// per deployment by design. Two fixed-seed runs are behaviorally identical
+// iff their fingerprints are byte-identical; the fast-path acceptance tests
+// use this to prove the verification cache and parallel provisioning change
+// wall-clock time only.
+func Fingerprint(res []core.Discovery, stats netsim.Stats, links map[netsim.LinkKey]netsim.LinkStat) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "discoveries=%d\n", len(res))
+	for i, r := range res {
+		fmt.Fprintf(&b, "d%03d node=%d level=%d group=%d at=%d round=%d\n",
+			i, r.Node, r.Level, r.Group, int64(r.At), r.Round)
+	}
+	fmt.Fprintf(&b, "stats=%+v\n", stats)
+	keys := make([]netsim.LinkKey, 0, len(links))
+	for k := range links {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].From != keys[j].From {
+			return keys[i].From < keys[j].From
+		}
+		return keys[i].To < keys[j].To
+	})
+	for _, k := range keys {
+		fmt.Fprintf(&b, "link %d->%d %+v\n", k.From, k.To, links[k])
+	}
+	return b.String()
+}
+
+// RunFingerprint deploys cfg, performs rounds discovery rounds at TTL 1 and
+// returns the run's Fingerprint.
+func RunFingerprint(cfg DeployConfig, rounds int) (string, error) {
+	d, err := Deploy(cfg)
+	if err != nil {
+		return "", err
+	}
+	for i := 0; i < rounds; i++ {
+		if _, err := d.Run(1); err != nil {
+			return "", err
+		}
+	}
+	return Fingerprint(d.Subject.Results(), d.Net.Stats(), d.Net.LinkStats()), nil
+}

@@ -46,6 +46,9 @@ const (
 	MSessionsExpired = "argus_sessions_expired_total" // role
 	MMalformedDrops  = "argus_malformed_drops_total"  // role
 
+	// internal/cert — credential verification cache (handshake fast path).
+	MVerifyCacheEvents = "argus_verify_cache_events_total" // kind, result
+
 	// internal/backend.
 	MBackendChurnOps = "argus_backend_churn_ops_total" // op
 	MBackendNotified = "argus_backend_notified_total"  // kind
