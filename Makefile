@@ -10,8 +10,9 @@ FUZZTIME ?= 15s
 #                                    # diff the BENCH_*.json files, which carry
 #                                    # the same per-experiment wall times
 #
-# `make bench-json` regenerates BENCH_3.json from the fastpath experiments —
-# commit it alongside any change that moves handshake or provisioning cost.
+# `make bench-json` regenerates BENCH_4.json from the fastpath and
+# mesh-throughput experiments — commit it alongside any change that moves
+# handshake, provisioning, or concurrent-discovery cost.
 
 .PHONY: build test race vet verify fuzz chaos bench bench-obs bench-json clean
 
@@ -26,7 +27,7 @@ test:
 # batch issuance fan out across worker pools, backend provisioning does the
 # same, and core's Results/PendingSessions are read cross-goroutine.
 race:
-	$(GO) test -race ./internal/obs ./internal/core ./internal/netsim ./internal/cert ./internal/backend
+	$(GO) test -race ./internal/obs ./internal/core ./internal/netsim ./internal/cert ./internal/backend ./internal/transport
 
 vet:
 	$(GO) vet ./...
@@ -54,10 +55,10 @@ bench:
 bench-obs:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/obs
 
-# Handshake fast-path trajectory: warm-cache micro-benchmark plus serial vs
-# parallel provisioning, emitted machine-readable (see EXPERIMENTS.md).
+# Machine-readable benchmark trajectory: handshake fast path, provisioning,
+# and wall-clock Mesh discovery throughput (see EXPERIMENTS.md).
 bench-json:
-	$(GO) run ./cmd/argus-bench -exp fastpath-handshake,fastpath-provision -json > BENCH_3.json
+	$(GO) run ./cmd/argus-bench -exp fastpath-handshake,fastpath-provision,mesh-throughput -json > BENCH_4.json
 
 clean:
 	$(GO) clean ./...

@@ -21,14 +21,20 @@
 //	subject, node, _ := argus.AttachSubject(b, net, alice, argus.V30, argus.Costs{})
 //	_, pnode, _ := argus.AttachObject(b, net, printer, argus.V30, argus.Costs{})
 //	net.Link(node, pnode)
-//	subject.Discover(net, 1)
+//	subject.Discover(1)
 //	net.Run(0)
 //	for _, d := range subject.Results() { fmt.Println(d.Level, d.Profile.Functions) }
 //
+// Engines are transport-agnostic: they speak the transport.Endpoint seam
+// (re-exported here as Endpoint/Addr), so the same Subject and Object run
+// unchanged over the deterministic simulator above, the concurrent in-memory
+// Mesh (NewMesh), a real UDP socket (ListenUDP), or any custom transport.
+//
 // The facade re-exports the stable surface of the internal packages; see
 // internal/core for the protocol engines, internal/backend for policy and
-// provisioning, internal/netsim for the ground-network simulator, and
-// internal/exp for the paper's experiment harness.
+// provisioning, internal/netsim for the ground-network simulator,
+// internal/transport for the concurrent transports, and internal/exp for the
+// paper's experiment harness.
 package argus
 
 import (
@@ -39,6 +45,7 @@ import (
 	"argus/internal/netsim"
 	"argus/internal/obs"
 	"argus/internal/suite"
+	"argus/internal/transport"
 	"argus/internal/wire"
 )
 
@@ -87,6 +94,19 @@ type (
 	NodeID = netsim.NodeID
 	// LinkModel parameterizes radio transmissions.
 	LinkModel = netsim.LinkModel
+	// Addr is a transport-neutral node address (Discovery.Node). Under the
+	// simulator it is the node ID in decimal; under UDP it is host:port.
+	Addr = transport.Addr
+	// Endpoint is the transport seam the engines speak; bind engines to one
+	// with WithEndpoint or engine.Bind.
+	Endpoint = transport.Endpoint
+	// Mesh is the concurrent in-memory transport (one actor goroutine per
+	// endpoint, bounded mailboxes).
+	Mesh = transport.Mesh
+	// UDPConfig configures a real UDP endpoint for ListenUDP.
+	UDPConfig = transport.UDPConfig
+	// UDPEndpoint runs the Endpoint contract over one UDP socket.
+	UDPEndpoint = transport.UDPEndpoint
 	// ID identifies a registered subject or object.
 	ID = cert.ID
 	// Attrs is a set of (non-sensitive) attributes.
@@ -162,6 +182,24 @@ func WithTelemetry(reg *Registry, tr *Tracer) Option { return core.WithTelemetry
 // WithVerifyCache shares a credential-verification cache with the engine.
 func WithVerifyCache(c *VerifyCache) Option { return core.WithVerifyCache(c) }
 
+// WithEndpoint binds the engine to a transport endpoint at construction.
+// AttachSubject/AttachObject apply it automatically for simulator nodes; use
+// it directly with NewMesh or ListenUDP endpoints.
+func WithEndpoint(ep Endpoint) Option { return core.WithEndpoint(ep) }
+
+// NewMesh creates a concurrent in-memory transport: Join() returns endpoints
+// that deliver to each other through per-endpoint actor mailboxes, suitable
+// for running many engines across real goroutines in one process.
+func NewMesh(opts ...transport.MeshOption) *Mesh { return transport.NewMesh(opts...) }
+
+// ListenUDP binds a real UDP socket as a transport endpoint; Broadcast is
+// emulated as one datagram per configured peer.
+func ListenUDP(cfg UDPConfig) (*UDPEndpoint, error) { return transport.ListenUDP(cfg) }
+
+// NodeAddr converts a simulator node ID to its transport address — the form
+// Discovery.Node takes under the simulator.
+func NodeAddr(id NodeID) Addr { return netsim.AddrOf(id) }
+
 // AttachSubject provisions a registered subject from the backend, creates its
 // discovery engine and places it on the network. Returns the engine and its
 // node address (link it to nearby objects). Options configure retry,
@@ -171,10 +209,9 @@ func AttachSubject(b *Backend, net *Network, id ID, v Version, costs Costs, opts
 	if err != nil {
 		return nil, 0, err
 	}
-	s := core.NewSubject(prov, v, costs, opts...)
-	node := net.AddNode(s)
-	s.Attach(node)
-	return s, node, nil
+	ep := net.NewEndpoint()
+	s := core.NewSubject(prov, v, costs, append(opts, core.WithEndpoint(ep))...)
+	return s, ep.Node(), nil
 }
 
 // AttachObject provisions a registered object and places its engine on the
@@ -184,10 +221,9 @@ func AttachObject(b *Backend, net *Network, id ID, v Version, costs Costs, opts 
 	if err != nil {
 		return nil, 0, err
 	}
-	o := core.NewObject(prov, v, costs, opts...)
-	node := net.AddNode(o)
-	o.Attach(node)
-	return o, node, nil
+	ep := net.NewEndpoint()
+	o := core.NewObject(prov, v, costs, append(opts, core.WithEndpoint(ep))...)
+	return o, ep.Node(), nil
 }
 
 // RefreshSubject re-provisions a live subject engine after backend churn

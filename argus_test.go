@@ -38,7 +38,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 	net.Link(node, pnode)
 
-	if err := subject.Discover(net, 1); err != nil {
+	if err := subject.Discover(1); err != nil {
 		t.Fatal(err)
 	}
 	net.Run(0)
@@ -59,7 +59,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	before := len(subject.Results())
-	subject.Discover(net, 1)
+	subject.Discover(1)
 	net.Run(0)
 	if got := len(subject.Results()) - before; got != 0 {
 		t.Fatalf("revoked subject discovered %d services", got)
@@ -156,7 +156,7 @@ func TestFacadeOptions(t *testing.T) {
 	net.Link(node, pnode)
 
 	for round := 0; round < 2; round++ {
-		if err := subject.Discover(net, 1); err != nil {
+		if err := subject.Discover(1); err != nil {
 			t.Fatal(err)
 		}
 		net.Run(0)

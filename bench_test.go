@@ -520,10 +520,9 @@ func BenchmarkDiscoverAllMultiGroup(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			s := core.NewSubject(prov, wire.V30, core.Costs{})
-			sn = nt.AddNode(s)
-			s.Attach(sn)
-			return s
+			sep := nt.NewEndpoint()
+			sn = sep.Node()
+			return core.NewSubject(prov, wire.V30, core.Costs{}, core.WithEndpoint(sep))
 		}
 		for g := 0; g < 3; g++ {
 			grp, _ := bk.Groups.CreateGroup(fmt.Sprintf("g%d", g))
@@ -538,13 +537,12 @@ func BenchmarkDiscoverAllMultiGroup(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			o := core.NewObject(prov, wire.V30, core.Costs{})
-			on := nt.AddNode(o)
-			o.Attach(on)
-			nt.Link(sn, on)
+			oep := nt.NewEndpoint()
+			core.NewObject(prov, wire.V30, core.Costs{}, core.WithEndpoint(oep))
+			nt.Link(sn, oep.Node())
 		}
 		b.StartTimer()
-		if err := subj.DiscoverAll(nt, 1); err != nil {
+		if err := subj.DiscoverAll(1, func() { nt.Run(0) }); err != nil {
 			b.Fatal(err)
 		}
 		covert := 0

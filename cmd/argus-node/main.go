@@ -1,0 +1,285 @@
+// Command argus-node runs one Argus entity — a subject or one or more
+// objects — as a real OS process speaking the discovery protocol over UDP.
+// It is the transport abstraction's proof of life: the same engines that
+// replay deterministically inside the simulator complete L1/L2/L3 discovery
+// between processes on a real network.
+//
+// Enterprise state travels as a backend snapshot file (internal/backend
+// persistence): -init provisions a small demo enterprise and writes the
+// snapshot; node processes restore it to obtain their credentials, so every
+// process chains to the same trust anchor without a live backend server.
+//
+// Usage:
+//
+//	argus-node -init -snapshot enterprise.snap
+//	argus-node -role object -names thermometer,printer,kiosk \
+//	    -snapshot enterprise.snap -listen 127.0.0.1:0
+//	argus-node -role subject -name alice -snapshot enterprise.snap \
+//	    -listen 127.0.0.1:0 -peers 127.0.0.1:7101,127.0.0.1:7102 \
+//	    -ttl 1 -expect thermometer=L1,printer=L2,kiosk=L3 -timeout 30s
+//
+// The object daemon prints one "listening name=<name> addr=<host:port>" line
+// per engine and serves until killed (or -duration elapses). The subject runs
+// discovery rounds until every -expect entry is met (exit 0) or -timeout
+// passes (exit 1), printing one "discovered name=... level=..." line per
+// verified service.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"argus/internal/attr"
+	"argus/internal/backend"
+	"argus/internal/cert"
+	"argus/internal/core"
+	"argus/internal/suite"
+	"argus/internal/transport"
+	"argus/internal/wire"
+)
+
+func main() {
+	var (
+		doInit   = flag.Bool("init", false, "create the demo enterprise and write -snapshot")
+		snapshot = flag.String("snapshot", "enterprise.snap", "backend snapshot file")
+		role     = flag.String("role", "", "subject | object")
+		name     = flag.String("name", "alice", "subject entity name")
+		names    = flag.String("names", "", "comma-separated object entity names")
+		listen   = flag.String("listen", "127.0.0.1:0", "UDP listen address (\":0\" picks a port)")
+		peers    = flag.String("peers", "", "comma-separated peer addresses (the subject's radio range)")
+		ttl      = flag.Int("ttl", 1, "discovery broadcast TTL")
+		expect   = flag.String("expect", "", "name=level pairs the subject must discover, e.g. printer=L2,kiosk=L3")
+		timeout  = flag.Duration("timeout", 30*time.Second, "subject: give up after this long")
+		duration = flag.Duration("duration", 0, "object: serve for this long then exit (0 = forever)")
+	)
+	flag.Parse()
+
+	var err error
+	switch {
+	case *doInit:
+		err = initEnterprise(*snapshot)
+	case *role == "object":
+		err = runObjects(*snapshot, *names, *listen, *duration)
+	case *role == "subject":
+		err = runSubject(*snapshot, *name, *listen, *peers, *ttl, *expect, *timeout)
+	default:
+		err = fmt.Errorf("need -init or -role subject|object (got %q)", *role)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "argus-node: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// initEnterprise provisions the demo deployment the quickstart and the e2e
+// test speak to: one staff subject, one object per visibility level, and a
+// secret group making the subject a fellow of the kiosk's covert service.
+func initEnterprise(path string) error {
+	b, err := backend.New(suite.S128)
+	if err != nil {
+		return err
+	}
+	if _, _, err := b.AddPolicy(attr.MustParse("position=='staff'"),
+		attr.MustParse("type=='printer'"), []string{"print"}); err != nil {
+		return err
+	}
+	sid, _, err := b.RegisterSubject("alice", attr.MustSet("position=staff"))
+	if err != nil {
+		return err
+	}
+	if _, _, err := b.RegisterObject("thermometer", backend.L1,
+		attr.MustSet("type=thermometer"), []string{"read-temperature"}); err != nil {
+		return err
+	}
+	if _, _, err := b.RegisterObject("printer", backend.L2,
+		attr.MustSet("type=printer"), []string{"print"}); err != nil {
+		return err
+	}
+	kid, _, err := b.RegisterObject("kiosk", backend.L3,
+		attr.MustSet("type=kiosk"), []string{"use"})
+	if err != nil {
+		return err
+	}
+	g, err := b.Groups.CreateGroup("fellows")
+	if err != nil {
+		return err
+	}
+	if err := b.AddCovertService(kid, g.ID(), []string{"use", "covert-bulletin"}); err != nil {
+		return err
+	}
+	if err := b.AddSubjectToGroup(sid, g.ID()); err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, b.Snapshot(), 0o600); err != nil {
+		return err
+	}
+	fmt.Printf("snapshot %s: subject alice; objects thermometer (L1), printer (L2), kiosk (L3, covert group %q)\n",
+		path, "fellows")
+	return nil
+}
+
+func restore(path string) (*backend.Backend, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return backend.Restore(blob)
+}
+
+// runObjects hosts one engine per name, each on its own UDP socket (one
+// socket = one node identity), and serves until killed.
+func runObjects(snapshot, names, listen string, duration time.Duration) error {
+	if names == "" {
+		return fmt.Errorf("-role object needs -names")
+	}
+	b, err := restore(snapshot)
+	if err != nil {
+		return err
+	}
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		prov, err := b.ProvisionObject(cert.IDFromName(n))
+		if err != nil {
+			return fmt.Errorf("provision %q: %w", n, err)
+		}
+		ep, err := transport.ListenUDP(transport.UDPConfig{Listen: listen})
+		if err != nil {
+			return err
+		}
+		defer ep.Close()
+		core.NewObject(prov, wire.V30, core.Costs{},
+			core.WithEndpoint(ep), core.WithRetry(core.DefaultRetry()))
+		fmt.Printf("listening name=%s addr=%s\n", n, ep.Addr())
+	}
+	if duration > 0 {
+		time.Sleep(duration)
+		return nil
+	}
+	select {} // serve until killed
+}
+
+// runSubject discovers over UDP until the -expect set is satisfied.
+func runSubject(snapshot, name, listen, peers string, ttl int, expect string, timeout time.Duration) error {
+	b, err := restore(snapshot)
+	if err != nil {
+		return err
+	}
+	prov, err := b.ProvisionSubject(cert.IDFromName(name))
+	if err != nil {
+		return fmt.Errorf("provision %q: %w", name, err)
+	}
+	var peerList []string
+	for _, p := range strings.Split(peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
+	if len(peerList) == 0 {
+		return fmt.Errorf("-role subject needs -peers")
+	}
+	ep, err := transport.ListenUDP(transport.UDPConfig{Listen: listen, Peers: peerList})
+	if err != nil {
+		return err
+	}
+	defer ep.Close()
+	subj := core.NewSubject(prov, wire.V30, core.Costs{},
+		core.WithEndpoint(ep), core.WithRetry(core.DefaultRetry()))
+
+	want, err := parseExpect(expect)
+	if err != nil {
+		return err
+	}
+
+	reported := map[cert.ID]core.Level{}
+	deadline := time.Now().Add(timeout)
+	for {
+		ep.Do(func() {
+			if err := subj.Discover(ttl); err != nil {
+				fmt.Fprintf(os.Stderr, "argus-node: discover: %v\n", err)
+			}
+		})
+		time.Sleep(500 * time.Millisecond)
+
+		best := map[cert.ID]core.Discovery{}
+		for _, r := range subj.Results() {
+			if prev, ok := best[r.Object]; !ok || r.Level > prev.Level {
+				best[r.Object] = r
+			}
+		}
+		for id, r := range best {
+			if reported[id] >= r.Level {
+				continue
+			}
+			reported[id] = r.Level
+			fmt.Printf("discovered name=%s level=L%d node=%s functions=%s\n",
+				nameOf(want, id), int(r.Level), r.Node, strings.Join(r.Profile.Functions, "+"))
+		}
+
+		if satisfied(want, best) {
+			fmt.Println("all expectations met")
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("timeout: discovered %d/%d expected services", met(want, best), len(want))
+		}
+	}
+}
+
+type expectation struct {
+	name  string
+	id    cert.ID
+	level core.Level
+}
+
+func parseExpect(s string) ([]expectation, error) {
+	var out []expectation
+	for _, pair := range strings.Split(s, ",") {
+		if pair = strings.TrimSpace(pair); pair == "" {
+			continue
+		}
+		name, lvl, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -expect entry %q (want name=L1|L2|L3)", pair)
+		}
+		var level core.Level
+		switch lvl {
+		case "L1":
+			level = core.L1
+		case "L2":
+			level = core.L2
+		case "L3":
+			level = core.L3
+		default:
+			return nil, fmt.Errorf("bad level %q in -expect", lvl)
+		}
+		out = append(out, expectation{name: name, id: cert.IDFromName(name), level: level})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out, nil
+}
+
+func nameOf(want []expectation, id cert.ID) string {
+	for _, w := range want {
+		if w.id == id {
+			return w.name
+		}
+	}
+	return fmt.Sprintf("%x", id[:4])
+}
+
+func satisfied(want []expectation, best map[cert.ID]core.Discovery) bool {
+	return met(want, best) == len(want)
+}
+
+func met(want []expectation, best map[cert.ID]core.Discovery) (n int) {
+	for _, w := range want {
+		if r, ok := best[w.id]; ok && r.Level >= w.level {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,101 @@
+package main
+
+// End-to-end: real OS processes, real UDP sockets, the full 4-way handshake
+// at every visibility level. The test re-executes its own binary as
+// argus-node (the ARGUS_NODE_CHILD trampoline below), so `go test` needs no
+// pre-built artifact: one child serves three objects (L1/L2/L3) on loopback
+// sockets, another runs the subject until it has verified all three levels.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv("ARGUS_NODE_CHILD") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// child builds an exec.Cmd that re-runs this test binary as argus-node.
+func child(args ...string) *exec.Cmd {
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "ARGUS_NODE_CHILD=1")
+	return cmd
+}
+
+func TestE2EDiscoveryOverUDPLoopback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	snap := filepath.Join(t.TempDir(), "enterprise.snap")
+
+	// 1. Provision the enterprise through the CLI path.
+	out, err := child("-init", "-snapshot", snap).CombinedOutput()
+	if err != nil {
+		t.Fatalf("-init failed: %v\n%s", err, out)
+	}
+
+	// 2. Object daemon: three engines (one per level) on their own sockets.
+	objects := child("-role", "object", "-names", "thermometer,printer,kiosk",
+		"-snapshot", snap, "-listen", "127.0.0.1:0")
+	objOut, err := objects.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	objects.Stderr = os.Stderr
+	if err := objects.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		objects.Process.Kill()
+		objects.Wait()
+	})
+
+	// Parse the three "listening name=... addr=..." lines.
+	addrs := make(map[string]string)
+	sc := bufio.NewScanner(objOut)
+	for len(addrs) < 3 && sc.Scan() {
+		line := sc.Text()
+		var name, addr string
+		if _, err := fmt.Sscanf(line, "listening name=%s addr=%s", &name, &addr); err == nil {
+			addrs[name] = addr
+		}
+	}
+	if len(addrs) != 3 {
+		t.Fatalf("object daemon announced %d sockets, want 3 (scan err %v)", len(addrs), sc.Err())
+	}
+	go io.Copy(io.Discard, objOut) // keep the pipe drained
+
+	// 3. Subject process: must verify every level within the deadline.
+	peers := []string{addrs["thermometer"], addrs["printer"], addrs["kiosk"]}
+	subject := child("-role", "subject", "-name", "alice", "-snapshot", snap,
+		"-listen", "127.0.0.1:0", "-peers", strings.Join(peers, ","),
+		"-ttl", "1", "-expect", "thermometer=L1,printer=L2,kiosk=L3",
+		"-timeout", "30s")
+	start := time.Now()
+	sout, err := subject.CombinedOutput()
+	if err != nil {
+		t.Fatalf("subject failed after %v: %v\n%s", time.Since(start), err, sout)
+	}
+	text := string(sout)
+	for _, want := range []string{
+		"discovered name=thermometer level=L1",
+		"discovered name=printer level=L2",
+		"discovered name=kiosk level=L3",
+		"all expectations met",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("subject output missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -146,8 +146,12 @@ func main() {
 	fmt.Printf("\nround 1: discovered %d/%d services\n", len(results), *objects)
 	fmt.Printf("%-12s %-8s %-5s %-10s %s\n", "object", "level", "hops", "at", "functions")
 	for _, r := range results {
+		hops := -1
+		if node, ok := netsim.NodeOf(r.Node); ok {
+			hops = d.Net.HopDistance(d.SubjNode, node)
+		}
 		fmt.Printf("%-12s %-8s %-5d %-10v %v\n",
-			shortID(r.Object.String()), r.Level, d.Net.HopDistance(d.SubjNode, r.Node),
+			shortID(r.Object.String()), r.Level, hops,
 			r.At.Round(1e6), r.Profile.Functions)
 	}
 	st := d.Net.Stats()

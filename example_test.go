@@ -32,7 +32,7 @@ func Example() {
 		net.Link(home, node)
 	}
 
-	subject.Discover(net, 1)
+	subject.Discover(1)
 	net.Run(0)
 	for _, d := range subject.Results() {
 		fmt.Println(d.Level, d.Profile.Functions)

@@ -110,21 +110,20 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		subj := core.NewSubject(sprov, wire.V30, core.Costs{})
-		sn := net.AddNode(subj)
-		subj.Attach(sn)
+		sep := net.NewEndpoint()
+		sn := sep.Node()
+		subj := core.NewSubject(sprov, wire.V30, core.Costs{}, core.WithEndpoint(sep))
 		for _, o := range objects {
 			prov, err := b.ProvisionObject(ids[o.name])
 			if err != nil {
 				log.Fatal(err)
 			}
-			eng := core.NewObject(prov, wire.V30, core.Costs{})
-			n := net.AddNode(eng)
-			eng.Attach(n)
-			net.Link(sn, n)
+			oep := net.NewEndpoint()
+			core.NewObject(prov, wire.V30, core.Costs{}, core.WithEndpoint(oep))
+			net.Link(sn, oep.Node())
 		}
 
-		if err := subj.Discover(net, 1); err != nil {
+		if err := subj.Discover(1); err != nil {
 			log.Fatal(err)
 		}
 		net.Run(0)

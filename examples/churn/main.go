@@ -66,25 +66,24 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		s := core.NewSubject(sprov, wire.V30, core.Costs{})
-		sn := net.AddNode(s)
-		s.Attach(sn)
+		sep := net.NewEndpoint()
+		sn := sep.Node()
+		s := core.NewSubject(sprov, wire.V30, core.Costs{}, core.WithEndpoint(sep))
 		for _, oid := range objIDs {
 			prov, err := b.ProvisionObject(oid)
 			if err != nil {
 				log.Fatal(err)
 			}
-			o := core.NewObject(prov, wire.V30, core.Costs{})
-			n := net.AddNode(o)
-			o.Attach(n)
-			net.Link(sn, n)
+			oep := net.NewEndpoint()
+			core.NewObject(prov, wire.V30, core.Costs{}, core.WithEndpoint(oep))
+			net.Link(sn, oep.Node())
 		}
 		return s, net, sprov
 	}
 
 	fmt.Println("\n== eve discovers ==")
 	s, net, eveOldCreds := deploy(eve)
-	s.Discover(net, 1)
+	s.Discover(1)
 	net.Run(0)
 	count := map[backend.Level]int{}
 	for _, d := range s.Results() {
@@ -110,21 +109,20 @@ func main() {
 	fmt.Println("\n== eve tries again with her old credentials ==")
 	net2 := netsim.New(netsim.DefaultWiFi(), 6)
 	// Eve's device keeps the credentials it was issued before revocation.
-	eveDev := core.NewSubject(eveOldCreds, wire.V30, core.Costs{})
-	sn := net2.AddNode(eveDev)
-	eveDev.Attach(sn)
+	evep := net2.NewEndpoint()
+	sn := evep.Node()
+	eveDev := core.NewSubject(eveOldCreds, wire.V30, core.Costs{}, core.WithEndpoint(evep))
 	secure := 0
 	for _, oid := range objIDs {
 		prov, err := b.ProvisionObject(oid) // objects have the revocation notice now
 		if err != nil {
 			log.Fatal(err)
 		}
-		o := core.NewObject(prov, wire.V30, core.Costs{})
-		n := net2.AddNode(o)
-		o.Attach(n)
-		net2.Link(sn, n)
+		oep := net2.NewEndpoint()
+		core.NewObject(prov, wire.V30, core.Costs{}, core.WithEndpoint(oep))
+		net2.Link(sn, oep.Node())
 	}
-	eveDev.Discover(net2, 1)
+	eveDev.Discover(1)
 	net2.Run(0)
 	for _, d := range eveDev.Results() {
 		if d.Level != backend.L1 {
@@ -137,7 +135,7 @@ func main() {
 	// reaches the covert service.
 	fmt.Println("\n== frank (remaining fellow) rediscovers ==")
 	fs, fnet, _ := deploy(frank)
-	fs.Discover(fnet, 1)
+	fs.Discover(1)
 	fnet.Run(0)
 	for _, d := range fs.Results() {
 		if d.Level == backend.L3 {

@@ -59,16 +59,14 @@ func runScenario(version wire.Version, fellow bool) (results []core.Discovery, t
 	})
 
 	sprov, _ := b.ProvisionSubject(sid)
-	subj := core.NewSubject(sprov, version, core.Costs{})
-	sn := net.AddNode(subj)
-	subj.Attach(sn)
+	sep := net.NewEndpoint()
+	subj := core.NewSubject(sprov, version, core.Costs{}, core.WithEndpoint(sep))
 	oprov, _ := b.ProvisionObject(oid)
-	obj := core.NewObject(oprov, version, core.Costs{})
-	on := net.AddNode(obj)
-	obj.Attach(on)
-	net.Link(sn, on)
+	oep := net.NewEndpoint()
+	core.NewObject(oprov, version, core.Costs{}, core.WithEndpoint(oep))
+	net.Link(sep.Node(), oep.Node())
 
-	if err := subj.Discover(net, 1); err != nil {
+	if err := subj.Discover(1); err != nil {
 		log.Fatal(err)
 	}
 	net.Run(0)

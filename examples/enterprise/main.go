@@ -65,24 +65,21 @@ func main() {
 	net := netsim.New(wifi, 1)
 
 	attach := func(b *backend.Backend, id cert.ID, subject bool) (netsim.NodeID, *core.Subject) {
+		ep := net.NewEndpoint()
 		if subject {
 			prov, err := b.ProvisionSubject(id)
 			if err != nil {
 				log.Fatal(err)
 			}
-			s := core.NewSubject(prov, wire.V30, core.Costs{})
-			n := net.AddNode(s)
-			s.Attach(n)
-			return n, s
+			s := core.NewSubject(prov, wire.V30, core.Costs{}, core.WithEndpoint(ep))
+			return ep.Node(), s
 		}
 		prov, err := b.ProvisionObject(id)
 		if err != nil {
 			log.Fatal(err)
 		}
-		o := core.NewObject(prov, wire.V30, core.Costs{})
-		n := net.AddNode(o)
-		o.Attach(n)
-		return n, nil
+		core.NewObject(prov, wire.V30, core.Costs{}, core.WithEndpoint(ep))
+		return ep.Node(), nil
 	}
 
 	aliceNode, aliceEngine := attach(buildingA, alice, true)
@@ -95,7 +92,7 @@ func main() {
 	net.LinkOn(bridge, sensorNode, 1, ble)
 
 	fmt.Println("alice (registered at building A) walks the enterprise...")
-	if err := aliceEngine.Discover(net, 2); err != nil {
+	if err := aliceEngine.Discover(2); err != nil {
 		log.Fatal(err)
 	}
 	net.Run(0)
@@ -103,9 +100,9 @@ func main() {
 	for _, d := range aliceEngine.Results() {
 		var where, radio string
 		switch d.Node {
-		case printerNode:
+		case netsim.AddrOf(printerNode):
 			where, radio = "building A", "WiFi, 1 hop"
-		case sensorNode:
+		case netsim.AddrOf(sensorNode):
 			where, radio = "annex", "via BLE bridge, 2 hops"
 		}
 		fmt.Printf("  %-8s %v (%s; %s; at %v)\n",

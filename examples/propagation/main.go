@@ -40,13 +40,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	subj := core.NewSubject(sprov, wire.V30, core.Costs{})
-	home := net.AddNode(subj)
-	subj.Attach(home)
+	sep := net.NewEndpoint()
+	home := sep.Node()
+	subj := core.NewSubject(sprov, wire.V30, core.Costs{}, core.WithEndpoint(sep))
 
 	// The backend's ground gateway shares the cell with the devices.
-	dist := update.NewDistributor(b.Admin(), net)
-	net.Link(home, dist.Node())
+	dep := net.NewEndpoint()
+	dist := update.NewDistributor(b.Admin(), dep)
+	net.Link(home, dep.Node())
 
 	agents := make([]*update.Agent, 0, nObjects)
 	objNodes := make([]netsim.NodeID, 0, nObjects)
@@ -61,20 +62,21 @@ func main() {
 			log.Fatal(err)
 		}
 		eng := core.NewObject(prov, wire.V30, core.Costs{})
-		agent := update.NewAgent(b.AdminPublic(), eng, func(u *update.Notification) {
+		agent := update.NewAgent(b.AdminPublic(), nil, func(u *update.Notification) {
 			if u.Kind == update.KindRevokeSubject {
 				eng.Revoke(u.Subject)
 			}
 		})
-		node := net.AddNode(agent)
-		eng.Attach(node)
+		oep := net.NewEndpoint()
+		node := oep.Node()
+		eng.Bind(agent.Wrap(oep))
 		net.Link(home, node)
-		dist.Register(oid, node)
+		dist.Register(oid, oep.Addr())
 		agents = append(agents, agent)
 		objNodes = append(objNodes, node)
 	}
 
-	subj.Discover(net, 1)
+	subj.Discover(1)
 	net.Run(0)
 	fmt.Printf("before revocation: alice discovers %d/%d locks\n", len(subj.Results()), nObjects)
 
@@ -98,7 +100,7 @@ func main() {
 	fmt.Printf("forged notifications rejected by %d/%d objects (bad admin signature)\n", rejected, nObjects)
 
 	before := len(subj.Results())
-	subj.Discover(net, 1)
+	subj.Discover(1)
 	net.Run(0)
 	fmt.Printf("alice still discovers %d/%d locks\n", len(subj.Results())-before, nObjects)
 
@@ -117,7 +119,7 @@ func main() {
 		dist.Sent(), (net.Now() - start).Round(1e6))
 
 	before = len(subj.Results())
-	subj.Discover(net, 1)
+	subj.Discover(1)
 	net.Run(0)
 	fmt.Printf("after revocation: alice discovers %d/%d locks\n", len(subj.Results())-before, nObjects)
 }

@@ -69,7 +69,7 @@ func main() {
 	}
 
 	// 6. Discover: one broadcast, all three levels answered concurrently.
-	if err := subject.Discover(net, 1); err != nil {
+	if err := subject.Discover(1); err != nil {
 		log.Fatal(err)
 	}
 	net.Run(0)

@@ -26,6 +26,7 @@ import (
 	"argus/internal/exp"
 	"argus/internal/netsim"
 	"argus/internal/obs"
+	"argus/internal/transport"
 	"argus/internal/wire"
 )
 
@@ -90,7 +91,7 @@ func Run(s Scenario) (*Outcome, error) {
 	if ttl < 1 {
 		ttl = 1
 	}
-	if err := d.Subject.DiscoverAll(d.Net, ttl); err != nil {
+	if err := d.Subject.DiscoverAll(ttl, func() { d.Net.Run(0) }); err != nil {
 		return nil, err
 	}
 	d.Net.Run(0) // outstanding expiry timers of the last round
@@ -115,7 +116,7 @@ func Run(s Scenario) (*Outcome, error) {
 func (o *Outcome) Fingerprint() string {
 	lines := make([]string, len(o.Discoveries))
 	for i, d := range o.Discoveries {
-		lines[i] = fmt.Sprintf("node=%d level=%d round=%d", d.Node, d.Level, d.Round)
+		lines[i] = fmt.Sprintf("node=%s level=%d round=%d", d.Node, d.Level, d.Round)
 	}
 	sort.Strings(lines)
 	out := ""
@@ -130,7 +131,7 @@ func (o *Outcome) Fingerprint() string {
 // level per object — usually the provisioned level, except L3 objects seen
 // by a non-fellow, which are expected at L2.
 func (o *Outcome) Missing(want []backend.Level) []string {
-	best := make(map[netsim.NodeID]core.Level)
+	best := make(map[transport.Addr]core.Level)
 	for _, d := range o.Discoveries {
 		if d.Level > best[d.Node] {
 			best[d.Node] = d.Level
@@ -139,8 +140,9 @@ func (o *Outcome) Missing(want []backend.Level) []string {
 	var out []string
 	for i, w := range want {
 		node := o.Deployment.ObjNode[i]
-		if best[node] != w {
-			out = append(out, fmt.Sprintf("object %d (node %d): want L%d, got L%d", i, node, w, best[node]))
+		addr := netsim.AddrOf(node)
+		if best[addr] != w {
+			out = append(out, fmt.Sprintf("object %d (node %d): want L%d, got L%d", i, node, w, best[addr]))
 		}
 	}
 	return out
@@ -152,7 +154,7 @@ func (o *Outcome) Missing(want []backend.Level) []string {
 func (o *Outcome) Duplicates() []string {
 	seen := make(map[string]int)
 	for _, d := range o.Discoveries {
-		seen[fmt.Sprintf("node=%d level=%d round=%d", d.Node, d.Level, d.Round)]++
+		seen[fmt.Sprintf("node=%s level=%d round=%d", d.Node, d.Level, d.Round)]++
 	}
 	var out []string
 	for k, n := range seen {

@@ -117,10 +117,9 @@ func TestCase2SubjectImpostorGetsNothing(t *testing.T) {
 	// The attacker claims manager attributes — but her CERT and PROF chain to
 	// a foreign admin.
 	prov := foreignSubject(t, attr.MustSet("position=manager"))
-	atk := NewSubject(prov, wire.V30, Costs{})
-	node := d.net.AddNode(atk)
-	atk.Attach(node)
-	d.subjNode = node
+	ep := d.net.NewEndpoint()
+	atk := NewSubject(prov, wire.V30, Costs{}, WithEndpoint(ep))
+	d.subjNode = ep.Node()
 	d.subject = atk
 	d.addObject("safe", L2, attr.MustSet("type=safe"), []string{"open"}, wire.V30)
 
@@ -147,18 +146,16 @@ func TestCase2ObjectImpostorRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rogue := NewObject(prov, wire.V30, Costs{})
-	n := d.net.AddNode(rogue)
-	rogue.Attach(n)
-	d.net.Link(d.subjNode, n)
+	rep := d.net.NewEndpoint()
+	NewObject(prov, wire.V30, Costs{}, WithEndpoint(rep))
+	d.net.Link(d.subjNode, rep.Node())
 
 	// A rogue Level 1 impostor too: its profile is signed by the wrong admin.
 	l1id, _, _ := fb.RegisterObject("fake-thermo", L1, attr.MustSet("type=thermometer"), []string{"read"})
 	l1prov, _ := fb.ProvisionObject(l1id)
-	rogue1 := NewObject(l1prov, wire.V30, Costs{})
-	n1 := d.net.AddNode(rogue1)
-	rogue1.Attach(n1)
-	d.net.Link(d.subjNode, n1)
+	rep1 := d.net.NewEndpoint()
+	NewObject(l1prov, wire.V30, Costs{}, WithEndpoint(rep1))
+	d.net.Link(d.subjNode, rep1.Node())
 
 	if res := d.run(); len(res) != 0 {
 		t.Fatalf("subject accepted %d services from impostor objects", len(res))
@@ -198,7 +195,7 @@ func TestCase2ReplayedRES1Rejected(t *testing.T) {
 	// signature verification against the fresh R_S.
 	after := d.subject.Results()[before:]
 	for _, r := range after {
-		if r.Node == replayer {
+		if r.Node == netsim.AddrOf(replayer) {
 			t.Fatal("replayed RES1 accepted")
 		}
 	}
@@ -418,7 +415,7 @@ func TestKeyCompromiseContainment(t *testing.T) {
 	d.attachSubject(sid, wire.V30)
 	d.attachObject(o2, wire.V30)
 
-	if err := d.subject.DiscoverAll(d.net, 1); err != nil {
+	if err := d.subject.DiscoverAll(1, func() { d.net.Run(0) }); err != nil {
 		t.Fatal(err)
 	}
 	for _, r := range d.subject.Results() {

@@ -24,10 +24,15 @@
 // # Concurrency contract
 //
 // An engine is single-writer: all message handling, session mutation and
-// timer callbacks happen on the goroutine driving netsim.Network.Run — the
-// event loop. Engine methods that mutate protocol state (Discover,
-// HandleMessage, Refresh, Revoke, NextGroup, the deprecated setters) must be
-// called from that goroutine only; none of them take locks.
+// timer callbacks happen on one goroutine — the engine's event loop, owned by
+// the transport.Endpoint the engine is bound to. For the netsim adapter that
+// loop is the goroutine driving netsim.Network.Run; for the concurrent
+// transports (Mesh, UDP) it is the endpoint's actor goroutine, which drains a
+// mailbox of inbound frames, timer callbacks and Do closures strictly
+// sequentially. Either way the engine itself never needs locks: Handle,
+// Refresh, Revoke, NextGroup and the timer callbacks all execute on that one
+// goroutine. Code outside the loop mutates engine state only by submitting a
+// closure through Endpoint.Do.
 //
 // Exactly three read paths are safe from other goroutines while the loop
 // runs, because telemetry consumers (the obs HTTP handler, progress
@@ -35,8 +40,9 @@
 // kinds, and the obs registry itself. Results copies under an internal
 // mutex; PendingSessions reads an atomic mirror of the session-table size
 // that the event loop republishes after every mutation. Everything else is
-// loop-private and intentionally unsynchronized — the -race test
-// TestConcurrentResultsReaders enforces exactly this boundary.
+// loop-private and intentionally unsynchronized — the -race tests
+// TestConcurrentResultsReaders and TestMeshDiscoveryRace enforce exactly
+// this boundary.
 package core
 
 import (
@@ -44,8 +50,8 @@ import (
 
 	"argus/internal/backend"
 	"argus/internal/cert"
-	"argus/internal/netsim"
 	"argus/internal/suite"
+	"argus/internal/transport"
 	"argus/internal/wire"
 )
 
@@ -76,8 +82,10 @@ type Costs struct {
 type Discovery struct {
 	// Object identifies the discovered device.
 	Object cert.ID
-	// Node is the object's ground-network address.
-	Node netsim.NodeID
+	// Node is the object's transport address: the simulator node's decimal
+	// ID under the netsim adapter, a mesh or UDP address otherwise. The type
+	// is transport-neutral so results never leak simulator details.
+	Node transport.Addr
 	// Level is the visibility level the service was discovered at, as
 	// perceived by the subject: L1 for public profiles, L2 when RES2
 	// verified under K2, L3 when it verified under K3. (A Level 3 object
@@ -94,15 +102,15 @@ type Discovery struct {
 	Round int
 }
 
-// sessionKey identifies an in-progress handshake: the peer's ground address
-// plus the subject nonce, so concurrent discoveries by different subjects
-// (or rounds) never collide.
+// sessionKey identifies an in-progress handshake: the peer's transport
+// address plus the subject nonce, so concurrent discoveries by different
+// subjects (or rounds) never collide.
 type sessionKey struct {
-	peer netsim.NodeID
+	peer transport.Addr
 	rs   [suite.NonceSize]byte
 }
 
-func mkSessionKey(peer netsim.NodeID, rs []byte) sessionKey {
+func mkSessionKey(peer transport.Addr, rs []byte) sessionKey {
 	var k sessionKey
 	k.peer = peer
 	copy(k.rs[:], rs)

@@ -40,50 +40,48 @@ func newDeployment(t *testing.T) *deployment {
 }
 
 // addSubject registers and attaches the deployment's subject.
-func (d *deployment) addSubject(name string, attrs attr.Set, version wire.Version) *Subject {
+func (d *deployment) addSubject(name string, attrs attr.Set, version wire.Version, opts ...Option) *Subject {
 	d.t.Helper()
 	id, _, err := d.b.RegisterSubject(name, attrs)
 	if err != nil {
 		d.t.Fatal(err)
 	}
-	return d.attachSubject(id, version)
+	return d.attachSubject(id, version, opts...)
 }
 
-func (d *deployment) attachSubject(id cert.ID, version wire.Version) *Subject {
+func (d *deployment) attachSubject(id cert.ID, version wire.Version, opts ...Option) *Subject {
 	d.t.Helper()
 	prov, err := d.b.ProvisionSubject(id)
 	if err != nil {
 		d.t.Fatal(err)
 	}
-	s := NewSubject(prov, version, Costs{})
-	node := d.net.AddNode(s)
-	s.Attach(node)
-	d.subjNode = node
+	ep := d.net.NewEndpoint()
+	s := NewSubject(prov, version, Costs{}, append(opts, WithEndpoint(ep))...)
+	d.subjNode = ep.Node()
 	d.subject = s
 	return s
 }
 
 // addObject registers, provisions and attaches an object one hop from the
 // subject.
-func (d *deployment) addObject(name string, level Level, attrs attr.Set, funcs []string, version wire.Version) *Object {
+func (d *deployment) addObject(name string, level Level, attrs attr.Set, funcs []string, version wire.Version, opts ...Option) *Object {
 	d.t.Helper()
 	id, _, err := d.b.RegisterObject(name, level, attrs, funcs)
 	if err != nil {
 		d.t.Fatal(err)
 	}
-	return d.attachObject(id, version)
+	return d.attachObject(id, version, opts...)
 }
 
-func (d *deployment) attachObject(id cert.ID, version wire.Version) *Object {
+func (d *deployment) attachObject(id cert.ID, version wire.Version, opts ...Option) *Object {
 	d.t.Helper()
 	prov, err := d.b.ProvisionObject(id)
 	if err != nil {
 		d.t.Fatal(err)
 	}
-	o := NewObject(prov, version, Costs{})
-	node := d.net.AddNode(o)
-	o.Attach(node)
-	d.net.Link(d.subjNode, node)
+	ep := d.net.NewEndpoint()
+	o := NewObject(prov, version, Costs{}, append(opts, WithEndpoint(ep))...)
+	d.net.Link(d.subjNode, ep.Node())
 	d.objects[prov.Name] = o
 	return o
 }
@@ -102,7 +100,7 @@ func (d *deployment) refreshObject(name string) {
 // run performs one discovery round and drains the network.
 func (d *deployment) run() []Discovery {
 	d.t.Helper()
-	if err := d.subject.Discover(d.net, 1); err != nil {
+	if err := d.subject.Discover(1); err != nil {
 		d.t.Fatal(err)
 	}
 	d.net.Run(0)
@@ -325,7 +323,7 @@ func TestMultiGroupRotationFindsAllCovertServices(t *testing.T) {
 	d.attachObject(o1, wire.V30)
 	d.attachObject(o2, wire.V30)
 
-	if err := d.subject.DiscoverAll(d.net, 1); err != nil {
+	if err := d.subject.DiscoverAll(1, func() { d.net.Run(0) }); err != nil {
 		t.Fatal(err)
 	}
 	l3 := findByLevel(d.subject.Results(), L3)
@@ -383,7 +381,7 @@ func TestDuplicateQUE1Suppressed(t *testing.T) {
 	_ = o
 	d.net.Link(relay, objNode)
 
-	if err := d.subject.Discover(d.net, 3); err != nil {
+	if err := d.subject.Discover(3); err != nil {
 		t.Fatal(err)
 	}
 	d.net.Run(0)
@@ -471,18 +469,16 @@ func TestLevel3ObjectServesMultipleGroups(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		subj := NewSubject(prov, wire.V30, Costs{})
-		sn := net.AddNode(subj)
-		subj.Attach(sn)
+		sep := net.NewEndpoint()
+		subj := NewSubject(prov, wire.V30, Costs{}, WithEndpoint(sep))
 		oprov, err := b.ProvisionObject(oid)
 		if err != nil {
 			t.Fatal(err)
 		}
-		obj := NewObject(oprov, wire.V30, Costs{})
-		on := net.AddNode(obj)
-		obj.Attach(on)
-		net.Link(sn, on)
-		if err := subj.Discover(net, 1); err != nil {
+		oep := net.NewEndpoint()
+		NewObject(oprov, wire.V30, Costs{}, WithEndpoint(oep))
+		net.Link(sep.Node(), oep.Node())
+		if err := subj.Discover(1); err != nil {
 			t.Fatal(err)
 		}
 		net.Run(0)

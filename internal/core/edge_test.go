@@ -21,10 +21,9 @@ import (
 func TestEnginesIgnoreGarbage(t *testing.T) {
 	d := newDeployment(t)
 	reg := obs.NewRegistry()
-	d.addSubject("alice", attr.MustSet("position=staff"), wire.V30)
-	d.subject.Instrument(reg, nil)
-	o := d.addObject("thermo", L1, attr.MustSet("type=thermometer"), []string{"read"}, wire.V30)
-	o.Instrument(reg)
+	d.addSubject("alice", attr.MustSet("position=staff"), wire.V30, WithTelemetry(reg, nil))
+	o := d.addObject("thermo", L1, attr.MustSet("type=thermometer"), []string{"read"}, wire.V30,
+		WithTelemetry(reg, nil))
 
 	rng := rand.New(rand.NewSource(99))
 	payloads := [][]byte{nil, {}, {0}, {255, 255}, {byte(wire.TQUE1)}, {byte(wire.TRES2), byte(wire.V30)}}
@@ -41,8 +40,8 @@ func TestEnginesIgnoreGarbage(t *testing.T) {
 		payloads = append(payloads, b)
 	}
 	for _, p := range payloads {
-		d.subject.HandleMessage(d.net, 1, p)
-		o.HandleMessage(d.net, 0, p)
+		d.subject.Handle(netsim.AddrOf(1), p)
+		o.Handle(netsim.AddrOf(0), p)
 	}
 	d.net.Run(0)
 	if len(d.subject.Results()) != 0 {
@@ -90,10 +89,9 @@ func TestObjectRejectsObjectRoleCert(t *testing.T) {
 		AdminPub: oprov.AdminPub,
 		Profile:  oprov.Variants[0].Profile, // an object PROF, not a subject one
 	}
-	atk := NewSubject(forged, wire.V30, Costs{})
-	node := d.net.AddNode(atk)
-	atk.Attach(node)
-	d.subjNode = node
+	ep := d.net.NewEndpoint()
+	atk := NewSubject(forged, wire.V30, Costs{}, WithEndpoint(ep))
+	d.subjNode = ep.Node()
 	d.subject = atk
 	d.addObject("safe", L2, attr.MustSet("type=safe"), []string{"open"}, wire.V30)
 
@@ -118,10 +116,9 @@ func TestObjectRejectsBorrowedProfile(t *testing.T) {
 	// Borrow the manager's signed PROF.
 	attackerProv.Profile = managerProv.Profile
 
-	atk := NewSubject(attackerProv, wire.V30, Costs{})
-	node := d.net.AddNode(atk)
-	atk.Attach(node)
-	d.subjNode = node
+	ep := d.net.NewEndpoint()
+	atk := NewSubject(attackerProv, wire.V30, Costs{}, WithEndpoint(ep))
+	d.subjNode = ep.Node()
 	d.subject = atk
 	d.addObject("safe", L2, attr.MustSet("type=safe"), []string{"open"}, wire.V30)
 
@@ -143,10 +140,9 @@ func TestExpiredProfileRejected(t *testing.T) {
 	if err := d.b.Admin().SignProfile(prov.Profile); err != nil {
 		t.Fatal(err)
 	}
-	s := NewSubject(prov, wire.V30, Costs{})
-	node := d.net.AddNode(s)
-	s.Attach(node)
-	d.subjNode = node
+	ep := d.net.NewEndpoint()
+	s := NewSubject(prov, wire.V30, Costs{}, WithEndpoint(ep))
+	d.subjNode = ep.Node()
 	d.subject = s
 	d.addObject("safe", L2, attr.MustSet("type=safe"), []string{"open"}, wire.V30)
 
@@ -169,16 +165,14 @@ func TestHigherStrengthDeployment(t *testing.T) {
 
 	net := netsim.New(netsim.DefaultWiFi(), 1)
 	sprov, _ := b.ProvisionSubject(sid)
-	s := NewSubject(sprov, wire.V30, Costs{})
-	sn := net.AddNode(s)
-	s.Attach(sn)
+	sep := net.NewEndpoint()
+	s := NewSubject(sprov, wire.V30, Costs{}, WithEndpoint(sep))
 	oprov, _ := b.ProvisionObject(oid)
-	o := NewObject(oprov, wire.V30, Costs{})
-	on := net.AddNode(o)
-	o.Attach(on)
-	net.Link(sn, on)
+	oep := net.NewEndpoint()
+	NewObject(oprov, wire.V30, Costs{}, WithEndpoint(oep))
+	net.Link(sep.Node(), oep.Node())
 
-	if err := s.Discover(net, 1); err != nil {
+	if err := s.Discover(1); err != nil {
 		t.Fatal(err)
 	}
 	net.Run(0)
@@ -206,25 +200,22 @@ func TestMultipleConcurrentSubjects(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		s := NewSubject(prov, wire.V30, Costs{})
-		n := net.AddNode(s)
-		s.Attach(n)
-		return s
+		return NewSubject(prov, wire.V30, Costs{}, WithEndpoint(net.NewEndpoint()))
 	}
 	manager := mkSubj(mid)
 	staff := mkSubj(sid)
 	oprov, _ := b.ProvisionObject(oid)
-	obj := NewObject(oprov, wire.V30, Costs{})
-	on := net.AddNode(obj)
-	obj.Attach(on)
+	oep := net.NewEndpoint()
+	NewObject(oprov, wire.V30, Costs{}, WithEndpoint(oep))
+	on := oep.Node()
 	net.Link(0, on)
 	net.Link(1, on)
 
 	// Both broadcast before the network runs: fully interleaved handshakes.
-	if err := manager.Discover(net, 1); err != nil {
+	if err := manager.Discover(1); err != nil {
 		t.Fatal(err)
 	}
-	if err := staff.Discover(net, 1); err != nil {
+	if err := staff.Discover(1); err != nil {
 		t.Fatal(err)
 	}
 	net.Run(0)
@@ -246,7 +237,7 @@ func TestUnsolicitedRES2Dropped(t *testing.T) {
 	d := newDeployment(t)
 	d.addSubject("alice", attr.MustSet("position=staff"), wire.V30)
 	fake := &wire.RES2{Version: wire.V30, Ciphertext: make([]byte, 64), MACO: make([]byte, 32)}
-	d.subject.HandleMessage(d.net, 5, fake.Encode())
+	d.subject.Handle(netsim.AddrOf(5), fake.Encode())
 	if len(d.subject.Results()) != 0 {
 		t.Fatal("unsolicited RES2 produced a discovery")
 	}
@@ -264,7 +255,7 @@ func TestQUE2WithoutSessionDropped(t *testing.T) {
 		ProfS: make([]byte, 10), CertS: make([]byte, 10), KEXMS: make([]byte, 10),
 		Sig: make([]byte, 64), MACS2: make([]byte, 32), MACS3: make([]byte, 32),
 	}
-	o.HandleMessage(d.net, d.subjNode, fake.Encode())
+	o.Handle(netsim.AddrOf(d.subjNode), fake.Encode())
 	d.net.Run(0)
 	if len(d.subject.Results()) != 0 {
 		t.Fatal("sessionless QUE2 produced output")
@@ -299,7 +290,7 @@ func TestSessionCapBoundsMemory(t *testing.T) {
 	for i := 0; i < 3*maxPendingSessions; i++ {
 		rs, _ := suite.NewNonce(nil)
 		q := &wire.QUE1{Version: wire.V30, RS: rs}
-		o.HandleMessage(d.net, d.subjNode, q.Encode())
+		o.Handle(netsim.AddrOf(d.subjNode), q.Encode())
 	}
 	if got := len(o.sessions); got > maxPendingSessions {
 		t.Fatalf("pending sessions = %d, cap %d", got, maxPendingSessions)
@@ -331,18 +322,18 @@ func TestDiscoveryAcrossBridgedRadios(t *testing.T) {
 	}
 	net := netsim.New(wifi, 1)
 	sprov, _ := b.ProvisionSubject(sid)
-	s := NewSubject(sprov, wire.V30, Costs{})
-	sn := net.AddNode(s)
-	s.Attach(sn)
+	sep := net.NewEndpoint()
+	s := NewSubject(sprov, wire.V30, Costs{}, WithEndpoint(sep))
+	sn := sep.Node()
 	bridge := net.AddNode(nil)
 	oprov, _ := b.ProvisionObject(oid)
-	o := NewObject(oprov, wire.V30, Costs{})
-	on := net.AddNode(o)
-	o.Attach(on)
+	oep := net.NewEndpoint()
+	NewObject(oprov, wire.V30, Costs{}, WithEndpoint(oep))
+	on := oep.Node()
 	net.LinkOn(sn, bridge, 0, wifi)
 	net.LinkOn(bridge, on, 1, ble)
 
-	if err := s.Discover(net, 2); err != nil {
+	if err := s.Discover(2); err != nil {
 		t.Fatal(err)
 	}
 	net.Run(0)
@@ -393,19 +384,19 @@ func TestCrossSubBackendDiscovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := NewSubject(sprov, wire.V30, Costs{})
-	sn := net.AddNode(s)
-	s.Attach(sn)
+	sep := net.NewEndpoint()
+	s := NewSubject(sprov, wire.V30, Costs{}, WithEndpoint(sep))
+	sn := sep.Node()
 	oprov, err := buildingB.ProvisionObject(oid)
 	if err != nil {
 		t.Fatal(err)
 	}
-	o := NewObject(oprov, wire.V30, Costs{})
-	on := net.AddNode(o)
-	o.Attach(on)
+	oep := net.NewEndpoint()
+	NewObject(oprov, wire.V30, Costs{}, WithEndpoint(oep))
+	on := oep.Node()
 	net.Link(sn, on)
 
-	if err := s.Discover(net, 1); err != nil {
+	if err := s.Discover(1); err != nil {
 		t.Fatal(err)
 	}
 	net.Run(0)
@@ -420,11 +411,10 @@ func TestCrossSubBackendDiscovery(t *testing.T) {
 	foreignSub, _ := foreignRoot.NewSubordinate("intruder-hq")
 	fid, _, _ := foreignSub.RegisterSubject("mallory", attr.MustSet("position=staff"))
 	fprov, _ := foreignSub.ProvisionSubject(fid)
-	mallory := NewSubject(fprov, wire.V30, Costs{})
-	mn := net.AddNode(mallory)
-	mallory.Attach(mn)
-	net.Link(mn, on)
-	if err := mallory.Discover(net, 1); err != nil {
+	mep := net.NewEndpoint()
+	mallory := NewSubject(fprov, wire.V30, Costs{}, WithEndpoint(mep))
+	net.Link(mep.Node(), on)
+	if err := mallory.Discover(1); err != nil {
 		t.Fatal(err)
 	}
 	net.Run(0)
@@ -451,7 +441,7 @@ func TestProximityScopedVisibility(t *testing.T) {
 	if got := len(d.subject.Results()); got != 1 {
 		t.Fatalf("room 1 discoveries = %d, want 1", got)
 	}
-	if d.subject.Results()[0].Node != room1 {
+	if d.subject.Results()[0].Node != netsim.AddrOf(room1) {
 		t.Fatal("discovered the wrong room's object")
 	}
 
@@ -461,7 +451,7 @@ func TestProximityScopedVisibility(t *testing.T) {
 	before := len(d.subject.Results())
 	d.run()
 	after := d.subject.Results()[before:]
-	if len(after) != 1 || after[0].Node != room2 {
+	if len(after) != 1 || after[0].Node != netsim.AddrOf(room2) {
 		t.Fatalf("room 2 discoveries = %+v", after)
 	}
 }

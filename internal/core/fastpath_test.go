@@ -10,34 +10,14 @@ import (
 	"argus/internal/wire"
 )
 
-// attachSubjectWith / attachObjectWith mirror the fixture helpers but thread
-// construction options through, exercising the functional-options API.
+// attachSubjectWith / attachObjectWith are thin aliases kept from before the
+// fixture itself grew an options parameter.
 func (d *deployment) attachSubjectWith(id cert.ID, version wire.Version, opts ...Option) *Subject {
-	d.t.Helper()
-	prov, err := d.b.ProvisionSubject(id)
-	if err != nil {
-		d.t.Fatal(err)
-	}
-	s := NewSubject(prov, version, Costs{}, opts...)
-	node := d.net.AddNode(s)
-	s.Attach(node)
-	d.subjNode = node
-	d.subject = s
-	return s
+	return d.attachSubject(id, version, opts...)
 }
 
 func (d *deployment) attachObjectWith(id cert.ID, version wire.Version, opts ...Option) *Object {
-	d.t.Helper()
-	prov, err := d.b.ProvisionObject(id)
-	if err != nil {
-		d.t.Fatal(err)
-	}
-	o := NewObject(prov, version, Costs{}, opts...)
-	node := d.net.AddNode(o)
-	o.Attach(node)
-	d.net.Link(d.subjNode, node)
-	d.objects[prov.Name] = o
-	return o
+	return d.attachObject(id, version, opts...)
 }
 
 // l2Fixture builds a one-subject/one-L2-object deployment whose engines share
@@ -233,9 +213,9 @@ func TestRefreshAnchorChangeFlushesCache(t *testing.T) {
 	}
 }
 
-// TestOptionsMatchDeprecatedSetters: the functional options configure exactly
-// the state the deprecated mutators set.
-func TestOptionsMatchDeprecatedSetters(t *testing.T) {
+// TestOptionsConfigureEngine: each functional option lands in the engine
+// state it documents, and an optionless engine stays unbound with defaults.
+func TestOptionsConfigureEngine(t *testing.T) {
 	d := newDeployment(t)
 	sid, _, err := d.b.RegisterSubject("s", attr.MustSet("position=staff"))
 	if err != nil {
@@ -259,42 +239,41 @@ func TestOptionsMatchDeprecatedSetters(t *testing.T) {
 	vc := cert.NewVerifyCache(0)
 	rp := DefaultRetry()
 
+	sep := d.net.NewEndpoint()
 	s1 := NewSubject(sprov, wire.V30, Costs{},
-		WithNode(7), WithRetry(rp), WithTelemetry(reg, tr), WithVerifyCache(vc))
-	s2 := NewSubject(sprov, wire.V30, Costs{})
-	s2.Attach(7)
-	s2.SetRetry(rp)
-	s2.Instrument(reg, tr)
-	if s1.node != s2.node || s1.retry != s2.retry {
-		t.Fatalf("subject options diverge from setters: node %v/%v retry %+v/%+v",
-			s1.node, s2.node, s1.retry, s2.retry)
+		WithEndpoint(sep), WithRetry(rp), WithTelemetry(reg, tr), WithVerifyCache(vc))
+	if s1.ep == nil || s1.ep.Addr() != sep.Addr() {
+		t.Fatal("WithEndpoint did not bind the subject")
 	}
-	if (s1.tel == nil) != (s2.tel == nil) || s1.tel == nil {
-		t.Fatal("subject telemetry not attached identically")
+	if s1.retry != rp {
+		t.Fatalf("WithRetry not applied: %+v", s1.retry)
+	}
+	if s1.tel == nil {
+		t.Fatal("WithTelemetry not applied to subject")
 	}
 	if s1.vcache != vc {
 		t.Fatal("WithVerifyCache not applied")
 	}
 
+	oep := d.net.NewEndpoint()
 	o1 := NewObject(oprov, wire.V30, Costs{},
-		WithNode(9), WithRetry(rp), WithTelemetry(reg, nil), WithVerifyCache(vc))
-	o2 := NewObject(oprov, wire.V30, Costs{})
-	o2.Attach(9)
-	o2.SetRetry(rp)
-	o2.Instrument(reg)
-	if o1.node != o2.node || o1.retry != o2.retry {
-		t.Fatal("object options diverge from setters")
+		WithEndpoint(oep), WithRetry(rp), WithTelemetry(reg, nil), WithVerifyCache(vc))
+	if o1.ep == nil || o1.ep.Addr() != oep.Addr() {
+		t.Fatal("WithEndpoint did not bind the object")
 	}
-	if (o1.tel == nil) != (o2.tel == nil) || o1.tel == nil {
-		t.Fatal("object telemetry not attached identically")
+	if o1.retry != rp {
+		t.Fatal("WithRetry not applied to object")
+	}
+	if o1.tel == nil {
+		t.Fatal("WithTelemetry not applied to object")
 	}
 	if o1.vcache != vc {
 		t.Fatal("WithVerifyCache not applied to object")
 	}
 
-	// Zero options leave the engine in its legacy default state.
+	// Zero options leave the engine unbound in its default state.
 	s3 := NewSubject(sprov, wire.V30, Costs{})
-	if s3.node != 0 || s3.retry.Enabled() || s3.tel != nil || s3.vcache != nil {
+	if s3.ep != nil || s3.retry.Enabled() || s3.tel != nil || s3.vcache != nil {
 		t.Fatal("optionless subject not in default state")
 	}
 }
@@ -325,7 +304,7 @@ func TestConcurrentResultsReaders(t *testing.T) {
 	}()
 
 	for i := 0; i < 50; i++ {
-		if err := d.subject.Discover(d.net, 1); err != nil {
+		if err := d.subject.Discover(1); err != nil {
 			t.Fatal(err)
 		}
 		d.net.Run(0)

@@ -33,14 +33,12 @@ func gcFixture(t *testing.T) (*deployment, RetryPolicy, *obs.Registry) {
 	reg := obs.NewRegistry()
 	d.b.AddPolicy(attr.MustParse("position=='staff'"),
 		attr.MustParse("type=='device'"), []string{"use"})
-	d.addSubject("alice", attr.MustSet("position=staff"), wire.V30)
 	p := DefaultRetry()
-	d.subject.SetRetry(p)
-	d.subject.Instrument(reg, nil)
+	d.addSubject("alice", attr.MustSet("position=staff"), wire.V30,
+		WithRetry(p), WithTelemetry(reg, nil))
 	for _, n := range []string{"obj-a", "obj-b", "obj-c"} {
-		o := d.addObject(n, L2, attr.MustSet("type=device"), []string{"use"}, wire.V30)
-		o.SetRetry(p)
-		o.Instrument(reg)
+		d.addObject(n, L2, attr.MustSet("type=device"), []string{"use"}, wire.V30,
+			WithRetry(p), WithTelemetry(reg, nil))
 	}
 	return d, p, reg
 }
@@ -77,7 +75,7 @@ func TestSessionGCUnderTotalRES1Loss(t *testing.T) {
 	d, p, reg := gcFixture(t)
 	dropType(d.net, wire.TRES1)
 
-	if err := d.subject.Discover(d.net, 1); err != nil {
+	if err := d.subject.Discover(1); err != nil {
 		t.Fatal(err)
 	}
 	d.net.Run(0)
@@ -109,7 +107,7 @@ func TestSessionGCUnderTotalRES2Loss(t *testing.T) {
 	d, p, reg := gcFixture(t)
 	dropType(d.net, wire.TRES2)
 
-	if err := d.subject.Discover(d.net, 1); err != nil {
+	if err := d.subject.Discover(1); err != nil {
 		t.Fatal(err)
 	}
 	d.net.Run(0)

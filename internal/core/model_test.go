@@ -17,6 +17,7 @@ import (
 	"argus/internal/groups"
 	"argus/internal/netsim"
 	"argus/internal/suite"
+	"argus/internal/transport"
 	"argus/internal/wire"
 )
 
@@ -138,22 +139,21 @@ func TestDiscoveryMatchesPolicyModel(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		subj := NewSubject(sprov, wire.V30, Costs{})
-		sn := net.AddNode(subj)
-		subj.Attach(sn)
-		nameOf := map[netsim.NodeID]string{}
+		sep := net.NewEndpoint()
+		subj := NewSubject(sprov, wire.V30, Costs{}, WithEndpoint(sep))
+		sn := sep.Node()
+		nameOf := map[transport.Addr]string{}
 		for _, o := range objs {
 			prov, err := b.ProvisionObject(cert16(o.name))
 			if err != nil {
 				t.Fatal(err)
 			}
-			eng := NewObject(prov, wire.V30, Costs{})
-			n := net.AddNode(eng)
-			eng.Attach(n)
-			net.Link(sn, n)
-			nameOf[n] = o.name
+			oep := net.NewEndpoint()
+			NewObject(prov, wire.V30, Costs{}, WithEndpoint(oep))
+			net.Link(sn, oep.Node())
+			nameOf[oep.Addr()] = o.name
 		}
-		if err := subj.DiscoverAll(net, 1); err != nil {
+		if err := subj.DiscoverAll(1, func() { net.Run(0) }); err != nil {
 			t.Fatal(err)
 		}
 

@@ -7,20 +7,20 @@ import (
 
 	"argus/internal/backend"
 	"argus/internal/cert"
-	"argus/internal/netsim"
 	"argus/internal/obs"
 	"argus/internal/suite"
+	"argus/internal/transport"
 	"argus/internal/wire"
 )
 
 // Object is the object-side discovery engine: one per IoT device on the
-// ground network. It implements netsim.Handler and answers QUE1/QUE2 per its
-// level and protocol version.
+// ground network. It implements transport.Handler and answers QUE1/QUE2 per
+// its level and protocol version.
 type Object struct {
 	prov    *backend.ObjectProvision
 	version wire.Version
 	costs   Costs
-	node    netsim.NodeID
+	ep      transport.Endpoint
 
 	sessions map[sessionKey]*objSession
 	seen     map[sessionKey]bool // duplicate-query suppression via R_S (§IV-B)
@@ -44,7 +44,7 @@ const (
 )
 
 type objSession struct {
-	subjNode netsim.NodeID
+	subjAddr transport.Addr
 	rs       []byte
 	ro       []byte
 	kex      *suite.KeyExchange
@@ -76,31 +76,26 @@ func NewObject(prov *backend.ObjectProvision, version wire.Version, costs Costs,
 		o.revoked[id] = true
 	}
 	eo := applyOptions(opts)
-	if eo.hasNode {
-		o.node = eo.node
-	}
 	if eo.hasRetry {
 		o.retry = eo.retry
 	}
 	if eo.hasTel {
-		o.Instrument(eo.reg)
+		o.instrument(eo.reg)
 	}
 	o.vcache = eo.vcache
+	if eo.ep != nil {
+		o.Bind(eo.ep)
+	}
 	return o
 }
 
-// Attach records the object's own ground-network address. Call after
-// netsim.AddNode.
-//
-// Deprecated: pass WithNode to NewObject.
-func (o *Object) Attach(node netsim.NodeID) { o.node = node }
-
-// SetRetry installs the retransmission policy (see Subject.SetRetry). On the
-// object side an active policy enables answer caching for duplicate queries
-// and TTL-based session expiry.
-//
-// Deprecated: pass WithRetry to NewObject.
-func (o *Object) SetRetry(p RetryPolicy) { o.retry = p }
+// Bind attaches the engine to a transport endpoint and installs it as the
+// endpoint's inbound handler. Call once, before traffic flows; engines
+// constructed with WithEndpoint are already bound.
+func (o *Object) Bind(ep transport.Endpoint) {
+	o.ep = ep
+	ep.Bind(o)
+}
 
 // PendingSessions returns the number of sessions held (pending + answered).
 // Safe to call from any goroutine (it reads a mirror the event loop
@@ -110,11 +105,9 @@ func (o *Object) PendingSessions() int { return int(o.pendingN.Load()) }
 // syncPending republishes len(sessions) after a mutation; event-loop only.
 func (o *Object) syncPending() { o.pendingN.Store(int64(len(o.sessions))) }
 
-// Instrument attaches a metrics registry (nil detaches). Like the subject's,
-// object telemetry is purely observational and preserves fixed-seed runs.
-//
-// Deprecated: pass WithTelemetry to NewObject.
-func (o *Object) Instrument(reg *obs.Registry) {
+// instrument attaches a metrics registry. Like the subject's, object
+// telemetry is purely observational and preserves fixed-seed runs.
+func (o *Object) instrument(reg *obs.Registry) {
 	if reg == nil {
 		o.tel = nil
 		return
@@ -157,8 +150,8 @@ func (o *Object) Revoke(subject cert.ID) {
 	o.vcache.InvalidateEntity(subject)
 }
 
-// HandleMessage implements netsim.Handler.
-func (o *Object) HandleMessage(net *netsim.Network, from netsim.NodeID, payload []byte) {
+// Handle implements transport.Handler.
+func (o *Object) Handle(from transport.Addr, payload []byte) {
 	msg, err := wire.Decode(payload)
 	if err != nil {
 		// Malformed traffic (noise, or fault-injected corruption) is dropped,
@@ -168,13 +161,13 @@ func (o *Object) HandleMessage(net *netsim.Network, from netsim.NodeID, payload 
 	}
 	switch m := msg.(type) {
 	case *wire.QUE1:
-		o.handleQUE1(net, from, m, payload)
+		o.handleQUE1(from, m, payload)
 	case *wire.QUE2:
-		o.handleQUE2(net, from, m)
+		o.handleQUE2(from, m)
 	}
 }
 
-func (o *Object) handleQUE1(net *netsim.Network, from netsim.NodeID, m *wire.QUE1, raw []byte) {
+func (o *Object) handleQUE1(from transport.Addr, m *wire.QUE1, raw []byte) {
 	if len(m.RS) != suite.NonceSize {
 		return
 	}
@@ -187,7 +180,7 @@ func (o *Object) handleQUE1(net *netsim.Network, from netsim.NodeID, m *wire.QUE
 		if o.retry.Enabled() {
 			if sess, ok := o.sessions[key]; ok && !sess.answered && sess.res1Enc != nil {
 				o.tel.retransmit(msgRES1)
-				net.Send(o.node, from, sess.res1Enc)
+				o.ep.Send(from, sess.res1Enc)
 			}
 		}
 		return
@@ -216,12 +209,12 @@ func (o *Object) handleQUE1(net *netsim.Network, from netsim.NodeID, m *wire.QUE
 		if o.retry.Enabled() {
 			// Cache the answer so a duplicate QUE1 can resend it (the
 			// public path has no QUE2 to drive retransmission otherwise).
-			sess := &objSession{subjNode: from, public: true, res1Enc: enc}
+			sess := &objSession{subjAddr: from, public: true, res1Enc: enc}
 			o.sessions[key] = sess
 			o.syncPending()
-			o.scheduleExpiry(net, key, sess)
+			o.scheduleExpiry(key, sess)
 		}
-		net.Send(o.node, from, enc)
+		o.ep.Send(from, enc)
 		return
 	}
 
@@ -247,7 +240,7 @@ func (o *Object) handleQUE1(net *netsim.Network, from netsim.NodeID, m *wire.QUE
 	}
 	res.Sig = sig
 	sess := &objSession{
-		subjNode: from,
+		subjAddr: from,
 		rs:       append([]byte(nil), m.RS...),
 		ro:       ro,
 		kex:      kex,
@@ -256,20 +249,20 @@ func (o *Object) handleQUE1(net *netsim.Network, from netsim.NodeID, m *wire.QUE
 	o.sessions[key] = sess
 	o.syncPending()
 	if o.retry.Enabled() {
-		o.scheduleExpiry(net, key, sess)
+		o.scheduleExpiry(key, sess)
 	}
 
 	cost := o.costs.KexGen + o.costs.Sign
 	o.tel.que1Result(resultHandshake)
 	o.tel.count(opsKexGen, 1)
 	o.tel.count(opsSign, 1)
-	net.Compute(o.node, cost, func() {
+	o.ep.Compute(cost, func() {
 		sess.res1Enc = res.Encode()
-		net.Send(o.node, from, sess.res1Enc)
+		o.ep.Send(from, sess.res1Enc)
 	})
 }
 
-func (o *Object) handleQUE2(net *netsim.Network, from netsim.NodeID, m *wire.QUE2) {
+func (o *Object) handleQUE2(from transport.Addr, m *wire.QUE2) {
 	key := mkSessionKey(from, m.RS)
 	sess, ok := o.sessions[key]
 	if !ok || o.prov.Level == L1 || sess.public {
@@ -283,7 +276,7 @@ func (o *Object) handleQUE2(net *netsim.Network, from netsim.NodeID, m *wire.QUE
 		// compute charge would be a timing tell.
 		if sess.res2Enc != nil {
 			o.tel.retransmit(msgRES2)
-			net.Send(o.node, from, sess.res2Enc)
+			o.ep.Send(from, sess.res2Enc)
 		}
 		return
 	}
@@ -414,10 +407,10 @@ func (o *Object) handleQUE2(net *netsim.Network, from netsim.NodeID, m *wire.QUE
 	}
 	sess.answered = true
 	o.tel.response(cost, len(res.Ciphertext))
-	net.Compute(o.node, cost, func() {
+	o.ep.Compute(cost, func() {
 		enc := res.Encode()
 		sess.res2Enc = enc
-		net.Send(o.node, from, enc)
+		o.ep.Send(from, enc)
 	})
 }
 
@@ -425,8 +418,8 @@ func (o *Object) handleQUE2(net *netsim.Network, from netsim.NodeID, m *wire.QUE
 // object never learns whether the subject received RES2, so answered state
 // can only age out) at SessionTTL. See Subject.scheduleExpiry for the
 // pointer-equality rationale.
-func (o *Object) scheduleExpiry(net *netsim.Network, key sessionKey, sess *objSession) {
-	net.After(o.retry.ttl(), func() {
+func (o *Object) scheduleExpiry(key sessionKey, sess *objSession) {
+	o.ep.After(o.retry.ttl(), func() {
 		if cur, ok := o.sessions[key]; ok && cur == sess {
 			delete(o.sessions, key)
 			o.syncPending()

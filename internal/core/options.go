@@ -2,8 +2,8 @@ package core
 
 import (
 	"argus/internal/cert"
-	"argus/internal/netsim"
 	"argus/internal/obs"
+	"argus/internal/transport"
 )
 
 // Option configures a Subject or Object engine at construction. The options
@@ -11,13 +11,11 @@ import (
 // Instrument), which forced every caller to know the right post-construction
 // call order and grew a method per knob; options compose, apply atomically
 // before the engine handles its first message, and keep NewSubject/NewObject
-// signatures stable as knobs accumulate. The old setters remain as thin
-// deprecated wrappers.
+// signatures stable as knobs accumulate.
 type Option func(*engineOptions)
 
 type engineOptions struct {
-	node    netsim.NodeID
-	hasNode bool
+	ep transport.Endpoint
 
 	retry    RetryPolicy
 	hasRetry bool
@@ -39,11 +37,12 @@ func applyOptions(opts []Option) engineOptions {
 	return eo
 }
 
-// WithNode records the engine's ground-network address (the former Attach
-// mutator). Engines constructed through exp.Deploy or the argus facade get
-// this set automatically.
-func WithNode(node netsim.NodeID) Option {
-	return func(eo *engineOptions) { eo.node = node; eo.hasNode = true }
+// WithEndpoint binds the engine to its transport endpoint at construction:
+// the engine is installed as the endpoint's inbound handler before it can
+// receive its first frame. Equivalent to calling Bind(ep) on the fresh
+// engine. An engine built without this option is inert until Bind.
+func WithEndpoint(ep transport.Endpoint) Option {
+	return func(eo *engineOptions) { eo.ep = ep }
 }
 
 // WithRetry installs the retransmission policy (the former SetRetry mutator).

@@ -33,14 +33,12 @@ func TestConcurrentDiscoveryUnderFaultsSharedRegistry(t *testing.T) {
 			attr.MustParse("type=='device'"), []string{"use"}); err != nil {
 			t.Fatal(err)
 		}
-		s := d.addSubject("alice", attr.MustSet("position=staff"), wire.V30)
-		s.SetRetry(DefaultRetry())
-		s.Instrument(reg, nil)
+		d.addSubject("alice", attr.MustSet("position=staff"), wire.V30,
+			WithRetry(DefaultRetry()), WithTelemetry(reg, nil))
 		for j := 0; j < 3; j++ {
-			o := d.addObject(fmt.Sprintf("obj-%d-%d", i, j), L2,
-				attr.MustSet("type=device"), []string{"use"}, wire.V30)
-			o.SetRetry(DefaultRetry())
-			o.Instrument(reg)
+			d.addObject(fmt.Sprintf("obj-%d-%d", i, j), L2,
+				attr.MustSet("type=device"), []string{"use"}, wire.V30,
+				WithRetry(DefaultRetry()), WithTelemetry(reg, nil))
 		}
 		d.net.Instrument(reg)
 		d.net.FaultSeed(int64(i + 1))
@@ -59,7 +57,7 @@ func TestConcurrentDiscoveryUnderFaultsSharedRegistry(t *testing.T) {
 		go func(i int, d *deployment) {
 			defer wg.Done()
 			for round := 0; round < 3; round++ {
-				if err := d.subject.Discover(d.net, 1); err != nil {
+				if err := d.subject.Discover(1); err != nil {
 					t.Errorf("world %d round %d: %v", i, round, err)
 					return
 				}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -9,20 +10,24 @@ import (
 	"argus/internal/backend"
 	"argus/internal/cert"
 	"argus/internal/groups"
-	"argus/internal/netsim"
 	"argus/internal/obs"
 	"argus/internal/suite"
+	"argus/internal/transport"
 	"argus/internal/wire"
 )
 
+// errUnbound is returned by Discover on an engine with no endpoint.
+var errUnbound = errors.New("core: engine not bound to a transport endpoint")
+
 // Subject is the subject-side discovery engine (the user's device). It
-// implements netsim.Handler: broadcast QUE1, collect RES1s, run the phase-2
-// handshake with every Level 2/3 responder, and report verified discoveries.
+// implements transport.Handler: broadcast QUE1, collect RES1s, run the
+// phase-2 handshake with every Level 2/3 responder, and report verified
+// discoveries.
 type Subject struct {
 	prov    *backend.SubjectProvision
 	version wire.Version
 	costs   Costs
-	node    netsim.NodeID
+	ep      transport.Endpoint
 
 	// activeGroup indexes prov.Memberships: the group key used for
 	// MAC_{S,3} this round. Devices rotate keys across rounds (§VI-C).
@@ -30,7 +35,7 @@ type Subject struct {
 	round       int
 	rs          []byte
 	que1Enc     []byte
-	que1At      time.Duration // virtual time of the current round's broadcast
+	que1At      time.Duration // transport time of the current round's broadcast
 
 	sessions map[sessionKey]*subjSession
 
@@ -53,16 +58,17 @@ type Subject struct {
 	// l1Recorded dedupes Level 1 discoveries within a round: fault injection
 	// can deliver the same plaintext RES1 twice (link-layer duplication or a
 	// QUE1 rebroadcast), and a Level 1 exchange has no session to anchor on.
-	l1Recorded map[netsim.NodeID]bool
+	l1Recorded map[transport.Addr]bool
 
 	tel *subjectTelemetry
 
-	// OnDiscovery, if set, is invoked for every verified discovery.
+	// OnDiscovery, if set, is invoked for every verified discovery, on the
+	// engine's event loop.
 	OnDiscovery func(Discovery)
 }
 
 type subjSession struct {
-	objNode netsim.NodeID
+	objAddr transport.Addr
 	k2      []byte
 	k3      []byte
 	group   groups.ID
@@ -81,33 +87,29 @@ func NewSubject(prov *backend.SubjectProvision, version wire.Version, costs Cost
 		version:    version,
 		costs:      costs,
 		sessions:   make(map[sessionKey]*subjSession),
-		l1Recorded: make(map[netsim.NodeID]bool),
+		l1Recorded: make(map[transport.Addr]bool),
 	}
 	eo := applyOptions(opts)
-	if eo.hasNode {
-		s.node = eo.node
-	}
 	if eo.hasRetry {
 		s.retry = eo.retry
 	}
 	if eo.hasTel {
-		s.Instrument(eo.reg, eo.tracer)
+		s.instrument(eo.reg, eo.tracer)
 	}
 	s.vcache = eo.vcache
+	if eo.ep != nil {
+		s.Bind(eo.ep)
+	}
 	return s
 }
 
-// Attach records the subject's ground-network address.
-//
-// Deprecated: pass WithNode to NewSubject.
-func (s *Subject) Attach(node netsim.NodeID) { s.node = node }
-
-// SetRetry installs the retransmission policy. The zero policy (the default)
-// disables retransmission, duplicate-response resends and TTL-based session
-// expiry, reproducing the pre-retry one-shot protocol exactly.
-//
-// Deprecated: pass WithRetry to NewSubject.
-func (s *Subject) SetRetry(p RetryPolicy) { s.retry = p }
+// Bind attaches the engine to a transport endpoint and installs it as the
+// endpoint's inbound handler. Call once, before the first Discover; engines
+// constructed with WithEndpoint are already bound.
+func (s *Subject) Bind(ep transport.Endpoint) {
+	s.ep = ep
+	ep.Bind(s)
+}
 
 // PendingSessions returns the number of in-progress phase-2 handshakes —
 // the leak the chaos tests assert returns to zero after SessionTTL. Safe to
@@ -117,13 +119,11 @@ func (s *Subject) PendingSessions() int { return int(s.pendingN.Load()) }
 // syncPending republishes len(sessions) after a mutation; event-loop only.
 func (s *Subject) syncPending() { s.pendingN.Store(int64(len(s.sessions))) }
 
-// Instrument attaches a metrics registry and an optional span tracer.
+// instrument attaches a metrics registry and an optional span tracer.
 // Telemetry is purely observational — it consumes no randomness and
 // schedules no events, so instrumented and uninstrumented runs of the same
-// seed are identical. Passing nils detaches.
-//
-// Deprecated: pass WithTelemetry to NewSubject.
-func (s *Subject) Instrument(reg *obs.Registry, tr *obs.Tracer) {
+// seed are identical.
+func (s *Subject) instrument(reg *obs.Registry, tr *obs.Tracer) {
 	if reg == nil && tr == nil {
 		s.tel = nil
 		return
@@ -148,7 +148,7 @@ func (s *Subject) Refresh(prov *backend.SubjectProvision) {
 }
 
 // Results returns all verified discoveries so far. Safe to call from any
-// goroutine while the simulation runs (see the contract in core.go).
+// goroutine while the engine runs (see the contract in core.go).
 func (s *Subject) Results() []Discovery {
 	s.resMu.Lock()
 	defer s.resMu.Unlock()
@@ -174,10 +174,17 @@ func (s *Subject) NextGroup() (wrapped bool) {
 }
 
 // Discover starts one discovery round: broadcast QUE1 with a fresh R_S
-// within ttl hops. Results accumulate as the simulator runs. Sessions left
-// incomplete two or more rounds ago are pruned — their objects are out of
-// range or declined to answer.
-func (s *Subject) Discover(net *netsim.Network, ttl int) error {
+// within ttl hops. Results accumulate as the transport delivers responses.
+// Sessions left incomplete two or more rounds ago are pruned — their objects
+// are out of range or declined to answer.
+//
+// Like every state-mutating engine method, Discover must run on the engine's
+// event loop: call it inline when driving the simulator, or through
+// Endpoint.Do on a concurrent transport.
+func (s *Subject) Discover(ttl int) error {
+	if s.ep == nil {
+		return errUnbound
+	}
 	rs, err := suite.NewNonce(nil)
 	if err != nil {
 		return err
@@ -190,15 +197,15 @@ func (s *Subject) Discover(net *netsim.Network, ttl int) error {
 	}
 	s.syncPending()
 	s.rs = rs
-	s.que1At = net.Now()
+	s.que1At = s.ep.Now()
 	s.lastTTL = ttl
-	s.l1Recorded = make(map[netsim.NodeID]bool)
+	s.l1Recorded = make(map[transport.Addr]bool)
 	s.tel.roundStarted()
 	q := &wire.QUE1{Version: s.version, RS: rs}
 	s.que1Enc = q.Encode()
-	net.Broadcast(s.node, s.que1Enc, ttl)
+	s.ep.Broadcast(s.que1Enc, ttl)
 	if s.retry.Enabled() && s.retry.Que1Retries > 0 {
-		s.scheduleQue1Retry(net, 1)
+		s.scheduleQue1Retry(1)
 	}
 	return nil
 }
@@ -208,36 +215,41 @@ func (s *Subject) Discover(net *netsim.Network, ttl int) error {
 // tell "everyone answered" from "the rest lost my query" — but it is cheap:
 // objects suppress the duplicate via R_S, and objects with a stalled
 // handshake use it as a cue to resend RES1.
-func (s *Subject) scheduleQue1Retry(net *netsim.Network, attempt int) {
+func (s *Subject) scheduleQue1Retry(attempt int) {
 	round := s.round
-	net.After(s.retry.delay(attempt), func() {
+	s.ep.After(s.retry.delay(attempt), func() {
 		if s.round != round {
 			return // a newer round superseded this one
 		}
 		s.tel.retransmit(msgQUE1)
-		net.Broadcast(s.node, s.que1Enc, s.lastTTL)
+		s.ep.Broadcast(s.que1Enc, s.lastTTL)
 		if attempt < s.retry.Que1Retries {
-			s.scheduleQue1Retry(net, attempt+1)
+			s.scheduleQue1Retry(attempt + 1)
 		}
 	})
 }
 
 // DiscoverAll runs one round per held group key, rotating keys between
-// rounds, so every authorized covert service is found (§VI-C). The network
-// is drained between rounds.
-func (s *Subject) DiscoverAll(net *netsim.Network, ttl int) error {
+// rounds, so every authorized covert service is found (§VI-C). settle is
+/// called between rounds to let in-flight traffic drain: pass a closure
+// running the simulator's event loop (func() { net.Run(0) }), or a bounded
+// wall-clock wait on a real transport. A nil settle starts rounds
+// back-to-back.
+func (s *Subject) DiscoverAll(ttl int, settle func()) error {
 	for i := 0; i < max(1, len(s.prov.Memberships)); i++ {
-		if err := s.Discover(net, ttl); err != nil {
+		if err := s.Discover(ttl); err != nil {
 			return err
 		}
-		net.Run(0)
+		if settle != nil {
+			settle()
+		}
 		s.NextGroup()
 	}
 	return nil
 }
 
-// HandleMessage implements netsim.Handler.
-func (s *Subject) HandleMessage(net *netsim.Network, from netsim.NodeID, payload []byte) {
+// Handle implements transport.Handler.
+func (s *Subject) Handle(from transport.Addr, payload []byte) {
 	msg, err := wire.Decode(payload)
 	if err != nil {
 		s.tel.malformedDrop()
@@ -245,25 +257,25 @@ func (s *Subject) HandleMessage(net *netsim.Network, from netsim.NodeID, payload
 	}
 	switch m := msg.(type) {
 	case *wire.RES1:
-		s.handleRES1(net, from, m, payload)
+		s.handleRES1(from, m, payload)
 	case *wire.RES2:
-		s.handleRES2(net, from, m)
+		s.handleRES2(from, m)
 	}
 }
 
-func (s *Subject) handleRES1(net *netsim.Network, from netsim.NodeID, m *wire.RES1, raw []byte) {
+func (s *Subject) handleRES1(from transport.Addr, m *wire.RES1, raw []byte) {
 	switch m.Mode {
 	case wire.ModePublic:
-		s.handlePublicRES1(net, from, m)
+		s.handlePublicRES1(from, m)
 	case wire.ModeSecure:
-		s.handleSecureRES1(net, from, m, raw)
+		s.handleSecureRES1(from, m, raw)
 	}
 }
 
 // handlePublicRES1 processes a Level 1 response: verify the admin signature
 // on the plaintext profile (the subject's only compute-intensive operation in
 // Level 1, Fig 6b).
-func (s *Subject) handlePublicRES1(net *netsim.Network, from netsim.NodeID, m *wire.RES1) {
+func (s *Subject) handlePublicRES1(from transport.Addr, m *wire.RES1) {
 	prof, err := cert.DecodeProfile(m.Prof)
 	if err != nil || prof.Kind != cert.RoleObject {
 		return
@@ -275,16 +287,16 @@ func (s *Subject) handlePublicRES1(net *netsim.Network, from netsim.NodeID, m *w
 		return // duplicate delivery of this round's plaintext RES1
 	}
 	s.l1Recorded[from] = true
-	st := phaseStamps{session: s.tel.session(), que1At: s.que1At, res1At: net.Now()}
+	st := phaseStamps{session: s.tel.session(), que1At: s.que1At, res1At: s.ep.Now()}
 	s.tel.count(opsVerify, 1)
-	net.Compute(s.node, s.costs.Verify, func() {
-		s.tel.sessionDone(st, L1, from, s.version, net.Now())
+	s.ep.Compute(s.costs.Verify, func() {
+		s.tel.sessionDone(st, L1, from, s.version, s.ep.Now())
 		s.record(Discovery{
 			Object:  prof.Entity,
 			Node:    from,
 			Level:   L1,
 			Profile: prof,
-			At:      net.Now(),
+			At:      s.ep.Now(),
 			Round:   s.round,
 		})
 	})
@@ -292,7 +304,7 @@ func (s *Subject) handlePublicRES1(net *netsim.Network, from netsim.NodeID, m *w
 
 // handleSecureRES1 runs the subject side of phase 2: authenticate the
 // object, establish K2 (and K3 from the active group key), and send QUE2.
-func (s *Subject) handleSecureRES1(net *netsim.Network, from netsim.NodeID, m *wire.RES1, raw []byte) {
+func (s *Subject) handleSecureRES1(from transport.Addr, m *wire.RES1, raw []byte) {
 	if s.rs == nil {
 		return // no discovery in progress
 	}
@@ -304,7 +316,7 @@ func (s *Subject) handleSecureRES1(net *netsim.Network, from netsim.NodeID, m *w
 		// duplicate usually means our QUE2 was lost; resend it verbatim.
 		if s.retry.Enabled() && sess.que2Enc != nil {
 			s.tel.retransmit(msgQUE2)
-			net.Send(s.node, from, sess.que2Enc)
+			s.ep.Send(from, sess.que2Enc)
 		}
 		return
 	}
@@ -342,8 +354,8 @@ func (s *Subject) handleSecureRES1(net *netsim.Network, from netsim.NodeID, m *w
 	tsHash := ts.Hash()
 	q.MACS2 = suite.FinishedMAC(k2, suite.LabelSubjectFinished, tsHash)
 
-	sess := &subjSession{objNode: from, k2: k2, ts: ts, round: s.round}
-	sess.stamps = phaseStamps{session: s.tel.session(), secure: true, que1At: s.que1At, res1At: net.Now()}
+	sess := &subjSession{objAddr: from, k2: k2, ts: ts, round: s.round}
+	sess.stamps = phaseStamps{session: s.tel.session(), secure: true, que1At: s.que1At, res1At: s.ep.Now()}
 	extraHMACs := 0
 	if s.version != wire.V10 && len(s.prov.Memberships) > 0 {
 		// v2.0: MAC_{S,3} is attached only when performing Level 3 discovery,
@@ -365,7 +377,7 @@ func (s *Subject) handleSecureRES1(net *netsim.Network, from netsim.NodeID, m *w
 	s.sessions[key] = sess
 	s.syncPending()
 	if s.retry.Enabled() {
-		s.scheduleExpiry(net, key, sess)
+		s.scheduleExpiry(key, sess)
 	}
 
 	// Fig 6b subject cost in Level 2/3: 1 signing, 3 verifications (CERT_O,
@@ -380,13 +392,13 @@ func (s *Subject) handleSecureRES1(net *netsim.Network, from netsim.NodeID, m *w
 		s.tel.count(opsSign, 1)
 		s.tel.count(opsHMAC, int64(2+extraHMACs))
 	}
-	net.Compute(s.node, cost, func() {
-		sess.stamps.que2At = net.Now()
+	s.ep.Compute(cost, func() {
+		sess.stamps.que2At = s.ep.Now()
 		enc := q.Encode()
 		sess.que2Enc = enc
-		net.Send(s.node, from, enc)
+		s.ep.Send(from, enc)
 		if s.retry.Enabled() && s.retry.Que2Retries > 0 {
-			s.scheduleQue2Retry(net, key, 1)
+			s.scheduleQue2Retry(key, 1)
 		}
 	})
 }
@@ -394,16 +406,16 @@ func (s *Subject) handleSecureRES1(net *netsim.Network, from netsim.NodeID, m *w
 // scheduleQue2Retry arms the attempt-th QUE2 retransmission for the session
 // under key. The timer is a no-op once the session completed (verified RES2)
 // or expired.
-func (s *Subject) scheduleQue2Retry(net *netsim.Network, key sessionKey, attempt int) {
-	net.After(s.retry.delay(attempt), func() {
+func (s *Subject) scheduleQue2Retry(key sessionKey, attempt int) {
+	s.ep.After(s.retry.delay(attempt), func() {
 		sess, ok := s.sessions[key]
 		if !ok || sess.que2Enc == nil {
 			return
 		}
 		s.tel.retransmit(msgQUE2)
-		net.Send(s.node, sess.objNode, sess.que2Enc)
+		s.ep.Send(sess.objAddr, sess.que2Enc)
 		if attempt < s.retry.Que2Retries {
-			s.scheduleQue2Retry(net, key, attempt+1)
+			s.scheduleQue2Retry(key, attempt+1)
 		}
 	})
 }
@@ -414,8 +426,8 @@ func (s *Subject) scheduleQue2Retry(net *netsim.Network, key sessionKey, attempt
 // suppression from converging. The pointer comparison protects a newer
 // session that reused the key (same peer, same R_S — only possible across
 // rounds with a nonce collision, but cheap to be exact about).
-func (s *Subject) scheduleExpiry(net *netsim.Network, key sessionKey, sess *subjSession) {
-	net.After(s.retry.ttl(), func() {
+func (s *Subject) scheduleExpiry(key sessionKey, sess *subjSession) {
+	s.ep.After(s.retry.ttl(), func() {
 		if cur, ok := s.sessions[key]; ok && cur == sess {
 			delete(s.sessions, key)
 			s.syncPending()
@@ -427,13 +439,13 @@ func (s *Subject) scheduleExpiry(net *netsim.Network, key sessionKey, sess *subj
 // handleRES2 completes the handshake: determine which key the object used
 // (K2 → Level 2 face, K3 → Level 3 fellow), verify, decrypt, and verify the
 // admin signature on the received PROF variant.
-func (s *Subject) handleRES2(net *netsim.Network, from netsim.NodeID, m *wire.RES2) {
+func (s *Subject) handleRES2(from transport.Addr, m *wire.RES2) {
 	// RES2 carries no R_S echo, so locate the pending session by peer,
 	// preferring the most recent round if several are outstanding.
 	var key sessionKey
 	var sess *subjSession
 	for k, c := range s.sessions {
-		if c.objNode == from && (sess == nil || c.round > sess.round) {
+		if c.objAddr == from && (sess == nil || c.round > sess.round) {
 			key, sess = k, c
 		}
 	}
@@ -444,7 +456,7 @@ func (s *Subject) handleRES2(net *netsim.Network, from netsim.NodeID, m *wire.RE
 		delete(s.sessions, key)
 		s.syncPending()
 	}
-	sess.stamps.res2At = net.Now()
+	sess.stamps.res2At = s.ep.Now()
 
 	to := transcriptO(sess.ts, sess.que2, m.Ciphertext)
 	toHash := to.Hash()
@@ -487,15 +499,15 @@ func (s *Subject) handleRES2(net *netsim.Network, from netsim.NodeID, m *wire.RE
 		s.tel.count(opsCipher, 1)
 		s.tel.count(opsVerify, 1)
 	}
-	net.Compute(s.node, cost, func() {
-		s.tel.sessionDone(sess.stamps, level, from, s.version, net.Now())
+	s.ep.Compute(cost, func() {
+		s.tel.sessionDone(sess.stamps, level, from, s.version, s.ep.Now())
 		s.record(Discovery{
 			Object:  prof.Entity,
 			Node:    from,
 			Level:   level,
 			Group:   uint64(group),
 			Profile: prof,
-			At:      net.Now(),
+			At:      s.ep.Now(),
 			Round:   sess.round,
 		})
 	})

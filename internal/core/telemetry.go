@@ -5,8 +5,8 @@ import (
 	"strconv"
 	"time"
 
-	"argus/internal/netsim"
 	"argus/internal/obs"
+	"argus/internal/transport"
 	"argus/internal/wire"
 )
 
@@ -133,13 +133,13 @@ type phaseStamps struct {
 // sessionDone records the per-phase histograms and tracer spans of one
 // completed discovery at doneAt. Only phases the session actually crossed
 // are emitted (Level 1 skips phase 2 entirely).
-func (t *subjectTelemetry) sessionDone(st phaseStamps, level Level, peer netsim.NodeID, version wire.Version, doneAt time.Duration) {
+func (t *subjectTelemetry) sessionDone(st phaseStamps, level Level, peer transport.Addr, version wire.Version, doneAt time.Duration) {
 	if t == nil || !level.Valid() {
 		return
 	}
 	t.discoveries[level].Inc()
 	phases := t.phases[level]
-	detail := fmt.Sprintf("%v peer=%d", version, peer)
+	detail := fmt.Sprintf("%v peer=%s", version, peer)
 	emit := func(phase string, from, to time.Duration) {
 		phases[phase].ObserveDuration(to - from)
 		t.tracer.Record(obs.Span{

@@ -137,9 +137,13 @@ func Deploy(cfg DeployConfig) (*Deployment, error) {
 	if err != nil {
 		return nil, err
 	}
-	d.Subject = core.NewSubject(sprov, cfg.Version, cfg.SubjectCosts, engineOpts()...)
-	d.SubjNode = d.Net.AddNode(d.Subject)
-	d.Subject.Attach(d.SubjNode)
+	// Node allocation order (subject, relay chain, objects in index order) is
+	// load-bearing: node IDs are transport addresses, and fixed-seed
+	// fingerprints quote them.
+	sep := d.Net.NewEndpoint()
+	d.SubjNode = sep.Node()
+	d.Subject = core.NewSubject(sprov, cfg.Version, cfg.SubjectCosts,
+		append(engineOpts(), core.WithEndpoint(sep))...)
 
 	// Relay chain for multi-hop rings (bridging devices, §II-A).
 	maxHop := 1
@@ -186,9 +190,10 @@ func Deploy(cfg DeployConfig) (*Deployment, error) {
 		return nil, err
 	}
 	for i, prov := range provs {
-		o := core.NewObject(prov, cfg.Version, cfg.ObjectCosts, engineOpts()...)
-		node := d.Net.AddNode(o)
-		o.Attach(node)
+		oep := d.Net.NewEndpoint()
+		node := oep.Node()
+		o := core.NewObject(prov, cfg.Version, cfg.ObjectCosts,
+			append(engineOpts(), core.WithEndpoint(oep))...)
 
 		hop := 1
 		if cfg.HopOf != nil {
@@ -209,7 +214,7 @@ func Deploy(cfg DeployConfig) (*Deployment, error) {
 // network, returning the discoveries and the completion time (virtual time
 // of the last discovery).
 func (d *Deployment) Run(ttl int) ([]core.Discovery, error) {
-	if err := d.Subject.Discover(d.Net, ttl); err != nil {
+	if err := d.Subject.Discover(ttl); err != nil {
 		return nil, err
 	}
 	d.Net.Run(0)

@@ -17,7 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-strength", "ablation-versions", "comparison",
 		"fastpath-handshake", "fastpath-provision",
 		"fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig6f", "fig6g", "fig6h",
-		"msgsize", "propagation", "table1",
+		"mesh-throughput", "msgsize", "propagation", "table1",
 	}
 	got := IDs()
 	if len(got) != len(want) {

@@ -50,9 +50,10 @@ func runPropagation(quick bool) (*Result, error) {
 		}
 
 		net := netsim.New(netsim.DefaultWiFi(), int64(n))
-		dist := update.NewDistributor(b.Admin(), net)
+		dep := net.NewEndpoint()
+		dist := update.NewDistributor(b.Admin(), dep)
 		hub := net.AddNode(nil)
-		net.Link(dist.Node(), hub)
+		net.Link(dep.Node(), hub)
 
 		effectuated := 0
 		for i := 0; i < n; i++ {
@@ -66,16 +67,16 @@ func runPropagation(quick bool) (*Result, error) {
 				return nil, err
 			}
 			eng := core.NewObject(prov, wire.V30, PiCosts())
-			agent := update.NewAgent(b.AdminPublic(), eng, func(u *update.Notification) {
+			agent := update.NewAgent(b.AdminPublic(), nil, func(u *update.Notification) {
 				if u.Kind == update.KindRevokeSubject {
 					eng.Revoke(u.Subject)
 					effectuated++
 				}
 			})
-			node := net.AddNode(agent)
-			eng.Attach(node)
-			net.Link(hub, node)
-			dist.Register(oid, node)
+			ep := net.NewEndpoint()
+			eng.Bind(agent.Wrap(ep))
+			net.Link(hub, ep.Node())
+			dist.Register(oid, ep.Addr())
 		}
 
 		rep, err := b.RevokeSubject(sid)
@@ -250,9 +251,9 @@ func runAblationGroups(quick bool) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		subj := core.NewSubject(sprov, wire.V30, PhoneCosts())
-		sn = net.AddNode(subj)
-		subj.Attach(sn)
+		sep := net.NewEndpoint()
+		sn = sep.Node()
+		subj := core.NewSubject(sprov, wire.V30, PhoneCosts(), core.WithEndpoint(sep))
 		for _, oid := range b.Objects() {
 			rec, err := b.Object(oid)
 			if err != nil || rec.Level != backend.L3 {
@@ -262,12 +263,11 @@ func runAblationGroups(quick bool) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			eng := core.NewObject(prov, wire.V30, PiCosts())
-			n := net.AddNode(eng)
-			eng.Attach(n)
-			net.Link(sn, n)
+			oep := net.NewEndpoint()
+			core.NewObject(prov, wire.V30, PiCosts(), core.WithEndpoint(oep))
+			net.Link(sn, oep.Node())
 		}
-		if err := subj.DiscoverAll(net, 1); err != nil {
+		if err := subj.DiscoverAll(1, func() { net.Run(0) }); err != nil {
 			return nil, err
 		}
 		covert := 0

@@ -56,11 +56,10 @@ func runAblationCrowd(quick bool) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			s := core.NewSubject(prov, wire.V30, PhoneCosts())
-			n := net.AddNode(s)
-			s.Attach(n)
+			sep := net.NewEndpoint()
+			s := core.NewSubject(prov, wire.V30, PhoneCosts(), core.WithEndpoint(sep))
 			subjects = append(subjects, s)
-			subjNodes = append(subjNodes, n)
+			subjNodes = append(subjNodes, sep.Node())
 		}
 		for i := 0; i < nObjects; i++ {
 			oid, _, err := b.RegisterObject(fmt.Sprintf("object-%02d", i), backend.L2,
@@ -72,16 +71,16 @@ func runAblationCrowd(quick bool) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			o := core.NewObject(prov, wire.V30, PiCosts())
-			on := net.AddNode(o)
-			o.Attach(on)
+			oep := net.NewEndpoint()
+			core.NewObject(prov, wire.V30, PiCosts(), core.WithEndpoint(oep))
+			on := oep.Node()
 			for _, sn := range subjNodes {
 				net.Link(sn, on)
 			}
 		}
 
 		for _, s := range subjects {
-			if err := s.Discover(net, 1); err != nil {
+			if err := s.Discover(1); err != nil {
 				return nil, err
 			}
 		}

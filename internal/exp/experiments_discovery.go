@@ -6,6 +6,7 @@ import (
 
 	"argus/internal/backend"
 	"argus/internal/core"
+	"argus/internal/netsim"
 )
 
 func init() {
@@ -183,7 +184,11 @@ func runFig6h(bool) (*Result, error) {
 		sums := make(map[int]time.Duration)
 		cnt := make(map[int]int)
 		for _, r := range results {
-			hop := d.Net.HopDistance(d.SubjNode, r.Node)
+			node, ok := netsim.NodeOf(r.Node)
+			if !ok {
+				return nil, fmt.Errorf("non-simulator address %q in results", r.Node)
+			}
+			hop := d.Net.HopDistance(d.SubjNode, node)
 			sums[hop] += r.At
 			cnt[hop]++
 		}

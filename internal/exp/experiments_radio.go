@@ -61,19 +61,19 @@ func runAblationRadio(bool) (*Result, error) {
 		if err != nil {
 			return err
 		}
-		s := core.NewSubject(sprov, wire.V30, PhoneCosts())
-		sn := net.AddNode(s)
-		s.Attach(sn)
+		sep := net.NewEndpoint()
+		sn := sep.Node()
+		s := core.NewSubject(sprov, wire.V30, PhoneCosts(), core.WithEndpoint(sep))
 		oprov, err := b.ProvisionObject(oid)
 		if err != nil {
 			return err
 		}
-		o := core.NewObject(oprov, wire.V30, PiCosts())
-		on := net.AddNode(o)
-		o.Attach(on)
+		oep := net.NewEndpoint()
+		on := oep.Node()
+		core.NewObject(oprov, wire.V30, PiCosts(), core.WithEndpoint(oep))
 		build(net, sn, on)
 
-		if err := s.Discover(net, 2); err != nil {
+		if err := s.Discover(2); err != nil {
 			return err
 		}
 		net.Run(0)

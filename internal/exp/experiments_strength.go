@@ -67,9 +67,9 @@ func runAblationStrength(quick bool) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		subj := core.NewSubject(sprov, wire.V30, costs)
-		sn := net.AddNode(subj)
-		subj.Attach(sn)
+		sep := net.NewEndpoint()
+		sn := sep.Node()
+		subj := core.NewSubject(sprov, wire.V30, costs, core.WithEndpoint(sep))
 		const n = 5
 		for i := 0; i < n; i++ {
 			oid, _, err := b.RegisterObject(fmt.Sprintf("device-%d", i), backend.L2,
@@ -81,12 +81,11 @@ func runAblationStrength(quick bool) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			o := core.NewObject(prov, wire.V30, objCosts)
-			on := net.AddNode(o)
-			o.Attach(on)
-			net.Link(sn, on)
+			oep := net.NewEndpoint()
+			core.NewObject(prov, wire.V30, objCosts, core.WithEndpoint(oep))
+			net.Link(sn, oep.Node())
 		}
-		if err := subj.Discover(net, 1); err != nil {
+		if err := subj.Discover(1); err != nil {
 			return nil, err
 		}
 		net.Run(0)

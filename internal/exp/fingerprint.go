@@ -21,7 +21,10 @@ func Fingerprint(res []core.Discovery, stats netsim.Stats, links map[netsim.Link
 	var b strings.Builder
 	fmt.Fprintf(&b, "discoveries=%d\n", len(res))
 	for i, r := range res {
-		fmt.Fprintf(&b, "d%03d node=%d level=%d group=%d at=%d round=%d\n",
+		// %s on the transport address prints the decimal node ID under the
+		// netsim adapter — byte-identical to the pre-refactor %d output
+		// (locked by the golden fingerprint test).
+		fmt.Fprintf(&b, "d%03d node=%s level=%d group=%d at=%d round=%d\n",
 			i, r.Node, r.Level, r.Group, int64(r.At), r.Round)
 	}
 	fmt.Fprintf(&b, "stats=%+v\n", stats)

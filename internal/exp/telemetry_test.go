@@ -58,7 +58,7 @@ func TestTelemetryDoesNotPerturb(t *testing.T) {
 		// Entity IDs and keys are freshly random per deployment; everything
 		// the simulation *computes* must match exactly.
 		if p.Node != q.Node || p.Level != q.Level || p.At != q.At || p.Round != q.Round {
-			t.Errorf("discovery %d diverged:\n  plain = {node %d %v at %v}\n  instr = {node %d %v at %v}",
+			t.Errorf("discovery %d diverged:\n  plain = {node %s %v at %v}\n  instr = {node %s %v at %v}",
 				i, p.Node, p.Level, p.At, q.Node, q.Level, q.At)
 		}
 	}

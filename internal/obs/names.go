@@ -49,6 +49,11 @@ const (
 	// internal/cert — credential verification cache (handshake fast path).
 	MVerifyCacheEvents = "argus_verify_cache_events_total" // kind, result
 
+	// internal/transport — concurrent-transport mailboxes (Mesh/UDP actor
+	// loops). Inbound frames shed under backpressure vs. frames delivered.
+	MTransportMailboxDrops = "argus_transport_mailbox_drops_total" // addr
+	MTransportDeliveries   = "argus_transport_deliveries_total"    // addr
+
 	// internal/backend.
 	MBackendChurnOps = "argus_backend_churn_ops_total" // op
 	MBackendNotified = "argus_backend_notified_total"  // kind

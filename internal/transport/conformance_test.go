@@ -1,0 +1,284 @@
+package transport_test
+
+// Conformance suite for the transport.Endpoint contract. Every transport —
+// the deterministic simulator adapter, the concurrent in-memory Mesh, and
+// real UDP sockets — must deliver the same observable semantics to the
+// protocol engines: verbatim payloads with truthful source addresses,
+// TTL-gated broadcast, monotone clocks, timers and Do closures serialized
+// onto the endpoint's event loop. The engines are transport-generic exactly
+// to the extent this suite proves.
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"argus/internal/netsim"
+	"argus/internal/transport"
+)
+
+// fixture builds n endpoints that can all reach each other in one hop.
+// settle drives deliveries on transports that need an external pump (the
+// simulator); on concurrent transports it is a no-op and tests poll.
+type fixture struct {
+	name string
+	// concurrent marks transports whose Do may be called from any goroutine.
+	// The simulator's Do runs inline by contract — the single goroutine
+	// driving Network.Run owns the loop — so it is exempt from the
+	// multi-goroutine injection test.
+	concurrent bool
+	build      func(t *testing.T, n int) (eps []transport.Endpoint, settle func())
+}
+
+func fixtures() []fixture {
+	return []fixture{
+		{name: "netsim", build: func(t *testing.T, n int) ([]transport.Endpoint, func()) {
+			net := netsim.New(netsim.DefaultWiFi(), 1)
+			eps := make([]transport.Endpoint, n)
+			for i := range eps {
+				eps[i] = net.NewEndpoint()
+			}
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					net.Link(eps[i].(*netsim.SimEndpoint).Node(), eps[j].(*netsim.SimEndpoint).Node())
+				}
+			}
+			return eps, func() { net.Run(0) }
+		}},
+		{name: "mesh", concurrent: true, build: func(t *testing.T, n int) ([]transport.Endpoint, func()) {
+			m := transport.NewMesh()
+			t.Cleanup(m.Close)
+			eps := make([]transport.Endpoint, n)
+			for i := range eps {
+				eps[i] = m.Join()
+			}
+			return eps, func() {}
+		}},
+		{name: "udp", concurrent: true, build: func(t *testing.T, n int) ([]transport.Endpoint, func()) {
+			uds := make([]*transport.UDPEndpoint, n)
+			for i := range uds {
+				ep, err := transport.ListenUDP(transport.UDPConfig{Listen: "127.0.0.1:0"})
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { ep.Close() })
+				uds[i] = ep
+			}
+			eps := make([]transport.Endpoint, n)
+			for i, ep := range uds {
+				for j, peer := range uds {
+					if i != j {
+						if err := ep.AddPeer(string(peer.Addr())); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				eps[i] = ep
+			}
+			return eps, func() {}
+		}},
+	}
+}
+
+// recorder is a Handler capturing every frame, safe to read concurrently.
+type recorder struct {
+	mu  sync.Mutex
+	got []frame
+}
+
+type frame struct {
+	from    transport.Addr
+	payload []byte
+}
+
+func (r *recorder) Handle(from transport.Addr, payload []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.got = append(r.got, frame{from, append([]byte(nil), payload...)})
+}
+
+func (r *recorder) frames() []frame {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]frame(nil), r.got...)
+}
+
+// waitFor pumps settle until cond holds or the deadline passes.
+func waitFor(t *testing.T, settle func(), cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		settle()
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestConformanceUnicastVerbatim(t *testing.T) {
+	for _, fx := range fixtures() {
+		t.Run(fx.name, func(t *testing.T) {
+			eps, settle := fx.build(t, 2)
+			rec := &recorder{}
+			eps[1].Bind(rec)
+			eps[0].Bind(&recorder{})
+
+			// The payload must arrive byte-for-byte — the Case 7 wire analysis
+			// assumes no transport reframing — with the sender's true address.
+			payload := []byte{0x01, 0x80, 0x00, 0xFF, 0x7F, 0x55}
+			eps[0].Send(eps[1].Addr(), payload)
+			waitFor(t, settle, func() bool { return len(rec.frames()) >= 1 }, "unicast delivery")
+			got := rec.frames()[0]
+			if !bytes.Equal(got.payload, payload) {
+				t.Fatalf("payload corrupted: got % x want % x", got.payload, payload)
+			}
+			if got.from != eps[0].Addr() {
+				t.Fatalf("source address %q, want %q", got.from, eps[0].Addr())
+			}
+		})
+	}
+}
+
+func TestConformanceBroadcastScope(t *testing.T) {
+	for _, fx := range fixtures() {
+		t.Run(fx.name, func(t *testing.T) {
+			const n = 4
+			eps, settle := fx.build(t, n)
+			recs := make([]*recorder, n)
+			for i := range eps {
+				recs[i] = &recorder{}
+				eps[i].Bind(recs[i])
+			}
+
+			// ttl < 1 sends nothing; the marker broadcast that follows proves
+			// the silence is scoping, not latency.
+			dead := []byte("dead")
+			marker := []byte("marker")
+			eps[0].Broadcast(dead, 0)
+			eps[0].Broadcast(marker, 1)
+
+			for i := 1; i < n; i++ {
+				i := i
+				waitFor(t, settle, func() bool { return len(recs[i].frames()) >= 1 },
+					fmt.Sprintf("broadcast to peer %d", i))
+			}
+			for i := 1; i < n; i++ {
+				for _, f := range recs[i].frames() {
+					if bytes.Equal(f.payload, dead) {
+						t.Fatalf("peer %d received a ttl<1 broadcast", i)
+					}
+				}
+				seen := 0
+				for _, f := range recs[i].frames() {
+					if bytes.Equal(f.payload, marker) {
+						seen++
+						if f.from != eps[0].Addr() {
+							t.Fatalf("broadcast source %q, want %q", f.from, eps[0].Addr())
+						}
+					}
+				}
+				if seen != 1 {
+					t.Fatalf("peer %d saw the broadcast %d times, want exactly once", i, seen)
+				}
+			}
+			// The sender never hears its own broadcast.
+			if got := recs[0].frames(); len(got) != 0 {
+				t.Fatalf("sender received its own broadcast: %v", got)
+			}
+		})
+	}
+}
+
+func TestConformanceClockAndTimers(t *testing.T) {
+	for _, fx := range fixtures() {
+		t.Run(fx.name, func(t *testing.T) {
+			eps, settle := fx.build(t, 1)
+			ep := eps[0]
+			ep.Bind(&recorder{})
+
+			before := ep.Now()
+			var mu sync.Mutex
+			var firedAt time.Duration
+			fired := false
+			ep.After(5*time.Millisecond, func() {
+				mu.Lock()
+				firedAt = ep.Now()
+				fired = true
+				mu.Unlock()
+			})
+			waitFor(t, settle, func() bool {
+				mu.Lock()
+				defer mu.Unlock()
+				return fired
+			}, "timer fire")
+
+			mu.Lock()
+			at := firedAt
+			mu.Unlock()
+			// The clock never runs backwards, and a timer never fires early.
+			if at < before {
+				t.Fatalf("clock went backwards: Now()=%v before scheduling, %v at fire", before, at)
+			}
+			if at-before < 5*time.Millisecond {
+				t.Fatalf("timer fired after %v, scheduled for 5ms", at-before)
+			}
+			if now := ep.Now(); now < at {
+				t.Fatalf("clock not monotone: %v after fire at %v", now, at)
+			}
+		})
+	}
+}
+
+// TestConformanceLoopSerialization is the single-writer guarantee the engines
+// are built on: Do closures, Compute continuations and deliveries all run on
+// one logical event loop, so unsynchronized state they share never races.
+// Under -race this test fails loudly if any transport breaks the contract.
+func TestConformanceLoopSerialization(t *testing.T) {
+	for _, fx := range fixtures() {
+		t.Run(fx.name, func(t *testing.T) {
+			eps, settle := fx.build(t, 2)
+			counter := 0 // deliberately unsynchronized: the loop is the lock
+			rec := transport.HandlerFunc(func(from transport.Addr, payload []byte) {
+				counter++
+			})
+			eps[1].Bind(rec)
+			eps[0].Bind(&recorder{})
+
+			const workers, perWorker = 8, 25
+			if fx.concurrent {
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for i := 0; i < perWorker; i++ {
+							eps[1].Do(func() { counter++ })
+						}
+					}()
+				}
+				wg.Wait()
+			} else {
+				// Single-threaded transport: the test goroutine owns the loop.
+				for i := 0; i < workers*perWorker; i++ {
+					eps[1].Do(func() { counter++ })
+				}
+			}
+			eps[0].Send(eps[1].Addr(), []byte("frame"))
+			eps[1].Do(func() { eps[1].Compute(time.Microsecond, func() { counter++ }) })
+
+			want := workers*perWorker + 2
+			read := func() (v int) {
+				done := make(chan struct{})
+				eps[1].Do(func() { v = counter; close(done) })
+				settle()
+				<-done
+				return v
+			}
+			waitFor(t, settle, func() bool { return read() == want }, "serialized counter")
+		})
+	}
+}

@@ -1,0 +1,158 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"argus/internal/obs"
+)
+
+// DefaultMailbox is the inbound-frame bound used when a transport is built
+// without an explicit size.
+const DefaultMailbox = 1024
+
+// inbound is one delivered frame awaiting the handler.
+type inbound struct {
+	from    Addr
+	payload []byte
+}
+
+// mailbox serializes everything that touches engine state onto one actor
+// goroutine: inbound frames (bounded, shed under overload) and control work
+// — timers and injected closures — which is never shed. Control drains
+// before frames on every wake, so a flooded node still runs its
+// session-expiry timers.
+type mailbox struct {
+	mu     sync.Mutex
+	ctrl   []func()
+	msgs   []inbound
+	limit  int
+	wake   chan struct{}
+	closed bool
+
+	drops     atomic.Int64
+	delivered atomic.Int64
+	dropC     *obs.Counter // optional, set before Bind
+	deliverC  *obs.Counter
+
+	loopDone chan struct{}
+}
+
+func newMailbox(limit int) *mailbox {
+	if limit <= 0 {
+		limit = DefaultMailbox
+	}
+	return &mailbox{
+		limit:    limit,
+		wake:     make(chan struct{}, 1),
+		loopDone: make(chan struct{}),
+	}
+}
+
+// instrument resolves the backpressure counters for one endpoint.
+func (mb *mailbox) instrument(reg *obs.Registry, addr Addr) {
+	if reg == nil {
+		return
+	}
+	mb.dropC = reg.Counter(obs.MTransportMailboxDrops,
+		"Inbound frames shed because an endpoint's bounded mailbox was full.",
+		obs.L("addr", string(addr)))
+	mb.deliverC = reg.Counter(obs.MTransportDeliveries,
+		"Inbound frames handed to an endpoint's handler.",
+		obs.L("addr", string(addr)))
+}
+
+func (mb *mailbox) signal() {
+	select {
+	case mb.wake <- struct{}{}:
+	default:
+	}
+}
+
+// enqueueCtrl queues control work (timer fire, Do closure). Control is
+// unbounded: dropping a retransmission or GC timer would wedge the protocol
+// in a way no real network can.
+func (mb *mailbox) enqueueCtrl(fn func()) {
+	mb.mu.Lock()
+	if mb.closed {
+		mb.mu.Unlock()
+		return
+	}
+	mb.ctrl = append(mb.ctrl, fn)
+	mb.mu.Unlock()
+	mb.signal()
+}
+
+// enqueueMsg queues an inbound frame, shedding it with a counted drop when
+// the mailbox is at its bound.
+func (mb *mailbox) enqueueMsg(from Addr, payload []byte) {
+	mb.mu.Lock()
+	if mb.closed || len(mb.msgs) >= mb.limit {
+		closed := mb.closed
+		mb.mu.Unlock()
+		if !closed {
+			mb.drops.Add(1)
+			if mb.dropC != nil {
+				mb.dropC.Inc()
+			}
+		}
+		return
+	}
+	mb.msgs = append(mb.msgs, inbound{from: from, payload: payload})
+	mb.mu.Unlock()
+	mb.signal()
+}
+
+// close stops the loop once the queues drain. Idempotent.
+func (mb *mailbox) close() {
+	mb.mu.Lock()
+	already := mb.closed
+	mb.closed = true
+	mb.mu.Unlock()
+	if !already {
+		mb.signal()
+	}
+}
+
+// run is the actor loop: drain control, then frames, then sleep until woken.
+// It is the only goroutine that ever calls h, preserving the engines'
+// single-writer contract.
+func (mb *mailbox) run(h Handler) {
+	defer close(mb.loopDone)
+	for {
+		mb.mu.Lock()
+		ctrl := mb.ctrl
+		mb.ctrl = nil
+		msgs := mb.msgs
+		mb.msgs = nil
+		closed := mb.closed
+		mb.mu.Unlock()
+
+		for _, fn := range ctrl {
+			fn()
+		}
+		for _, m := range msgs {
+			mb.delivered.Add(1)
+			if mb.deliverC != nil {
+				mb.deliverC.Inc()
+			}
+			h.Handle(m.from, m.payload)
+		}
+		if len(ctrl) == 0 && len(msgs) == 0 {
+			if closed {
+				return
+			}
+			<-mb.wake
+		}
+	}
+}
+
+// after arms a wall-clock timer whose callback runs on the actor loop.
+func (mb *mailbox) after(d time.Duration, fn func()) {
+	if d <= 0 {
+		mb.enqueueCtrl(fn)
+		return
+	}
+	time.AfterFunc(d, func() { mb.enqueueCtrl(fn) })
+}

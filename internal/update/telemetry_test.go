@@ -28,9 +28,10 @@ func TestPropagationTelemetry(t *testing.T) {
 	reg := obs.NewRegistry()
 	net := netsim.New(netsim.DefaultWiFi(), 3)
 	hub := net.AddNode(nil)
-	dist := NewDistributor(b.Admin(), net)
+	dep := net.NewEndpoint()
+	dist := NewDistributor(b.Admin(), dep)
 	dist.Instrument(reg)
-	net.Link(hub, dist.Node())
+	net.Link(hub, dep.Node())
 
 	var agents []*Agent
 	for i := 0; i < n; i++ {
@@ -41,12 +42,12 @@ func TestPropagationTelemetry(t *testing.T) {
 		}
 		prov, _ := b.ProvisionObject(oid)
 		eng := core.NewObject(prov, wire.V30, core.Costs{})
-		agent := NewAgent(b.AdminPublic(), eng, nil)
+		agent := NewAgent(b.AdminPublic(), nil, nil)
 		agent.Instrument(reg, dist.SentAt)
-		node := net.AddNode(agent)
-		eng.Attach(node)
-		net.Link(hub, node)
-		dist.Register(oid, node)
+		ep := net.NewEndpoint()
+		eng.Bind(agent.Wrap(ep))
+		net.Link(hub, ep.Node())
+		dist.Register(oid, ep.Addr())
 		agents = append(agents, agent)
 	}
 
@@ -78,7 +79,7 @@ func TestPropagationTelemetry(t *testing.T) {
 	replay := &Notification{Kind: KindRevokeSubject, Seq: 1, Subject: sid}
 	sig, _ := b.Admin().Sign(replay.body())
 	replay.Sig = sig
-	agents[0].HandleMessage(net, hub, replay.Encode())
+	agents[0].Handle(netsim.AddrOf(hub), replay.Encode())
 	if m := reg.Snapshot().Get(obs.MUpdateRejected); m == nil || m.Value != 1 {
 		t.Fatalf("rejected counter = %+v, want 1", m)
 	}

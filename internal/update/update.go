@@ -24,9 +24,9 @@ import (
 
 	"argus/internal/cert"
 	"argus/internal/enc"
-	"argus/internal/netsim"
 	"argus/internal/obs"
 	"argus/internal/suite"
+	"argus/internal/transport"
 )
 
 // Kind enumerates notification types.
@@ -110,11 +110,14 @@ func (n *Notification) Verify(adminPub suite.PublicKey) bool {
 
 // Agent wraps a device's discovery engine: it intercepts admin notifications
 // (verify signature → check sequence → apply) and passes every other message
-// through. Compose it as the node's netsim.Handler.
+// through. It is a transport.Handler middleware: either install it as the
+// endpoint handler directly (with inner set), or — the usual way — bind the
+// engine to Wrap(ep) so the agent interposes transparently.
 type Agent struct {
 	adminPub suite.PublicKey
-	inner    netsim.Handler
+	inner    transport.Handler
 	apply    func(*Notification)
+	now      func() time.Duration
 	lastSeq  uint64
 	applied  int
 	rejected int
@@ -127,8 +130,29 @@ type Agent struct {
 
 // NewAgent builds an agent. apply is invoked for each fresh, authentic
 // notification (typically: re-pull the provision and Refresh the engine).
-func NewAgent(adminPub suite.PublicKey, inner netsim.Handler, apply func(*Notification)) *Agent {
+// inner may be nil when the engine is attached later through Wrap.
+func NewAgent(adminPub suite.PublicKey, inner transport.Handler, apply func(*Notification)) *Agent {
 	return &Agent{adminPub: adminPub, inner: inner, apply: apply}
+}
+
+// Wrap interposes the agent on an endpoint's inbound path: binding an engine
+// to the returned endpoint installs the agent as the real handler with the
+// engine as its passthrough, so update envelopes are consumed by the agent
+// and everything else reaches the engine unchanged. All other Endpoint
+// methods delegate to ep untouched.
+func (a *Agent) Wrap(ep transport.Endpoint) transport.Endpoint {
+	a.now = ep.Now
+	return &agentEndpoint{Endpoint: ep, agent: a}
+}
+
+type agentEndpoint struct {
+	transport.Endpoint
+	agent *Agent
+}
+
+func (w *agentEndpoint) Bind(h transport.Handler) {
+	w.agent.inner = h
+	w.Endpoint.Bind(w.agent)
 }
 
 // Instrument attaches a metrics registry. sentAt, when non-nil (typically
@@ -155,12 +179,12 @@ func (a *Agent) Applied() int { return a.applied }
 // checks.
 func (a *Agent) Rejected() int { return a.rejected }
 
-// HandleMessage implements netsim.Handler.
-func (a *Agent) HandleMessage(net *netsim.Network, from netsim.NodeID, payload []byte) {
+// Handle implements transport.Handler.
+func (a *Agent) Handle(from transport.Addr, payload []byte) {
 	n, isUpdate, err := Decode(payload)
 	if !isUpdate {
 		if a.inner != nil {
-			a.inner.HandleMessage(net, from, payload)
+			a.inner.Handle(from, payload)
 		}
 		return
 	}
@@ -172,9 +196,9 @@ func (a *Agent) HandleMessage(net *netsim.Network, from netsim.NodeID, payload [
 	a.lastSeq = n.Seq
 	a.applied++
 	a.appliedC.Inc()
-	if a.sentAt != nil {
+	if a.sentAt != nil && a.now != nil {
 		if t, ok := a.sentAt(n.Seq); ok {
-			a.propagation.ObserveDuration(net.Now() - t)
+			a.propagation.ObserveDuration(a.now() - t)
 		}
 	}
 	if a.apply != nil {
@@ -183,12 +207,11 @@ func (a *Agent) HandleMessage(net *netsim.Network, from netsim.NodeID, payload [
 }
 
 // Distributor is the backend's ground gateway: it signs notifications and
-// unicasts them to affected devices over the ground network.
+// unicasts them to affected devices over its transport endpoint.
 type Distributor struct {
 	admin *cert.Admin
-	net   *netsim.Network
-	node  netsim.NodeID
-	addr  map[cert.ID]netsim.NodeID
+	ep    transport.Endpoint
+	addr  map[cert.ID]transport.Addr
 	seq   uint64
 	sent  int
 
@@ -196,19 +219,19 @@ type Distributor struct {
 	sentAts map[uint64]time.Duration // seq → virtual push time, for lag measurement
 }
 
-// NewDistributor attaches a backend gateway to the network at its own node.
-func NewDistributor(admin *cert.Admin, net *netsim.Network) *Distributor {
-	d := &Distributor{
+// NewDistributor builds a backend gateway sending through ep (the gateway
+// itself receives nothing, so ep stays unbound). Under the simulator, pass
+// net.NewEndpoint() and link its Node into the topology.
+func NewDistributor(admin *cert.Admin, ep transport.Endpoint) *Distributor {
+	return &Distributor{
 		admin: admin,
-		net:   net,
-		addr:  make(map[cert.ID]netsim.NodeID),
+		ep:    ep,
+		addr:  make(map[cert.ID]transport.Addr),
 	}
-	d.node = net.AddNode(nil) // the gateway itself receives nothing
-	return d
 }
 
-// Node returns the gateway's network address (link it into the topology).
-func (d *Distributor) Node() netsim.NodeID { return d.node }
+// Addr returns the gateway's transport address.
+func (d *Distributor) Addr() transport.Addr { return d.ep.Addr() }
 
 // Instrument attaches a metrics registry: pushes are counted by kind and
 // stamped with their virtual send time so instrumented agents can measure
@@ -230,8 +253,8 @@ func (d *Distributor) SentAt(seq uint64) (time.Duration, bool) {
 	return t, ok
 }
 
-// Register maps a device identity to its ground-network address.
-func (d *Distributor) Register(id cert.ID, node netsim.NodeID) { d.addr[id] = node }
+// Register maps a device identity to its transport address.
+func (d *Distributor) Register(id cert.ID, addr transport.Addr) { d.addr[id] = addr }
 
 // Sent returns the number of notifications pushed so far — the measured
 // updating overhead.
@@ -239,7 +262,7 @@ func (d *Distributor) Sent() int { return d.sent }
 
 // push signs and unicasts one notification.
 func (d *Distributor) push(to cert.ID, n *Notification) error {
-	node, ok := d.addr[to]
+	addr, ok := d.addr[to]
 	if !ok {
 		return fmt.Errorf("update: no ground address for %v", to)
 	}
@@ -253,9 +276,9 @@ func (d *Distributor) push(to cert.ID, n *Notification) error {
 	if d.reg != nil {
 		d.reg.Counter(obs.MUpdateSent, "Admin notifications pushed to the ground, by kind.",
 			obs.L("kind", n.Kind.String())).Inc()
-		d.sentAts[d.seq] = d.net.Now()
+		d.sentAts[d.seq] = d.ep.Now()
 	}
-	d.net.Send(d.node, node, n.Encode())
+	d.ep.Send(addr, n.Encode())
 	d.sent++
 	return nil
 }

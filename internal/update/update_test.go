@@ -10,6 +10,7 @@ import (
 	"argus/internal/core"
 	"argus/internal/netsim"
 	"argus/internal/suite"
+	"argus/internal/transport"
 	"argus/internal/wire"
 )
 
@@ -68,7 +69,6 @@ func TestAgentVerifiesAndDeduplicates(t *testing.T) {
 	admin, _ := cert.NewAdmin(suite.S128, "admin")
 	applied := 0
 	agent := NewAgent(admin.Public(), nil, func(*Notification) { applied++ })
-	net := netsim.New(netsim.DefaultWiFi(), 1)
 
 	mk := func(seq uint64, signer *cert.Admin) []byte {
 		n := &Notification{Kind: KindReprovision, Seq: seq}
@@ -77,12 +77,13 @@ func TestAgentVerifiesAndDeduplicates(t *testing.T) {
 		return n.Encode()
 	}
 
-	agent.HandleMessage(net, 0, mk(1, admin))
-	agent.HandleMessage(net, 0, mk(1, admin)) // replay
-	agent.HandleMessage(net, 0, mk(2, admin))
+	from := netsim.AddrOf(0)
+	agent.Handle(from, mk(1, admin))
+	agent.Handle(from, mk(1, admin)) // replay
+	agent.Handle(from, mk(2, admin))
 	forged, _ := cert.NewAdmin(suite.S128, "attacker")
-	agent.HandleMessage(net, 0, mk(3, forged)) // forged signature
-	agent.HandleMessage(net, 0, mk(0, admin))  // stale sequence
+	agent.Handle(from, mk(3, forged)) // forged signature
+	agent.Handle(from, mk(0, admin))  // stale sequence
 
 	if applied != 2 {
 		t.Fatalf("applied = %d, want 2", applied)
@@ -95,11 +96,10 @@ func TestAgentVerifiesAndDeduplicates(t *testing.T) {
 func TestAgentPassesDiscoveryTrafficThrough(t *testing.T) {
 	admin, _ := cert.NewAdmin(suite.S128, "admin")
 	var passed []byte
-	inner := netsim.HandlerFunc(func(_ *netsim.Network, _ netsim.NodeID, p []byte) { passed = p })
+	inner := transport.HandlerFunc(func(_ transport.Addr, p []byte) { passed = p })
 	agent := NewAgent(admin.Public(), inner, nil)
-	net := netsim.New(netsim.DefaultWiFi(), 1)
 	q := (&wire.QUE1{Version: wire.V30, RS: make([]byte, suite.NonceSize)}).Encode()
-	agent.HandleMessage(net, 0, q)
+	agent.Handle(netsim.AddrOf(0), q)
 	if passed == nil {
 		t.Fatal("discovery message not passed to inner handler")
 	}
@@ -120,12 +120,13 @@ func TestEndToEndRevocationPropagation(t *testing.T) {
 
 	net := netsim.New(netsim.DefaultWiFi(), 9)
 	sprov, _ := b.ProvisionSubject(sid)
-	subj := core.NewSubject(sprov, wire.V30, core.Costs{})
-	sn := net.AddNode(subj)
-	subj.Attach(sn)
+	sep := net.NewEndpoint()
+	subj := core.NewSubject(sprov, wire.V30, core.Costs{}, core.WithEndpoint(sep))
+	sn := sep.Node()
 
-	dist := NewDistributor(b.Admin(), net)
-	net.Link(sn, dist.Node()) // gateway reaches objects via the subject's cell
+	dep := net.NewEndpoint()
+	dist := NewDistributor(b.Admin(), dep)
+	net.Link(sn, dep.Node()) // gateway reaches objects via the subject's cell
 
 	var objIDs []cert.ID
 	for i := 0; i < n; i++ {
@@ -136,20 +137,20 @@ func TestEndToEndRevocationPropagation(t *testing.T) {
 		}
 		prov, _ := b.ProvisionObject(oid)
 		eng := core.NewObject(prov, wire.V30, core.Costs{})
-		agent := NewAgent(b.AdminPublic(), eng, func(u *Notification) {
+		agent := NewAgent(b.AdminPublic(), nil, func(u *Notification) {
 			if u.Kind == KindRevokeSubject {
 				eng.Revoke(u.Subject)
 			}
 		})
-		node := net.AddNode(agent)
-		eng.Attach(node)
-		net.Link(sn, node)
-		dist.Register(oid, node)
+		oep := net.NewEndpoint()
+		eng.Bind(agent.Wrap(oep))
+		net.Link(sn, oep.Node())
+		dist.Register(oid, oep.Addr())
 		objIDs = append(objIDs, oid)
 	}
 
 	// Round 1: full visibility.
-	subj.Discover(net, 1)
+	subj.Discover(1)
 	net.Run(0)
 	if got := len(subj.Results()); got != n {
 		t.Fatalf("round 1 discovered %d/%d", got, n)
@@ -175,7 +176,7 @@ func TestEndToEndRevocationPropagation(t *testing.T) {
 
 	// Round 2: the revoked subject sees nothing new.
 	before := len(subj.Results())
-	subj.Discover(net, 1)
+	subj.Discover(1)
 	net.Run(0)
 	if got := len(subj.Results()) - before; got != 0 {
 		t.Fatalf("revoked subject discovered %d services after on-air effectuation", got)
@@ -185,7 +186,7 @@ func TestEndToEndRevocationPropagation(t *testing.T) {
 func TestDistributorUnknownAddress(t *testing.T) {
 	b, _ := backend.New(suite.S128)
 	net := netsim.New(netsim.DefaultWiFi(), 1)
-	dist := NewDistributor(b.Admin(), net)
+	dist := NewDistributor(b.Admin(), net.NewEndpoint())
 	if err := dist.RevokeSubject(cert.IDFromName("s"), []cert.ID{cert.IDFromName("ghost")}); err == nil {
 		t.Fatal("push to unregistered device succeeded")
 	}
@@ -219,35 +220,39 @@ func TestGroupRekeyPropagation(t *testing.T) {
 
 	net := netsim.New(netsim.DefaultWiFi(), 21)
 	sprov, _ := b.ProvisionSubject(stayer)
-	subj := core.NewSubject(sprov, wire.V30, core.Costs{})
-	sn := net.AddNode(subj)
-	subj.Attach(sn)
-	subjAgent := NewAgent(b.AdminPublic(), subj, func(u *Notification) {
+	sep := net.NewEndpoint()
+	sn := sep.Node()
+	var subj *core.Subject
+	subjAgent := NewAgent(b.AdminPublic(), nil, func(u *Notification) {
 		if u.Kind == KindReprovision {
 			if p, err := b.ProvisionSubject(stayer); err == nil {
 				subj.Refresh(p)
 			}
 		}
 	})
-	net.SetHandler(sn, subjAgent)
+	subj = core.NewSubject(sprov, wire.V30, core.Costs{},
+		core.WithEndpoint(subjAgent.Wrap(sep)))
 
 	oprov, _ := b.ProvisionObject(kiosk)
-	obj := core.NewObject(oprov, wire.V30, core.Costs{})
-	objAgent := NewAgent(b.AdminPublic(), obj, func(u *Notification) {
+	oep := net.NewEndpoint()
+	on := oep.Node()
+	var obj *core.Object
+	objAgent := NewAgent(b.AdminPublic(), nil, func(u *Notification) {
 		if u.Kind == KindReprovision {
 			if p, err := b.ProvisionObject(kiosk); err == nil {
 				obj.Refresh(p)
 			}
 		}
 	})
-	on := net.AddNode(objAgent)
-	obj.Attach(on)
+	obj = core.NewObject(oprov, wire.V30, core.Costs{},
+		core.WithEndpoint(objAgent.Wrap(oep)))
 	net.Link(sn, on)
 
-	dist := NewDistributor(b.Admin(), net)
-	net.Link(dist.Node(), sn)
-	dist.Register(stayer, sn)
-	dist.Register(kiosk, on)
+	dep := net.NewEndpoint()
+	dist := NewDistributor(b.Admin(), dep)
+	net.Link(dep.Node(), sn)
+	dist.Register(stayer, sep.Addr())
+	dist.Register(kiosk, oep.Addr())
 
 	// The leaver is revoked: group key rotates; distributor pushes
 	// reprovision notices to the remaining fellows (subject AND object).
@@ -262,7 +267,7 @@ func TestGroupRekeyPropagation(t *testing.T) {
 	net.Run(0)
 
 	// Post-re-key, the stayer still discovers the covert service.
-	subj.Discover(net, 1)
+	subj.Discover(1)
 	net.Run(0)
 	found := false
 	for _, d := range subj.Results() {
