@@ -14,7 +14,7 @@ FUZZTIME ?= 15s
 # mesh-throughput experiments — commit it alongside any change that moves
 # handshake, provisioning, or concurrent-discovery cost.
 
-.PHONY: build test race vet verify fuzz chaos bench bench-obs bench-json clean
+.PHONY: build test race vet verify cover cover-check fuzz chaos bench bench-obs bench-json load soak clean
 
 build:
 	$(GO) build ./...
@@ -27,10 +27,21 @@ test:
 # batch issuance fan out across worker pools, backend provisioning does the
 # same, and core's Results/PendingSessions are read cross-goroutine.
 race:
-	$(GO) test -race ./internal/obs ./internal/core ./internal/netsim ./internal/cert ./internal/backend ./internal/transport
+	$(GO) test -race ./internal/obs ./internal/core ./internal/netsim ./internal/cert ./internal/backend ./internal/transport ./internal/load
 
 vet:
 	$(GO) vet ./...
+
+# Per-package statement coverage (the human-readable view).
+cover:
+	$(GO) test -count=1 -cover ./...
+
+# Coverage gate: fails if any package drops below its recorded floor in
+# scripts/coverage_baseline.txt. Rebuild floors (measured - 2pt margin) with
+# `scripts/check_coverage.sh update` after intentionally adding/removing
+# tests.
+cover-check:
+	scripts/check_coverage.sh
 
 # Full gate: everything CI and the verify skill run.
 verify: build vet test race
@@ -41,6 +52,7 @@ fuzz:
 	$(GO) test ./internal/wire -run='^$$' -fuzz='^FuzzDecode$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/wire -run='^$$' -fuzz='^FuzzDecodeQUE2$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/wire -run='^$$' -fuzz='^FuzzDecodeRES2$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/backend -run='^$$' -fuzz='^FuzzRestore$$' -fuzztime=$(FUZZTIME)
 
 # Property/chaos harness: seeds × loss rates × levels, crash windows, Case 7
 # under retransmission (internal/chaos).
@@ -56,9 +68,19 @@ bench-obs:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/obs
 
 # Machine-readable benchmark trajectory: handshake fast path, provisioning,
-# and wall-clock Mesh discovery throughput (see EXPERIMENTS.md).
+# and wall-clock Mesh discovery throughput (see EXPERIMENTS.md), plus the
+# 10k-subject load/soak headline run (BENCH_5.json, ~2 min).
 bench-json:
 	$(GO) run ./cmd/argus-bench -exp fastpath-handshake,fastpath-provision,mesh-throughput -json > BENCH_4.json
+	$(GO) run ./cmd/argus-load -profile standard -out BENCH_5.json
+
+# Load/soak harness (cmd/argus-load). `load` is the deterministic CI-sized
+# soak; `soak` is the 10k-subject headline profile.
+load:
+	$(GO) run ./cmd/argus-load -profile ci-soak
+
+soak:
+	$(GO) run ./cmd/argus-load -profile standard
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,127 @@
+// Command argus-load drives large fleets of concurrent discovery sessions
+// against a full provisioned enterprise and holds the run to an SLO. It is
+// the repo's load/soak front end: pick a built-in profile (or override its
+// knobs), run it, and get a machine-readable report — the same pipeline that
+// produces BENCH_5.json via `make bench-json`.
+//
+// Usage:
+//
+//	argus-load -list
+//	argus-load -profile ci-soak
+//	argus-load -profile standard -out BENCH_5.json
+//	argus-load -profile ci-soak -cells 4 -subjects 4 -waves 2 -seed 3
+//
+// The report is written as indented JSON to stdout (or -out); progress lines
+// go to stderr unless -quiet. Exit status is 0 only when every SLO check
+// passes, so the command slots directly into CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"argus/internal/load"
+)
+
+func main() {
+	var (
+		profile  = flag.String("profile", "ci-soak", "built-in profile name (see -list)")
+		list     = flag.Bool("list", false, "list built-in profiles and exit")
+		out      = flag.String("out", "", "write the JSON report to this file instead of stdout")
+		quiet    = flag.Bool("quiet", false, "suppress progress lines on stderr")
+		cells    = flag.Int("cells", 0, "override: number of cells (broadcast domains)")
+		subjects = flag.Int("subjects", 0, "override: subjects per cell")
+		objects  = flag.Int("objects", 0, "override: objects per cell")
+		waves    = flag.Int("waves", 0, "override: closed-loop wave count")
+		seed     = flag.Int64("seed", -1, "override: harness seed (victim choice, open-loop arrivals)")
+		drain    = flag.Duration("drain", 0, "override: per-wave drain timeout")
+		minPeak  = flag.Int64("min-peak", -2, "override: SLO floor on peak armed concurrency (-1 disables)")
+	)
+	flag.Parse()
+
+	profiles := load.Profiles()
+	if *list {
+		names := make([]string, 0, len(profiles))
+		for name := range profiles {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			p := profiles[name]
+			fmt.Printf("%-12s %5d subj × %4d obj over %-4s  %s\n",
+				name, p.Subjects(), p.Objects(), p.Transport, p.Description)
+		}
+		return
+	}
+
+	p, ok := profiles[*profile]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "argus-load: unknown profile %q (try -list)\n", *profile)
+		os.Exit(2)
+	}
+	if *cells > 0 {
+		p.Cells = *cells
+	}
+	if *subjects > 0 {
+		p.SubjectsPerCell = *subjects
+	}
+	if *objects > 0 {
+		p.ObjectsPerCell = *objects
+	}
+	if *waves > 0 {
+		p.Waves = *waves
+	}
+	if *seed >= 0 {
+		p.Seed = *seed
+	}
+	if *drain > 0 {
+		p.DrainTimeout = *drain
+	}
+	if *minPeak >= -1 {
+		p.SLO.MinPeakConcurrent = *minPeak
+	}
+	if !*quiet {
+		p.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	start := time.Now()
+	rep, err := load.Run(p)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "argus-load: %v\n", err)
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "argus-load: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rep.WriteJSON(w); err != nil {
+		fmt.Fprintf(os.Stderr, "argus-load: write report: %v\n", err)
+		os.Exit(2)
+	}
+
+	if !rep.SLO.Pass {
+		fmt.Fprintf(os.Stderr, "argus-load: SLO FAIL after %.1fs:\n", time.Since(start).Seconds())
+		for _, v := range rep.SLO.Violations {
+			fmt.Fprintf(os.Stderr, "  - %s\n", v)
+		}
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr,
+			"argus-load: SLO PASS — %d sessions, peak %d concurrent, %.0f sessions/s, %.1fs total\n",
+			rep.Totals.Completed, rep.Totals.PeakInflight,
+			rep.Totals.SessionsPerSecond, time.Since(start).Seconds())
+	}
+}

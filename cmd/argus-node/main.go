@@ -39,6 +39,7 @@ import (
 	"argus/internal/core"
 	"argus/internal/suite"
 	"argus/internal/transport"
+	"argus/internal/transport/transporttest"
 	"argus/internal/wire"
 )
 
@@ -194,6 +195,16 @@ func runSubject(snapshot, name, listen, peers string, ttl int, expect string, ti
 		return err
 	}
 
+	bestOf := func() map[cert.ID]core.Discovery {
+		best := map[cert.ID]core.Discovery{}
+		for _, r := range subj.Results() {
+			if prev, ok := best[r.Object]; !ok || r.Level > prev.Level {
+				best[r.Object] = r
+			}
+		}
+		return best
+	}
+
 	reported := map[cert.ID]core.Level{}
 	deadline := time.Now().Add(timeout)
 	for {
@@ -202,14 +213,15 @@ func runSubject(snapshot, name, listen, peers string, ttl int, expect string, ti
 				fmt.Fprintf(os.Stderr, "argus-node: discover: %v\n", err)
 			}
 		})
-		time.Sleep(500 * time.Millisecond)
+		// Poll for this round's results instead of sleeping a fixed
+		// interval: the subject reacts the moment its expectations are met,
+		// and a slow machine just polls into the next round. Step and
+		// tolerance policy live in internal/transport/transporttest.
+		transporttest.Poll(500*time.Millisecond, transporttest.DefaultStep, func() bool {
+			return satisfied(want, bestOf())
+		})
 
-		best := map[cert.ID]core.Discovery{}
-		for _, r := range subj.Results() {
-			if prev, ok := best[r.Object]; !ok || r.Level > prev.Level {
-				best[r.Object] = r
-			}
-		}
+		best := bestOf()
 		for id, r := range best {
 			if reported[id] >= r.Level {
 				continue

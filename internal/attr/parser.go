@@ -48,9 +48,16 @@ func MustParse(text string) *Predicate {
 // True returns the predicate that matches every attribute set.
 func True() *Predicate { return &Predicate{root: &boolLit{val: true}, text: "true"} }
 
+// maxParseDepth bounds expression nesting ('!' chains, parenthesis depth) so
+// adversarial input cannot drive unbounded recursion through the parser —
+// and, since evaluation and rendering recurse over the same tree, through
+// them either. 64 levels is far beyond any legitimate policy.
+const maxParseDepth = 64
+
 type parser struct {
 	input string
 	pos   int
+	depth int
 }
 
 func (p *parser) skipSpace() {
@@ -107,6 +114,11 @@ func (p *parser) parseAnd() (node, error) {
 }
 
 func (p *parser) parseUnary() (node, error) {
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > maxParseDepth {
+		return nil, p.errf("expression nested deeper than %d levels", maxParseDepth)
+	}
 	p.skipSpace()
 	if p.pos < len(p.input) && p.input[p.pos] == '!' && !strings.HasPrefix(p.input[p.pos:], "!=") {
 		p.pos++

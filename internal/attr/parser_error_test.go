@@ -1,0 +1,92 @@
+package attr
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseErrorMessages pins the parser's error surface: every malformed
+// input must fail with a stable, diagnosable message — callers (and the
+// backend's policy API) match on these — and must never panic.
+func TestParseErrorMessages(t *testing.T) {
+	cases := []struct {
+		name, input, want string
+	}{
+		{"empty", "", "expected identifier, got end of input"},
+		{"operator only", "&&", "expected identifier"},
+		{"missing rhs", "position==", "expected literal, got end of input"},
+		{"unterminated string", "position=='unterminated", "unterminated string literal"},
+		{"unterminated string then more", "a=='x && b=='y'", "trailing input"},
+		{"bad operator tilde", "position ~ 'a'", "expected comparison operator after \"position\""},
+		{"bad operator single eq", "position = 'a'", "expected comparison operator"},
+		{"double negation of nothing", "!!", "expected identifier"},
+		{"unclosed paren", "(position=='a'", "expected ')'"},
+		{"unopened paren", "position=='a')", "trailing input at offset 13"},
+		{"has without paren", "has position", "expected '(' after has"},
+		{"has unclosed", "has(position", "expected ')' after has(position"},
+		{"has empty", "has()", "expected identifier"},
+		{"numeric lhs", "7==7", "expected identifier, got '7'"},
+		{"bare minus literal", "n == -", "expected quoted string or integer literal"},
+		{"trailing garbage", "position == 'a' extra", "trailing input at offset 16"},
+		{"dangling and", "position=='a' &&", "expected identifier, got end of input"},
+		{"dangling or", "position=='a' ||", "expected identifier, got end of input"},
+		{"deep bang nesting", strings.Repeat("!", 200) + "true", "nested deeper than 64 levels"},
+		{"deep paren nesting", strings.Repeat("(", 200) + "true" + strings.Repeat(")", 200), "nested deeper than 64 levels"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := Parse(tc.input)
+			if err == nil {
+				t.Fatalf("Parse(%q) = %q, want error", tc.input, p.String())
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Parse(%q) error = %q, want substring %q", tc.input, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseDepthLimitBoundary checks that the recursion guard rejects only
+// truly pathological nesting: realistic policies stay parseable.
+func TestParseDepthLimitBoundary(t *testing.T) {
+	// 40 levels of parens plus negations — deeper than any real policy,
+	// comfortably under the limit.
+	deep := strings.Repeat("!(", 30) + "position=='staff'" + strings.Repeat(")", 30)
+	p, err := Parse(deep)
+	if err != nil {
+		t.Fatalf("Parse rejected legitimate nesting: %v", err)
+	}
+	if !p.Eval(MustSet("position=staff")) {
+		t.Fatal("30 double negations should be the identity")
+	}
+
+	// One past the limit must fail; the boundary is exact, so a crafted
+	// expression can't blow the stack by a single frame either.
+	over := strings.Repeat("!", maxParseDepth) + "true" // atom adds level maxParseDepth+1
+	if _, err := Parse(over); err == nil {
+		t.Fatalf("Parse accepted %d-deep nesting", maxParseDepth+1)
+	}
+	under := strings.Repeat("!", maxParseDepth-1) + "true"
+	if _, err := Parse(under); err != nil {
+		t.Fatalf("Parse rejected %d-deep nesting: %v", maxParseDepth, err)
+	}
+}
+
+// TestParseNoPanicSweep throws structurally hostile inputs at the parser;
+// anything but a clean error (or a clean parse) fails the test via panic.
+func TestParseNoPanicSweep(t *testing.T) {
+	inputs := []string{
+		"'", "''", "'''", "!'", "(!", ")(", "((((", "))))",
+		"has(has(x))", "!has", "a==''", "a!=''", "a<'b'", "a<=-",
+		"a==5x", "a==--5", "\x00", "a=='\x00'", "π=='x'", "a==π",
+		strings.Repeat("a&&", 500) + "a==1",
+		strings.Repeat("!(", 500),
+		strings.Repeat("has(", 100),
+	}
+	for _, in := range inputs {
+		p, err := Parse(in)
+		if err == nil && p == nil {
+			t.Fatalf("Parse(%q) returned nil, nil", in)
+		}
+	}
+}

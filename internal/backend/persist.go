@@ -134,7 +134,14 @@ func writeIDList(w *enc.Writer, set map[cert.ID]bool) {
 
 func readIDList(r *enc.Reader) map[cert.ID]bool {
 	n := int(r.U32())
-	out := make(map[cert.ID]bool, n)
+	// Cap the allocation hint by what the input could actually hold: a
+	// forged count must not pre-size a huge map before truncation is
+	// detected.
+	hint := n
+	if max := r.Remaining() / len(cert.ID{}); hint > max {
+		hint = max
+	}
+	out := make(map[cert.ID]bool, hint)
 	for i := 0; i < n && r.Err() == nil; i++ {
 		var id cert.ID
 		copy(id[:], r.Raw(len(id)))

@@ -231,7 +231,7 @@ func (s *Subject) scheduleQue1Retry(attempt int) {
 
 // DiscoverAll runs one round per held group key, rotating keys between
 // rounds, so every authorized covert service is found (§VI-C). settle is
-/// called between rounds to let in-flight traffic drain: pass a closure
+// called between rounds to let in-flight traffic drain: pass a closure
 // running the simulator's event loop (func() { net.Run(0) }), or a bounded
 // wall-clock wait on a real transport. A nil settle starts rounds
 // back-to-back.

@@ -57,7 +57,13 @@ func writeIDSet(w *enc.Writer, set map[cert.ID]bool) {
 
 func readIDSet(r *enc.Reader) map[cert.ID]bool {
 	n := int(r.U32())
-	set := make(map[cert.ID]bool, n)
+	// Cap the allocation hint by what the input could actually hold so a
+	// forged count can't pre-size a huge map before truncation surfaces.
+	hint := n
+	if max := r.Remaining() / len(cert.ID{}); hint > max {
+		hint = max
+	}
+	set := make(map[cert.ID]bool, hint)
 	for i := 0; i < n && r.Err() == nil; i++ {
 		var id cert.ID
 		copy(id[:], r.Raw(len(id)))

@@ -1,0 +1,485 @@
+package load
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"argus/internal/attr"
+	"argus/internal/backend"
+	"argus/internal/cert"
+	"argus/internal/core"
+	"argus/internal/obs"
+	"argus/internal/transport/transporttest"
+)
+
+// peakGauge is an atomic gauge that latches its high-water mark.
+type peakGauge struct{ cur, peak atomic.Int64 }
+
+func (g *peakGauge) add(n int64) int64 {
+	v := g.cur.Add(n)
+	for {
+		p := g.peak.Load()
+		if v <= p || g.peak.CompareAndSwap(p, v) {
+			return v
+		}
+	}
+}
+
+// runner executes one profile: it owns the fleet, the expectation ledger,
+// and the sampler. All orchestration (arming, churn, drain waits) happens
+// on the Run goroutine; completions arrive on engine event loops through
+// onDiscovery and touch only atomics and per-slot mutexes.
+type runner struct {
+	p       Profile
+	reg     *obs.Registry
+	fleet   *fleet
+	levelOf map[cert.ID]backend.Level
+	rng     *rand.Rand
+
+	inflight peakGauge
+	peakOpen atomic.Int64 // sampled Σ PendingSessions high-water mark
+
+	armed, completed, lost  atomic.Int64
+	unexpected, late        atomic.Int64
+	levelMismatch           atomic.Int64
+	roundsArmed, roundsDone atomic.Int64
+	skippedArrivals         atomic.Int64
+
+	inflightG, peakG     *obs.Gauge
+	armedC, completionsC *obs.Counter
+	lostC, unexpectedC   *obs.Counter
+
+	// Ledger the SLO checks compare telemetry against.
+	predictedSubjExpiries int64
+	revokedCount          int
+	addedCount            int
+
+	waves []WaveStats
+
+	samplerStop chan struct{}
+	samplerDone chan struct{}
+}
+
+// Run builds the profile's fleet, drives it, and returns the report. err is
+// non-nil only for harness-level failures (invalid profile, provisioning or
+// transport setup errors); SLO violations are reported in Report.SLO so the
+// caller still gets the full numbers.
+func Run(p Profile) (*Report, error) {
+	p = p.withDefaults()
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	r := &runner{
+		p:   p,
+		reg: obs.NewRegistry(),
+		rng: rand.New(rand.NewSource(p.Seed)),
+	}
+	r.inflightG = r.reg.Gauge(obs.MLoadInflight, "armed discovery sessions not yet completed")
+	r.peakG = r.reg.Gauge(obs.MLoadPeakInflight, "high-water mark of inflight sessions")
+	r.armedC = r.reg.Counter(obs.MLoadRoundsArmed, "sessions armed (expected completions)")
+	r.completionsC = r.reg.Counter(obs.MLoadCompletions, "sessions completed")
+	r.lostC = r.reg.Counter(obs.MLoadLost, "sessions reaped at the drain deadline")
+	r.unexpectedC = r.reg.Counter(obs.MLoadUnexpected, "completions that violated the expectation ledger")
+
+	start := time.Now()
+	fl, err := buildFleet(p, r.reg, r.onDiscovery)
+	if err != nil {
+		return nil, err
+	}
+	r.fleet = fl
+	defer fl.close()
+	r.levelOf = fl.levelOf()
+	p.logf("load: fleet up in %.1fs — %d cells × (%d subj + %d obj) over %s",
+		time.Since(start).Seconds(), p.Cells, p.SubjectsPerCell, p.ObjectsPerCell, p.Transport)
+
+	r.startSampler()
+	if p.Rate > 0 {
+		r.runOpenLoop()
+	} else {
+		if err := r.runClosedLoop(); err != nil {
+			r.stopSampler()
+			return nil, err
+		}
+	}
+	leaked := r.drainTail()
+	r.stopSampler()
+
+	rep := r.buildReport(time.Since(start), leaked)
+	rep.SLO = p.SLO.Check(rep)
+	return rep, nil
+}
+
+// onDiscovery is the completion hook, invoked on subject event loops.
+func (r *runner) onDiscovery(s *subjectSlot, d core.Discovery) {
+	s.mu.Lock()
+	switch {
+	case d.Round != s.round || s.lostRound:
+		// A straggler from a superseded or reaped round: its absence was
+		// already accounted; never double-credit.
+		s.mu.Unlock()
+		r.late.Add(1)
+		return
+	case s.revoked && d.Level > backend.L1:
+		s.mu.Unlock()
+		r.unexpected.Add(1)
+		r.unexpectedC.Inc()
+		return
+	case s.got >= s.expected:
+		s.mu.Unlock()
+		r.unexpected.Add(1)
+		r.unexpectedC.Inc()
+		return
+	}
+	if !s.revoked && d.Level != r.wantLevel(s, d.Object) {
+		r.levelMismatch.Add(1)
+	}
+	s.got++
+	done := s.got == s.expected
+	if done {
+		s.busy = false
+	}
+	s.mu.Unlock()
+	r.completed.Add(1)
+	r.completionsC.Inc()
+	r.inflight.add(-1)
+	r.inflightG.Add(-1)
+	if done {
+		r.roundsDone.Add(1)
+	}
+}
+
+// wantLevel is the ground-truth visibility level a live subject must see a
+// given object at. A fellow provisioned after a revocation rotated the
+// covert group key holds a newer key than the objects, so its L3 visibility
+// degrades to L2 — exactly what the deployed system would do until the
+// objects are reprovisioned.
+func (r *runner) wantLevel(s *subjectSlot, obj cert.ID) backend.Level {
+	switch r.levelOf[obj] {
+	case backend.L1:
+		return backend.L1
+	case backend.L3:
+		if r.p.Fellow && !s.staleGroup {
+			return backend.L3
+		}
+		return backend.L2
+	default:
+		return backend.L2
+	}
+}
+
+// armSlot opens the slot's next round and returns its expected completions.
+// The caller pre-credits the inflight gauge for the whole batch before any
+// Discover is issued, so the gauge's peak is the true armed concurrency.
+func (r *runner) armSlot(s *subjectSlot) int {
+	exp := s.expectedRound()
+	s.mu.Lock()
+	s.round++
+	s.got = 0
+	s.expected = exp
+	s.busy = exp > 0
+	s.lostRound = false
+	s.mu.Unlock()
+	r.armed.Add(int64(exp))
+	r.armedC.Add(int64(exp))
+	r.roundsArmed.Add(1)
+	if exp == 0 {
+		r.roundsDone.Add(1)
+	}
+	return exp
+}
+
+// fire issues the slot's Discover on its event loop.
+func (r *runner) fire(s *subjectSlot) {
+	eng := s.eng
+	s.ep.Do(func() { _ = eng.Discover(1) })
+}
+
+// reapLost retires every unfinished round at a drain deadline, converting
+// the missing completions into lost counts and balancing the gauges.
+func (r *runner) reapLost(slots []*subjectSlot) int64 {
+	var lost int64
+	for _, s := range slots {
+		s.mu.Lock()
+		if s.busy {
+			miss := int64(s.expected - s.got)
+			s.busy = false
+			s.lostRound = true
+			s.mu.Unlock()
+			lost += miss
+			r.roundsDone.Add(1)
+			r.inflight.add(-miss)
+			r.inflightG.Add(-miss)
+		} else {
+			s.mu.Unlock()
+		}
+	}
+	if lost > 0 {
+		r.lost.Add(lost)
+		r.lostC.Add(lost)
+	}
+	return lost
+}
+
+// allSubjects snapshots the current subject population.
+func (r *runner) allSubjects() []*subjectSlot {
+	r.fleet.mu.RLock()
+	defer r.fleet.mu.RUnlock()
+	var out []*subjectSlot
+	for _, c := range r.fleet.cells {
+		out = append(out, c.subjects...)
+	}
+	return out
+}
+
+// runClosedLoop drives synchronized waves with churn before the final wave.
+func (r *runner) runClosedLoop() error {
+	p := r.p
+	churnWave := -1
+	if (p.RevokeFrac > 0 || p.AddFrac > 0) && p.Waves >= 2 {
+		churnWave = p.Waves - 1 // churn right before the last wave
+	}
+	for w := 0; w < p.Waves; w++ {
+		if w == churnWave {
+			if err := r.churn(); err != nil {
+				return err
+			}
+		}
+		slots := r.allSubjects()
+		base := r.roundsDone.Load()
+		wave := WaveStats{Index: w, Subjects: len(slots)}
+		snapBefore := r.counterTotals()
+		var pre int64
+		for _, s := range slots {
+			pre += int64(r.armSlot(s))
+		}
+		r.inflight.add(pre)
+		r.inflightG.Add(pre)
+		waveStart := time.Now()
+		for _, s := range slots {
+			r.fire(s)
+		}
+		target := base + int64(len(slots))
+		drained := transporttest.Poll(p.DrainTimeout, transporttest.DefaultStep, func() bool {
+			return r.roundsDone.Load() >= target
+		})
+		if !drained {
+			wave.Lost = r.reapLost(slots)
+		}
+		wave.Armed = pre
+		wave.Seconds = time.Since(waveStart).Seconds()
+		snapAfter := r.counterTotals()
+		wave.VCacheHits = snapAfter.vcacheHits - snapBefore.vcacheHits
+		wave.VCacheMisses = snapAfter.vcacheMisses - snapBefore.vcacheMisses
+		wave.Retransmissions = snapAfter.retrans - snapBefore.retrans
+		r.waves = append(r.waves, wave)
+		p.logf("load: wave %d — %d sessions in %.2fs (lost %d, vcache %d hit / %d miss, %d retrans)",
+			w, wave.Armed, wave.Seconds, wave.Lost, wave.VCacheHits, wave.VCacheMisses, wave.Retransmissions)
+		if p.ThinkTime > 0 && w < p.Waves-1 {
+			time.Sleep(p.ThinkTime)
+		}
+	}
+	return nil
+}
+
+// churn revokes RevokeFrac of each cell's subjects (pushing signed
+// notifications through the cell distributor and waiting for on-device
+// effectuation) and registers AddFrac new subjects per cell, which join the
+// following wave with cold credentials.
+func (r *runner) churn() error {
+	p := r.p
+	var pushed int
+	base := r.snapshotCounter(obs.MUpdateApplied)
+	for _, c := range r.fleet.cells {
+		k := int(p.RevokeFrac * float64(p.SubjectsPerCell))
+		if k > len(c.subjects) {
+			k = len(c.subjects)
+		}
+		if k == 0 {
+			continue
+		}
+		// Deterministic victim choice from the harness seed.
+		perm := r.rng.Perm(len(c.subjects))[:k]
+		for _, idx := range perm {
+			s := c.subjects[idx]
+			s.mu.Lock()
+			already := s.revoked
+			s.mu.Unlock()
+			if already {
+				continue
+			}
+			if _, err := r.fleet.backend.RevokeSubject(s.id); err != nil {
+				return fmt.Errorf("revoke %s: %w", s.name, err)
+			}
+			if err := c.dist.RevokeSubject(s.id, c.objIDs); err != nil {
+				return fmt.Errorf("push revocation %s: %w", s.name, err)
+			}
+			pushed += len(c.objIDs)
+			r.revokedCount++
+			// Each future round of this subject leaves one silently refused
+			// session per secure object to expire on the subject side.
+			secure := len(c.objects) - c.l1Count
+			wavesLeft := 1 // churn happens before exactly one final wave
+			r.predictedSubjExpiries += int64(secure * wavesLeft)
+			s.mu.Lock()
+			s.revoked = true
+			s.mu.Unlock()
+		}
+	}
+	if pushed > 0 {
+		want := base + int64(pushed)
+		ok := transporttest.Poll(p.DrainTimeout, transporttest.DefaultStep, func() bool {
+			return r.snapshotCounter(obs.MUpdateApplied) >= want
+		})
+		if !ok {
+			return fmt.Errorf("revocations not effectuated: applied %d, want %d",
+				r.snapshotCounter(obs.MUpdateApplied), want)
+		}
+	}
+
+	if p.AddFrac > 0 {
+		// Revoking a fellow rotates the covert group key
+		// (backend.RevokeSubject), and the object engines keep the key they
+		// were provisioned with. Fellows provisioned from here on therefore
+		// see L3 services at L2 until the fleet reprovisions — the
+		// expectation model tracks that per slot.
+		rotated := p.Fellow && r.revokedCount > 0
+		add := int(p.AddFrac * float64(p.SubjectsPerCell))
+		for ci, c := range r.fleet.cells {
+			for k := 0; k < add; k++ {
+				name := fmt.Sprintf("s-add-%d-%d", ci, k)
+				id, _, err := r.fleet.backend.RegisterSubject(name, attr.MustSet("position=staff"))
+				if err != nil {
+					return err
+				}
+				if p.Fellow {
+					if err := r.fleet.backend.AddSubjectToGroup(id, r.fleet.group); err != nil {
+						return err
+					}
+				}
+				if err := r.fleet.addSubject(c, id, name, rotated, r.onDiscovery); err != nil {
+					return err
+				}
+				r.addedCount++
+			}
+		}
+	}
+	p.logf("load: churn — revoked %d subjects (%d notifications), added %d subjects",
+		r.revokedCount, pushed, r.addedCount)
+	return nil
+}
+
+// runOpenLoop issues discovery rounds as a Poisson process over the subject
+// pool: inter-arrival gaps are Exp(1/Rate), and an arrival that finds every
+// subject busy is counted skipped — offered load is never queued.
+func (r *runner) runOpenLoop() {
+	p := r.p
+	slots := r.allSubjects()
+	deadline := time.Now().Add(p.Duration)
+	next := 0
+	for time.Now().Before(deadline) {
+		gap := time.Duration(r.rng.ExpFloat64() / p.Rate * float64(time.Second))
+		time.Sleep(gap)
+		// Find an idle subject, scanning at most one full lap.
+		fired := false
+		for i := 0; i < len(slots); i++ {
+			s := slots[(next+i)%len(slots)]
+			s.mu.Lock()
+			idle := !s.busy
+			s.mu.Unlock()
+			if !idle {
+				continue
+			}
+			next = (next + i + 1) % len(slots)
+			exp := r.armSlot(s)
+			r.inflight.add(int64(exp))
+			r.inflightG.Add(int64(exp))
+			r.fire(s)
+			fired = true
+			break
+		}
+		if !fired {
+			r.skippedArrivals.Add(1)
+		}
+	}
+	// Let the tail of armed rounds complete.
+	target := r.roundsArmed.Load()
+	drained := transporttest.Poll(p.DrainTimeout, transporttest.DefaultStep, func() bool {
+		return r.roundsDone.Load() >= target
+	})
+	if !drained {
+		r.reapLost(slots)
+	}
+}
+
+// drainTail waits out the session TTL so both engines' session tables empty
+// (answered object sessions and dark-wave subject sessions age out at TTL),
+// then reports how many sessions remain leaked.
+func (r *runner) drainTail() int64 {
+	ttl := r.p.Retry.SessionTTL
+	if ttl <= 0 {
+		ttl = 8 * time.Second
+	}
+	ok := transporttest.Poll(ttl+3*time.Second, 10*time.Millisecond, func() bool {
+		return r.fleet.pendingSessions() == 0
+	})
+	if ok {
+		return 0
+	}
+	return int64(r.fleet.pendingSessions())
+}
+
+// startSampler launches the concurrency sampler: every 10 ms it mirrors the
+// inflight gauge's peak into the registry and records the high-water mark
+// of actually open handshakes (Σ PendingSessions over every engine).
+func (r *runner) startSampler() {
+	r.samplerStop = make(chan struct{})
+	r.samplerDone = make(chan struct{})
+	go func() {
+		defer close(r.samplerDone)
+		tick := time.NewTicker(10 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-r.samplerStop:
+				return
+			case <-tick.C:
+				open := int64(r.fleet.pendingSessions())
+				for {
+					p := r.peakOpen.Load()
+					if open <= p || r.peakOpen.CompareAndSwap(p, open) {
+						break
+					}
+				}
+				r.peakG.Set(r.inflight.peak.Load())
+			}
+		}
+	}()
+}
+
+func (r *runner) stopSampler() {
+	close(r.samplerStop)
+	<-r.samplerDone
+}
+
+// counterTotals gathers the counter families whose per-wave deltas the wave
+// stats report.
+type counterTotals struct {
+	vcacheHits, vcacheMisses int64
+	retrans                  int64
+}
+
+func (r *runner) counterTotals() counterTotals {
+	snap := r.reg.Snapshot()
+	return counterTotals{
+		vcacheHits:   sumFamily(snap, obs.MVerifyCacheEvents, obs.L("result", "hit")),
+		vcacheMisses: sumFamily(snap, obs.MVerifyCacheEvents, obs.L("result", "miss")),
+		retrans:      sumFamily(snap, obs.MRetransmissions),
+	}
+}
+
+// snapshotCounter sums one counter family across all label sets.
+func (r *runner) snapshotCounter(name string) int64 {
+	return sumFamily(r.reg.Snapshot(), name)
+}

@@ -1,0 +1,360 @@
+package load
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"argus/internal/attr"
+	"argus/internal/backend"
+	"argus/internal/cert"
+	"argus/internal/core"
+	"argus/internal/groups"
+	"argus/internal/obs"
+	"argus/internal/suite"
+	"argus/internal/transport"
+	"argus/internal/update"
+	"argus/internal/wire"
+)
+
+// subjectSlot is the harness's view of one subject engine. The mutex guards
+// the per-round expectation counters, which are written by the orchestrator
+// (arming) and by the engine's event loop (OnDiscovery).
+type subjectSlot struct {
+	id   cert.ID
+	name string
+	eng  *core.Subject
+	ep   transport.Endpoint // the engine's endpoint; Do is the arming door
+	cell *cell
+
+	mu        sync.Mutex
+	round     int  // mirrors the engine's round counter (one Discover per arm)
+	expected  int  // completions this round must deliver
+	got       int  // completions seen this round
+	busy      bool // a round is in flight
+	lostRound bool // the current round was reaped at the drain deadline
+	revoked   bool // revocation effectuated; only L1 may arrive
+
+	// staleGroup marks a fellow provisioned after a revocation rotated the
+	// covert group key: the objects still hold the provisioning-time key,
+	// so this subject's L3 visibility legitimately degrades to L2.
+	staleGroup bool
+}
+
+// objectSlot is the harness's view of one object engine.
+type objectSlot struct {
+	id    cert.ID
+	eng   *core.Object
+	agent *update.Agent
+	level backend.Level
+}
+
+// objHolder lets the update agent's apply callback (wired before the engine
+// exists) reach the engine built one statement later. The write happens
+// before any notification can possibly be enqueued, and the mailbox mutex
+// orders it against the event loop's read.
+type objHolder struct{ obj *core.Object }
+
+// cell is one broadcast domain: a Mesh (or UDP peer group) of subjects and
+// objects plus the cell's update distributor.
+type cell struct {
+	index    int
+	mesh     *transport.Mesh // nil for UDP cells
+	udps     []*transport.UDPEndpoint
+	join     func() (transport.Endpoint, error) // mints one more member endpoint
+	subjects []*subjectSlot
+	objects  []*objectSlot
+	dist     *update.Distributor
+	objIDs   []cert.ID
+	l1Count  int // L1 objects remain visible to revoked subjects
+}
+
+// fleet is the fully provisioned run state. mu guards the per-cell slot
+// slices: the orchestrator appends subjects during add-churn while the
+// sampler goroutine walks the fleet for open-handshake counts.
+type fleet struct {
+	p       Profile
+	reg     *obs.Registry
+	backend *backend.Backend
+	vcache  *cert.VerifyCache
+	group   groups.ID
+	cells   []*cell
+
+	mu           sync.RWMutex
+	subjectCount atomic.Int64
+}
+
+// onDiscovery is installed on every subject engine by the runner before any
+// traffic flows; declared here as a type to keep fleet.go engine-agnostic.
+type discoveryHook func(*subjectSlot, core.Discovery)
+
+// buildFleet provisions the backend and constructs every cell, engine, and
+// distributor. hook receives completion events on engine event loops.
+func buildFleet(p Profile, reg *obs.Registry, hook discoveryHook) (*fleet, error) {
+	b, err := backend.New(suite.S128)
+	if err != nil {
+		return nil, err
+	}
+	b.Instrument(reg)
+	if _, _, err := b.AddPolicy(
+		attr.MustParse("position=='staff'"),
+		attr.MustParse("type=='device'"),
+		[]string{"use"}); err != nil {
+		return nil, err
+	}
+	grp, err := b.Groups.CreateGroup("load covert group")
+	if err != nil {
+		return nil, err
+	}
+
+	f := &fleet{p: p, reg: reg, backend: b, group: grp.ID()}
+	f.vcache = cert.NewVerifyCache(p.VerifyCacheCap)
+	f.vcache.Instrument(reg)
+
+	// Register + provision the whole population through the batch APIs.
+	nSubj, nObj := p.Subjects(), p.Objects()
+	subjSpecs := make([]backend.SubjectSpec, nSubj)
+	for i := range subjSpecs {
+		subjSpecs[i] = backend.SubjectSpec{
+			Name:  fmt.Sprintf("s-%d", i),
+			Attrs: attr.MustSet("position=staff"),
+		}
+	}
+	sids, err := b.RegisterSubjects(subjSpecs, p.Workers)
+	if err != nil {
+		return nil, err
+	}
+	objSpecs := make([]backend.ObjectSpec, nObj)
+	levels := make([]backend.Level, nObj)
+	for i := range objSpecs {
+		levels[i] = p.Levels[i%len(p.Levels)]
+		objSpecs[i] = backend.ObjectSpec{
+			Name:      fmt.Sprintf("o-%d", i),
+			Level:     levels[i],
+			Attrs:     attr.MustSet("type=device"),
+			Functions: []string{"use"},
+		}
+	}
+	oids, err := b.RegisterObjects(objSpecs, p.Workers)
+	if err != nil {
+		return nil, err
+	}
+	for i, oid := range oids {
+		if levels[i] == backend.L3 {
+			if err := b.AddCovertService(oid, grp.ID(), []string{"use", "covert"}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if p.Fellow {
+		for _, sid := range sids {
+			if err := b.AddSubjectToGroup(sid, grp.ID()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	oprovs, err := b.ProvisionObjects(oids, p.Workers)
+	if err != nil {
+		return nil, err
+	}
+
+	// Assemble cells.
+	f.cells = make([]*cell, p.Cells)
+	si, oi := 0, 0
+	for ci := range f.cells {
+		c := &cell{index: ci}
+		f.cells[ci] = c
+		join, err := f.openCell(c)
+		if err != nil {
+			return nil, err
+		}
+		c.join = join
+		distEP, err := join()
+		if err != nil {
+			return nil, err
+		}
+		// The gateway only sends, but as a cell member it still receives
+		// discovery broadcasts; drain them so an idle queue never fills up
+		// and charges the run with mailbox drops.
+		distEP.Bind(transport.HandlerFunc(func(transport.Addr, []byte) {}))
+		c.dist = update.NewDistributor(b.Admin(), distEP)
+		c.dist.Instrument(reg)
+
+		for k := 0; k < p.ObjectsPerCell; k++ {
+			prov := oprovs[oi]
+			ep, err := join()
+			if err != nil {
+				return nil, err
+			}
+			addr := ep.Addr()
+			ep = WrapFaults(ep, p.Faults, p.FaultSeed+int64(oi)*2+1, reg)
+			hold := &objHolder{}
+			agent := update.NewAgent(b.AdminPublic(), nil, func(n *update.Notification) {
+				// Runs on the object's event loop, where Revoke is legal.
+				if n.Kind == update.KindRevokeSubject && hold.obj != nil {
+					hold.obj.Revoke(n.Subject)
+				}
+			})
+			// No sentAt wiring: the distributor's push-time map is not
+			// safe to share with concurrently running agent loops (it is a
+			// virtual-time feature of the simulator transport).
+			agent.Instrument(reg, nil)
+			obj := core.NewObject(prov, wire.V30, core.Costs{},
+				core.WithEndpoint(agent.Wrap(ep)),
+				core.WithRetry(p.Retry),
+				core.WithTelemetry(reg, nil),
+				core.WithVerifyCache(f.vcache))
+			hold.obj = obj
+			slot := &objectSlot{id: prov.ID, eng: obj, agent: agent, level: levels[oi]}
+			c.objects = append(c.objects, slot)
+			c.objIDs = append(c.objIDs, prov.ID)
+			if levels[oi] == backend.L1 {
+				c.l1Count++
+			}
+			c.dist.Register(prov.ID, addr)
+			oi++
+		}
+
+		for k := 0; k < p.SubjectsPerCell; k++ {
+			if err := f.addSubject(c, sids[si], subjSpecs[si].Name, false, hook); err != nil {
+				return nil, err
+			}
+			si++
+		}
+	}
+	return f, nil
+}
+
+// openCell creates the cell's broadcast domain and returns a join function
+// minting one endpoint per engine.
+func (f *fleet) openCell(c *cell) (func() (transport.Endpoint, error), error) {
+	switch f.p.Transport {
+	case TransportMesh:
+		var opts []transport.MeshOption
+		if f.p.Mailbox > 0 {
+			opts = append(opts, transport.WithMailbox(f.p.Mailbox))
+		}
+		opts = append(opts, transport.WithRegistry(f.reg))
+		c.mesh = transport.NewMesh(opts...)
+		return func() (transport.Endpoint, error) { return c.mesh.Join(), nil }, nil
+	case TransportUDP:
+		return func() (transport.Endpoint, error) {
+			ep, err := transport.ListenUDP(transport.UDPConfig{
+				Listen:   "127.0.0.1:0",
+				Mailbox:  f.p.Mailbox,
+				Registry: f.reg,
+			})
+			if err != nil {
+				return nil, err
+			}
+			// Full peer mesh within the cell: everyone already present
+			// learns the newcomer and vice versa, so broadcasts reach the
+			// whole cell regardless of join order.
+			for _, prev := range c.udps {
+				if err := prev.AddPeer(string(ep.Addr())); err != nil {
+					return nil, err
+				}
+				if err := ep.AddPeer(string(prev.Addr())); err != nil {
+					return nil, err
+				}
+			}
+			c.udps = append(c.udps, ep)
+			return ep, nil
+		}, nil
+	default:
+		return nil, fmt.Errorf("load: unknown transport %q", f.p.Transport)
+	}
+}
+
+// addSubject provisions and attaches one subject engine to the cell. Used
+// at build time and for mid-run add-churn; staleGroup is true when the
+// covert group key has rotated since the objects were provisioned.
+func (f *fleet) addSubject(c *cell, id cert.ID, name string, staleGroup bool, hook discoveryHook) error {
+	prov, err := f.backend.ProvisionSubject(id)
+	if err != nil {
+		return fmt.Errorf("provision %s: %w", name, err)
+	}
+	ep, err := c.join()
+	if err != nil {
+		return err
+	}
+	ep = WrapFaults(ep, f.p.Faults, f.p.FaultSeed+f.subjectCount.Load()*2+2, f.reg)
+	subj := core.NewSubject(prov, wire.V30, core.Costs{},
+		core.WithEndpoint(ep),
+		core.WithRetry(f.p.Retry),
+		core.WithTelemetry(f.reg, nil),
+		core.WithVerifyCache(f.vcache))
+	slot := &subjectSlot{id: id, name: name, eng: subj, ep: ep, cell: c, staleGroup: staleGroup}
+	// The hook write is ordered before any traffic by the mailbox mutex on
+	// the first Do/Send that can trigger it.
+	subj.OnDiscovery = func(d core.Discovery) { hook(slot, d) }
+	f.mu.Lock()
+	c.subjects = append(c.subjects, slot)
+	f.mu.Unlock()
+	f.subjectCount.Add(1)
+	return nil
+}
+
+// expectedRound returns how many completions one discovery round of this
+// slot must produce: every object in the cell, or only the L1 objects once
+// the subject's revocation has been effectuated.
+func (s *subjectSlot) expectedRound() int {
+	if s.revoked {
+		return s.cell.l1Count
+	}
+	return len(s.cell.objects)
+}
+
+// levelOf returns the object population's level map for mismatch checks.
+func (f *fleet) levelOf() map[cert.ID]backend.Level {
+	m := make(map[cert.ID]backend.Level, f.p.Objects())
+	for _, c := range f.cells {
+		for _, o := range c.objects {
+			m[o.id] = o.level
+		}
+	}
+	return m
+}
+
+// pendingSessions sums PendingSessions across every engine (both roles);
+// safe to call from any goroutine.
+func (f *fleet) pendingSessions() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	n := 0
+	for _, c := range f.cells {
+		for _, s := range c.subjects {
+			n += s.eng.PendingSessions()
+		}
+		for _, o := range c.objects {
+			n += o.eng.PendingSessions()
+		}
+	}
+	return n
+}
+
+// subjectPendingSessions sums only the subject side (subject sessions close
+// exactly at completion, so this hits zero as soon as a wave drains).
+func (f *fleet) subjectPendingSessions() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	n := 0
+	for _, c := range f.cells {
+		for _, s := range c.subjects {
+			n += s.eng.PendingSessions()
+		}
+	}
+	return n
+}
+
+// close tears down every transport; engine loops exit with their mailboxes.
+func (f *fleet) close() {
+	for _, c := range f.cells {
+		if c.mesh != nil {
+			c.mesh.Close()
+		}
+		for _, ep := range c.udps {
+			ep.Close()
+		}
+	}
+}

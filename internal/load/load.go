@@ -1,0 +1,327 @@
+// Package load is the load-generation and soak subsystem: it drives
+// configurable fleets of L1/L2/L3 discovery sessions over the concurrent
+// transports (transport.Mesh, transport.UDP) and asserts service-level
+// objectives from internal/obs snapshots, so throughput or latency
+// collapses in the engines, mailboxes, or verify cache surface as test and
+// CI failures rather than anecdotes.
+//
+// # Topology
+//
+// A fleet is sharded into independent "cells": each cell is one broadcast
+// domain (a Mesh, or a UDP peer group) holding SubjectsPerCell subject
+// engines and ObjectsPerCell object engines. Cells model the paper's
+// proximity scoping — discovery is radio-range-local, so an enterprise
+// deployment is many small broadcast domains, not one giant one — and keep
+// the harness clear of the object-side session-table bound
+// (core's maxPendingSessions) while still multiplying to arbitrarily many
+// concurrent sessions. All cells share one backend (single trust anchor),
+// one obs.Registry, and one credential verify cache.
+//
+// # Drivers
+//
+// The closed-loop driver arms synchronized waves: every subject runs one
+// discovery round per wave, and the next wave starts only when the previous
+// has drained (think time in between). Wave 0 runs against a cold verify
+// cache; later waves are warm. The open-loop driver instead issues rounds
+// as a Poisson arrival process at Rate rounds/second over the subject pool,
+// so queueing is driven by offered load rather than by completion.
+//
+// # Accounting
+//
+// One armed session = one subject↔object handshake expected to complete.
+// Expectations are derived from ground truth the harness owns: a live
+// subject discovers every object in its cell exactly once per round (the
+// engines' duplicate suppression makes delivery exactly-once per round); a
+// revoked subject discovers only the Level 1 objects. Completions are
+// observed via Subject.OnDiscovery, so zero lost completions is asserted
+// by exact counting, not by sampling. Mid-run churn (revocations pushed
+// through internal/update agents, subjects added live) and optional fault
+// injection (reusing the netsim.FaultModel knobs at the transport seam)
+// perturb the run without changing the arithmetic.
+package load
+
+import (
+	"fmt"
+	"time"
+
+	"argus/internal/backend"
+	"argus/internal/core"
+	"argus/internal/netsim"
+)
+
+// Transport selects the concurrent transport a profile runs over.
+type Transport string
+
+const (
+	// TransportMesh runs every cell as an in-memory transport.Mesh.
+	TransportMesh Transport = "mesh"
+	// TransportUDP runs every cell as real UDP sockets on loopback.
+	TransportUDP Transport = "udp"
+)
+
+// Profile fully describes one load run: fleet shape, driver, churn, faults,
+// and the SLOs the run is held to.
+type Profile struct {
+	Name        string
+	Description string
+	Transport   Transport
+
+	// Fleet shape: Cells broadcast domains of SubjectsPerCell subjects and
+	// ObjectsPerCell objects each. Levels is the repeating level pattern
+	// assigned to objects in creation order (default all L2). Fellow puts
+	// every subject in the covert group served by L3 objects, so L3
+	// services resolve at L3; without it they resolve at their L2 face.
+	Cells           int
+	SubjectsPerCell int
+	ObjectsPerCell  int
+	Levels          []backend.Level
+	Fellow          bool
+
+	// Closed-loop driver: Waves discovery rounds per subject, separated by
+	// ThinkTime once the previous wave has fully drained.
+	Waves     int
+	ThinkTime time.Duration
+
+	// Open-loop driver (replaces the wave loop when Rate > 0): Poisson
+	// arrivals at Rate rounds/second across the subject pool for Duration.
+	// An arrival finding every subject busy is counted as skipped, never
+	// queued — the defining property of open-loop load.
+	Rate     float64
+	Duration time.Duration
+
+	// Churn, applied between the last two waves (closed loop only):
+	// RevokeFrac of each cell's subjects are revoked (backend bookkeeping +
+	// signed update notifications pushed to their cell's objects), and
+	// AddFrac new subjects per cell are registered, provisioned, and join
+	// the final wave with cold credentials.
+	RevokeFrac float64
+	AddFrac    float64
+
+	// Faults, when active, wraps every engine endpoint in a lossy layer
+	// reusing the netsim fault-model knobs (see WrapFaults). Fault runs
+	// need Retry enabled to stay complete.
+	Faults    netsim.FaultModel
+	FaultSeed int64
+
+	// Retry is installed on every engine. SessionTTL doubles as the drain
+	// horizon for leak checks.
+	Retry core.RetryPolicy
+
+	// Seed drives every harness random choice (churn victim selection,
+	// open-loop arrivals); fixed seed = fixed schedule.
+	Seed int64
+
+	// Mailbox overrides the transport inbound queue depth (0 = transport
+	// default). Workers bounds provisioning parallelism. DrainTimeout is
+	// the per-wave completion deadline; sessions still missing when it
+	// expires are counted lost. VerifyCacheCap sizes the shared credential
+	// cache (entries).
+	Mailbox        int
+	Workers        int
+	DrainTimeout   time.Duration
+	VerifyCacheCap int
+
+	// SLO is asserted over the finished run's report.
+	SLO SLO
+
+	// Logf, when set, receives progress lines (plug in t.Logf or log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// Subjects returns the initial fleet-wide subject count.
+func (p *Profile) Subjects() int { return p.Cells * p.SubjectsPerCell }
+
+// Objects returns the fleet-wide object count.
+func (p *Profile) Objects() int { return p.Cells * p.ObjectsPerCell }
+
+func (p *Profile) logf(format string, args ...any) {
+	if p.Logf != nil {
+		p.Logf(format, args...)
+	}
+}
+
+// withDefaults fills zero fields with workable values.
+func (p Profile) withDefaults() Profile {
+	if p.Transport == "" {
+		p.Transport = TransportMesh
+	}
+	if p.Cells <= 0 {
+		p.Cells = 1
+	}
+	if p.SubjectsPerCell <= 0 {
+		p.SubjectsPerCell = 1
+	}
+	if p.ObjectsPerCell <= 0 {
+		p.ObjectsPerCell = 1
+	}
+	if len(p.Levels) == 0 {
+		p.Levels = []backend.Level{backend.L2}
+	}
+	if p.Waves <= 0 {
+		p.Waves = 1
+	}
+	if !p.Retry.Enabled() {
+		p.Retry = core.RetryPolicy{
+			Que1Retries: 2, Que2Retries: 3,
+			Timeout: 2 * time.Second, Backoff: 2, SessionTTL: 5 * time.Second,
+		}
+	}
+	if p.DrainTimeout <= 0 {
+		p.DrainTimeout = 60 * time.Second
+	}
+	if p.VerifyCacheCap <= 0 {
+		p.VerifyCacheCap = 1 << 16
+	}
+	if p.Workers <= 0 {
+		p.Workers = 4
+	}
+	return p
+}
+
+// validate rejects shapes the engines cannot serve losslessly.
+func (p *Profile) validate() error {
+	switch p.Transport {
+	case TransportMesh, TransportUDP:
+	default:
+		return fmt.Errorf("load: unknown transport %q", p.Transport)
+	}
+	// An object keeps one session per subject round until SessionTTL; the
+	// engine refuses new handshakes past its session-table cap (256). Bound
+	// the per-object session pressure so refusals — which would surface as
+	// lost completions — cannot happen by construction.
+	if p.SubjectsPerCell > 64 {
+		return fmt.Errorf("load: SubjectsPerCell %d > 64 would risk the object session-table cap; add cells instead", p.SubjectsPerCell)
+	}
+	if p.Rate > 0 && (p.RevokeFrac > 0 || p.AddFrac > 0) {
+		return fmt.Errorf("load: churn is a closed-loop feature (Rate must be 0)")
+	}
+	if p.Faults.Active() && !p.Retry.Enabled() {
+		return fmt.Errorf("load: fault injection requires an enabled retry policy")
+	}
+	for _, l := range p.Levels {
+		if !l.Valid() {
+			return fmt.Errorf("load: invalid level %d in Levels", int(l))
+		}
+	}
+	return nil
+}
+
+// Profiles returns the built-in profile registry keyed by name. The
+// returned map is freshly built; callers may mutate their copy.
+func Profiles() map[string]Profile {
+	quickRetry := core.RetryPolicy{
+		Que1Retries: 3, Que2Retries: 3,
+		Timeout: 100 * time.Millisecond, Backoff: 2, SessionTTL: time.Second,
+	}
+	ps := []Profile{
+		{
+			Name:        "ci-soak",
+			Description: "deterministic short soak for CI under -race: 96 subjects × 24 objects over Mesh, 3 waves (cold → warm → post-churn), revocation + live-add churn",
+			Transport:   TransportMesh,
+			Cells:       12, SubjectsPerCell: 8, ObjectsPerCell: 2,
+			Levels: []backend.Level{backend.L1, backend.L2, backend.L3, backend.L2},
+			Fellow: true,
+			Waves:  3, ThinkTime: 50 * time.Millisecond,
+			RevokeFrac: 0.25, AddFrac: 0.25,
+			Retry:        quickRetry,
+			Seed:         1,
+			DrainTimeout: 30 * time.Second,
+			SLO: SLO{
+				MinPeakConcurrent: 150,
+				P50Ceiling:        2 * time.Second,
+				P99Ceiling:        8 * time.Second,
+			},
+		},
+		{
+			Name:        "standard",
+			Description: "the headline Mesh soak: 10,000 subjects × 1,000 objects (500 cells), 20,000 concurrent sessions per wave, 3 waves with 10% revocation + 5% live-add churn",
+			Transport:   TransportMesh,
+			Cells:       500, SubjectsPerCell: 20, ObjectsPerCell: 2,
+			Levels: []backend.Level{backend.L1, backend.L2, backend.L3, backend.L2},
+			Fellow: true,
+			Waves:  3, ThinkTime: 100 * time.Millisecond,
+			RevokeFrac: 0.10, AddFrac: 0.05,
+			Retry: core.RetryPolicy{
+				Que1Retries: 2, Que2Retries: 3,
+				Timeout: 4 * time.Second, Backoff: 2, SessionTTL: 10 * time.Second,
+			},
+			Seed:         1,
+			Workers:      8,
+			DrainTimeout: 180 * time.Second,
+			SLO: SLO{
+				MinPeakConcurrent: 10000,
+				P50Ceiling:        10 * time.Second,
+				P99Ceiling:        13 * time.Second,
+				MaxSlowSessions:   0,
+			},
+		},
+		{
+			Name:        "udp-smoke",
+			Description: "small fleet over real UDP loopback sockets: 20 subjects × 8 objects in 4 cells, 2 waves",
+			Transport:   TransportUDP,
+			Cells:       4, SubjectsPerCell: 5, ObjectsPerCell: 2,
+			Levels: []backend.Level{backend.L1, backend.L2, backend.L3, backend.L2},
+			Fellow: true,
+			Waves:  2, ThinkTime: 50 * time.Millisecond,
+			Retry: core.RetryPolicy{
+				Que1Retries: 3, Que2Retries: 3,
+				Timeout: 250 * time.Millisecond, Backoff: 2, SessionTTL: 2 * time.Second,
+			},
+			Seed:         1,
+			DrainTimeout: 30 * time.Second,
+			SLO: SLO{
+				MinPeakConcurrent: 40,
+				P50Ceiling:        2 * time.Second,
+				P99Ceiling:        8 * time.Second,
+			},
+		},
+		{
+			Name:        "open-loop",
+			Description: "Poisson arrivals at 400 rounds/s over 500 subjects × 100 objects for 5 s — queueing from offered load, skipped arrivals reported",
+			Transport:   TransportMesh,
+			Cells:       50, SubjectsPerCell: 10, ObjectsPerCell: 2,
+			Levels: []backend.Level{backend.L1, backend.L2, backend.L3, backend.L2},
+			Fellow: true,
+			Rate:   400, Duration: 5 * time.Second,
+			Retry:        quickRetry,
+			Seed:         1,
+			DrainTimeout: 30 * time.Second,
+			SLO: SLO{
+				P50Ceiling: 2 * time.Second,
+				P99Ceiling: 8 * time.Second,
+			},
+		},
+		{
+			Name:        "soak-faulty",
+			Description: "400 subjects × 80 objects over Mesh with 5% loss, 5% duplication and 20 ms jitter injected at the transport seam; retransmission keeps the run complete",
+			Transport:   TransportMesh,
+			Cells:       40, SubjectsPerCell: 10, ObjectsPerCell: 2,
+			Levels: []backend.Level{backend.L1, backend.L2, backend.L3, backend.L2},
+			Fellow: true,
+			Waves:  2, ThinkTime: 100 * time.Millisecond,
+			Faults: netsim.FaultModel{
+				Loss: 0.05, Duplicate: 0.05, ReorderJitter: 20 * time.Millisecond,
+			},
+			FaultSeed: 7,
+			Retry:     core.DefaultRetry(),
+			Seed:      1,
+			// Injected loss can in principle exhaust the retry budget; a
+			// handful of misses out of 1,600 sessions is within spec.
+			DrainTimeout: 60 * time.Second,
+			SLO: SLO{
+				MaxLost:           4,
+				MinPeakConcurrent: 700,
+				P50Ceiling:        4 * time.Second,
+				P99Ceiling:        13 * time.Second,
+				// Each lost session also shows up as (at most) one expiry on
+				// each side beyond the predicted count.
+				MaxExpiredExtra: 8,
+			},
+		},
+	}
+	m := make(map[string]Profile, len(ps))
+	for _, p := range ps {
+		m[p.Name] = p
+	}
+	return m
+}

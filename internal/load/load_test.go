@@ -1,0 +1,410 @@
+package load
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"argus/internal/backend"
+	"argus/internal/core"
+	"argus/internal/netsim"
+	"argus/internal/transport"
+)
+
+// TestCISoak is the deterministic short soak CI runs under -race: the
+// built-in ci-soak profile (96 subjects × 24 objects over Mesh, three waves
+// with cold→warm verify-cache phases and revocation + live-add churn
+// before the last wave). Everything the big profiles assert is asserted
+// here at a size that finishes in seconds.
+func TestCISoak(t *testing.T) {
+	p := Profiles()["ci-soak"]
+	p.Logf = t.Logf
+	rep, err := Run(p)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !rep.SLO.Pass {
+		t.Fatalf("SLO violations: %v", rep.SLO.Violations)
+	}
+	if rep.Totals.Lost != 0 {
+		t.Fatalf("lost completions: %d", rep.Totals.Lost)
+	}
+	if rep.Totals.Completed != rep.Totals.Armed {
+		t.Fatalf("completed %d != armed %d", rep.Totals.Completed, rep.Totals.Armed)
+	}
+	if rep.Totals.Unexpected != 0 || rep.Totals.LevelMismatch != 0 {
+		t.Fatalf("unexpected %d, level mismatches %d",
+			rep.Totals.Unexpected, rep.Totals.LevelMismatch)
+	}
+
+	// Deterministic churn arithmetic: 25% of 8 subjects per cell revoked
+	// and 25% added, in 12 cells.
+	if rep.Fleet.Revoked != 24 || rep.Fleet.Added != 24 {
+		t.Fatalf("churn: revoked %d added %d, want 24/24", rep.Fleet.Revoked, rep.Fleet.Added)
+	}
+	if got, want := rep.Counters["updates_applied"], int64(24*p.ObjectsPerCell); got != want {
+		t.Fatalf("updates applied %d, want %d", got, want)
+	}
+	if rep.Counters["updates_rejected"] != 0 {
+		t.Fatalf("updates rejected: %d", rep.Counters["updates_rejected"])
+	}
+
+	// Wave shape: wave 0 arms 96 subjects × 2 objects; the last wave runs
+	// with 24 revoked (each still finding the cell's single L1 object... or
+	// none) and 24 fresh subjects.
+	if len(rep.Waves) != 3 {
+		t.Fatalf("waves: %d", len(rep.Waves))
+	}
+	if rep.Waves[0].Armed != int64(96*2) {
+		t.Fatalf("wave 0 armed %d, want %d", rep.Waves[0].Armed, 96*2)
+	}
+	// Cold → warm: the first wave must miss, later waves must hit.
+	if rep.Waves[0].VCacheMisses == 0 {
+		t.Fatal("wave 0 saw no verify-cache misses (cold phase missing)")
+	}
+	if rep.Waves[1].VCacheHits == 0 {
+		t.Fatal("wave 1 saw no verify-cache hits (warm phase missing)")
+	}
+	// A freshly added subject's first handshake is cold again.
+	if rep.Waves[2].VCacheMisses == 0 {
+		t.Fatal("post-churn wave saw no new cold handshakes")
+	}
+
+	// The expectation ledger and the engines' own telemetry must agree:
+	// every completion the harness counted was recorded as a discovery
+	// (late post-reap completions would add discoveries, but a lossless
+	// run has none).
+	if got := rep.Counters["discoveries"]; got != rep.Totals.Completed {
+		t.Fatalf("telemetry cross-check: discoveries %d != completed %d", got, rep.Totals.Completed)
+	}
+	if rep.Counters["mailbox_drops"] != 0 {
+		t.Fatalf("mailbox drops: %d", rep.Counters["mailbox_drops"])
+	}
+	if rep.Totals.LeakedSessions != 0 {
+		t.Fatalf("leaked sessions: %d", rep.Totals.LeakedSessions)
+	}
+	if rep.Totals.PeakInflight < p.SLO.MinPeakConcurrent {
+		t.Fatalf("peak inflight %d below profile floor %d",
+			rep.Totals.PeakInflight, p.SLO.MinPeakConcurrent)
+	}
+
+	// The report must serialize.
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+}
+
+// TestUDPSoakSmall runs a shrunken udp-smoke over real loopback sockets.
+func TestUDPSoakSmall(t *testing.T) {
+	p := Profiles()["udp-smoke"]
+	p.Cells, p.SubjectsPerCell, p.ObjectsPerCell = 2, 3, 2
+	p.SLO.MinPeakConcurrent = 6
+	p.Logf = t.Logf
+	rep, err := Run(p)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !rep.SLO.Pass {
+		t.Fatalf("SLO violations: %v", rep.SLO.Violations)
+	}
+	if rep.Totals.Lost != 0 || rep.Totals.Completed != rep.Totals.Armed {
+		t.Fatalf("udp run incomplete: %+v", rep.Totals)
+	}
+	if rep.Transport != "udp" {
+		t.Fatalf("transport %q", rep.Transport)
+	}
+}
+
+// TestOpenLoopSmall drives a small Poisson arrival schedule and checks the
+// open-loop invariants: every armed round completes, skipped arrivals are
+// counted rather than queued.
+func TestOpenLoopSmall(t *testing.T) {
+	p := Profile{
+		Name:      "open-loop-test",
+		Transport: TransportMesh,
+		Cells:     2, SubjectsPerCell: 4, ObjectsPerCell: 2,
+		Levels: []backend.Level{backend.L1, backend.L2},
+		Rate:   200, Duration: 500 * time.Millisecond,
+		Retry: core.RetryPolicy{
+			Que1Retries: 3, Que2Retries: 3,
+			Timeout: 100 * time.Millisecond, Backoff: 2, SessionTTL: time.Second,
+		},
+		Seed: 42,
+		SLO:  SLO{P99Ceiling: 8 * time.Second},
+		Logf: t.Logf,
+	}
+	rep, err := Run(p)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !rep.SLO.Pass {
+		t.Fatalf("SLO violations: %v", rep.SLO.Violations)
+	}
+	if rep.Totals.Completed == 0 {
+		t.Fatal("open loop completed nothing")
+	}
+	if rep.Totals.Lost != 0 {
+		t.Fatalf("lost: %d", rep.Totals.Lost)
+	}
+	if rep.Totals.Completed != rep.Totals.Armed {
+		t.Fatalf("completed %d != armed %d", rep.Totals.Completed, rep.Totals.Armed)
+	}
+}
+
+// TestFaultySoakSmall injects loss, duplication and jitter on a small fleet
+// and checks that retransmission keeps the run essentially complete. The
+// loss budget makes the test deterministic-in-outcome despite random draws:
+// with 6 QUE1 attempts and 6 QUE2 attempts per session the chance of even
+// 4 losses among 64 sessions is negligible.
+func TestFaultySoakSmall(t *testing.T) {
+	p := Profile{
+		Name:      "faulty-test",
+		Transport: TransportMesh,
+		Cells:     4, SubjectsPerCell: 4, ObjectsPerCell: 2,
+		Levels: []backend.Level{backend.L2, backend.L3},
+		Fellow: true,
+		Waves:  2, ThinkTime: 50 * time.Millisecond,
+		Faults: netsim.FaultModel{
+			Loss: 0.15, Duplicate: 0.10, ReorderJitter: 5 * time.Millisecond,
+		},
+		FaultSeed: 99,
+		Retry: core.RetryPolicy{
+			Que1Retries: 5, Que2Retries: 5,
+			Timeout: 50 * time.Millisecond, Backoff: 2, SessionTTL: 2 * time.Second,
+		},
+		Seed:         7,
+		DrainTimeout: 20 * time.Second,
+		SLO: SLO{
+			MaxLost:         3,
+			MaxExpiredExtra: 3,
+			P99Ceiling:      10 * time.Second,
+		},
+		Logf: t.Logf,
+	}
+	rep, err := Run(p)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !rep.SLO.Pass {
+		t.Fatalf("SLO violations: %v", rep.SLO.Violations)
+	}
+	if rep.Counters["faults_lost"] == 0 {
+		t.Fatal("fault injection never dropped a frame — wrapper not wired?")
+	}
+	if rep.Counters["retransmissions"] == 0 {
+		t.Fatal("no retransmissions under 15% loss — retry not wired?")
+	}
+	if rep.Totals.Completed < rep.Totals.Armed-3 {
+		t.Fatalf("completed %d of %d armed", rep.Totals.Completed, rep.Totals.Armed)
+	}
+}
+
+// recordingEndpoint is a stub transport capturing deliveries for the fault
+// wrapper unit tests.
+type recordingEndpoint struct {
+	mu     sync.Mutex
+	sent   [][]byte
+	bcast  [][]byte
+	closed atomic.Bool
+}
+
+func (r *recordingEndpoint) Addr() transport.Addr { return "stub" }
+func (r *recordingEndpoint) Now() time.Duration   { return 0 }
+func (r *recordingEndpoint) Send(to transport.Addr, p []byte) {
+	r.mu.Lock()
+	r.sent = append(r.sent, append([]byte(nil), p...))
+	r.mu.Unlock()
+}
+func (r *recordingEndpoint) Broadcast(p []byte, ttl int) {
+	r.mu.Lock()
+	r.bcast = append(r.bcast, append([]byte(nil), p...))
+	r.mu.Unlock()
+}
+func (r *recordingEndpoint) After(d time.Duration, fn func())   { time.AfterFunc(d, fn) }
+func (r *recordingEndpoint) Compute(c time.Duration, fn func()) { fn() }
+func (r *recordingEndpoint) Do(fn func())                       { fn() }
+func (r *recordingEndpoint) Bind(h transport.Handler)           {}
+func (r *recordingEndpoint) Close() error                       { r.closed.Store(true); return nil }
+
+func (r *recordingEndpoint) counts() (sent, bcast int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.sent), len(r.bcast)
+}
+
+func TestWrapFaultsInactiveIsIdentity(t *testing.T) {
+	ep := &recordingEndpoint{}
+	if got := WrapFaults(ep, netsim.FaultModel{}, 1, nil); got != transport.Endpoint(ep) {
+		t.Fatal("inactive model must return the endpoint unchanged")
+	}
+}
+
+func TestWrapFaultsLossDropsEverything(t *testing.T) {
+	ep := &recordingEndpoint{}
+	f := WrapFaults(ep, netsim.FaultModel{Loss: 1}, 1, nil)
+	for i := 0; i < 50; i++ {
+		f.Send("x", []byte{1})
+		f.Broadcast([]byte{2}, 1)
+	}
+	if s, b := ep.counts(); s != 0 || b != 0 {
+		t.Fatalf("total loss delivered %d sends, %d broadcasts", s, b)
+	}
+}
+
+func TestWrapFaultsDuplicateDoubles(t *testing.T) {
+	ep := &recordingEndpoint{}
+	f := WrapFaults(ep, netsim.FaultModel{Duplicate: 1}, 1, nil)
+	for i := 0; i < 10; i++ {
+		f.Send("x", []byte{1})
+	}
+	if s, _ := ep.counts(); s != 20 {
+		t.Fatalf("certain duplication delivered %d sends, want 20", s)
+	}
+}
+
+func TestWrapFaultsCorruptFlipsAByte(t *testing.T) {
+	ep := &recordingEndpoint{}
+	f := WrapFaults(ep, netsim.FaultModel{Corrupt: 1}, 1, nil)
+	orig := []byte{10, 20, 30, 40}
+	f.Send("x", append([]byte(nil), orig...))
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if len(ep.sent) != 1 {
+		t.Fatalf("deliveries: %d", len(ep.sent))
+	}
+	if bytes.Equal(ep.sent[0], orig) {
+		t.Fatal("certain corruption delivered the frame unmodified")
+	}
+}
+
+func TestWrapFaultsJitterDelaysDelivery(t *testing.T) {
+	ep := &recordingEndpoint{}
+	f := WrapFaults(ep, netsim.FaultModel{ReorderJitter: 30 * time.Millisecond}, 1, nil)
+	f.Send("x", []byte{1})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if s, _ := ep.counts(); s == 1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("jittered frame never delivered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSLOCheck(t *testing.T) {
+	base := func() *Report {
+		return &Report{
+			Totals: Totals{
+				Armed: 100, Completed: 100,
+				PeakInflight: 100,
+			},
+			Latency: map[string]Quantiles{
+				"2": {Count: 100, P50: 0.010, P99: 0.050},
+			},
+			Counters: map[string]int64{},
+		}
+	}
+	cases := []struct {
+		name    string
+		slo     SLO
+		mutate  func(*Report)
+		wantOK  bool
+		wantHit string
+	}{
+		{name: "clean run passes strict zero-value SLO", slo: SLO{}, mutate: func(*Report) {}, wantOK: true},
+		{name: "lost", slo: SLO{}, mutate: func(r *Report) { r.Totals.Lost = 1 }, wantHit: "lost"},
+		{name: "lost within budget", slo: SLO{MaxLost: 2}, mutate: func(r *Report) { r.Totals.Lost = 2 }, wantOK: true},
+		{name: "lost disabled", slo: SLO{MaxLost: -1}, mutate: func(r *Report) { r.Totals.Lost = 999 }, wantOK: true},
+		{name: "unexpected", slo: SLO{}, mutate: func(r *Report) { r.Totals.Unexpected = 1 }, wantHit: "unexpected"},
+		{name: "level mismatch", slo: SLO{}, mutate: func(r *Report) { r.Totals.LevelMismatch = 1 }, wantHit: "level"},
+		{name: "peak floor", slo: SLO{MinPeakConcurrent: 101}, mutate: func(*Report) {}, wantHit: "peak"},
+		{name: "mailbox drops", slo: SLO{}, mutate: func(r *Report) { r.Counters["mailbox_drops"] = 1 }, wantHit: "mailbox"},
+		{name: "malformed", slo: SLO{}, mutate: func(r *Report) { r.Counters["malformed_drops"] = 3 }, wantHit: "malformed"},
+		{name: "unexplained expiries", slo: SLO{}, mutate: func(r *Report) { r.Counters["subject_sessions_expired"] = 2 }, wantHit: "expir"},
+		{name: "predicted expiries pass", slo: SLO{}, mutate: func(r *Report) {
+			r.Counters["subject_sessions_expired"] = 2
+			r.PredictedSubjectExpiries = 2
+		}, wantOK: true},
+		{name: "leak", slo: SLO{}, mutate: func(r *Report) { r.Totals.LeakedSessions = 1 }, wantHit: "leak"},
+		{name: "p50 ceiling", slo: SLO{P50Ceiling: 5 * time.Millisecond}, mutate: func(*Report) {}, wantHit: "p50"},
+		{name: "p99 ceiling", slo: SLO{P99Ceiling: 20 * time.Millisecond}, mutate: func(*Report) {}, wantHit: "p99"},
+		{name: "slow sessions", slo: SLO{}, mutate: func(r *Report) {
+			q := r.Latency["2"]
+			q.Overflow = 1
+			r.Latency["2"] = q
+		}, wantHit: "histogram range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := base()
+			tc.mutate(rep)
+			res := tc.slo.Check(rep)
+			if tc.wantOK {
+				if !res.Pass {
+					t.Fatalf("want pass, got violations %v", res.Violations)
+				}
+				return
+			}
+			if res.Pass {
+				t.Fatalf("want violation containing %q, got pass", tc.wantHit)
+			}
+			found := false
+			for _, v := range res.Violations {
+				if bytes.Contains([]byte(v), []byte(tc.wantHit)) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("violations %v missing %q", res.Violations, tc.wantHit)
+			}
+		})
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Profile)
+	}{
+		{"unknown transport", func(p *Profile) { p.Transport = "carrier-pigeon" }},
+		{"session-table pressure", func(p *Profile) { p.SubjectsPerCell = 65 }},
+		{"open-loop churn", func(p *Profile) { p.Rate = 10; p.Duration = time.Second; p.RevokeFrac = 0.5 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := Profiles()["ci-soak"]
+			tc.mut(&p)
+			if _, err := Run(p); err == nil {
+				t.Fatal("want validation error")
+			}
+		})
+	}
+}
+
+func TestProfilesRegistryShapes(t *testing.T) {
+	ps := Profiles()
+	for _, name := range []string{"ci-soak", "standard", "udp-smoke", "open-loop", "soak-faulty"} {
+		p, ok := ps[name]
+		if !ok {
+			t.Fatalf("missing built-in profile %q", name)
+		}
+		pd := p.withDefaults()
+		if err := pd.validate(); err != nil {
+			t.Fatalf("profile %q invalid: %v", name, err)
+		}
+	}
+	// The headline profile must actually be able to reach its advertised
+	// concurrency: armed sessions per wave ≥ the SLO floor.
+	std := ps["standard"]
+	if got := int64(std.Subjects() * std.ObjectsPerCell); got < std.SLO.MinPeakConcurrent {
+		t.Fatalf("standard profile arms %d < floor %d", got, std.SLO.MinPeakConcurrent)
+	}
+	if std.Subjects() < 10000 || std.Objects() < 1000 {
+		t.Fatalf("standard fleet too small: %d subjects, %d objects", std.Subjects(), std.Objects())
+	}
+}

@@ -1,0 +1,195 @@
+package load
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"strconv"
+	"time"
+
+	"argus/internal/obs"
+)
+
+// Report is the machine-readable result of one load run — the payload of
+// BENCH_5.json. Every number is either harness ground truth (the
+// expectation ledger) or pulled from the run's obs snapshot, so the report
+// double-checks the telemetry pipeline against independent accounting.
+type Report struct {
+	Profile     string `json:"profile"`
+	Description string `json:"description,omitempty"`
+	Transport   string `json:"transport"`
+	Seed        int64  `json:"seed"`
+
+	Fleet  FleetStats  `json:"fleet"`
+	Waves  []WaveStats `json:"waves,omitempty"`
+	Totals Totals      `json:"totals"`
+
+	// Latency maps level ("1".."3") to end-to-end handshake quantiles in
+	// seconds (phase=total of argus_discovery_phase_seconds).
+	Latency map[string]Quantiles `json:"latency"`
+
+	// Counters summarizes the obs counter families the SLOs reference.
+	Counters map[string]int64 `json:"counters"`
+
+	// PredictedSubjectExpiries is the ledger's expected subject-side session
+	// expiry count (revoked subjects' silently refused handshakes).
+	PredictedSubjectExpiries int64 `json:"predicted_subject_expiries"`
+
+	SLO SLOResult `json:"slo"`
+}
+
+// FleetStats describes the run's population.
+type FleetStats struct {
+	Cells           int `json:"cells"`
+	SubjectsPerCell int `json:"subjects_per_cell"`
+	ObjectsPerCell  int `json:"objects_per_cell"`
+	Subjects        int `json:"subjects"`
+	Objects         int `json:"objects"`
+	Revoked         int `json:"revoked,omitempty"`
+	Added           int `json:"added,omitempty"`
+}
+
+// WaveStats is one closed-loop wave's summary.
+type WaveStats struct {
+	Index           int     `json:"index"`
+	Subjects        int     `json:"subjects"`
+	Armed           int64   `json:"armed"`
+	Lost            int64   `json:"lost"`
+	Seconds         float64 `json:"seconds"`
+	VCacheHits      int64   `json:"vcache_hits"`
+	VCacheMisses    int64   `json:"vcache_misses"`
+	Retransmissions int64   `json:"retransmissions"`
+}
+
+// Totals aggregates the whole run.
+type Totals struct {
+	Armed             int64   `json:"armed"`
+	Completed         int64   `json:"completed"`
+	Lost              int64   `json:"lost"`
+	Unexpected        int64   `json:"unexpected"`
+	Late              int64   `json:"late"`
+	LevelMismatch     int64   `json:"level_mismatch"`
+	SkippedArrivals   int64   `json:"skipped_arrivals,omitempty"`
+	PeakInflight      int64   `json:"peak_inflight"`
+	PeakOpenHandshake int64   `json:"peak_open_handshakes"`
+	LeakedSessions    int64   `json:"leaked_sessions"`
+	WallSeconds       float64 `json:"wall_seconds"`
+	SessionsPerSecond float64 `json:"sessions_per_second"`
+	HeapAllocMB       float64 `json:"heap_alloc_mb"`
+}
+
+// Quantiles is one level's latency summary in seconds. Overflow counts
+// sessions beyond the last histogram bucket, where quantile estimates
+// saturate.
+type Quantiles struct {
+	Count    uint64  `json:"count"`
+	P50      float64 `json:"p50"`
+	P95      float64 `json:"p95"`
+	P99      float64 `json:"p99"`
+	Overflow int64   `json:"overflow"`
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// sumFamily totals a counter family across every label set matching the
+// given labels.
+func sumFamily(snap *obs.Snapshot, name string, labels ...obs.Label) int64 {
+	var total int64
+	for i := range snap.Metrics {
+		m := &snap.Metrics[i]
+		if m.Name != name {
+			continue
+		}
+		match := true
+		for _, l := range labels {
+			if m.Labels[l.Key] != l.Value {
+				match = false
+				break
+			}
+		}
+		if match {
+			total += int64(m.Value)
+		}
+	}
+	return total
+}
+
+// buildReport assembles the report from the ledger and a final snapshot.
+func (r *runner) buildReport(wall time.Duration, leaked int64) *Report {
+	snap := r.reg.Snapshot()
+	p := r.p
+
+	rep := &Report{
+		Profile:     p.Name,
+		Description: p.Description,
+		Transport:   string(p.Transport),
+		Seed:        p.Seed,
+		Fleet: FleetStats{
+			Cells:           p.Cells,
+			SubjectsPerCell: p.SubjectsPerCell,
+			ObjectsPerCell:  p.ObjectsPerCell,
+			Subjects:        p.Subjects() + r.addedCount,
+			Objects:         p.Objects(),
+			Revoked:         r.revokedCount,
+			Added:           r.addedCount,
+		},
+		Waves:                    r.waves,
+		Latency:                  map[string]Quantiles{},
+		Counters:                 map[string]int64{},
+		PredictedSubjectExpiries: r.predictedSubjExpiries,
+	}
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	completed := r.completed.Load()
+	rep.Totals = Totals{
+		Armed:             r.armed.Load(),
+		Completed:         completed,
+		Lost:              r.lost.Load(),
+		Unexpected:        r.unexpected.Load(),
+		Late:              r.late.Load(),
+		LevelMismatch:     r.levelMismatch.Load(),
+		SkippedArrivals:   r.skippedArrivals.Load(),
+		PeakInflight:      r.inflight.peak.Load(),
+		PeakOpenHandshake: r.peakOpen.Load(),
+		LeakedSessions:    leaked,
+		WallSeconds:       wall.Seconds(),
+		HeapAllocMB:       float64(ms.HeapAlloc) / (1 << 20),
+	}
+	if wall > 0 {
+		rep.Totals.SessionsPerSecond = float64(completed) / wall.Seconds()
+	}
+
+	for lvl := 1; lvl <= 3; lvl++ {
+		key := strconv.Itoa(lvl)
+		m := snap.Get(obs.MDiscoveryPhaseSeconds, obs.L("level", key), obs.L("phase", obs.PhaseAll))
+		if m == nil || m.Count == 0 {
+			continue
+		}
+		q := Quantiles{Count: m.Count, P50: m.P50, P95: m.P95, P99: m.P99}
+		if n := len(m.Buckets); n > 0 {
+			q.Overflow = int64(m.Count - m.Buckets[n-1].Count)
+		}
+		rep.Latency[key] = q
+	}
+
+	rep.Counters["discoveries"] = sumFamily(snap, obs.MDiscoveries)
+	rep.Counters["mailbox_drops"] = sumFamily(snap, obs.MTransportMailboxDrops)
+	rep.Counters["malformed_drops"] = sumFamily(snap, obs.MMalformedDrops)
+	rep.Counters["retransmissions"] = sumFamily(snap, obs.MRetransmissions)
+	rep.Counters["subject_sessions_expired"] = sumFamily(snap, obs.MSessionsExpired, obs.L("role", "subject"))
+	rep.Counters["object_sessions_expired"] = sumFamily(snap, obs.MSessionsExpired, obs.L("role", "object"))
+	rep.Counters["vcache_hits"] = sumFamily(snap, obs.MVerifyCacheEvents, obs.L("result", "hit"))
+	rep.Counters["vcache_misses"] = sumFamily(snap, obs.MVerifyCacheEvents, obs.L("result", "miss"))
+	rep.Counters["updates_applied"] = sumFamily(snap, obs.MUpdateApplied)
+	rep.Counters["updates_rejected"] = sumFamily(snap, obs.MUpdateRejected)
+	rep.Counters["faults_lost"] = sumFamily(snap, obs.MNetFaultLost)
+	rep.Counters["faults_corrupted"] = sumFamily(snap, obs.MNetFaultCorrupted)
+	rep.Counters["faults_duplicated"] = sumFamily(snap, obs.MNetFaultDuplicated)
+	return rep
+}

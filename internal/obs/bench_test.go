@@ -5,6 +5,8 @@ import "testing"
 // The observe path sits inside the simulator's per-message hot loop, so the
 // tentpole target is <50 ns per operation with zero allocations — handles are
 // resolved once at Instrument time and observations are atomics only.
+// Fixtures are index-derived (never time or global rand) and every benchmark
+// reports allocations, so run-to-run deltas are attributable to code.
 
 func BenchmarkCounterInc(b *testing.B) {
 	c := NewRegistry().Counter("argus_bench_total", "")

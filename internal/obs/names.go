@@ -63,6 +63,16 @@ const (
 	MUpdateApplied     = "argus_update_applied_total"
 	MUpdateRejected    = "argus_update_rejected_total"
 	MUpdatePropagation = "argus_update_propagation_seconds"
+
+	// internal/load — load/soak harness bookkeeping. Inflight counts armed
+	// discovery sessions (one subject↔object handshake each) not yet
+	// completed; the peak gauge latches the high-water mark for the run.
+	MLoadInflight     = "argus_load_inflight_sessions"
+	MLoadPeakInflight = "argus_load_peak_inflight_sessions"
+	MLoadRoundsArmed  = "argus_load_rounds_armed_total"
+	MLoadCompletions  = "argus_load_completions_total"
+	MLoadLost         = "argus_load_lost_total"
+	MLoadUnexpected   = "argus_load_unexpected_total"
 )
 
 // Protocol phases of a discovery session, in wire order. Used as the

@@ -17,6 +17,7 @@ import (
 
 	"argus/internal/netsim"
 	"argus/internal/transport"
+	"argus/internal/transport/transporttest"
 )
 
 // fixture builds n endpoints that can all reach each other in one hop.
@@ -105,18 +106,15 @@ func (r *recorder) frames() []frame {
 	return append([]frame(nil), r.got...)
 }
 
-// waitFor pumps settle until cond holds or the deadline passes.
+// waitFor pumps settle until cond holds or the deadline passes. Deadline
+// and step policy live in transporttest so every real-clock transport test
+// tolerates slow CI machines the same way.
 func waitFor(t *testing.T, settle func(), cond func() bool, what string) {
 	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) {
+	transporttest.WaitUntil(t, 10*time.Second, func() bool {
 		settle()
-		if cond() {
-			return
-		}
-		time.Sleep(time.Millisecond)
-	}
-	t.Fatalf("timed out waiting for %s", what)
+		return cond()
+	}, what)
 }
 
 func TestConformanceUnicastVerbatim(t *testing.T) {

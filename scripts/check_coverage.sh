@@ -1,0 +1,56 @@
+#!/bin/sh
+# Per-package coverage gate.
+#
+#   scripts/check_coverage.sh          compare against scripts/coverage_baseline.txt
+#   scripts/check_coverage.sh update   re-measure and rewrite the baseline floors
+#
+# The baseline records a floor per package, set MARGIN points below the
+# coverage measured at update time: a regression that drops a package below
+# its floor fails the build, while the margin absorbs run-to-run noise from
+# timing-dependent paths (retry branches, drain timeouts) that real-clock
+# tests can't pin exactly. Packages without test files are not gated.
+set -eu
+
+cd "$(dirname "$0")/.."
+BASELINE=scripts/coverage_baseline.txt
+MARGIN=${MARGIN:-2.0}
+MODE=${1:-check}
+
+measure() {
+	go test -count=1 -cover ./... 2>&1 | awk '
+		/^ok/ && /coverage:/ {
+			for (i = 1; i <= NF; i++)
+				if ($i == "coverage:") { pct = $(i+1); sub(/%/, "", pct); print $2, pct }
+		}'
+}
+
+case "$MODE" in
+update)
+	measure | awk -v m="$MARGIN" '{ f = $2 - m; if (f < 0) f = 0; printf "%s %.1f\n", $1, f }' >"$BASELINE"
+	echo "wrote $BASELINE:"
+	cat "$BASELINE"
+	;;
+check)
+	[ -f "$BASELINE" ] || { echo "missing $BASELINE — run scripts/check_coverage.sh update" >&2; exit 2; }
+	measure >/tmp/cover.$$ || { rm -f /tmp/cover.$$; exit 1; }
+	status=0
+	while read -r pkg floor; do
+		got=$(awk -v p="$pkg" '$1 == p { print $2 }' /tmp/cover.$$)
+		if [ -z "$got" ]; then
+			echo "FAIL $pkg: no coverage reported (package removed? update the baseline)"
+			status=1
+		elif awk -v g="$got" -v f="$floor" 'BEGIN { exit !(g < f) }'; then
+			echo "FAIL $pkg: coverage ${got}% fell below floor ${floor}%"
+			status=1
+		else
+			echo "ok   $pkg: ${got}% (floor ${floor}%)"
+		fi
+	done <"$BASELINE"
+	rm -f /tmp/cover.$$
+	exit $status
+	;;
+*)
+	echo "usage: $0 [check|update]" >&2
+	exit 2
+	;;
+esac
