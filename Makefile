@@ -14,7 +14,7 @@ FUZZTIME ?= 15s
 # mesh-throughput experiments — commit it alongside any change that moves
 # handshake, provisioning, or concurrent-discovery cost.
 
-.PHONY: build test race vet verify cover cover-check fuzz chaos bench bench-obs bench-json load soak clean
+.PHONY: build test race vet verify cover cover-check fuzz chaos bench bench-obs bench-json load soak ops-smoke clean
 
 build:
 	$(GO) build ./...
@@ -27,7 +27,7 @@ test:
 # batch issuance fan out across worker pools, backend provisioning does the
 # same, and core's Results/PendingSessions are read cross-goroutine.
 race:
-	$(GO) test -race ./internal/obs ./internal/core ./internal/netsim ./internal/cert ./internal/backend ./internal/transport ./internal/load
+	$(GO) test -race ./internal/obs ./internal/core ./internal/netsim ./internal/cert ./internal/backend ./internal/transport ./internal/load ./internal/realtime ./internal/update
 
 vet:
 	$(GO) vet ./...
@@ -56,6 +56,11 @@ fuzz:
 
 # Property/chaos harness: seeds × loss rates × levels, crash windows, Case 7
 # under retransmission (internal/chaos).
+# Live ops-plane smoke: argus-load serves /events while the ci-soak profile
+# runs and argus-ops tails it with the same SLO gates (scripts/ops_smoke.sh).
+ops-smoke:
+	scripts/ops_smoke.sh
+
 chaos:
 	$(GO) test ./internal/chaos -count=1 -v
 

@@ -10,6 +10,7 @@
 //	argus-load -profile ci-soak
 //	argus-load -profile standard -out BENCH_5.json
 //	argus-load -profile ci-soak -cells 4 -subjects 4 -waves 2 -seed 3
+//	argus-load -profile ci-soak -obs 127.0.0.1:0   # then: argus-ops -attach <addr>
 //
 // The report is written as indented JSON to stdout (or -out); progress lines
 // go to stderr unless -quiet. Exit status is 0 only when every SLO check
@@ -39,6 +40,7 @@ func main() {
 		seed     = flag.Int64("seed", -1, "override: harness seed (victim choice, open-loop arrivals)")
 		drain    = flag.Duration("drain", 0, "override: per-wave drain timeout")
 		minPeak  = flag.Int64("min-peak", -2, "override: SLO floor on peak armed concurrency (-1 disables)")
+		obsAddr  = flag.String("obs", "", "serve the live obs plane (/metrics, /trace.json, /events) on this address during the run")
 	)
 	flag.Parse()
 
@@ -89,8 +91,18 @@ func main() {
 		}
 	}
 
+	var obsSrv *obsServer
+	if *obsAddr != "" {
+		var oerr error
+		if obsSrv, oerr = serveObs(&p, *obsAddr); oerr != nil {
+			fmt.Fprintf(os.Stderr, "argus-load: %v\n", oerr)
+			os.Exit(2)
+		}
+	}
+
 	start := time.Now()
 	rep, err := load.Run(p)
+	obsSrv.stop()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "argus-load: %v\n", err)
 		os.Exit(2)

@@ -1,0 +1,86 @@
+package main
+
+// E2E over the -obs flag: a real argus-load process (the ARGUS_LOAD_CHILD
+// trampoline) serves its obs plane while a small soak runs, and the test
+// tails /events exactly like argus-ops does, asserting the live stream
+// carries snapshot, span and the harness's free-form wave/churn/report
+// frames before the run ends.
+
+import (
+	"bufio"
+	"context"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"argus/internal/realtime"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv("ARGUS_LOAD_CHILD") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func TestObsPlaneStreamsLiveRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	out := filepath.Join(t.TempDir(), "report.json")
+	cmd := exec.Command(os.Args[0],
+		"-profile", "ci-soak", "-cells", "1", "-subjects", "2", "-objects", "2",
+		"-waves", "1", "-min-peak", "-1", "-obs", "127.0.0.1:0", "-quiet", "-out", out)
+	cmd.Env = append(os.Environ(), "ARGUS_LOAD_CHILD=1")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+
+	var addr string
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		if a, ok := strings.CutPrefix(sc.Text(), "obs listening addr="); ok {
+			addr = a
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("argus-load never announced its obs plane (scan err %v)", sc.Err())
+	}
+	go io.Copy(io.Discard, stderr)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	seen := map[string]bool{}
+	err = realtime.Tail(ctx, "http://"+addr+"/events", func(ev realtime.Event) error {
+		seen[ev.Type] = true
+		if seen[realtime.EventSnapshot] && seen[realtime.EventSpan] &&
+			seen["wave"] && seen["churn"] && seen["report"] {
+			return realtime.Stop
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("tail: %v (seen %v)", err, seen)
+	}
+
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("argus-load exited %v (want SLO pass)", err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"argus/internal/load"
+	"argus/internal/obs"
+	"argus/internal/realtime"
+)
+
+// obsServer is argus-load's optional live obs plane: the run's registry and
+// tracer served over HTTP with a realtime hub at /events, so argus-ops can
+// tail a soak while it executes. The bound address is announced on stderr
+// (":0" picks a port; the ops-smoke script parses the line).
+type obsServer struct {
+	hub *realtime.Hub
+	srv *http.Server
+}
+
+// serveObs starts the plane and wires the profile's telemetry fields so the
+// harness reports into the served registry and publishes wave/churn/report
+// frames to the hub.
+func serveObs(p *load.Profile, addr string) (*obsServer, error) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer()
+	hub := realtime.New(realtime.Config{Registry: reg, Tracer: tr})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		hub.Close()
+		return nil, fmt.Errorf("obs listen: %w", err)
+	}
+	srv := &http.Server{Handler: obs.NewMux(reg, tr, obs.WithStream(hub.StreamHandler()))}
+	go srv.Serve(ln)
+	fmt.Fprintf(os.Stderr, "obs listening addr=%s\n", ln.Addr())
+	p.Registry, p.Tracer, p.Events = reg, tr, hub
+	return &obsServer{hub: hub, srv: srv}, nil
+}
+
+// stop closes the hub first — every subscriber stream drains its queued
+// frames (the runner's final report and snapshot are already in them) and
+// ends — then shuts the listener down, escalating to a hard close if a
+// client never disconnects. Safe on nil.
+func (s *obsServer) stop() {
+	if s == nil {
+		return
+	}
+	s.hub.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if s.srv.Shutdown(ctx) != nil {
+		s.srv.Close()
+	}
+}

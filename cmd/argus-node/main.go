@@ -23,14 +23,27 @@
 // discovery rounds until every -expect entry is met (exit 0) or -timeout
 // passes (exit 1), printing one "discovered name=... level=..." line per
 // verified service.
+//
+// Every role carries a streaming ops plane: -obs serves /metrics, /trace.json
+// and a live /events stream (NDJSON or SSE; tail it with argus-ops), and
+// -obs-out flushes a final registry snapshot on exit. Shutdown is graceful on
+// SIGTERM/SIGINT: daemons stop taking work, the gateway reattaches and drains
+// its dead-letter queues, the final snapshot is published and written, and
+// the process exits 0.
+//
+//	argus-node -role gateway -snapshot enterprise.snap \
+//	    -targets printer=127.0.0.1:7102,kiosk=127.0.0.1:7103 \
+//	    -reprovision-every 1s -offline printer -reattach-after 5s
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"argus/internal/attr"
@@ -40,6 +53,7 @@ import (
 	"argus/internal/suite"
 	"argus/internal/transport"
 	"argus/internal/transport/transporttest"
+	"argus/internal/update"
 	"argus/internal/wire"
 )
 
@@ -47,7 +61,7 @@ func main() {
 	var (
 		doInit   = flag.Bool("init", false, "create the demo enterprise and write -snapshot")
 		snapshot = flag.String("snapshot", "enterprise.snap", "backend snapshot file")
-		role     = flag.String("role", "", "subject | object")
+		role     = flag.String("role", "", "subject | object | gateway")
 		name     = flag.String("name", "alice", "subject entity name")
 		names    = flag.String("names", "", "comma-separated object entity names")
 		listen   = flag.String("listen", "127.0.0.1:0", "UDP listen address (\":0\" picks a port)")
@@ -55,7 +69,15 @@ func main() {
 		ttl      = flag.Int("ttl", 1, "discovery broadcast TTL")
 		expect   = flag.String("expect", "", "name=level pairs the subject must discover, e.g. printer=L2,kiosk=L3")
 		timeout  = flag.Duration("timeout", 30*time.Second, "subject: give up after this long")
-		duration = flag.Duration("duration", 0, "object: serve for this long then exit (0 = forever)")
+		duration = flag.Duration("duration", 0, "object/gateway: serve for this long then exit (0 = forever)")
+		obsAddr  = flag.String("obs", "", "serve /metrics, /trace.json and /events on this address (\":0\" picks a port)")
+		obsOut   = flag.String("obs-out", "", "write the final obs snapshot JSON here on exit")
+		linger   = flag.Duration("linger", 0, "subject: keep serving the obs plane this long after expectations are met")
+
+		targets       = flag.String("targets", "", "gateway: comma-separated name=host:port update destinations")
+		reprovEvery   = flag.Duration("reprovision-every", 0, "gateway: push a reprovision notification to every target at this interval")
+		offline       = flag.String("offline", "", "gateway: target names initially offline — their pushes park in the dead-letter queue")
+		reattachAfter = flag.Duration("reattach-after", 0, "gateway: reattach the -offline targets after this delay")
 	)
 	flag.Parse()
 
@@ -63,17 +85,43 @@ func main() {
 	switch {
 	case *doInit:
 		err = initEnterprise(*snapshot)
-	case *role == "object":
-		err = runObjects(*snapshot, *names, *listen, *duration)
-	case *role == "subject":
-		err = runSubject(*snapshot, *name, *listen, *peers, *ttl, *expect, *timeout)
+	case *role == "object" || *role == "subject" || *role == "gateway":
+		var op *obsPlane
+		op, err = newObsPlane(*obsAddr, *obsOut)
+		if err != nil {
+			break
+		}
+		switch *role {
+		case "object":
+			err = runObjects(*snapshot, *names, *listen, *duration, op)
+		case "subject":
+			err = runSubject(*snapshot, *name, *listen, *peers, *ttl, *expect, *timeout, *linger, op)
+		case "gateway":
+			err = runGateway(*snapshot, *targets, *offline, *reprovEvery, *reattachAfter, *duration, op)
+		}
 	default:
-		err = fmt.Errorf("need -init or -role subject|object (got %q)", *role)
+		err = fmt.Errorf("need -init or -role subject|object|gateway (got %q)", *role)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "argus-node: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// awaitStop blocks until SIGTERM/SIGINT arrives, or until d elapses when
+// d > 0 — the graceful-shutdown door every daemon role exits through.
+func awaitStop(d time.Duration) {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	if d > 0 {
+		select {
+		case <-sig:
+		case <-time.After(d):
+		}
+		return
+	}
+	<-sig
 }
 
 // initEnterprise provisions the demo deployment the quickstart and the e2e
@@ -131,9 +179,15 @@ func restore(path string) (*backend.Backend, error) {
 	return backend.Restore(blob)
 }
 
+// objHolder lets the update agent's apply callback (wired before the engine
+// exists) reach the engine built one statement later; the write happens
+// before any notification can be enqueued.
+type objHolder struct{ obj *core.Object }
+
 // runObjects hosts one engine per name, each on its own UDP socket (one
-// socket = one node identity), and serves until killed.
-func runObjects(snapshot, names, listen string, duration time.Duration) error {
+// socket = one node identity) with an update agent in front, and serves
+// until SIGTERM/SIGINT (or -duration), then flushes the obs plane.
+func runObjects(snapshot, names, listen string, duration time.Duration, op *obsPlane) error {
 	if names == "" {
 		return fmt.Errorf("-role object needs -names")
 	}
@@ -147,24 +201,32 @@ func runObjects(snapshot, names, listen string, duration time.Duration) error {
 		if err != nil {
 			return fmt.Errorf("provision %q: %w", n, err)
 		}
-		ep, err := transport.ListenUDP(transport.UDPConfig{Listen: listen})
+		ep, err := transport.ListenUDP(transport.UDPConfig{Listen: listen, Registry: op.reg})
 		if err != nil {
 			return err
 		}
 		defer ep.Close()
-		core.NewObject(prov, wire.V30, core.Costs{},
-			core.WithEndpoint(ep), core.WithRetry(core.DefaultRetry()))
+		hold := &objHolder{}
+		agent := update.NewAgent(b.AdminPublic(), nil, func(nt *update.Notification) {
+			// Runs on the object's event loop, where Revoke is legal.
+			if nt.Kind == update.KindRevokeSubject && hold.obj != nil {
+				hold.obj.Revoke(nt.Subject)
+			}
+		})
+		agent.Instrument(op.reg, nil)
+		hold.obj = core.NewObject(prov, wire.V30, core.Costs{},
+			core.WithEndpoint(agent.Wrap(ep)),
+			core.WithRetry(core.DefaultRetry()),
+			core.WithTelemetry(op.reg, nil))
 		fmt.Printf("listening name=%s addr=%s\n", n, ep.Addr())
 	}
-	if duration > 0 {
-		time.Sleep(duration)
-		return nil
-	}
-	select {} // serve until killed
+	awaitStop(duration)
+	return op.flush()
 }
 
-// runSubject discovers over UDP until the -expect set is satisfied.
-func runSubject(snapshot, name, listen, peers string, ttl int, expect string, timeout time.Duration) error {
+// runSubject discovers over UDP until the -expect set is satisfied, then
+// lingers on the obs plane (streaming its spans live) for -linger.
+func runSubject(snapshot, name, listen, peers string, ttl int, expect string, timeout, linger time.Duration, op *obsPlane) error {
 	b, err := restore(snapshot)
 	if err != nil {
 		return err
@@ -182,13 +244,14 @@ func runSubject(snapshot, name, listen, peers string, ttl int, expect string, ti
 	if len(peerList) == 0 {
 		return fmt.Errorf("-role subject needs -peers")
 	}
-	ep, err := transport.ListenUDP(transport.UDPConfig{Listen: listen, Peers: peerList})
+	ep, err := transport.ListenUDP(transport.UDPConfig{Listen: listen, Peers: peerList, Registry: op.reg})
 	if err != nil {
 		return err
 	}
 	defer ep.Close()
 	subj := core.NewSubject(prov, wire.V30, core.Costs{},
-		core.WithEndpoint(ep), core.WithRetry(core.DefaultRetry()))
+		core.WithEndpoint(ep), core.WithRetry(core.DefaultRetry()),
+		core.WithTelemetry(op.reg, op.tr))
 
 	want, err := parseExpect(expect)
 	if err != nil {
@@ -233,9 +296,13 @@ func runSubject(snapshot, name, listen, peers string, ttl int, expect string, ti
 
 		if satisfied(want, best) {
 			fmt.Println("all expectations met")
-			return nil
+			if linger > 0 {
+				awaitStop(linger)
+			}
+			return op.flush()
 		}
 		if time.Now().After(deadline) {
+			op.flush()
 			return fmt.Errorf("timeout: discovered %d/%d expected services", met(want, best), len(want))
 		}
 	}

@@ -8,14 +8,19 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
+
+	"argus/internal/obs"
 )
 
 func TestMain(m *testing.M) {
@@ -97,5 +102,193 @@ func TestE2EDiscoveryOverUDPLoopback(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Errorf("subject output missing %q:\n%s", want, text)
 		}
+	}
+}
+
+// sumMetric totals one family across label sets in an unmarshaled snapshot.
+func sumMetric(snap *obs.Snapshot, name string) float64 {
+	var total float64
+	for i := range snap.Metrics {
+		if snap.Metrics[i].Name == name {
+			total += snap.Metrics[i].Value
+		}
+	}
+	return total
+}
+
+// TestGracefulShutdownFlushesObs: an object daemon serving the obs plane
+// answers /metrics, and on SIGTERM exits 0 with the final registry snapshot
+// flushed to -obs-out.
+func TestGracefulShutdownFlushesObs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "enterprise.snap")
+	if out, err := child("-init", "-snapshot", snap).CombinedOutput(); err != nil {
+		t.Fatalf("-init failed: %v\n%s", err, out)
+	}
+	obsOut := filepath.Join(dir, "final.obs.json")
+	objects := child("-role", "object", "-names", "thermometer",
+		"-snapshot", snap, "-listen", "127.0.0.1:0",
+		"-obs", "127.0.0.1:0", "-obs-out", obsOut)
+	stdout, err := objects.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	objects.Stderr = os.Stderr
+	if err := objects.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		objects.Process.Kill()
+		objects.Wait()
+	})
+
+	var obsAddr string
+	listening := false
+	sc := bufio.NewScanner(stdout)
+	for (obsAddr == "" || !listening) && sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "obs listening addr=") {
+			obsAddr = strings.TrimPrefix(line, "obs listening addr=")
+		}
+		if strings.HasPrefix(line, "listening name=") {
+			listening = true
+		}
+	}
+	if obsAddr == "" || !listening {
+		t.Fatalf("daemon never announced obs+engine (scan err %v)", sc.Err())
+	}
+
+	resp, err := http.Get("http://" + obsAddr + "/metrics")
+	if err != nil {
+		t.Fatalf("live /metrics: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+
+	go io.Copy(io.Discard, stdout)
+	if err := objects.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := objects.Wait(); err != nil {
+		t.Fatalf("SIGTERM exit: %v (want graceful 0)", err)
+	}
+	blob, err := os.ReadFile(obsOut)
+	if err != nil {
+		t.Fatalf("final snapshot not written: %v", err)
+	}
+	var final obs.Snapshot
+	if err := json.Unmarshal(blob, &final); err != nil {
+		t.Fatalf("final snapshot not valid JSON: %v", err)
+	}
+}
+
+// TestGatewayDLQDrainOnSIGTERM: the gateway role parks pushes to an offline
+// target, and graceful shutdown reattaches it, redelivers the backlog, and
+// flushes a snapshot whose DLQ depth gauge reads zero.
+func TestGatewayDLQDrainOnSIGTERM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "enterprise.snap")
+	if out, err := child("-init", "-snapshot", snap).CombinedOutput(); err != nil {
+		t.Fatalf("-init failed: %v\n%s", err, out)
+	}
+
+	objects := child("-role", "object", "-names", "printer,kiosk",
+		"-snapshot", snap, "-listen", "127.0.0.1:0")
+	objOut, err := objects.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	objects.Stderr = os.Stderr
+	if err := objects.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		objects.Process.Kill()
+		objects.Wait()
+	})
+	addrs := make(map[string]string)
+	osc := bufio.NewScanner(objOut)
+	for len(addrs) < 2 && osc.Scan() {
+		var name, addr string
+		if _, err := fmt.Sscanf(osc.Text(), "listening name=%s addr=%s", &name, &addr); err == nil {
+			addrs[name] = addr
+		}
+	}
+	if len(addrs) != 2 {
+		t.Fatalf("object daemon announced %d sockets, want 2 (scan err %v)", len(addrs), osc.Err())
+	}
+	go io.Copy(io.Discard, objOut)
+
+	gwOut := filepath.Join(dir, "gateway.obs.json")
+	gw := child("-role", "gateway", "-snapshot", snap,
+		"-targets", "printer="+addrs["printer"]+",kiosk="+addrs["kiosk"],
+		"-reprovision-every", "50ms", "-offline", "printer",
+		"-obs-out", gwOut)
+	gwPipe, err := gw.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw.Stderr = os.Stderr
+	if err := gw.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		gw.Process.Kill()
+		gw.Wait()
+	})
+
+	// Let a few pushes park for the offline target before shutting down.
+	pushes := 0
+	sc := bufio.NewScanner(gwPipe)
+	for pushes < 3 && sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "pushed kind=reprovision") {
+			pushes++
+		}
+	}
+	if pushes < 3 {
+		t.Fatalf("gateway pushed %d times (scan err %v)", pushes, sc.Err())
+	}
+	if err := gw.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	var tail strings.Builder
+	for sc.Scan() {
+		tail.WriteString(sc.Text() + "\n")
+	}
+	if err := gw.Wait(); err != nil {
+		t.Fatalf("SIGTERM exit: %v (want graceful drain)\n%s", err, tail.String())
+	}
+	text := tail.String()
+	if !strings.Contains(text, "reattached name=printer") {
+		t.Fatalf("shutdown never reattached the offline target:\n%s", text)
+	}
+	if !strings.Contains(text, "drained depth=0") {
+		t.Fatalf("shutdown never drained the DLQ:\n%s", text)
+	}
+
+	blob, err := os.ReadFile(gwOut)
+	if err != nil {
+		t.Fatalf("final snapshot not written: %v", err)
+	}
+	var final obs.Snapshot
+	if err := json.Unmarshal(blob, &final); err != nil {
+		t.Fatalf("final snapshot not valid JSON: %v", err)
+	}
+	if v := sumMetric(&final, obs.MUpdateDLQDepth); v != 0 {
+		t.Fatalf("final DLQ depth = %v, want 0", v)
+	}
+	if v := sumMetric(&final, obs.MUpdateUndeliverable); v < 3 {
+		t.Fatalf("undeliverable = %v, want >= 3 parked pushes", v)
+	}
+	if v := sumMetric(&final, obs.MUpdateRedelivered); v < 3 {
+		t.Fatalf("redelivered = %v, want >= 3", v)
 	}
 }

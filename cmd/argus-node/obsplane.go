@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"argus/internal/obs"
+	"argus/internal/realtime"
+)
+
+// obsPlane is the process's observability side: a registry and tracer every
+// engine reports into, a realtime hub streaming frames at /events, and — when
+// -obs is set — an HTTP listener serving the obs mux. The registry and tracer
+// exist even without a listener so -obs-out can flush a final snapshot from
+// an otherwise headless node.
+type obsPlane struct {
+	reg *obs.Registry
+	tr  *obs.Tracer
+	hub *realtime.Hub
+	srv *http.Server
+	out string // -obs-out path, "" = none
+}
+
+// newObsPlane builds the plane and, when addr is non-empty, starts serving
+// /metrics, /trace.json and /events on it, announcing the bound address on
+// stdout (":0" picks a port, so callers parse the line).
+func newObsPlane(addr, out string) (*obsPlane, error) {
+	p := &obsPlane{reg: obs.NewRegistry(), tr: obs.NewTracer(), out: out}
+	p.hub = realtime.New(realtime.Config{Registry: p.reg, Tracer: p.tr})
+	if addr == "" {
+		return p, nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		p.hub.Close()
+		return nil, fmt.Errorf("obs listen: %w", err)
+	}
+	p.srv = &http.Server{Handler: obs.NewMux(p.reg, p.tr, obs.WithStream(p.hub.StreamHandler()))}
+	go p.srv.Serve(ln)
+	fmt.Printf("obs listening addr=%s\n", ln.Addr())
+	return p, nil
+}
+
+// flush publishes one final snapshot frame, writes the snapshot to -obs-out
+// (atomically: temp file + rename, so a watcher never reads a torn file),
+// and tears the plane down. Safe on a nil plane.
+func (p *obsPlane) flush() error {
+	if p == nil {
+		return nil
+	}
+	p.hub.PublishSnapshot()
+	var err error
+	if p.out != "" {
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		enc.SetIndent("", "  ")
+		if err = enc.Encode(p.reg.Snapshot()); err == nil {
+			tmp := p.out + ".tmp"
+			if err = os.WriteFile(tmp, buf.Bytes(), 0o644); err == nil {
+				err = os.Rename(tmp, p.out)
+			}
+		}
+	}
+	p.hub.Close()
+	if p.srv != nil {
+		p.srv.Close()
+	}
+	return err
+}

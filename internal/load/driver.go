@@ -55,6 +55,8 @@ type runner struct {
 	predictedSubjExpiries int64
 	revokedCount          int
 	addedCount            int
+	crashedCount          int
+	redeliveredCount      int
 
 	waves []WaveStats
 
@@ -71,9 +73,13 @@ func Run(p Profile) (*Report, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
+	reg := p.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	r := &runner{
 		p:   p,
-		reg: obs.NewRegistry(),
+		reg: reg,
 		rng: rand.New(rand.NewSource(p.Seed)),
 	}
 	r.inflightG = r.reg.Gauge(obs.MLoadInflight, "armed discovery sessions not yet completed")
@@ -108,7 +114,22 @@ func Run(p Profile) (*Report, error) {
 
 	rep := r.buildReport(time.Since(start), leaked)
 	rep.SLO = p.SLO.Check(rep)
+	r.publish("report", rep)
+	r.publishSnapshot()
 	return rep, nil
+}
+
+// publish emits one progress frame to the profile's live event hub, if any.
+func (r *runner) publish(kind string, v any) {
+	if r.p.Events != nil {
+		_ = r.p.Events.PublishData(kind, v)
+	}
+}
+
+func (r *runner) publishSnapshot() {
+	if r.p.Events != nil {
+		r.p.Events.PublishSnapshot()
+	}
 }
 
 // onDiscovery is the completion hook, invoked on subject event loops.
@@ -274,6 +295,8 @@ func (r *runner) runClosedLoop() error {
 		wave.VCacheMisses = snapAfter.vcacheMisses - snapBefore.vcacheMisses
 		wave.Retransmissions = snapAfter.retrans - snapBefore.retrans
 		r.waves = append(r.waves, wave)
+		r.publish("wave", wave)
+		r.publishSnapshot()
 		p.logf("load: wave %d — %d sessions in %.2fs (lost %d, vcache %d hit / %d miss, %d retrans)",
 			w, wave.Armed, wave.Seconds, wave.Lost, wave.VCacheHits, wave.VCacheMisses, wave.Retransmissions)
 		if p.ThinkTime > 0 && w < p.Waves-1 {
@@ -283,14 +306,50 @@ func (r *runner) runClosedLoop() error {
 	return nil
 }
 
+// ChurnEvent is the live progress frame published after the churn window.
+type ChurnEvent struct {
+	Revoked     int `json:"revoked"`
+	Added       int `json:"added"`
+	Crashed     int `json:"crashed"`
+	Parked      int `json:"parked"`
+	Redelivered int `json:"redelivered"`
+}
+
 // churn revokes RevokeFrac of each cell's subjects (pushing signed
 // notifications through the cell distributor and waiting for on-device
 // effectuation) and registers AddFrac new subjects per cell, which join the
-// following wave with cold credentials.
+// following wave with cold credentials. With CrashFrac set it also opens a
+// crash window: a fraction of each cell's objects drop offline at the
+// distributor before the pushes, so their notifications park in the
+// dead-letter queue; once the live population has effectuated, the crashed
+// nodes reattach and the whole backlog must redeliver in order before the
+// final wave fires.
 func (r *runner) churn() error {
 	p := r.p
-	var pushed int
+	var pushed, parked int
 	base := r.snapshotCounter(obs.MUpdateApplied)
+	baseEvict := r.snapshotCounter(obs.MUpdateDLQEvictions)
+
+	// Crash window opens before any push. Only the update plane goes dark —
+	// the crashed objects keep answering discovery, and every revocation is
+	// fully effectuated (live + redelivered) before the next wave, so the
+	// expectation arithmetic is unchanged.
+	crashed := make([][]*objectSlot, len(r.fleet.cells))
+	if p.CrashFrac > 0 {
+		for ci, c := range r.fleet.cells {
+			k := int(p.CrashFrac * float64(len(c.objects)))
+			if k > len(c.objects) {
+				k = len(c.objects)
+			}
+			for _, idx := range r.rng.Perm(len(c.objects))[:k] {
+				o := c.objects[idx]
+				c.dist.MarkOffline(o.id)
+				crashed[ci] = append(crashed[ci], o)
+				r.crashedCount++
+			}
+		}
+	}
+
 	for _, c := range r.fleet.cells {
 		k := int(p.RevokeFrac * float64(p.SubjectsPerCell))
 		if k > len(c.subjects) {
@@ -328,13 +387,38 @@ func (r *runner) churn() error {
 		}
 	}
 	if pushed > 0 {
-		want := base + int64(pushed)
+		// The crashed nodes' copies are parked (minus any bound evictions),
+		// not on the wire; the live population must effectuate the rest.
+		parked = r.fleetDLQDepth()
+		evicted := r.snapshotCounter(obs.MUpdateDLQEvictions) - baseEvict
+		wantLive := base + int64(pushed-parked) - evicted
 		ok := transporttest.Poll(p.DrainTimeout, transporttest.DefaultStep, func() bool {
-			return r.snapshotCounter(obs.MUpdateApplied) >= want
+			return r.snapshotCounter(obs.MUpdateApplied) >= wantLive
 		})
 		if !ok {
 			return fmt.Errorf("revocations not effectuated: applied %d, want %d",
-				r.snapshotCounter(obs.MUpdateApplied), want)
+				r.snapshotCounter(obs.MUpdateApplied), wantLive)
+		}
+
+		// Crash window closes: reattach every crashed node. Reattach drains
+		// its queue in push order and the agents' replay checks reject any
+		// duplicate, so waiting for exact effectuation with the fleet-wide
+		// DLQ back at depth zero asserts exactly-once in-order redelivery
+		// end to end.
+		if r.crashedCount > 0 {
+			for ci, c := range r.fleet.cells {
+				for _, o := range crashed[ci] {
+					r.redeliveredCount += c.dist.Reattach(o.id, o.addr)
+				}
+			}
+			wantAll := base + int64(pushed) - evicted
+			ok := transporttest.Poll(p.DrainTimeout, transporttest.DefaultStep, func() bool {
+				return r.snapshotCounter(obs.MUpdateApplied) >= wantAll && r.fleetDLQDepth() == 0
+			})
+			if !ok {
+				return fmt.Errorf("redelivery incomplete: applied %d (want %d), DLQ depth %d",
+					r.snapshotCounter(obs.MUpdateApplied), wantAll, r.fleetDLQDepth())
+			}
 		}
 	}
 
@@ -365,9 +449,23 @@ func (r *runner) churn() error {
 			}
 		}
 	}
-	p.logf("load: churn — revoked %d subjects (%d notifications), added %d subjects",
-		r.revokedCount, pushed, r.addedCount)
+	p.logf("load: churn — revoked %d subjects (%d notifications), added %d subjects, crashed %d objects (%d parked, %d redelivered)",
+		r.revokedCount, pushed, r.addedCount, r.crashedCount, parked, r.redeliveredCount)
+	r.publish("churn", ChurnEvent{
+		Revoked: r.revokedCount, Added: r.addedCount,
+		Crashed: r.crashedCount, Parked: parked, Redelivered: r.redeliveredCount,
+	})
+	r.publishSnapshot()
 	return nil
+}
+
+// fleetDLQDepth sums parked letters across every cell distributor.
+func (r *runner) fleetDLQDepth() int {
+	n := 0
+	for _, c := range r.fleet.cells {
+		n += c.dist.DLQDepth()
+	}
+	return n
 }
 
 // runOpenLoop issues discovery rounds as a Poisson process over the subject

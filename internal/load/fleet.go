@@ -47,6 +47,7 @@ type objectSlot struct {
 	eng   *core.Object
 	agent *update.Agent
 	level backend.Level
+	addr  transport.Addr // pre-fault endpoint address, for DLQ Reattach
 }
 
 // objHolder lets the update agent's apply callback (wired before the engine
@@ -195,17 +196,18 @@ func buildFleet(p Profile, reg *obs.Registry, hook discoveryHook) (*fleet, error
 					hold.obj.Revoke(n.Subject)
 				}
 			})
-			// No sentAt wiring: the distributor's push-time map is not
-			// safe to share with concurrently running agent loops (it is a
-			// virtual-time feature of the simulator transport).
-			agent.Instrument(reg, nil)
+			// The distributor's push-time map is mutex-guarded, so the
+			// agents' propagation histogram works on the concurrent
+			// transports too — and measures from park time across any DLQ
+			// crash window.
+			agent.Instrument(reg, c.dist.SentAt)
 			obj := core.NewObject(prov, wire.V30, core.Costs{},
 				core.WithEndpoint(agent.Wrap(ep)),
 				core.WithRetry(p.Retry),
 				core.WithTelemetry(reg, nil),
 				core.WithVerifyCache(f.vcache))
 			hold.obj = obj
-			slot := &objectSlot{id: prov.ID, eng: obj, agent: agent, level: levels[oi]}
+			slot := &objectSlot{id: prov.ID, eng: obj, agent: agent, level: levels[oi], addr: addr}
 			c.objects = append(c.objects, slot)
 			c.objIDs = append(c.objIDs, prov.ID)
 			if levels[oi] == backend.L1 {
@@ -282,7 +284,7 @@ func (f *fleet) addSubject(c *cell, id cert.ID, name string, staleGroup bool, ho
 	subj := core.NewSubject(prov, wire.V30, core.Costs{},
 		core.WithEndpoint(ep),
 		core.WithRetry(f.p.Retry),
-		core.WithTelemetry(f.reg, nil),
+		core.WithTelemetry(f.reg, f.p.Tracer),
 		core.WithVerifyCache(f.vcache))
 	slot := &subjectSlot{id: id, name: name, eng: subj, ep: ep, cell: c, staleGroup: staleGroup}
 	// The hook write is ordered before any traffic by the mailbox mutex on

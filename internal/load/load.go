@@ -47,7 +47,16 @@ import (
 	"argus/internal/backend"
 	"argus/internal/core"
 	"argus/internal/netsim"
+	"argus/internal/obs"
 )
+
+// Publisher receives live progress frames from a running profile — wave and
+// churn summaries, the final report, and registry snapshots at phase
+// boundaries. Satisfied by *realtime.Hub; nil disables publishing.
+type Publisher interface {
+	PublishSnapshot()
+	PublishData(kind string, v any) error
+}
 
 // Transport selects the concurrent transport a profile runs over.
 type Transport string
@@ -97,6 +106,15 @@ type Profile struct {
 	RevokeFrac float64
 	AddFrac    float64
 
+	// CrashFrac crashes that fraction of each cell's objects for the
+	// duration of the churn window: they drop offline at the cell's update
+	// distributor before the revocations are pushed, so their notifications
+	// park in the per-destination dead-letter queue and are redelivered in
+	// order when the harness reattaches them — after the live population has
+	// effectuated. Exercises the DLQ contract (DESIGN.md §11) under load;
+	// requires revocation churn (closed loop, RevokeFrac > 0).
+	CrashFrac float64
+
 	// Faults, when active, wraps every engine endpoint in a lossy layer
 	// reusing the netsim fault-model knobs (see WrapFaults). Fault runs
 	// need Retry enabled to stay complete.
@@ -123,6 +141,16 @@ type Profile struct {
 
 	// SLO is asserted over the finished run's report.
 	SLO SLO
+
+	// Live observability hooks. Registry, when non-nil, receives all run
+	// telemetry instead of a fresh private registry, so an obs endpoint can
+	// serve the run's metrics while it executes. Tracer, when non-nil, is
+	// wired into the subject engines so discovery spans stream to live
+	// subscribers. Events, when non-nil, receives progress frames and
+	// snapshot frames at phase boundaries.
+	Registry *obs.Registry
+	Tracer   *obs.Tracer
+	Events   Publisher
 
 	// Logf, when set, receives progress lines (plug in t.Logf or log.Printf).
 	Logf func(format string, args ...any)
@@ -195,6 +223,12 @@ func (p *Profile) validate() error {
 	if p.Rate > 0 && (p.RevokeFrac > 0 || p.AddFrac > 0) {
 		return fmt.Errorf("load: churn is a closed-loop feature (Rate must be 0)")
 	}
+	if p.CrashFrac < 0 || p.CrashFrac > 1 {
+		return fmt.Errorf("load: CrashFrac %v outside [0,1]", p.CrashFrac)
+	}
+	if p.CrashFrac > 0 && p.RevokeFrac <= 0 {
+		return fmt.Errorf("load: CrashFrac needs revocation churn to park (RevokeFrac > 0)")
+	}
 	if p.Faults.Active() && !p.Retry.Enabled() {
 		return fmt.Errorf("load: fault injection requires an enabled retry policy")
 	}
@@ -216,13 +250,14 @@ func Profiles() map[string]Profile {
 	ps := []Profile{
 		{
 			Name:        "ci-soak",
-			Description: "deterministic short soak for CI under -race: 96 subjects × 24 objects over Mesh, 3 waves (cold → warm → post-churn), revocation + live-add churn",
+			Description: "deterministic short soak for CI under -race: 96 subjects × 24 objects over Mesh, 3 waves (cold → warm → post-churn), revocation + live-add churn with a crash-windowed DLQ redelivery",
 			Transport:   TransportMesh,
 			Cells:       12, SubjectsPerCell: 8, ObjectsPerCell: 2,
 			Levels: []backend.Level{backend.L1, backend.L2, backend.L3, backend.L2},
 			Fellow: true,
 			Waves:  3, ThinkTime: 50 * time.Millisecond,
 			RevokeFrac: 0.25, AddFrac: 0.25,
+			CrashFrac:    0.5, // one of each cell's two objects rides the DLQ
 			Retry:        quickRetry,
 			Seed:         1,
 			DrainTimeout: 30 * time.Second,

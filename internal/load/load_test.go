@@ -10,6 +10,7 @@ import (
 	"argus/internal/backend"
 	"argus/internal/core"
 	"argus/internal/netsim"
+	"argus/internal/obs"
 	"argus/internal/transport"
 )
 
@@ -49,6 +50,26 @@ func TestCISoak(t *testing.T) {
 	}
 	if rep.Counters["updates_rejected"] != 0 {
 		t.Fatalf("updates rejected: %d", rep.Counters["updates_rejected"])
+	}
+
+	// Crash window: one of each cell's two objects rides the DLQ through the
+	// churn (CrashFrac 0.5 × 12 cells), missing 2 revocations each; all 24
+	// parked letters must redeliver with the queues back at depth zero.
+	if rep.Fleet.Crashed != 12 {
+		t.Fatalf("crashed objects: %d, want 12", rep.Fleet.Crashed)
+	}
+	if got := rep.Counters["update_undeliverable"]; got != 24 {
+		t.Fatalf("undeliverable: %d, want 24", got)
+	}
+	if got := rep.Counters["update_redelivered"]; got != 24 {
+		t.Fatalf("redelivered: %d, want 24", got)
+	}
+	if rep.Counters["dlq_depth"] != 0 || rep.Counters["dlq_evictions"] != 0 {
+		t.Fatalf("DLQ residue: depth %d, evictions %d",
+			rep.Counters["dlq_depth"], rep.Counters["dlq_evictions"])
+	}
+	if rep.RedeliveryLag == nil || rep.RedeliveryLag.Count != 24 {
+		t.Fatalf("redelivery lag quantiles = %+v, want count 24", rep.RedeliveryLag)
 	}
 
 	// Wave shape: wave 0 arms 96 subjects × 2 objects; the last wave runs
@@ -94,6 +115,205 @@ func TestCISoak(t *testing.T) {
 	var buf bytes.Buffer
 	if err := rep.WriteJSON(&buf); err != nil {
 		t.Fatalf("WriteJSON: %v", err)
+	}
+}
+
+// TestChurnDLQRedelivery is the acceptance-criteria churn scenario: a
+// crash-windowed fraction of each cell's objects miss the revocation storm,
+// their notifications park in the per-destination dead-letter queue, and on
+// reattach the whole backlog redelivers exactly once and in order — proven
+// end to end by exact applied counts, zero rejections (the agents reject any
+// replay or reordering), queues back at depth zero, and a populated
+// redelivery-lag histogram.
+func TestChurnDLQRedelivery(t *testing.T) {
+	p := Profile{
+		Name:      "dlq-churn-test",
+		Transport: TransportMesh,
+		Cells:     4, SubjectsPerCell: 4, ObjectsPerCell: 3,
+		Levels: []backend.Level{backend.L1, backend.L2, backend.L2},
+		Waves:  2, ThinkTime: 10 * time.Millisecond,
+		RevokeFrac: 0.5,  // 2 of 4 subjects per cell
+		CrashFrac:  0.34, // 1 of 3 objects per cell
+		Retry: core.RetryPolicy{
+			Que1Retries: 3, Que2Retries: 3,
+			Timeout: 100 * time.Millisecond, Backoff: 2, SessionTTL: time.Second,
+		},
+		Seed:         5,
+		DrainTimeout: 30 * time.Second,
+		SLO:          SLO{P99Ceiling: 8 * time.Second},
+		Logf:         t.Logf,
+	}
+	rep, err := Run(p)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !rep.SLO.Pass {
+		t.Fatalf("SLO violations: %v", rep.SLO.Violations)
+	}
+	if rep.Totals.Lost != 0 || rep.Totals.Completed != rep.Totals.Armed {
+		t.Fatalf("run incomplete: %+v", rep.Totals)
+	}
+
+	// 2 revoked subjects × 3 objects × 4 cells = 24 notifications pushed;
+	// the crashed object in each cell parks its 2.
+	if rep.Fleet.Crashed != 4 {
+		t.Fatalf("crashed: %d, want 4", rep.Fleet.Crashed)
+	}
+	const parked = 2 * 4
+	if got := rep.Counters["update_undeliverable"]; got != parked {
+		t.Fatalf("undeliverable: %d, want %d", got, parked)
+	}
+	if got := rep.Counters["update_redelivered"]; got != parked {
+		t.Fatalf("redelivered: %d, want %d", got, parked)
+	}
+	if got := rep.Counters["updates_applied"]; got != 24 {
+		t.Fatalf("applied: %d, want 24 (exactly once)", got)
+	}
+	if rep.Counters["updates_rejected"] != 0 {
+		t.Fatalf("rejected: %d (replay or reorder reached an agent)", rep.Counters["updates_rejected"])
+	}
+	if rep.Counters["dlq_depth"] != 0 || rep.Counters["dlq_evictions"] != 0 {
+		t.Fatalf("DLQ residue: depth %d, evictions %d",
+			rep.Counters["dlq_depth"], rep.Counters["dlq_evictions"])
+	}
+	if rep.RedeliveryLag == nil || rep.RedeliveryLag.Count != parked {
+		t.Fatalf("redelivery lag = %+v, want count %d", rep.RedeliveryLag, parked)
+	}
+	// Every delivered notification (live + redelivered) lands in the
+	// agent-side propagation accounting via the distributor's SentAt.
+	if got := rep.Counters["update_sent"]; got != 24 {
+		t.Fatalf("sent: %d, want 24", got)
+	}
+}
+
+// eventRecorder captures frames published by a run (the Publisher seam).
+type eventRecorder struct {
+	mu    sync.Mutex
+	kinds []string
+	snaps int
+}
+
+func (e *eventRecorder) PublishSnapshot() {
+	e.mu.Lock()
+	e.snaps++
+	e.mu.Unlock()
+}
+
+func (e *eventRecorder) PublishData(kind string, v any) error {
+	e.mu.Lock()
+	e.kinds = append(e.kinds, kind)
+	e.mu.Unlock()
+	return nil
+}
+
+func (e *eventRecorder) count(kind string) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for _, k := range e.kinds {
+		if k == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// TestRunLiveObservability: a caller-supplied registry receives the run's
+// telemetry, the tracer receives discovery spans, and the event hook sees
+// wave/churn/report frames with snapshots at each boundary.
+func TestRunLiveObservability(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer()
+	rec := &eventRecorder{}
+	p := Profile{
+		Name:      "live-obs-test",
+		Transport: TransportMesh,
+		Cells:     2, SubjectsPerCell: 2, ObjectsPerCell: 2,
+		Levels: []backend.Level{backend.L1, backend.L2},
+		Waves:  2, ThinkTime: 10 * time.Millisecond,
+		RevokeFrac: 0.5,
+		Retry: core.RetryPolicy{
+			Que1Retries: 3, Que2Retries: 3,
+			Timeout: 100 * time.Millisecond, Backoff: 2, SessionTTL: time.Second,
+		},
+		Seed:         3,
+		DrainTimeout: 30 * time.Second,
+		SLO:          SLO{P99Ceiling: 8 * time.Second},
+		Registry:     reg,
+		Tracer:       tr,
+		Events:       rec,
+		Logf:         t.Logf,
+	}
+	rep, err := Run(p)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !rep.SLO.Pass {
+		t.Fatalf("SLO violations: %v", rep.SLO.Violations)
+	}
+	// The caller's registry is the run's registry.
+	if got := sumFamily(reg.Snapshot(), obs.MLoadCompletions); got != rep.Totals.Completed {
+		t.Fatalf("caller registry completions %d != report %d", got, rep.Totals.Completed)
+	}
+	if tr.Len() == 0 {
+		t.Fatal("caller tracer recorded no discovery spans")
+	}
+	if got := rec.count("wave"); got != p.Waves {
+		t.Fatalf("wave frames: %d, want %d", got, p.Waves)
+	}
+	if rec.count("churn") != 1 || rec.count("report") != 1 {
+		t.Fatalf("frames %v, want one churn and one report", rec.kinds)
+	}
+	if rec.snaps < p.Waves+2 { // per wave + churn + final
+		t.Fatalf("snapshot frames: %d, want >= %d", rec.snaps, p.Waves+2)
+	}
+
+	// SnapshotReport over the live registry agrees with the gates the final
+	// report is held to.
+	sr := SnapshotReport(reg.Snapshot())
+	if sr.Totals.Completed != rep.Totals.Completed || sr.Totals.Lost != 0 {
+		t.Fatalf("SnapshotReport totals %+v disagree with report %+v", sr.Totals, rep.Totals)
+	}
+	for _, g := range p.SLO.StreamGates(sr, nil, 0) {
+		if g.Violated {
+			t.Fatalf("streaming gate %s violated on a passing run: %+v", g.Name, g)
+		}
+	}
+}
+
+// TestStreamGates checks the burn-rate arithmetic over synthetic reports.
+func TestStreamGates(t *testing.T) {
+	slo := SLO{MaxLost: 4, P99Ceiling: time.Second}
+	prev := &Report{Latency: map[string]Quantiles{}, Counters: map[string]int64{}}
+	cur := &Report{
+		Totals:   Totals{Lost: 2},
+		Latency:  map[string]Quantiles{"2": {Count: 10, P50: 0.1, P99: 1.5}},
+		Counters: map[string]int64{"dlq_depth": 3},
+	}
+	gates := slo.StreamGates(cur, prev, time.Minute)
+	byName := map[string]GateStatus{}
+	for _, g := range gates {
+		byName[g.Name] = g
+	}
+	lost := byName["lost"]
+	if lost.Violated || lost.BudgetUsed != 0.5 {
+		t.Fatalf("lost gate = %+v, want 50%% budget, no violation", lost)
+	}
+	// 2 of 4 budget in one minute = 30 budgets/hour.
+	if lost.BurnPerHour < 29.9 || lost.BurnPerHour > 30.1 {
+		t.Fatalf("lost burn = %v, want 30/h", lost.BurnPerHour)
+	}
+	// Strict gate (MaxDLQDepth zero value): any depth is a violation.
+	depth := byName["dlq_depth"]
+	if !depth.Violated || depth.BudgetUsed != 1 {
+		t.Fatalf("dlq_depth gate = %+v, want strict violation", depth)
+	}
+	p99 := byName["L2_p99"]
+	if !p99.Violated || p99.Value != 1.5 {
+		t.Fatalf("p99 gate = %+v, want ceiling violation at 1.5s", p99)
+	}
+	if _, ok := byName["L2_p50"]; ok {
+		t.Fatal("p50 gate emitted with no P50Ceiling configured")
 	}
 }
 
@@ -374,6 +594,7 @@ func TestProfileValidate(t *testing.T) {
 		{"unknown transport", func(p *Profile) { p.Transport = "carrier-pigeon" }},
 		{"session-table pressure", func(p *Profile) { p.SubjectsPerCell = 65 }},
 		{"open-loop churn", func(p *Profile) { p.Rate = 10; p.Duration = time.Second; p.RevokeFrac = 0.5 }},
+		{"crash without churn", func(p *Profile) { p.RevokeFrac = 0; p.AddFrac = 0; p.CrashFrac = 0.5 }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

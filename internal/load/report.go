@@ -28,6 +28,10 @@ type Report struct {
 	// seconds (phase=total of argus_discovery_phase_seconds).
 	Latency map[string]Quantiles `json:"latency"`
 
+	// RedeliveryLag summarizes how long parked notifications waited in the
+	// dead-letter queue before redelivery (crash-window churn only).
+	RedeliveryLag *Quantiles `json:"redelivery_lag,omitempty"`
+
 	// Counters summarizes the obs counter families the SLOs reference.
 	Counters map[string]int64 `json:"counters"`
 
@@ -47,6 +51,7 @@ type FleetStats struct {
 	Objects         int `json:"objects"`
 	Revoked         int `json:"revoked,omitempty"`
 	Added           int `json:"added,omitempty"`
+	Crashed         int `json:"crashed,omitempty"`
 }
 
 // WaveStats is one closed-loop wave's summary.
@@ -137,6 +142,7 @@ func (r *runner) buildReport(wall time.Duration, leaked int64) *Report {
 			Objects:         p.Objects(),
 			Revoked:         r.revokedCount,
 			Added:           r.addedCount,
+			Crashed:         r.crashedCount,
 		},
 		Waves:                    r.waves,
 		Latency:                  map[string]Quantiles{},
@@ -165,19 +171,36 @@ func (r *runner) buildReport(wall time.Duration, leaked int64) *Report {
 		rep.Totals.SessionsPerSecond = float64(completed) / wall.Seconds()
 	}
 
+	fillLatency(rep, snap)
+	fillCounters(rep, snap)
+	return rep
+}
+
+// quantilesOf lifts one snapshot histogram into the report's summary form.
+func quantilesOf(m *obs.Metric) Quantiles {
+	return Quantiles{Count: m.Count, P50: m.P50, P95: m.P95, P99: m.P99, Overflow: int64(m.Overflow)}
+}
+
+// fillLatency populates the per-level end-to-end quantiles and the DLQ
+// redelivery lag from one snapshot.
+func fillLatency(rep *Report, snap *obs.Snapshot) {
 	for lvl := 1; lvl <= 3; lvl++ {
 		key := strconv.Itoa(lvl)
 		m := snap.Get(obs.MDiscoveryPhaseSeconds, obs.L("level", key), obs.L("phase", obs.PhaseAll))
 		if m == nil || m.Count == 0 {
 			continue
 		}
-		q := Quantiles{Count: m.Count, P50: m.P50, P95: m.P95, P99: m.P99}
-		if n := len(m.Buckets); n > 0 {
-			q.Overflow = int64(m.Count - m.Buckets[n-1].Count)
-		}
-		rep.Latency[key] = q
+		rep.Latency[key] = quantilesOf(m)
 	}
+	if m := snap.Get(obs.MUpdateRedeliveryLag); m != nil && m.Count > 0 {
+		q := quantilesOf(m)
+		rep.RedeliveryLag = &q
+	}
+}
 
+// fillCounters populates the counter families the SLOs and the ops tail
+// reference from one snapshot.
+func fillCounters(rep *Report, snap *obs.Snapshot) {
 	rep.Counters["discoveries"] = sumFamily(snap, obs.MDiscoveries)
 	rep.Counters["mailbox_drops"] = sumFamily(snap, obs.MTransportMailboxDrops)
 	rep.Counters["malformed_drops"] = sumFamily(snap, obs.MMalformedDrops)
@@ -188,8 +211,30 @@ func (r *runner) buildReport(wall time.Duration, leaked int64) *Report {
 	rep.Counters["vcache_misses"] = sumFamily(snap, obs.MVerifyCacheEvents, obs.L("result", "miss"))
 	rep.Counters["updates_applied"] = sumFamily(snap, obs.MUpdateApplied)
 	rep.Counters["updates_rejected"] = sumFamily(snap, obs.MUpdateRejected)
+	rep.Counters["update_sent"] = sumFamily(snap, obs.MUpdateSent)
+	rep.Counters["update_undeliverable"] = sumFamily(snap, obs.MUpdateUndeliverable)
+	rep.Counters["update_redelivered"] = sumFamily(snap, obs.MUpdateRedelivered)
+	rep.Counters["dlq_evictions"] = sumFamily(snap, obs.MUpdateDLQEvictions)
+	rep.Counters["dlq_depth"] = sumFamily(snap, obs.MUpdateDLQDepth)
 	rep.Counters["faults_lost"] = sumFamily(snap, obs.MNetFaultLost)
 	rep.Counters["faults_corrupted"] = sumFamily(snap, obs.MNetFaultCorrupted)
 	rep.Counters["faults_duplicated"] = sumFamily(snap, obs.MNetFaultDuplicated)
+}
+
+// SnapshotReport derives the snapshot-computable slice of a Report from one
+// obs snapshot: latency quantiles, redelivery lag, counter families, and the
+// load totals the harness's own counters expose. argus-ops evaluates the
+// streaming SLO gates against this, so a live tail and the finished report
+// share one set of definitions. Ledger-derived fields (expectation
+// arithmetic, peaks, wave stats) are zero.
+func SnapshotReport(snap *obs.Snapshot) *Report {
+	rep := &Report{Latency: map[string]Quantiles{}, Counters: map[string]int64{}}
+	fillLatency(rep, snap)
+	fillCounters(rep, snap)
+	rep.Totals.Armed = sumFamily(snap, obs.MLoadRoundsArmed)
+	rep.Totals.Completed = sumFamily(snap, obs.MLoadCompletions)
+	rep.Totals.Lost = sumFamily(snap, obs.MLoadLost)
+	rep.Totals.Unexpected = sumFamily(snap, obs.MLoadUnexpected)
+	rep.Totals.PeakInflight = sumFamily(snap, obs.MLoadPeakInflight)
 	return rep
 }

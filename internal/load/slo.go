@@ -32,6 +32,9 @@ type SLO struct {
 	// harness's prediction (revoked subjects' silently refused handshakes
 	// are predicted; anything above is unexplained).
 	MaxExpiredExtra int64
+	// MaxDLQDepth bounds notifications still parked in dead-letter queues
+	// when the run ends — a crash window that never fully redelivered.
+	MaxDLQDepth int64
 	// P50Ceiling / P99Ceiling bound the end-to-end (QUE1→recorded) latency
 	// quantiles per level; 0 disables.
 	P50Ceiling time.Duration
@@ -73,6 +76,9 @@ func (s SLO) Check(rep *Report) SLOResult {
 	if exceeded(s.MaxExpiredExtra, extra) {
 		add("unexplained subject session expiries: %d (observed %d, predicted %d) > max %d",
 			extra, rep.Counters["subject_sessions_expired"], rep.PredictedSubjectExpiries, s.MaxExpiredExtra)
+	}
+	if exceeded(s.MaxDLQDepth, rep.Counters["dlq_depth"]) {
+		add("parked dead-letter notifications: %d > max %d", rep.Counters["dlq_depth"], s.MaxDLQDepth)
 	}
 	if rep.Totals.LeakedSessions > 0 {
 		add("leaked sessions after TTL drain: %d", rep.Totals.LeakedSessions)

@@ -1,0 +1,99 @@
+package load
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// GateStatus is one SLO gate evaluated against a live (or final) report:
+// the current value, the configured budget, how much of the budget is
+// consumed, and — when a previous observation is supplied — the burn rate.
+// argus-ops renders these from streamed snapshots using the very same gate
+// definitions the harness enforces at the end of a run, so a tail that shows
+// green and a report that fails cannot disagree about what was measured.
+type GateStatus struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	// Limit is the gate budget: > 0 a real budget, 0 strict (nothing
+	// tolerated), < 0 disabled.
+	Limit float64 `json:"limit"`
+	// BudgetUsed is Value/Limit for budgeted gates; strict gates report 1
+	// the moment the value is nonzero.
+	BudgetUsed float64 `json:"budget_used"`
+	// BurnPerHour is the fraction of the budget the run consumed per hour
+	// over the observation window (budgeted, cumulative gates only).
+	BurnPerHour float64 `json:"burn_per_hour,omitempty"`
+	Violated    bool    `json:"violated"`
+}
+
+func (g GateStatus) String() string {
+	state := "ok"
+	if g.Violated {
+		state = "VIOLATED"
+	}
+	switch {
+	case g.Limit < 0:
+		return fmt.Sprintf("%-24s %10.3g  (disabled)", g.Name, g.Value)
+	case g.Limit == 0:
+		return fmt.Sprintf("%-24s %10.3g  strict  %s", g.Name, g.Value, state)
+	default:
+		return fmt.Sprintf("%-24s %10.3g  budget %.3g  used %3.0f%%  burn %.2f/h  %s",
+			g.Name, g.Value, g.Limit, g.BudgetUsed*100, g.BurnPerHour, state)
+	}
+}
+
+// StreamGates evaluates the SLO's snapshot-computable gates over a report
+// (typically from SnapshotReport on a streamed frame). prev and dt, when
+// supplied, give the previous observation and the time between the two, from
+// which cumulative gates get a burn rate. Latency-ceiling gates are
+// point-in-time and never burn. Gates appear in deterministic order.
+func (s SLO) StreamGates(cur, prev *Report, dt time.Duration) []GateStatus {
+	var out []GateStatus
+	gate := func(name string, limit int64, get func(*Report) int64) {
+		val := get(cur)
+		g := GateStatus{Name: name, Value: float64(val), Limit: float64(limit), Violated: exceeded(limit, val)}
+		switch {
+		case limit > 0:
+			g.BudgetUsed = g.Value / g.Limit
+			if prev != nil && dt > 0 {
+				g.BurnPerHour = (g.Value - float64(get(prev))) / g.Limit *
+					float64(time.Hour) / float64(dt)
+			}
+		case limit == 0 && val > 0:
+			g.BudgetUsed = 1
+		}
+		out = append(out, g)
+	}
+
+	gate("lost", s.MaxLost, func(r *Report) int64 { return r.Totals.Lost })
+	gate("unexpected", s.MaxUnexpected, func(r *Report) int64 { return r.Totals.Unexpected })
+	gate("mailbox_drops", s.MaxMailboxDrops, func(r *Report) int64 { return r.Counters["mailbox_drops"] })
+	gate("malformed_drops", s.MaxMalformed, func(r *Report) int64 { return r.Counters["malformed_drops"] })
+	gate("dlq_depth", s.MaxDLQDepth, func(r *Report) int64 { return r.Counters["dlq_depth"] })
+
+	levels := make([]string, 0, len(cur.Latency))
+	for lvl := range cur.Latency {
+		levels = append(levels, lvl)
+	}
+	sort.Strings(levels)
+	ceiling := func(name string, q float64, lim time.Duration) {
+		if lim <= 0 {
+			return
+		}
+		g := GateStatus{Name: name, Value: q, Limit: lim.Seconds(), Violated: q > lim.Seconds()}
+		g.BudgetUsed = g.Value / g.Limit
+		out = append(out, g)
+	}
+	for _, lvl := range levels {
+		q := cur.Latency[lvl]
+		if q.Count == 0 {
+			continue
+		}
+		ceiling("L"+lvl+"_p50", q.P50, s.P50Ceiling)
+		ceiling("L"+lvl+"_p99", q.P99, s.P99Ceiling)
+		gate("L"+lvl+"_slow_sessions", s.MaxSlowSessions,
+			func(r *Report) int64 { return r.Latency[lvl].Overflow })
+	}
+	return out
+}

@@ -62,6 +62,16 @@ func (h *Histogram) Count() uint64 {
 	return n
 }
 
+// Overflow returns the number of observations above the highest finite
+// bound — the +Inf backstop bucket (0 on a nil receiver). A non-zero
+// overflow means the bucket layout no longer covers the workload.
+func (h *Histogram) Overflow() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.counts[len(h.bounds)].Load()
+}
+
 // Sum returns the sum of all observed values (0 on a nil receiver).
 func (h *Histogram) Sum() float64 {
 	if h == nil {

@@ -30,18 +30,40 @@ func TraceHandler(tr *Tracer) http.Handler {
 	})
 }
 
+// MuxOption customizes NewMux.
+type MuxOption func(*muxConfig)
+
+type muxConfig struct {
+	stream http.Handler
+}
+
+// WithStream mounts a live event-stream handler (typically a realtime hub's
+// StreamHandler) at /events. Without it, /events answers 404 — a pull-only
+// mux stays pull-only.
+func WithStream(h http.Handler) MuxOption {
+	return func(c *muxConfig) { c.stream = h }
+}
+
 // NewMux builds the introspection endpoint wired into the cmd binaries:
 //
 //	/metrics       registry snapshot (Prometheus text; ?format=json for JSON)
 //	/trace.json    recorded discovery spans
+//	/events        live event stream (only with WithStream; else 404)
 //	/debug/vars    expvar (Go runtime memstats, cmdline)
 //	/debug/pprof/  CPU/heap/goroutine profiles
 //
 // tr may be nil (the trace endpoint then serves an empty array).
-func NewMux(reg *Registry, tr *Tracer) *http.ServeMux {
+func NewMux(reg *Registry, tr *Tracer, opts ...MuxOption) *http.ServeMux {
+	var cfg muxConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", Handler(reg))
 	mux.Handle("/trace.json", TraceHandler(tr))
+	if cfg.stream != nil {
+		mux.Handle("/events", cfg.stream)
+	}
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

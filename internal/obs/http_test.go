@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestHandlerContentNegotiation covers the /metrics format selection:
+// Prometheus text by default, JSON via ?format=json or an Accept header.
+func TestHandlerContentNegotiation(t *testing.T) {
+	reg := goldenRegistry()
+	h := Handler(reg)
+
+	cases := []struct {
+		name     string
+		target   string
+		accept   string
+		wantCT   string
+		wantJSON bool
+	}{
+		{"default-prometheus", "/metrics", "", "text/plain; version=0.0.4; charset=utf-8", false},
+		{"query-json", "/metrics?format=json", "", "application/json", true},
+		{"accept-json", "/metrics", "application/json", "application/json", true},
+		{"accept-other", "/metrics", "text/html", "text/plain; version=0.0.4; charset=utf-8", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := httptest.NewRequest(http.MethodGet, tc.target, nil)
+			if tc.accept != "" {
+				req.Header.Set("Accept", tc.accept)
+			}
+			rr := httptest.NewRecorder()
+			h.ServeHTTP(rr, req)
+			if rr.Code != http.StatusOK {
+				t.Fatalf("status = %d", rr.Code)
+			}
+			if ct := rr.Header().Get("Content-Type"); ct != tc.wantCT {
+				t.Fatalf("content-type = %q, want %q", ct, tc.wantCT)
+			}
+			body := rr.Body.String()
+			if tc.wantJSON {
+				var snap Snapshot
+				if err := json.Unmarshal(rr.Body.Bytes(), &snap); err != nil {
+					t.Fatalf("body is not JSON: %v", err)
+				}
+				if snap.Get("argus_test_total", L("op", "x")) == nil {
+					t.Fatal("counter missing from JSON snapshot")
+				}
+			} else {
+				if !strings.Contains(body, `argus_test_total{op="x"} 3`) {
+					t.Fatalf("prometheus body missing counter:\n%s", body)
+				}
+				if !strings.Contains(body, "# overflow argus_test_seconds 1") {
+					t.Fatalf("prometheus body missing overflow comment:\n%s", body)
+				}
+			}
+		})
+	}
+}
+
+// TestHandlerNilRegistry: a nil registry serves an empty snapshot, not a panic.
+func TestHandlerNilRegistry(t *testing.T) {
+	rr := httptest.NewRecorder()
+	Handler(nil).ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d", rr.Code)
+	}
+}
+
+// TestMuxRouting covers snapshot-vs-stream routing on the mux: /metrics and
+// /trace.json always answer; /events answers only when a stream handler is
+// mounted and otherwise 404s.
+func TestMuxRouting(t *testing.T) {
+	reg := goldenRegistry()
+	tr := NewTracer()
+	tr.Record(Span{Session: 1, Name: "discover", Phase: "total"})
+
+	get := func(mux *http.ServeMux, target string) *httptest.ResponseRecorder {
+		rr := httptest.NewRecorder()
+		mux.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, target, nil))
+		return rr
+	}
+
+	plain := NewMux(reg, tr)
+	if rr := get(plain, "/metrics"); rr.Code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", rr.Code)
+	}
+	if rr := get(plain, "/trace.json"); rr.Code != http.StatusOK {
+		t.Fatalf("/trace.json status = %d", rr.Code)
+	} else {
+		var spans []Span
+		if err := json.Unmarshal(rr.Body.Bytes(), &spans); err != nil || len(spans) != 1 {
+			t.Fatalf("trace body = %q (%v)", rr.Body.String(), err)
+		}
+	}
+	if rr := get(plain, "/events"); rr.Code != http.StatusNotFound {
+		t.Fatalf("/events without stream: status = %d, want 404", rr.Code)
+	}
+
+	// A stream handler that models a full hub: the first client streams, the
+	// rest are rejected with 503 (the max-client bound's observable contract).
+	clients := 0
+	stream := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		clients++
+		if clients > 1 {
+			http.Error(w, "subscriber limit reached", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Write([]byte(`{"type":"hello"}` + "\n"))
+	})
+	withStream := NewMux(reg, tr, WithStream(stream))
+	if rr := get(withStream, "/events"); rr.Code != http.StatusOK {
+		t.Fatalf("/events with stream: status = %d", rr.Code)
+	} else if !strings.Contains(rr.Body.String(), `"hello"`) {
+		t.Fatalf("/events body = %q", rr.Body.String())
+	}
+	if rr := get(withStream, "/events"); rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/events over limit: status = %d, want 503", rr.Code)
+	}
+	if rr := get(withStream, "/metrics"); rr.Code != http.StatusOK {
+		t.Fatalf("/metrics still routed: status = %d", rr.Code)
+	}
+}

@@ -64,6 +64,26 @@ const (
 	MUpdateRejected    = "argus_update_rejected_total"
 	MUpdatePropagation = "argus_update_propagation_seconds"
 
+	// internal/update — dead-letter queue for churn notifications that could
+	// not be delivered (destination offline/unreachable). Undeliverable
+	// counts every push that had to be parked instead of sent; evictions
+	// count letters discarded at the per-destination bound (never silent);
+	// redelivery lag is park time → actual send after the node reattaches.
+	MUpdateUndeliverable = "argus_update_undeliverable_total" // kind
+	MUpdateDLQDepth      = "argus_update_dlq_depth"
+	MUpdateDLQEvictions  = "argus_update_dlq_evictions_total"
+	MUpdateRedelivered   = "argus_update_redelivered_total" // kind
+	MUpdateRedeliveryLag = "argus_update_redelivery_lag_seconds"
+
+	// internal/realtime — streaming ops plane. Subscribers is the live
+	// client count; events count everything published to the hub by kind;
+	// subscriber drops count events shed from a slow consumer's ring (by the
+	// kind of the evicted event) — drops are per-subscriber, so one stalled
+	// client never stalls the fleet or its fellow subscribers.
+	MRealtimeSubscribers    = "argus_realtime_subscribers"
+	MRealtimeEvents         = "argus_realtime_events_total"           // kind
+	MRealtimeSubscriberDrop = "argus_realtime_subscriber_drops_total" // kind
+
 	// internal/load — load/soak harness bookkeeping. Inflight counts armed
 	// discovery sessions (one subject↔object handshake each) not yet
 	// completed; the peak gauge latches the high-water mark for the run.

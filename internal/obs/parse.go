@@ -128,6 +128,7 @@ func parsePrometheus(b []byte) (*Snapshot, error) {
 		m := hists[key]
 		sort.Slice(m.Buckets, func(i, j int) bool { return m.Buckets[i].LE < m.Buckets[j].LE })
 		bounds, counts := decumulate(m.Buckets, m.Count)
+		m.Overflow = counts[len(bounds)]
 		m.P50 = bucketQuantile(0.50, bounds, counts, m.Count)
 		m.P95 = bucketQuantile(0.95, bounds, counts, m.Count)
 		m.P99 = bucketQuantile(0.99, bounds, counts, m.Count)

@@ -21,12 +21,13 @@ type Metric struct {
 	Value float64 `json:"value,omitempty"`
 
 	// Histogram fields.
-	Count   uint64   `json:"count,omitempty"`
-	Sum     float64  `json:"sum,omitempty"`
-	Buckets []Bucket `json:"buckets,omitempty"` // cumulative, ascending le
-	P50     float64  `json:"p50,omitempty"`
-	P95     float64  `json:"p95,omitempty"`
-	P99     float64  `json:"p99,omitempty"`
+	Count    uint64   `json:"count,omitempty"`
+	Sum      float64  `json:"sum,omitempty"`
+	Buckets  []Bucket `json:"buckets,omitempty"` // cumulative, ascending le
+	Overflow uint64   `json:"overflow,omitempty"`
+	P50      float64  `json:"p50,omitempty"`
+	P95      float64  `json:"p95,omitempty"`
+	P99      float64  `json:"p99,omitempty"`
 }
 
 // Bucket is one cumulative histogram bucket (count of observations <= LE).
@@ -121,6 +122,7 @@ func (r *Registry) Snapshot() *Snapshot {
 			cum += counts[i]
 			m.Buckets = append(m.Buckets, Bucket{LE: b, Count: cum})
 		}
+		m.Overflow = counts[len(h.bounds)]
 		m.Sum = h.sum.load()
 		m.P50 = bucketQuantile(0.50, h.bounds, counts, m.Count)
 		m.P95 = bucketQuantile(0.95, h.bounds, counts, m.Count)
@@ -180,6 +182,12 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 			if m.Count > 0 {
 				if _, err := fmt.Fprintf(w, "# quantiles %s%s p50=%s p95=%s p99=%s\n",
 					m.Name, promLabels(ls), formatFloat(m.P50), formatFloat(m.P95), formatFloat(m.P99)); err != nil {
+					return err
+				}
+				// The +Inf backstop count, as a derived comment so scrapers
+				// see bucket-layout misfits without a new series.
+				if _, err := fmt.Fprintf(w, "# overflow %s%s %d\n",
+					m.Name, promLabels(ls), m.Overflow); err != nil {
 					return err
 				}
 			}

@@ -38,6 +38,7 @@ func TestWritePrometheusGolden(t *testing.T) {
 		`argus_test_seconds_sum 5.5625`,
 		`argus_test_seconds_count 3`,
 		`# quantiles argus_test_seconds p50=0.625 p95=1 p99=1`,
+		`# overflow argus_test_seconds 1`,
 		`# HELP argus_test_total A counter.`,
 		`# TYPE argus_test_total counter`,
 		`argus_test_total{op="x"} 3`,
@@ -92,7 +93,8 @@ func TestParseRoundTrip(t *testing.T) {
 			if pm == nil {
 				t.Fatalf("%s: %s%v lost in round trip", format, om.Name, om.Labels)
 			}
-			if pm.Type != om.Type || pm.Value != om.Value || pm.Count != om.Count || pm.Sum != om.Sum {
+			if pm.Type != om.Type || pm.Value != om.Value || pm.Count != om.Count ||
+				pm.Sum != om.Sum || pm.Overflow != om.Overflow {
 				t.Errorf("%s: %s scalar fields differ: %+v vs %+v", format, om.Name, pm, om)
 			}
 			if !reflect.DeepEqual(pm.Buckets, om.Buckets) {

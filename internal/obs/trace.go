@@ -32,6 +32,7 @@ type Tracer struct {
 	mu      sync.Mutex
 	spans   []Span
 	nextSes uint64
+	sink    func(Span)
 }
 
 // NewTracer creates an empty tracer.
@@ -49,6 +50,19 @@ func (t *Tracer) NewSession() uint64 {
 	return t.nextSes
 }
 
+// SetSink installs a callback invoked for every subsequently recorded span,
+// after it is appended. The sink runs outside the tracer lock on the
+// recording goroutine, so it must be fast and must not call back into the
+// tracer's write path. One sink at a time; nil uninstalls.
+func (t *Tracer) SetSink(fn func(Span)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.sink = fn
+	t.mu.Unlock()
+}
+
 // Record appends one finished span.
 func (t *Tracer) Record(s Span) {
 	if t == nil {
@@ -56,7 +70,11 @@ func (t *Tracer) Record(s Span) {
 	}
 	t.mu.Lock()
 	t.spans = append(t.spans, s)
+	sink := t.sink
 	t.mu.Unlock()
+	if sink != nil {
+		sink(s)
+	}
 }
 
 // Len returns the number of recorded spans.

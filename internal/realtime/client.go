@@ -1,0 +1,52 @@
+package realtime
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Tail connects to an /events endpoint (NDJSON form) and invokes fn for
+// every received frame. It returns nil when the stream ends or fn returns
+// Stop, ctx.Err() when the context is canceled, fn's error when it aborts,
+// and a descriptive error on a non-200 response (a full hub answers 503).
+func Tail(ctx context.Context, url string, fn func(Event) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("realtime: %s: %s", resp.Status, string(body))
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil
+			}
+			return err
+		}
+		if err := fn(ev); err != nil {
+			if errors.Is(err, Stop) {
+				return nil
+			}
+			return err
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package realtime
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// StreamHandler serves the hub's event stream over HTTP, designed to be
+// mounted at /events via obs.WithStream. Frames are newline-delimited JSON
+// (application/x-ndjson) by default; server-sent events when the request has
+// `?format=sse` or an Accept header containing text/event-stream. Past the
+// subscriber bound the response is 503 — the caller is shed, the fleet is
+// not slowed.
+func (h *Hub) StreamHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sub, err := h.Subscribe()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		defer sub.Close()
+		// Unblock Next when the client goes away (or the handler returns).
+		go func() {
+			<-r.Context().Done()
+			sub.Close()
+		}()
+
+		sse := r.URL.Query().Get("format") == "sse" ||
+			strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+		if sse {
+			w.Header().Set("Content-Type", "text/event-stream")
+		} else {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+		}
+		w.Header().Set("Cache-Control", "no-store")
+		w.WriteHeader(http.StatusOK)
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		for {
+			ev, ok := sub.Next()
+			if !ok {
+				return
+			}
+			if sse {
+				b, err := json.Marshal(ev)
+				if err != nil {
+					return
+				}
+				if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, b); err != nil {
+					return
+				}
+			} else if err := enc.Encode(ev); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	})
+}
+
+// Stop is the sentinel a Tail callback returns to end the tail cleanly.
+var Stop = errors.New("realtime: stop tailing")

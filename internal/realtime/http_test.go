@@ -1,0 +1,122 @@
+package realtime
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"argus/internal/obs"
+)
+
+// TestStreamEndToEnd serves a hub through the obs mux and tails it with the
+// client: the attach greeting (hello + snapshot), a live span and a live
+// data frame all arrive over real HTTP.
+func TestStreamEndToEnd(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer()
+	hub := New(noTicker(Config{Registry: reg, Tracer: tr}))
+	defer hub.Close()
+	srv := httptest.NewServer(obs.NewMux(reg, tr, obs.WithStream(hub.StreamHandler())))
+	defer srv.Close()
+
+	tr.Record(obs.Span{Session: 7, Name: "discover", Phase: "total", Level: 2})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	types := map[string]int{}
+	var spanSession uint64
+	err := Tail(ctx, srv.URL+"/events", func(ev Event) error {
+		if ev.Type == EventHello {
+			// Now that the subscription exists, exercise the live path (the
+			// span above arrives via replay; this frame arrives live).
+			if err := hub.PublishData("wave", map[string]int{"wave": 1}); err != nil {
+				return err
+			}
+		}
+		types[ev.Type]++
+		if ev.Type == EventSpan {
+			spanSession = ev.Span.Session
+		}
+		if types[EventHello] > 0 && types[EventSnapshot] > 0 &&
+			types[EventSpan] > 0 && types["wave"] > 0 {
+			return Stop
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Tail: %v", err)
+	}
+	if spanSession != 7 {
+		t.Fatalf("span session = %d, want 7", spanSession)
+	}
+}
+
+// TestStreamMaxClientsHTTP: the subscriber bound surfaces as 503 on the wire.
+func TestStreamMaxClientsHTTP(t *testing.T) {
+	hub := New(noTicker(Config{MaxClients: 1}))
+	defer hub.Close()
+	srv := httptest.NewServer(hub.StreamHandler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	attached := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- Tail(ctx, srv.URL, func(ev Event) error {
+			if ev.Type == EventHello {
+				close(attached)
+			}
+			return nil
+		})
+	}()
+	<-attached
+
+	err := Tail(context.Background(), srv.URL, func(Event) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "503") {
+		t.Fatalf("second tail err = %v, want 503", err)
+	}
+
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("first tail err = %v, want context.Canceled", err)
+	}
+	// The slot frees once the handler notices the disconnect.
+	deadline := time.Now().Add(5 * time.Second)
+	for hub.Subscribers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("subscriber slot not released: %d live", hub.Subscribers())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestStreamSSE: Accept: text/event-stream selects the SSE framing.
+func TestStreamSSE(t *testing.T) {
+	hub := New(noTicker(Config{}))
+	srv := httptest.NewServer(hub.StreamHandler())
+	defer srv.Close()
+
+	req, _ := http.NewRequest(http.MethodGet, srv.URL, nil)
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() || sc.Text() != "event: hello" {
+		t.Fatalf("first SSE line = %q", sc.Text())
+	}
+	if !sc.Scan() || !strings.HasPrefix(sc.Text(), `data: {"type":"hello"`) {
+		t.Fatalf("second SSE line = %q", sc.Text())
+	}
+	hub.Close() // ends the stream; the deferred body close unblocks the server
+}

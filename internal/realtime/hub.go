@@ -1,0 +1,368 @@
+// Package realtime turns the pull-only obs plane into a push plane: a
+// bounded-fanout event hub that streams periodic metric-snapshot frames and
+// live span/operational events to subscribed clients.
+//
+// The hub's contract (DESIGN.md §11) is that observation can never stall the
+// fleet:
+//
+//   - Hard subscriber bound. Subscribe fails with ErrMaxClients past
+//     Config.MaxClients; the HTTP face turns that into a 503.
+//   - Per-subscriber ring buffers. Each subscriber owns a bounded queue;
+//     when a slow consumer's queue is full the oldest frame is evicted and
+//     counted (argus_realtime_subscriber_drops_total by evicted kind) —
+//     never blocked on, never silent. A fast consumer loses nothing.
+//   - Non-blocking publish. Publishing touches per-subscriber mutexes only
+//     for an append; no channel sends, no writer goroutines to outrun.
+//
+// Span events additionally land in a small replay ring, delivered to new
+// subscribers at attach time so a client that connects after a burst (the CI
+// smoke, a human mid-run) still sees recent protocol activity.
+package realtime
+
+import (
+	"encoding/json"
+	"errors"
+	"sync"
+	"time"
+
+	"argus/internal/obs"
+)
+
+// Event frame types carried on the stream. Producers may publish additional
+// free-form kinds via PublishData (the load harness emits "wave", "churn" and
+// "gates" frames); consumers must ignore kinds they do not know.
+const (
+	EventHello    = "hello"    // first frame of every subscription
+	EventSnapshot = "snapshot" // full registry snapshot
+	EventSpan     = "span"     // one finished discovery-phase span
+)
+
+// Event is one frame on the ops stream. Seq is assigned in global publish
+// order; frames replayed to a late subscriber keep their original Seq, so a
+// consumer can deduplicate across reconnects. At is time since the hub
+// started (monotonic).
+type Event struct {
+	Type string        `json:"type"`
+	Seq  uint64        `json:"seq"`
+	At   time.Duration `json:"at_ns"`
+
+	Snapshot *obs.Snapshot   `json:"snapshot,omitempty"`
+	Span     *obs.Span       `json:"span,omitempty"`
+	Data     json.RawMessage `json:"data,omitempty"`
+}
+
+// Errors returned by Subscribe.
+var (
+	ErrMaxClients = errors.New("realtime: subscriber limit reached")
+	ErrClosed     = errors.New("realtime: hub closed")
+)
+
+// Config configures a Hub. The zero value of each field selects a default.
+type Config struct {
+	// Registry is snapshotted for periodic frames and receives the hub's own
+	// metrics. May be nil (frames carry empty snapshots, self-metrics off).
+	Registry *obs.Registry
+	// Tracer, when set, has the hub installed as its span sink: every
+	// recorded span becomes a live EventSpan frame.
+	Tracer *obs.Tracer
+	// SnapshotEvery is the periodic snapshot-frame interval. 0 means
+	// DefaultSnapshotEvery; negative disables the ticker (frames then only
+	// appear at attach time or via PublishSnapshot).
+	SnapshotEvery time.Duration
+	// MaxClients bounds concurrent subscribers (default DefaultMaxClients).
+	MaxClients int
+	// RingSize bounds each subscriber's queue (default DefaultRingSize).
+	RingSize int
+	// ReplaySpans bounds the span replay ring delivered to new subscribers
+	// (default DefaultReplaySpans).
+	ReplaySpans int
+}
+
+// Defaults for Config fields left zero.
+const (
+	DefaultSnapshotEvery = time.Second
+	DefaultMaxClients    = 16
+	DefaultRingSize      = 256
+	DefaultReplaySpans   = 32
+)
+
+// Hub is the bounded-fanout event hub. Create with New, stop with Close.
+type Hub struct {
+	cfg   Config
+	start time.Time
+
+	subsGauge *obs.Gauge
+
+	mu     sync.Mutex
+	subs   map[*Subscriber]struct{}
+	seq    uint64
+	replay []Event
+	closed bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New creates a hub, installs it as the tracer's span sink, and starts the
+// periodic snapshot ticker (unless disabled).
+func New(cfg Config) *Hub {
+	if cfg.SnapshotEvery == 0 {
+		cfg.SnapshotEvery = DefaultSnapshotEvery
+	}
+	if cfg.MaxClients <= 0 {
+		cfg.MaxClients = DefaultMaxClients
+	}
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = DefaultRingSize
+	}
+	if cfg.ReplaySpans <= 0 {
+		cfg.ReplaySpans = DefaultReplaySpans
+	}
+	h := &Hub{
+		cfg:   cfg,
+		start: time.Now(),
+		subs:  make(map[*Subscriber]struct{}),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	h.subsGauge = cfg.Registry.Gauge(obs.MRealtimeSubscribers,
+		"Live event-stream subscribers.")
+	cfg.Tracer.SetSink(h.publishSpan)
+	if cfg.SnapshotEvery > 0 {
+		go h.loop()
+	} else {
+		close(h.done)
+	}
+	return h
+}
+
+func (h *Hub) loop() {
+	defer close(h.done)
+	t := time.NewTicker(h.cfg.SnapshotEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-h.stop:
+			return
+		case <-t.C:
+			h.PublishSnapshot()
+		}
+	}
+}
+
+func (h *Hub) since() time.Duration { return time.Since(h.start) }
+
+func (h *Hub) countEvent(kind string) {
+	h.cfg.Registry.Counter(obs.MRealtimeEvents,
+		"Events published to the realtime hub.", obs.L("kind", kind)).Inc()
+}
+
+func (h *Hub) countDrop(kind string) {
+	h.cfg.Registry.Counter(obs.MRealtimeSubscriberDrop,
+		"Events evicted from a slow subscriber's ring, by evicted kind.",
+		obs.L("kind", kind)).Inc()
+}
+
+// publish assigns a sequence number, records span frames in the replay ring,
+// and fans the event out to every subscriber without ever blocking on one.
+func (h *Hub) publish(typ string, fill func(*Event)) {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.seq++
+	ev := Event{Type: typ, Seq: h.seq, At: h.since()}
+	if fill != nil {
+		fill(&ev)
+	}
+	if typ == EventSpan {
+		h.replay = append(h.replay, ev)
+		if len(h.replay) > h.cfg.ReplaySpans {
+			h.replay = h.replay[1:]
+		}
+	}
+	subs := make([]*Subscriber, 0, len(h.subs))
+	for s := range h.subs {
+		subs = append(subs, s)
+	}
+	h.mu.Unlock()
+
+	h.countEvent(typ)
+	for _, s := range subs {
+		if evicted, ok := s.offer(ev); ok && evicted != "" {
+			h.countDrop(evicted)
+		}
+	}
+}
+
+// PublishSnapshot publishes one full-registry snapshot frame now, regardless
+// of the ticker — used for per-wave frames in the load harness and the final
+// flush on shutdown.
+func (h *Hub) PublishSnapshot() {
+	snap := h.cfg.Registry.Snapshot()
+	h.publish(EventSnapshot, func(ev *Event) { ev.Snapshot = snap })
+}
+
+func (h *Hub) publishSpan(s obs.Span) {
+	h.publish(EventSpan, func(ev *Event) { sp := s; ev.Span = &sp })
+}
+
+// PublishData publishes a free-form event of the given kind with v as its
+// JSON payload. Returns the marshal error, if any (nothing is published then).
+func (h *Hub) PublishData(kind string, v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	h.publish(kind, func(ev *Event) { ev.Data = raw })
+	return nil
+}
+
+// Subscribe registers a new subscriber and pre-loads its queue with a hello
+// frame, a fresh snapshot frame and the span replay ring. Fails with
+// ErrMaxClients at the bound and ErrClosed after Close.
+func (h *Hub) Subscribe() (*Subscriber, error) {
+	snap := h.cfg.Registry.Snapshot()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, ErrClosed
+	}
+	if len(h.subs) >= h.cfg.MaxClients {
+		return nil, ErrMaxClients
+	}
+	s := newSubscriber(h, h.cfg.RingSize)
+	hello, _ := json.Marshal(map[string]any{
+		"max_clients":  h.cfg.MaxClients,
+		"ring_size":    h.cfg.RingSize,
+		"replay_spans": h.cfg.ReplaySpans,
+		"snapshot_ms":  h.cfg.SnapshotEvery.Milliseconds(),
+	})
+	h.seq++
+	s.offer(Event{Type: EventHello, Seq: h.seq, At: h.since(), Data: hello})
+	h.seq++
+	s.offer(Event{Type: EventSnapshot, Seq: h.seq, At: h.since(), Snapshot: snap})
+	for _, ev := range h.replay {
+		s.offer(ev)
+	}
+	h.subs[s] = struct{}{}
+	h.subsGauge.Set(int64(len(h.subs)))
+	return s, nil
+}
+
+func (h *Hub) remove(s *Subscriber) {
+	h.mu.Lock()
+	delete(h.subs, s)
+	h.subsGauge.Set(int64(len(h.subs)))
+	h.mu.Unlock()
+}
+
+// Subscribers returns the current subscriber count.
+func (h *Hub) Subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// Close stops the ticker, uninstalls the span sink and closes every
+// subscriber. Subscribers drain whatever their queues still hold, then their
+// Next returns false — close-and-drain, not close-and-discard.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	subs := make([]*Subscriber, 0, len(h.subs))
+	for s := range h.subs {
+		subs = append(subs, s)
+	}
+	h.subs = make(map[*Subscriber]struct{})
+	h.mu.Unlock()
+
+	h.cfg.Tracer.SetSink(nil)
+	close(h.stop)
+	<-h.done
+	for _, s := range subs {
+		s.shutdown()
+	}
+	h.subsGauge.Set(0)
+}
+
+// Subscriber is one bounded event queue fed by the hub. Not safe for
+// concurrent Next calls from multiple goroutines (one reader per stream).
+type Subscriber struct {
+	hub *Hub
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []Event
+	max     int
+	dropped uint64
+	closed  bool
+}
+
+func newSubscriber(h *Hub, ringSize int) *Subscriber {
+	s := &Subscriber{hub: h, max: ringSize}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// offer appends one event, evicting the oldest when the ring is full.
+// Returns the evicted event's kind ("" if nothing was evicted) and whether
+// the subscriber was still open.
+func (s *Subscriber) offer(ev Event) (evicted string, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return "", false
+	}
+	if len(s.queue) >= s.max {
+		evicted = s.queue[0].Type
+		s.queue = s.queue[1:]
+		s.dropped++
+	}
+	s.queue = append(s.queue, ev)
+	s.cond.Signal()
+	return evicted, true
+}
+
+// Next blocks until an event is available or the subscriber is closed with
+// an empty queue. After Close, remaining queued events are still delivered.
+func (s *Subscriber) Next() (Event, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.queue) == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	if len(s.queue) == 0 {
+		return Event{}, false
+	}
+	ev := s.queue[0]
+	s.queue = s.queue[1:]
+	return ev, true
+}
+
+// Dropped reports how many events were evicted from this subscriber's ring.
+func (s *Subscriber) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// shutdown marks the subscriber closed (wakes a blocked Next) without
+// touching the hub's subscriber map — used by Hub.Close.
+func (s *Subscriber) shutdown() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Close detaches the subscriber from the hub. Idempotent.
+func (s *Subscriber) Close() {
+	s.shutdown()
+	s.hub.remove(s)
+}

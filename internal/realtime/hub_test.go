@@ -1,0 +1,261 @@
+package realtime
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"argus/internal/obs"
+)
+
+// noTicker builds a hub with the periodic snapshot loop disabled so tests
+// control exactly which events exist.
+func noTicker(cfg Config) Config {
+	cfg.SnapshotEvery = -1
+	return cfg
+}
+
+// TestFanout64Subscribers is the acceptance-criteria fanout test: 64 live
+// subscribers, half reading at full speed and half stalled. Publishing must
+// never block; fast consumers must receive every frame in order with zero
+// drops; slow consumers must be shed down to their ring size with every
+// eviction counted.
+func TestFanout64Subscribers(t *testing.T) {
+	const (
+		nFast    = 32
+		nSlow    = 32
+		nEvents  = 200
+		ringSize = 8
+		preload  = 2 // hello + initial snapshot
+	)
+	reg := obs.NewRegistry()
+	hub := New(noTicker(Config{Registry: reg, MaxClients: nFast + nSlow, RingSize: ringSize}))
+
+	var fast [nFast]*Subscriber
+	var slow [nSlow]*Subscriber
+	var got [nFast][]Event
+	var ticks [nFast]atomic.Uint64
+	var wg sync.WaitGroup
+	for i := 0; i < nFast; i++ {
+		sub, err := hub.Subscribe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast[i] = sub
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for {
+				ev, ok := sub.Next()
+				if !ok {
+					return
+				}
+				got[i] = append(got[i], ev)
+				if ev.Type == "tick" {
+					ticks[i].Add(1)
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < nSlow; i++ {
+		sub, err := hub.Subscribe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow[i] = sub // never read until after the storm
+	}
+	if n := hub.Subscribers(); n != nFast+nSlow {
+		t.Fatalf("subscribers = %d, want %d", n, nFast+nSlow)
+	}
+
+	// "Fast" means the consumer keeps up with the publish rate: the test
+	// paces each publish on all fast readers having consumed the previous
+	// one, so their lag stays under the ring bound by construction. The
+	// slow readers never read at all.
+	deadline := time.Now().Add(30 * time.Second)
+	for i := 0; i < nEvents; i++ {
+		if err := hub.PublishData("tick", map[string]int{"i": i}); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < nFast; j++ {
+			for ticks[j].Load() < uint64(i+1) {
+				if time.Now().After(deadline) {
+					t.Fatalf("fast reader %d stuck at %d/%d", j, ticks[j].Load(), i+1)
+				}
+				runtime.Gosched()
+			}
+		}
+	}
+	hub.Close() // close-and-drain: fast readers finish their queues
+	wg.Wait()
+
+	for i := 0; i < nFast; i++ {
+		if d := fast[i].Dropped(); d != 0 {
+			t.Fatalf("fast subscriber %d dropped %d events", i, d)
+		}
+		evs := got[i]
+		if len(evs) != preload+nEvents {
+			t.Fatalf("fast subscriber %d received %d events, want %d", i, len(evs), preload+nEvents)
+		}
+		if evs[0].Type != EventHello || evs[1].Type != EventSnapshot {
+			t.Fatalf("fast subscriber %d greeting = %s,%s", i, evs[0].Type, evs[1].Type)
+		}
+		for j := 1; j < len(evs); j++ {
+			if evs[j].Seq <= evs[j-1].Seq {
+				t.Fatalf("fast subscriber %d: seq not increasing at %d (%d then %d)",
+					i, j, evs[j-1].Seq, evs[j].Seq)
+			}
+		}
+	}
+
+	var totalDropped uint64
+	for i := 0; i < nSlow; i++ {
+		var drained []Event
+		for {
+			ev, ok := slow[i].Next()
+			if !ok {
+				break
+			}
+			drained = append(drained, ev)
+		}
+		if len(drained) != ringSize {
+			t.Fatalf("slow subscriber %d drained %d events, want ring size %d", i, len(drained), ringSize)
+		}
+		// The survivors are the newest frames, still in order.
+		if last := drained[len(drained)-1]; last.Type != "tick" {
+			t.Fatalf("slow subscriber %d newest frame = %s", i, last.Type)
+		}
+		want := uint64(preload + nEvents - ringSize)
+		if d := slow[i].Dropped(); d != want {
+			t.Fatalf("slow subscriber %d dropped %d, want %d", i, d, want)
+		}
+		totalDropped += slow[i].Dropped()
+	}
+
+	snap := reg.Snapshot()
+	var counted int64
+	for _, m := range snap.Metrics {
+		if m.Name == obs.MRealtimeSubscriberDrop {
+			counted += int64(m.Value)
+		}
+	}
+	if counted != int64(totalDropped) {
+		t.Fatalf("drop counter = %d, want %d", counted, totalDropped)
+	}
+	if m := snap.Get(obs.MRealtimeEvents, obs.L("kind", "tick")); m == nil || m.Value != nEvents {
+		t.Fatalf("events counter = %+v, want %d", m, nEvents)
+	}
+	if m := snap.Get(obs.MRealtimeSubscribers); m == nil || m.Value != 0 {
+		t.Fatalf("subscribers gauge after close = %+v, want 0", m)
+	}
+}
+
+func TestMaxClients(t *testing.T) {
+	hub := New(noTicker(Config{MaxClients: 2}))
+	defer hub.Close()
+	a, err := hub.Subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hub.Subscribe(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hub.Subscribe(); err != ErrMaxClients {
+		t.Fatalf("third subscribe err = %v, want ErrMaxClients", err)
+	}
+	a.Close()
+	if _, err := hub.Subscribe(); err != nil {
+		t.Fatalf("subscribe after detach: %v", err)
+	}
+}
+
+func TestSubscribeAfterClose(t *testing.T) {
+	hub := New(noTicker(Config{}))
+	hub.Close()
+	if _, err := hub.Subscribe(); err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	hub.Close() // idempotent
+}
+
+// TestSpanReplay: spans recorded before a subscriber attaches are replayed
+// to it, so a late client still sees recent protocol activity.
+func TestSpanReplay(t *testing.T) {
+	tr := obs.NewTracer()
+	hub := New(noTicker(Config{Tracer: tr, ReplaySpans: 4}))
+	defer hub.Close()
+
+	for i := 0; i < 6; i++ {
+		tr.Record(obs.Span{Session: uint64(i), Name: "discover", Phase: "total"})
+	}
+	sub, err := hub.Subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spans []obs.Span
+	for i := 0; i < 2+4; i++ { // hello, snapshot, then the replay ring
+		ev, ok := sub.Next()
+		if !ok {
+			t.Fatal("stream ended early")
+		}
+		if ev.Type == EventSpan {
+			spans = append(spans, *ev.Span)
+		}
+	}
+	if len(spans) != 4 {
+		t.Fatalf("replayed %d spans, want 4 (ring bound)", len(spans))
+	}
+	// The ring keeps the newest spans, in record order.
+	for i, s := range spans {
+		if want := uint64(2 + i); s.Session != want {
+			t.Fatalf("replay[%d].Session = %d, want %d", i, s.Session, want)
+		}
+	}
+
+	// A live span arrives as a live frame too.
+	tr.Record(obs.Span{Session: 99, Name: "discover", Phase: "total"})
+	ev, ok := sub.Next()
+	if !ok || ev.Type != EventSpan || ev.Span.Session != 99 {
+		t.Fatalf("live span frame = %+v ok=%v", ev, ok)
+	}
+}
+
+// TestSnapshotTicker: the periodic loop publishes snapshot frames without
+// any explicit PublishSnapshot call.
+func TestSnapshotTicker(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("argus_test_total", "").Add(5)
+	hub := New(Config{Registry: reg, SnapshotEvery: 2 * time.Millisecond})
+	defer hub.Close()
+	sub, err := hub.Subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for seen < 3 { // initial frame + at least two ticks
+		ev, ok := sub.Next()
+		if !ok {
+			t.Fatal("stream ended early")
+		}
+		if ev.Type == EventSnapshot {
+			if ev.Snapshot == nil || ev.Snapshot.Get("argus_test_total") == nil {
+				t.Fatalf("snapshot frame missing registry content: %+v", ev)
+			}
+			seen++
+		}
+	}
+}
+
+// TestCloseUninstallsSink: spans recorded after Close must not panic or
+// publish.
+func TestCloseUninstallsSink(t *testing.T) {
+	tr := obs.NewTracer()
+	hub := New(noTicker(Config{Tracer: tr}))
+	hub.Close()
+	tr.Record(obs.Span{Session: 1}) // would deadlock/panic if the sink survived
+	if tr.Len() != 1 {
+		t.Fatal("tracer itself must keep recording")
+	}
+}

@@ -1,0 +1,127 @@
+package update
+
+import (
+	"time"
+
+	"argus/internal/cert"
+	"argus/internal/obs"
+	"argus/internal/transport"
+)
+
+// The dead-letter queue turns a missed churn notification into a measured
+// redelivery instead of a silent hole (DESIGN.md §11). The transport is
+// fire-and-forget radio semantics with no delivery acknowledgment, so
+// admission is connection-state driven: the operator (or the liveness layer
+// above) marks a destination offline with MarkOffline, and every subsequent
+// push to it parks instead of sending. Guarantees:
+//
+//   - Bounded, never silent. Each destination holds at most DLQCapacity
+//     letters; past the bound the oldest is discarded and counted
+//     (argus_update_dlq_evictions_total). Every park is counted
+//     (argus_update_undeliverable_total by kind).
+//   - In-order redelivery. Sequence numbers are assigned at push time, park
+//     preserves push order, and Reattach drains the whole queue under the
+//     same lock that serializes pushes — so a destination always observes
+//     strictly increasing sequence numbers.
+//   - Exactly-once effectuation. In-order redelivery composes with the
+//     agent's replay check (Seq <= lastSeq rejected): each notification is
+//     applied exactly once even across repeated Reattach calls.
+
+// DefaultDLQCapacity is the per-destination dead-letter bound.
+const DefaultDLQCapacity = 256
+
+// letter is one parked notification: fully signed, sequence assigned.
+type letter struct {
+	n  *Notification
+	at time.Duration // ep.Now() at park time, for redelivery lag
+}
+
+// DistributorOption customizes NewDistributor.
+type DistributorOption func(*Distributor)
+
+// WithDLQCapacity overrides the per-destination dead-letter bound
+// (values < 1 keep the default).
+func WithDLQCapacity(n int) DistributorOption {
+	return func(d *Distributor) {
+		if n >= 1 {
+			d.dlqCap = n
+		}
+	}
+}
+
+// park appends one letter to the destination's queue, evicting the oldest
+// at the bound. Caller holds d.mu.
+func (d *Distributor) park(to cert.ID, n *Notification) {
+	q := d.dlq[to]
+	if len(q) >= d.dlqCap {
+		q = q[1:]
+		d.parked--
+		d.evictC.Inc()
+		d.depthG.Add(-1)
+	}
+	q = append(q, letter{n: n, at: d.ep.Now()})
+	d.dlq[to] = q
+	d.parked++
+	d.reg.Counter(obs.MUpdateUndeliverable,
+		"Notifications not deliverable because the destination was offline, by kind.",
+		obs.L("kind", n.Kind.String())).Inc()
+	// Delta, not Set: several distributors (one per cell in the load
+	// harness) may share a registry, and the family gauge is their sum.
+	d.depthG.Add(1)
+}
+
+// MarkOffline marks a destination unreachable: subsequent pushes to it are
+// parked instead of sent.
+func (d *Distributor) MarkOffline(id cert.ID) {
+	d.mu.Lock()
+	d.offline[id] = true
+	d.mu.Unlock()
+}
+
+// Reattach marks the destination reachable again — at a new address when
+// addr is non-empty — and immediately redelivers every parked letter in
+// original push order. Returns the number of letters redelivered. Reattach
+// on an already-online destination with an empty queue is a no-op.
+func (d *Distributor) Reattach(id cert.ID, addr transport.Addr) int {
+	d.mu.Lock()
+	delete(d.offline, id)
+	if addr != "" {
+		d.addr[id] = addr
+	}
+	dst, ok := d.addr[id]
+	q := d.dlq[id]
+	if !ok || len(q) == 0 {
+		d.mu.Unlock()
+		return 0
+	}
+	delete(d.dlq, id)
+	d.parked -= len(q)
+	d.redelivered += len(q)
+	now := d.ep.Now()
+	for _, l := range q {
+		d.countSent(l.n.Kind)
+		d.reg.Counter(obs.MUpdateRedelivered,
+			"Parked notifications redelivered after reattach, by kind.",
+			obs.L("kind", l.n.Kind.String())).Inc()
+		d.lagH.ObserveDuration(now - l.at)
+		d.sent++
+		d.ep.Send(dst, l.n.Encode())
+	}
+	d.depthG.Add(-int64(len(q)))
+	d.mu.Unlock()
+	return len(q)
+}
+
+// DLQDepth returns the total number of parked letters across destinations.
+func (d *Distributor) DLQDepth() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.parked
+}
+
+// Redelivered returns how many parked letters have been redelivered.
+func (d *Distributor) Redelivered() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.redelivered
+}

@@ -20,6 +20,7 @@ package update
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"argus/internal/cert"
@@ -207,27 +208,47 @@ func (a *Agent) Handle(from transport.Addr, payload []byte) {
 }
 
 // Distributor is the backend's ground gateway: it signs notifications and
-// unicasts them to affected devices over its transport endpoint.
+// unicasts them to affected devices over its transport endpoint. Destinations
+// marked offline have their notifications parked in a bounded per-destination
+// dead-letter queue (see dlq.go) and redelivered in push order on Reattach.
+// All methods are safe for concurrent use.
 type Distributor struct {
 	admin *cert.Admin
 	ep    transport.Endpoint
-	addr  map[cert.ID]transport.Addr
-	seq   uint64
-	sent  int
+
+	mu          sync.Mutex
+	addr        map[cert.ID]transport.Addr
+	seq         uint64
+	sent        int
+	offline     map[cert.ID]bool
+	dlq         map[cert.ID][]letter
+	dlqCap      int
+	parked      int
+	redelivered int
 
 	reg     *obs.Registry
 	sentAts map[uint64]time.Duration // seq → virtual push time, for lag measurement
+	depthG  *obs.Gauge
+	evictC  *obs.Counter
+	lagH    *obs.Histogram
 }
 
 // NewDistributor builds a backend gateway sending through ep (the gateway
 // itself receives nothing, so ep stays unbound). Under the simulator, pass
 // net.NewEndpoint() and link its Node into the topology.
-func NewDistributor(admin *cert.Admin, ep transport.Endpoint) *Distributor {
-	return &Distributor{
-		admin: admin,
-		ep:    ep,
-		addr:  make(map[cert.ID]transport.Addr),
+func NewDistributor(admin *cert.Admin, ep transport.Endpoint, opts ...DistributorOption) *Distributor {
+	d := &Distributor{
+		admin:   admin,
+		ep:      ep,
+		addr:    make(map[cert.ID]transport.Addr),
+		offline: make(map[cert.ID]bool),
+		dlq:     make(map[cert.ID][]letter),
+		dlqCap:  DefaultDLQCapacity,
 	}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
 }
 
 // Addr returns the gateway's transport address.
@@ -235,51 +256,86 @@ func (d *Distributor) Addr() transport.Addr { return d.ep.Addr() }
 
 // Instrument attaches a metrics registry: pushes are counted by kind and
 // stamped with their virtual send time so instrumented agents can measure
-// propagation lag. Passing nil detaches.
+// propagation lag, and the dead-letter queue exports depth, evictions and
+// redelivery lag. Passing nil detaches.
 func (d *Distributor) Instrument(reg *obs.Registry) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.reg = reg
 	if reg == nil {
-		d.sentAts = nil
+		d.sentAts, d.depthG, d.evictC, d.lagH = nil, nil, nil, nil
 		return
 	}
 	d.sentAts = make(map[uint64]time.Duration)
+	d.depthG = reg.Gauge(obs.MUpdateDLQDepth, "Churn notifications parked awaiting redelivery.")
+	d.evictC = reg.Counter(obs.MUpdateDLQEvictions,
+		"Parked notifications discarded at the per-destination DLQ bound.")
+	d.lagH = reg.Histogram(obs.MUpdateRedeliveryLag,
+		"Lag from parking an undeliverable notification to its redelivery.", obs.LatencyBuckets())
 }
 
 // SentAt returns the virtual time the notification with the given sequence
-// number was pushed (only tracked while instrumented). Pass this method to
-// (*Agent).Instrument to wire the propagation-lag histogram.
+// number was pushed (only tracked while instrumented). For a parked
+// notification this is the park time, so agent-side propagation lag includes
+// the destination's offline window. Pass this method to (*Agent).Instrument
+// to wire the propagation-lag histogram.
 func (d *Distributor) SentAt(seq uint64) (time.Duration, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	t, ok := d.sentAts[seq]
 	return t, ok
 }
 
 // Register maps a device identity to its transport address.
-func (d *Distributor) Register(id cert.ID, addr transport.Addr) { d.addr[id] = addr }
+func (d *Distributor) Register(id cert.ID, addr transport.Addr) {
+	d.mu.Lock()
+	d.addr[id] = addr
+	d.mu.Unlock()
+}
 
-// Sent returns the number of notifications pushed so far — the measured
-// updating overhead.
-func (d *Distributor) Sent() int { return d.sent }
+// Sent returns the number of notifications actually put on the wire so far
+// (live sends plus redeliveries) — the measured updating overhead. Parked
+// notifications are not counted until redelivered.
+func (d *Distributor) Sent() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.sent
+}
 
-// push signs and unicasts one notification.
+func (d *Distributor) countSent(k Kind) {
+	d.reg.Counter(obs.MUpdateSent, "Admin notifications pushed to the ground, by kind.",
+		obs.L("kind", k.String())).Inc()
+}
+
+// push signs one notification, then either unicasts it or — when the
+// destination is offline — parks it for redelivery.
 func (d *Distributor) push(to cert.ID, n *Notification) error {
+	d.mu.Lock()
 	addr, ok := d.addr[to]
 	if !ok {
+		d.mu.Unlock()
 		return fmt.Errorf("update: no ground address for %v", to)
 	}
 	d.seq++
 	n.Seq = d.seq
 	sig, err := d.admin.Sign(n.body())
 	if err != nil {
+		d.mu.Unlock()
 		return err
 	}
 	n.Sig = sig
 	if d.reg != nil {
-		d.reg.Counter(obs.MUpdateSent, "Admin notifications pushed to the ground, by kind.",
-			obs.L("kind", n.Kind.String())).Inc()
 		d.sentAts[d.seq] = d.ep.Now()
 	}
-	d.ep.Send(addr, n.Encode())
+	if d.offline[to] {
+		d.park(to, n)
+		d.mu.Unlock()
+		return nil
+	}
+	d.countSent(n.Kind)
 	d.sent++
+	d.mu.Unlock()
+	d.ep.Send(addr, n.Encode())
 	return nil
 }
 

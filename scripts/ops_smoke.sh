@@ -1,0 +1,58 @@
+#!/bin/sh
+# End-to-end ops-plane smoke: a real argus-load soak serving its obs plane,
+# a real argus-ops attached to it. Passes only when
+#
+#   1. argus-load announces its obs listener and runs the ci-soak profile
+#      to an SLO pass, and
+#   2. argus-ops, tailing that live endpoint with the same profile's gates,
+#      sees both a snapshot and a span frame before the run ends.
+#
+# This is the CI ops-smoke job; run it locally with `make ops-smoke`.
+set -eu
+
+cd "$(dirname "$0")/.."
+TMP=$(mktemp -d)
+LOAD_PID=""
+cleanup() {
+	[ -n "$LOAD_PID" ] && kill "$LOAD_PID" 2>/dev/null || true
+	rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+go build -o "$TMP/argus-load" ./cmd/argus-load
+go build -o "$TMP/argus-ops" ./cmd/argus-ops
+
+"$TMP/argus-load" -profile ci-soak -obs 127.0.0.1:0 -out "$TMP/report.json" \
+	2>"$TMP/load.log" &
+LOAD_PID=$!
+
+# The load harness prints "obs listening addr=<host:port>" before the fleet
+# comes up; poll the log for it.
+ADDR=""
+i=0
+while [ $i -lt 100 ]; do
+	ADDR=$(sed -n 's/^obs listening addr=//p' "$TMP/load.log" | head -n 1)
+	[ -n "$ADDR" ] && break
+	if ! kill -0 "$LOAD_PID" 2>/dev/null; then
+		echo "ops smoke: argus-load died before announcing its obs plane" >&2
+		cat "$TMP/load.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+	i=$((i + 1))
+done
+if [ -z "$ADDR" ]; then
+	echo "ops smoke: argus-load never announced its obs plane" >&2
+	cat "$TMP/load.log" >&2
+	exit 1
+fi
+
+"$TMP/argus-ops" -attach "$ADDR" -profile ci-soak -await snapshot,span -for 90s
+
+wait "$LOAD_PID" || {
+	echo "ops smoke: argus-load failed its SLO" >&2
+	cat "$TMP/load.log" >&2
+	exit 1
+}
+LOAD_PID=""
+echo "ops smoke: PASS"
