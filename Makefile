@@ -27,7 +27,7 @@ test:
 # batch issuance fan out across worker pools, backend provisioning does the
 # same, and core's Results/PendingSessions are read cross-goroutine.
 race:
-	$(GO) test -race ./internal/obs ./internal/core ./internal/netsim ./internal/cert ./internal/backend ./internal/transport ./internal/load ./internal/realtime ./internal/update
+	$(GO) test -race ./internal/obs ./internal/core ./internal/netsim ./internal/cert ./internal/backend ./internal/transport ./internal/load ./internal/realtime ./internal/update ./internal/adversary
 
 vet:
 	$(GO) vet ./...
@@ -53,6 +53,7 @@ fuzz:
 	$(GO) test ./internal/wire -run='^$$' -fuzz='^FuzzDecodeQUE2$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/wire -run='^$$' -fuzz='^FuzzDecodeRES2$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/backend -run='^$$' -fuzz='^FuzzRestore$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/realtime -run='^$$' -fuzz='^FuzzTailDecode$$' -fuzztime=$(FUZZTIME)
 
 # Property/chaos harness: seeds × loss rates × levels, crash windows, Case 7
 # under retransmission (internal/chaos).

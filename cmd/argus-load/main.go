@@ -41,6 +41,13 @@ func main() {
 		drain    = flag.Duration("drain", 0, "override: per-wave drain timeout")
 		minPeak  = flag.Int64("min-peak", -2, "override: SLO floor on peak armed concurrency (-1 disables)")
 		obsAddr  = flag.String("obs", "", "serve the live obs plane (/metrics, /trace.json, /events) on this address during the run")
+		roam     = flag.Float64("roam", -1, "override: fraction of each cell's subjects that roam to the next cell per wave")
+		sleepy   = flag.Float64("sleepy", -1, "override: fraction of each cell's objects that duty-cycle their radio")
+		replay   = flag.Int("replay", -1, "override: replay-adversary targets per cell (0 disables the persona)")
+		sybil    = flag.Int("sybil", -1, "override: Sybil-flood rounds per cell (0 disables the persona)")
+		observer = flag.Bool("observer", false, "override: run the crowd observer and gate on the covertness verdict")
+		broken   = flag.Bool("broken-scoping", false, "override: deliberately break L3 scoping (negative control for the covertness gate)")
+		alpha    = flag.Float64("covert-alpha", -1, "override: SLO significance floor for the covertness p-values (0 disables)")
 	)
 	flag.Parse()
 
@@ -84,6 +91,27 @@ func main() {
 	}
 	if *minPeak >= -1 {
 		p.SLO.MinPeakConcurrent = *minPeak
+	}
+	if *roam >= 0 {
+		p.RoamFrac = *roam
+	}
+	if *sleepy >= 0 {
+		p.SleepyFrac = *sleepy
+	}
+	if *replay >= 0 {
+		p.ReplayTargets = *replay
+	}
+	if *sybil >= 0 {
+		p.SybilRounds = *sybil
+	}
+	if *observer {
+		p.Observer = true
+	}
+	if *broken {
+		p.BreakScoping = true
+	}
+	if *alpha >= 0 {
+		p.SLO.CovertnessAlpha = *alpha
 	}
 	if !*quiet {
 		p.Logf = func(format string, args ...any) {

@@ -196,6 +196,12 @@ func (t *tail) snapshot(ev realtime.Event) {
 		fmt.Fprintf(t.w, "  redelivery_lag n=%d p50=%s p99=%s\n",
 			q.Count, fmtSec(q.P50), fmtSec(q.P99))
 	}
+	// The observer publishes -1 while its verdict is pending; show the line
+	// once either channel has a real p-value.
+	if tp, lp := rep.Counters["covert_timing_p_ppm"], rep.Counters["covert_length_p_ppm"]; tp >= 0 || lp >= 0 {
+		fmt.Fprintf(t.w, "  covertness samples=%d timing_p=%.6f length_p=%.6f\n",
+			rep.Counters["observer_samples"], float64(tp)/1e6, float64(lp)/1e6)
+	}
 
 	var dt time.Duration
 	if t.prev != nil && ev.At > t.prevAt {

@@ -1,0 +1,294 @@
+package adversary_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"argus/internal/adversary"
+	"argus/internal/attr"
+	"argus/internal/backend"
+	"argus/internal/cert"
+	"argus/internal/core"
+	"argus/internal/obs"
+	"argus/internal/suite"
+	"argus/internal/transport"
+	"argus/internal/wire"
+)
+
+// rig is a one-cell honest deployment on a Mesh: a backend, one Level 2
+// object, and one provisioned staff subject, with every engine instrumented
+// into reg.
+type rig struct {
+	t    *testing.T
+	b    *backend.Backend
+	mesh *transport.Mesh
+	reg  *obs.Registry
+
+	obj     *core.Object
+	objAddr transport.Addr
+	subj    *core.Subject
+	subjEP  transport.Endpoint
+}
+
+func newRig(t *testing.T, retry core.RetryPolicy, taps ...adversary.Tap) *rig {
+	t.Helper()
+	b, err := backend.New(suite.S128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.AddPolicy(attr.MustParse("position=='staff'"), attr.MustParse("type=='device'"), []string{"use"})
+	oid, _, err := b.RegisterObject("printer", backend.L2, attr.MustSet("type=device"), []string{"use"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sid, _, err := b.RegisterSubject("alice", attr.MustSet("position=staff"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oprov, err := b.ProvisionObject(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sprov, err := b.ProvisionSubject(sid)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mesh := transport.NewMesh()
+	t.Cleanup(mesh.Close)
+	reg := obs.NewRegistry()
+	vc := cert.NewVerifyCache(1 << 10)
+
+	var objEP transport.Endpoint = mesh.Join()
+	objAddr := objEP.Addr()
+	objEP = adversary.WrapTap(objEP, taps...)
+	obj := core.NewObject(oprov, wire.V30, core.Costs{},
+		core.WithEndpoint(objEP), core.WithRetry(retry),
+		core.WithTelemetry(reg, nil), core.WithVerifyCache(vc))
+	_ = obj
+
+	subjEP := mesh.Join()
+	subj := core.NewSubject(sprov, wire.V30, core.Costs{},
+		core.WithEndpoint(subjEP), core.WithRetry(retry),
+		core.WithTelemetry(reg, nil), core.WithVerifyCache(vc))
+
+	return &rig{t: t, b: b, mesh: mesh, reg: reg,
+		obj: obj, objAddr: objAddr, subj: subj, subjEP: subjEP}
+}
+
+// counter reads the summed value of a family filtered by one label.
+func (r *rig) counter(name, key, value string) int64 {
+	var total int64
+	snap := r.reg.Snapshot()
+	for i := range snap.Metrics {
+		m := &snap.Metrics[i]
+		if m.Name != name {
+			continue
+		}
+		if key != "" && m.Labels[key] != value {
+			continue
+		}
+		total += int64(m.Value)
+	}
+	return total
+}
+
+func (r *rig) await(what string, cond func() bool) {
+	r.t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			r.t.Fatalf("timeout waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// discover runs one honest discovery round and waits for it to complete.
+func (r *rig) discover() {
+	r.t.Helper()
+	r.subjEP.Do(func() { _ = r.subj.Discover(1) })
+	r.await("honest discovery", func() bool {
+		return r.counter(obs.MDiscoveries, "", "") >= 1
+	})
+}
+
+var quickRetry = core.RetryPolicy{
+	Que1Retries: 3, Que2Retries: 3,
+	Timeout: 150 * time.Millisecond, Backoff: 2, SessionTTL: 5 * time.Second,
+}
+
+// The replayer's whole contract against one real object: orphan QUE2 is
+// silence, replayed QUE1 opens a handshake whose duplicates resend the
+// cached RES1 byte-identically, and the stale QUE2 is rejected — with the
+// object-side counters moving by exactly the injected amounts.
+func TestReplayerContract(t *testing.T) {
+	capture := adversary.NewCapture()
+	r := newRig(t, quickRetry, capture)
+	r.discover()
+
+	if !capture.Complete() {
+		t.Fatal("capture did not assemble a full QUE1/RES1/QUE2 transcript")
+	}
+
+	before := map[string]int64{}
+	for _, result := range []string{"handshake", "duplicate", "rejected", "orphan", "fellow", "l2"} {
+		before[result] = r.counter(obs.MObjectQue2, "result", result) + r.counter(obs.MObjectQue1, "result", result)
+	}
+
+	attacker := r.mesh.Join()
+	stats, err := adversary.ExecuteReplay(attacker,
+		[]adversary.ReplayTarget{{Object: r.objAddr, Capture: capture}},
+		3*time.Second, r.reg)
+	if err != nil {
+		t.Fatalf("ExecuteReplay: %v", err)
+	}
+	if stats.Skipped != 0 || stats.IdempotencyViolations != 0 {
+		t.Fatalf("replay stats: %+v", stats)
+	}
+	if stats.OrphanQue2 != 1 || stats.Que1 != 1 || stats.DupQue1 != 2 || stats.StaleQue2 != 1 {
+		t.Fatalf("unexpected injection ledger: %+v", stats)
+	}
+
+	r.await("replay counters", func() bool {
+		return r.counter(obs.MObjectQue2, "result", "rejected")-before["rejected"] >= 1
+	})
+	deltas := map[string]int64{
+		"orphan":    r.counter(obs.MObjectQue2, "result", "orphan") - before["orphan"],
+		"rejected":  r.counter(obs.MObjectQue2, "result", "rejected") - before["rejected"],
+		"duplicate": r.counter(obs.MObjectQue1, "result", "duplicate") - before["duplicate"],
+	}
+	want := map[string]int64{"orphan": 1, "rejected": 1, "duplicate": 2}
+	for k, w := range want {
+		if deltas[k] != w {
+			t.Errorf("object %s delta = %d, want %d (stats %+v)", k, deltas[k], w, stats)
+		}
+	}
+	// The replayer must never be answered: no fellow/l2 results beyond the
+	// honest session's.
+	for _, result := range []string{"fellow", "l2"} {
+		if got := r.counter(obs.MObjectQue2, "result", result); got != before[result] {
+			t.Errorf("replayer was answered: %s moved %d → %d", result, before[result], got)
+		}
+	}
+	if got := r.counter(obs.MAdversaryInjected, "persona", "replay"); got != 5 {
+		t.Errorf("injected counter = %d, want 5 (3 QUE1 + 2 QUE2)", got)
+	}
+}
+
+// A Sybil flood against a real object: every forged QUE2 is rejected at
+// certificate verification, honest discovery still works afterwards, and
+// the object's pending-session table stays bounded under a much larger
+// flood than it will ever cache.
+func TestSybilFloodRejectedAndBounded(t *testing.T) {
+	r := newRig(t, quickRetry)
+
+	prov, err := adversary.RogueProvision(suite.S128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejected0 := r.counter(obs.MObjectQue2, "result", "rejected")
+
+	stats, err := adversary.ExecuteSybil(
+		func() (transport.Endpoint, error) { return r.mesh.Join(), nil },
+		prov, 3, 2*time.Second, r.reg)
+	if err != nil {
+		t.Fatalf("ExecuteSybil: %v", err)
+	}
+	if stats.Identities != 3 || stats.Broadcasts != 3 {
+		t.Fatalf("sybil stats: %+v", stats)
+	}
+	if stats.SecureRes1 != 3 || stats.Forged != 3 {
+		t.Fatalf("expected one secure RES1 + one forged QUE2 per round: %+v", stats)
+	}
+	r.await("forged QUE2 rejections", func() bool {
+		return r.counter(obs.MObjectQue2, "result", "rejected")-rejected0 >= stats.Forged
+	})
+	if got := r.counter(obs.MObjectQue2, "result", "rejected") - rejected0; got != stats.Forged {
+		t.Fatalf("rejected delta = %d, want exactly %d", got, stats.Forged)
+	}
+
+	// Honest traffic is unaffected.
+	r.discover()
+
+	// Bounded work: a flood of unique QUE1s cannot grow the session table
+	// past its cap — the overflow is refused, not stored.
+	flood := r.mesh.Join()
+	defer flood.Close()
+	flood.Bind(transport.HandlerFunc(func(transport.Addr, []byte) {})) // deaf flooder; Bind starts the loop
+	for i := 0; i < 400; i++ {
+		rs, err := suite.NewNonce(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc := (&wire.QUE1{Version: wire.V30, RS: rs}).Encode()
+		flood.Do(func() { flood.Send(r.objAddr, enc) })
+	}
+	r.await("flood refusals", func() bool {
+		return r.counter(obs.MObjectQue1, "result", "refused") > 0
+	})
+	r.await("session table bounded", func() bool {
+		return r.obj.PendingSessions() <= 256
+	})
+	if got := r.obj.PendingSessions(); got > 256 {
+		t.Fatalf("session table grew past its bound: %d", got)
+	}
+}
+
+// The observer distinguishes nothing when both populations come from the
+// same world, and decisively flags a deterministic length leak.
+func TestObserverVerdict(t *testing.T) {
+	reg := obs.NewRegistry()
+	o := adversary.NewObserver(reg, 20, 0)
+	plain := o.Tap(adversary.PopPlain)
+	covert := o.Tap(adversary.PopCovert)
+
+	que2 := (&wire.QUE2{Version: wire.V30, RS: []byte("0123456789abcdef0123456789ab"),
+		MACS2: make([]byte, suite.MACSize)}).Encode()
+	res2 := func(extra int) []byte {
+		return (&wire.RES2{Version: wire.V30, Ciphertext: make([]byte, 160+extra),
+			MACO: make([]byte, suite.MACSize)}).Encode()
+	}
+
+	feed := func(tap adversary.Tap, n int, extra int, jitter func(int) time.Duration) {
+		for i := 0; i < n; i++ {
+			peer := transport.Addr(fmt.Sprintf("peer-%d", i))
+			at := time.Duration(i) * time.Millisecond
+			tap.Inbound(peer, que2, at)
+			tap.Outbound(peer, res2(extra), at+50*time.Microsecond+jitter(i))
+		}
+	}
+	sameJitter := func(i int) time.Duration { return time.Duration(i%7) * time.Microsecond }
+
+	feed(plain, 40, 0, sameJitter)
+	feed(covert, 40, 0, sameJitter)
+	v := o.Verdict()
+	if !v.Evaluated {
+		t.Fatalf("verdict not evaluated: %+v", v)
+	}
+	if !v.Pass(0.001) {
+		t.Fatalf("identical worlds must pass the covertness gate: %s", v)
+	}
+
+	// A fresh observer over a leaky world: covert RES2s run 64 bytes long.
+	o2 := adversary.NewObserver(reg, 20, 0)
+	feed(o2.Tap(adversary.PopPlain), 40, 0, sameJitter)
+	feed(o2.Tap(adversary.PopCovert), 40, 64, sameJitter)
+	v2 := o2.Verdict()
+	if !v2.Evaluated {
+		t.Fatalf("verdict not evaluated: %+v", v2)
+	}
+	if v2.Pass(0.001) {
+		t.Fatalf("a 64-byte length leak must fail the covertness gate: %s", v2)
+	}
+	if v2.LengthP > 1e-6 || v2.LengthD != 1 {
+		t.Fatalf("length channel should be decisive: %s", v2)
+	}
+
+	// Starved observers never pass.
+	o3 := adversary.NewObserver(reg, 1000, 0)
+	if o3.Verdict().Pass(0.001) {
+		t.Fatal("an unevaluated verdict must not pass")
+	}
+}

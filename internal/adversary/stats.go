@@ -1,0 +1,143 @@
+package adversary
+
+import (
+	"math"
+	"sort"
+)
+
+// Two-sample tests for the crowd observer, pure stdlib. Both return a
+// two-sided p-value for the null hypothesis that the samples come from the
+// same distribution; covertness holds while the null survives (p >= alpha).
+
+// MannWhitneyU runs the Mann–Whitney U test (a.k.a. Wilcoxon rank-sum) on
+// two samples, using the tie-corrected normal approximation with continuity
+// correction. It returns the U statistic of x and the two-sided p-value.
+// Degenerate inputs (an empty sample, or all observations identical) return
+// p = 1: no evidence of a difference.
+func MannWhitneyU(x, y []float64) (u, p float64) {
+	nx, ny := len(x), len(y)
+	if nx == 0 || ny == 0 {
+		return 0, 1
+	}
+	type obsv struct {
+		v     float64
+		fromX bool
+	}
+	all := make([]obsv, 0, nx+ny)
+	for _, v := range x {
+		all = append(all, obsv{v, true})
+	}
+	for _, v := range y {
+		all = append(all, obsv{v, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Average ranks across tie groups; accumulate the tie correction term
+	// sum(t^3 - t) over groups of size t.
+	n := nx + ny
+	var rankX, tieSum float64
+	for i := 0; i < n; {
+		j := i
+		for j < n && all[j].v == all[i].v {
+			j++
+		}
+		t := float64(j - i)
+		avgRank := float64(i+j+1) / 2 // ranks are 1-based: (i+1 + j) / 2
+		for k := i; k < j; k++ {
+			if all[k].fromX {
+				rankX += avgRank
+			}
+		}
+		tieSum += t*t*t - t
+		i = j
+	}
+
+	fx, fy, fn := float64(nx), float64(ny), float64(n)
+	u = rankX - fx*(fx+1)/2
+	mean := fx * fy / 2
+	variance := fx * fy / 12 * ((fn + 1) - tieSum/(fn*(fn-1)))
+	if variance <= 0 {
+		return u, 1 // every observation tied: distributions are identical
+	}
+	z := u - mean
+	// Continuity correction toward the mean.
+	switch {
+	case z > 0.5:
+		z -= 0.5
+	case z < -0.5:
+		z += 0.5
+	default:
+		z = 0
+	}
+	z /= math.Sqrt(variance)
+	p = math.Erfc(math.Abs(z) / math.Sqrt2)
+	if p > 1 {
+		p = 1
+	}
+	return u, p
+}
+
+// KolmogorovSmirnov runs the two-sample Kolmogorov–Smirnov test, returning
+// the D statistic (the maximum distance between the empirical CDFs) and the
+// asymptotic two-sided p-value (Q_KS of Numerical Recipes §14.3).
+// Degenerate inputs return p = 1.
+func KolmogorovSmirnov(x, y []float64) (d, p float64) {
+	nx, ny := len(x), len(y)
+	if nx == 0 || ny == 0 {
+		return 0, 1
+	}
+	xs := append([]float64(nil), x...)
+	ys := append([]float64(nil), y...)
+	sort.Float64s(xs)
+	sort.Float64s(ys)
+
+	var i, j int
+	for i < nx && j < ny {
+		v := xs[i]
+		if ys[j] < v {
+			v = ys[j]
+		}
+		for i < nx && xs[i] <= v {
+			i++
+		}
+		for j < ny && ys[j] <= v {
+			j++
+		}
+		if diff := math.Abs(float64(i)/float64(nx) - float64(j)/float64(ny)); diff > d {
+			d = diff
+		}
+	}
+
+	ne := float64(nx) * float64(ny) / float64(nx+ny)
+	sq := math.Sqrt(ne)
+	lambda := (sq + 0.12 + 0.11/sq) * d
+	return d, ksProb(lambda)
+}
+
+// ksProb is the asymptotic Kolmogorov distribution tail
+// Q_KS(lambda) = 2 * sum_{j>=1} (-1)^(j-1) exp(-2 j^2 lambda^2).
+func ksProb(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	a2 := -2 * lambda * lambda
+	var sum, term float64
+	sign := 1.0
+	prev := 0.0
+	for j := 1; j <= 100; j++ {
+		term = sign * 2 * math.Exp(a2*float64(j)*float64(j))
+		sum += term
+		if math.Abs(term) <= 1e-12*math.Abs(sum) || math.Abs(term) <= 1e-12*prev {
+			break
+		}
+		prev = math.Abs(term)
+		sign = -sign
+	}
+	if sum < 0 {
+		return 0
+	}
+	if sum > 1 {
+		return 1
+	}
+	return sum
+}

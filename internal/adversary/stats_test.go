@@ -1,0 +1,126 @@
+package adversary
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMannWhitneyUIdenticalSamples(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	_, p := MannWhitneyU(x, x)
+	if p < 0.9 {
+		t.Fatalf("identical samples must not reject the null: p = %v", p)
+	}
+}
+
+func TestMannWhitneyUAllTied(t *testing.T) {
+	x := []float64{3, 3, 3, 3}
+	y := []float64{3, 3, 3}
+	_, p := MannWhitneyU(x, y)
+	if p != 1 {
+		t.Fatalf("fully tied samples: p = %v, want 1", p)
+	}
+}
+
+func TestMannWhitneyUEmpty(t *testing.T) {
+	if _, p := MannWhitneyU(nil, []float64{1, 2}); p != 1 {
+		t.Fatalf("empty sample: p = %v, want 1", p)
+	}
+}
+
+func TestMannWhitneyUSeparatedSamples(t *testing.T) {
+	var x, y []float64
+	for i := 0; i < 40; i++ {
+		x = append(x, float64(i))
+		y = append(y, float64(i)+1000)
+	}
+	u, p := MannWhitneyU(x, y)
+	if u != 0 {
+		t.Fatalf("fully separated samples: U = %v, want 0", u)
+	}
+	if p > 1e-6 {
+		t.Fatalf("fully separated samples must reject the null: p = %v", p)
+	}
+}
+
+// Reference case, worked by hand: ranks of x in the pooled sample are
+// {2,3,4,5} so rankX = 14, U = 14 - 4·5/2 = 4, mean = 10, variance =
+// (4·5/12)·10 = 16.67, z = (4 - 10 + 0.5)/4.082 = -1.347, two-sided
+// p = erfc(1.347/√2) ≈ 0.178.
+func TestMannWhitneyUReference(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{5, 6, 7, 8, 0.5}
+	u, p := MannWhitneyU(x, y)
+	if u != 4 {
+		t.Fatalf("U = %v, want 4", u)
+	}
+	if math.Abs(p-0.178) > 0.01 {
+		t.Fatalf("p = %v, want ≈ 0.178", p)
+	}
+}
+
+func TestMannWhitneyUSameDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var x, y []float64
+	for i := 0; i < 300; i++ {
+		x = append(x, rng.NormFloat64())
+		y = append(y, rng.NormFloat64())
+	}
+	_, p := MannWhitneyU(x, y)
+	if p < 0.001 {
+		t.Fatalf("same-distribution draws should not reject at alpha=1e-3: p = %v", p)
+	}
+}
+
+func TestKolmogorovSmirnovIdentical(t *testing.T) {
+	x := []float64{100, 100, 100, 100, 100}
+	d, p := KolmogorovSmirnov(x, x)
+	if d != 0 || p != 1 {
+		t.Fatalf("identical point masses: D = %v p = %v, want 0 and 1", d, p)
+	}
+}
+
+func TestKolmogorovSmirnovDisjointPointMasses(t *testing.T) {
+	var x, y []float64
+	for i := 0; i < 50; i++ {
+		x = append(x, 100)
+		y = append(y, 164)
+	}
+	d, p := KolmogorovSmirnov(x, y)
+	if d != 1 {
+		t.Fatalf("disjoint point masses: D = %v, want 1", d)
+	}
+	if p > 1e-9 {
+		t.Fatalf("disjoint point masses must reject decisively: p = %v", p)
+	}
+}
+
+func TestKolmogorovSmirnovSameDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var x, y []float64
+	for i := 0; i < 400; i++ {
+		x = append(x, rng.ExpFloat64())
+		y = append(y, rng.ExpFloat64())
+	}
+	_, p := KolmogorovSmirnov(x, y)
+	if p < 0.001 {
+		t.Fatalf("same-distribution draws should not reject at alpha=1e-3: p = %v", p)
+	}
+}
+
+func TestKolmogorovSmirnovShifted(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var x, y []float64
+	for i := 0; i < 400; i++ {
+		x = append(x, rng.NormFloat64())
+		y = append(y, rng.NormFloat64()+1)
+	}
+	d, p := KolmogorovSmirnov(x, y)
+	if d < 0.3 {
+		t.Fatalf("unit-shifted normals: D = %v, want > 0.3", d)
+	}
+	if p > 1e-6 {
+		t.Fatalf("unit-shifted normals must reject: p = %v", p)
+	}
+}

@@ -265,7 +265,15 @@ func (o *Object) handleQUE1(from transport.Addr, m *wire.QUE1, raw []byte) {
 func (o *Object) handleQUE2(from transport.Addr, m *wire.QUE2) {
 	key := mkSessionKey(from, m.RS)
 	sess, ok := o.sessions[key]
-	if !ok || o.prov.Level == L1 || sess.public {
+	if !ok {
+		// No live session for (peer, R_S): a replayed transcript, or a QUE2
+		// retransmission that outlived the session TTL. Silence either way —
+		// answering would confirm the service exists — but count it so replay
+		// storms are visible to the adversary harness.
+		o.tel.que2Result(resultOrphan)
+		return
+	}
+	if o.prov.Level == L1 || sess.public {
 		return
 	}
 	if sess.answered {

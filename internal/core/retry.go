@@ -56,6 +56,22 @@ func (p RetryPolicy) delay(attempt int) time.Duration {
 	return time.Duration(d)
 }
 
+// Schedule returns the cumulative transmission offsets of one message leg:
+// the initial send at 0, then each of the retries attempts at
+// Σ delay(1..i). Harnesses use it to reason about when copies of a frame hit
+// the air — e.g. to prove a duty-cycled receiver's awake windows cover the
+// schedule, or to wait out the retry tail of a drained wave.
+func (p RetryPolicy) Schedule(retries int) []time.Duration {
+	out := make([]time.Duration, 0, retries+1)
+	var cum time.Duration
+	out = append(out, 0)
+	for i := 1; i <= retries; i++ {
+		cum += p.delay(i)
+		out = append(out, cum)
+	}
+	return out
+}
+
 // ttl returns the effective session lifetime.
 func (p RetryPolicy) ttl() time.Duration {
 	if p.SessionTTL > 0 {

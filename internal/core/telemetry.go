@@ -216,6 +216,7 @@ const (
 	resultL2        = "l2"        // RES2 under K2 (Level 2 face)
 	resultRejected  = "rejected"  // authentication/verification failed
 	resultSilent    = "silent"    // no policy admits the subject
+	resultOrphan    = "orphan"    // QUE2 with no live session (replay or late arrival)
 )
 
 func newObjectTelemetry(reg *obs.Registry) *objectTelemetry {
@@ -234,7 +235,7 @@ func newObjectTelemetry(reg *obs.Registry) *objectTelemetry {
 	for _, r := range []string{resultPublic, resultHandshake, resultDuplicate, resultRefused} {
 		t.que1[r] = reg.Counter(obs.MObjectQue1, "QUE1 messages handled, by outcome.", obs.L("result", r))
 	}
-	for _, r := range []string{resultFellow, resultL2, resultRejected, resultSilent} {
+	for _, r := range []string{resultFellow, resultL2, resultRejected, resultSilent, resultOrphan} {
 		t.que2[r] = reg.Counter(obs.MObjectQue2, "QUE2 messages handled, by outcome.", obs.L("result", r))
 	}
 	return t

@@ -6,11 +6,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"argus/internal/adversary"
 	"argus/internal/attr"
 	"argus/internal/backend"
 	"argus/internal/cert"
 	"argus/internal/core"
 	"argus/internal/obs"
+	"argus/internal/suite"
 	"argus/internal/transport/transporttest"
 )
 
@@ -57,6 +59,11 @@ type runner struct {
 	addedCount            int
 	crashedCount          int
 	redeliveredCount      int
+	roamedCount           int
+
+	roamsC    *obs.Counter
+	advReport *AdversaryReport
+	covert    *adversary.Covertness
 
 	waves []WaveStats
 
@@ -88,9 +95,15 @@ func Run(p Profile) (*Report, error) {
 	r.completionsC = r.reg.Counter(obs.MLoadCompletions, "sessions completed")
 	r.lostC = r.reg.Counter(obs.MLoadLost, "sessions reaped at the drain deadline")
 	r.unexpectedC = r.reg.Counter(obs.MLoadUnexpected, "completions that violated the expectation ledger")
+	r.roamsC = r.reg.Counter(obs.MLoadRoams, "subjects migrated between cells at wave boundaries")
+
+	var observer *adversary.Observer
+	if p.Observer {
+		observer = adversary.NewObserver(reg, p.ObserverMinSamples, p.ObserverMaxSamples)
+	}
 
 	start := time.Now()
-	fl, err := buildFleet(p, r.reg, r.onDiscovery)
+	fl, err := buildFleet(p, r.reg, observer, r.onDiscovery)
 	if err != nil {
 		return nil, err
 	}
@@ -108,9 +121,20 @@ func Run(p Profile) (*Report, error) {
 			r.stopSampler()
 			return nil, err
 		}
+		if p.ReplayTargets > 0 || p.SybilRounds > 0 {
+			if err := r.adversaryPhase(); err != nil {
+				r.stopSampler()
+				return nil, err
+			}
+		}
 	}
 	leaked := r.drainTail()
 	r.stopSampler()
+	if observer != nil {
+		v := observer.Verdict()
+		r.covert = &v
+		p.logf("load: %s", v)
+	}
 
 	rep := r.buildReport(time.Since(start), leaked)
 	rep.SLO = p.SLO.Check(rep)
@@ -262,6 +286,11 @@ func (r *runner) runClosedLoop() error {
 		churnWave = p.Waves - 1 // churn right before the last wave
 	}
 	for w := 0; w < p.Waves; w++ {
+		if w > 0 && p.RoamFrac > 0 {
+			if err := r.roam(w); err != nil {
+				return err
+			}
+		}
 		if w == churnWave {
 			if err := r.churn(); err != nil {
 				return err
@@ -466,6 +495,149 @@ func (r *runner) fleetDLQDepth() int {
 		n += c.dist.DLQDepth()
 	}
 	return n
+}
+
+// RoamEvent is the live progress frame published after a roam boundary.
+type RoamEvent struct {
+	Wave  int `json:"wave"`
+	Moved int `json:"moved"`
+}
+
+// roam migrates RoamFrac of each cell's subjects to the next cell before
+// wave w fires: the old radio powers down (pending retry timers die with
+// it), and a fresh engine joins the destination segment with re-issued
+// credentials. The destination cell has never verified the roamer, so its
+// first round there must repopulate the cell-local verify cache — the
+// re-discovery cost the roam counters and per-wave miss deltas expose.
+func (r *runner) roam(wave int) error {
+	p := r.p
+	k := int(p.RoamFrac * float64(p.SubjectsPerCell))
+	if k == 0 {
+		return nil
+	}
+	type mover struct {
+		slot *subjectSlot
+		dst  *cell
+	}
+	var movers []mover
+	f := r.fleet
+	f.mu.Lock()
+	for ci, c := range f.cells {
+		dst := f.cells[(ci+1)%len(f.cells)]
+		n := min(k, len(c.subjects))
+		pick := make(map[int]bool, n)
+		for _, idx := range r.rng.Perm(len(c.subjects))[:n] {
+			pick[idx] = true
+		}
+		kept := c.subjects[:0:0]
+		for idx, s := range c.subjects {
+			if pick[idx] {
+				movers = append(movers, mover{s, dst})
+			} else {
+				kept = append(kept, s)
+			}
+		}
+		c.subjects = kept
+	}
+	f.mu.Unlock()
+	for _, m := range movers {
+		m.slot.ep.Close()
+		if err := f.addSubject(m.dst, m.slot.id, m.slot.name, m.slot.staleGroup, r.onDiscovery); err != nil {
+			return fmt.Errorf("roam %s: %w", m.slot.name, err)
+		}
+		r.roamedCount++
+		r.roamsC.Inc()
+	}
+	p.logf("load: roam — %d subjects migrated to their next cell before wave %d", len(movers), wave)
+	r.publish("roam", RoamEvent{Wave: wave, Moved: len(movers)})
+	return nil
+}
+
+// advCounters is the trio of object-side outcome counters the adversary
+// phase holds to exact deltas.
+type advCounters struct{ orphan, duplicate, rejected int64 }
+
+func (r *runner) advCountersNow() advCounters {
+	snap := r.reg.Snapshot()
+	return advCounters{
+		orphan:    sumFamily(snap, obs.MObjectQue2, obs.L("result", "orphan")),
+		duplicate: sumFamily(snap, obs.MObjectQue1, obs.L("result", "duplicate")),
+		rejected:  sumFamily(snap, obs.MObjectQue2, obs.L("result", "rejected")),
+	}
+}
+
+// adversaryPhase drives the replay and Sybil personas against every cell
+// after the honest waves drain, and ledgers the object-side counter deltas
+// they produced. StrictAdversaryAccounting holds these deltas to exactly
+// the injected amounts.
+func (r *runner) adversaryPhase() error {
+	p := r.p
+	// The QUE1 rebroadcast schedule is unconditional — a subject cannot know
+	// which objects exist, so completing a round never cancels it. The last
+	// wave's retry tail therefore keeps landing duplicates at objects after
+	// the wave drains; sleep it out (the schedule is computable) so the
+	// baseline below is quiescent and the personas' deltas stay exact.
+	sch := p.Retry.Schedule(p.Retry.Que1Retries)
+	time.Sleep(sch[len(sch)-1] + 250*time.Millisecond)
+	r.fleet.wakeAll()
+
+	base := r.advCountersNow()
+	ad := &AdversaryReport{}
+	var wantOrphan, wantDup, wantRejected int64
+
+	if p.ReplayTargets > 0 {
+		var total adversary.ReplayStats
+		for _, c := range r.fleet.cells {
+			ep, err := c.join()
+			if err != nil {
+				return err
+			}
+			stats, err := adversary.ExecuteReplay(ep, c.replays, p.AdversaryTimeout, r.reg)
+			total.Merge(stats)
+			ep.Close()
+			if err != nil {
+				return fmt.Errorf("load: replay persona, cell %d: %w", c.index, err)
+			}
+		}
+		ad.Replay = &total
+		wantOrphan += total.OrphanQue2
+		wantDup += total.DupQue1
+		wantRejected += total.StaleQue2
+	}
+	if p.SybilRounds > 0 {
+		prov, err := adversary.RogueProvision(suite.S128)
+		if err != nil {
+			return err
+		}
+		var total adversary.SybilStats
+		for _, c := range r.fleet.cells {
+			stats, err := adversary.ExecuteSybil(c.join, prov, p.SybilRounds, p.AdversaryTimeout, r.reg)
+			total.Merge(stats)
+			if err != nil {
+				return fmt.Errorf("load: sybil persona, cell %d: %w", c.index, err)
+			}
+		}
+		ad.Sybil = &total
+		wantRejected += total.Forged
+	}
+
+	// The personas' last frames (stale and forged QUE2s) are fire-and-forget;
+	// give the fleet time to finish judging them before taking the deltas.
+	transporttest.Poll(p.DrainTimeout, transporttest.DefaultStep, func() bool {
+		cur := r.advCountersNow()
+		return cur.orphan-base.orphan >= wantOrphan &&
+			cur.duplicate-base.duplicate >= wantDup &&
+			cur.rejected-base.rejected >= wantRejected
+	})
+	cur := r.advCountersNow()
+	ad.OrphanDelta = cur.orphan - base.orphan
+	ad.DuplicateDelta = cur.duplicate - base.duplicate
+	ad.RejectedDelta = cur.rejected - base.rejected
+	r.advReport = ad
+	p.logf("load: adversary phase — deltas orphan %d, duplicate %d, rejected %d", ad.OrphanDelta, ad.DuplicateDelta, ad.RejectedDelta)
+	r.publish("adversary", ad)
+	r.publishSnapshot()
+	return nil
 }
 
 // runOpenLoop issues discovery rounds as a Poisson process over the subject

@@ -2,9 +2,12 @@ package load
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"argus/internal/adversary"
 	"argus/internal/attr"
 	"argus/internal/backend"
 	"argus/internal/cert"
@@ -68,21 +71,42 @@ type cell struct {
 	dist     *update.Distributor
 	objIDs   []cert.ID
 	l1Count  int // L1 objects remain visible to revoked subjects
+
+	// vcache is the cell's credential verification cache. Caches are
+	// per-cell because verification is radio-range-local in the deployed
+	// system: a roaming subject arrives at a cell that has never verified
+	// it, which is exactly the locality effect RoamFrac measures.
+	vcache *cert.VerifyCache
+	// sleepy are the cell's duty-cycled object radios (wake override).
+	sleepy []*sleepyEndpoint
+	// replays are the cell's wiretapped objects and their captured
+	// transcripts, for the replay persona.
+	replays []adversary.ReplayTarget
 }
 
 // fleet is the fully provisioned run state. mu guards the per-cell slot
 // slices: the orchestrator appends subjects during add-churn while the
 // sampler goroutine walks the fleet for open-handshake counts.
 type fleet struct {
-	p       Profile
-	reg     *obs.Registry
-	backend *backend.Backend
-	vcache  *cert.VerifyCache
-	group   groups.ID
-	cells   []*cell
+	p        Profile
+	reg      *obs.Registry
+	backend  *backend.Backend
+	group    groups.ID
+	cells    []*cell
+	observer *adversary.Observer // nil unless Profile.Observer
+	sleepy   int                 // fleet-wide duty-cycled object count
 
 	mu           sync.RWMutex
 	subjectCount atomic.Int64
+}
+
+// engineVersion is the wire version every engine speaks: v3.0 normally,
+// v2.0 when the profile deliberately breaks the covertness countermeasures.
+func (p *Profile) engineVersion() wire.Version {
+	if p.BreakScoping {
+		return wire.V20
+	}
+	return wire.V30
 }
 
 // onDiscovery is installed on every subject engine by the runner before any
@@ -90,8 +114,9 @@ type fleet struct {
 type discoveryHook func(*subjectSlot, core.Discovery)
 
 // buildFleet provisions the backend and constructs every cell, engine, and
-// distributor. hook receives completion events on engine event loops.
-func buildFleet(p Profile, reg *obs.Registry, hook discoveryHook) (*fleet, error) {
+// distributor. hook receives completion events on engine event loops;
+// observer, when non-nil, is tapped onto every secure object.
+func buildFleet(p Profile, reg *obs.Registry, observer *adversary.Observer, hook discoveryHook) (*fleet, error) {
 	b, err := backend.New(suite.S128)
 	if err != nil {
 		return nil, err
@@ -108,9 +133,7 @@ func buildFleet(p Profile, reg *obs.Registry, hook discoveryHook) (*fleet, error
 		return nil, err
 	}
 
-	f := &fleet{p: p, reg: reg, backend: b, group: grp.ID()}
-	f.vcache = cert.NewVerifyCache(p.VerifyCacheCap)
-	f.vcache.Instrument(reg)
+	f := &fleet{p: p, reg: reg, backend: b, group: grp.ID(), observer: observer}
 
 	// Register + provision the whole population through the batch APIs.
 	nSubj, nObj := p.Subjects(), p.Objects()
@@ -158,6 +181,21 @@ func buildFleet(p Profile, reg *obs.Registry, hook discoveryHook) (*fleet, error
 	if err != nil {
 		return nil, err
 	}
+	if p.BreakScoping {
+		// Undo the backend's uniform-length padding: inflate every covert
+		// variant's profile past the fleet-wide pad target, so its cover-up
+		// answers run measurably long — the un-countermeasured deployment the
+		// observer's statistical gate must catch. Only non-fellows ever see
+		// these bytes (validate enforces Fellow false), so the broken admin
+		// signature is never checked.
+		for _, prov := range oprovs {
+			for i := range prov.Variants {
+				if prov.Variants[i].IsCovert() {
+					prov.Variants[i].Profile.Note += strings.Repeat(".", 64)
+				}
+			}
+		}
+	}
 
 	// Assemble cells.
 	f.cells = make([]*cell, p.Cells)
@@ -165,6 +203,12 @@ func buildFleet(p Profile, reg *obs.Registry, hook discoveryHook) (*fleet, error
 	for ci := range f.cells {
 		c := &cell{index: ci}
 		f.cells[ci] = c
+		c.vcache = cert.NewVerifyCache(p.VerifyCacheCap)
+		c.vcache.Instrument(reg)
+		replayIdx, err := p.replayIndices(ci)
+		if err != nil {
+			return nil, err
+		}
 		join, err := f.openCell(c)
 		if err != nil {
 			return nil, err
@@ -188,6 +232,32 @@ func buildFleet(p Profile, reg *obs.Registry, hook discoveryHook) (*fleet, error
 				return nil, err
 			}
 			addr := ep.Addr()
+			// Taps sit innermost so the antenna sees every frame on the air —
+			// inbound even if the sleep gate then drops it, outbound only if
+			// it survived the fault layer (i.e. was actually transmitted).
+			var taps []adversary.Tap
+			if f.observer != nil && levels[oi] != backend.L1 {
+				pop := adversary.PopPlain
+				if levels[oi] == backend.L3 {
+					pop = adversary.PopCovert
+				}
+				taps = append(taps, f.observer.Tap(pop))
+			}
+			var capture *adversary.Capture
+			if replayIdx[k] {
+				capture = adversary.NewCapture()
+				taps = append(taps, capture)
+			}
+			ep = adversary.WrapTap(ep, taps...)
+			if k < p.sleepyPerCell() {
+				// Stagger sleep phases across the fleet so sleepy radios
+				// don't blink in lockstep.
+				phase := time.Duration(oi) * p.SleepPeriod / time.Duration(max(1, p.Objects()))
+				sl := wrapSleepy(ep, p.SleepPeriod, p.SleepAwake, phase, reg)
+				c.sleepy = append(c.sleepy, sl)
+				f.sleepy++
+				ep = sl
+			}
 			ep = WrapFaults(ep, p.Faults, p.FaultSeed+int64(oi)*2+1, reg)
 			hold := &objHolder{}
 			agent := update.NewAgent(b.AdminPublic(), nil, func(n *update.Notification) {
@@ -201,17 +271,20 @@ func buildFleet(p Profile, reg *obs.Registry, hook discoveryHook) (*fleet, error
 			// transports too — and measures from park time across any DLQ
 			// crash window.
 			agent.Instrument(reg, c.dist.SentAt)
-			obj := core.NewObject(prov, wire.V30, core.Costs{},
+			obj := core.NewObject(prov, p.engineVersion(), core.Costs{},
 				core.WithEndpoint(agent.Wrap(ep)),
 				core.WithRetry(p.Retry),
 				core.WithTelemetry(reg, nil),
-				core.WithVerifyCache(f.vcache))
+				core.WithVerifyCache(c.vcache))
 			hold.obj = obj
 			slot := &objectSlot{id: prov.ID, eng: obj, agent: agent, level: levels[oi], addr: addr}
 			c.objects = append(c.objects, slot)
 			c.objIDs = append(c.objIDs, prov.ID)
 			if levels[oi] == backend.L1 {
 				c.l1Count++
+			}
+			if capture != nil {
+				c.replays = append(c.replays, adversary.ReplayTarget{Object: addr, Capture: capture})
 			}
 			c.dist.Register(prov.ID, addr)
 			oi++
@@ -281,11 +354,11 @@ func (f *fleet) addSubject(c *cell, id cert.ID, name string, staleGroup bool, ho
 		return err
 	}
 	ep = WrapFaults(ep, f.p.Faults, f.p.FaultSeed+f.subjectCount.Load()*2+2, f.reg)
-	subj := core.NewSubject(prov, wire.V30, core.Costs{},
+	subj := core.NewSubject(prov, f.p.engineVersion(), core.Costs{},
 		core.WithEndpoint(ep),
 		core.WithRetry(f.p.Retry),
 		core.WithTelemetry(f.reg, f.p.Tracer),
-		core.WithVerifyCache(f.vcache))
+		core.WithVerifyCache(c.vcache))
 	slot := &subjectSlot{id: id, name: name, eng: subj, ep: ep, cell: c, staleGroup: staleGroup}
 	// The hook write is ordered before any traffic by the mailbox mutex on
 	// the first Do/Send that can trigger it.
@@ -347,6 +420,18 @@ func (f *fleet) subjectPendingSessions() int {
 		}
 	}
 	return n
+}
+
+// wakeAll pins every duty-cycled radio awake for the rest of the run. The
+// adversary phase calls it first: its ledger holds object counters to exact
+// injected deltas, and a target sleeping through a forged frame would
+// falsify the accounting rather than prove anything about the defense.
+func (f *fleet) wakeAll() {
+	for _, c := range f.cells {
+		for _, s := range c.sleepy {
+			s.wake()
+		}
+	}
 }
 
 // close tears down every transport; engine loops exit with their mailboxes.

@@ -42,6 +42,7 @@ package load
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"argus/internal/backend"
@@ -120,6 +121,55 @@ type Profile struct {
 	// need Retry enabled to stay complete.
 	Faults    netsim.FaultModel
 	FaultSeed int64
+
+	// RoamFrac migrates that fraction of each cell's subjects to the next
+	// cell at every wave boundary after the first (closed loop only, no
+	// churn): the roamer's old radio powers down, a fresh engine joins the
+	// destination segment with re-issued credentials, and it re-discovers a
+	// full cell of objects that have never verified it — so verify-cache
+	// locality effects surface as per-wave miss deltas. Requires Cells >= 2
+	// and Waves >= 2.
+	RoamFrac float64
+
+	// SleepyFrac duty-cycles that fraction of each cell's objects (the first
+	// k per cell): their radios listen only during the first SleepAwake of
+	// every SleepPeriod, so broadcasts landing in the sleep window are
+	// silently missed and must be recovered by the retry schedule. validate
+	// proves the schedule's transmission offsets cover every sleep phase, so
+	// sleepy fleets stay lossless by construction.
+	SleepyFrac  float64
+	SleepPeriod time.Duration // default 260ms
+	SleepAwake  time.Duration // default 150ms
+
+	// Adversary personas, driven against every cell after the honest waves
+	// drain (closed loop only, no fault injection — their accounting is
+	// exact). ReplayTargets wiretaps that many secure awake objects per cell
+	// during the waves and replays the captured transcripts against them;
+	// SybilRounds floods each cell that many times with discovery traffic
+	// from rogue-provisioned identities. AdversaryTimeout bounds each
+	// persona's response waits.
+	ReplayTargets    int
+	SybilRounds      int
+	AdversaryTimeout time.Duration
+
+	// Observer installs the passive crowd observer on every secure object:
+	// true Level 2 objects feed the "plain" population and Level 3 objects
+	// the "covert" one, so with Fellow false (every L3 answer is a cover-up)
+	// the two populations must be statistically indistinguishable on timing
+	// and length — the paper's Case-7 covertness claim, gated by
+	// SLO.CovertnessAlpha. Sample bounds default to the observer's own
+	// (min 50, max 4×min).
+	Observer           bool
+	ObserverMinSamples int
+	ObserverMaxSamples int
+
+	// BreakScoping deliberately sabotages the covertness countermeasures:
+	// every engine speaks wire.V20 (whose L3 objects answer non-fellows with
+	// the covert variant — the composition leak of §VI-B) and covert
+	// variants' profiles are inflated past the fleet-wide pad, so their
+	// answers are length-distinguishable. Observer runs use it to prove the
+	// statistical gate actually fires on a leaky deployment.
+	BreakScoping bool
 
 	// Retry is installed on every engine. SessionTTL doubles as the drain
 	// horizon for leak checks.
@@ -203,7 +253,71 @@ func (p Profile) withDefaults() Profile {
 	if p.Workers <= 0 {
 		p.Workers = 4
 	}
+	if p.SleepyFrac > 0 {
+		if p.SleepPeriod <= 0 {
+			p.SleepPeriod = 260 * time.Millisecond
+		}
+		if p.SleepAwake <= 0 {
+			p.SleepAwake = 150 * time.Millisecond
+		}
+	}
+	if p.AdversaryTimeout <= 0 {
+		p.AdversaryTimeout = 5 * time.Second
+	}
 	return p
+}
+
+// sleepyPerCell is how many of a cell's objects the profile duty-cycles.
+func (p *Profile) sleepyPerCell() int {
+	if p.SleepyFrac <= 0 {
+		return 0
+	}
+	return int(p.SleepyFrac * float64(p.ObjectsPerCell))
+}
+
+// replayIndices picks which of cell ci's objects are wiretapped and replayed:
+// secure only (public objects take no QUE2) and never sleepy (a duty-cycled
+// radio may miss injected frames, which would falsify the exact
+// injected-vs-counted accounting, not the defense). Targets are taken from
+// the end of the cell so the sleepy prefix never collides.
+func (p *Profile) replayIndices(ci int) (map[int]bool, error) {
+	out := make(map[int]bool, p.ReplayTargets)
+	if p.ReplayTargets <= 0 {
+		return out, nil
+	}
+	need := p.ReplayTargets
+	for k := p.ObjectsPerCell - 1; k >= p.sleepyPerCell() && need > 0; k-- {
+		if p.Levels[(ci*p.ObjectsPerCell+k)%len(p.Levels)] == backend.L1 {
+			continue
+		}
+		out[k] = true
+		need--
+	}
+	if need > 0 {
+		return nil, fmt.Errorf("load: cell %d has only %d secure awake objects, need %d replay targets",
+			ci, p.ReplayTargets-need, p.ReplayTargets)
+	}
+	return out, nil
+}
+
+// dutyCycleCovered proves that a retransmission schedule always reaches a
+// duty-cycled receiver regardless of phase: the awake windows anchored at
+// each transmission offset (mod period) must cover the whole circle, which
+// holds iff the largest circular gap between consecutive offsets is smaller
+// than the awake window.
+func dutyCycleCovered(offsets []time.Duration, period, awake time.Duration) bool {
+	mods := make([]time.Duration, len(offsets))
+	for i, o := range offsets {
+		mods[i] = o % period
+	}
+	sort.Slice(mods, func(i, j int) bool { return mods[i] < mods[j] })
+	maxGap := period - mods[len(mods)-1] + mods[0] // wraparound gap
+	for i := 1; i < len(mods); i++ {
+		if g := mods[i] - mods[i-1]; g > maxGap {
+			maxGap = g
+		}
+	}
+	return maxGap < awake
 }
 
 // validate rejects shapes the engines cannot serve losslessly.
@@ -235,6 +349,87 @@ func (p *Profile) validate() error {
 	for _, l := range p.Levels {
 		if !l.Valid() {
 			return fmt.Errorf("load: invalid level %d in Levels", int(l))
+		}
+	}
+
+	churn := p.RevokeFrac > 0 || p.AddFrac > 0 || p.CrashFrac > 0
+	if p.RoamFrac < 0 || p.RoamFrac > 1 {
+		return fmt.Errorf("load: RoamFrac %v outside [0,1]", p.RoamFrac)
+	}
+	if p.RoamFrac > 0 {
+		if p.Rate > 0 {
+			return fmt.Errorf("load: roaming is a closed-loop feature (Rate must be 0)")
+		}
+		if p.Cells < 2 || p.Waves < 2 {
+			return fmt.Errorf("load: roaming needs Cells >= 2 and Waves >= 2 (got %d cells, %d waves)", p.Cells, p.Waves)
+		}
+		if churn {
+			return fmt.Errorf("load: roaming cannot be combined with churn (the expectation arithmetic would entangle)")
+		}
+	}
+
+	if p.SleepyFrac < 0 || p.SleepyFrac > 1 {
+		return fmt.Errorf("load: SleepyFrac %v outside [0,1]", p.SleepyFrac)
+	}
+	if p.SleepyFrac > 0 {
+		if !p.Retry.Enabled() || p.Retry.Que1Retries == 0 || p.Retry.Que2Retries == 0 {
+			return fmt.Errorf("load: sleepy objects need retransmission on both legs (Que1Retries and Que2Retries > 0)")
+		}
+		if churn {
+			return fmt.Errorf("load: sleepy objects would sleep through update pushes; no churn")
+		}
+		if p.SleepAwake <= 0 || p.SleepAwake >= p.SleepPeriod {
+			return fmt.Errorf("load: need 0 < SleepAwake (%v) < SleepPeriod (%v)", p.SleepAwake, p.SleepPeriod)
+		}
+		// Losslessness proof: every sleep phase must be covered by some
+		// transmission of each leg, and the session must outlive the
+		// worst-case two-leg recovery.
+		if !dutyCycleCovered(p.Retry.Schedule(p.Retry.Que1Retries), p.SleepPeriod, p.SleepAwake) {
+			return fmt.Errorf("load: QUE1 schedule %v does not cover a %v/%v duty cycle; a sleepy object could miss every broadcast",
+				p.Retry.Schedule(p.Retry.Que1Retries), p.SleepAwake, p.SleepPeriod)
+		}
+		if !dutyCycleCovered(p.Retry.Schedule(p.Retry.Que2Retries), p.SleepPeriod, p.SleepAwake) {
+			return fmt.Errorf("load: QUE2 schedule %v does not cover a %v/%v duty cycle; a sleepy object could miss every QUE2",
+				p.Retry.Schedule(p.Retry.Que2Retries), p.SleepAwake, p.SleepPeriod)
+		}
+		q1 := p.Retry.Schedule(p.Retry.Que1Retries)
+		q2 := p.Retry.Schedule(p.Retry.Que2Retries)
+		ttl := p.Retry.SessionTTL
+		if ttl <= 0 {
+			ttl = 8 * time.Second
+		}
+		if tail := q1[len(q1)-1] + q2[len(q2)-1]; ttl <= tail {
+			return fmt.Errorf("load: SessionTTL %v does not outlive the worst-case sleepy recovery tail %v", ttl, tail)
+		}
+	}
+
+	if p.ReplayTargets > 0 || p.SybilRounds > 0 {
+		if p.Rate > 0 {
+			return fmt.Errorf("load: adversary personas are a closed-loop feature (Rate must be 0)")
+		}
+		if p.Faults.Active() {
+			return fmt.Errorf("load: adversary personas need a fault-free transport (their accounting is exact)")
+		}
+	}
+	for ci := 0; ci < p.Cells; ci++ {
+		if _, err := p.replayIndices(ci); err != nil {
+			return err
+		}
+	}
+
+	if p.Observer || p.BreakScoping {
+		if p.Fellow {
+			return fmt.Errorf("load: observer and broken-scoping runs need Fellow false (every L3 answer must be a cover-up)")
+		}
+	}
+	if p.Observer {
+		var hasL2, hasL3 bool
+		for _, l := range p.Levels {
+			hasL2 = hasL2 || l == backend.L2
+			hasL3 = hasL3 || l == backend.L3
+		}
+		if !hasL2 || !hasL3 {
+			return fmt.Errorf("load: the observer compares L2 against L3 populations; Levels must contain both")
 		}
 	}
 	return nil
@@ -351,6 +546,56 @@ func Profiles() map[string]Profile {
 				// Each lost session also shows up as (at most) one expiry on
 				// each side beyond the predicted count.
 				MaxExpiredExtra: 8,
+			},
+		},
+		{
+			Name:        "adversary-soak",
+			Description: "hostile-scenario soak: 36 roaming subjects × 24 objects (one sleepy per cell) over Mesh, 3 waves, then transcript replay + Sybil floods against every cell with exact-delta accounting",
+			Transport:   TransportMesh,
+			Cells:       6, SubjectsPerCell: 6, ObjectsPerCell: 4,
+			Levels: []backend.Level{backend.L1, backend.L2, backend.L3, backend.L2},
+			Fellow: true,
+			Waves:  3, ThinkTime: 30 * time.Millisecond,
+			RoamFrac:   0.34, // 2 of 6 subjects per cell migrate at each of 2 boundaries
+			SleepyFrac: 0.25, // the L1 object of each cell duty-cycles its radio
+			// {0, 100, 300, 700} ms mod 260 = {0, 100, 40, 180}: max circular
+			// gap 80ms < 150ms awake, so every sleep phase is covered.
+			Retry: core.RetryPolicy{
+				Que1Retries: 3, Que2Retries: 3,
+				Timeout: 100 * time.Millisecond, Backoff: 2, SessionTTL: 4 * time.Second,
+			},
+			ReplayTargets: 1, SybilRounds: 1,
+			Seed:         1,
+			DrainTimeout: 30 * time.Second,
+			SLO: SLO{
+				MinPeakConcurrent:         100,
+				P50Ceiling:                2 * time.Second,
+				P99Ceiling:                8 * time.Second,
+				StrictAdversaryAccounting: true,
+			},
+		},
+		{
+			Name:        "covert-observer",
+			Description: "Case-7 covertness at load: 36 non-fellow subjects × 24 objects (half L2, half L3 answering with cover-ups) over Mesh, a passive crowd observer sampling timing and length, indistinguishability gated at alpha 1e-3",
+			Transport:   TransportMesh,
+			Cells:       6, SubjectsPerCell: 6, ObjectsPerCell: 4,
+			Levels: []backend.Level{backend.L2, backend.L3},
+			Fellow: false,
+			Waves:  3, ThinkTime: 30 * time.Millisecond,
+			Observer:           true,
+			ObserverMinSamples: 150, // 216 QUE2→RES2 pairs per population over 3 waves
+			ObserverMaxSamples: 400,
+			Retry: core.RetryPolicy{
+				Que1Retries: 3, Que2Retries: 3,
+				Timeout: 100 * time.Millisecond, Backoff: 2, SessionTTL: 2 * time.Second,
+			},
+			Seed:         1,
+			DrainTimeout: 30 * time.Second,
+			SLO: SLO{
+				MinPeakConcurrent: 100,
+				P50Ceiling:        2 * time.Second,
+				P99Ceiling:        8 * time.Second,
+				CovertnessAlpha:   1e-3,
 			},
 		},
 	}

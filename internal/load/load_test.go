@@ -595,6 +595,39 @@ func TestProfileValidate(t *testing.T) {
 		{"session-table pressure", func(p *Profile) { p.SubjectsPerCell = 65 }},
 		{"open-loop churn", func(p *Profile) { p.Rate = 10; p.Duration = time.Second; p.RevokeFrac = 0.5 }},
 		{"crash without churn", func(p *Profile) { p.RevokeFrac = 0; p.AddFrac = 0; p.CrashFrac = 0.5 }},
+		{"roam with churn", func(p *Profile) { p.RoamFrac = 0.5 }},
+		{"roam single cell", func(p *Profile) {
+			p.RevokeFrac, p.AddFrac, p.CrashFrac = 0, 0, 0
+			p.RoamFrac = 0.5
+			p.Cells = 1
+		}},
+		{"sleepy without retransmission", func(p *Profile) {
+			p.RevokeFrac, p.AddFrac, p.CrashFrac = 0, 0, 0
+			p.SleepyFrac = 0.5
+			p.Retry = core.RetryPolicy{Timeout: 100 * time.Millisecond}
+		}},
+		{"sleepy uncovered schedule", func(p *Profile) {
+			p.RevokeFrac, p.AddFrac, p.CrashFrac = 0, 0, 0
+			p.SleepyFrac = 0.5
+			p.SleepPeriod = 10 * time.Second
+			p.SleepAwake = 100 * time.Millisecond
+		}},
+		{"replay persona with faults", func(p *Profile) {
+			p.RevokeFrac, p.AddFrac, p.CrashFrac = 0, 0, 0
+			p.ReplayTargets = 1
+			p.Faults = netsim.FaultModel{Loss: 0.5}
+		}},
+		{"replay targets exceed secure objects", func(p *Profile) {
+			p.RevokeFrac, p.AddFrac, p.CrashFrac = 0, 0, 0
+			p.ReplayTargets = 2 // ci-soak cells hold 2 objects, at most 1 secure in cell 0
+		}},
+		{"observer with fellow", func(p *Profile) { p.Observer = true }},
+		{"broken scoping with fellow", func(p *Profile) { p.BreakScoping = true }},
+		{"observer without L3 population", func(p *Profile) {
+			p.Fellow = false
+			p.Observer = true
+			p.Levels = []backend.Level{backend.L2}
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -609,7 +642,7 @@ func TestProfileValidate(t *testing.T) {
 
 func TestProfilesRegistryShapes(t *testing.T) {
 	ps := Profiles()
-	for _, name := range []string{"ci-soak", "standard", "udp-smoke", "open-loop", "soak-faulty"} {
+	for _, name := range []string{"ci-soak", "standard", "udp-smoke", "open-loop", "soak-faulty", "adversary-soak", "covert-observer"} {
 		p, ok := ps[name]
 		if !ok {
 			t.Fatalf("missing built-in profile %q", name)

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"time"
 
+	"argus/internal/adversary"
 	"argus/internal/obs"
 )
 
@@ -39,7 +40,30 @@ type Report struct {
 	// expiry count (revoked subjects' silently refused handshakes).
 	PredictedSubjectExpiries int64 `json:"predicted_subject_expiries"`
 
+	// Adversary ledgers the injected-vs-counted accounting of the replay and
+	// Sybil personas (profiles with ReplayTargets/SybilRounds only).
+	Adversary *AdversaryReport `json:"adversary,omitempty"`
+
+	// Covertness is the passive crowd observer's statistical verdict
+	// (profiles with Observer only).
+	Covertness *adversary.Covertness `json:"covertness,omitempty"`
+
 	SLO SLOResult `json:"slo"`
+}
+
+// AdversaryReport pairs what the adversarial personas injected with how the
+// object-side outcome counters moved while they ran. Under strict accounting
+// the deltas must equal the injections exactly: every orphan replay one
+// orphan, every duplicate one cached resend, every stale or forged QUE2 one
+// rejection — nothing more, nothing unexplained.
+type AdversaryReport struct {
+	Replay *adversary.ReplayStats `json:"replay,omitempty"`
+	Sybil  *adversary.SybilStats  `json:"sybil,omitempty"`
+
+	// Counter movements observed at the objects over the adversary phase.
+	OrphanDelta    int64 `json:"orphan_delta"`
+	DuplicateDelta int64 `json:"duplicate_delta"`
+	RejectedDelta  int64 `json:"rejected_delta"`
 }
 
 // FleetStats describes the run's population.
@@ -52,6 +76,8 @@ type FleetStats struct {
 	Revoked         int `json:"revoked,omitempty"`
 	Added           int `json:"added,omitempty"`
 	Crashed         int `json:"crashed,omitempty"`
+	Roamed          int `json:"roamed,omitempty"`
+	Sleepy          int `json:"sleepy,omitempty"`
 }
 
 // WaveStats is one closed-loop wave's summary.
@@ -143,11 +169,15 @@ func (r *runner) buildReport(wall time.Duration, leaked int64) *Report {
 			Revoked:         r.revokedCount,
 			Added:           r.addedCount,
 			Crashed:         r.crashedCount,
+			Roamed:          r.roamedCount,
+			Sleepy:          r.fleet.sleepy,
 		},
 		Waves:                    r.waves,
 		Latency:                  map[string]Quantiles{},
 		Counters:                 map[string]int64{},
 		PredictedSubjectExpiries: r.predictedSubjExpiries,
+		Adversary:                r.advReport,
+		Covertness:               r.covert,
 	}
 
 	var ms runtime.MemStats
@@ -219,6 +249,24 @@ func fillCounters(rep *Report, snap *obs.Snapshot) {
 	rep.Counters["faults_lost"] = sumFamily(snap, obs.MNetFaultLost)
 	rep.Counters["faults_corrupted"] = sumFamily(snap, obs.MNetFaultCorrupted)
 	rep.Counters["faults_duplicated"] = sumFamily(snap, obs.MNetFaultDuplicated)
+	rep.Counters["roams"] = sumFamily(snap, obs.MLoadRoams)
+	rep.Counters["sleepy_drops"] = sumFamily(snap, obs.MLoadSleepyDrops)
+	rep.Counters["adversary_injected"] = sumFamily(snap, obs.MAdversaryInjected)
+	rep.Counters["observer_samples"] = sumFamily(snap, obs.MAdversarySamples)
+	rep.Counters["que2_orphans"] = sumFamily(snap, obs.MObjectQue2, obs.L("result", "orphan"))
+	rep.Counters["que2_rejected"] = sumFamily(snap, obs.MObjectQue2, obs.L("result", "rejected"))
+	// Covertness p-value gauges (ppm). -1 = observer present but not yet
+	// evaluated; absent gauges (no observer) also read -1.
+	rep.Counters["covert_timing_p_ppm"] = gaugeOr(snap, obs.MAdversaryCovertPpm, -1, obs.L("channel", "timing"))
+	rep.Counters["covert_length_p_ppm"] = gaugeOr(snap, obs.MAdversaryCovertPpm, -1, obs.L("channel", "length"))
+}
+
+// gaugeOr reads one gauge from the snapshot, or def when it is absent.
+func gaugeOr(snap *obs.Snapshot, name string, def int64, labels ...obs.Label) int64 {
+	if m := snap.Get(name, labels...); m != nil {
+		return int64(m.Value)
+	}
+	return def
 }
 
 // SnapshotReport derives the snapshot-computable slice of a Report from one

@@ -43,6 +43,17 @@ type SLO struct {
 	// bucket (~13 s) — the honest backstop for quantile estimates that
 	// saturate at the bucket range.
 	MaxSlowSessions int64
+	// CovertnessAlpha, when > 0, is the significance level of the passive
+	// observer's indistinguishability gate (paper Case 7): the run fails
+	// unless the observer evaluated and failed to reject the null — on both
+	// the timing and the frame-length channel — at this alpha. A run with no
+	// observer attached also fails: the gate demands evidence, not absence.
+	CovertnessAlpha float64
+	// StrictAdversaryAccounting, when set, demands the adversary phase ran
+	// and its object-side counter deltas exactly equal the injected amounts:
+	// no skipped targets, no idempotency violations, no unexplained
+	// rejections.
+	StrictAdversaryAccounting bool
 }
 
 // exceeded reports a max-style check failure, honoring -1 = disabled.
@@ -95,6 +106,48 @@ func (s SLO) Check(rep *Report) SLOResult {
 		}
 		if exceeded(s.MaxSlowSessions, q.Overflow) {
 			add("L%s sessions beyond histogram range: %d > max %d", lvl, q.Overflow, s.MaxSlowSessions)
+		}
+	}
+	if s.CovertnessAlpha > 0 {
+		switch c := rep.Covertness; {
+		case c == nil:
+			add("covertness gate requires an observer, but none ran")
+		case !c.Evaluated:
+			add("covertness observer starved: plain %d, covert %d samples, need %d each",
+				c.PlainSamples, c.CovertSamples, c.MinSamples)
+		case !c.Pass(s.CovertnessAlpha):
+			add("covertness rejected at alpha %g: timing p=%.4g, length p=%.4g",
+				s.CovertnessAlpha, c.TimingP, c.LengthP)
+		}
+	}
+	if s.StrictAdversaryAccounting {
+		if a := rep.Adversary; a == nil {
+			add("strict adversary accounting requires an adversary phase, but none ran")
+		} else {
+			var wantOrphan, wantDup, wantRejected int64
+			if a.Replay != nil {
+				if a.Replay.Skipped > 0 {
+					add("replay persona skipped %d targets (no complete transcript captured)", a.Replay.Skipped)
+				}
+				if a.Replay.IdempotencyViolations > 0 {
+					add("duplicate-QUE1 idempotency violations: %d", a.Replay.IdempotencyViolations)
+				}
+				wantOrphan += a.Replay.OrphanQue2
+				wantDup += a.Replay.DupQue1
+				wantRejected += a.Replay.StaleQue2
+			}
+			if a.Sybil != nil {
+				wantRejected += a.Sybil.Forged
+			}
+			if a.OrphanDelta != wantOrphan {
+				add("orphan QUE2 delta %d != injected %d", a.OrphanDelta, wantOrphan)
+			}
+			if a.DuplicateDelta != wantDup {
+				add("duplicate QUE1 delta %d != injected %d", a.DuplicateDelta, wantDup)
+			}
+			if a.RejectedDelta != wantRejected {
+				add("rejected QUE2 delta %d != injected %d", a.RejectedDelta, wantRejected)
+			}
 		}
 	}
 	return SLOResult{Pass: len(v) == 0, Violations: v}

@@ -95,5 +95,24 @@ func (s SLO) StreamGates(cur, prev *Report, dt time.Duration) []GateStatus {
 		gate("L"+lvl+"_slow_sessions", s.MaxSlowSessions,
 			func(r *Report) int64 { return r.Latency[lvl].Overflow })
 	}
+
+	// Covertness gates are floors, not budgets: the observed p-value (ppm
+	// gauge, scaled back to [0,1]) must stay at or above alpha. A negative
+	// gauge means the observer has not evaluated yet — pending, not violated,
+	// so a tail early in a run doesn't scream before the evidence is in.
+	if s.CovertnessAlpha > 0 {
+		floor := func(name, key string) {
+			ppm := cur.Counters[key]
+			p := float64(ppm) / 1e6
+			out = append(out, GateStatus{
+				Name:     name,
+				Value:    p,
+				Limit:    s.CovertnessAlpha,
+				Violated: ppm >= 0 && p < s.CovertnessAlpha,
+			})
+		}
+		floor("covert_timing_p", "covert_timing_p_ppm")
+		floor("covert_length_p", "covert_length_p_ppm")
+	}
 	return out
 }

@@ -93,6 +93,24 @@ const (
 	MLoadCompletions  = "argus_load_completions_total"
 	MLoadLost         = "argus_load_lost_total"
 	MLoadUnexpected   = "argus_load_unexpected_total"
+
+	// internal/load — scenario diversity (mobility + duty cycling). Roams
+	// count subject migrations between cells (each forces a fresh engine and
+	// re-discovery in the destination cell); sleepy drops count frames a
+	// duty-cycled object's radio missed while asleep (each one forces the
+	// subject's RetryPolicy retransmission path).
+	MLoadRoams       = "argus_load_roams_total"
+	MLoadSleepyDrops = "argus_load_sleepy_drops_total"
+
+	// internal/adversary — hostile personas driven by the load harness.
+	// Injected counts frames a persona put on the air (by persona and msg);
+	// samples count passive-observer measurements (by population); the
+	// covertness gauge publishes the two-sample test p-value in parts per
+	// million (by channel: "timing" | "length") so the Case-7 covertness
+	// claim is visible on the ops plane.
+	MAdversaryInjected  = "argus_adversary_injected_total"   // persona, msg
+	MAdversarySamples   = "argus_adversary_samples_total"    // population
+	MAdversaryCovertPpm = "argus_adversary_covertness_p_ppm" // channel
 )
 
 // Protocol phases of a discovery session, in wire order. Used as the

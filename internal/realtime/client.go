@@ -2,8 +2,6 @@ package realtime
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -30,23 +28,14 @@ func Tail(ctx context.Context, url string, fn func(Event) error) error {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
 		return fmt.Errorf("realtime: %s: %s", resp.Status, string(body))
 	}
-	dec := json.NewDecoder(resp.Body)
-	for {
-		var ev Event
-		if err := dec.Decode(&ev); err != nil {
-			if ctx.Err() != nil {
-				return ctx.Err()
-			}
-			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-				return nil
-			}
-			return err
+	if err := DecodeStream(resp.Body, fn); err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
 		}
-		if err := fn(ev); err != nil {
-			if errors.Is(err, Stop) {
-				return nil
-			}
-			return err
-		}
+		return err
 	}
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return nil
 }

@@ -1,0 +1,65 @@
+package realtime
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxFrameBytes bounds one NDJSON frame on the wire. The hub's own frames
+// are far smaller (a full registry snapshot of the standard soak is tens of
+// kilobytes), so anything larger is a corrupt or hostile stream, and the
+// decoder refuses it instead of buffering without bound.
+const MaxFrameBytes = 1 << 20
+
+// DecodeStream reads an NDJSON event stream from r and invokes fn for every
+// decoded frame. It is the decoding core of Tail, factored out so it can be
+// driven (and fuzzed) without an HTTP server.
+//
+// Contract:
+//   - a cleanly ended stream returns nil;
+//   - a torn final frame (the producer died mid-write, no newline follows)
+//     also returns nil — tails end by disconnection, not by epilogue;
+//   - a malformed frame with more stream after it returns an error: that is
+//     corruption, not truncation;
+//   - a frame larger than MaxFrameBytes returns an error without buffering
+//     the rest of it;
+//   - fn returning Stop ends the stream with nil; any other error aborts
+//     with that error.
+//
+// Blank lines between frames are tolerated (NDJSON keep-alives).
+func DecodeStream(r io.Reader, fn func(Event) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), MaxFrameBytes)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			// Distinguish a torn tail from interior corruption: if nothing
+			// follows this line, the producer was cut off mid-frame.
+			if !sc.Scan() {
+				return nil
+			}
+			return fmt.Errorf("realtime: malformed frame: %w", err)
+		}
+		if err := fn(ev); err != nil {
+			if errors.Is(err, Stop) {
+				return nil
+			}
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return fmt.Errorf("realtime: frame exceeds %d bytes: %w", MaxFrameBytes, err)
+		}
+		return err
+	}
+	return nil
+}

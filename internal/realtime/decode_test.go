@@ -1,0 +1,134 @@
+package realtime
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestDecodeStreamRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	want := []Event{
+		{Type: EventHello, Seq: 1},
+		{Type: EventSnapshot, Seq: 2},
+		{Type: "wave", Seq: 3, Data: json.RawMessage(`{"index":0}`)},
+	}
+	for _, ev := range want {
+		if err := enc.Encode(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []Event
+	if err := DecodeStream(&buf, func(ev Event) error { got = append(got, ev); return nil }); err != nil {
+		t.Fatalf("DecodeStream: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d frames, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Type != want[i].Type || got[i].Seq != want[i].Seq {
+			t.Fatalf("frame %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDecodeStreamTornTailTolerated(t *testing.T) {
+	in := `{"type":"hello","seq":1}` + "\n" + `{"type":"snapsh`
+	n := 0
+	if err := DecodeStream(strings.NewReader(in), func(Event) error { n++; return nil }); err != nil {
+		t.Fatalf("torn final frame must end the tail cleanly, got %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("decoded %d frames before the tear, want 1", n)
+	}
+}
+
+func TestDecodeStreamInteriorCorruptionErrors(t *testing.T) {
+	in := "not json at all\n" + `{"type":"hello","seq":1}` + "\n"
+	err := DecodeStream(strings.NewReader(in), func(Event) error { return nil })
+	if err == nil {
+		t.Fatal("malformed frame followed by more stream must error")
+	}
+	if !strings.Contains(err.Error(), "malformed") {
+		t.Fatalf("error %v does not identify the malformed frame", err)
+	}
+}
+
+func TestDecodeStreamBlankLinesTolerated(t *testing.T) {
+	in := "\n\n" + `{"type":"hello","seq":1}` + "\n\n\n" + `{"type":"span","seq":2}` + "\n"
+	n := 0
+	if err := DecodeStream(strings.NewReader(in), func(Event) error { n++; return nil }); err != nil {
+		t.Fatalf("DecodeStream: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("decoded %d frames, want 2", n)
+	}
+}
+
+func TestDecodeStreamOversizeFrameRefused(t *testing.T) {
+	in := `{"type":"hello","data":"` + strings.Repeat("x", MaxFrameBytes) + `"}` + "\n"
+	err := DecodeStream(strings.NewReader(in), func(Event) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("oversize frame must be refused with a size error, got %v", err)
+	}
+}
+
+func TestDecodeStreamStopSentinel(t *testing.T) {
+	in := `{"type":"hello","seq":1}` + "\n" + `{"type":"span","seq":2}` + "\n"
+	n := 0
+	err := DecodeStream(strings.NewReader(in), func(Event) error {
+		n++
+		return Stop
+	})
+	if err != nil {
+		t.Fatalf("Stop must end the stream cleanly, got %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("callback ran %d times after Stop, want 1", n)
+	}
+}
+
+func TestDecodeStreamCallbackErrorPropagates(t *testing.T) {
+	in := `{"type":"hello","seq":1}` + "\n"
+	want := "boom"
+	err := DecodeStream(strings.NewReader(in), func(Event) error {
+		return &json.UnsupportedValueError{Str: want}
+	})
+	if err == nil || !strings.Contains(err.Error(), want) {
+		t.Fatalf("callback error must propagate, got %v", err)
+	}
+}
+
+// FuzzTailDecode drives the NDJSON decoder with arbitrary bytes. The decoder
+// must never panic, must be deterministic, and the Stop sentinel must always
+// end a stream that yielded at least one frame cleanly — regardless of what
+// garbage follows.
+func FuzzTailDecode(f *testing.F) {
+	f.Add([]byte(`{"type":"hello","seq":1}` + "\n" + `{"type":"snapshot","seq":2,"snapshot":{"metrics":[]}}` + "\n"))
+	f.Add([]byte(`{"type":"span","seq":9,"at_ns":125000,"span":null}` + "\n"))
+	f.Add([]byte(`{"type":"wave","seq":3,"data":{"index":0,"armed":144}}` + "\n" + `{"type":"snapsh`))
+	f.Add([]byte("\n\n" + `{"type":"hello","seq":1}` + "\n\n"))
+	f.Add([]byte(`{"seq":18446744073709551615,"at_ns":-1}` + "\n"))
+	f.Add([]byte("not json\n{\"type\":\"hello\"}\n"))
+	f.Add([]byte(`[1,2,3]` + "\n"))
+	f.Add([]byte{0xff, 0xfe, '\n', '{', '}'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		count := func() (int, error) {
+			n := 0
+			err := DecodeStream(bytes.NewReader(data), func(Event) error { n++; return nil })
+			return n, err
+		}
+		n1, err1 := count()
+		n2, err2 := count()
+		if n1 != n2 || (err1 == nil) != (err2 == nil) {
+			t.Fatalf("non-deterministic decode: (%d, %v) vs (%d, %v)", n1, err1, n2, err2)
+		}
+		if n1 > 0 {
+			if err := DecodeStream(bytes.NewReader(data), func(Event) error { return Stop }); err != nil {
+				t.Fatalf("Stop after first frame must end cleanly, got %v", err)
+			}
+		}
+	})
+}

@@ -334,8 +334,16 @@ func (d *Distributor) push(to cert.ID, n *Notification) error {
 	}
 	d.countSent(n.Kind)
 	d.sent++
-	d.mu.Unlock()
+	// Send while still holding d.mu: sequence numbers are assigned under the
+	// lock, so the wire order must be decided under it too. Unlocking first
+	// would let a concurrent push — or a MarkOffline/Reattach cycle, which
+	// redelivers under the lock — put a higher sequence on the wire before
+	// this one, and the agents' replay check would then drop this
+	// notification as a replay: silently lost, not reordered. Transport sends
+	// are asynchronous (mailbox enqueue / socket write), so no callback can
+	// re-enter the distributor here.
 	d.ep.Send(addr, n.Encode())
+	d.mu.Unlock()
 	return nil
 }
 
