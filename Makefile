@@ -14,7 +14,7 @@ FUZZTIME ?= 15s
 # mesh-throughput experiments — commit it alongside any change that moves
 # handshake, provisioning, or concurrent-discovery cost.
 
-.PHONY: build test race vet verify cover cover-check fuzz chaos bench bench-obs bench-json load soak ops-smoke clean
+.PHONY: build test race vet verify cover cover-check fuzz chaos bench bench-obs bench-json load soak ops-smoke backend-smoke clean
 
 build:
 	$(GO) build ./...
@@ -27,7 +27,7 @@ test:
 # batch issuance fan out across worker pools, backend provisioning does the
 # same, and core's Results/PendingSessions are read cross-goroutine.
 race:
-	$(GO) test -race ./internal/obs ./internal/core ./internal/netsim ./internal/cert ./internal/backend ./internal/transport ./internal/load ./internal/realtime ./internal/update ./internal/adversary
+	$(GO) test -race ./internal/obs ./internal/core ./internal/netsim ./internal/cert ./internal/backend ./internal/transport ./internal/load ./internal/realtime ./internal/update ./internal/adversary ./internal/backendsvc ./internal/backendclient
 
 vet:
 	$(GO) vet ./...
@@ -54,6 +54,7 @@ fuzz:
 	$(GO) test ./internal/wire -run='^$$' -fuzz='^FuzzDecodeRES2$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/backend -run='^$$' -fuzz='^FuzzRestore$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/realtime -run='^$$' -fuzz='^FuzzTailDecode$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/backendsvc -run='^$$' -fuzz='^FuzzWALReplay$$' -fuzztime=$(FUZZTIME)
 
 # Property/chaos harness: seeds × loss rates × levels, crash windows, Case 7
 # under retransmission (internal/chaos).
@@ -61,6 +62,12 @@ fuzz:
 # runs and argus-ops tails it with the same SLO gates (scripts/ops_smoke.sh).
 ops-smoke:
 	scripts/ops_smoke.sh
+
+# Backend-service smoke: a real argus-backend daemon serves /v1, argus-node
+# processes source credentials from it over HTTP, then a SIGKILL + restart
+# proves WAL replay end to end (scripts/backend_smoke.sh).
+backend-smoke:
+	scripts/backend_smoke.sh
 
 chaos:
 	$(GO) test ./internal/chaos -count=1 -v
@@ -79,6 +86,7 @@ bench-obs:
 bench-json:
 	$(GO) run ./cmd/argus-bench -exp fastpath-handshake,fastpath-provision,mesh-throughput -json > BENCH_4.json
 	$(GO) run ./cmd/argus-load -profile standard -out BENCH_5.json
+	$(GO) run ./cmd/argus-load -service-churn -out BENCH_8.json
 
 # Load/soak harness (cmd/argus-load). `load` is the deterministic CI-sized
 # soak; `soak` is the 10k-subject headline profile.

@@ -11,6 +11,7 @@
 //	argus-load -profile standard -out BENCH_5.json
 //	argus-load -profile ci-soak -cells 4 -subjects 4 -waves 2 -seed 3
 //	argus-load -profile ci-soak -obs 127.0.0.1:0   # then: argus-ops -attach <addr>
+//	argus-load -service-churn -out BENCH_8.json    # live churn vs §VIII closed form
 //
 // The report is written as indented JSON to stdout (or -out); progress lines
 // go to stderr unless -quiet. Exit status is 0 only when every SLO check
@@ -48,8 +49,53 @@ func main() {
 		observer = flag.Bool("observer", false, "override: run the crowd observer and gate on the covertness verdict")
 		broken   = flag.Bool("broken-scoping", false, "override: deliberately break L3 scoping (negative control for the covertness gate)")
 		alpha    = flag.Float64("covert-alpha", -1, "override: SLO significance floor for the covertness p-values (0 disables)")
+
+		svcChurn  = flag.Bool("service-churn", false, "run the live-churn benchmark against a multi-tenant backend service and exit")
+		churnN    = flag.Int("churn-n", 0, "service-churn: accessible objects per subject (0 = default)")
+		churnOps  = flag.Int("churn-ops", 0, "service-churn: repetitions per operation (0 = default)")
+		churnHTTP = flag.Bool("churn-local", false, "service-churn: keep churn in-process instead of over HTTP")
 	)
 	flag.Parse()
+
+	if *svcChurn {
+		cfg := load.DefaultServiceChurnConfig()
+		if *churnN > 0 {
+			cfg.N = *churnN
+		}
+		if *churnOps > 0 {
+			cfg.Ops = *churnOps
+		}
+		cfg.HTTP = !*churnHTTP
+		if !*quiet {
+			cfg.Logf = func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			}
+		}
+		rep, err := load.RunServiceChurn(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "argus-load: %v\n", err)
+			os.Exit(2)
+		}
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "argus-load: %v\n", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := rep.WriteJSON(w); err != nil {
+			fmt.Fprintf(os.Stderr, "argus-load: write report: %v\n", err)
+			os.Exit(2)
+		}
+		if !rep.Match {
+			fmt.Fprintln(os.Stderr, "argus-load: live churn diverged from the §VIII closed form")
+			os.Exit(1)
+		}
+		return
+	}
 
 	profiles := load.Profiles()
 	if *list {

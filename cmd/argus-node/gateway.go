@@ -8,6 +8,7 @@ import (
 	"syscall"
 	"time"
 
+	"argus/internal/backendsvc"
 	"argus/internal/cert"
 	"argus/internal/transport"
 	"argus/internal/transport/transporttest"
@@ -29,7 +30,12 @@ type gwTarget struct {
 // redelivers in order. SIGTERM/SIGINT stops the pushes, drains every queue,
 // flushes the obs plane, and exits 0 — the DLQ depth gauge reads zero in the
 // final snapshot or the exit is an error.
-func runGateway(snapshot, targets, offline string, every, reattachAfter, duration time.Duration, op *obsPlane) error {
+//
+// -dlq-log makes the dead-letter queue durable: every park, eviction and
+// drain is journaled (fsynced) to the named file, and on startup the journal
+// is folded back — restored destinations start offline with their backlog
+// intact, and the usual reattach paths redeliver it.
+func runGateway(snapshot, targets, offline, dlqLog string, every, reattachAfter, duration time.Duration, op *obsPlane) error {
 	if targets == "" {
 		return fmt.Errorf("-role gateway needs -targets")
 	}
@@ -56,7 +62,18 @@ func runGateway(snapshot, targets, offline string, every, reattachAfter, duratio
 	defer ep.Close()
 	ep.Bind(transport.HandlerFunc(func(transport.Addr, []byte) {})) // drain strays
 
-	dist := update.NewDistributor(b.Admin(), ep)
+	var distOpts []update.DistributorOption
+	var restored map[cert.ID][]*update.Notification
+	if dlqLog != "" {
+		jl, parked, err := backendsvc.OpenDLQLog(dlqLog)
+		if err != nil {
+			return fmt.Errorf("-dlq-log: %w", err)
+		}
+		defer jl.Close()
+		distOpts = append(distOpts, update.WithDLQJournal(jl))
+		restored = parked
+	}
+	dist := update.NewDistributor(b.Admin(), ep, distOpts...)
 	dist.Instrument(op.reg)
 	ids := make([]cert.ID, 0, len(tgts))
 	for _, t := range tgts {
@@ -68,6 +85,19 @@ func runGateway(snapshot, targets, offline string, every, reattachAfter, duratio
 		if n = strings.TrimSpace(n); n != "" {
 			down[n] = true
 		}
+	}
+	if len(restored) > 0 {
+		dist.RestoreParked(restored)
+		// Restored destinations are offline until reattached; fold them into
+		// the -offline set so the reattach paths drain their backlog too.
+		n := 0
+		for _, t := range tgts {
+			if q := restored[t.id]; len(q) > 0 {
+				down[t.name] = true
+				n += len(q)
+			}
+		}
+		fmt.Printf("dlq-log restored=%d depth=%d\n", n, dist.DLQDepth())
 	}
 	for _, t := range tgts {
 		if down[t.name] {

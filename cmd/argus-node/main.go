@@ -4,10 +4,16 @@
 // replay deterministically inside the simulator complete L1/L2/L3 discovery
 // between processes on a real network.
 //
-// Enterprise state travels as a backend snapshot file (internal/backend
-// persistence): -init provisions a small demo enterprise and writes the
-// snapshot; node processes restore it to obtain their credentials, so every
-// process chains to the same trust anchor without a live backend server.
+// Enterprise state comes from one of two sources. The default is a backend
+// snapshot file (internal/backend persistence): -init provisions a small demo
+// enterprise and writes the snapshot; node processes restore it to obtain
+// their credentials, so every process chains to the same trust anchor without
+// a live backend server. Alternatively -backend points at a running
+// argus-backend service: the subject and object roles then fetch their trust
+// anchor and provisioning bundles over the versioned /v1 HTTP API
+// (-tenant/-auth-key select and unlock the namespace), byte-identical to the
+// snapshot path. The gateway role always needs -snapshot — it signs update
+// notifications, and the admin private key never leaves the backend.
 //
 // Usage:
 //
@@ -37,6 +43,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -48,6 +55,7 @@ import (
 
 	"argus/internal/attr"
 	"argus/internal/backend"
+	"argus/internal/backendclient"
 	"argus/internal/cert"
 	"argus/internal/core"
 	"argus/internal/suite"
@@ -61,6 +69,9 @@ func main() {
 	var (
 		doInit   = flag.Bool("init", false, "create the demo enterprise and write -snapshot")
 		snapshot = flag.String("snapshot", "enterprise.snap", "backend snapshot file")
+		backendU = flag.String("backend", "", "argus-backend base URL; subject/object source credentials over HTTP instead of -snapshot")
+		tenant   = flag.String("tenant", "demo", "tenant namespace on -backend")
+		authKey  = flag.String("auth-key", "", "tenant auth key for -backend")
 		role     = flag.String("role", "", "subject | object | gateway")
 		name     = flag.String("name", "alice", "subject entity name")
 		names    = flag.String("names", "", "comma-separated object entity names")
@@ -78,6 +89,7 @@ func main() {
 		reprovEvery   = flag.Duration("reprovision-every", 0, "gateway: push a reprovision notification to every target at this interval")
 		offline       = flag.String("offline", "", "gateway: target names initially offline — their pushes park in the dead-letter queue")
 		reattachAfter = flag.Duration("reattach-after", 0, "gateway: reattach the -offline targets after this delay")
+		dlqLog        = flag.String("dlq-log", "", "gateway: journal the dead-letter queue to this file so parked notifications survive a crash")
 	)
 	flag.Parse()
 
@@ -93,11 +105,11 @@ func main() {
 		}
 		switch *role {
 		case "object":
-			err = runObjects(*snapshot, *names, *listen, *duration, op)
+			err = runObjects(nodeService(*backendU, *tenant, *authKey, *snapshot), *names, *listen, *duration, op)
 		case "subject":
-			err = runSubject(*snapshot, *name, *listen, *peers, *ttl, *expect, *timeout, *linger, op)
+			err = runSubject(nodeService(*backendU, *tenant, *authKey, *snapshot), *name, *listen, *peers, *ttl, *expect, *timeout, *linger, op)
 		case "gateway":
-			err = runGateway(*snapshot, *targets, *offline, *reprovEvery, *reattachAfter, *duration, op)
+			err = runGateway(*snapshot, *targets, *offline, *dlqLog, *reprovEvery, *reattachAfter, *duration, op)
 		}
 	default:
 		err = fmt.Errorf("need -init or -role subject|object|gateway (got %q)", *role)
@@ -179,6 +191,23 @@ func restore(path string) (*backend.Backend, error) {
 	return backend.Restore(blob)
 }
 
+// nodeService picks the credential source for the subject and object roles:
+// a live argus-backend over HTTP when -backend is set, the snapshot file
+// otherwise. Deferred behind a thunk so flag validation errors surface from
+// the role that needs them.
+func nodeService(backendURL, tenant, authKey, snapshot string) func() (backend.Service, error) {
+	return func() (backend.Service, error) {
+		if backendURL != "" {
+			return backendclient.New(backendURL, tenant, authKey), nil
+		}
+		b, err := restore(snapshot)
+		if err != nil {
+			return nil, err
+		}
+		return backend.NewLocal(b), nil
+	}
+}
+
 // objHolder lets the update agent's apply callback (wired before the engine
 // exists) reach the engine built one statement later; the write happens
 // before any notification can be enqueued.
@@ -187,17 +216,26 @@ type objHolder struct{ obj *core.Object }
 // runObjects hosts one engine per name, each on its own UDP socket (one
 // socket = one node identity) with an update agent in front, and serves
 // until SIGTERM/SIGINT (or -duration), then flushes the obs plane.
-func runObjects(snapshot, names, listen string, duration time.Duration, op *obsPlane) error {
+func runObjects(src func() (backend.Service, error), names, listen string, duration time.Duration, op *obsPlane) error {
 	if names == "" {
 		return fmt.Errorf("-role object needs -names")
 	}
-	b, err := restore(snapshot)
+	svc, err := src()
 	if err != nil {
 		return err
 	}
+	ctx := context.Background()
+	anchor, err := svc.TrustAnchor(ctx)
+	if err != nil {
+		return fmt.Errorf("trust anchor: %w", err)
+	}
+	adminPub, err := anchor.PublicKey()
+	if err != nil {
+		return fmt.Errorf("trust anchor: %w", err)
+	}
 	for _, n := range strings.Split(names, ",") {
 		n = strings.TrimSpace(n)
-		prov, err := b.ProvisionObject(cert.IDFromName(n))
+		prov, err := svc.ProvisionObject(ctx, cert.IDFromName(n))
 		if err != nil {
 			return fmt.Errorf("provision %q: %w", n, err)
 		}
@@ -207,7 +245,7 @@ func runObjects(snapshot, names, listen string, duration time.Duration, op *obsP
 		}
 		defer ep.Close()
 		hold := &objHolder{}
-		agent := update.NewAgent(b.AdminPublic(), nil, func(nt *update.Notification) {
+		agent := update.NewAgent(adminPub, nil, func(nt *update.Notification) {
 			// Runs on the object's event loop, where Revoke is legal.
 			if nt.Kind == update.KindRevokeSubject && hold.obj != nil {
 				hold.obj.Revoke(nt.Subject)
@@ -226,12 +264,12 @@ func runObjects(snapshot, names, listen string, duration time.Duration, op *obsP
 
 // runSubject discovers over UDP until the -expect set is satisfied, then
 // lingers on the obs plane (streaming its spans live) for -linger.
-func runSubject(snapshot, name, listen, peers string, ttl int, expect string, timeout, linger time.Duration, op *obsPlane) error {
-	b, err := restore(snapshot)
+func runSubject(src func() (backend.Service, error), name, listen, peers string, ttl int, expect string, timeout, linger time.Duration, op *obsPlane) error {
+	svc, err := src()
 	if err != nil {
 		return err
 	}
-	prov, err := b.ProvisionSubject(cert.IDFromName(name))
+	prov, err := svc.ProvisionSubject(context.Background(), cert.IDFromName(name))
 	if err != nil {
 		return fmt.Errorf("provision %q: %w", name, err)
 	}

@@ -8,10 +8,12 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -20,7 +22,11 @@ import (
 	"testing"
 	"time"
 
+	"argus/internal/attr"
+	"argus/internal/backend"
+	"argus/internal/backendsvc"
 	"argus/internal/obs"
+	"argus/internal/suite"
 )
 
 func TestMain(m *testing.M) {
@@ -101,6 +107,109 @@ func TestE2EDiscoveryOverUDPLoopback(t *testing.T) {
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("subject output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestE2EDiscoveryFromBackendHTTP runs the same three-level discovery, but
+// the node processes source their trust anchor and provisioning bundles from
+// a live backend service over the versioned /v1 HTTP API instead of a
+// snapshot file — no enterprise state ever touches the node side's disk.
+func TestE2EDiscoveryFromBackendHTTP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	// The backend service: a real HTTP listener on loopback, multi-tenant
+	// store in a scratch directory, demo enterprise in tenant "demo".
+	store, err := backendsvc.OpenStore(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, err := store.Create("demo", suite.S128, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var svc backend.Service = tn
+	sid, _, err := svc.RegisterSubject(ctx, "alice", attr.MustSet("position=staff"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := svc.AddPolicy(ctx, attr.MustParse("position=='staff'"),
+		attr.MustParse("type=='printer'"), []string{"print"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := svc.RegisterObject(ctx, "thermometer", backend.L1,
+		attr.MustSet("type=thermometer"), []string{"read-temperature"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := svc.RegisterObject(ctx, "printer", backend.L2,
+		attr.MustSet("type=printer"), []string{"print"}); err != nil {
+		t.Fatal(err)
+	}
+	kid, _, err := svc.RegisterObject(ctx, "kiosk", backend.L3,
+		attr.MustSet("type=kiosk"), []string{"use"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gid, err := svc.CreateGroup(ctx, "fellows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.AddCovertService(ctx, kid, gid, []string{"use", "covert-bulletin"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.AddSubjectToGroup(ctx, sid, gid); err != nil {
+		t.Fatal(err)
+	}
+	api := httptest.NewServer(backendsvc.NewServer(store, "root", nil).Handler())
+	t.Cleanup(api.Close)
+	backendFlags := []string{"-backend", api.URL, "-tenant", "demo", "-auth-key", tn.AuthKey()}
+
+	objects := child(append([]string{"-role", "object", "-names", "thermometer,printer,kiosk",
+		"-listen", "127.0.0.1:0"}, backendFlags...)...)
+	objOut, err := objects.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	objects.Stderr = os.Stderr
+	if err := objects.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		objects.Process.Kill()
+		objects.Wait()
+	})
+	addrs := make(map[string]string)
+	sc := bufio.NewScanner(objOut)
+	for len(addrs) < 3 && sc.Scan() {
+		var name, addr string
+		if _, err := fmt.Sscanf(sc.Text(), "listening name=%s addr=%s", &name, &addr); err == nil {
+			addrs[name] = addr
+		}
+	}
+	if len(addrs) != 3 {
+		t.Fatalf("object daemon announced %d sockets, want 3 (scan err %v)", len(addrs), sc.Err())
+	}
+	go io.Copy(io.Discard, objOut)
+
+	peers := []string{addrs["thermometer"], addrs["printer"], addrs["kiosk"]}
+	subject := child(append([]string{"-role", "subject", "-name", "alice",
+		"-listen", "127.0.0.1:0", "-peers", strings.Join(peers, ","),
+		"-ttl", "1", "-expect", "thermometer=L1,printer=L2,kiosk=L3",
+		"-timeout", "30s"}, backendFlags...)...)
+	sout, err := subject.CombinedOutput()
+	if err != nil {
+		t.Fatalf("subject failed: %v\n%s", err, sout)
+	}
+	for _, want := range []string{
+		"discovered name=thermometer level=L1",
+		"discovered name=printer level=L2",
+		"discovered name=kiosk level=L3",
+		"all expectations met",
+	} {
+		if !strings.Contains(string(sout), want) {
+			t.Errorf("subject output missing %q:\n%s", want, sout)
 		}
 	}
 }

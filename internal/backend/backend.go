@@ -12,7 +12,6 @@
 package backend
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -117,14 +116,41 @@ type Backend struct {
 	certs     map[cert.ID][]byte
 	profSizes int
 
+	// shards is the cell/building partition count: batch provisioning and
+	// policy recompilation run one worker pool per shard (parallel.go), and
+	// the service layer fans churn fan-out across shards. 1 = unsharded.
+	shards int
+	now    func() time.Time // profile-validity clock; nil = time.Now
+
 	reg *obs.Registry // optional churn telemetry; nil = off
 }
 
-// Instrument attaches a metrics registry; every subsequent churn operation
-// is counted (argus_backend_churn_ops_total by op, and the notified ground
-// entities behind Table I's updating overhead as argus_backend_notified_
-// total by kind). Passing nil detaches.
-func (b *Backend) Instrument(reg *obs.Registry) { b.reg = reg }
+// Option customizes New and NewSubordinate, mirroring the functional-options
+// style of internal/core.
+type Option func(*Backend)
+
+// WithTelemetry attaches a metrics registry: every churn operation is
+// counted (argus_backend_churn_ops_total by op, and the notified ground
+// entities behind Table I's updating overhead as
+// argus_backend_notified_total by kind).
+func WithTelemetry(reg *obs.Registry) Option { return func(b *Backend) { b.reg = reg } }
+
+// WithClock overrides the profile-validity clock (issuance and expiry
+// stamps on provisioned PROFs). Tests and WAL replay use a fixed clock so
+// re-provisioned credentials are byte-identical.
+func WithClock(now func() time.Time) Option { return func(b *Backend) { b.now = now } }
+
+// WithShards partitions the backend's entity space into n cell/building
+// shards (ShardOf). Batch provisioning and recompilation then run one
+// worker pool per shard concurrently. Values < 1 keep the single-shard
+// default.
+func WithShards(n int) Option {
+	return func(b *Backend) {
+		if n >= 1 {
+			b.shards = n
+		}
+	}
+}
 
 // countChurn records one churn operation and its propagation fan-out. The
 // backend is not a hot path, so handles are resolved per call (the registry
@@ -141,15 +167,11 @@ func (b *Backend) countChurn(op string, rep UpdateReport) {
 		obs.L("kind", "subject")).Add(int64(len(rep.NotifiedSubjects)))
 }
 
-// New creates a backend with a fresh admin identity at the given strength.
-func New(s suite.Strength) (*Backend, error) {
-	admin, err := cert.NewAdmin(s, "Argus Admin")
-	if err != nil {
-		return nil, err
-	}
-	return &Backend{
+// newBackend builds the shared skeleton and applies options.
+func newBackend(admin *cert.Admin, anchor []byte, s suite.Strength, opts []Option) *Backend {
+	b := &Backend{
 		admin:     admin,
-		anchor:    admin.CACert(),
+		anchor:    anchor,
 		strength:  s,
 		Groups:    groups.NewManager(nil),
 		subjects:  make(map[cert.ID]*SubjectRecord),
@@ -159,7 +181,21 @@ func New(s suite.Strength) (*Backend, error) {
 		keys:      make(map[cert.ID]*suite.SigningKey),
 		certs:     make(map[cert.ID][]byte),
 		profSizes: DefaultProfileSize,
-	}, nil
+		shards:    1,
+	}
+	for _, o := range opts {
+		o(b)
+	}
+	return b
+}
+
+// New creates a backend with a fresh admin identity at the given strength.
+func New(s suite.Strength, opts ...Option) (*Backend, error) {
+	admin, err := cert.NewAdmin(s, "Argus Admin")
+	if err != nil {
+		return nil, err
+	}
+	return newBackend(admin, admin.CACert(), s, opts), nil
 }
 
 // NewSubordinate creates a sub-backend (e.g. one building's server in the
@@ -167,24 +203,12 @@ func New(s suite.Strength) (*Backend, error) {
 // the credentials it issues carry the CA chain, so devices holding the root
 // anchor verify them without knowing the sub-backend. Registries, policies
 // and secret groups are per-sub-backend.
-func (b *Backend) NewSubordinate(name string) (*Backend, error) {
+func (b *Backend) NewSubordinate(name string, opts ...Option) (*Backend, error) {
 	sub, err := b.admin.NewSubordinate(name)
 	if err != nil {
 		return nil, err
 	}
-	return &Backend{
-		admin:     sub,
-		anchor:    append([]byte(nil), b.anchor...),
-		strength:  b.strength,
-		Groups:    groups.NewManager(nil),
-		subjects:  make(map[cert.ID]*SubjectRecord),
-		objects:   make(map[cert.ID]*ObjectRecord),
-		policies:  make(map[uint64]*Policy),
-		nextPol:   1,
-		keys:      make(map[cert.ID]*suite.SigningKey),
-		certs:     make(map[cert.ID][]byte),
-		profSizes: DefaultProfileSize,
-	}, nil
+	return newBackend(sub, append([]byte(nil), b.anchor...), b.strength, opts), nil
 }
 
 // Admin exposes the signing authority (for test fixtures).
@@ -200,10 +224,25 @@ func (b *Backend) AdminPublic() suite.PublicKey { return b.admin.Public() }
 // devices — the hierarchy root, not necessarily this backend's own CA.
 func (b *Backend) CACert() []byte { return append([]byte(nil), b.anchor...) }
 
+// Shards returns the configured cell/building shard count.
+func (b *Backend) Shards() int { return b.shards }
+
+// ShardOf maps an entity to its cell/building shard: a stable hash of the
+// ID, so assignment survives restarts and is identical on every replica.
+func (b *Backend) ShardOf(id cert.ID) int {
+	if b.shards <= 1 {
+		return 0
+	}
+	// IDs are SHA-256-derived (cert.IDFromName), so the first bytes are
+	// already uniform.
+	h := uint64(id[0])<<24 | uint64(id[1])<<16 | uint64(id[2])<<8 | uint64(id[3])
+	return int(h % uint64(b.shards))
+}
+
 func (b *Backend) register(name string, role cert.Role) (cert.ID, error) {
 	id := cert.IDFromName(name)
 	if _, dup := b.keys[id]; dup {
-		return cert.ID{}, fmt.Errorf("backend: %q already registered", name)
+		return cert.ID{}, fmt.Errorf("%w: %q", ErrDuplicate, name)
 	}
 	key, err := suite.GenerateSigningKey(b.strength, nil)
 	if err != nil {
@@ -237,7 +276,7 @@ func (b *Backend) RegisterSubject(name string, attrs attr.Set) (cert.ID, UpdateR
 // the new object itself is provisioned.
 func (b *Backend) RegisterObject(name string, level Level, attrs attr.Set, functions []string) (cert.ID, UpdateReport, error) {
 	if !level.Valid() {
-		return cert.ID{}, UpdateReport{}, errors.New("backend: invalid level")
+		return cert.ID{}, UpdateReport{}, fmt.Errorf("%w: %d", ErrInvalidLevel, int(level))
 	}
 	id, err := b.register(name, cert.RoleObject)
 	if err != nil {
@@ -259,7 +298,7 @@ func (b *Backend) RegisterObject(name string, level Level, attrs attr.Set, funct
 func (b *Backend) Subject(id cert.ID) (*SubjectRecord, error) {
 	s, ok := b.subjects[id]
 	if !ok {
-		return nil, fmt.Errorf("backend: unknown subject %v", id)
+		return nil, fmt.Errorf("%w: subject %v", ErrNotFound, id)
 	}
 	return s, nil
 }
@@ -268,7 +307,7 @@ func (b *Backend) Subject(id cert.ID) (*SubjectRecord, error) {
 func (b *Backend) Object(id cert.ID) (*ObjectRecord, error) {
 	o, ok := b.objects[id]
 	if !ok {
-		return nil, fmt.Errorf("backend: unknown object %v", id)
+		return nil, fmt.Errorf("%w: object %v", ErrNotFound, id)
 	}
 	return o, nil
 }
@@ -289,7 +328,7 @@ func (b *Backend) Objects() []cert.ID {
 // should be updated, thus the overhead is 1 or β").
 func (b *Backend) AddPolicy(subjectPred, objectPred *attr.Predicate, rights []string) (uint64, UpdateReport, error) {
 	if subjectPred == nil || objectPred == nil {
-		return 0, UpdateReport{}, errors.New("backend: policy predicates required")
+		return 0, UpdateReport{}, fmt.Errorf("%w: policy predicates required", ErrBadPredicate)
 	}
 	p := &Policy{
 		ID:      b.nextPol,
@@ -309,7 +348,7 @@ func (b *Backend) AddPolicy(subjectPred, objectPred *attr.Predicate, rights []st
 func (b *Backend) RemovePolicy(id uint64) (UpdateReport, error) {
 	p, ok := b.policies[id]
 	if !ok {
-		return UpdateReport{}, fmt.Errorf("backend: unknown policy %d", id)
+		return UpdateReport{}, fmt.Errorf("%w: policy %d", ErrNotFound, id)
 	}
 	affected := b.governedBy(p)
 	delete(b.policies, id)
@@ -375,7 +414,7 @@ func (b *Backend) RevokeSubject(id cert.ID) (UpdateReport, error) {
 		return UpdateReport{}, err
 	}
 	if s.Revoked {
-		return UpdateReport{}, fmt.Errorf("backend: subject %v already revoked", id)
+		return UpdateReport{}, fmt.Errorf("%w: subject %v already revoked", ErrRevoked, id)
 	}
 	accessible, err := b.AccessibleObjects(id)
 	if err != nil {
@@ -424,7 +463,7 @@ func (b *Backend) UpdateSubjectAttrs(id cert.ID, attrs attr.Set) (UpdateReport, 
 		return UpdateReport{}, err
 	}
 	if s.Revoked {
-		return UpdateReport{}, fmt.Errorf("backend: subject %v is revoked", id)
+		return UpdateReport{}, fmt.Errorf("%w: subject %v", ErrRevoked, id)
 	}
 	before, err := b.AccessibleObjects(id)
 	if err != nil {
@@ -482,7 +521,7 @@ func (b *Backend) UpdateObjectAttrs(id cert.ID, attrs attr.Set) (UpdateReport, e
 // RemoveObject decommissions an object (overhead 1).
 func (b *Backend) RemoveObject(id cert.ID) (UpdateReport, error) {
 	if _, ok := b.objects[id]; !ok {
-		return UpdateReport{}, fmt.Errorf("backend: unknown object %v", id)
+		return UpdateReport{}, fmt.Errorf("%w: object %v", ErrNotFound, id)
 	}
 	delete(b.objects, id)
 	rep := UpdateReport{NotifiedObjects: []cert.ID{id}}
@@ -499,7 +538,7 @@ func (b *Backend) AddCovertService(object cert.ID, gid groups.ID, functions []st
 		return err
 	}
 	if o.Level != L3 {
-		return fmt.Errorf("backend: %s is %v, not Level 3", o.Name, o.Level)
+		return fmt.Errorf("%w: %s is %v, not Level 3", ErrNotCovert, o.Name, o.Level)
 	}
 	if err := b.Groups.AddMember(gid, object, cert.RoleObject); err != nil {
 		return err
@@ -532,8 +571,13 @@ func (b *Backend) RevokedFor(object cert.ID) ([]cert.ID, error) {
 	return ids, nil
 }
 
-// now returns the profile validity anchor.
-func profValidity() (issued, expires time.Time) {
-	n := time.Now().Truncate(time.Second).UTC()
+// profValidity returns the profile validity anchor from the backend's
+// clock (WithClock; time.Now by default).
+func (b *Backend) profValidity() (issued, expires time.Time) {
+	now := time.Now
+	if b.now != nil {
+		now = b.now
+	}
+	n := now().Truncate(time.Second).UTC()
 	return n, n.Add(365 * 24 * time.Hour)
 }

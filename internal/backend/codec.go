@@ -1,0 +1,210 @@
+package backend
+
+import (
+	"fmt"
+
+	"argus/internal/attr"
+	"argus/internal/cert"
+	"argus/internal/enc"
+	"argus/internal/groups"
+	"argus/internal/suite"
+)
+
+// Binary codecs for the provisioning bundles. The HTTP service ships
+// provisions as one opaque blob (base64 inside the JSON envelope) rather
+// than field-by-field JSON: the bundle is dominated by DER certificates,
+// marshaled keys and signed PROFs that have exact binary encodings already,
+// and a single codec keeps the in-process and over-the-wire deployments
+// byte-identical. The blob contains the entity's PRIVATE key — it only ever
+// travels the authenticated provisioning channel (§VII: the backend↔device
+// channel is confidential).
+
+const (
+	subjectProvisionVersion = 1
+	objectProvisionVersion  = 1
+)
+
+func writeMembership(w *enc.Writer, m groups.Membership) {
+	w.U64(uint64(m.Group))
+	w.Bytes16(m.Key)
+	w.U64(m.KeyVersion)
+	if m.CoverUp {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+func readMembership(r *enc.Reader) groups.Membership {
+	return groups.Membership{
+		Group:      groups.ID(r.U64()),
+		Key:        r.Bytes16(),
+		KeyVersion: r.U64(),
+		CoverUp:    r.U8() == 1,
+	}
+}
+
+// EncodeSubjectProvision serializes a subject's credential bundle.
+func EncodeSubjectProvision(p *SubjectProvision) []byte {
+	w := enc.NewWriter(2048)
+	w.U8(subjectProvisionVersion)
+	w.Raw(p.ID[:])
+	w.String16(p.Name)
+	w.U16(uint16(p.Strength))
+	w.Bytes16(p.Key.Marshal())
+	w.Bytes16(p.CertDER)
+	w.Bytes16(p.CACert)
+	w.Bytes16(p.AdminPub.Bytes())
+	w.Bytes16(p.Profile.Encode())
+	w.U16(uint16(len(p.Memberships)))
+	for _, m := range p.Memberships {
+		writeMembership(w, m)
+	}
+	return w.Bytes()
+}
+
+// DecodeSubjectProvision parses EncodeSubjectProvision output.
+func DecodeSubjectProvision(b []byte) (*SubjectProvision, error) {
+	r := enc.NewReader(b)
+	if v := r.U8(); v != subjectProvisionVersion && r.Err() == nil {
+		return nil, fmt.Errorf("%w: subject provision version %d", ErrCorruptState, v)
+	}
+	p := &SubjectProvision{}
+	copy(p.ID[:], r.Raw(len(cert.ID{})))
+	p.Name = r.String16()
+	p.Strength = suite.Strength(r.U16())
+	keyBytes := r.Bytes16()
+	p.CertDER = r.Bytes16()
+	p.CACert = r.Bytes16()
+	adminPub := r.Bytes16()
+	profBytes := r.Bytes16()
+	n := int(r.U16())
+	// A forged count cannot pre-size past what the buffer could hold: each
+	// membership is at least 19 bytes on the wire.
+	if max := r.Remaining() / 19; n > max {
+		n = max
+	}
+	p.Memberships = make([]groups.Membership, 0, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		p.Memberships = append(p.Memberships, readMembership(r))
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptState, err)
+	}
+	var err error
+	if p.Key, err = suite.UnmarshalSigningKey(keyBytes); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptState, err)
+	}
+	if p.AdminPub, err = suite.PublicKeyFromBytes(p.Strength, adminPub); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptState, err)
+	}
+	if p.Profile, err = cert.DecodeProfile(profBytes); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptState, err)
+	}
+	return p, nil
+}
+
+// EncodeObjectProvision serializes an object's credential bundle.
+func EncodeObjectProvision(p *ObjectProvision) []byte {
+	w := enc.NewWriter(4096)
+	w.U8(objectProvisionVersion)
+	w.Raw(p.ID[:])
+	w.String16(p.Name)
+	w.U16(uint16(p.Strength))
+	w.U8(byte(p.Level))
+	w.Bytes16(p.Key.Marshal())
+	w.Bytes16(p.CertDER)
+	w.Bytes16(p.CACert)
+	w.Bytes16(p.AdminPub.Bytes())
+	if p.PublicProfile != nil {
+		w.U8(1)
+		w.Bytes16(p.PublicProfile.Encode())
+	} else {
+		w.U8(0)
+	}
+	w.U16(uint16(len(p.Variants)))
+	for _, v := range p.Variants {
+		if v.Pred != nil {
+			w.U8(1)
+			w.String16(v.Pred.String())
+		} else {
+			w.U8(0)
+		}
+		w.U64(uint64(v.Group))
+		w.Bytes16(v.GroupKey)
+		w.U64(v.KeyVersion)
+		w.Bytes16(v.Profile.Encode())
+	}
+	w.U16(uint16(len(p.Revoked)))
+	for _, id := range p.Revoked {
+		w.Raw(id[:])
+	}
+	return w.Bytes()
+}
+
+// DecodeObjectProvision parses EncodeObjectProvision output.
+func DecodeObjectProvision(b []byte) (*ObjectProvision, error) {
+	r := enc.NewReader(b)
+	if v := r.U8(); v != objectProvisionVersion && r.Err() == nil {
+		return nil, fmt.Errorf("%w: object provision version %d", ErrCorruptState, v)
+	}
+	p := &ObjectProvision{}
+	copy(p.ID[:], r.Raw(len(cert.ID{})))
+	p.Name = r.String16()
+	p.Strength = suite.Strength(r.U16())
+	p.Level = Level(r.U8())
+	keyBytes := r.Bytes16()
+	p.CertDER = r.Bytes16()
+	p.CACert = r.Bytes16()
+	adminPub := r.Bytes16()
+	var err error
+	if r.U8() == 1 {
+		if p.PublicProfile, err = cert.DecodeProfile(r.Bytes16()); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorruptState, err)
+		}
+	}
+	nv := int(r.U16())
+	// Each variant costs at least 22 wire bytes; clamp forged counts.
+	if max := r.Remaining() / 22; nv > max {
+		nv = max
+	}
+	p.Variants = make([]ObjectVariant, 0, nv)
+	for i := 0; i < nv && r.Err() == nil; i++ {
+		var v ObjectVariant
+		if r.U8() == 1 {
+			if v.Pred, err = attr.Parse(r.String16()); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorruptState, err)
+			}
+		}
+		v.Group = groups.ID(r.U64())
+		v.GroupKey = r.Bytes16()
+		v.KeyVersion = r.U64()
+		if v.Profile, err = cert.DecodeProfile(r.Bytes16()); err != nil && r.Err() == nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorruptState, err)
+		}
+		p.Variants = append(p.Variants, v)
+	}
+	nr := int(r.U16())
+	if max := r.Remaining() / len(cert.ID{}); nr > max {
+		nr = max
+	}
+	p.Revoked = make([]cert.ID, 0, nr)
+	for i := 0; i < nr && r.Err() == nil; i++ {
+		var id cert.ID
+		copy(id[:], r.Raw(len(id)))
+		p.Revoked = append(p.Revoked, id)
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptState, err)
+	}
+	if !p.Level.Valid() {
+		return nil, fmt.Errorf("%w: object provision has invalid level", ErrCorruptState)
+	}
+	if p.Key, err = suite.UnmarshalSigningKey(keyBytes); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptState, err)
+	}
+	if p.AdminPub, err = suite.PublicKeyFromBytes(p.Strength, adminPub); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptState, err)
+	}
+	return p, nil
+}

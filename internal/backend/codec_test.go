@@ -1,0 +1,248 @@
+package backend
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"argus/internal/attr"
+	"argus/internal/suite"
+)
+
+// enterprise for codec tests: a subject in a secret group, an L3 object with
+// a covert service, a policy, and one revoked fellow so Revoked lists and
+// memberships are all non-trivial.
+func codecFixture(t *testing.T) (*Backend, *SubjectProvision, *ObjectProvision) {
+	t.Helper()
+	b, err := New(suite.S128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sid, _, err := b.RegisterSubject("alice", attr.MustSet("position=staff"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid, _, err := b.RegisterObject("kiosk", L3, attr.MustSet("type=kiosk"), []string{"use", "admin"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.AddPolicy(attr.MustParse("position=='staff'"),
+		attr.MustParse("type=='kiosk'"), []string{"use"}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Groups.CreateGroup("fellows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddSubjectToGroup(sid, g.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddCovertService(oid, g.ID(), []string{"admin"}); err != nil {
+		t.Fatal(err)
+	}
+	mallory, _, err := b.RegisterSubject("mallory", attr.MustSet("position=staff"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.RevokeSubject(mallory); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := b.ProvisionSubject(sid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := b.ProvisionObject(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, sp, op
+}
+
+func TestSubjectProvisionCodecRoundTrip(t *testing.T) {
+	_, sp, _ := codecFixture(t)
+	blob := EncodeSubjectProvision(sp)
+	got, err := DecodeSubjectProvision(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-encoding the decoded bundle must be byte-identical: the codec is the
+	// wire format, and byte identity is what the e2e fingerprint check leans on.
+	if !bytes.Equal(EncodeSubjectProvision(got), blob) {
+		t.Fatal("subject provision did not survive the round trip byte-identically")
+	}
+	if got.Name != sp.Name || got.ID != sp.ID || len(got.Memberships) != len(sp.Memberships) {
+		t.Fatalf("decoded fields differ: %+v vs %+v", got, sp)
+	}
+}
+
+func TestObjectProvisionCodecRoundTrip(t *testing.T) {
+	_, _, op := codecFixture(t)
+	blob := EncodeObjectProvision(op)
+	got, err := DecodeObjectProvision(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(EncodeObjectProvision(got), blob) {
+		t.Fatal("object provision did not survive the round trip byte-identically")
+	}
+	if got.Name != op.Name || got.Level != op.Level ||
+		len(got.Variants) != len(op.Variants) || len(got.Revoked) != len(op.Revoked) {
+		t.Fatalf("decoded fields differ: %+v vs %+v", got, op)
+	}
+}
+
+func TestProvisionCodecRejectsCorruption(t *testing.T) {
+	_, sp, op := codecFixture(t)
+	for _, blob := range [][]byte{EncodeSubjectProvision(sp), EncodeObjectProvision(op)} {
+		// Truncations must error, never panic, and always as ErrCorruptState.
+		for cut := 0; cut < len(blob); cut += 7 {
+			_, errS := DecodeSubjectProvision(blob[:cut])
+			_, errO := DecodeObjectProvision(blob[:cut])
+			if errS == nil && errO == nil {
+				t.Fatalf("truncation to %d bytes decoded successfully", cut)
+			}
+			for _, err := range []error{errS, errO} {
+				if err != nil && !errors.Is(err, ErrCorruptState) {
+					t.Fatalf("truncated decode: got %v, want ErrCorruptState", err)
+				}
+			}
+		}
+	}
+	// Bad version byte.
+	bad := append([]byte(nil), EncodeSubjectProvision(sp)...)
+	bad[0] = 0xEE
+	if _, err := DecodeSubjectProvision(bad); !errors.Is(err, ErrCorruptState) {
+		t.Fatalf("bad version: got %v, want ErrCorruptState", err)
+	}
+}
+
+// TestLocalAdapter exercises the full Service surface through the in-process
+// adapter and checks it matches direct *Backend calls.
+func TestLocalAdapter(t *testing.T) {
+	b, err := New(suite.S128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var svc Service = NewLocal(b)
+	ctx := context.Background()
+
+	ta, err := svc.TrustAnchor(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ta.CACert, b.CACert()) {
+		t.Fatal("TrustAnchor CA differs from backend CA")
+	}
+	if _, err := ta.PublicKey(); err != nil {
+		t.Fatalf("trust anchor admin key does not decode: %v", err)
+	}
+
+	sid, _, err := svc.RegisterSubject(ctx, "alice", attr.MustSet("position=staff"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid, _, err := svc.RegisterObject(ctx, "kiosk", L3, attr.MustSet("type=kiosk"), []string{"use"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gid, err := svc.CreateGroup(ctx, "fellows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.AddSubjectToGroup(ctx, sid, gid); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.AddCovertService(ctx, oid, gid, []string{"use"}); err != nil {
+		t.Fatal(err)
+	}
+	pid, _, err := svc.AddPolicy(ctx, attr.MustParse("position=='staff'"),
+		attr.MustParse("type=='kiosk'"), []string{"use"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.UpdateSubjectAttrs(ctx, sid, attr.MustSet("position=visitor")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.RemovePolicy(ctx, pid); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := svc.ProvisionSubject(ctx, sid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Memberships) != 1 {
+		t.Fatalf("want 1 membership, got %d", len(sp.Memberships))
+	}
+	if _, err := svc.ProvisionObject(ctx, oid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.RevokeSubject(ctx, sid); err != nil {
+		t.Fatal(err)
+	}
+	fp, err := svc.StateFingerprint(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp != b.StateFingerprint() {
+		t.Fatal("adapter fingerprint differs from backend fingerprint")
+	}
+}
+
+// TestInstallRoundTrip proves effect replay: a backend rebuilt by installing
+// the logged effects reaches the exact fingerprint of the original.
+func TestInstallRoundTrip(t *testing.T) {
+	b, _, _ := codecFixture(t)
+
+	// Rebuild from the first snapshot-able moment: restore an empty twin from
+	// nothing and install each entity's effects.
+	blob := b.Snapshot()
+	twin, err := Restore(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if twin.StateFingerprint() != b.StateFingerprint() {
+		t.Fatal("snapshot restore does not reproduce the fingerprint")
+	}
+
+	// Effect install path: a new subject on b, mirrored onto twin via
+	// InstallSubject + ImportGroups.
+	sid, _, err := b.RegisterSubject("bob", attr.MustSet("position=staff"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := b.Subject(sid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, certDER, err := b.KeyFor(sid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := twin.InstallSubject(*rec, key, certDER, b.AdminSerial()); err != nil {
+		t.Fatal(err)
+	}
+	if twin.StateFingerprint() != b.StateFingerprint() {
+		t.Fatal("install replay does not reproduce the fingerprint")
+	}
+
+	// Group-touching op: mirror structural change, then overwrite group state
+	// from the effect blob.
+	gid, err := b.Groups.CreateGroup("late-group")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddSubjectToGroup(sid, gid.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := twin.AddSubjectToGroup(sid, gid.ID()); err == nil {
+		// twin has no such group yet; expected to fail before import
+		t.Log("twin accepted unknown group (tolerated; groups imported next)")
+	}
+	if err := twin.ImportGroups(b.ExportGroups()); err != nil {
+		t.Fatal(err)
+	}
+	if twin.StateFingerprint() != b.StateFingerprint() {
+		t.Fatal("groups import does not reproduce the fingerprint")
+	}
+}

@@ -1,0 +1,31 @@
+package backend
+
+import "errors"
+
+// Sentinel errors for every failure class a backend churn or provisioning
+// operation can produce. Callers branch with errors.Is — never by matching
+// message text — and the HTTP service layer (internal/backendsvc) maps each
+// sentinel to a status code. Every error returned by this package wraps
+// exactly one sentinel; the wrapped message carries the specifics (entity
+// name, ID, policy number).
+var (
+	// ErrNotFound: the referenced subject, object, policy or group is not
+	// registered. HTTP 404.
+	ErrNotFound = errors.New("backend: not found")
+	// ErrDuplicate: the name is already registered (IDs derive from names,
+	// so re-registration would silently alias credentials). HTTP 409.
+	ErrDuplicate = errors.New("backend: already registered")
+	// ErrRevoked: the subject has been revoked — it can neither be
+	// re-provisioned nor revoked twice. HTTP 410.
+	ErrRevoked = errors.New("backend: revoked")
+	// ErrBadPredicate: a policy predicate is missing or unparsable. HTTP 400.
+	ErrBadPredicate = errors.New("backend: bad predicate")
+	// ErrInvalidLevel: the visibility level is outside L1..L3. HTTP 400.
+	ErrInvalidLevel = errors.New("backend: invalid level")
+	// ErrNotCovert: a covert-service operation addressed an object that is
+	// not Level 3. HTTP 409.
+	ErrNotCovert = errors.New("backend: not a covert object")
+	// ErrCorruptState: a snapshot or WAL blob failed structural validation.
+	// HTTP 500 (server-side durability fault, never a client error).
+	ErrCorruptState = errors.New("backend: corrupt state")
+)

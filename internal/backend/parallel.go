@@ -1,7 +1,6 @@
 package backend
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -67,7 +66,7 @@ func (b *Backend) RegisterSubjects(specs []SubjectSpec, workers int) ([]cert.ID,
 func (b *Backend) RegisterObjects(specs []ObjectSpec, workers int) ([]cert.ID, error) {
 	for _, sp := range specs {
 		if !sp.Level.Valid() {
-			return nil, errors.New("backend: invalid level")
+			return nil, fmt.Errorf("%w: %d", ErrInvalidLevel, int(sp.Level))
 		}
 	}
 	ids, keys, chains, err := b.registerBatch(len(specs), workers, cert.RoleObject,
@@ -100,7 +99,7 @@ func (b *Backend) registerBatch(n, workers int, role cert.Role, name func(int) s
 	for i := 0; i < n; i++ {
 		id := cert.IDFromName(name(i))
 		if _, dup := b.keys[id]; dup || seen[id] {
-			return nil, nil, nil, fmt.Errorf("backend: %q already registered", name(i))
+			return nil, nil, nil, fmt.Errorf("%w: %q", ErrDuplicate, name(i))
 		}
 		seen[id] = true
 		ids[i] = id
@@ -129,17 +128,65 @@ func (b *Backend) registerBatch(n, workers int, role cert.Role, name func(int) s
 // ProvisionObject only reads shared backend state (records, policies, group
 // memberships — object-side membership lookups create nothing) and profile
 // signing uses the immutable admin key; each worker writes its own index.
+//
+// On a sharded backend (WithShards) the batch is partitioned by ShardOf and
+// each cell/building shard gets its own worker pool, all pools running
+// concurrently — PROF-variant compilation for one building never queues
+// behind another's. Output order stays the input id order either way.
 func (b *Backend) ProvisionObjects(ids []cert.ID, workers int) ([]*ObjectProvision, error) {
 	out := make([]*ObjectProvision, len(ids))
-	err := forEachIndex(len(ids), workers, func(i int) error {
+	provision := func(i int) error {
 		p, err := b.ProvisionObject(ids[i])
 		out[i] = p
 		return err
-	})
-	if err != nil {
+	}
+	if b.shards <= 1 {
+		if err := forEachIndex(len(ids), workers, provision); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	if err := b.forEachShard(ids, workers, provision); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// forEachShard partitions ids by ShardOf and runs fn over each partition on
+// its own worker pool, all shards concurrently. The per-shard pools split
+// the worker budget so total parallelism stays ≈ workers; every shard gets
+// at least one. The first error (by shard, then index) wins.
+func (b *Backend) forEachShard(ids []cert.ID, workers int, fn func(i int) error) error {
+	byShard := make([][]int, b.shards)
+	for i, id := range ids {
+		s := b.ShardOf(id)
+		byShard[s] = append(byShard[s], i)
+	}
+	perShard := workers / b.shards
+	if perShard < 1 {
+		perShard = 1
+	}
+	errs := make([]error, b.shards)
+	var wg sync.WaitGroup
+	for s, idx := range byShard {
+		if len(idx) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int, idx []int) {
+			defer wg.Done()
+			errs[s] = forEachIndex(len(idx), perShard, func(k int) error {
+				return fn(idx[k])
+			})
+		}(s, idx)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // forEachIndex runs fn(0..n-1) on up to `workers` goroutines (sequentially

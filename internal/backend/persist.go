@@ -1,7 +1,7 @@
 package backend
 
 import (
-	"errors"
+	"fmt"
 	"sort"
 
 	"argus/internal/attr"
@@ -150,11 +150,13 @@ func readIDList(r *enc.Reader) map[cert.ID]bool {
 	return out
 }
 
-// Restore reconstructs a backend from a Snapshot blob.
-func Restore(blob []byte) (*Backend, error) {
+// Restore reconstructs a backend from a Snapshot blob. Options apply after
+// reconstruction (telemetry, clock, shard layout — none of them are part of
+// the persisted state).
+func Restore(blob []byte, opts ...Option) (*Backend, error) {
 	r := enc.NewReader(blob)
 	if v := r.U8(); v != snapshotVersion && r.Err() == nil {
-		return nil, errors.New("backend: unsupported snapshot version")
+		return nil, fmt.Errorf("%w: unsupported snapshot version", ErrCorruptState)
 	}
 	strength := suite.Strength(r.U16())
 	adminKey := r.Bytes16()
@@ -186,6 +188,10 @@ func Restore(blob []byte) (*Backend, error) {
 		keys:      make(map[cert.ID]*suite.SigningKey),
 		certs:     make(map[cert.ID][]byte),
 		profSizes: profSizes,
+		shards:    1,
+	}
+	for _, o := range opts {
+		o(b)
 	}
 
 	nSubjects := int(r.U32())
@@ -233,7 +239,7 @@ func Restore(blob []byte) (*Backend, error) {
 		}
 		o.revoked = readIDList(r)
 		if !o.Level.Valid() {
-			return nil, errors.New("backend: snapshot has invalid object level")
+			return nil, fmt.Errorf("%w: snapshot has invalid object level", ErrCorruptState)
 		}
 		b.objects[id] = o
 	}

@@ -74,9 +74,9 @@ func (b *Backend) ProvisionSubject(id cert.ID) (*SubjectProvision, error) {
 		return nil, err
 	}
 	if s.Revoked {
-		return nil, fmt.Errorf("backend: subject %s is revoked", s.Name)
+		return nil, fmt.Errorf("%w: subject %s", ErrRevoked, s.Name)
 	}
-	issued, expires := profValidity()
+	issued, expires := b.profValidity()
 	prof := &cert.Profile{
 		Kind:    cert.RoleSubject,
 		Entity:  id,
@@ -123,7 +123,7 @@ func (b *Backend) ProvisionObject(id cert.ID) (*ObjectProvision, error) {
 	if err != nil {
 		return nil, err
 	}
-	issued, expires := profValidity()
+	issued, expires := b.profValidity()
 	base := func(variant uint32, functions []string, note string) *cert.Profile {
 		return &cert.Profile{
 			Kind:      cert.RoleObject,
@@ -198,7 +198,7 @@ func (b *Backend) ProvisionObject(id cert.ID) (*ObjectProvision, error) {
 				}
 			}
 			if key == nil {
-				return nil, fmt.Errorf("backend: object %s lost membership of group %d", o.Name, gid)
+				return nil, fmt.Errorf("%w: object %s lost membership of group %d", ErrCorruptState, o.Name, gid)
 			}
 			variant++
 			prof := base(variant, o.covert[gid], "covert service")

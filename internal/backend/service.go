@@ -1,0 +1,148 @@
+package backend
+
+import (
+	"context"
+
+	"argus/internal/attr"
+	"argus/internal/cert"
+	"argus/internal/groups"
+	"argus/internal/suite"
+)
+
+// TrustAnchor is the public bootstrap material a device needs before it can
+// verify anything: the ROOT CA certificate, the admin's public signing key,
+// and the deployment strength. It contains no secrets and is served
+// unauthenticated tenant-scoped by the backend service.
+type TrustAnchor struct {
+	Strength suite.Strength
+	CACert   []byte // ROOT trust-anchor certificate, DER
+	AdminPub []byte // admin public signing key, marshaled point
+}
+
+// PublicKey decodes the admin key.
+func (t TrustAnchor) PublicKey() (suite.PublicKey, error) {
+	return suite.PublicKeyFromBytes(t.Strength, t.AdminPub)
+}
+
+// Service is the transport-agnostic backend API: everything cmd/argus-node,
+// the load harness and the HTTP layer need from an enterprise backend,
+// whether it lives in-process (Local) or across the network
+// (internal/backendclient). Every method takes a Context first — churn RPCs
+// honor cancellation and deadlines over the wire; the in-process adapter
+// ignores the context, costing one word per call.
+//
+// Errors wrap the package sentinels (ErrNotFound, ErrDuplicate, ErrRevoked,
+// ErrBadPredicate, ErrInvalidLevel, ErrNotCovert), checked with errors.Is on
+// both sides of the wire.
+type Service interface {
+	// TrustAnchor returns the tenant's bootstrap material.
+	TrustAnchor(ctx context.Context) (TrustAnchor, error)
+
+	// RegisterSubject registers a subject and issues her credentials.
+	RegisterSubject(ctx context.Context, name string, attrs attr.Set) (cert.ID, UpdateReport, error)
+	// RegisterObject registers an object at the given visibility level.
+	RegisterObject(ctx context.Context, name string, level Level, attrs attr.Set, functions []string) (cert.ID, UpdateReport, error)
+
+	// ProvisionSubject assembles a subject's credential bundle.
+	ProvisionSubject(ctx context.Context, id cert.ID) (*SubjectProvision, error)
+	// ProvisionObject assembles an object's credential bundle.
+	ProvisionObject(ctx context.Context, id cert.ID) (*ObjectProvision, error)
+
+	// AddPolicy installs a Level 2 policy.
+	AddPolicy(ctx context.Context, subjectPred, objectPred *attr.Predicate, rights []string) (uint64, UpdateReport, error)
+	// RemovePolicy deletes a policy.
+	RemovePolicy(ctx context.Context, id uint64) (UpdateReport, error)
+
+	// RevokeSubject removes a subject (blacklists + group re-key).
+	RevokeSubject(ctx context.Context, id cert.ID) (UpdateReport, error)
+	// UpdateSubjectAttrs rotates a subject's non-sensitive attributes.
+	UpdateSubjectAttrs(ctx context.Context, id cert.ID, attrs attr.Set) (UpdateReport, error)
+
+	// CreateGroup registers a new secret group.
+	CreateGroup(ctx context.Context, description string) (groups.ID, error)
+	// AddSubjectToGroup makes the subject a fellow of the group.
+	AddSubjectToGroup(ctx context.Context, subject cert.ID, gid groups.ID) error
+	// AddCovertService puts a Level 3 object into a secret group with the
+	// covert functions it offers that group's fellows.
+	AddCovertService(ctx context.Context, object cert.ID, gid groups.ID, functions []string) error
+
+	// StateFingerprint digests the full backend state (see
+	// Backend.StateFingerprint); byte-identical iff the states are.
+	StateFingerprint(ctx context.Context) (string, error)
+}
+
+// Local adapts an in-process *Backend to the Service interface. The context
+// is ignored: every operation is a handful of map touches and signatures,
+// and the snapshot-file deployments that use Local have no transport to
+// cancel.
+type Local struct{ b *Backend }
+
+// NewLocal wraps b as a Service.
+func NewLocal(b *Backend) Local { return Local{b: b} }
+
+// Backend returns the wrapped backend (for deployments that still need the
+// concrete admin, e.g. to run an update.Distributor).
+func (l Local) Backend() *Backend { return l.b }
+
+func (l Local) TrustAnchor(context.Context) (TrustAnchor, error) {
+	return TrustAnchor{
+		Strength: l.b.Strength(),
+		CACert:   l.b.CACert(),
+		AdminPub: l.b.AdminPublic().Bytes(),
+	}, nil
+}
+
+func (l Local) RegisterSubject(_ context.Context, name string, attrs attr.Set) (cert.ID, UpdateReport, error) {
+	return l.b.RegisterSubject(name, attrs)
+}
+
+func (l Local) RegisterObject(_ context.Context, name string, level Level, attrs attr.Set, functions []string) (cert.ID, UpdateReport, error) {
+	return l.b.RegisterObject(name, level, attrs, functions)
+}
+
+func (l Local) ProvisionSubject(_ context.Context, id cert.ID) (*SubjectProvision, error) {
+	return l.b.ProvisionSubject(id)
+}
+
+func (l Local) ProvisionObject(_ context.Context, id cert.ID) (*ObjectProvision, error) {
+	return l.b.ProvisionObject(id)
+}
+
+func (l Local) AddPolicy(_ context.Context, subjectPred, objectPred *attr.Predicate, rights []string) (uint64, UpdateReport, error) {
+	return l.b.AddPolicy(subjectPred, objectPred, rights)
+}
+
+func (l Local) RemovePolicy(_ context.Context, id uint64) (UpdateReport, error) {
+	return l.b.RemovePolicy(id)
+}
+
+func (l Local) RevokeSubject(_ context.Context, id cert.ID) (UpdateReport, error) {
+	return l.b.RevokeSubject(id)
+}
+
+func (l Local) UpdateSubjectAttrs(_ context.Context, id cert.ID, attrs attr.Set) (UpdateReport, error) {
+	return l.b.UpdateSubjectAttrs(id, attrs)
+}
+
+func (l Local) CreateGroup(_ context.Context, description string) (groups.ID, error) {
+	g, err := l.b.Groups.CreateGroup(description)
+	if err != nil {
+		return 0, err
+	}
+	return g.ID(), nil
+}
+
+func (l Local) AddSubjectToGroup(_ context.Context, subject cert.ID, gid groups.ID) error {
+	return l.b.AddSubjectToGroup(subject, gid)
+}
+
+func (l Local) AddCovertService(_ context.Context, object cert.ID, gid groups.ID, functions []string) error {
+	return l.b.AddCovertService(object, gid, functions)
+}
+
+func (l Local) StateFingerprint(context.Context) (string, error) {
+	return l.b.StateFingerprint(), nil
+}
+
+// Service is satisfied by the in-process adapter by construction.
+var _ Service = Local{}

@@ -1,0 +1,166 @@
+package backendsvc
+
+import (
+	"fmt"
+	"sync"
+
+	"argus/internal/cert"
+	"argus/internal/enc"
+	"argus/internal/update"
+)
+
+// DLQLog is the file-backed update.Journal: every dead-letter mutation —
+// park, bound-eviction, drain — lands as one fsynced record in a WAL-framed
+// log, so a gateway crash cannot lose a parked churn notification
+// (DESIGN.md §11 bounded-never-silent, extended across restarts). Records
+// arrive in distributor-lock order, so folding the log front to back
+// reconstructs each destination's queue in original push order.
+//
+// Record payload, inside the standard WAL frame:
+//
+//	[u8 kind]  1=park 2=evict 3=drain
+//	[raw  id]  destination cert.ID
+//	[b32 let]  park only: Notification.Encode bytes
+type DLQLog struct {
+	mu  sync.Mutex
+	wal *WAL
+	err error
+}
+
+const (
+	dlqOpPark  = 1
+	dlqOpEvict = 2
+	dlqOpDrain = 3
+)
+
+// OpenDLQLog opens (or creates) the log at path, folds its records into the
+// surviving parked letters per destination, and compacts the file down to
+// exactly those survivors — evictions and drains are resolved at open, so
+// the log never grows past the live DLQ plus the churn since last open.
+// The returned map feeds (*update.Distributor).RestoreParked.
+func OpenDLQLog(path string) (*DLQLog, map[cert.ID][]*update.Notification, error) {
+	wal, recs, err := OpenWAL(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	parked := make(map[cert.ID][]*update.Notification)
+	order := []cert.ID{} // map iteration is random; keep rewrite deterministic
+	for _, rec := range recs {
+		kind, to, letter, err := decodeDLQRecord(rec.Payload)
+		if err != nil {
+			// Same contract as tenant WAL recovery: an undecodable record
+			// means the intact prefix ends here.
+			break
+		}
+		switch kind {
+		case dlqOpPark:
+			n, ok, err := update.Decode(letter)
+			if !ok || err != nil {
+				continue // CRC passed but the envelope is foreign: drop the letter
+			}
+			if len(parked[to]) == 0 {
+				order = append(order, to)
+			}
+			parked[to] = append(parked[to], n)
+		case dlqOpEvict:
+			if q := parked[to]; len(q) > 0 {
+				parked[to] = q[1:]
+			}
+		case dlqOpDrain:
+			delete(parked, to)
+		}
+	}
+	for to, q := range parked {
+		if len(q) == 0 {
+			delete(parked, to)
+		}
+	}
+	l := &DLQLog{wal: wal}
+	// Rewrite the log as pure surviving parks. A crash mid-rewrite is safe:
+	// replaying parks is idempotent at this layer (the agent's Seq check
+	// guards effectuation), and the next open compacts again.
+	if err := wal.Reset(); err != nil {
+		wal.Close()
+		return nil, nil, err
+	}
+	written := make(map[cert.ID]bool) // order may repeat a drained-then-reparked id
+	for _, to := range order {
+		if written[to] {
+			continue
+		}
+		written[to] = true
+		for _, n := range parked[to] {
+			if _, err := wal.Append(encodeDLQRecord(dlqOpPark, to, n.Encode())); err != nil {
+				wal.Close()
+				return nil, nil, err
+			}
+		}
+	}
+	return l, parked, nil
+}
+
+func encodeDLQRecord(kind byte, to cert.ID, letter []byte) []byte {
+	w := enc.NewWriter(1 + len(to) + 2 + len(letter))
+	w.U8(kind)
+	w.Raw(to[:])
+	if kind == dlqOpPark {
+		w.Bytes32(letter)
+	}
+	return w.Bytes()
+}
+
+func decodeDLQRecord(payload []byte) (kind byte, to cert.ID, letter []byte, err error) {
+	r := enc.NewReader(payload)
+	kind = r.U8()
+	copy(to[:], r.Raw(len(to)))
+	if kind == dlqOpPark {
+		letter = r.Bytes32()
+	}
+	if kind < dlqOpPark || kind > dlqOpDrain {
+		return 0, to, nil, fmt.Errorf("%w: dlq record kind %d", ErrCorruptWAL, kind)
+	}
+	if err := r.Done(); err != nil {
+		return 0, to, nil, fmt.Errorf("%w: dlq record: %v", ErrCorruptWAL, err)
+	}
+	return kind, to, letter, nil
+}
+
+// Park implements update.Journal.
+func (l *DLQLog) Park(to cert.ID, letter []byte) {
+	l.append(encodeDLQRecord(dlqOpPark, to, letter))
+}
+
+// Evict implements update.Journal.
+func (l *DLQLog) Evict(to cert.ID) { l.append(encodeDLQRecord(dlqOpEvict, to, nil)) }
+
+// Drain implements update.Journal.
+func (l *DLQLog) Drain(to cert.ID) { l.append(encodeDLQRecord(dlqOpDrain, to, nil)) }
+
+func (l *DLQLog) append(payload []byte) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return
+	}
+	if _, err := l.wal.Append(payload); err != nil {
+		l.err = err // journal interface is fire-and-forget; surface via Err
+	}
+}
+
+// Err reports the first append failure, if any. A journal that cannot write
+// degrades to in-memory-only parking; the embedder decides whether that is
+// fatal.
+func (l *DLQLog) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Close syncs and closes the underlying log file.
+func (l *DLQLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.wal.Close()
+}
+
+var _ update.Journal = (*DLQLog)(nil)

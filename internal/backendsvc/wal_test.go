@@ -1,0 +1,138 @@
+package backendsvc
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWALAppendAndReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, recs, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh WAL has %d records", len(recs))
+	}
+	payloads := [][]byte{[]byte("alpha"), []byte("beta"), {}, []byte("gamma")}
+	for i, p := range payloads {
+		seq, err := w.Append(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("append %d: seq %d", i, seq)
+		}
+	}
+	w.Close()
+
+	w2, recs, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if len(recs) != len(payloads) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(payloads))
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i+1) || !bytes.Equal(r.Payload, payloads[i]) {
+			t.Fatalf("record %d: seq %d payload %q", i, r.Seq, r.Payload)
+		}
+	}
+	// Sequence numbering continues where the log left off.
+	if seq, _ := w2.Append([]byte("delta")); seq != 5 {
+		t.Fatalf("post-reopen append seq %d, want 5", seq)
+	}
+}
+
+// TestWALTornTail simulates a crash mid-append: the partial frame must be
+// dropped, the intact prefix kept, and subsequent appends must work.
+func TestWALTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"one", "two", "three"} {
+		if _, err := w.Append([]byte(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := len(blob) - 1; cut > len(blob)-14; cut-- {
+		if err := os.WriteFile(path, blob[:cut], 0o600); err != nil {
+			t.Fatal(err)
+		}
+		w, recs, err := OpenWAL(path)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(recs) != 2 {
+			t.Fatalf("cut %d: recovered %d records, want 2", cut, len(recs))
+		}
+		// The torn tail is truncated; the next append lands cleanly.
+		if seq, err := w.Append([]byte("four")); err != nil || seq != 3 {
+			t.Fatalf("cut %d: append after recovery: seq %d err %v", cut, seq, err)
+		}
+		w.Close()
+	}
+}
+
+// TestWALCorruptRecord: bit rot inside an earlier record stops replay at the
+// last intact prefix — corrupt data is never applied.
+func TestWALCorruptRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	off, err := w.f.Seek(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append([]byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	blob, _ := os.ReadFile(path)
+	blob[off+walFrameHeader+9] ^= 0xFF // flip a payload byte of record 2
+	os.WriteFile(path, blob, 0o600)
+
+	_, recs, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || string(recs[0].Payload) != "first" {
+		t.Fatalf("recovered %d records, want only the intact prefix", len(recs))
+	}
+}
+
+func TestWriteFileAtomicLeavesNoTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.bin")
+	if err := writeFileAtomic(path, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFileAtomic(path, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "v2" {
+		t.Fatalf("content %q", got)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Fatalf("stray files: %v", ents)
+	}
+}

@@ -185,6 +185,16 @@ func (a *Admin) Export() (keyBytes, caDER []byte, serial int64, chain [][]byte) 
 	return a.key.Marshal(), a.CACert(), a.serial, a.Chain()
 }
 
+// RestoreSerial fast-forwards the certificate serial counter to at least n.
+// WAL replay (internal/backendsvc) installs logged certificates without
+// re-issuing them, so the counter must be advanced explicitly or a later
+// live issuance would reuse a serial. Never moves the counter backwards.
+func (a *Admin) RestoreSerial(n int64) {
+	if n > a.serial {
+		a.serial = n
+	}
+}
+
 // ImportAdmin restores an admin exported by Export.
 func ImportAdmin(keyBytes, caDER []byte, serial int64, chain [][]byte) (*Admin, error) {
 	key, err := suite.UnmarshalSigningKey(keyBytes)

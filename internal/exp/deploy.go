@@ -84,7 +84,7 @@ func Deploy(cfg DeployConfig) (*Deployment, error) {
 	if cfg.Link.BytesPerSecond == 0 {
 		cfg.Link = netsim.DefaultWiFi()
 	}
-	b, err := backend.New(suite.S128)
+	b, err := backend.New(suite.S128, backend.WithTelemetry(cfg.Registry))
 	if err != nil {
 		return nil, err
 	}
@@ -110,7 +110,6 @@ func Deploy(cfg DeployConfig) (*Deployment, error) {
 	}
 
 	d := &Deployment{Backend: b, Net: netsim.New(cfg.Link, cfg.Seed)}
-	b.Instrument(cfg.Registry)
 	d.Net.Instrument(cfg.Registry)
 	if cfg.FaultSeed != 0 {
 		d.Net.FaultSeed(cfg.FaultSeed)

@@ -1,6 +1,7 @@
 package load
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync/atomic"
@@ -397,7 +398,7 @@ func (r *runner) churn() error {
 			if already {
 				continue
 			}
-			if _, err := r.fleet.backend.RevokeSubject(s.id); err != nil {
+			if _, err := r.fleet.svc.RevokeSubject(context.Background(), s.id); err != nil {
 				return fmt.Errorf("revoke %s: %w", s.name, err)
 			}
 			if err := c.dist.RevokeSubject(s.id, c.objIDs); err != nil {
@@ -462,12 +463,12 @@ func (r *runner) churn() error {
 		for ci, c := range r.fleet.cells {
 			for k := 0; k < add; k++ {
 				name := fmt.Sprintf("s-add-%d-%d", ci, k)
-				id, _, err := r.fleet.backend.RegisterSubject(name, attr.MustSet("position=staff"))
+				id, _, err := r.fleet.svc.RegisterSubject(context.Background(), name, attr.MustSet("position=staff"))
 				if err != nil {
 					return err
 				}
 				if p.Fellow {
-					if err := r.fleet.backend.AddSubjectToGroup(id, r.fleet.group); err != nil {
+					if err := r.fleet.svc.AddSubjectToGroup(context.Background(), id, r.fleet.group); err != nil {
 						return err
 					}
 				}

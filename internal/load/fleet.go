@@ -1,6 +1,7 @@
 package load
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -88,9 +89,14 @@ type cell struct {
 // slices: the orchestrator appends subjects during add-churn while the
 // sampler goroutine walks the fleet for open-handshake counts.
 type fleet struct {
-	p        Profile
-	reg      *obs.Registry
+	p   Profile
+	reg *obs.Registry
+	// backend is the concrete enterprise — kept for what only the concrete
+	// type offers (the distributor admin, batch registration). All churn
+	// goes through svc, the transport-agnostic Service seam, so the harness
+	// exercises the same surface a remote backend serves.
 	backend  *backend.Backend
+	svc      backend.Service
 	group    groups.ID
 	cells    []*cell
 	observer *adversary.Observer // nil unless Profile.Observer
@@ -117,11 +123,10 @@ type discoveryHook func(*subjectSlot, core.Discovery)
 // distributor. hook receives completion events on engine event loops;
 // observer, when non-nil, is tapped onto every secure object.
 func buildFleet(p Profile, reg *obs.Registry, observer *adversary.Observer, hook discoveryHook) (*fleet, error) {
-	b, err := backend.New(suite.S128)
+	b, err := backend.New(suite.S128, backend.WithTelemetry(reg), backend.WithShards(p.Cells))
 	if err != nil {
 		return nil, err
 	}
-	b.Instrument(reg)
 	if _, _, err := b.AddPolicy(
 		attr.MustParse("position=='staff'"),
 		attr.MustParse("type=='device'"),
@@ -133,7 +138,7 @@ func buildFleet(p Profile, reg *obs.Registry, observer *adversary.Observer, hook
 		return nil, err
 	}
 
-	f := &fleet{p: p, reg: reg, backend: b, group: grp.ID(), observer: observer}
+	f := &fleet{p: p, reg: reg, backend: b, svc: backend.NewLocal(b), group: grp.ID(), observer: observer}
 
 	// Register + provision the whole population through the batch APIs.
 	nSubj, nObj := p.Subjects(), p.Objects()
@@ -345,7 +350,7 @@ func (f *fleet) openCell(c *cell) (func() (transport.Endpoint, error), error) {
 // at build time and for mid-run add-churn; staleGroup is true when the
 // covert group key has rotated since the objects were provisioned.
 func (f *fleet) addSubject(c *cell, id cert.ID, name string, staleGroup bool, hook discoveryHook) error {
-	prov, err := f.backend.ProvisionSubject(id)
+	prov, err := f.svc.ProvisionSubject(context.Background(), id)
 	if err != nil {
 		return fmt.Errorf("provision %s: %w", name, err)
 	}

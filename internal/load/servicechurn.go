@@ -1,0 +1,315 @@
+package load
+
+// The service-churn benchmark closes the loop between §VIII's closed-form
+// updating overhead (internal/scale, Table I) and a live multi-tenant
+// backend: it drives every Service churn operation against a real
+// backendsvc tenant — over the versioned /v1 HTTP API or in-process — and
+// checks that the observed number of affected ground entities matches
+// scale.Of(SchemeArgus, params) exactly, while measuring the wire latency of
+// each durable (WAL-fsynced) operation. `argus-load -service-churn` runs it
+// and commits the result as BENCH_8.json.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"argus/internal/attr"
+	"argus/internal/backend"
+	"argus/internal/backendclient"
+	"argus/internal/backendsvc"
+	"argus/internal/cert"
+	"argus/internal/scale"
+	"argus/internal/suite"
+)
+
+// ServiceChurnConfig sizes the live enterprise and the measurement.
+type ServiceChurnConfig struct {
+	// N is the number of objects the measured subjects can access
+	// (scale.Params.N); Beta the object-category size behind the policy
+	// ops; Gamma the secret-group size.
+	N, Beta, Gamma int
+	// Ops is how many times each operation repeats for the latency
+	// percentiles.
+	Ops int
+	// Shards is the tenant's worker-shard count (0 = serial).
+	Shards int
+	// HTTP routes every churn call through a real TCP listener and
+	// internal/backendclient; false keeps it in-process (the same Service
+	// interface, zero wire) — the pair isolates the HTTP+WAL cost.
+	HTTP bool
+	// Logf receives progress lines (nil = silent).
+	Logf func(string, ...any)
+}
+
+// DefaultServiceChurnConfig is CI-sized: a few seconds end to end.
+func DefaultServiceChurnConfig() ServiceChurnConfig {
+	return ServiceChurnConfig{N: 40, Beta: 15, Gamma: 6, Ops: 5, HTTP: true}
+}
+
+// ServiceChurnOp is one operation's comparison row.
+type ServiceChurnOp struct {
+	Name string `json:"name"`
+	// Measured is the observed updating overhead (affected ground entities,
+	// plus the one backend contact for the add operations, matching the
+	// Table I accounting).
+	Measured   int  `json:"measured"`
+	ClosedForm int  `json:"closed_form"`
+	Match      bool `json:"match"`
+	// Latency of the live call, over Ops repetitions.
+	P50Micros float64 `json:"p50_micros"`
+	P99Micros float64 `json:"p99_micros"`
+	MaxMicros float64 `json:"max_micros"`
+}
+
+// ServiceChurnReport is the BENCH_8 artifact.
+type ServiceChurnReport struct {
+	Transport string            `json:"transport"` // "http" or "local"
+	Shards    int               `json:"shards"`
+	Params    scale.Params      `json:"params"`
+	Ops       []ServiceChurnOp  `json:"ops"`
+	Match     bool              `json:"match"` // every row matched the closed form
+	Advantage map[string]string `json:"advantage"`
+}
+
+// WriteJSON writes the indented report.
+func (r *ServiceChurnReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+func quantile(ds []time.Duration, q float64) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return float64(sorted[idx]) / float64(time.Microsecond)
+}
+
+// measureOp runs an operation Ops times. prep does per-repetition setup
+// outside the timed window and returns the churn call to measure; the
+// overhead must be identical across repetitions (each is constructed to cost
+// the same) or the run is rejected as mis-built.
+func measureOp(name string, reps int, prep func(rep int) (func() (int, error), error)) (ServiceChurnOp, error) {
+	var (
+		lats     []time.Duration
+		overhead int
+	)
+	for i := 0; i < reps; i++ {
+		call, err := prep(i)
+		if err != nil {
+			return ServiceChurnOp{}, fmt.Errorf("%s rep %d setup: %w", name, i, err)
+		}
+		start := time.Now()
+		n, err := call()
+		if err != nil {
+			return ServiceChurnOp{}, fmt.Errorf("%s rep %d: %w", name, i, err)
+		}
+		lats = append(lats, time.Since(start))
+		if i == 0 {
+			overhead = n
+		} else if n != overhead {
+			return ServiceChurnOp{}, fmt.Errorf("%s: overhead drifted across reps: %d then %d", name, overhead, n)
+		}
+	}
+	return ServiceChurnOp{
+		Name:      name,
+		Measured:  overhead,
+		P50Micros: quantile(lats, 0.50),
+		P99Micros: quantile(lats, 0.99),
+		MaxMicros: quantile(lats, 1.0),
+	}, nil
+}
+
+// RunServiceChurn builds a live tenant sized to cfg, churns it through the
+// Service interface, and reports measured-vs-closed-form updating overheads.
+func RunServiceChurn(cfg ServiceChurnConfig) (*ServiceChurnReport, error) {
+	if cfg.N < 1 || cfg.Beta < 1 || cfg.Gamma < 2 || cfg.Ops < 1 {
+		return nil, fmt.Errorf("load: service churn needs N≥1, Beta≥1, Gamma≥2, Ops≥1: %+v", cfg)
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	dir, err := os.MkdirTemp("", "argus-servicechurn-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	store, err := backendsvc.OpenStore(dir, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer store.Close()
+	tn, err := store.Create("bench", suite.S128, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+
+	var svc backend.Service = tn
+	transport := "local"
+	if cfg.HTTP {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		hs := &http.Server{Handler: backendsvc.NewServer(store, "bench-admin", nil).Handler()}
+		go hs.Serve(ln)
+		defer hs.Close()
+		svc = backendclient.New("http://"+ln.Addr().String(), "bench", tn.AuthKey())
+		transport = "http"
+	}
+	ctx := context.Background()
+
+	// The enterprise under test. One staff→device policy makes every staff
+	// subject's accessible set exactly the N device objects; the Beta sensor
+	// objects back the policy ops; the fellows live in a category no policy
+	// touches, so revoking one isolates the γ−1 group re-key.
+	logf("service-churn: provisioning N=%d devices, β=%d sensors, %d groups of γ=%d over %s",
+		cfg.N, cfg.Beta, cfg.Ops, cfg.Gamma, transport)
+	if _, _, err := svc.AddPolicy(ctx, attr.MustParse("position=='staff'"),
+		attr.MustParse("type=='device'"), []string{"use"}); err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.N; i++ {
+		if _, _, err := svc.RegisterObject(ctx, fmt.Sprintf("dev-%d", i), backend.L2,
+			attr.MustSet("type=device"), []string{"use"}); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < cfg.Beta; i++ {
+		if _, _, err := svc.RegisterObject(ctx, fmt.Sprintf("sensor-%d", i), backend.L2,
+			attr.MustSet("type=sensor"), []string{"read"}); err != nil {
+			return nil, err
+		}
+	}
+
+	params := scale.Params{N: cfg.N, Alpha: cfg.Ops, Beta: cfg.Beta, Gamma: cfg.Gamma, XiO: 1.5, XiS: 1.5}
+	want := scale.Of(scale.SchemeArgus, params)
+	rep := &ServiceChurnReport{Transport: transport, Shards: cfg.Shards, Params: params, Match: true}
+
+	addRow := func(op ServiceChurnOp, closed int, err error) error {
+		if err != nil {
+			return err
+		}
+		op.ClosedForm = closed
+		op.Match = op.Measured == closed
+		if !op.Match {
+			rep.Match = false
+		}
+		rep.Ops = append(rep.Ops, op)
+		logf("service-churn: %-18s measured=%d closed-form=%d p50=%.0fµs p99=%.0fµs",
+			op.Name, op.Measured, op.ClosedForm, op.P50Micros, op.P99Micros)
+		return nil
+	}
+
+	// Add a subject: 1 backend contact, zero ground entities (Table I).
+	row, err := measureOp("add_subject", cfg.Ops, func(i int) (func() (int, error), error) {
+		return func() (int, error) {
+			_, r, err := svc.RegisterSubject(ctx, fmt.Sprintf("staff-%d", i), attr.MustSet("position=staff"))
+			return 1 + r.Total(), err
+		}, nil
+	})
+	if err := addRow(row, want.AddSubject, err); err != nil {
+		return nil, err
+	}
+
+	// Remove a subject: the N accessible objects are notified to blacklist.
+	row, err = measureOp("remove_subject", cfg.Ops, func(i int) (func() (int, error), error) {
+		id, _, err := svc.RegisterSubject(ctx, fmt.Sprintf("victim-%d", i), attr.MustSet("position=staff"))
+		if err != nil {
+			return nil, err
+		}
+		return func() (int, error) {
+			r, err := svc.RevokeSubject(ctx, id)
+			return r.Total(), err
+		}, nil
+	})
+	if err := addRow(row, want.RemoveSubject, err); err != nil {
+		return nil, err
+	}
+
+	// Add an object: only the new object itself is provisioned — the report
+	// already carries it, so no backend-contact correction here.
+	row, err = measureOp("add_object", cfg.Ops, func(i int) (func() (int, error), error) {
+		return func() (int, error) {
+			_, r, err := svc.RegisterObject(ctx, fmt.Sprintf("iso-%d", i), backend.L2,
+				attr.MustSet("type=isolated"), []string{"use"})
+			return r.Total(), err
+		}, nil
+	})
+	if err := addRow(row, want.AddObject, err); err != nil {
+		return nil, err
+	}
+
+	// Add / remove a policy: the β objects of the governed category update
+	// their ACL variants.
+	pids := make([]uint64, 0, cfg.Ops)
+	row, err = measureOp("add_policy", cfg.Ops, func(i int) (func() (int, error), error) {
+		return func() (int, error) {
+			pid, r, err := svc.AddPolicy(ctx, attr.MustParse("position=='auditor'"),
+				attr.MustParse("type=='sensor'"), []string{"read"})
+			pids = append(pids, pid)
+			return r.Total(), err
+		}, nil
+	})
+	if err := addRow(row, want.AddPolicy, err); err != nil {
+		return nil, err
+	}
+	row, err = measureOp("remove_policy", cfg.Ops, func(i int) (func() (int, error), error) {
+		return func() (int, error) {
+			r, err := svc.RemovePolicy(ctx, pids[i])
+			return r.Total(), err
+		}, nil
+	})
+	if err := addRow(row, want.RemovePolicy, err); err != nil {
+		return nil, err
+	}
+
+	// Remove a group member: γ−1 fellows re-keyed. One fresh group per rep
+	// keeps every repetition at the same γ; the fellows match no policy, so
+	// the measurement isolates the Level 3 re-key from object notifications.
+	row, err = measureOp("remove_group_member", cfg.Ops, func(i int) (func() (int, error), error) {
+		gid, err := svc.CreateGroup(ctx, fmt.Sprintf("g-%d", i))
+		if err != nil {
+			return nil, err
+		}
+		var victim cert.ID
+		for k := 0; k < cfg.Gamma; k++ {
+			id, _, err := svc.RegisterSubject(ctx, fmt.Sprintf("fellow-%d-%d", i, k),
+				attr.MustSet("position=fellow"))
+			if err != nil {
+				return nil, err
+			}
+			if err := svc.AddSubjectToGroup(ctx, id, gid); err != nil {
+				return nil, err
+			}
+			if k == 0 {
+				victim = id
+			}
+		}
+		return func() (int, error) {
+			r, err := svc.RevokeSubject(ctx, victim)
+			return r.Total(), err
+		}, nil
+	})
+	if err := addRow(row, want.RemoveGroupMember, err); err != nil {
+		return nil, err
+	}
+
+	rep.Advantage = map[string]string{
+		"add_subject_vs_idacl":   fmt.Sprintf("%.0fx", scale.AddSubjectAdvantage(params)),
+		"remove_subject_vs_abe":  fmt.Sprintf("%.1fx", scale.RemoveSubjectAdvantage(params)),
+		"closed_form_parameters": fmt.Sprintf("N=%d β=%d γ=%d", cfg.N, cfg.Beta, cfg.Gamma),
+	}
+	return rep, nil
+}

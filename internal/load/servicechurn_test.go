@@ -1,0 +1,48 @@
+package load
+
+import "testing"
+
+// TestServiceChurnMatchesClosedForm holds the live multi-tenant backend to
+// the §VIII analysis over both transports: every measured updating overhead
+// must equal scale.Of(SchemeArgus, params) exactly.
+func TestServiceChurnMatchesClosedForm(t *testing.T) {
+	for _, http := range []bool{false, true} {
+		cfg := ServiceChurnConfig{N: 12, Beta: 5, Gamma: 4, Ops: 3, Shards: 2, HTTP: http, Logf: t.Logf}
+		rep, err := RunServiceChurn(cfg)
+		if err != nil {
+			t.Fatalf("http=%v: %v", http, err)
+		}
+		if !rep.Match {
+			for _, op := range rep.Ops {
+				if !op.Match {
+					t.Errorf("http=%v %s: measured %d, closed form %d", http, op.Name, op.Measured, op.ClosedForm)
+				}
+			}
+			t.Fatalf("http=%v: live churn diverged from the closed form", http)
+		}
+		if want := 6; len(rep.Ops) != want {
+			t.Fatalf("http=%v: %d ops measured, want %d", http, len(rep.Ops), want)
+		}
+		wantTransport := "local"
+		if http {
+			wantTransport = "http"
+		}
+		if rep.Transport != wantTransport {
+			t.Fatalf("transport %q, want %q", rep.Transport, wantTransport)
+		}
+		for _, op := range rep.Ops {
+			if op.P50Micros <= 0 || op.P99Micros < op.P50Micros {
+				t.Fatalf("http=%v %s: nonsense latencies %+v", http, op.Name, op)
+			}
+		}
+	}
+}
+
+func TestServiceChurnRejectsBadConfig(t *testing.T) {
+	if _, err := RunServiceChurn(ServiceChurnConfig{N: 0, Beta: 1, Gamma: 2, Ops: 1}); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+	if _, err := RunServiceChurn(ServiceChurnConfig{N: 1, Beta: 1, Gamma: 1, Ops: 1}); err == nil {
+		t.Fatal("gamma=1 accepted (no fellows to re-key)")
+	}
+}

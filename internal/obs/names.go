@@ -75,6 +75,19 @@ const (
 	MUpdateRedelivered   = "argus_update_redelivered_total" // kind
 	MUpdateRedeliveryLag = "argus_update_redelivery_lag_seconds"
 
+	// internal/backendsvc — the durable multi-tenant service fronting the
+	// enterprise backends. Requests count the /v1 HTTP surface by route
+	// pattern and status code; WAL appends/replays count effect records
+	// written at churn time and re-applied at open; compactions count
+	// snapshot+truncate cycles; auth failures count rejected bearer keys.
+	MBackendsvcRequests    = "argus_backendsvc_requests_total"  // route, code
+	MBackendsvcLatency     = "argus_backendsvc_request_seconds" // route
+	MBackendsvcAuthFail    = "argus_backendsvc_auth_failures_total"
+	MBackendsvcWALAppends  = "argus_backendsvc_wal_appends_total" // tenant, op
+	MBackendsvcWALReplays  = "argus_backendsvc_wal_replays_total" // tenant, op
+	MBackendsvcCompactions = "argus_backendsvc_compactions_total" // tenant
+	MBackendsvcTenants     = "argus_backendsvc_tenants"
+
 	// internal/realtime — streaming ops plane. Subscribers is the live
 	// client count; events count everything published to the hub by kind;
 	// subscriber drops count events shed from a slow consumer's ring (by the

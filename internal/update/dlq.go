@@ -30,6 +30,28 @@ import (
 // DefaultDLQCapacity is the per-destination dead-letter bound.
 const DefaultDLQCapacity = 256
 
+// Journal persists dead-letter mutations so parked notifications survive a
+// gateway crash: every park, eviction and drain is recorded as it happens
+// (under the distributor lock, so the journal sees them in queue order).
+// On restart the embedder folds the journal back into parked letters and
+// hands them to RestoreParked. backendsvc.DLQLog is the file-backed
+// implementation, built on the same fsynced record framing as the
+// backend WAL.
+type Journal interface {
+	// Park records one parked letter (Notification.Encode bytes).
+	Park(to cert.ID, letter []byte)
+	// Evict records that the destination's oldest letter was discarded at
+	// the capacity bound.
+	Evict(to cert.ID)
+	// Drain records that the destination's whole queue was redelivered.
+	Drain(to cert.ID)
+}
+
+// WithDLQJournal attaches a dead-letter journal (nil detaches).
+func WithDLQJournal(j Journal) DistributorOption {
+	return func(d *Distributor) { d.journal = j }
+}
+
 // letter is one parked notification: fully signed, sequence assigned.
 type letter struct {
 	n  *Notification
@@ -58,10 +80,16 @@ func (d *Distributor) park(to cert.ID, n *Notification) {
 		d.parked--
 		d.evictC.Inc()
 		d.depthG.Add(-1)
+		if d.journal != nil {
+			d.journal.Evict(to)
+		}
 	}
 	q = append(q, letter{n: n, at: d.ep.Now()})
 	d.dlq[to] = q
 	d.parked++
+	if d.journal != nil {
+		d.journal.Park(to, n.Encode())
+	}
 	d.reg.Counter(obs.MUpdateUndeliverable,
 		"Notifications not deliverable because the destination was offline, by kind.",
 		obs.L("kind", n.Kind.String())).Inc()
@@ -97,6 +125,9 @@ func (d *Distributor) Reattach(id cert.ID, addr transport.Addr) int {
 	delete(d.dlq, id)
 	d.parked -= len(q)
 	d.redelivered += len(q)
+	if d.journal != nil {
+		d.journal.Drain(id)
+	}
 	now := d.ep.Now()
 	for _, l := range q {
 		d.countSent(l.n.Kind)
@@ -110,6 +141,35 @@ func (d *Distributor) Reattach(id cert.ID, addr transport.Addr) int {
 	d.depthG.Add(-int64(len(q)))
 	d.mu.Unlock()
 	return len(q)
+}
+
+// RestoreParked reloads journaled letters after a restart: every destination
+// with parked letters comes back offline (it missed those notifications for
+// a reason, and redelivery must wait for an explicit Reattach), queue order
+// is preserved, and the distributor's sequence counter fast-forwards past
+// the highest restored Seq so post-restart pushes never collide with a
+// parked letter — the agent replay check (Seq <= lastSeq) depends on it.
+// Restored letters are NOT re-journaled: the journal already holds them.
+func (d *Distributor) RestoreParked(parked map[cert.ID][]*Notification) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	now := d.ep.Now()
+	for to, ns := range parked {
+		if len(ns) == 0 {
+			continue
+		}
+		d.offline[to] = true
+		q := d.dlq[to]
+		for _, n := range ns {
+			q = append(q, letter{n: n, at: now})
+			d.parked++
+			d.depthG.Add(1)
+			if n.Seq > d.seq {
+				d.seq = n.Seq
+			}
+		}
+		d.dlq[to] = q
+	}
 }
 
 // DLQDepth returns the total number of parked letters across destinations.

@@ -225,6 +225,7 @@ type Distributor struct {
 	dlqCap      int
 	parked      int
 	redelivered int
+	journal     Journal
 
 	reg     *obs.Registry
 	sentAts map[uint64]time.Duration // seq → virtual push time, for lag measurement

@@ -1,0 +1,106 @@
+#!/bin/sh
+# End-to-end backend-service smoke: a real argus-backend daemon serving the
+# versioned /v1 API, real argus-node processes sourcing their credentials
+# from it over HTTP. Passes only when
+#
+#   1. argus-backend comes up, provisions the demo tenant, and announces its
+#      listener and the tenant auth key,
+#   2. a subject completes L1/L2/L3 discovery against object daemons whose
+#      credentials all came from the live service (no snapshot file anywhere),
+#   3. after a SIGKILL (no compaction, WAL replay only) the restarted daemon
+#      serves the same tenant and a fresh subject discovers all three levels
+#      again.
+#
+# This is the CI backend-smoke job; run it locally with `make backend-smoke`.
+set -eu
+
+cd "$(dirname "$0")/.."
+TMP=$(mktemp -d)
+BACKEND_PID=""
+OBJ_PID=""
+cleanup() {
+	[ -n "$OBJ_PID" ] && kill "$OBJ_PID" 2>/dev/null || true
+	if [ -n "$BACKEND_PID" ]; then
+		kill "$BACKEND_PID" 2>/dev/null || true
+		wait "$BACKEND_PID" 2>/dev/null || true # let shutdown compaction finish
+	fi
+	rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+go build -o "$TMP/argus-backend" ./cmd/argus-backend
+go build -o "$TMP/argus-node" ./cmd/argus-node
+
+start_backend() {
+	"$TMP/argus-backend" -listen 127.0.0.1:0 -data "$TMP/data" \
+		-admin-key smoke-root -init-demo >"$TMP/backend.log" 2>&1 &
+	BACKEND_PID=$!
+	i=0
+	while [ $i -lt 100 ]; do
+		BASE=$(sed -n 's/^listening addr=/http:\/\//p' "$TMP/backend.log" | head -n 1)
+		AUTH=$(sed -n 's/^tenant name=demo auth-key=//p' "$TMP/backend.log" | head -n 1)
+		[ -n "$BASE" ] && [ -n "$AUTH" ] && return 0
+		if ! kill -0 "$BACKEND_PID" 2>/dev/null; then
+			echo "backend smoke: argus-backend died during startup" >&2
+			cat "$TMP/backend.log" >&2
+			exit 1
+		fi
+		sleep 0.1
+		i=$((i + 1))
+	done
+	echo "backend smoke: argus-backend never announced its listener" >&2
+	cat "$TMP/backend.log" >&2
+	exit 1
+}
+
+run_discovery() {
+	round=$1
+	"$TMP/argus-node" -role object -names thermometer,printer,kiosk \
+		-backend "$BASE" -tenant demo -auth-key "$AUTH" \
+		-listen 127.0.0.1:0 >"$TMP/objects.$round.log" 2>&1 &
+	OBJ_PID=$!
+	PEERS=""
+	i=0
+	while [ $i -lt 100 ]; do
+		PEERS=$(sed -n 's/^listening name=[a-z]* addr=//p' "$TMP/objects.$round.log" | paste -sd, -)
+		case "$PEERS" in *,*,*) break ;; esac
+		if ! kill -0 "$OBJ_PID" 2>/dev/null; then
+			echo "backend smoke: object daemon died (round $round)" >&2
+			cat "$TMP/objects.$round.log" >&2
+			exit 1
+		fi
+		sleep 0.1
+		i=$((i + 1))
+	done
+	case "$PEERS" in
+	*,*,*) ;;
+	*)
+		echo "backend smoke: objects never announced three listeners (round $round)" >&2
+		cat "$TMP/objects.$round.log" >&2
+		exit 1
+		;;
+	esac
+
+	"$TMP/argus-node" -role subject -name alice \
+		-backend "$BASE" -tenant demo -auth-key "$AUTH" \
+		-listen 127.0.0.1:0 -peers "$PEERS" -ttl 1 \
+		-expect thermometer=L1,printer=L2,kiosk=L3 -timeout 30s
+	kill "$OBJ_PID" 2>/dev/null || true
+	wait "$OBJ_PID" 2>/dev/null || true
+	OBJ_PID=""
+}
+
+start_backend
+run_discovery 1
+
+# Crash the daemon hard — SIGKILL skips shutdown compaction, so the restart
+# must rebuild tenant state by replaying the write-ahead log.
+kill -9 "$BACKEND_PID"
+wait "$BACKEND_PID" 2>/dev/null || true
+BACKEND_PID=""
+: >"$TMP/backend.log"
+
+start_backend
+run_discovery 2
+
+echo "backend smoke: PASS"
