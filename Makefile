@@ -14,7 +14,7 @@ FUZZTIME ?= 15s
 # mesh-throughput experiments — commit it alongside any change that moves
 # handshake, provisioning, or concurrent-discovery cost.
 
-.PHONY: build test race vet verify cover cover-check fuzz chaos bench bench-obs bench-json load soak ops-smoke backend-smoke clean
+.PHONY: build test race vet verify cover cover-check fuzz chaos bench bench-obs bench-json bench-check load soak ops-smoke backend-smoke clean
 
 build:
 	$(GO) build ./...
@@ -27,7 +27,7 @@ test:
 # batch issuance fan out across worker pools, backend provisioning does the
 # same, and core's Results/PendingSessions are read cross-goroutine.
 race:
-	$(GO) test -race ./internal/obs ./internal/core ./internal/netsim ./internal/cert ./internal/backend ./internal/transport ./internal/load ./internal/realtime ./internal/update ./internal/adversary ./internal/backendsvc ./internal/backendclient
+	$(GO) test -race ./internal/obs ./internal/core ./internal/netsim ./internal/cert ./internal/backend ./internal/transport ./internal/load ./internal/realtime ./internal/update ./internal/adversary ./internal/backendsvc ./internal/backendclient ./internal/wire ./internal/suite
 
 vet:
 	$(GO) vet ./...
@@ -82,11 +82,22 @@ bench-obs:
 
 # Machine-readable benchmark trajectory: handshake fast path, provisioning,
 # and wall-clock Mesh discovery throughput (see EXPERIMENTS.md), plus the
-# 10k-subject load/soak headline run (BENCH_5.json, ~2 min).
+# 10k-subject load/soak headline run (BENCH_5.json, ~2 min). BENCH_9.json is
+# the hot-path rebuild's before/after record: its `after.report` is an
+# `argus-load -profile standard` run and its microbenchmark figures come
+# from the bench-check suite below — refresh both together when the hot
+# path moves.
 bench-json:
 	$(GO) run ./cmd/argus-bench -exp fastpath-handshake,fastpath-provision,mesh-throughput -json > BENCH_4.json
 	$(GO) run ./cmd/argus-load -profile standard -out BENCH_5.json
 	$(GO) run ./cmd/argus-load -service-churn -out BENCH_8.json
+
+# Hot-path allocation gate: wire codec + warm-handshake microbenchmarks
+# against the committed allocs/op ceilings (scripts/check_bench.sh, ~10 s).
+# Throughput/retransmission ceilings are gated at runtime by the load
+# profiles' SLO blocks.
+bench-check:
+	scripts/check_bench.sh
 
 # Load/soak harness (cmd/argus-load). `load` is the deterministic CI-sized
 # soak; `soak` is the 10k-subject headline profile.

@@ -22,13 +22,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
 	"argus/internal/load"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run executes the command and returns the process exit code. It exists so
+// the deferred profile writers fire on every exit path, including SLO
+// failures.
+func run() int {
 	var (
 		profile  = flag.String("profile", "ci-soak", "built-in profile name (see -list)")
 		list     = flag.Bool("list", false, "list built-in profiles and exit")
@@ -50,12 +57,45 @@ func main() {
 		broken   = flag.Bool("broken-scoping", false, "override: deliberately break L3 scoping (negative control for the covertness gate)")
 		alpha    = flag.Float64("covert-alpha", -1, "override: SLO significance floor for the covertness p-values (0 disables)")
 
+		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file (headless alternative to -obs /debug/pprof)")
+		memProf = flag.String("memprofile", "", "write a pprof heap profile (after the run, post-GC) to this file")
+
 		svcChurn  = flag.Bool("service-churn", false, "run the live-churn benchmark against a multi-tenant backend service and exit")
 		churnN    = flag.Int("churn-n", 0, "service-churn: accessible objects per subject (0 = default)")
 		churnOps  = flag.Int("churn-ops", 0, "service-churn: repetitions per operation (0 = default)")
 		churnHTTP = flag.Bool("churn-local", false, "service-churn: keep churn in-process instead of over HTTP")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "argus-load: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "argus-load: start cpu profile: %v\n", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "argus-load: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "argus-load: write heap profile: %v\n", err)
+			}
+		}()
+	}
 
 	if *svcChurn {
 		cfg := load.DefaultServiceChurnConfig()
@@ -74,27 +114,27 @@ func main() {
 		rep, err := load.RunServiceChurn(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "argus-load: %v\n", err)
-			os.Exit(2)
+			return 2
 		}
 		w := os.Stdout
 		if *out != "" {
 			f, err := os.Create(*out)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "argus-load: %v\n", err)
-				os.Exit(2)
+				return 2
 			}
 			defer f.Close()
 			w = f
 		}
 		if err := rep.WriteJSON(w); err != nil {
 			fmt.Fprintf(os.Stderr, "argus-load: write report: %v\n", err)
-			os.Exit(2)
+			return 2
 		}
 		if !rep.Match {
 			fmt.Fprintln(os.Stderr, "argus-load: live churn diverged from the §VIII closed form")
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	profiles := load.Profiles()
@@ -109,13 +149,13 @@ func main() {
 			fmt.Printf("%-12s %5d subj × %4d obj over %-4s  %s\n",
 				name, p.Subjects(), p.Objects(), p.Transport, p.Description)
 		}
-		return
+		return 0
 	}
 
 	p, ok := profiles[*profile]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "argus-load: unknown profile %q (try -list)\n", *profile)
-		os.Exit(2)
+		return 2
 	}
 	if *cells > 0 {
 		p.Cells = *cells
@@ -170,7 +210,7 @@ func main() {
 		var oerr error
 		if obsSrv, oerr = serveObs(&p, *obsAddr); oerr != nil {
 			fmt.Fprintf(os.Stderr, "argus-load: %v\n", oerr)
-			os.Exit(2)
+			return 2
 		}
 	}
 
@@ -179,7 +219,7 @@ func main() {
 	obsSrv.stop()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "argus-load: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
 
 	w := os.Stdout
@@ -187,14 +227,14 @@ func main() {
 		f, err := os.Create(*out)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "argus-load: %v\n", err)
-			os.Exit(2)
+			return 2
 		}
 		defer f.Close()
 		w = f
 	}
 	if err := rep.WriteJSON(w); err != nil {
 		fmt.Fprintf(os.Stderr, "argus-load: write report: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
 
 	if !rep.SLO.Pass {
@@ -202,7 +242,7 @@ func main() {
 		for _, v := range rep.SLO.Violations {
 			fmt.Fprintf(os.Stderr, "  - %s\n", v)
 		}
-		os.Exit(1)
+		return 1
 	}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr,
@@ -210,4 +250,5 @@ func main() {
 			rep.Totals.Completed, rep.Totals.PeakInflight,
 			rep.Totals.SessionsPerSecond, time.Since(start).Seconds())
 	}
+	return 0
 }

@@ -84,3 +84,33 @@ func TestObsPlaneStreamsLiveRun(t *testing.T) {
 		t.Fatalf("report not written: %v", err)
 	}
 }
+
+// TestProfileFlagsWriteHeadlessProfiles runs a tiny soak with -cpuprofile
+// and -memprofile and asserts both pprof files land non-empty — the
+// headless profiling workflow documented in the README.
+func TestProfileFlagsWriteHeadlessProfiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	out := filepath.Join(dir, "report.json")
+	cmd := exec.Command(os.Args[0],
+		"-profile", "ci-soak", "-cells", "1", "-subjects", "2", "-objects", "2",
+		"-waves", "1", "-min-peak", "-1", "-quiet", "-out", out,
+		"-cpuprofile", cpu, "-memprofile", mem)
+	cmd.Env = append(os.Environ(), "ARGUS_LOAD_CHILD=1")
+	if outB, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("argus-load: %v\n%s", err, outB)
+	}
+	for _, p := range []string{cpu, mem, out} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("%s not written: %v", filepath.Base(p), err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", filepath.Base(p))
+		}
+	}
+}

@@ -2,10 +2,7 @@ package main
 
 import (
 	"fmt"
-	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 	"time"
 
 	"argus/internal/backendsvc"
@@ -104,11 +101,11 @@ func runGateway(snapshot, targets, offline, dlqLog string, every, reattachAfter,
 			dist.MarkOffline(t.id)
 		}
 	}
+	// Trap before announcing readiness: a harness that synchronizes on the
+	// line below may signal immediately (see trapStop in main.go).
+	stop, release := trapStop()
+	defer release()
 	fmt.Printf("gateway targets=%d offline=%d\n", len(tgts), len(down))
-
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	defer signal.Stop(stop)
 	var tick <-chan time.Time
 	if every > 0 {
 		tk := time.NewTicker(every)

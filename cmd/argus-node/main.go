@@ -120,12 +120,20 @@ func main() {
 	}
 }
 
-// awaitStop blocks until SIGTERM/SIGINT arrives, or until d elapses when
-// d > 0 — the graceful-shutdown door every daemon role exits through.
-func awaitStop(d time.Duration) {
+// trapStop subscribes to SIGTERM/SIGINT and returns the channel plus its
+// release. Call it BEFORE announcing readiness (the "listening" lines a
+// harness synchronizes on): a signal that lands between the announcement
+// and the subscription would otherwise kill the process with the default
+// disposition instead of the graceful path.
+func trapStop() (<-chan os.Signal, func()) {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	defer signal.Stop(sig)
+	return sig, func() { signal.Stop(sig) }
+}
+
+// awaitStop blocks until a trapped signal arrives, or until d elapses when
+// d > 0 — the graceful-shutdown door every daemon role exits through.
+func awaitStop(sig <-chan os.Signal, d time.Duration) {
 	if d > 0 {
 		select {
 		case <-sig:
@@ -224,6 +232,8 @@ func runObjects(src func() (backend.Service, error), names, listen string, durat
 	if err != nil {
 		return err
 	}
+	sig, release := trapStop()
+	defer release()
 	ctx := context.Background()
 	anchor, err := svc.TrustAnchor(ctx)
 	if err != nil {
@@ -258,7 +268,7 @@ func runObjects(src func() (backend.Service, error), names, listen string, durat
 			core.WithTelemetry(op.reg, nil))
 		fmt.Printf("listening name=%s addr=%s\n", n, ep.Addr())
 	}
-	awaitStop(duration)
+	awaitStop(sig, duration)
 	return op.flush()
 }
 
@@ -335,7 +345,9 @@ func runSubject(src func() (backend.Service, error), name, listen, peers string,
 		if satisfied(want, best) {
 			fmt.Println("all expectations met")
 			if linger > 0 {
-				awaitStop(linger)
+				sig, release := trapStop()
+				awaitStop(sig, linger)
+				release()
 			}
 			return op.flush()
 		}

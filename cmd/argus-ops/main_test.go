@@ -70,7 +70,7 @@ func TestRunAwaitRendersHealth(t *testing.T) {
 	var buf bytes.Buffer
 	o := options{
 		attach:  strings.TrimPrefix(srv.URL, "http://"),
-		slo:     load.SLO{MaxLost: 4, MaxDLQDepth: 0},
+		slo:     load.SLO{MaxLost: 4, MaxDLQDepth: 0, MaxRetransmissions: -1},
 		await:   []string{"snapshot", "span"},
 		tailFor: 10 * time.Second,
 		spans:   true,

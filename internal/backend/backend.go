@@ -318,7 +318,7 @@ func (b *Backend) Objects() []cert.ID {
 	for id := range b.objects {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i].String() < ids[j].String() })
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
 	return ids
 }
 
@@ -376,7 +376,7 @@ func (b *Backend) governedBy(p *Policy) []cert.ID {
 			ids = append(ids, id)
 		}
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i].String() < ids[j].String() })
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
 	return ids
 }
 
@@ -400,8 +400,45 @@ func (b *Backend) AccessibleObjects(subject cert.ID) ([]cert.ID, error) {
 	for id := range seen {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i].String() < ids[j].String() })
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
 	return ids, nil
+}
+
+// mergeSortedIDs unions k ascending cert.ID lists into one ascending,
+// deduplicated list. The one-list case (an entity in a single secret group —
+// the norm) is a plain clone.
+func mergeSortedIDs(lists [][]cert.ID) []cert.ID {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return append([]cert.ID(nil), lists[0]...)
+	}
+	n := 0
+	for _, l := range lists {
+		n += len(l)
+	}
+	out := make([]cert.ID, 0, n)
+	idx := make([]int, len(lists))
+	for {
+		best := -1
+		for i, l := range lists {
+			if idx[i] >= len(l) {
+				continue
+			}
+			if best < 0 || l[idx[i]].Less(lists[best][idx[best]]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		next := lists[best][idx[best]]
+		idx[best]++
+		if len(out) == 0 || out[len(out)-1] != next {
+			out = append(out, next)
+		}
+	}
 }
 
 // RevokeSubject removes a subject from the system. Per Table I ("Rmv a
@@ -425,8 +462,12 @@ func (b *Backend) RevokeSubject(id cert.ID) (UpdateReport, error) {
 		b.objects[oid].revoked[id] = true
 		report.NotifiedObjects = append(report.NotifiedObjects, oid)
 	}
-	// Rotate the subject's secret groups.
-	rekeyedSet := make(map[cert.ID]bool)
+	// Rotate the subject's secret groups. RemoveMember returns each group's
+	// surviving fellows already sorted, so the union is a k-way sorted merge
+	// (k = the subject's group count, usually 1) — no set, no re-sort: with
+	// bulk revocation the per-removal re-sort of γ fellows was the single
+	// hottest non-crypto path in the churn profile.
+	var rekeyedLists [][]cert.ID
 	for _, gid := range b.Groups.Groups() {
 		if !b.Groups.IsMember(gid, id) {
 			continue
@@ -435,16 +476,11 @@ func (b *Backend) RevokeSubject(id cert.ID) (UpdateReport, error) {
 		if err != nil {
 			return UpdateReport{}, err
 		}
-		for _, fid := range rekeyed {
-			rekeyedSet[fid] = true
+		if len(rekeyed) > 0 {
+			rekeyedLists = append(rekeyedLists, rekeyed)
 		}
 	}
-	for fid := range rekeyedSet {
-		report.NotifiedSubjects = append(report.NotifiedSubjects, fid)
-	}
-	sort.Slice(report.NotifiedSubjects, func(i, j int) bool {
-		return report.NotifiedSubjects[i].String() < report.NotifiedSubjects[j].String()
-	})
+	report.NotifiedSubjects = mergeSortedIDs(rekeyedLists)
 	s.Revoked = true
 	b.countChurn("revoke_subject", report)
 	return report, nil
@@ -567,7 +603,7 @@ func (b *Backend) RevokedFor(object cert.ID) ([]cert.ID, error) {
 	for id := range o.revoked {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i].String() < ids[j].String() })
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
 	return ids, nil
 }
 

@@ -44,7 +44,7 @@ func (b *Backend) Snapshot() []byte {
 	for id := range b.subjects {
 		sids = append(sids, id)
 	}
-	sort.Slice(sids, func(i, j int) bool { return sids[i].String() < sids[j].String() })
+	sort.Slice(sids, func(i, j int) bool { return sids[i].Less(sids[j]) })
 	w.U32(uint32(len(sids)))
 	for _, id := range sids {
 		s := b.subjects[id]
@@ -107,7 +107,7 @@ func (b *Backend) Snapshot() []byte {
 	for id := range b.keys {
 		kids = append(kids, id)
 	}
-	sort.Slice(kids, func(i, j int) bool { return kids[i].String() < kids[j].String() })
+	sort.Slice(kids, func(i, j int) bool { return kids[i].Less(kids[j]) })
 	w.U32(uint32(len(kids)))
 	for _, id := range kids {
 		w.Raw(id[:])
@@ -125,7 +125,7 @@ func writeIDList(w *enc.Writer, set map[cert.ID]bool) {
 	for id := range set {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i].String() < ids[j].String() })
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
 	w.U32(uint32(len(ids)))
 	for _, id := range ids {
 		w.Raw(id[:])

@@ -14,6 +14,7 @@
 package cert
 
 import (
+	"bytes"
 	"crypto/rand"
 	"crypto/sha256"
 	"crypto/x509"
@@ -122,6 +123,15 @@ func IDFromName(name string) ID {
 
 // String renders the ID as hex.
 func (id ID) String() string { return hex.EncodeToString(id[:]) }
+
+// Less orders IDs lexicographically by raw bytes — the identical order to
+// comparing String() renderings (hex is monotone in the underlying bytes),
+// without allocating two strings per comparison. Sorting notification lists
+// by rendered hex was ~1/3 of all CPU during fleet-scale churn.
+func (id ID) Less(other ID) bool { return bytes.Compare(id[:], other[:]) < 0 }
+
+// Compare orders IDs bytewise (three-way), for slices.SortFunc and friends.
+func (id ID) Compare(other ID) int { return bytes.Compare(id[:], other[:]) }
 
 // Admin is the backend's certificate authority: it holds the admin private
 // key whose public half (K_admin^pub) is loaded onto every subject device and

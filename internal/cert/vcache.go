@@ -55,10 +55,54 @@ type VerifyCache struct {
 
 	hitsN, missesN atomic.Int64
 
+	// sf coalesces concurrent miss-path verifications of the same key onto a
+	// single leader (per-key singleflight). With batched delivery the mesh
+	// hands a worker a burst of identical QUE2s from one peer; without
+	// coalescing each one pays the full ECDSA chain verification before the
+	// first finishes and populates the cache. Counters are untouched by the
+	// flight machinery: every caller records its miss before joining, so
+	// miss accounting stays exact under coalescing.
+	sfMu sync.Mutex
+	sf   map[[32]byte]*vcFlight
+
 	// tel holds the exposition handles (nil until Instrument): a hit/miss
 	// counter pair per credential kind. Swapped atomically so Instrument is
 	// safe against in-flight lookups.
 	tel atomic.Pointer[vcTelemetry]
+}
+
+// vcFlight is one in-flight miss verification. Waiters block on done; err is
+// the leader's result, published before done closes.
+type vcFlight struct {
+	done chan struct{}
+	err  error
+}
+
+// joinFlight registers the caller on key's flight, reporting whether it is
+// the leader (true: caller must verify and call leaveFlight) or a waiter
+// (false: caller blocks on the returned flight's done channel).
+func (c *VerifyCache) joinFlight(key [32]byte) (*vcFlight, bool) {
+	c.sfMu.Lock()
+	defer c.sfMu.Unlock()
+	if fl, ok := c.sf[key]; ok {
+		return fl, false
+	}
+	if c.sf == nil {
+		c.sf = make(map[[32]byte]*vcFlight)
+	}
+	fl := &vcFlight{done: make(chan struct{})}
+	c.sf[key] = fl
+	return fl, true
+}
+
+// leaveFlight publishes the leader's result and releases the waiters. Called
+// after store, so a waiter's re-lookup observes the fresh entry.
+func (c *VerifyCache) leaveFlight(key [32]byte, fl *vcFlight, err error) {
+	fl.err = err
+	c.sfMu.Lock()
+	delete(c.sf, key)
+	c.sfMu.Unlock()
+	close(fl.done)
 }
 
 type vcTelemetry struct {
@@ -191,11 +235,34 @@ func (c *VerifyCache) VerifyCert(rootDER, certDER []byte, s suite.Strength) (*Ce
 		return &info, nil
 	}
 	c.miss(vcKindCert)
+	fl, leader := c.joinFlight(key)
+	if !leader {
+		<-fl.done
+		if fl.err != nil {
+			return nil, fl.err
+		}
+		// The leader stored a fresh entry; serve it at this caller's own
+		// verification time, exactly like a hit. If it is already gone
+		// (evicted under pressure, or the window closed in between), fall
+		// back to the real verification — rare, and never less strict.
+		if e := c.lookup(key, time.Now()); e != nil {
+			info := e.info
+			return &info, nil
+		}
+		info, _, _, err := verifyCertChainWindow(rootDER, certDER, s)
+		if err != nil {
+			return nil, err
+		}
+		return info, nil
+	}
 	info, nb, na, err := verifyCertChainWindow(rootDER, certDER, s)
+	if err == nil {
+		c.store(&vcEntry{key: key, kind: vcKindCert, entity: info.ID, info: *info, notBefore: nb, notAfter: na})
+	}
+	c.leaveFlight(key, fl, err)
 	if err != nil {
 		return nil, err
 	}
-	c.store(&vcEntry{key: key, kind: vcKindCert, entity: info.ID, info: *info, notBefore: nb, notAfter: na})
 	return info, nil
 }
 
@@ -214,7 +281,19 @@ func (c *VerifyCache) VerifyProfileAnchored(p *Profile, raw, anchorDER []byte, r
 		return nil
 	}
 	c.miss(vcKindProf)
+	fl, leader := c.joinFlight(key)
+	if !leader {
+		<-fl.done
+		if fl.err != nil {
+			return fl.err
+		}
+		if e := c.lookup(key, now); e != nil {
+			return nil
+		}
+		return p.VerifyAnchored(anchorDER, rootPub, now)
+	}
 	if err := p.VerifyAnchored(anchorDER, rootPub, now); err != nil {
+		c.leaveFlight(key, fl, err)
 		return err
 	}
 	// The memoized result holds while the profile window AND the signer
@@ -237,6 +316,7 @@ func (c *VerifyCache) VerifyProfileAnchored(p *Profile, raw, anchorDER []byte, r
 		}
 	}
 	c.store(&vcEntry{key: key, kind: vcKindProf, entity: p.Entity, notBefore: nb, notAfter: na})
+	c.leaveFlight(key, fl, nil)
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package cert
 
 import (
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -442,3 +443,114 @@ func TestIssueCertChainBatchMatchesSequential(t *testing.T) {
 }
 
 func statsOf(c *VerifyCache) (hits, misses int64, entries int) { return c.Stats() }
+
+// The miss-path singleflight must coalesce concurrent verifications of the
+// same credential onto one leader while keeping miss accounting exact:
+// every caller records its miss before joining a flight.
+
+func TestVerifyCacheFlightJoinLeave(t *testing.T) {
+	c := NewVerifyCache(8)
+	key := [32]byte{1}
+	fl, leader := c.joinFlight(key)
+	if !leader {
+		t.Fatal("first join is not leader")
+	}
+	fl2, leader2 := c.joinFlight(key)
+	if leader2 || fl2 != fl {
+		t.Fatal("second join did not attach to the in-flight leader")
+	}
+	sentinel := errors.New("flight failed")
+	c.leaveFlight(key, fl, sentinel)
+	<-fl2.done // closed: must not block
+	if fl2.err != sentinel {
+		t.Fatalf("waiter saw err %v, want the leader's error", fl2.err)
+	}
+	if _, leader3 := c.joinFlight(key); !leader3 {
+		t.Fatal("leaveFlight did not clear the flight; next join should lead")
+	}
+}
+
+func TestVerifyCacheFlightWaiterServedFromStore(t *testing.T) {
+	admin := newVCAdmin(t)
+	fx := newVCFixture(t, admin, "flight-lamp")
+	c := NewVerifyCache(8)
+
+	s := admin.Strength()
+	var sb [2]byte
+	sb[0], sb[1] = byte(int(s)>>8), byte(int(s))
+	key := vcKey(vcKindCert, admin.CACert(), sb[:], fx.certDER)
+
+	fl, leader := c.joinFlight(key)
+	if !leader {
+		t.Fatal("test did not get the leader slot")
+	}
+	type res struct {
+		info *CertInfo
+		err  error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		info, err := c.VerifyCert(admin.CACert(), fx.certDER, s)
+		ch <- res{info, err}
+	}()
+	// The concurrent caller records its miss before joining the flight.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, misses, _ := statsOf(c); misses >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("concurrent caller never recorded its miss")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Leader-style completion: verify, store, release the waiters.
+	info, nb, na, err := verifyCertChainWindow(admin.CACert(), fx.certDER, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.store(&vcEntry{key: key, kind: vcKindCert, entity: info.ID, info: *info, notBefore: nb, notAfter: na})
+	c.leaveFlight(key, fl, nil)
+
+	r := <-ch
+	if r.err != nil || r.info == nil || r.info.ID != fx.id {
+		t.Fatalf("waiter result: %+v err=%v", r.info, r.err)
+	}
+	if hits, misses, entries := statsOf(c); hits != 0 || misses != 1 || entries != 1 {
+		t.Fatalf("hits=%d misses=%d entries=%d, want 0/1/1", hits, misses, entries)
+	}
+}
+
+func TestVerifyCacheConcurrentMissAccounting(t *testing.T) {
+	admin := newVCAdmin(t)
+	fx := newVCFixture(t, admin, "swarm-lamp")
+	c := NewVerifyCache(8)
+
+	const g = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*g)
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			info, err := c.VerifyCert(admin.CACert(), fx.certDER, admin.Strength())
+			if err == nil && info.ID != fx.id {
+				err = errors.New("wrong identity from coalesced verify")
+			}
+			errs <- err
+			errs <- c.VerifyProfileAnchored(fx.prof, fx.profRaw, admin.CACert(), admin.Public(), time.Now())
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Whatever the interleaving, every call was either a hit or a counted
+	// miss, and both credentials live in the cache exactly once.
+	if hits, misses, entries := statsOf(c); hits+misses != 2*g || entries != 2 {
+		t.Fatalf("hits=%d misses=%d entries=%d", hits, misses, entries)
+	}
+}

@@ -1,0 +1,283 @@
+package core
+
+// Wall-clock acceptance for RetryPolicy.Adaptive: on a lossless transport an
+// adaptive subject finishes a discovery round with zero retransmissions —
+// the deadline wheel keeps deferring while answers flow and CompleteRound
+// drops the remaining deadlines — while a subject nobody answers still
+// drives its full QUE1 rebroadcast schedule off the wheel (liveness: the
+// wheel must actually fire, not just cancel quietly).
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"argus/internal/attr"
+	"argus/internal/backend"
+	"argus/internal/obs"
+	"argus/internal/suite"
+	"argus/internal/transport"
+	"argus/internal/wire"
+)
+
+// adaptiveRetry leaves lots of headroom between mesh RTT (sub-millisecond)
+// and the retransmission floor so a healthy run never plausibly hits a
+// deadline even on a slow CI machine.
+func adaptiveRetry() RetryPolicy {
+	return RetryPolicy{Que1Retries: 3, Que2Retries: 3, Timeout: 2 * time.Second,
+		Backoff: 2, SessionTTL: 3 * time.Second, Adaptive: true}
+}
+
+func TestMeshAdaptiveLosslessZeroRetransmissions(t *testing.T) {
+	const n = 8
+	b, err := backend.New(suite.S128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.AddPolicy(attr.MustParse("position=='staff'"),
+		attr.MustParse("type=='device'"), []string{"use"}); err != nil {
+		t.Fatal(err)
+	}
+	sid, _, err := b.RegisterSubject("alice", attr.MustSet("position=staff"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mesh := transport.NewMesh()
+	defer mesh.Close()
+	reg := obs.NewRegistry()
+
+	sprov, err := b.ProvisionSubject(sid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sep := mesh.Join()
+	subj := NewSubject(sprov, wire.V30, Costs{},
+		WithEndpoint(sep), WithRetry(adaptiveRetry()), WithTelemetry(reg, nil))
+
+	objs := make([]*Object, n)
+	for i := 0; i < n; i++ {
+		oid, _, err := b.RegisterObject(fmt.Sprintf("device-%02d", i), L2,
+			attr.MustSet("type=device"), []string{"use"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prov, err := b.ProvisionObject(oid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs[i] = NewObject(prov, wire.V30, Costs{},
+			WithEndpoint(mesh.Join()), WithRetry(adaptiveRetry()), WithTelemetry(reg, nil))
+	}
+
+	sep.Do(func() {
+		if err := subj.Discover(1); err != nil {
+			t.Errorf("Discover: %v", err)
+		}
+	})
+	meshPoll(t, 20*time.Second, func() bool { return len(subj.Results()) >= n },
+		"adaptive discoveries")
+	// The harness knows the round is over; the engine drops its remaining
+	// QUE1/QUE2 deadlines without any of them firing.
+	sep.Do(subj.CompleteRound)
+
+	meshPoll(t, 10*time.Second, func() bool {
+		if subj.PendingSessions() != 0 {
+			return false
+		}
+		for _, o := range objs {
+			if o.PendingSessions() != 0 {
+				return false
+			}
+		}
+		return true
+	}, "session GC on adaptive engines")
+
+	if got := counterValue(t, reg, obs.MRetransmissions); got != 0 {
+		t.Fatalf("lossless adaptive round retransmitted %d times, want 0", got)
+	}
+	// Subject sessions complete and are deleted before TTL; only the object
+	// side ages out its answered sessions (it never learns RES2 arrived).
+	if got := counterValue(t, reg, obs.MSessionsExpired, obs.L("role", "subject")); got != 0 {
+		t.Fatalf("%d subject sessions expired, want 0", got)
+	}
+}
+
+// que2Dropper wraps a subject's endpoint and swallows the first QUE2 it
+// unicasts, simulating a lost frame on an otherwise healthy transport.
+type que2Dropper struct {
+	transport.Endpoint
+	dropped bool
+}
+
+func (d *que2Dropper) Send(to transport.Addr, payload []byte) {
+	if !d.dropped {
+		if m, err := wire.Decode(payload); err == nil {
+			if _, ok := m.(*wire.QUE2); ok {
+				d.dropped = true
+				return
+			}
+		}
+	}
+	d.Endpoint.Send(to, payload)
+}
+
+// TestMeshAdaptiveQue2DeadlineRecoversLostFrame drops the subject's first
+// QUE2 on the floor: the RES2 never comes, the session's wheel deadline
+// fires, and the retransmitted QUE2 completes the handshake. This is the
+// QUE2 leg of the wheel actually firing, not just being cancelled.
+func TestMeshAdaptiveQue2DeadlineRecoversLostFrame(t *testing.T) {
+	b, err := backend.New(suite.S128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.AddPolicy(attr.MustParse("position=='staff'"),
+		attr.MustParse("type=='device'"), []string{"use"}); err != nil {
+		t.Fatal(err)
+	}
+	sid, _, err := b.RegisterSubject("alice", attr.MustSet("position=staff"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid, _, err := b.RegisterObject("device", L2, attr.MustSet("type=device"), []string{"use"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mesh := transport.NewMesh()
+	defer mesh.Close()
+	reg := obs.NewRegistry()
+	retry := RetryPolicy{Que1Retries: 3, Que2Retries: 3, Timeout: 100 * time.Millisecond,
+		Backoff: 2, SessionTTL: 5 * time.Second, Adaptive: true}
+
+	sprov, err := b.ProvisionSubject(sid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sep := &que2Dropper{Endpoint: mesh.Join()}
+	subj := NewSubject(sprov, wire.V30, Costs{},
+		WithEndpoint(sep), WithRetry(retry), WithTelemetry(reg, nil))
+
+	oprov, err := b.ProvisionObject(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	NewObject(oprov, wire.V30, Costs{},
+		WithEndpoint(mesh.Join()), WithRetry(retry), WithTelemetry(reg, nil))
+
+	sep.Do(func() {
+		if err := subj.Discover(1); err != nil {
+			t.Errorf("Discover: %v", err)
+		}
+	})
+	meshPoll(t, 20*time.Second, func() bool { return len(subj.Results()) >= 1 },
+		"discovery despite the dropped QUE2")
+	if !sep.dropped {
+		t.Fatal("harness never saw a QUE2 to drop")
+	}
+	if got := counterValue(t, reg, obs.MRetransmissions,
+		obs.L("role", "subject"), obs.L("msg", "que2")); got < 1 {
+		t.Fatalf("QUE2 retransmissions = %d, want >= 1 (the wheel deadline must have fired)", got)
+	}
+}
+
+// TestMeshAdaptiveObjectRestartsExpiredSession proves the expired-duplicate
+// restart cue: a QUE1 rebroadcast whose object-side session aged out
+// entirely clears the duplicate-suppression entry and is served a fresh
+// handshake, while a duplicate with a live session gets the cached RES1.
+func TestMeshAdaptiveObjectRestartsExpiredSession(t *testing.T) {
+	b, err := backend.New(suite.S128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid, _, err := b.RegisterObject("device", L2, attr.MustSet("type=device"), []string{"use"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oprov, err := b.ProvisionObject(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mesh := transport.NewMesh()
+	defer mesh.Close()
+	reg := obs.NewRegistry()
+	retry := RetryPolicy{Que1Retries: 2, Que2Retries: 2, Timeout: 50 * time.Millisecond,
+		Backoff: 2, SessionTTL: 300 * time.Millisecond, Adaptive: true}
+	obj := NewObject(oprov, wire.V30, Costs{},
+		WithEndpoint(mesh.Join()), WithRetry(retry), WithTelemetry(reg, nil))
+
+	// A bare listener stands in for the subject: it sends raw QUE1 frames
+	// and counts the RES1s the object answers with.
+	lep := mesh.Join()
+	var res1s int64
+	lep.Bind(transport.HandlerFunc(func(from transport.Addr, payload []byte) {
+		if m, err := wire.Decode(payload); err == nil {
+			if _, ok := m.(*wire.RES1); ok {
+				res1s++
+			}
+		}
+	}))
+	count := func() int64 {
+		ch := make(chan int64, 1)
+		lep.Do(func() { ch <- res1s })
+		return <-ch
+	}
+
+	rs, err := suite.NewNonce(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := (&wire.QUE1{Version: wire.V30, RS: rs}).Encode()
+
+	lep.Do(func() { lep.Send(obj.ep.Addr(), q) })
+	meshPoll(t, 5*time.Second, func() bool { return count() == 1 }, "first RES1")
+
+	// Same R_S while the session is live: duplicate, served the cached RES1.
+	lep.Do(func() { lep.Send(obj.ep.Addr(), q) })
+	meshPoll(t, 5*time.Second, func() bool { return count() == 2 }, "cached RES1 resend")
+
+	// Let the unanswered session age out entirely, then probe again: the
+	// object must treat it as a restart and serve a fresh handshake rather
+	// than staying silent forever.
+	meshPoll(t, 5*time.Second, func() bool { return obj.PendingSessions() == 0 },
+		"object session TTL GC")
+	lep.Do(func() { lep.Send(obj.ep.Addr(), q) })
+	meshPoll(t, 5*time.Second, func() bool { return count() == 3 }, "fresh RES1 after restart")
+}
+
+func TestMeshAdaptiveQue1ScheduleFiresWhenUnanswered(t *testing.T) {
+	b, err := backend.New(suite.S128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sid, _, err := b.RegisterSubject("alone", attr.MustSet("position=staff"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sprov, err := b.ProvisionSubject(sid)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mesh := transport.NewMesh()
+	defer mesh.Close()
+	reg := obs.NewRegistry()
+	sep := mesh.Join()
+	retry := RetryPolicy{Que1Retries: 2, Que2Retries: 2, Timeout: 30 * time.Millisecond,
+		Backoff: 2, SessionTTL: time.Second, Adaptive: true}
+	subj := NewSubject(sprov, wire.V30, Costs{},
+		WithEndpoint(sep), WithRetry(retry), WithTelemetry(reg, nil))
+
+	sep.Do(func() {
+		if err := subj.Discover(1); err != nil {
+			t.Errorf("Discover: %v", err)
+		}
+	})
+	// With no answers there is no RTT to defer on: the wheel must walk the
+	// whole configured rebroadcast schedule.
+	meshPoll(t, 10*time.Second, func() bool {
+		return counterValue(t, reg, obs.MRetransmissions,
+			obs.L("role", "subject"), obs.L("msg", "que1")) == int64(retry.Que1Retries)
+	}, "adaptive QUE1 rebroadcast schedule")
+}

@@ -136,3 +136,16 @@ func transcriptO(ts *wire.Transcript, q *wire.QUE2, ciphertext []byte) *wire.Tra
 	t.Add(ciphertext)
 	return t
 }
+
+// transcriptOHash is the hot-path form of transcriptO: both engines only
+// ever hash the object cut, so the extension lives in a pooled buffer that
+// is released before returning instead of surviving as garbage.
+func transcriptOHash(ts *wire.Transcript, q *wire.QUE2, ciphertext []byte) [32]byte {
+	t := ts.CloneInto(len(q.MACS2) + len(q.MACS3) + len(ciphertext))
+	t.Add(q.MACS2)
+	t.Add(q.MACS3)
+	t.Add(ciphertext)
+	h := t.Hash()
+	t.Release()
+	return h
+}

@@ -28,6 +28,10 @@ type Object struct {
 	retry    RetryPolicy // zero value: one-shot seed behavior (see RetryPolicy)
 	tel      *objectTelemetry
 
+	// wheel coalesces session expiries onto one armed timer when
+	// retry.Adaptive is set; nil on the legacy per-session timer path.
+	wheel *timerWheel
+
 	// pendingN mirrors len(sessions) for cross-goroutine reads (core.go
 	// contract); vcache memoizes credential verifications (WithVerifyCache).
 	pendingN atomic.Int64
@@ -94,6 +98,9 @@ func NewObject(prov *backend.ObjectProvision, version wire.Version, costs Costs,
 // constructed with WithEndpoint are already bound.
 func (o *Object) Bind(ep transport.Endpoint) {
 	o.ep = ep
+	if o.retry.Enabled() && o.retry.Adaptive {
+		o.wheel = newTimerWheel(ep)
+	}
 	ep.Bind(o)
 }
 
@@ -173,17 +180,26 @@ func (o *Object) handleQUE1(from transport.Addr, m *wire.QUE1, raw []byte) {
 	}
 	key := mkSessionKey(from, m.RS)
 	if o.seen[key] {
-		o.tel.que1Result(resultDuplicate)
 		// A flooded QUE1 arriving via another path is ignored; but under
 		// retry, a duplicate for a session still awaiting its QUE2 means the
-		// subject likely lost our RES1 — resend the cached bytes.
-		if o.retry.Enabled() {
-			if sess, ok := o.sessions[key]; ok && !sess.answered && sess.res1Enc != nil {
+		// subject likely lost our RES1 — resend the cached bytes. A duplicate
+		// whose session already aged out entirely is a restart cue, not a
+		// flood echo: the subject is still rebroadcasting past a full
+		// SessionTTL, so suppressing it would strand the round forever (both
+		// sides expired, nothing left to resend). Clear the dedup mark and
+		// run the full fresh-QUE1 path — the same stance the coarse seen
+		// reset below takes, with QUE2 signature freshness as the real
+		// replay guard. Adaptive-only: the static schedule keeps the seed's
+		// byte-exact suppression behavior.
+		if sess, ok := o.sessions[key]; ok || o.wheel == nil {
+			o.tel.que1Result(resultDuplicate)
+			if o.retry.Enabled() && ok && !sess.answered && sess.res1Enc != nil {
 				o.tel.retransmit(msgRES1)
 				o.ep.Send(from, sess.res1Enc)
 			}
+			return
 		}
-		return
+		delete(o.seen, key)
 	}
 	if len(o.seen) >= maxSeenQueries {
 		// Coarse reset: old R_S values have long completed or timed out;
@@ -213,6 +229,7 @@ func (o *Object) handleQUE1(from transport.Addr, m *wire.QUE1, raw []byte) {
 			o.sessions[key] = sess
 			o.syncPending()
 			o.scheduleExpiry(key, sess)
+			o.scheduleAnsweredGC(key, sess) // born answered: resend window only
 		}
 		o.ep.Send(from, enc)
 		return
@@ -234,7 +251,9 @@ func (o *Object) handleQUE1(from transport.Addr, m *wire.QUE1, raw []byte) {
 		CertO:   o.prov.CertDER,
 		KEXMO:   kex.Public(),
 	}
-	sig, err := o.prov.Key.Sign(res.SignedPart(m.RS))
+	signed := res.AppendSignedPart(wire.GetScratch(), m.RS)
+	sig, err := o.prov.Key.Sign(signed)
+	wire.PutScratch(signed)
 	if err != nil {
 		return
 	}
@@ -308,17 +327,29 @@ func (o *Object) handleQUE2(from transport.Addr, m *wire.QUE2) {
 		o.tel.que2Result(resultRejected)
 		return // de-authorized subjects stop seeing services (§VIII)
 	}
-	sigInput := wire.SigInputQUE2(sess.que1Enc, sess.res1Enc, m)
+	// The signature input doubles as the transcript prefix (§V): build it
+	// once in pooled scratch; if the signature holds, it seeds the transcript
+	// cut below.
+	sigInput := wire.AppendSigInputQUE2(wire.GetScratch(), sess.que1Enc, sess.res1Enc, m)
 	if !info.Public.Verify(sigInput, m.Sig) {
+		wire.PutScratch(sigInput)
 		o.tel.que2Result(resultRejected)
 		return
 	}
+	ts := wire.NewTranscript(len(sigInput) + len(m.Sig))
+	ts.Add(sigInput)
+	ts.Add(m.Sig)
+	wire.PutScratch(sigInput)
+	// ts is transient on the object side: every exit below releases it.
+
 	prof, err := cert.DecodeProfile(m.ProfS)
 	if err != nil || prof.Kind != cert.RoleSubject || prof.Entity != info.ID {
+		ts.Release()
 		o.tel.que2Result(resultRejected)
 		return
 	}
 	if err := o.vcache.VerifyProfileAnchored(prof, m.ProfS, o.prov.CACert, o.prov.AdminPub, time.Now()); err != nil {
+		ts.Release()
 		o.tel.que2Result(resultRejected)
 		return // PROF must be admin-signed: attributes cannot be self-claimed
 	}
@@ -326,13 +357,14 @@ func (o *Object) handleQUE2(from transport.Addr, m *wire.QUE2) {
 	// Key establishment.
 	preK, err := sess.kex.Shared(m.KEXMS)
 	if err != nil {
+		ts.Release()
 		o.tel.que2Result(resultRejected)
 		return
 	}
 	k2 := suite.SessionKey2(preK, sess.rs, sess.ro)
-	ts := transcriptS(sess.que1Enc, sess.res1Enc, m)
 	tsHash := ts.Hash()
 	if !suite.VerifyMAC(k2, suite.LabelSubjectFinished, tsHash, m.MACS2) {
+		ts.Release()
 		o.tel.que2Result(resultRejected)
 		return // handshake failure
 	}
@@ -392,8 +424,10 @@ func (o *Object) handleQUE2(from transport.Addr, m *wire.QUE2) {
 		if o.version == wire.V20 && o.prov.Level == L3 {
 			v := o.firstCovertVariant()
 			if v == nil {
+				ts.Release()
 				o.tel.que2Result(resultSilent)
 				sess.answered = true // remembered silence: duplicates stay silent
+				o.scheduleAnsweredGC(key, sess)
 				return
 			}
 			kFirst := suite.SessionKey3(k2, v.GroupKey, sess.rs, sess.ro)
@@ -403,17 +437,21 @@ func (o *Object) handleQUE2(from transport.Addr, m *wire.QUE2) {
 		}
 		v := o.matchVariant(prof)
 		if v == nil {
+			ts.Release()
 			o.tel.que2Result(resultSilent)
 			sess.answered = true // remembered silence: duplicates stay silent
+			o.scheduleAnsweredGC(key, sess)
 			return               // no policy admits this subject: silence, not a hint
 		}
 		res = o.buildRES2(ts, m, k2, v.Profile)
 		o.tel.que2Result(resultL2)
 	}
+	ts.Release()
 	if res == nil {
 		return
 	}
 	sess.answered = true
+	o.scheduleAnsweredGC(key, sess)
 	o.tel.response(cost, len(res.Ciphertext))
 	o.ep.Compute(cost, func() {
 		enc := res.Encode()
@@ -427,13 +465,38 @@ func (o *Object) handleQUE2(from transport.Addr, m *wire.QUE2) {
 // can only age out) at SessionTTL. See Subject.scheduleExpiry for the
 // pointer-equality rationale.
 func (o *Object) scheduleExpiry(key sessionKey, sess *objSession) {
-	o.ep.After(o.retry.ttl(), func() {
+	o.scheduleGC(key, sess, o.retry.ttl())
+}
+
+// scheduleAnsweredGC collects an answered session after half the TTL, on the
+// adaptive path only. An answered session holds no handshake liveness — it
+// exists solely to serve idempotent duplicate resends — so its retention is
+// a resend-service window, not a liveness window. Halving it halves how long
+// the fleet's session tables (and a drain barrier waiting on them) trail the
+// last wave. The full-TTL entry from scheduleExpiry simply no-ops when it
+// finds the session already gone.
+func (o *Object) scheduleAnsweredGC(key sessionKey, sess *objSession) {
+	if o.wheel == nil {
+		return
+	}
+	o.scheduleGC(key, sess, o.retry.ttl()/2)
+}
+
+func (o *Object) scheduleGC(key sessionKey, sess *objSession, ttl time.Duration) {
+	expire := func() {
 		if cur, ok := o.sessions[key]; ok && cur == sess {
 			delete(o.sessions, key)
 			o.syncPending()
 			o.tel.sessionExpired()
 		}
-	})
+	}
+	if o.wheel != nil {
+		// One armed timer for the whole session table instead of one per
+		// session. Expiries are never deferred — TTL semantics are exact.
+		o.wheel.schedule(ttl, expire)
+		return
+	}
+	o.ep.After(ttl, expire)
 }
 
 // buildRES2 encrypts the profile variant under the session key and computes
@@ -443,8 +506,7 @@ func (o *Object) buildRES2(ts *wire.Transcript, m *wire.QUE2, key []byte, prof *
 	if err != nil {
 		return nil
 	}
-	to := transcriptO(ts, m, ct)
-	mac := suite.FinishedMAC(key, suite.LabelObjectFinished, to.Hash())
+	mac := suite.FinishedMAC(key, suite.LabelObjectFinished, transcriptOHash(ts, m, ct))
 	return &wire.RES2{Version: o.version, Ciphertext: ct, MACO: mac}
 }
 

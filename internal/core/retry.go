@@ -32,6 +32,21 @@ type RetryPolicy struct {
 	// it, the session is garbage-collected and counted as expired. Zero means
 	// the default of 8s.
 	SessionTTL time.Duration
+	// Adaptive switches the engines from per-message backoff timers to a
+	// deadline-aware timer wheel keyed off observed RTT: retransmission
+	// deadlines start at the configured schedule but extend while the
+	// measured round-trip horizon (srtt + 4·rttvar) says the answer is still
+	// plausibly in flight, and a completed or canceled session drops its
+	// deadlines without the timer ever firing. On a lossless network an
+	// adaptive engine retransmits ~never. The configured delays remain hard
+	// floors and SessionTTL expiry is never deferred, so GC semantics are
+	// unchanged.
+	//
+	// Off by default. The legacy path arms one transport timer per attempt
+	// in a fixed order, and deterministic-simulation harnesses (netsim
+	// fault schedules, chaos, exp fingerprints) depend on that exact event
+	// sequence — they must leave Adaptive unset.
+	Adaptive bool
 }
 
 // Enabled reports whether the policy is active.

@@ -55,10 +55,38 @@ type Subject struct {
 	retry   RetryPolicy
 	lastTTL int // hop TTL of the current round, for QUE1 rebroadcasts
 
+	// wheel coalesces retry/expiry deadlines when retry.Adaptive is set; nil
+	// on the legacy per-attempt timer path. rtt feeds its deadlines with the
+	// observed handshake round-trip, and que1Timer is the current round's
+	// pending rebroadcast (deferred while responses keep arriving).
+	wheel     *timerWheel
+	rtt       rttEstimator
+	que1Timer *wheelEntry
+	// que1Attempt is the probe-chain position the pending rebroadcast will
+	// fire at. Round activity resets it to 1: Que1Retries bounds CONSECUTIVE
+	// silent probes, not total probes per round, so a round stalled behind a
+	// long compute backlog (every probe in the budget fired unanswered, then
+	// late responses finally arrived) gets its recovery chain back instead of
+	// being stranded with expired sessions and an exhausted budget.
+	que1Attempt int
+	// completedRound is the last round a harness declared done via
+	// CompleteRound: handshake traffic still processes normally, but no new
+	// retry deadlines are armed for it (a responder answering after the
+	// declared quota — e.g. an object silently refusing a revoked subject —
+	// must not leave a retransmission timer ticking toward a misfire).
+	completedRound int
+
 	// l1Recorded dedupes Level 1 discoveries within a round: fault injection
 	// can deliver the same plaintext RES1 twice (link-layer duplication or a
 	// QUE1 rebroadcast), and a Level 1 exchange has no session to anchor on.
 	l1Recorded map[transport.Addr]bool
+	// secRecorded maps an object address to the last round a secure (L2/L3)
+	// discovery from it was recorded. Adaptive-path only: once a handshake
+	// restart is possible (the object re-answers a rebroadcast after its
+	// session expired), a late restart RES1 can arrive AFTER the original
+	// handshake already completed — re-handshaking it would double-credit
+	// the round. Rounds start at 1, so the zero value never collides.
+	secRecorded map[transport.Addr]int
 
 	tel *subjectTelemetry
 
@@ -69,6 +97,7 @@ type Subject struct {
 
 type subjSession struct {
 	objAddr transport.Addr
+	ro      []byte // object nonce, distinguishes RES1 resends from restarts
 	k2      []byte
 	k3      []byte
 	group   groups.ID
@@ -77,6 +106,13 @@ type subjSession struct {
 	que2Enc []byte // cached encoding, resent verbatim on timeout/duplicate RES1
 	round   int
 	stamps  phaseStamps
+
+	// Adaptive-path state: wheel entries for the pending retransmission and
+	// the TTL expiry, and the transport time of the last QUE2 (re)send the
+	// RTO horizon is measured from. All nil/zero on the legacy path.
+	que2Timer *wheelEntry
+	expiry    *wheelEntry
+	sentAt    time.Duration
 }
 
 // NewSubject creates an engine from a backend provision, applying any
@@ -108,6 +144,9 @@ func NewSubject(prov *backend.SubjectProvision, version wire.Version, costs Cost
 // constructed with WithEndpoint are already bound.
 func (s *Subject) Bind(ep transport.Endpoint) {
 	s.ep = ep
+	if s.retry.Enabled() && s.retry.Adaptive {
+		s.wheel = newTimerWheel(ep)
+	}
 	ep.Bind(s)
 }
 
@@ -192,8 +231,13 @@ func (s *Subject) Discover(ttl int) error {
 	s.round++
 	for k, sess := range s.sessions {
 		if sess.round < s.round-1 {
+			s.dropSessionTimers(sess)
 			delete(s.sessions, k)
 		}
+	}
+	if s.wheel != nil && s.que1Timer != nil {
+		s.wheel.cancel(s.que1Timer)
+		s.que1Timer = nil
 	}
 	s.syncPending()
 	s.rs = rs
@@ -205,7 +249,11 @@ func (s *Subject) Discover(ttl int) error {
 	s.que1Enc = q.Encode()
 	s.ep.Broadcast(s.que1Enc, ttl)
 	if s.retry.Enabled() && s.retry.Que1Retries > 0 {
-		s.scheduleQue1Retry(1)
+		if s.wheel != nil {
+			s.armQue1Adaptive(1)
+		} else {
+			s.scheduleQue1Retry(1)
+		}
 	}
 	return nil
 }
@@ -227,6 +275,101 @@ func (s *Subject) scheduleQue1Retry(attempt int) {
 			s.scheduleQue1Retry(attempt + 1)
 		}
 	})
+}
+
+// armQue1Adaptive arms the attempt-th QUE1 rebroadcast on the timer wheel.
+// Unlike the legacy chain, the deadline is a quiescence detector: every
+// response handled this round defers it to now + RTO (see noteActivity), so
+// while discovery traffic keeps flowing the rebroadcast never fires. On a
+// lossless network the round completes inside one deferral window and the
+// entry dies canceled (CompleteRound) or superseded by the next round.
+//
+// The fire reads s.que1Attempt rather than its captured attempt so that
+// noteActivity's chain reset takes effect on an already-armed probe.
+func (s *Subject) armQue1Adaptive(attempt int) {
+	if s.completedRound == s.round {
+		return
+	}
+	s.que1Attempt = attempt
+	round := s.round
+	s.que1Timer = s.wheel.schedule(s.retry.delay(attempt), func() {
+		s.que1Timer = nil
+		if s.round != round {
+			return // a newer round superseded this one
+		}
+		s.tel.retransmit(msgQUE1)
+		s.ep.Broadcast(s.que1Enc, s.lastTTL)
+		if s.que1Attempt < s.retry.Que1Retries {
+			s.armQue1Adaptive(s.que1Attempt + 1)
+		}
+	})
+}
+
+// noteActivity records that current-round discovery traffic is still
+// arriving: the pending QUE1 rebroadcast (a quiescence probe, not a response
+// timeout) is pushed out to now + RTO, and the probe chain is reset to
+// attempt 1 — activity is proof the round is live, so the retry budget
+// guards consecutive silence, not lifetime probes. If the budget was already
+// exhausted while the network (or a compute backlog) sat on the responses,
+// the chain is re-armed: late traffic revives recovery for whatever sessions
+// expired during the stall. The configured schedule remains the floor —
+// deferTo never moves a deadline earlier.
+func (s *Subject) noteActivity() {
+	if s.wheel == nil || s.completedRound == s.round {
+		return
+	}
+	s.que1Attempt = 1
+	switch {
+	case s.que1Timer != nil:
+		s.wheel.deferTo(s.que1Timer, s.ep.Now()+s.rtt.rto(s.retry.Timeout))
+	case s.retry.Que1Retries > 0:
+		s.armQue1Adaptive(1)
+	}
+}
+
+// dropSessionTimers cancels a session's pending wheel entries (no-op on the
+// legacy path, whose timers guard on session liveness instead).
+func (s *Subject) dropSessionTimers(sess *subjSession) {
+	if s.wheel == nil {
+		return
+	}
+	if sess.que2Timer != nil {
+		s.wheel.cancel(sess.que2Timer)
+		sess.que2Timer = nil
+	}
+	if sess.expiry != nil {
+		s.wheel.cancel(sess.expiry)
+		sess.expiry = nil
+	}
+}
+
+// CompleteRound tells the engine the caller knows the current round is done
+// — every expected responder answered — so its pending retransmission
+// deadlines (the QUE1 rebroadcast probe and per-session QUE2 retries) are
+// dropped before they can fire, and no new retry deadline is armed for the
+// rest of the round: a handshake that progresses after the declaration (an
+// object silently refusing a revoked subject, a straggler RES1) completes
+// or expires without ever retransmitting. Only a harness that tracks expected response
+// counts can know this; the protocol itself cannot distinguish "everyone
+// answered" from "the rest lost my query", which is why the timers exist.
+// Sessions and their TTL expiries are untouched: completion accounting and
+// GC semantics stay exactly as without the call. No-op on the legacy
+// (non-adaptive) path. Event-loop only, like every state-mutating method.
+func (s *Subject) CompleteRound() {
+	if s.wheel == nil {
+		return
+	}
+	s.completedRound = s.round
+	if s.que1Timer != nil {
+		s.wheel.cancel(s.que1Timer)
+		s.que1Timer = nil
+	}
+	for _, sess := range s.sessions {
+		if sess.round == s.round && sess.que2Timer != nil {
+			s.wheel.cancel(sess.que2Timer)
+			sess.que2Timer = nil
+		}
+	}
 }
 
 // DiscoverAll runs one round per held group key, rotating keys between
@@ -287,6 +430,10 @@ func (s *Subject) handlePublicRES1(from transport.Addr, m *wire.RES1) {
 		return // duplicate delivery of this round's plaintext RES1
 	}
 	s.l1Recorded[from] = true
+	if s.wheel != nil {
+		s.rtt.observe(s.ep.Now() - s.que1At)
+		s.noteActivity()
+	}
 	st := phaseStamps{session: s.tel.session(), que1At: s.que1At, res1At: s.ep.Now()}
 	s.tel.count(opsVerify, 1)
 	s.ep.Compute(s.costs.Verify, func() {
@@ -308,23 +455,50 @@ func (s *Subject) handleSecureRES1(from transport.Addr, m *wire.RES1, raw []byte
 	if s.rs == nil {
 		return // no discovery in progress
 	}
+	if s.wheel != nil && s.secRecorded[from] == s.round {
+		return // already credited this object this round: stale restart echo
+	}
 	if sess, ok := s.sessions[mkSessionKey(from, s.rs)]; ok {
-		// Duplicate RES1 for a live handshake (link-layer duplication, or the
-		// object resent it after a QUE1 rebroadcast). Deriving a fresh KEX
-		// here would desync K2 with an object that already consumed our QUE2,
-		// deadlocking the session until expiry — so never re-handshake. The
-		// duplicate usually means our QUE2 was lost; resend it verbatim.
-		if s.retry.Enabled() && sess.que2Enc != nil {
-			s.tel.retransmit(msgQUE2)
-			s.ep.Send(from, sess.que2Enc)
+		if s.wheel == nil || bytes.Equal(sess.ro, m.RO) {
+			// Duplicate RES1 for a live handshake (link-layer duplication, or
+			// the object resent it after a QUE1 rebroadcast). Deriving a fresh
+			// KEX here would desync K2 with an object that already consumed
+			// our QUE2, deadlocking the session until expiry — so never
+			// re-handshake. On the legacy schedule the duplicate usually
+			// means our QUE2 was lost, so it is resent verbatim. On the
+			// adaptive path the session's own RTO timer owns QUE2
+			// retransmission — resending here too turns one congested-start
+			// quiescence probe into a probe→RES1→QUE2→RES2 echo storm across
+			// the whole fleet; the duplicate is recorded as round activity
+			// and nothing more.
+			if s.wheel != nil {
+				s.noteActivity()
+			} else if s.retry.Enabled() && sess.que2Enc != nil {
+				s.tel.retransmit(msgQUE2)
+				s.ep.Send(from, sess.que2Enc)
+			}
+			return
 		}
-		return
+		// Fresh R_O under the same R_S: the object restarted the handshake
+		// after its session aged out, so the state our cached QUE2's
+		// signature covers no longer exists — resending it can only be
+		// rejected. Supersede the doomed session and handshake anew.
+		s.dropSessionTimers(sess)
+		delete(s.sessions, mkSessionKey(from, s.rs))
+		s.syncPending()
+	}
+	if s.wheel != nil {
+		s.rtt.observe(s.ep.Now() - s.que1At)
+		s.noteActivity()
 	}
 	info, err := s.vcache.VerifyCert(s.prov.CACert, m.CertO, s.prov.Strength)
 	if err != nil || info.Role != cert.RoleObject {
 		return
 	}
-	if !info.Public.Verify(m.SignedPart(s.rs), m.Sig) {
+	signed := m.AppendSignedPart(wire.GetScratch(), s.rs)
+	sigOK := info.Public.Verify(signed, m.Sig)
+	wire.PutScratch(signed)
+	if !sigOK {
 		return // forged or replayed RES1
 	}
 	kex, err := suite.NewKeyExchange(s.prov.Strength, nil)
@@ -344,17 +518,26 @@ func (s *Subject) handleSecureRES1(from transport.Addr, m *wire.RES1, raw []byte
 		CertS:   s.prov.CertDER,
 		KEXMS:   kex.Public(),
 	}
-	sig, err := s.prov.Key.Sign(wire.SigInputQUE2(s.que1Enc, raw, q))
+	// The QUE2 signature input doubles as the transcript prefix: build it
+	// once in pooled scratch, sign it, seed the session transcript from it.
+	// (The transcript is retained for the session's lifetime, so it gets its
+	// own buffer; the scratch goes straight back to the pool.)
+	sigIn := wire.AppendSigInputQUE2(wire.GetScratch(), s.que1Enc, raw, q)
+	sig, err := s.prov.Key.Sign(sigIn)
 	if err != nil {
+		wire.PutScratch(sigIn)
 		return
 	}
 	q.Sig = sig
 
-	ts := transcriptS(s.que1Enc, raw, q)
+	ts := wire.NewTranscript(len(sigIn) + len(sig))
+	ts.Add(sigIn)
+	ts.Add(sig)
+	wire.PutScratch(sigIn)
 	tsHash := ts.Hash()
 	q.MACS2 = suite.FinishedMAC(k2, suite.LabelSubjectFinished, tsHash)
 
-	sess := &subjSession{objAddr: from, k2: k2, ts: ts, round: s.round}
+	sess := &subjSession{objAddr: from, ro: append([]byte(nil), m.RO...), k2: k2, ts: ts, round: s.round}
 	sess.stamps = phaseStamps{session: s.tel.session(), secure: true, que1At: s.que1At, res1At: s.ep.Now()}
 	extraHMACs := 0
 	if s.version != wire.V10 && len(s.prov.Memberships) > 0 {
@@ -396,9 +579,14 @@ func (s *Subject) handleSecureRES1(from transport.Addr, m *wire.RES1, raw []byte
 		sess.stamps.que2At = s.ep.Now()
 		enc := q.Encode()
 		sess.que2Enc = enc
+		sess.sentAt = s.ep.Now()
 		s.ep.Send(from, enc)
 		if s.retry.Enabled() && s.retry.Que2Retries > 0 {
-			s.scheduleQue2Retry(key, 1)
+			if s.wheel != nil {
+				s.armQue2Adaptive(key, sess, 1, s.rtt.rto(s.retry.delay(1)))
+			} else {
+				s.scheduleQue2Retry(key, 1)
+			}
 		}
 	})
 }
@@ -420,6 +608,36 @@ func (s *Subject) scheduleQue2Retry(key sessionKey, attempt int) {
 	})
 }
 
+// armQue2Adaptive arms a QUE2 retransmission deadline on the wheel. The
+// wait starts at the configured backoff but never undercuts the observed
+// round-trip horizon, and a deadline that fires early (the estimator grew
+// after arming) re-arms for the remainder instead of retransmitting — on a
+// lossless network the verified RES2 cancels the entry first and the wire
+// never sees a duplicate QUE2.
+func (s *Subject) armQue2Adaptive(key sessionKey, sess *subjSession, attempt int, wait time.Duration) {
+	if s.completedRound == s.round && sess.round == s.round {
+		return // round declared done: the answer is either in flight or refused
+	}
+	sess.que2Timer = s.wheel.schedule(wait, func() {
+		sess.que2Timer = nil
+		if cur, ok := s.sessions[key]; !ok || cur != sess || sess.que2Enc == nil {
+			return
+		}
+		horizon := s.rtt.rto(s.retry.delay(attempt))
+		if due := sess.sentAt + horizon; due > s.ep.Now() {
+			s.armQue2Adaptive(key, sess, attempt, due-s.ep.Now())
+			return
+		}
+		s.tel.retransmit(msgQUE2)
+		s.ep.Send(sess.objAddr, sess.que2Enc)
+		sess.sentAt = s.ep.Now()
+		if attempt < s.retry.Que2Retries {
+			next := attempt + 1
+			s.armQue2Adaptive(key, sess, next, s.rtt.rto(s.retry.delay(next)))
+		}
+	})
+}
+
 // scheduleExpiry garbage-collects the session at SessionTTL if it has not
 // completed: under total loss nothing else would ever delete it, and a
 // leaked session both holds memory and blocks the object's duplicate
@@ -427,13 +645,22 @@ func (s *Subject) scheduleQue2Retry(key sessionKey, attempt int) {
 // session that reused the key (same peer, same R_S — only possible across
 // rounds with a nonce collision, but cheap to be exact about).
 func (s *Subject) scheduleExpiry(key sessionKey, sess *subjSession) {
-	s.ep.After(s.retry.ttl(), func() {
+	expire := func() {
 		if cur, ok := s.sessions[key]; ok && cur == sess {
+			s.dropSessionTimers(sess)
 			delete(s.sessions, key)
 			s.syncPending()
 			s.tel.sessionExpired()
 		}
-	})
+	}
+	if s.wheel != nil {
+		// On the wheel the expiry is a heap entry, not a live transport
+		// timer, and completion cancels it — 20k concurrent sessions hold
+		// one armed timer instead of 20k. Expiries are never deferred.
+		sess.expiry = s.wheel.schedule(s.retry.ttl(), expire)
+		return
+	}
+	s.ep.After(s.retry.ttl(), expire)
 }
 
 // handleRES2 completes the handshake: determine which key the object used
@@ -450,6 +677,11 @@ func (s *Subject) handleRES2(from transport.Addr, m *wire.RES2) {
 		}
 	}
 	if sess == nil {
+		// Orphaned RES2: our session expired before the answer arrived. The
+		// payload is unusable, but it is still live round traffic — let it
+		// defer (or revive) the quiescence probe so the rebroadcast chain
+		// restarts the handshake instead of stranding the round.
+		s.noteActivity()
 		return
 	}
 	if !s.retry.Enabled() {
@@ -457,9 +689,11 @@ func (s *Subject) handleRES2(from transport.Addr, m *wire.RES2) {
 		s.syncPending()
 	}
 	sess.stamps.res2At = s.ep.Now()
+	if s.wheel != nil {
+		s.noteActivity()
+	}
 
-	to := transcriptO(sess.ts, sess.que2, m.Ciphertext)
-	toHash := to.Hash()
+	toHash := transcriptOHash(sess.ts, sess.que2, m.Ciphertext)
 
 	var level Level
 	var sk []byte
@@ -478,6 +712,14 @@ func (s *Subject) handleRES2(from transport.Addr, m *wire.RES2) {
 	}
 	// An authenticated RES2 completes the session; a later duplicate finds
 	// no session and is dropped, making delivery effectively exactly-once.
+	if s.wheel != nil {
+		s.rtt.observe(sess.stamps.res2At - sess.stamps.que2At)
+		s.dropSessionTimers(sess)
+		if s.secRecorded == nil {
+			s.secRecorded = make(map[transport.Addr]int)
+		}
+		s.secRecorded[from] = sess.round
+	}
 	delete(s.sessions, key)
 	s.syncPending()
 

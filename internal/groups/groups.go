@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"slices"
 	"sort"
 
 	"argus/internal/cert"
@@ -46,6 +47,27 @@ type Group struct {
 	keyVersion  uint64
 	subjects    map[cert.ID]bool
 	objects     map[cert.ID]bool
+	// sorted holds every member (subject or object fellow, each once) in
+	// cert.ID order, maintained incrementally on Add/RemoveMember. Rekey
+	// notification fan-out is γ−1 per removal; re-deriving and re-sorting the
+	// list per removal made bulk revocation churn O(γ² log γ) and dominated
+	// the churn phase's CPU profile.
+	sorted []cert.ID
+}
+
+// insertSorted adds id to g.sorted in order; no-op if already present.
+func (g *Group) insertSorted(id cert.ID) {
+	i, found := slices.BinarySearchFunc(g.sorted, id, cert.ID.Compare)
+	if !found {
+		g.sorted = slices.Insert(g.sorted, i, id)
+	}
+}
+
+// removeSorted deletes id from g.sorted; no-op if absent.
+func (g *Group) removeSorted(id cert.ID) {
+	if i, found := slices.BinarySearchFunc(g.sorted, id, cert.ID.Compare); found {
+		g.sorted = slices.Delete(g.sorted, i, i+1)
+	}
 }
 
 // ID returns the group's identifier.
@@ -138,6 +160,7 @@ func (m *Manager) AddMember(gid ID, entity cert.ID, role cert.Role) error {
 	default:
 		return errors.New("groups: invalid role")
 	}
+	g.insertSorted(entity)
 	return nil
 }
 
@@ -155,22 +178,14 @@ func (m *Manager) RemoveMember(gid ID, entity cert.ID) (rekeyed []cert.ID, err e
 	}
 	delete(g.subjects, entity)
 	delete(g.objects, entity)
+	g.removeSorted(entity)
 	key, err := suite.NewGroupKey(m.rng)
 	if err != nil {
 		return nil, err
 	}
 	g.key = key
 	g.keyVersion++
-	for id := range g.subjects {
-		rekeyed = append(rekeyed, id)
-	}
-	for id := range g.objects {
-		rekeyed = append(rekeyed, id)
-	}
-	sort.Slice(rekeyed, func(i, j int) bool {
-		return rekeyed[i].String() < rekeyed[j].String()
-	})
-	return rekeyed, nil
+	return slices.Clone(g.sorted), nil
 }
 
 // IsMember reports whether the entity currently belongs to the group.

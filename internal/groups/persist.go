@@ -31,7 +31,7 @@ func (m *Manager) Export() []byte {
 	for id := range m.coverUps {
 		coverIDs = append(coverIDs, id)
 	}
-	sort.Slice(coverIDs, func(i, j int) bool { return coverIDs[i].String() < coverIDs[j].String() })
+	sort.Slice(coverIDs, func(i, j int) bool { return coverIDs[i].Less(coverIDs[j]) })
 	w.U32(uint32(len(coverIDs)))
 	for _, id := range coverIDs {
 		cu := m.coverUps[id]
@@ -48,7 +48,7 @@ func writeIDSet(w *enc.Writer, set map[cert.ID]bool) {
 	for id := range set {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i].String() < ids[j].String() })
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
 	w.U32(uint32(len(ids)))
 	for _, id := range ids {
 		w.Raw(id[:])

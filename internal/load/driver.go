@@ -193,6 +193,10 @@ func (r *runner) onDiscovery(s *subjectSlot, d core.Discovery) {
 	r.inflightG.Add(-1)
 	if done {
 		r.roundsDone.Add(1)
+		// The ledger knows the round is over before the engine possibly can;
+		// drop its remaining retry deadlines so none fires spuriously. The
+		// hook runs on the subject's event loop, so the call is direct.
+		s.eng.CompleteRound()
 	}
 }
 
@@ -236,10 +240,22 @@ func (r *runner) armSlot(s *subjectSlot) int {
 	return exp
 }
 
-// fire issues the slot's Discover on its event loop.
+// fire issues the slot's Discover on its event loop. A round armed with
+// zero expected completions (a revoked subject in an all-secure cell) is
+// declared complete in the same breath: it still broadcasts — the silence
+// it meets is part of the scenario — but nothing will ever credit it, so
+// its retry deadlines would all be misfires.
 func (r *runner) fire(s *subjectSlot) {
 	eng := s.eng
-	s.ep.Do(func() { _ = eng.Discover(1) })
+	s.mu.Lock()
+	exp := s.expected
+	s.mu.Unlock()
+	s.ep.Do(func() {
+		_ = eng.Discover(1)
+		if exp == 0 {
+			eng.CompleteRound()
+		}
+	})
 }
 
 // reapLost retires every unfinished round at a drain deadline, converting
@@ -308,7 +324,21 @@ func (r *runner) runClosedLoop() error {
 		r.inflight.add(pre)
 		r.inflightG.Add(pre)
 		waveStart := time.Now()
-		for _, s := range slots {
+		// Pace round starts across ArmWindow in ~64 evenly spaced chunks
+		// (sleep granularity, not per-slot precision). The expectation
+		// ledger is fully armed above, so the pacing is invisible to
+		// accounting — it only flattens the handshake compute queue.
+		chunk := len(slots)
+		var pause time.Duration
+		if p.ArmWindow > 0 && len(slots) > 1 {
+			steps := min(64, len(slots))
+			chunk = (len(slots) + steps - 1) / steps
+			pause = p.ArmWindow / time.Duration((len(slots)+chunk-1)/chunk)
+		}
+		for i, s := range slots {
+			if pause > 0 && i > 0 && i%chunk == 0 {
+				time.Sleep(pause)
+			}
 			r.fire(s)
 		}
 		target := base + int64(len(slots))
@@ -692,7 +722,10 @@ func (r *runner) drainTail() int64 {
 	if ttl <= 0 {
 		ttl = 8 * time.Second
 	}
-	ok := transporttest.Poll(ttl+3*time.Second, 10*time.Millisecond, func() bool {
+	// The tail is bounded by session-GC timers, not by message flow, so a
+	// coarse poll step suffices; each pendingSessions call walks every engine
+	// in the fleet, which at 10 ms cadence showed up in the CPU profile.
+	ok := transporttest.Poll(ttl+3*time.Second, 50*time.Millisecond, func() bool {
 		return r.fleet.pendingSessions() == 0
 	})
 	if ok {
@@ -701,15 +734,18 @@ func (r *runner) drainTail() int64 {
 	return int64(r.fleet.pendingSessions())
 }
 
-// startSampler launches the concurrency sampler: every 10 ms it mirrors the
+// startSampler launches the concurrency sampler: every 25 ms it mirrors the
 // inflight gauge's peak into the registry and records the high-water mark
-// of actually open handshakes (Σ PendingSessions over every engine).
+// of actually open handshakes (Σ PendingSessions over every engine). Each
+// sample walks every engine in the fleet — at 11k+ engines the old 10 ms
+// cadence showed up as ~8% of run CPU on a single-core profile — so the
+// cadence stays just fine enough to catch a wave's concurrency plateau.
 func (r *runner) startSampler() {
 	r.samplerStop = make(chan struct{})
 	r.samplerDone = make(chan struct{})
 	go func() {
 		defer close(r.samplerDone)
-		tick := time.NewTicker(10 * time.Millisecond)
+		tick := time.NewTicker(25 * time.Millisecond)
 		defer tick.Stop()
 		for {
 			select {

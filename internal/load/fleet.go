@@ -102,6 +102,10 @@ type fleet struct {
 	observer *adversary.Observer // nil unless Profile.Observer
 	sleepy   int                 // fleet-wide duty-cycled object count
 
+	// vmemo dedups the fan-out of identically-signed update notifications
+	// across every agent in the fleet (see suite.VerifyMemo).
+	vmemo *suite.VerifyMemo
+
 	mu           sync.RWMutex
 	subjectCount atomic.Int64
 }
@@ -139,6 +143,11 @@ func buildFleet(p Profile, reg *obs.Registry, observer *adversary.Observer, hook
 	}
 
 	f := &fleet{p: p, reg: reg, backend: b, svc: backend.NewLocal(b), group: grp.ID(), observer: observer}
+
+	// One signed churn notification fans out to every affected agent in this
+	// process; a fleet-shared memo verifies each distinct notification once.
+	vmemo := suite.NewVerifyMemo(0)
+	f.vmemo = vmemo
 
 	// Register + provision the whole population through the batch APIs.
 	nSubj, nObj := p.Subjects(), p.Objects()
@@ -275,6 +284,7 @@ func buildFleet(p Profile, reg *obs.Registry, observer *adversary.Observer, hook
 			// agents' propagation histogram works on the concurrent
 			// transports too — and measures from park time across any DLQ
 			// crash window.
+			agent.UseVerifyMemo(f.vmemo)
 			agent.Instrument(reg, c.dist.SentAt)
 			obj := core.NewObject(prov, p.engineVersion(), core.Costs{},
 				core.WithEndpoint(agent.Wrap(ep)),

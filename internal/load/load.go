@@ -91,6 +91,15 @@ type Profile struct {
 	// ThinkTime once the previous wave has fully drained.
 	Waves     int
 	ThinkTime time.Duration
+	// ArmWindow, when > 0, paces each wave's round starts uniformly across
+	// the window instead of firing every subject at once. A wave of N
+	// handshakes needs ~N×(crypto cost) of CPU no matter how it is armed; an
+	// instantaneous burst converts all of that into queue wait for the
+	// last-served sessions, which on a big wave can exceed SessionTTL and
+	// turn a healthy run into expiry/restart churn. Pacing bounds per-session
+	// queue wait at roughly (compute time − window) without stretching the
+	// wave, which stays compute-bound.
+	ArmWindow time.Duration
 
 	// Open-loop driver (replaces the wave loop when Rate > 0): Poisson
 	// arrivals at Rate rounds/second across the subject pool for Duration.
@@ -375,6 +384,13 @@ func (p *Profile) validate() error {
 		if !p.Retry.Enabled() || p.Retry.Que1Retries == 0 || p.Retry.Que2Retries == 0 {
 			return fmt.Errorf("load: sleepy objects need retransmission on both legs (Que1Retries and Que2Retries > 0)")
 		}
+		if p.Retry.Adaptive {
+			// The losslessness proof below reasons over the exact static
+			// transmission schedule; an adaptive policy defers deadlines
+			// past it, so a sleepy object's awake windows are no longer
+			// guaranteed to intersect any transmission.
+			return fmt.Errorf("load: adaptive retry defers the transmission schedule the sleepy duty-cycle coverage proof depends on; use a static policy with SleepyFrac")
+		}
 		if churn {
 			return fmt.Errorf("load: sleepy objects would sleep through update pushes; no churn")
 		}
@@ -460,6 +476,9 @@ func Profiles() map[string]Profile {
 				MinPeakConcurrent: 150,
 				P50Ceiling:        2 * time.Second,
 				P99Ceiling:        8 * time.Second,
+				// The static backoff schedule fires under -race scheduling
+				// jitter; benign duplicates, not losses.
+				MaxRetransmissions: -1, MaxWarmRetransmissions: -1,
 			},
 		},
 		{
@@ -470,10 +489,21 @@ func Profiles() map[string]Profile {
 			Levels: []backend.Level{backend.L1, backend.L2, backend.L3, backend.L2},
 			Fellow: true,
 			Waves:  3, ThinkTime: 100 * time.Millisecond,
+			// A 20k-session wave is ~12s of handshake crypto on one core;
+			// pacing round starts across 12s keeps every session's compute
+			// queue wait far inside the 10s SessionTTL (an instantaneous
+			// burst pushes the tail past it, forcing expiry/restart churn).
+			ArmWindow:  12 * time.Second,
 			RevokeFrac: 0.10, AddFrac: 0.05,
 			Retry: core.RetryPolicy{
 				Que1Retries: 2, Que2Retries: 3,
-				Timeout: 4 * time.Second, Backoff: 2, SessionTTL: 10 * time.Second,
+				// SessionTTL must exceed the worst-case handshake completion
+				// time or healthy sessions expire mid-handshake and churn
+				// through expiry/restart recovery: a cold 20k-session wave is
+				// ~12s of ECDSA on one core, so 10s (the old static-schedule
+				// value) sat inside the compute backlog.
+				Timeout: 4 * time.Second, Backoff: 2, SessionTTL: 20 * time.Second,
+				Adaptive: true,
 			},
 			Seed:         1,
 			Workers:      8,
@@ -483,6 +513,18 @@ func Profiles() map[string]Profile {
 				P50Ceiling:        10 * time.Second,
 				P99Ceiling:        13 * time.Second,
 				MaxSlowSessions:   0,
+				// Mesh is lossless and the retry policy is adaptive, so once
+				// the RTT estimator has samples a retransmission is a timer
+				// misfire: waves after the first must retransmit exactly
+				// zero, and that invariant is pinned hard. The cold first
+				// wave is different — QUE1 quiescence probes fire against the
+				// initial conservative RTO while the fleet's handshake
+				// backlog is deepest, measured at 0.8k–4.8k probes per run on
+				// one core depending on scheduling jitter — so the total gate
+				// is a cold-start noise ceiling, not a loss budget (the
+				// static schedule produced 94k+ on this profile).
+				MaxRetransmissions:     10000,
+				MaxWarmRetransmissions: 0,
 			},
 		},
 		{
@@ -500,9 +542,10 @@ func Profiles() map[string]Profile {
 			Seed:         1,
 			DrainTimeout: 30 * time.Second,
 			SLO: SLO{
-				MinPeakConcurrent: 40,
-				P50Ceiling:        2 * time.Second,
-				P99Ceiling:        8 * time.Second,
+				MinPeakConcurrent:  40,
+				P50Ceiling:         2 * time.Second,
+				P99Ceiling:         8 * time.Second,
+				MaxRetransmissions: -1, MaxWarmRetransmissions: -1,
 			},
 		},
 		{
@@ -517,8 +560,9 @@ func Profiles() map[string]Profile {
 			Seed:         1,
 			DrainTimeout: 30 * time.Second,
 			SLO: SLO{
-				P50Ceiling: 2 * time.Second,
-				P99Ceiling: 8 * time.Second,
+				P50Ceiling:         2 * time.Second,
+				P99Ceiling:         8 * time.Second,
+				MaxRetransmissions: -1, MaxWarmRetransmissions: -1,
 			},
 		},
 		{
@@ -546,6 +590,8 @@ func Profiles() map[string]Profile {
 				// Each lost session also shows up as (at most) one expiry on
 				// each side beyond the predicted count.
 				MaxExpiredExtra: 8,
+				// Retransmission is the recovery mechanism here.
+				MaxRetransmissions: -1, MaxWarmRetransmissions: -1,
 			},
 		},
 		{
@@ -572,6 +618,9 @@ func Profiles() map[string]Profile {
 				P50Ceiling:                2 * time.Second,
 				P99Ceiling:                8 * time.Second,
 				StrictAdversaryAccounting: true,
+				// Sleepy objects miss broadcasts by design; rebroadcast is
+				// what reaches them.
+				MaxRetransmissions: -1, MaxWarmRetransmissions: -1,
 			},
 		},
 		{
@@ -596,6 +645,8 @@ func Profiles() map[string]Profile {
 				P50Ceiling:        2 * time.Second,
 				P99Ceiling:        8 * time.Second,
 				CovertnessAlpha:   1e-3,
+				// Legacy static schedule under bursty waves.
+				MaxRetransmissions: -1, MaxWarmRetransmissions: -1,
 			},
 		},
 	}

@@ -140,7 +140,7 @@ func TestChurnDLQRedelivery(t *testing.T) {
 		},
 		Seed:         5,
 		DrainTimeout: 30 * time.Second,
-		SLO:          SLO{P99Ceiling: 8 * time.Second},
+		SLO:          SLO{P99Ceiling: 8 * time.Second, MaxRetransmissions: -1},
 		Logf:         t.Logf,
 	}
 	rep, err := Run(p)
@@ -238,7 +238,7 @@ func TestRunLiveObservability(t *testing.T) {
 		},
 		Seed:         3,
 		DrainTimeout: 30 * time.Second,
-		SLO:          SLO{P99Ceiling: 8 * time.Second},
+		SLO:          SLO{P99Ceiling: 8 * time.Second, MaxRetransmissions: -1},
 		Registry:     reg,
 		Tracer:       tr,
 		Events:       rec,
@@ -353,7 +353,7 @@ func TestOpenLoopSmall(t *testing.T) {
 			Timeout: 100 * time.Millisecond, Backoff: 2, SessionTTL: time.Second,
 		},
 		Seed: 42,
-		SLO:  SLO{P99Ceiling: 8 * time.Second},
+		SLO:  SLO{P99Ceiling: 8 * time.Second, MaxRetransmissions: -1},
 		Logf: t.Logf,
 	}
 	rep, err := Run(p)
@@ -398,9 +398,11 @@ func TestFaultySoakSmall(t *testing.T) {
 		Seed:         7,
 		DrainTimeout: 20 * time.Second,
 		SLO: SLO{
-			MaxLost:         3,
-			MaxExpiredExtra: 3,
-			P99Ceiling:      10 * time.Second,
+			MaxLost:                3,
+			MaxExpiredExtra:        3,
+			P99Ceiling:             10 * time.Second,
+			MaxRetransmissions:     -1,
+			MaxWarmRetransmissions: -1,
 		},
 		Logf: t.Logf,
 	}
@@ -545,6 +547,19 @@ func TestSLOCheck(t *testing.T) {
 		{name: "peak floor", slo: SLO{MinPeakConcurrent: 101}, mutate: func(*Report) {}, wantHit: "peak"},
 		{name: "mailbox drops", slo: SLO{}, mutate: func(r *Report) { r.Counters["mailbox_drops"] = 1 }, wantHit: "mailbox"},
 		{name: "malformed", slo: SLO{}, mutate: func(r *Report) { r.Counters["malformed_drops"] = 3 }, wantHit: "malformed"},
+		{name: "retransmissions strict", slo: SLO{}, mutate: func(r *Report) { r.Counters["retransmissions"] = 1 }, wantHit: "retransmissions"},
+		{name: "retransmissions within budget", slo: SLO{MaxRetransmissions: 50}, mutate: func(r *Report) { r.Counters["retransmissions"] = 50 }, wantOK: true},
+		{name: "retransmissions disabled", slo: SLO{MaxRetransmissions: -1}, mutate: func(r *Report) { r.Counters["retransmissions"] = 99999 }, wantOK: true},
+		{name: "warm-wave retransmissions strict", slo: SLO{}, mutate: func(r *Report) {
+			r.Waves = append(r.Waves, WaveStats{Index: 0}, WaveStats{Index: 1, Retransmissions: 1})
+		}, wantHit: "warm-wave"},
+		{name: "cold-wave retransmissions exempt from warm gate", slo: SLO{MaxRetransmissions: 10}, mutate: func(r *Report) {
+			r.Counters["retransmissions"] = 7
+			r.Waves = append(r.Waves, WaveStats{Index: 0, Retransmissions: 7}, WaveStats{Index: 1})
+		}, wantOK: true},
+		{name: "warm-wave gate disabled", slo: SLO{MaxWarmRetransmissions: -1, MaxRetransmissions: -1}, mutate: func(r *Report) {
+			r.Waves = append(r.Waves, WaveStats{Index: 1, Retransmissions: 500})
+		}, wantOK: true},
 		{name: "unexplained expiries", slo: SLO{}, mutate: func(r *Report) { r.Counters["subject_sessions_expired"] = 2 }, wantHit: "expir"},
 		{name: "predicted expiries pass", slo: SLO{}, mutate: func(r *Report) {
 			r.Counters["subject_sessions_expired"] = 2

@@ -180,6 +180,10 @@ func (r *runner) buildReport(wall time.Duration, leaked int64) *Report {
 		Covertness:               r.covert,
 	}
 
+	// Collect before sampling so HeapAlloc reports live heap rather than an
+	// arbitrary point in the GC cycle — raw samples on identical runs swung
+	// ~2x depending on where the last collection landed.
+	runtime.GC()
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	completed := r.completed.Load()

@@ -260,7 +260,7 @@ func TestStreamGatesCovertness(t *testing.T) {
 		t.Fatalf("length p=0 must violate: %+v", g)
 	}
 	// No alpha, no gates.
-	if gates := (SLO{}).StreamGates(mk(0, 0), nil, 0); len(gates) != 5 {
+	if gates := (SLO{}).StreamGates(mk(0, 0), nil, 0); len(gates) != 6 {
 		t.Fatalf("covert gates must be absent without an alpha, got %d gates", len(gates))
 	}
 }

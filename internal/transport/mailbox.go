@@ -12,6 +12,14 @@ import (
 // without an explicit size.
 const DefaultMailbox = 1024
 
+// mailboxBatch is how many frames the actor loop delivers before re-checking
+// for control work. Without the cap, a flooded endpoint that grabbed its
+// whole backlog (up to the mailbox bound) would sit on freshly-armed timers
+// and Do closures for the entire drain; with it, control latency is bounded
+// by one batch regardless of backlog depth, while the common case — a few
+// frames per wake — still drains in a single lock round-trip.
+const mailboxBatch = 64
+
 // inbound is one delivered frame awaiting the handler.
 type inbound struct {
 	from    Addr
@@ -27,6 +35,7 @@ type mailbox struct {
 	mu     sync.Mutex
 	ctrl   []func()
 	msgs   []inbound
+	spare  []inbound // drained frame buffer recycled back under mu
 	limit  int
 	wake   chan struct{}
 	closed bool
@@ -115,9 +124,13 @@ func (mb *mailbox) close() {
 	}
 }
 
-// run is the actor loop: drain control, then frames, then sleep until woken.
-// It is the only goroutine that ever calls h, preserving the engines'
-// single-writer contract.
+// run is the actor loop: drain control, then frames in batches of
+// mailboxBatch — re-checking for control work between batches, so the
+// ctrl-before-frame contract holds against an arbitrarily deep frame backlog
+// — then sleep until woken. The frame queue is double-buffered: the drained
+// slice is recycled as the producers' next append target, so steady-state
+// delivery allocates nothing. run is the only goroutine that ever calls h,
+// preserving the engines' single-writer contract.
 func (mb *mailbox) run(h Handler) {
 	defer close(mb.loopDone)
 	for {
@@ -125,20 +138,51 @@ func (mb *mailbox) run(h Handler) {
 		ctrl := mb.ctrl
 		mb.ctrl = nil
 		msgs := mb.msgs
-		mb.msgs = nil
+		mb.msgs = mb.spare[:0]
+		mb.spare = nil
 		closed := mb.closed
 		mb.mu.Unlock()
 
 		for _, fn := range ctrl {
 			fn()
 		}
-		for _, m := range msgs {
-			mb.delivered.Add(1)
-			if mb.deliverC != nil {
-				mb.deliverC.Inc()
+		for rest := msgs; len(rest) > 0; {
+			n := len(rest)
+			if n > mailboxBatch {
+				n = mailboxBatch
 			}
-			h.Handle(m.from, m.payload)
+			mb.delivered.Add(int64(n))
+			if mb.deliverC != nil {
+				mb.deliverC.Add(int64(n))
+			}
+			for _, m := range rest[:n] {
+				h.Handle(m.from, m.payload)
+			}
+			rest = rest[n:]
+			if len(rest) == 0 {
+				break
+			}
+			// Control enqueued while the batch ran (timer fires, Do
+			// closures from the handlers themselves) jumps the remaining
+			// backlog, exactly as if the loop had gone back to sleep.
+			mb.mu.Lock()
+			mid := mb.ctrl
+			mb.ctrl = nil
+			mb.mu.Unlock()
+			for _, fn := range mid {
+				fn()
+			}
 		}
+		// Recycle the drained buffer; zero it first so it doesn't pin the
+		// delivered payloads until its next fill.
+		for i := range msgs {
+			msgs[i] = inbound{}
+		}
+		mb.mu.Lock()
+		if mb.spare == nil || cap(msgs) > cap(mb.spare) {
+			mb.spare = msgs[:0]
+		}
+		mb.mu.Unlock()
 		if len(ctrl) == 0 && len(msgs) == 0 {
 			if closed {
 				return

@@ -18,6 +18,7 @@ package wire
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"errors"
 	"fmt"
 
@@ -95,6 +96,24 @@ type Message interface {
 	Type() MsgType
 	// Encode returns the wire bytes (self-describing: Type, Version, body).
 	Encode() []byte
+	// EncodedSize returns exactly len(Encode()) without encoding.
+	EncodedSize() int
+	// AppendTo appends the wire bytes to buf and returns the extended slice.
+	// It is the zero-alloc seam under Encode: callers that own a buffer (a
+	// pooled scratch, a batch frame) encode into it directly; Encode is a
+	// thin wrapper allocating exactly EncodedSize. The bytes produced are
+	// identical to Encode's — pinned by the golden-corpus equivalence test.
+	AppendTo(buf []byte) []byte
+}
+
+// appendBytes16 appends a 2-byte big-endian length prefix followed by b —
+// the append-style twin of enc.Writer.Bytes16, with the same >64 KiB panic.
+func appendBytes16(dst, b []byte) []byte {
+	if len(b) > 0xFFFF {
+		panic(fmt.Sprintf("enc: field too long (%d bytes)", len(b)))
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(b)))
+	return append(dst, b...)
 }
 
 // QUE1 is the broadcast discovery query (all levels): it carries the random
@@ -108,14 +127,18 @@ type QUE1 struct {
 // Type implements Message.
 func (m *QUE1) Type() MsgType { return TQUE1 }
 
+// EncodedSize implements Message.
+func (m *QUE1) EncodedSize() int { return 3 + len(m.RS) }
+
+// AppendTo implements Message.
+func (m *QUE1) AppendTo(buf []byte) []byte {
+	buf = append(buf, byte(TQUE1), byte(m.Version), byte(len(m.RS)))
+	return append(buf, m.RS...)
+}
+
 // Encode implements Message.
 func (m *QUE1) Encode() []byte {
-	w := enc.NewWriter(2 + 1 + len(m.RS))
-	w.U8(byte(TQUE1))
-	w.U8(byte(m.Version))
-	w.U8(byte(len(m.RS)))
-	w.Raw(m.RS)
-	return w.Bytes()
+	return m.AppendTo(make([]byte, 0, m.EncodedSize()))
 }
 
 // RES1 is the per-object response to QUE1. Exactly one of the two bodies is
@@ -138,31 +161,49 @@ type RES1 struct {
 // Type implements Message.
 func (m *RES1) Type() MsgType { return TRES1 }
 
+// AppendSignedPart appends the bytes the object signs — R_S ‖ R_O ‖ KEXM_O
+// (§V) — to dst; the zero-alloc form of SignedPart for scratch-buffer
+// callers.
+func (m *RES1) AppendSignedPart(dst, rs []byte) []byte {
+	dst = append(dst, rs...)
+	dst = append(dst, m.RO...)
+	return append(dst, m.KEXMO...)
+}
+
 // SignedPart returns the bytes the object signs: m = R_S ‖ R_O ‖ KEXM_O (§V).
 func (m *RES1) SignedPart(rs []byte) []byte {
-	out := make([]byte, 0, len(rs)+len(m.RO)+len(m.KEXMO))
-	out = append(out, rs...)
-	out = append(out, m.RO...)
-	out = append(out, m.KEXMO...)
-	return out
+	return m.AppendSignedPart(make([]byte, 0, len(rs)+len(m.RO)+len(m.KEXMO)), rs)
+}
+
+// EncodedSize implements Message.
+func (m *RES1) EncodedSize() int {
+	switch m.Mode {
+	case ModePublic:
+		return 3 + 2 + len(m.Prof)
+	case ModeSecure:
+		return 3 + 8 + len(m.RO) + len(m.CertO) + len(m.KEXMO) + len(m.Sig)
+	}
+	return 3
+}
+
+// AppendTo implements Message.
+func (m *RES1) AppendTo(buf []byte) []byte {
+	buf = append(buf, byte(TRES1), byte(m.Version), byte(m.Mode))
+	switch m.Mode {
+	case ModePublic:
+		buf = appendBytes16(buf, m.Prof)
+	case ModeSecure:
+		buf = appendBytes16(buf, m.RO)
+		buf = appendBytes16(buf, m.CertO)
+		buf = appendBytes16(buf, m.KEXMO)
+		buf = appendBytes16(buf, m.Sig)
+	}
+	return buf
 }
 
 // Encode implements Message.
 func (m *RES1) Encode() []byte {
-	w := enc.NewWriter(64 + len(m.Prof) + len(m.CertO) + len(m.KEXMO))
-	w.U8(byte(TRES1))
-	w.U8(byte(m.Version))
-	w.U8(byte(m.Mode))
-	switch m.Mode {
-	case ModePublic:
-		w.Bytes16(m.Prof)
-	case ModeSecure:
-		w.Bytes16(m.RO)
-		w.Bytes16(m.CertO)
-		w.Bytes16(m.KEXMO)
-		w.Bytes16(m.Sig)
-	}
-	return w.Bytes()
+	return m.AppendTo(make([]byte, 0, m.EncodedSize()))
 }
 
 // QUE2 is the subject's second query, unicast to each Level 2/3 object found
@@ -186,31 +227,45 @@ type QUE2 struct {
 // Type implements Message.
 func (m *QUE2) Type() MsgType { return TQUE2 }
 
-// core encodes the fields covered by the subject's signature.
-func (m *QUE2) core() []byte {
-	w := enc.NewWriter(64 + len(m.ProfS) + len(m.CertS) + len(m.KEXMS))
-	w.U8(byte(len(m.RS)))
-	w.Raw(m.RS)
-	w.Bytes16(m.ProfS)
-	w.Bytes16(m.CertS)
-	w.Bytes16(m.KEXMS)
-	return w.Bytes()
+// coreSize returns the encoded length of the signature-covered core fields.
+func (m *QUE2) coreSize() int {
+	return 1 + len(m.RS) + 6 + len(m.ProfS) + len(m.CertS) + len(m.KEXMS)
+}
+
+// appendCore appends the fields covered by the subject's signature.
+func (m *QUE2) appendCore(buf []byte) []byte {
+	buf = append(buf, byte(len(m.RS)))
+	buf = append(buf, m.RS...)
+	buf = appendBytes16(buf, m.ProfS)
+	buf = appendBytes16(buf, m.CertS)
+	return appendBytes16(buf, m.KEXMS)
+}
+
+// EncodedSize implements Message.
+func (m *QUE2) EncodedSize() int {
+	n := 2 + m.coreSize() + 2 + len(m.Sig) + 2 + len(m.MACS2)
+	if m.Version != V10 {
+		n += 2 + len(m.MACS3)
+	}
+	return n
+}
+
+// AppendTo implements Message.
+func (m *QUE2) AppendTo(buf []byte) []byte {
+	buf = append(buf, byte(TQUE2), byte(m.Version))
+	buf = m.appendCore(buf)
+	buf = appendBytes16(buf, m.Sig)
+	buf = appendBytes16(buf, m.MACS2)
+	if m.Version != V10 {
+		// v2.0 carries MAC_{S,3} only during Level 3 discovery; v3.0 always.
+		buf = appendBytes16(buf, m.MACS3)
+	}
+	return buf
 }
 
 // Encode implements Message.
 func (m *QUE2) Encode() []byte {
-	core := m.core()
-	w := enc.NewWriter(8 + len(core) + len(m.Sig) + len(m.MACS2) + len(m.MACS3))
-	w.U8(byte(TQUE2))
-	w.U8(byte(m.Version))
-	w.Raw(core)
-	w.Bytes16(m.Sig)
-	w.Bytes16(m.MACS2)
-	if m.Version != V10 {
-		// v2.0 carries MAC_{S,3} only during Level 3 discovery; v3.0 always.
-		w.Bytes16(m.MACS3)
-	}
-	return w.Bytes()
+	return m.AppendTo(make([]byte, 0, m.EncodedSize()))
 }
 
 // RES2 is the object's final response: the encrypted profile variant and one
@@ -226,14 +281,19 @@ type RES2 struct {
 // Type implements Message.
 func (m *RES2) Type() MsgType { return TRES2 }
 
+// EncodedSize implements Message.
+func (m *RES2) EncodedSize() int { return 2 + 4 + len(m.Ciphertext) + len(m.MACO) }
+
+// AppendTo implements Message.
+func (m *RES2) AppendTo(buf []byte) []byte {
+	buf = append(buf, byte(TRES2), byte(m.Version))
+	buf = appendBytes16(buf, m.Ciphertext)
+	return appendBytes16(buf, m.MACO)
+}
+
 // Encode implements Message.
 func (m *RES2) Encode() []byte {
-	w := enc.NewWriter(8 + len(m.Ciphertext) + len(m.MACO))
-	w.U8(byte(TRES2))
-	w.U8(byte(m.Version))
-	w.Bytes16(m.Ciphertext)
-	w.Bytes16(m.MACO)
-	return w.Bytes()
+	return m.AppendTo(make([]byte, 0, m.EncodedSize()))
 }
 
 // Decode parses any wire message.
@@ -312,6 +372,28 @@ type Transcript struct {
 	data []byte
 }
 
+// NewTranscript returns a transcript whose buffer is borrowed from the
+// scratch pool when capacity fits, so short-lived transcripts (the object
+// side builds and hashes two per QUE2, then drops both) recycle their memory
+// via Release instead of churning the allocator. A transcript that outlives
+// its handler call (the subject's per-session cut) is simply never Released.
+func NewTranscript(capacity int) *Transcript {
+	if capacity <= scratchCap {
+		return &Transcript{data: GetScratch()}
+	}
+	return &Transcript{data: make([]byte, 0, capacity)}
+}
+
+// Release returns the transcript's buffer to the scratch pool and empties
+// the transcript. Only call when nothing aliases the accumulated bytes.
+func (t *Transcript) Release() {
+	PutScratch(t.data)
+	t.data = nil
+}
+
+// Len returns the number of accumulated transcript bytes.
+func (t *Transcript) Len() int { return len(t.data) }
+
 // Add appends message bytes to the transcript.
 func (t *Transcript) Add(b []byte) { t.data = append(t.data, b...) }
 
@@ -323,13 +405,32 @@ func (t *Transcript) Clone() *Transcript {
 	return &Transcript{data: append([]byte(nil), t.data...)}
 }
 
+// CloneInto returns an independent copy with room for extra more bytes,
+// pool-backed like NewTranscript — the object side extends its subject cut
+// by the finished MACs and ciphertext, and sizing the clone once avoids the
+// growth copies.
+func (t *Transcript) CloneInto(extra int) *Transcript {
+	c := NewTranscript(len(t.data) + extra)
+	c.data = append(c.data, t.data...)
+	return c
+}
+
+// SigInputSizeQUE2 returns exactly len(SigInputQUE2(que1Enc, res1Enc, q)).
+func SigInputSizeQUE2(que1Enc, res1Enc []byte, q *QUE2) int {
+	return len(que1Enc) + len(res1Enc) + q.coreSize()
+}
+
+// AppendSigInputQUE2 appends the QUE2 signature input to dst — the
+// zero-alloc form of SigInputQUE2 for callers holding a scratch buffer.
+func AppendSigInputQUE2(dst []byte, que1Enc, res1Enc []byte, q *QUE2) []byte {
+	dst = append(dst, que1Enc...)
+	dst = append(dst, res1Enc...)
+	return q.appendCore(dst)
+}
+
 // SigInputQUE2 returns the bytes the subject signs in QUE2: the transcript so
 // far (QUE1 ‖ RES1) followed by QUE2's core fields (PROF_S, CERT_S, KEXM_S) —
 // "all the content sent and received so far" per §V.
 func SigInputQUE2(que1Enc, res1Enc []byte, q *QUE2) []byte {
-	out := make([]byte, 0, len(que1Enc)+len(res1Enc)+256)
-	out = append(out, que1Enc...)
-	out = append(out, res1Enc...)
-	out = append(out, q.core()...)
-	return out
+	return AppendSigInputQUE2(make([]byte, 0, SigInputSizeQUE2(que1Enc, res1Enc, q)), que1Enc, res1Enc, q)
 }
