@@ -14,7 +14,7 @@ FUZZTIME ?= 15s
 # mesh-throughput experiments — commit it alongside any change that moves
 # handshake, provisioning, or concurrent-discovery cost.
 
-.PHONY: build test race vet verify cover cover-check fuzz chaos bench bench-obs bench-json bench-check load soak ops-smoke backend-smoke clean
+.PHONY: build test race vet verify cover cover-check fuzz chaos bench bench-obs bench-json bench-check load soak capacity ops-smoke backend-smoke capacity-smoke clean
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,7 @@ test:
 # batch issuance fan out across worker pools, backend provisioning does the
 # same, and core's Results/PendingSessions are read cross-goroutine.
 race:
+	$(GO) test -race -short ./internal/fleetcoord
 	$(GO) test -race ./internal/obs ./internal/core ./internal/netsim ./internal/cert ./internal/backend ./internal/transport ./internal/load ./internal/realtime ./internal/update ./internal/adversary ./internal/backendsvc ./internal/backendclient ./internal/wire ./internal/suite
 
 vet:
@@ -55,6 +56,7 @@ fuzz:
 	$(GO) test ./internal/backend -run='^$$' -fuzz='^FuzzRestore$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/realtime -run='^$$' -fuzz='^FuzzTailDecode$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/backendsvc -run='^$$' -fuzz='^FuzzWALReplay$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/obs -run='^$$' -fuzz='^FuzzMergeSnapshots$$' -fuzztime=$(FUZZTIME)
 
 # Property/chaos harness: seeds × loss rates × levels, crash windows, Case 7
 # under retransmission (internal/chaos).
@@ -68,6 +70,12 @@ ops-smoke:
 # proves WAL replay end to end (scripts/backend_smoke.sh).
 backend-smoke:
 	scripts/backend_smoke.sh
+
+# Capacity-search smoke: a 2-process sharded fleet under a coarse
+# `argus-load -capacity -procs 2` search — the coordinator/shard/merge
+# pipeline end to end (scripts/capacity_smoke.sh, ~1 min).
+capacity-smoke:
+	scripts/capacity_smoke.sh
 
 chaos:
 	$(GO) test ./internal/chaos -count=1 -v
@@ -106,6 +114,17 @@ load:
 
 soak:
 	$(GO) run ./cmd/argus-load -profile standard
+
+# Capacity knee search (BENCH_10.json): bracket-and-bisect search over the
+# open-loop arrival rate on a widened ci-soak topology (192 subjects so the
+# knee is compute-bound, not subject-bound), single process first, then the
+# same fleet sharded across two argus-node processes with merged verdicts.
+# A few minutes of wall time; regenerates the committed BENCH_10.json.
+capacity:
+	$(GO) build -o /tmp/argus-cap-node ./cmd/argus-node
+	$(GO) run ./cmd/argus-load -capacity -profile ci-soak -subjects 16 -cap-duration 3s -out /tmp/argus-cap-single.json
+	$(GO) run ./cmd/argus-load -capacity -procs 2 -node-bin /tmp/argus-cap-node -profile ci-soak -subjects 16 -cap-duration 3s -out /tmp/argus-cap-procs2.json
+	{ printf '{\n"single_process": '; cat /tmp/argus-cap-single.json; printf ',\n"two_process": '; cat /tmp/argus-cap-procs2.json; printf '}\n'; } > BENCH_10.json
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,204 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"argus/internal/fleetcoord"
+	"argus/internal/load"
+	"argus/internal/scale"
+)
+
+// capacityOpts carries the -capacity flag group from main into runCapacity.
+type capacityOpts struct {
+	procs   int
+	nodeBin string
+	start   float64
+	growth  float64
+	tol     float64
+	trials  int
+	ceiling float64
+	dur     time.Duration
+	out     string
+	quiet   bool
+
+	backendURL, tenant, authKey string
+}
+
+// capacityDoc is the JSON document -capacity emits: the measured search
+// next to the analytic scale model's prediction, so BENCH_10 (and anyone
+// reading it later) can see how far measurement and model diverge.
+type capacityDoc struct {
+	Profile      string               `json:"profile"`
+	Procs        int                  `json:"procs"`
+	Cores        int                  `json:"cores"`
+	TrialSeconds float64              `json:"trial_seconds"`
+	WarmSessions int64                `json:"warm_sessions"`
+	WarmSeconds  float64              `json:"warm_seconds"`
+	Search       *load.CapacityResult `json:"search"`
+	Model        scale.CapacityModel  `json:"model"`
+	// PredictedKnee is Model.Predict(Procs): the per-session warm cost
+	// scaled by process count and core budget.
+	PredictedKnee float64 `json:"predicted_knee_sessions_per_second"`
+	// ProcErrors aggregates children that died mid-search (multi-process
+	// runs only); each is also folded into its trial's violations.
+	ProcErrors []string `json:"proc_errors,omitempty"`
+}
+
+// findNodeBin resolves the shard-child binary: an explicit -node-bin wins,
+// then an argus-node sitting next to this executable, then $PATH.
+func findNodeBin(explicit string) (string, error) {
+	if explicit != "" {
+		return explicit, nil
+	}
+	if self, err := os.Executable(); err == nil {
+		cand := filepath.Join(filepath.Dir(self), "argus-node")
+		if st, err := os.Stat(cand); err == nil && !st.IsDir() {
+			return cand, nil
+		}
+	}
+	return exec.LookPath("argus-node")
+}
+
+// runCapacity searches for the knee: the highest open-loop offered rate
+// (sessions/s) the fleet sustains under the trial SLO. With procs <= 1 the
+// fleet lives in this process; otherwise fleetcoord shards it across child
+// argus-node processes and each trial is a merged cross-process verdict.
+func runCapacity(name string, p load.Profile, o capacityOpts) int {
+	logf := func(string, ...any) {}
+	if !o.quiet {
+		logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	cfg := load.CapacityConfig{
+		Start:     o.start,
+		Growth:    o.growth,
+		Tolerance: o.tol,
+		MaxTrials: o.trials,
+		Ceiling:   o.ceiling,
+		Logf:      logf,
+	}
+
+	doc := capacityDoc{Profile: name, Procs: o.procs, Cores: runtime.GOMAXPROCS(0)}
+	if doc.Procs < 1 {
+		doc.Procs = 1
+	}
+
+	var trial load.TrialFunc
+	if o.procs <= 1 {
+		cs, err := load.OpenCapacitySession(p, o.dur)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "argus-load: %v\n", err)
+			return 2
+		}
+		defer cs.Close()
+		doc.WarmSessions, doc.WarmSeconds = cs.WarmSessions, cs.WarmSeconds
+		doc.TrialSeconds = o.dur.Seconds()
+		if doc.TrialSeconds <= 0 {
+			doc.TrialSeconds = 5
+		}
+		trial = cs.Trial
+	} else {
+		bin, err := findNodeBin(o.nodeBin)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "argus-load: locate argus-node: %v (set -node-bin)\n", err)
+			return 2
+		}
+		work, err := os.MkdirTemp("", "argus-fleet-*")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "argus-load: %v\n", err)
+			return 2
+		}
+		defer os.RemoveAll(work)
+		co, err := fleetcoord.Launch(fleetcoord.Config{
+			Procs:           o.procs,
+			Cells:           p.Cells,
+			SubjectsPerCell: p.SubjectsPerCell,
+			ObjectsPerCell:  p.ObjectsPerCell,
+			BinPath:         bin,
+			BaseArgs:        []string{"-role", "shard", "--"},
+			BackendURL:      o.backendURL,
+			Tenant:          o.tenant,
+			AuthKey:         o.authKey,
+			WorkDir:         work,
+			TrialSLO:        load.TrialSLO(p.SLO),
+			Logf:            logf,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "argus-load: %v\n", err)
+			return 2
+		}
+		defer co.Close()
+		if err := co.Sweep(); err != nil {
+			fmt.Fprintf(os.Stderr, "argus-load: warm sweep: %v\n", err)
+			return 2
+		}
+		doc.WarmSessions, doc.WarmSeconds = co.WarmSessions, co.WarmSeconds
+		dur := o.dur
+		if dur <= 0 {
+			dur = 5 * time.Second
+		}
+		doc.TrialSeconds = dur.Seconds()
+		trial = func(offered float64) (load.Trial, error) {
+			v, err := co.Trial(offered, dur)
+			if err != nil {
+				return load.Trial{}, err
+			}
+			doc.ProcErrors = append(doc.ProcErrors, v.ProcErrors...)
+			return v.Trial, nil
+		}
+	}
+
+	// Calibrate the analytic model from the warm closed wave so the doc
+	// carries prediction and measurement side by side.
+	doc.Model = scale.Calibrate(doc.WarmSessions, doc.WarmSeconds, doc.Cores)
+	doc.PredictedKnee = doc.Model.Predict(doc.Procs)
+
+	res, err := load.SearchCapacity(cfg, trial)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "argus-load: capacity search: %v\n", err)
+		return 2
+	}
+	doc.Search = res
+
+	w := os.Stdout
+	if o.out != "" {
+		f, err := os.Create(o.out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "argus-load: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(os.Stderr, "argus-load: write report: %v\n", err)
+		return 2
+	}
+
+	if res.Knee <= 0 {
+		fmt.Fprintf(os.Stderr, "argus-load: capacity: nothing sustained (first fail %.1f sessions/s, bottleneck %s)\n",
+			res.FirstFail, res.Bottleneck)
+		return 1
+	}
+	if !o.quiet {
+		verdict := fmt.Sprintf("knee %.1f sessions/s", res.Knee)
+		if res.HitCeiling {
+			verdict += " (ceiling, lower bound)"
+		}
+		if res.Bottleneck != "" {
+			verdict += fmt.Sprintf(", bottleneck %s", res.Bottleneck)
+		}
+		fmt.Fprintf(os.Stderr, "argus-load: capacity: %s over %d procs; model predicted %.1f (%d trials)\n",
+			verdict, doc.Procs, doc.PredictedKnee, len(res.Trials))
+	}
+	return 0
+}

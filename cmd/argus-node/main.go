@@ -58,6 +58,7 @@ import (
 	"argus/internal/backendclient"
 	"argus/internal/cert"
 	"argus/internal/core"
+	"argus/internal/fleetcoord"
 	"argus/internal/suite"
 	"argus/internal/transport"
 	"argus/internal/transport/transporttest"
@@ -72,7 +73,7 @@ func main() {
 		backendU = flag.String("backend", "", "argus-backend base URL; subject/object source credentials over HTTP instead of -snapshot")
 		tenant   = flag.String("tenant", "demo", "tenant namespace on -backend")
 		authKey  = flag.String("auth-key", "", "tenant auth key for -backend")
-		role     = flag.String("role", "", "subject | object | gateway")
+		role     = flag.String("role", "", "subject | object | gateway | shard")
 		name     = flag.String("name", "alice", "subject entity name")
 		names    = flag.String("names", "", "comma-separated object entity names")
 		listen   = flag.String("listen", "127.0.0.1:0", "UDP listen address (\":0\" picks a port)")
@@ -97,6 +98,11 @@ func main() {
 	switch {
 	case *doInit:
 		err = initEnterprise(*snapshot)
+	case *role == "shard":
+		// The fleet coordinator's child: everything after `--` belongs to
+		// the shard's own flag set, and the shard owns its own obs plane
+		// (it announces the bound address on stdout for the coordinator).
+		err = fleetcoord.ShardMain(flag.Args())
 	case *role == "object" || *role == "subject" || *role == "gateway":
 		var op *obsPlane
 		op, err = newObsPlane(*obsAddr, *obsOut)
@@ -112,7 +118,7 @@ func main() {
 			err = runGateway(*snapshot, *targets, *offline, *dlqLog, *reprovEvery, *reattachAfter, *duration, op)
 		}
 	default:
-		err = fmt.Errorf("need -init or -role subject|object|gateway (got %q)", *role)
+		err = fmt.Errorf("need -init or -role subject|object|gateway|shard (got %q)", *role)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "argus-node: %v\n", err)

@@ -14,6 +14,8 @@ import (
 	"argus/internal/suite"
 	"argus/internal/transport"
 	"argus/internal/wire"
+
+	"argus/internal/transport/transporttest"
 )
 
 // rig is a one-cell honest deployment on a Mesh: a backend, one Level 2
@@ -96,13 +98,7 @@ func (r *rig) counter(name, key, value string) int64 {
 
 func (r *rig) await(what string, cond func() bool) {
 	r.t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for !cond() {
-		if time.Now().After(deadline) {
-			r.t.Fatalf("timeout waiting for %s", what)
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
+	transporttest.WaitUntil(r.t, 5*time.Second, cond, what)
 }
 
 // discover runs one honest discovery round and waits for it to complete.

@@ -9,6 +9,8 @@ import (
 	"argus/internal/attr"
 	"argus/internal/obs"
 	"argus/internal/suite"
+
+	"argus/internal/transport/transporttest"
 )
 
 // vcFixture builds an admin plus one issued entity credential pair.
@@ -494,16 +496,10 @@ func TestVerifyCacheFlightWaiterServedFromStore(t *testing.T) {
 		ch <- res{info, err}
 	}()
 	// The concurrent caller records its miss before joining the flight.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		if _, misses, _ := statsOf(c); misses >= 1 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("concurrent caller never recorded its miss")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	transporttest.WaitUntil(t, 5*time.Second, func() bool {
+		_, misses, _ := statsOf(c)
+		return misses >= 1
+	}, "concurrent caller to record its miss")
 	// Leader-style completion: verify, store, release the waiters.
 	info, nb, na, err := verifyCertChainWindow(admin.CACert(), fx.certDER, s)
 	if err != nil {

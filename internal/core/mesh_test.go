@@ -18,6 +18,8 @@ import (
 	"argus/internal/suite"
 	"argus/internal/transport"
 	"argus/internal/wire"
+
+	"argus/internal/transport/transporttest"
 )
 
 // meshRetry is tuned for wall-clock tests: fast retransmission, 1 s session
@@ -30,14 +32,7 @@ func meshRetry() RetryPolicy {
 // meshPoll spins until cond holds or the deadline passes.
 func meshPoll(t *testing.T, timeout time.Duration, cond func() bool, what string) {
 	t.Helper()
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
-		if cond() {
-			return
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
-	t.Fatalf("timed out waiting for %s", what)
+	transporttest.WaitUntil(t, timeout, cond, what)
 }
 
 // TestMeshDiscoveryRace: one subject and 32 objects, all concurrent, one

@@ -1,0 +1,209 @@
+package fleetcoord
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"argus/internal/load"
+)
+
+// TestMain doubles as the shard-child trampoline: the e2e test re-executes
+// this test binary with ARGUS_FLEETCOORD_SHARD=1 and the shard flags, and
+// the child runs ShardMain instead of the test suite — the same entry point
+// `argus-node -role shard` dispatches to.
+func TestMain(m *testing.M) {
+	if os.Getenv("ARGUS_FLEETCOORD_SHARD") == "1" {
+		if err := ShardMain(os.Args[1:]); err != nil {
+			fmt.Fprintln(os.Stderr, "shard:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func TestOwnersSplitRoles(t *testing.T) {
+	// With >= 2 processes, a cell's objects and subjects must never share a
+	// process — that's what makes the traffic cross-process.
+	for procs := 2; procs <= 5; procs++ {
+		for cell := 0; cell < 20; cell++ {
+			if cellObjOwner(cell, procs) == cellSubjOwner(cell, procs) {
+				t.Errorf("procs %d cell %d: both roles on process %d", procs, cell, cellObjOwner(cell, procs))
+			}
+		}
+	}
+	// Single-process fleets degenerate to everything on process 0.
+	if cellObjOwner(3, 1) != 0 || cellSubjOwner(3, 1) != 0 {
+		t.Error("procs=1 must place everything on process 0")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := Config{Procs: 2, Cells: 2, SubjectsPerCell: 1, ObjectsPerCell: 1, BinPath: "/bin/true", WorkDir: "/tmp"}
+	if _, err := good.withDefaults(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	bad := []Config{
+		{},
+		{Procs: 2, Cells: 2, SubjectsPerCell: 1, ObjectsPerCell: 1, WorkDir: "/tmp"},      // no BinPath
+		{Procs: 2, Cells: 2, SubjectsPerCell: 1, ObjectsPerCell: 1, BinPath: "/bin/true"}, // no WorkDir
+		{Procs: 0, Cells: 2, SubjectsPerCell: 1, ObjectsPerCell: 1, BinPath: "x", WorkDir: "y"},
+	}
+	for i, c := range bad {
+		if _, err := c.withDefaults(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestAddrFileRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "objects.addr")
+	content := "cell=0 idx=0 addr=127.0.0.1:4001\ncell=0 idx=1 addr=127.0.0.1:4002\ncell=2 idx=0 addr=127.0.0.1:4003\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	addrs, err := awaitAddrFile(path, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[[2]int]string{
+		{0, 0}: "127.0.0.1:4001",
+		{0, 1}: "127.0.0.1:4002",
+		{2, 0}: "127.0.0.1:4003",
+	}
+	if len(addrs) != len(want) {
+		t.Fatalf("parsed %d addresses, want %d", len(addrs), len(want))
+	}
+	for k, v := range want {
+		if addrs[k] != v {
+			t.Errorf("addrs[%v] = %q, want %q", k, addrs[k], v)
+		}
+	}
+
+	// A missing file times out with a diagnostic, not a hang.
+	if _, err := awaitAddrFile(filepath.Join(dir, "never.addr"), 50*time.Millisecond); err == nil {
+		t.Error("missing address file must error")
+	}
+	// A torn/garbage file is an error, not a silent partial fleet.
+	if err := os.WriteFile(path, []byte("cell=0 idx=0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := awaitAddrFile(path, time.Second); err == nil {
+		t.Error("malformed address line must error")
+	}
+}
+
+func TestSubjectsOfPartitionsFleet(t *testing.T) {
+	co := &Coordinator{cfg: Config{Procs: 3, Cells: 7, SubjectsPerCell: 2}}
+	total := 0
+	for i := 0; i < 3; i++ {
+		total += co.subjectsOf(i)
+	}
+	if total != 7*2 {
+		t.Errorf("subject shares sum to %d, want %d", total, 14)
+	}
+}
+
+func TestShardMainRejectsBadFlags(t *testing.T) {
+	if err := ShardMain([]string{"-shard-index", "2", "-shards", "2", "-addr-file", "x"}); err == nil {
+		t.Error("out-of-range shard index must error")
+	}
+	if err := ShardMain([]string{"-shard-index", "0", "-shards", "1"}); err == nil {
+		t.Error("missing -addr-file must error")
+	}
+}
+
+// TestFleetE2E is the subprocess end-to-end: three real shard processes,
+// cross-process discovery over UDP loopback, one healthy merged trial, then
+// a mid-run kill whose merged verdict must degrade with a documented error
+// instead of hanging. ~15s of wall time, so -short skips it.
+func TestFleetE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess e2e skipped with -short")
+	}
+	bin, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Procs: 3, Cells: 3, SubjectsPerCell: 2, ObjectsPerCell: 2,
+		BinPath: bin,
+		Env:     []string{"ARGUS_FLEETCOORD_SHARD=1"},
+		WorkDir: t.TempDir(),
+		TrialSLO: load.TrialSLO(load.SLO{
+			P50Ceiling: 4 * time.Second,
+			P99Ceiling: 10 * time.Second,
+		}),
+		Logf: t.Logf,
+	}
+	co, err := Launch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+
+	// Cross-process discovery proof: the warm sweep completes every
+	// subject-object pair across the process boundaries.
+	if err := co.Sweep(); err != nil {
+		t.Fatal(err)
+	}
+	wantSessions := int64(cfg.Cells * cfg.SubjectsPerCell * cfg.ObjectsPerCell)
+	if co.WarmSessions != wantSessions {
+		t.Fatalf("warm sweep armed %d sessions, want %d", co.WarmSessions, wantSessions)
+	}
+
+	// A gentle offered rate against the healthy 3-process fleet passes.
+	v, err := co.Trial(8, 1500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Trial.Pass {
+		t.Fatalf("healthy trial failed: %v", v.Trial.Violations)
+	}
+	if v.Trial.Completed == 0 {
+		t.Fatal("healthy trial completed no sessions")
+	}
+
+	// Kill one shard and re-run: the merged verdict must degrade with the
+	// documented per-process error — and come back before the deadline, not
+	// hang on the dead child's never-arriving "trial done".
+	if err := co.Kill(1); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := co.Trial(8, 1500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Trial.Pass {
+		t.Fatal("trial with a dead shard must not pass")
+	}
+	if len(v2.ProcErrors) == 0 {
+		t.Fatal("dead shard must be documented in ProcErrors")
+	}
+	found := false
+	for _, e := range v2.ProcErrors {
+		if strings.Contains(e, "process 1") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("ProcErrors must name the dead process: %v", v2.ProcErrors)
+	}
+	// The documented error is folded into the violations, so downstream
+	// consumers (the capacity search, BENCH_10) see it without reading
+	// ProcErrors.
+	folded := false
+	for _, viol := range v2.Trial.Violations {
+		if strings.Contains(viol, "process 1") {
+			folded = true
+		}
+	}
+	if !folded {
+		t.Errorf("dead process not folded into trial violations: %v", v2.Trial.Violations)
+	}
+}

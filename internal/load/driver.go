@@ -53,6 +53,7 @@ type runner struct {
 	inflightG, peakG     *obs.Gauge
 	armedC, completionsC *obs.Counter
 	lostC, unexpectedC   *obs.Counter
+	skippedC             *obs.Counter
 
 	// Ledger the SLO checks compare telemetry against.
 	predictedSubjExpiries int64
@@ -63,6 +64,7 @@ type runner struct {
 	roamedCount           int
 
 	roamsC    *obs.Counter
+	observer  *adversary.Observer
 	advReport *AdversaryReport
 	covert    *adversary.Covertness
 
@@ -77,42 +79,14 @@ type runner struct {
 // transport setup errors); SLO violations are reported in Report.SLO so the
 // caller still gets the full numbers.
 func Run(p Profile) (*Report, error) {
-	p = p.withDefaults()
-	if err := p.validate(); err != nil {
-		return nil, err
-	}
-	reg := p.Registry
-	if reg == nil {
-		reg = obs.NewRegistry()
-	}
-	r := &runner{
-		p:   p,
-		reg: reg,
-		rng: rand.New(rand.NewSource(p.Seed)),
-	}
-	r.inflightG = r.reg.Gauge(obs.MLoadInflight, "armed discovery sessions not yet completed")
-	r.peakG = r.reg.Gauge(obs.MLoadPeakInflight, "high-water mark of inflight sessions")
-	r.armedC = r.reg.Counter(obs.MLoadRoundsArmed, "sessions armed (expected completions)")
-	r.completionsC = r.reg.Counter(obs.MLoadCompletions, "sessions completed")
-	r.lostC = r.reg.Counter(obs.MLoadLost, "sessions reaped at the drain deadline")
-	r.unexpectedC = r.reg.Counter(obs.MLoadUnexpected, "completions that violated the expectation ledger")
-	r.roamsC = r.reg.Counter(obs.MLoadRoams, "subjects migrated between cells at wave boundaries")
-
-	var observer *adversary.Observer
-	if p.Observer {
-		observer = adversary.NewObserver(reg, p.ObserverMinSamples, p.ObserverMaxSamples)
-	}
-
 	start := time.Now()
-	fl, err := buildFleet(p, r.reg, observer, r.onDiscovery)
+	r, err := newRunner(p)
 	if err != nil {
 		return nil, err
 	}
-	r.fleet = fl
-	defer fl.close()
-	r.levelOf = fl.levelOf()
-	p.logf("load: fleet up in %.1fs — %d cells × (%d subj + %d obj) over %s",
-		time.Since(start).Seconds(), p.Cells, p.SubjectsPerCell, p.ObjectsPerCell, p.Transport)
+	p = r.p
+	observer := r.observer
+	defer r.fleet.close()
 
 	r.startSampler()
 	if p.Rate > 0 {
@@ -142,6 +116,48 @@ func Run(p Profile) (*Report, error) {
 	r.publish("report", rep)
 	r.publishSnapshot()
 	return rep, nil
+}
+
+// newRunner validates the profile, registers the harness metric families and
+// builds the fleet. The caller owns r.fleet.close(). Factored out of Run so
+// the capacity search can hold one fleet across many open-loop trials.
+func newRunner(p Profile) (*runner, error) {
+	p = p.withDefaults()
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	reg := p.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	r := &runner{
+		p:   p,
+		reg: reg,
+		rng: rand.New(rand.NewSource(p.Seed)),
+	}
+	r.inflightG = r.reg.Gauge(obs.MLoadInflight, "armed discovery sessions not yet completed")
+	r.peakG = r.reg.Gauge(obs.MLoadPeakInflight, "high-water mark of inflight sessions")
+	r.armedC = r.reg.Counter(obs.MLoadRoundsArmed, "sessions armed (expected completions)")
+	r.completionsC = r.reg.Counter(obs.MLoadCompletions, "sessions completed")
+	r.lostC = r.reg.Counter(obs.MLoadLost, "sessions reaped at the drain deadline")
+	r.unexpectedC = r.reg.Counter(obs.MLoadUnexpected, "completions that violated the expectation ledger")
+	r.roamsC = r.reg.Counter(obs.MLoadRoams, "subjects migrated between cells at wave boundaries")
+	r.skippedC = r.reg.Counter(obs.MLoadSkipped, "open-loop arrivals that found every subject busy")
+
+	if p.Observer {
+		r.observer = adversary.NewObserver(reg, p.ObserverMinSamples, p.ObserverMaxSamples)
+	}
+
+	start := time.Now()
+	fl, err := buildFleet(p, r.reg, r.observer, r.onDiscovery)
+	if err != nil {
+		return nil, err
+	}
+	r.fleet = fl
+	r.levelOf = fl.levelOf()
+	p.logf("load: fleet up in %.1fs — %d cells × (%d subj + %d obj) over %s",
+		time.Since(start).Seconds(), p.Cells, p.SubjectsPerCell, p.ObjectsPerCell, p.Transport)
+	return r, nil
 }
 
 // publish emits one progress frame to the profile's live event hub, if any.
@@ -671,17 +687,34 @@ func (r *runner) adversaryPhase() error {
 	return nil
 }
 
-// runOpenLoop issues discovery rounds as a Poisson process over the subject
-// pool: inter-arrival gaps are Exp(1/Rate), and an arrival that finds every
-// subject busy is counted skipped — offered load is never queued.
-func (r *runner) runOpenLoop() {
-	p := r.p
+func (r *runner) runOpenLoop() { r.openLoopAt(r.p.Rate, r.p.Duration) }
+
+// openLoopAt issues discovery rounds as a Poisson process over the subject
+// pool at `rate` rounds/s for `duration`. Arrival times are a deterministic
+// Exp-gap schedule accumulated from the loop's start: after every sleep the
+// loop fires all arrivals whose scheduled time has passed, so the sleeper's
+// millisecond granularity can shift an arrival slightly late but never
+// erases it — a naive sleep-per-gap loop silently caps the offered rate at
+// ~1/granularity. An arrival that finds every subject busy is counted
+// skipped; offered load is never queued (the definition of open-loop).
+//
+// The tail drain at the end makes each call self-contained: every round
+// armed by this call either completes or is reaped before it returns, so
+// back-to-back calls (the capacity search's trials) observe disjoint
+// counter windows.
+func (r *runner) openLoopAt(rate float64, duration time.Duration) {
 	slots := r.allSubjects()
-	deadline := time.Now().Add(p.Duration)
+	start := time.Now()
 	next := 0
-	for time.Now().Before(deadline) {
-		gap := time.Duration(r.rng.ExpFloat64() / p.Rate * float64(time.Second))
-		time.Sleep(gap)
+	var tNext time.Duration // next scheduled arrival, as an offset from start
+	for {
+		tNext += time.Duration(r.rng.ExpFloat64() / rate * float64(time.Second))
+		if tNext >= duration {
+			break
+		}
+		if wait := tNext - time.Since(start); wait > 0 {
+			time.Sleep(wait)
+		}
 		// Find an idle subject, scanning at most one full lap.
 		fired := false
 		for i := 0; i < len(slots); i++ {
@@ -702,11 +735,12 @@ func (r *runner) runOpenLoop() {
 		}
 		if !fired {
 			r.skippedArrivals.Add(1)
+			r.skippedC.Inc()
 		}
 	}
 	// Let the tail of armed rounds complete.
 	target := r.roundsArmed.Load()
-	drained := transporttest.Poll(p.DrainTimeout, transporttest.DefaultStep, func() bool {
+	drained := transporttest.Poll(r.p.DrainTimeout, transporttest.DefaultStep, func() bool {
 		return r.roundsDone.Load() >= target
 	})
 	if !drained {

@@ -12,6 +12,8 @@ import (
 	"argus/internal/netsim"
 	"argus/internal/obs"
 	"argus/internal/transport"
+
+	"argus/internal/transport/transporttest"
 )
 
 // TestCISoak is the deterministic short soak CI runs under -race: the
@@ -506,16 +508,10 @@ func TestWrapFaultsJitterDelaysDelivery(t *testing.T) {
 	ep := &recordingEndpoint{}
 	f := WrapFaults(ep, netsim.FaultModel{ReorderJitter: 30 * time.Millisecond}, 1, nil)
 	f.Send("x", []byte{1})
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		if s, _ := ep.counts(); s == 1 {
-			return
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("jittered frame never delivered")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	transporttest.WaitUntil(t, 5*time.Second, func() bool {
+		s, _ := ep.counts()
+		return s == 1
+	}, "jittered frame delivery")
 }
 
 func TestSLOCheck(t *testing.T) {

@@ -288,5 +288,6 @@ func SnapshotReport(snap *obs.Snapshot) *Report {
 	rep.Totals.Lost = sumFamily(snap, obs.MLoadLost)
 	rep.Totals.Unexpected = sumFamily(snap, obs.MLoadUnexpected)
 	rep.Totals.PeakInflight = sumFamily(snap, obs.MLoadPeakInflight)
+	rep.Totals.SkippedArrivals = sumFamily(snap, obs.MLoadSkipped)
 	return rep
 }

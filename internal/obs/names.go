@@ -106,6 +106,11 @@ const (
 	MLoadCompletions  = "argus_load_completions_total"
 	MLoadLost         = "argus_load_lost_total"
 	MLoadUnexpected   = "argus_load_unexpected_total"
+	// MLoadSkipped counts open-loop arrivals that found every subject busy —
+	// offered load the fleet could not absorb (never queued, by definition of
+	// open-loop). The capacity search's utilization gate reads this family, so
+	// multi-process shards must emit it too.
+	MLoadSkipped = "argus_load_skipped_arrivals_total"
 
 	// internal/load — scenario diversity (mobility + duty cycling). Roams
 	// count subject migrations between cells (each forces a fresh engine and

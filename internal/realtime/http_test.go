@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"argus/internal/obs"
+
+	"argus/internal/transport/transporttest"
 )
 
 // TestStreamEndToEnd serves a hub through the obs mux and tails it with the
@@ -86,13 +88,9 @@ func TestStreamMaxClientsHTTP(t *testing.T) {
 		t.Fatalf("first tail err = %v, want context.Canceled", err)
 	}
 	// The slot frees once the handler notices the disconnect.
-	deadline := time.Now().Add(5 * time.Second)
-	for hub.Subscribers() != 0 {
-		if time.Now().After(deadline) {
-			t.Fatalf("subscriber slot not released: %d live", hub.Subscribers())
-		}
-		time.Sleep(time.Millisecond)
-	}
+	transporttest.WaitUntil(t, 5*time.Second, func() bool {
+		return hub.Subscribers() == 0
+	}, "subscriber slot release")
 }
 
 // TestStreamSSE: Accept: text/event-stream selects the SSE framing.

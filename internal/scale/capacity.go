@@ -1,0 +1,60 @@
+package scale
+
+import "fmt"
+
+// CapacityModel predicts a fleet's sustainable discovery throughput from
+// one measured per-session cost, extending the §VIII analysis from update
+// overhead to runtime capacity. The model is deliberately first-order:
+// sessions are CPU-bound (the equalized object compute plus the subject's
+// verify/derive work), so capacity scales linearly with the processes the
+// machine can actually run in parallel and saturates at the core count —
+// the honest prediction for loopback scale-out on a small host, and the
+// claim BENCH_10 checks against measurement.
+type CapacityModel struct {
+	// WarmSessionSeconds is the measured wall-clock cost of one warm
+	// session at full concurrency (fleet warm wave: seconds / sessions).
+	WarmSessionSeconds float64 `json:"warm_session_seconds"`
+	// Cores bounds the useful process parallelism.
+	Cores int `json:"cores"`
+	// Efficiency discounts the open-loop sustainable rate below the warm
+	// closed-wave rate: the Poisson arrival process leaves gaps and the SLO
+	// gates demand headroom, so the knee sits below raw throughput.
+	Efficiency float64 `json:"efficiency"`
+}
+
+// Calibrate builds a model from a warm-wave measurement.
+func Calibrate(sessions int64, seconds float64, cores int) CapacityModel {
+	m := CapacityModel{Cores: cores, Efficiency: 0.9}
+	if sessions > 0 && seconds > 0 {
+		m.WarmSessionSeconds = seconds / float64(sessions)
+	}
+	return m
+}
+
+// Validate rejects an uncalibrated or degenerate model.
+func (m CapacityModel) Validate() error {
+	if m.WarmSessionSeconds <= 0 {
+		return fmt.Errorf("scale: capacity model not calibrated (warm session seconds %v)", m.WarmSessionSeconds)
+	}
+	if m.Cores < 1 {
+		return fmt.Errorf("scale: capacity model needs >= 1 core, got %d", m.Cores)
+	}
+	if m.Efficiency <= 0 || m.Efficiency > 1 {
+		return fmt.Errorf("scale: capacity efficiency %v outside (0, 1]", m.Efficiency)
+	}
+	return nil
+}
+
+// Predict returns the model's sustainable sessions/s for a fleet sharded
+// across `procs` processes: linear in procs up to the core count, flat
+// beyond it (extra processes time-slice, they don't add capacity).
+func (m CapacityModel) Predict(procs int) float64 {
+	if err := m.Validate(); err != nil {
+		return 0
+	}
+	if procs < 1 {
+		procs = 1
+	}
+	parallel := min(procs, m.Cores)
+	return float64(parallel) * m.Efficiency / m.WarmSessionSeconds
+}

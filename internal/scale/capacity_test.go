@@ -1,0 +1,59 @@
+package scale
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCapacityCalibrateRoundtrip(t *testing.T) {
+	// 1000 sessions in 1.25s on 4 cores → 800/s per process at unit
+	// efficiency, 720/s at the default 0.9.
+	m := Calibrate(1000, 1.25, 4)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m.Predict(1), 0.9*800.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("Predict(1) = %v, want %v", got, want)
+	}
+}
+
+func TestCapacityPredictSaturatesAtCores(t *testing.T) {
+	m := CapacityModel{WarmSessionSeconds: 0.001, Cores: 2, Efficiency: 1}
+	prev := 0.0
+	for procs := 1; procs <= 2; procs++ {
+		p := m.Predict(procs)
+		if p <= prev {
+			t.Errorf("Predict(%d) = %v not increasing past %v", procs, p, prev)
+		}
+		prev = p
+	}
+	// Beyond the core count, extra processes only time-slice.
+	for procs := 3; procs <= 8; procs++ {
+		if p := m.Predict(procs); p != prev {
+			t.Errorf("Predict(%d) = %v, want flat at %v beyond %d cores", procs, p, prev, m.Cores)
+		}
+	}
+	if m.Predict(0) != m.Predict(1) {
+		t.Error("Predict clamps procs to >= 1")
+	}
+}
+
+func TestCapacityValidate(t *testing.T) {
+	bad := []CapacityModel{
+		{},
+		{WarmSessionSeconds: 0.001, Cores: 0, Efficiency: 0.9},
+		{WarmSessionSeconds: 0.001, Cores: 1, Efficiency: 0},
+		{WarmSessionSeconds: 0.001, Cores: 1, Efficiency: 1.5},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("model %d should not validate: %+v", i, m)
+		}
+		if m.Predict(1) != 0 {
+			t.Errorf("invalid model %d must predict 0", i)
+		}
+	}
+	if m := Calibrate(0, 0, 1); m.Validate() == nil {
+		t.Error("calibrating from an empty measurement must not validate")
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"testing"
 	"time"
+
+	"argus/internal/transport/transporttest"
 )
 
 // handlerFunc adapts a func to Handler for mailbox-level tests.
@@ -14,13 +16,7 @@ func (f handlerFunc) Handle(from Addr, payload []byte) { f(from, payload) }
 // waitCond polls until cond holds or the deadline passes.
 func waitCond(t *testing.T, cond func() bool, what string) {
 	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
-	for !cond() {
-		if time.Now().After(deadline) {
-			t.Fatalf("timed out waiting for %s", what)
-		}
-		time.Sleep(time.Millisecond)
-	}
+	transporttest.WaitUntil(t, 10*time.Second, cond, what)
 }
 
 // Control work enqueued while a deep frame backlog drains must jump the

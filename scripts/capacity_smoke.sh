@@ -1,0 +1,43 @@
+#!/bin/sh
+# End-to-end capacity-search smoke: a tiny fleet sharded across two real
+# argus-node shard processes, driven by `argus-load -capacity -procs 2`.
+# Passes only when
+#
+#   1. the coordinator launches both shards, completes the cross-process
+#      warm sweep, and the search exits 0 (some rate sustained), and
+#   2. the emitted JSON carries a non-zero knee — i.e. the merged
+#      multi-process SLO verdict passed at least one offered rate.
+#
+# The tolerance is deliberately coarse (-cap-tol 0.5) and the windows short:
+# this is a wiring check for the coordinator/shard/merge pipeline, not a
+# benchmark — BENCH_10.json is where the real knees live.
+#
+# This is the CI capacity-smoke job; run it locally with `make capacity-smoke`.
+set -eu
+
+cd "$(dirname "$0")/.."
+TMP=$(mktemp -d)
+cleanup() {
+	rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+go build -o "$TMP/argus-load" ./cmd/argus-load
+go build -o "$TMP/argus-node" ./cmd/argus-node
+
+"$TMP/argus-load" -capacity -procs 2 -node-bin "$TMP/argus-node" \
+	-profile ci-soak -cells 2 -subjects 2 -objects 2 \
+	-cap-start 25 -cap-tol 0.5 -cap-trials 4 -cap-duration 1s \
+	-out "$TMP/capacity.json" 2>"$TMP/load.log" || {
+	echo "capacity smoke: search failed" >&2
+	cat "$TMP/load.log" >&2
+	exit 1
+}
+
+KNEE=$(sed -n 's/^ *"knee_sessions_per_second": \([0-9.]*\).*/\1/p' "$TMP/capacity.json" | head -n 1)
+if [ -z "$KNEE" ] || [ "$KNEE" = "0" ]; then
+	echo "capacity smoke: no knee in the report (got '$KNEE')" >&2
+	cat "$TMP/capacity.json" >&2
+	exit 1
+fi
+echo "capacity smoke: PASS (knee $KNEE sessions/s across 2 processes)"
